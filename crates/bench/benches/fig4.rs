@@ -1,0 +1,30 @@
+//! Criterion benchmark for the Fig. 4 pipeline: building the subset-sampling
+//! estimate and recombining it into a logical-error-rate curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp_noise::{default_physical_rates, logical_error_curve, SubsetConfig, SubsetEstimate};
+
+fn bench_fig4(c: &mut Criterion) {
+    let steane = synthesize_protocol(&dftsp_code::catalog::steane(), &SynthesisOptions::default())
+        .expect("synthesis succeeds");
+    let config = SubsetConfig {
+        max_faults: 2,
+        samples_per_stratum: 100,
+    };
+
+    let mut group = c.benchmark_group("fig4_simulation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("subset_estimate/Steane", |b| {
+        b.iter(|| SubsetEstimate::build(&steane, &config, 1))
+    });
+    let rates = default_physical_rates(3);
+    group.bench_function("full_curve/Steane", |b| {
+        b.iter(|| logical_error_curve(&steane, &rates, &config, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

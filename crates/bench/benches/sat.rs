@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the in-tree CDCL SAT solver on the constraint
+//! families used by the synthesis encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+
+/// Pigeonhole principle PHP(n+1, n): classic unsatisfiable cardinality
+/// benchmark exercising clause learning.
+fn pigeonhole(holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut solver = Solver::new();
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+    let mut enc = Encoder::new(&mut solver);
+    for row in &vars {
+        enc.solver().add_clause(row.clone());
+    }
+    for hole in 0..holes {
+        let column: Vec<Lit> = vars.iter().map(|row| row[hole]).collect();
+        enc.at_most_one(&column);
+    }
+    solver
+}
+
+/// Random XOR chains plus a cardinality bound — the shape of the
+/// verification/correction encodings.
+fn parity_cardinality(bits: usize, parity_rows: usize, bound: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Lit> = (0..bits).map(|_| Lit::pos(solver.new_var())).collect();
+    let mut enc = Encoder::new(&mut solver);
+    let mut state = 0x1234_5678u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for row in 0..parity_rows {
+        let members: Vec<Lit> = vars
+            .iter()
+            .copied()
+            .filter(|_| next() % 2 == 0)
+            .collect();
+        if !members.is_empty() {
+            enc.add_parity(&members, row % 2 == 0);
+        }
+    }
+    enc.at_most_k(&vars, bound);
+    solver
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for holes in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole", holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let mut solver = pigeonhole(holes);
+                assert_eq!(solver.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    for bits in [24usize, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("parity_cardinality", bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| {
+                    let mut solver = parity_cardinality(bits, bits / 2, bits / 3);
+                    let _ = solver.solve();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

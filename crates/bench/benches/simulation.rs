@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the protocol executor and the noise-simulation
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dftsp::{execute, synthesize_protocol, NoFaults, SynthesisOptions};
+use dftsp_noise::{monte_carlo, NoiseParams, PerfectDecoder};
+
+fn bench_executor(c: &mut Criterion) {
+    let protocols: Vec<_> = [dftsp_code::catalog::steane(), dftsp_code::catalog::surface3()]
+        .into_iter()
+        .map(|code| {
+            let protocol = synthesize_protocol(&code, &SynthesisOptions::default())
+                .expect("synthesis succeeds");
+            (code.name().to_string(), protocol)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("protocol_execution");
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (name, protocol) in &protocols {
+        group.bench_with_input(BenchmarkId::new("noiseless", name), protocol, |b, p| {
+            b.iter(|| execute(p, &mut NoFaults))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fault_tolerance_check");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    let (name, steane) = &protocols[0];
+    group.bench_with_input(BenchmarkId::new("exhaustive", name), steane, |b, p| {
+        b.iter(|| dftsp::check_fault_tolerance(p))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function(format!("200_runs_p0.01/{name}"), |b| {
+        b.iter(|| monte_carlo(steane, NoiseParams::e1_1(0.01), 200, 3))
+    });
+    group.bench_function(format!("decoder_construction/{name}"), |b| {
+        b.iter(|| PerfectDecoder::for_protocol(steane))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

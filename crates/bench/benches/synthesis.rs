@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the individual synthesis steps: state-preparation
+//! circuits, verification synthesis and correction-circuit synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dftsp::correct::{synthesize_correction, CorrectionOptions, CorrectionProblem};
+use dftsp::prep::{synthesize_prep, PrepMethod, PrepOptions};
+use dftsp::verify::{synthesize_verification, VerificationOptions};
+use dftsp::ZeroStateContext;
+use dftsp_code::catalog;
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliKind;
+
+fn bench_prep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prep_synthesis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for code in [catalog::steane(), catalog::surface3()] {
+        group.bench_with_input(
+            BenchmarkId::new("heuristic", code.name()),
+            &code,
+            |b, code| b.iter(|| synthesize_prep(code, &PrepOptions::default())),
+        );
+    }
+    let steane = catalog::steane();
+    group.bench_function("optimal/Steane", |b| {
+        b.iter(|| synthesize_prep(&steane, &PrepOptions::with_method(PrepMethod::Optimal)))
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let ctx = ZeroStateContext::new(catalog::steane());
+    let dangerous = vec![
+        BitVec::from_indices(7, &[0, 1]),
+        BitVec::from_indices(7, &[2, 3]),
+        BitVec::from_indices(7, &[4, 5, 6]),
+        BitVec::from_indices(7, &[1, 6]),
+    ];
+    let mut group = c.benchmark_group("verification_synthesis");
+    group.sample_size(20);
+    group.bench_function("steane_four_errors", |b| {
+        b.iter(|| {
+            synthesize_verification(
+                ctx.measurable_group(PauliKind::X),
+                &dangerous,
+                &VerificationOptions::default(),
+            )
+            .expect("coverable")
+        })
+    });
+    group.finish();
+}
+
+fn bench_correction(c: &mut Criterion) {
+    let ctx = ZeroStateContext::new(catalog::steane());
+    let problem = CorrectionProblem {
+        errors: vec![
+            BitVec::from_indices(7, &[0, 1]),
+            BitVec::from_indices(7, &[2, 3]),
+            BitVec::from_indices(7, &[4, 6]),
+            BitVec::zeros(7),
+            BitVec::unit(7, 5),
+        ],
+        measurable: ctx.measurable_group(PauliKind::X).clone(),
+        reduction: ctx.reduction_group(PauliKind::X).clone(),
+    };
+    let mut group = c.benchmark_group("correction_synthesis");
+    group.sample_size(20);
+    group.bench_function("steane_five_error_branch", |b| {
+        b.iter(|| synthesize_correction(&problem, &CorrectionOptions::default()).expect("solvable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prep, bench_verification, bench_correction);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmark regenerating Table I rows (end-to-end synthesis of the
+//! deterministic protocol per catalog code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dftsp::PrepMethod;
+use dftsp_bench::{synthesize_row, VerificationFlavor};
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_synthesis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    // One full row (the Steane code) keeps the bench affordable on a single
+    // core; the other rows are produced by the `table1` binary.
+    let steane = dftsp_code::catalog::steane();
+    group.bench_function("heu_opt/Steane", |b| {
+        b.iter(|| {
+            synthesize_row(&steane, PrepMethod::Heuristic, VerificationFlavor::Optimal)
+                .expect("synthesis succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_rows);
+criterion_main!(benches);

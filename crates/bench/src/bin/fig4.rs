@@ -1,0 +1,70 @@
+//! Regenerates Fig. 4 of the paper: logical error rates of the synthesized
+//! deterministic `|0…0⟩_L` preparation protocols under circuit-level
+//! depolarizing noise.
+//!
+//! ```text
+//! cargo run --release -p dftsp-bench --bin fig4 [-- --quick] [--samples N] [--points-per-decade M]
+//! ```
+//!
+//! The output is a table of `p` vs. `p_L` per code (one column per series,
+//! including the `p_L = p` "Linear" reference of the figure) followed by the
+//! fitted log-log slope of each series, which should be ≈ 2 for a
+//! fault-tolerant protocol.
+
+use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp_bench::{evaluation_codes, quick_codes};
+use dftsp_noise::{
+    default_physical_rates, linear_reference, logical_error_curve, ErrorRateCurve, SubsetConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = flag_value(&args, "--samples").unwrap_or(if quick { 500 } else { 2000 });
+    let points_per_decade = flag_value(&args, "--points-per-decade").unwrap_or(3);
+
+    let codes = if quick { quick_codes() } else { evaluation_codes() };
+    let rates = default_physical_rates(points_per_decade);
+    let config = SubsetConfig {
+        max_faults: 4,
+        samples_per_stratum: samples,
+    };
+
+    let mut curves: Vec<ErrorRateCurve> = vec![linear_reference(&rates)];
+    for code in codes {
+        eprintln!("synthesizing and sampling {} ...", code.name());
+        match synthesize_protocol(&code, &SynthesisOptions::default()) {
+            Ok(protocol) => curves.push(logical_error_curve(&protocol, &rates, &config, 2025)),
+            Err(e) => eprintln!("  skipped ({e})"),
+        }
+    }
+
+    // Header.
+    print!("{:>12}", "p");
+    for curve in &curves {
+        print!(" {:>14}", curve.label);
+    }
+    println!();
+    for (i, &p) in rates.iter().enumerate() {
+        print!("{:>12.3e}", p);
+        for curve in &curves {
+            print!(" {:>14.4e}", curve.points[i].logical.mean);
+        }
+        println!();
+    }
+    println!();
+    println!("log-log slopes (≈1 for the linear reference, ≈2 for fault-tolerant protocols):");
+    for curve in &curves {
+        match curve.log_log_slope() {
+            Some(slope) => println!("  {:<14} {slope:.2}", curve.label),
+            None => println!("  {:<14} n/a (all-zero estimates)", curve.label),
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

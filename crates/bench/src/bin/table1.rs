@@ -1,0 +1,104 @@
+//! Regenerates Table I of the paper: circuit metrics of the synthesized
+//! deterministic fault-tolerant state-preparation circuits.
+//!
+//! ```text
+//! cargo run --release -p dftsp-bench --bin table1 [-- --quick] [--code NAME] [--global] [--opt-prep]
+//! ```
+//!
+//! By default every catalog code is synthesized with the heuristic prep and
+//! per-part optimal verification/correction (the paper's "Heu/Opt"
+//! configuration). `--global` adds the global-optimization column,
+//! `--opt-prep` adds the optimal-prep rows, `--quick` restricts to the three
+//! smallest codes.
+
+use dftsp::PrepMethod;
+use dftsp_bench::{branch_list, evaluation_codes, quick_codes, synthesize_row, VerificationFlavor};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let with_global = args.iter().any(|a| a == "--global");
+    let with_opt_prep = args.iter().any(|a| a == "--opt-prep");
+    let code_filter = args
+        .iter()
+        .position(|a| a == "--code")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+
+    let codes = if quick { quick_codes() } else { evaluation_codes() };
+    let mut prep_methods = vec![PrepMethod::Heuristic];
+    if with_opt_prep {
+        prep_methods.push(PrepMethod::Optimal);
+    }
+    let mut flavors = vec![VerificationFlavor::Optimal];
+    if with_global {
+        flavors.push(VerificationFlavor::Global);
+    }
+
+    println!(
+        "{:<12} {:>11} {:>5} {:>7} | {:>28} | {:>28} | {:>6} {:>6} {:>7} {:>7}",
+        "Code", "[[n,k,d]]", "Prep", "Verif.",
+        "Layer-1 verif/corr", "Layer-2 verif/corr",
+        "ΣANC", "ΣCNOT", "∅ANC", "∅CNOT"
+    );
+    println!("{}", "-".repeat(140));
+
+    for code in codes {
+        if let Some(filter) = &code_filter {
+            if !code.name().to_lowercase().contains(filter) {
+                continue;
+            }
+        }
+        for &prep in &prep_methods {
+            for &flavor in &flavors {
+                match synthesize_row(&code, prep, flavor) {
+                    Ok(row) => print_row(&row),
+                    Err(e) => {
+                        let (n, k, d) = code.parameters();
+                        println!(
+                            "{:<12} {:>11} {:>5} {:>7} | synthesis failed: {e}",
+                            code.name(),
+                            format!("[[{n},{k},{d}]]"),
+                            prep.to_string(),
+                            flavor.to_string()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn print_row(row: &dftsp_bench::TableRow) {
+    let m = &row.metrics;
+    let (n, k, d) = m.parameters;
+    let layer = |index: usize| -> String {
+        match m.layers.get(index) {
+            None => "-".to_string(),
+            Some(l) => format!(
+                "a={}+{} w={}+{} c={}/{} f={}/{}",
+                l.verification_ancillas,
+                l.flag_ancillas,
+                l.verification_cnots,
+                l.flag_cnots,
+                branch_list(&l.correction_ancillas),
+                branch_list(&l.correction_cnots),
+                branch_list(&l.hook_correction_ancillas),
+                branch_list(&l.hook_correction_cnots),
+            ),
+        }
+    };
+    println!(
+        "{:<12} {:>11} {:>5} {:>7} | {:>28} | {:>28} | {:>6} {:>6} {:>7.2} {:>7.2}",
+        m.code_name,
+        format!("[[{n},{k},{d}]]"),
+        m.prep_method.to_string(),
+        row.verification_flavor.to_string(),
+        layer(0),
+        layer(1),
+        m.total_verification_ancillas,
+        m.total_verification_cnots,
+        m.avg_correction_ancillas,
+        m.avg_correction_cnots,
+    );
+}

@@ -1,0 +1,133 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! Table I and Fig. 4.
+//!
+//! The binaries in `src/bin/` produce the human-readable artifacts:
+//!
+//! * `table1` — circuit metrics (ancilla and CNOT counts per layer and per
+//!   correction branch) for every catalog code, in the layout of Table I,
+//! * `fig4` — logical-error-rate curves under circuit-level depolarizing
+//!   noise for every catalog code, in the layout of Fig. 4,
+//! * `ftcheck` — the exhaustive single-fault check of every synthesized
+//!   protocol (the paper's implicit fault-tolerance claim).
+//!
+//! The Criterion benches in `benches/` measure the runtime of the synthesis
+//! and simulation steps themselves.
+
+use dftsp::{
+    globally_optimize, synthesize_protocol, DeterministicProtocol, GlobalOptions, PrepMethod,
+    ProtocolMetrics, SynthesisError, SynthesisOptions,
+};
+use dftsp_code::{catalog, CssCode};
+
+/// Which verification/correction synthesis flavour to run for a Table I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationFlavor {
+    /// Per-part optimal synthesis (the paper's "Opt" column).
+    Optimal,
+    /// Global optimization over all minimal verification circuits
+    /// (the paper's "Global" column).
+    Global,
+}
+
+impl std::fmt::Display for VerificationFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerificationFlavor::Optimal => write!(f, "Opt"),
+            VerificationFlavor::Global => write!(f, "Global"),
+        }
+    }
+}
+
+/// One synthesized Table I entry.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Preparation-circuit synthesis method.
+    pub prep_method: PrepMethod,
+    /// Verification/correction synthesis flavour.
+    pub verification_flavor: VerificationFlavor,
+    /// The synthesized protocol.
+    pub protocol: DeterministicProtocol,
+    /// Its Table I metrics.
+    pub metrics: ProtocolMetrics,
+}
+
+/// Synthesizes one Table I row.
+///
+/// # Errors
+///
+/// Forwards synthesis failures of the underlying pipeline.
+pub fn synthesize_row(
+    code: &CssCode,
+    prep_method: PrepMethod,
+    flavor: VerificationFlavor,
+) -> Result<TableRow, SynthesisError> {
+    let options = SynthesisOptions::with_prep_method(prep_method);
+    let protocol = match flavor {
+        VerificationFlavor::Optimal => synthesize_protocol(code, &options)?,
+        VerificationFlavor::Global => {
+            globally_optimize(code, &GlobalOptions { synthesis: options })?.protocol
+        }
+    };
+    let metrics = ProtocolMetrics::from_protocol(&protocol);
+    Ok(TableRow {
+        prep_method,
+        verification_flavor: flavor,
+        protocol,
+        metrics,
+    })
+}
+
+/// The catalog codes evaluated in the paper, in Table I order.
+pub fn evaluation_codes() -> Vec<CssCode> {
+    catalog::all()
+}
+
+/// The subset of catalog codes small enough for quick benchmarking and CI.
+pub fn quick_codes() -> Vec<CssCode> {
+    vec![catalog::steane(), catalog::shor(), catalog::surface3()]
+}
+
+/// Formats the bracketed per-branch lists of Table I (e.g. `[1,1,0]`).
+pub fn branch_list(values: &[usize]) -> String {
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    let inner: Vec<String> = values.iter().map(ToString::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_codes_are_a_subset_of_the_catalog() {
+        let all: Vec<String> = evaluation_codes()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        for code in quick_codes() {
+            assert!(all.contains(&code.name().to_string()));
+        }
+    }
+
+    #[test]
+    fn branch_list_formatting() {
+        assert_eq!(branch_list(&[]), "-");
+        assert_eq!(branch_list(&[3]), "[3]");
+        assert_eq!(branch_list(&[1, 1, 0]), "[1,1,0]");
+    }
+
+    #[test]
+    fn steane_row_synthesis_smoke_test() {
+        let row = synthesize_row(
+            &catalog::steane(),
+            PrepMethod::Heuristic,
+            VerificationFlavor::Optimal,
+        )
+        .unwrap();
+        assert_eq!(row.metrics.code_name, "Steane");
+        assert_eq!(row.verification_flavor, VerificationFlavor::Optimal);
+        assert_eq!(row.verification_flavor.to_string(), "Opt");
+    }
+}

@@ -1,0 +1,287 @@
+//! The circuit container and builder API.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CircuitStats, Gate};
+
+/// A Clifford + measurement circuit on a fixed number of qubits.
+///
+/// Classical measurement bits are allocated sequentially by the
+/// `measure_*` builder methods and identify outcomes across the whole
+/// protocol.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_circuit::Circuit;
+///
+/// let mut prep = Circuit::new(2);
+/// prep.h(0);
+/// prep.cnot(0, 1);
+/// assert_eq!(prep.stats().cnot_count, 1);
+/// assert_eq!(prep.stats().depth, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_bits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_bits: 0,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Returns the number of classical bits allocated by measurements.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Returns the gate sequence.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Returns the number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn check_qubit(&self, q: usize) {
+        assert!(
+            q < self.num_qubits,
+            "qubit {q} out of range for circuit on {} qubits",
+            self.num_qubits
+        );
+    }
+
+    /// Appends a raw gate.
+    ///
+    /// Measurement gates must reference classical bits below
+    /// [`Circuit::num_bits`]; prefer the `measure_*` builder methods which
+    /// allocate bits automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references an out-of-range qubit or classical bit.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            self.check_qubit(q);
+        }
+        if let Some(bit) = gate.measured_bit() {
+            assert!(bit < self.num_bits, "classical bit {bit} has not been allocated");
+        }
+        if let Gate::Cnot { control, target } = gate {
+            assert_ne!(control, target, "CNOT control and target must differ");
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, qubit: usize) {
+        self.push(Gate::H { qubit });
+    }
+
+    /// Appends a CNOT gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target` or either qubit is out of range.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        self.push(Gate::Cnot { control, target });
+    }
+
+    /// Appends a Pauli X gate.
+    pub fn x(&mut self, qubit: usize) {
+        self.push(Gate::X { qubit });
+    }
+
+    /// Appends a Pauli Z gate.
+    pub fn z(&mut self, qubit: usize) {
+        self.push(Gate::Z { qubit });
+    }
+
+    /// Appends a |0⟩ preparation (reset).
+    pub fn prep_z(&mut self, qubit: usize) {
+        self.push(Gate::PrepZ { qubit });
+    }
+
+    /// Appends a |+⟩ preparation.
+    pub fn prep_x(&mut self, qubit: usize) {
+        self.push(Gate::PrepX { qubit });
+    }
+
+    /// Appends a Z-basis measurement and returns the classical bit index
+    /// holding the outcome.
+    pub fn measure_z(&mut self, qubit: usize) -> usize {
+        self.check_qubit(qubit);
+        let bit = self.num_bits;
+        self.num_bits += 1;
+        self.gates.push(Gate::MeasureZ { qubit, bit });
+        bit
+    }
+
+    /// Appends an X-basis measurement and returns the classical bit index
+    /// holding the outcome.
+    pub fn measure_x(&mut self, qubit: usize) -> usize {
+        self.check_qubit(qubit);
+        let bit = self.num_bits;
+        self.num_bits += 1;
+        self.gates.push(Gate::MeasureX { qubit, bit });
+        bit
+    }
+
+    /// Appends all gates of `other`, remapping its classical bits to fresh
+    /// bits of this circuit. Returns the offset added to `other`'s bit
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` acts on more qubits than this circuit has.
+    pub fn append(&mut self, other: &Circuit) -> usize {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit acts on {} qubits but this circuit has {}",
+            other.num_qubits,
+            self.num_qubits
+        );
+        let offset = self.num_bits;
+        self.num_bits += other.num_bits;
+        for gate in &other.gates {
+            let remapped = match *gate {
+                Gate::MeasureZ { qubit, bit } => Gate::MeasureZ {
+                    qubit,
+                    bit: bit + offset,
+                },
+                Gate::MeasureX { qubit, bit } => Gate::MeasureX {
+                    qubit,
+                    bit: bit + offset,
+                },
+                g => g,
+            };
+            self.gates.push(remapped);
+        }
+        offset
+    }
+
+    /// Returns a copy of the circuit extended to act on `num_qubits` qubits
+    /// (appending idle qubits at the end of the register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is smaller than the current qubit count.
+    pub fn widened(&self, num_qubits: usize) -> Circuit {
+        assert!(num_qubits >= self.num_qubits, "cannot shrink a circuit");
+        Circuit {
+            num_qubits,
+            num_bits: self.num_bits,
+            gates: self.gates.clone(),
+        }
+    }
+
+    /// Computes gate counts and depth.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::from_circuit(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# circuit: {} qubits, {} bits", self.num_qubits, self.num_bits)?;
+        for gate in &self.gates {
+            writeln!(f, "{gate}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_bits_sequentially() {
+        let mut c = Circuit::new(3);
+        c.prep_z(2);
+        c.cnot(0, 2);
+        let b0 = c.measure_z(2);
+        let b1 = c.measure_x(0);
+        assert_eq!((b0, b1), (0, 1));
+        assert_eq!(c.num_bits(), 2);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn append_remaps_classical_bits() {
+        let mut a = Circuit::new(2);
+        a.measure_z(0);
+        let mut b = Circuit::new(2);
+        b.measure_z(1);
+        let offset = a.append(&b);
+        assert_eq!(offset, 1);
+        assert_eq!(a.num_bits(), 2);
+        assert_eq!(
+            a.gates()[1],
+            Gate::MeasureZ { qubit: 1, bit: 1 }
+        );
+    }
+
+    #[test]
+    fn widened_keeps_gates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let wide = a.widened(5);
+        assert_eq!(wide.num_qubits(), 5);
+        assert_eq!(wide.gates(), a.gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_cnot_panics() {
+        let mut c = Circuit::new(2);
+        c.cnot(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "has not been allocated")]
+    fn pushing_unallocated_bit_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::MeasureZ { qubit: 0, bit: 0 });
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cnot(0, 1);
+        let text = c.to_string();
+        assert!(text.contains("h q0"));
+        assert!(text.contains("cx q0, q1"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Circuit-level fault locations and their effects.
+//!
+//! The paper's noise model (the `E1_1` model of Qsample) places a fault with
+//! probability `p` after every single-qubit gate, after every two-qubit gate,
+//! on every preparation and on every measurement. Synthesis needs the
+//! *exhaustive* list of single faults and their propagated effects (to find
+//! the dangerous errors `E_X(C)`, `E_Z(C)`); the noise simulator samples the
+//! same locations stochastically.
+
+use dftsp_pauli::{Pauli, PauliString};
+
+use crate::{Circuit, Gate, PauliTracker};
+
+/// The class of a fault location, which determines the possible faults and
+/// (in the noise model) their probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSiteKind {
+    /// After a single-qubit unitary gate (H, X, Z).
+    SingleQubitGate,
+    /// After a two-qubit gate (CNOT).
+    TwoQubitGate,
+    /// After a preparation / reset.
+    Preparation,
+    /// On a measurement (classical outcome flip).
+    Measurement,
+}
+
+/// A location in the circuit where a fault may occur.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Index of the gate after which the fault acts.
+    pub gate_index: usize,
+    /// Class of the location.
+    pub kind: FaultSiteKind,
+    /// Qubits touched by the gate (and hence by the fault).
+    pub qubits: Vec<usize>,
+}
+
+/// A concrete fault at a fault site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// A Pauli error inserted immediately after the gate.
+    Pauli(PauliString),
+    /// A classical flip of the named measurement outcome.
+    MeasurementFlip(usize),
+}
+
+impl FaultEffect {
+    /// Returns the Pauli error, if this is a Pauli fault.
+    pub fn pauli(&self) -> Option<&PauliString> {
+        match self {
+            FaultEffect::Pauli(p) => Some(p),
+            FaultEffect::MeasurementFlip(_) => None,
+        }
+    }
+}
+
+/// Enumerates every fault location of the circuit, in gate order.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_circuit::{enumerate_fault_sites, Circuit, FaultSiteKind};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cnot(0, 1);
+/// c.measure_z(1);
+/// let sites = enumerate_fault_sites(&c);
+/// assert_eq!(sites.len(), 3);
+/// assert_eq!(sites[1].kind, FaultSiteKind::TwoQubitGate);
+/// ```
+pub fn enumerate_fault_sites(circuit: &Circuit) -> Vec<FaultSite> {
+    circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(gate_index, gate)| {
+            let kind = match gate {
+                Gate::Cnot { .. } => FaultSiteKind::TwoQubitGate,
+                Gate::H { .. } | Gate::X { .. } | Gate::Z { .. } => FaultSiteKind::SingleQubitGate,
+                Gate::PrepZ { .. } | Gate::PrepX { .. } => FaultSiteKind::Preparation,
+                Gate::MeasureZ { .. } | Gate::MeasureX { .. } => FaultSiteKind::Measurement,
+            };
+            FaultSite {
+                gate_index,
+                kind,
+                qubits: gate.qubits(),
+            }
+        })
+        .collect()
+}
+
+/// Enumerates the possible single faults at a fault site.
+///
+/// * Single-qubit gates and preparations: the three non-trivial Paulis on the
+///   gate's qubit.
+/// * Two-qubit gates: the fifteen non-trivial two-qubit Paulis.
+/// * Measurements: a classical flip of the recorded outcome.
+pub fn single_fault_effects(circuit: &Circuit, site: &FaultSite) -> Vec<FaultEffect> {
+    let n = circuit.num_qubits();
+    match site.kind {
+        FaultSiteKind::SingleQubitGate | FaultSiteKind::Preparation => {
+            let q = site.qubits[0];
+            Pauli::ERRORS
+                .iter()
+                .map(|&p| FaultEffect::Pauli(PauliString::single(n, q, p)))
+                .collect()
+        }
+        FaultSiteKind::TwoQubitGate => {
+            let (a, b) = (site.qubits[0], site.qubits[1]);
+            let mut out = Vec::with_capacity(15);
+            for &pa in Pauli::ALL.iter() {
+                for &pb in Pauli::ALL.iter() {
+                    if pa == Pauli::I && pb == Pauli::I {
+                        continue;
+                    }
+                    let mut e = PauliString::identity(n);
+                    e.set(a, pa);
+                    e.set(b, pb);
+                    out.push(FaultEffect::Pauli(e));
+                }
+            }
+            out
+        }
+        FaultSiteKind::Measurement => {
+            let bit = circuit.gates()[site.gate_index]
+                .measured_bit()
+                .expect("measurement sites correspond to measurement gates");
+            vec![FaultEffect::MeasurementFlip(bit)]
+        }
+    }
+}
+
+/// Propagates a single fault at `site` to the end of the circuit.
+///
+/// Returns the residual Pauli error on the qubits and the vector of flipped
+/// measurement outcomes (the fault only affects gates *after* its site).
+pub fn propagate_fault(
+    circuit: &Circuit,
+    site: &FaultSite,
+    effect: &FaultEffect,
+) -> (PauliString, dftsp_f2::BitVec) {
+    let mut tracker = PauliTracker::new(circuit);
+    match effect {
+        FaultEffect::Pauli(p) => {
+            tracker.inject(p);
+            tracker.run(site.gate_index + 1..circuit.len());
+        }
+        FaultEffect::MeasurementFlip(bit) => {
+            tracker.flip_measurement(*bit);
+        }
+    }
+    tracker.into_parts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_pauli::PauliKind;
+
+    fn stabilizer_measurement_circuit() -> Circuit {
+        // Weight-4 Z-stabilizer measurement on qubits 0..4 with ancilla 4.
+        let mut c = Circuit::new(5);
+        c.prep_z(4);
+        for q in 0..4 {
+            c.cnot(q, 4);
+        }
+        c.measure_z(4);
+        c
+    }
+
+    #[test]
+    fn site_enumeration_classifies_gates() {
+        let c = stabilizer_measurement_circuit();
+        let sites = enumerate_fault_sites(&c);
+        assert_eq!(sites.len(), 6);
+        assert_eq!(sites[0].kind, FaultSiteKind::Preparation);
+        assert!(sites[1..5].iter().all(|s| s.kind == FaultSiteKind::TwoQubitGate));
+        assert_eq!(sites[5].kind, FaultSiteKind::Measurement);
+        assert_eq!(sites[2].qubits, vec![1, 4]);
+    }
+
+    #[test]
+    fn effect_counts_per_site_kind() {
+        let c = stabilizer_measurement_circuit();
+        let sites = enumerate_fault_sites(&c);
+        assert_eq!(single_fault_effects(&c, &sites[0]).len(), 3);
+        assert_eq!(single_fault_effects(&c, &sites[1]).len(), 15);
+        assert_eq!(single_fault_effects(&c, &sites[5]).len(), 1);
+    }
+
+    #[test]
+    fn hook_faults_are_found_by_exhaustive_propagation() {
+        // Among all single faults of the stabilizer measurement there must be
+        // one that leaves a weight-2 Z error on the data qubits (the hook
+        // error of Example 2 in the paper).
+        let c = stabilizer_measurement_circuit();
+        let mut found_weight_two_z = false;
+        for site in enumerate_fault_sites(&c) {
+            for effect in single_fault_effects(&c, &site) {
+                let (residual, _) = propagate_fault(&c, &site, &effect);
+                let data_z: Vec<usize> = residual
+                    .part(PauliKind::Z)
+                    .support()
+                    .into_iter()
+                    .filter(|&q| q < 4)
+                    .collect();
+                if data_z.len() == 2 {
+                    found_weight_two_z = true;
+                }
+            }
+        }
+        assert!(found_weight_two_z);
+    }
+
+    #[test]
+    fn measurement_flip_effect_only_touches_classical_bit() {
+        let c = stabilizer_measurement_circuit();
+        let sites = enumerate_fault_sites(&c);
+        let effects = single_fault_effects(&c, &sites[5]);
+        let (residual, flips) = propagate_fault(&c, &sites[5], &effects[0]);
+        assert!(residual.is_identity());
+        assert_eq!(flips.support(), vec![0]);
+        assert!(effects[0].pauli().is_none());
+    }
+
+    #[test]
+    fn late_faults_do_not_propagate_through_earlier_gates() {
+        let c = stabilizer_measurement_circuit();
+        let sites = enumerate_fault_sites(&c);
+        // An X fault on the ancilla after the last CNOT flips the measurement
+        // but leaves no error on the data.
+        let effect = FaultEffect::Pauli(PauliString::single(5, 4, Pauli::X));
+        let (residual, flips) = propagate_fault(&c, &sites[4], &effect);
+        assert!(flips.get(0));
+        assert!(residual
+            .support()
+            .into_iter()
+            .all(|q| q == 4));
+    }
+}

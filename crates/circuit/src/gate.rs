@@ -1,0 +1,154 @@
+//! Gate set of the fault-tolerant state-preparation circuits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single circuit operation.
+///
+/// The gate set is the minimal Clifford + measurement vocabulary needed for
+/// CSS state preparation, verification and correction circuits: Hadamard,
+/// CNOT, Pauli corrections, computational/conjugate basis preparation and
+/// destructive-free single-qubit measurements.
+///
+/// Measurements write their outcome to a classical bit whose index is
+/// assigned by [`Circuit`](crate::Circuit) when the measurement is appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard gate.
+    H {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Controlled-NOT gate.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Pauli X correction.
+    X {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Pauli Z correction.
+    Z {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Preparation of |0⟩ (reset in the computational basis).
+    PrepZ {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Preparation of |+⟩ (reset in the conjugate basis).
+    PrepX {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// Single-qubit measurement in the Z basis.
+    MeasureZ {
+        /// Measured qubit.
+        qubit: usize,
+        /// Classical bit receiving the outcome.
+        bit: usize,
+    },
+    /// Single-qubit measurement in the X basis.
+    MeasureX {
+        /// Measured qubit.
+        qubit: usize,
+        /// Classical bit receiving the outcome.
+        bit: usize,
+    },
+}
+
+impl Gate {
+    /// Returns the qubits the gate acts on (one or two).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H { qubit }
+            | Gate::X { qubit }
+            | Gate::Z { qubit }
+            | Gate::PrepZ { qubit }
+            | Gate::PrepX { qubit }
+            | Gate::MeasureZ { qubit, .. }
+            | Gate::MeasureX { qubit, .. } => vec![qubit],
+            Gate::Cnot { control, target } => vec![control, target],
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot { .. })
+    }
+
+    /// Returns `true` for measurement gates.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Gate::MeasureZ { .. } | Gate::MeasureX { .. })
+    }
+
+    /// Returns `true` for preparation (reset) gates.
+    pub fn is_preparation(&self) -> bool {
+        matches!(self, Gate::PrepZ { .. } | Gate::PrepX { .. })
+    }
+
+    /// Returns the classical bit written by a measurement gate.
+    pub fn measured_bit(&self) -> Option<usize> {
+        match *self {
+            Gate::MeasureZ { bit, .. } | Gate::MeasureX { bit, .. } => Some(bit),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H { qubit } => write!(f, "h q{qubit}"),
+            Gate::Cnot { control, target } => write!(f, "cx q{control}, q{target}"),
+            Gate::X { qubit } => write!(f, "x q{qubit}"),
+            Gate::Z { qubit } => write!(f, "z q{qubit}"),
+            Gate::PrepZ { qubit } => write!(f, "reset q{qubit}"),
+            Gate::PrepX { qubit } => write!(f, "reset_x q{qubit}"),
+            Gate::MeasureZ { qubit, bit } => write!(f, "mz q{qubit} -> c{bit}"),
+            Gate::MeasureX { qubit, bit } => write!(f, "mx q{qubit} -> c{bit}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::H { qubit: 3 }.qubits(), vec![3]);
+        assert_eq!(Gate::Cnot { control: 1, target: 4 }.qubits(), vec![1, 4]);
+        assert!(Gate::Cnot { control: 1, target: 4 }.is_two_qubit());
+        assert!(!Gate::H { qubit: 0 }.is_two_qubit());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Gate::MeasureZ { qubit: 0, bit: 0 }.is_measurement());
+        assert!(Gate::MeasureX { qubit: 0, bit: 1 }.is_measurement());
+        assert!(!Gate::X { qubit: 0 }.is_measurement());
+        assert!(Gate::PrepZ { qubit: 0 }.is_preparation());
+        assert!(Gate::PrepX { qubit: 0 }.is_preparation());
+        assert_eq!(Gate::MeasureX { qubit: 2, bit: 7 }.measured_bit(), Some(7));
+        assert_eq!(Gate::H { qubit: 2 }.measured_bit(), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Gate::Cnot { control: 0, target: 2 }.to_string(), "cx q0, q2");
+        assert_eq!(Gate::MeasureZ { qubit: 5, bit: 1 }.to_string(), "mz q5 -> c1");
+    }
+
+    #[test]
+    fn gates_are_serializable() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<Gate>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Clifford circuit intermediate representation with fault propagation.
+//!
+//! The synthesis and simulation pipeline manipulates circuits made of the
+//! gates that appear in fault-tolerant state preparation: Hadamards, CNOTs,
+//! Pauli corrections, qubit preparations and single-qubit measurements in the
+//! X or Z basis. This crate provides:
+//!
+//! * [`Gate`] and [`Circuit`] — the circuit data structure and builder API,
+//! * [`PauliTracker`] — conjugation of Pauli errors through Clifford gates,
+//!   including the effect on measurement outcomes,
+//! * [`FaultSite`] / [`enumerate_fault_sites`] — the circuit-level fault
+//!   locations of the standard depolarizing noise model (after every gate, on
+//!   every measurement and preparation), used both for exhaustive single-fault
+//!   analysis during synthesis and for Monte-Carlo sampling in `dftsp-noise`,
+//! * [`CircuitStats`] — gate counts and depth, the metrics reported in
+//!   Table I.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_circuit::{Circuit, Gate};
+//! use dftsp_pauli::{Pauli, PauliString};
+//!
+//! // Measure the Z-stabilizer Z0 Z1 with an ancilla (qubit 2).
+//! let mut circuit = Circuit::new(3);
+//! circuit.prep_z(2);
+//! circuit.cnot(0, 2);
+//! circuit.cnot(1, 2);
+//! let bit = circuit.measure_z(2);
+//! assert_eq!(circuit.stats().cnot_count, 2);
+//!
+//! // An X error on qubit 0 before the circuit flips the measurement.
+//! let mut tracker = dftsp_circuit::PauliTracker::new(&circuit);
+//! tracker.inject(&PauliString::single(3, 0, Pauli::X));
+//! tracker.run(..);
+//! assert!(tracker.measurement_flipped(bit));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod faults;
+mod gate;
+mod metrics;
+mod tracker;
+
+pub use circuit::Circuit;
+pub use faults::{
+    enumerate_fault_sites, propagate_fault, single_fault_effects, FaultEffect, FaultSite,
+    FaultSiteKind,
+};
+pub use gate::Gate;
+pub use metrics::CircuitStats;
+pub use tracker::PauliTracker;

@@ -1,0 +1,131 @@
+//! Gate-count and depth metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Circuit, Gate};
+
+/// Summary metrics of a circuit, as reported in Table I of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0);
+/// c.cnot(0, 1);
+/// c.cnot(0, 2);
+/// let stats = c.stats();
+/// assert_eq!(stats.cnot_count, 2);
+/// assert_eq!(stats.single_qubit_count, 1);
+/// assert_eq!(stats.depth, 3); // the two CNOTs share qubit 0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Total number of gates (including preparations and measurements).
+    pub num_gates: usize,
+    /// Number of CNOT gates.
+    pub cnot_count: usize,
+    /// Number of single-qubit unitary gates (H, X, Z).
+    pub single_qubit_count: usize,
+    /// Number of measurements.
+    pub measurement_count: usize,
+    /// Number of preparation (reset) operations.
+    pub preparation_count: usize,
+    /// Circuit depth under the as-soon-as-possible schedule.
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut stats = CircuitStats {
+            num_gates: circuit.len(),
+            ..CircuitStats::default()
+        };
+        let mut qubit_depth = vec![0usize; circuit.num_qubits()];
+        for gate in circuit.gates() {
+            match gate {
+                Gate::Cnot { .. } => stats.cnot_count += 1,
+                Gate::H { .. } | Gate::X { .. } | Gate::Z { .. } => stats.single_qubit_count += 1,
+                Gate::MeasureZ { .. } | Gate::MeasureX { .. } => stats.measurement_count += 1,
+                Gate::PrepZ { .. } | Gate::PrepX { .. } => stats.preparation_count += 1,
+            }
+            let qubits = gate.qubits();
+            let layer = qubits.iter().map(|&q| qubit_depth[q]).max().unwrap_or(0) + 1;
+            for q in qubits {
+                qubit_depth[q] = layer;
+            }
+        }
+        stats.depth = qubit_depth.into_iter().max().unwrap_or(0);
+        stats
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gates={} cnots={} 1q={} meas={} prep={} depth={}",
+            self.num_gates,
+            self.cnot_count,
+            self.single_qubit_count,
+            self.measurement_count,
+            self.preparation_count,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_stats() {
+        let stats = Circuit::new(4).stats();
+        assert_eq!(stats, CircuitStats::default());
+    }
+
+    #[test]
+    fn counts_by_category() {
+        let mut c = Circuit::new(3);
+        c.prep_z(2);
+        c.h(0);
+        c.cnot(0, 2);
+        c.cnot(1, 2);
+        c.x(1);
+        c.measure_z(2);
+        let stats = c.stats();
+        assert_eq!(stats.num_gates, 6);
+        assert_eq!(stats.cnot_count, 2);
+        assert_eq!(stats.single_qubit_count, 2);
+        assert_eq!(stats.measurement_count, 1);
+        assert_eq!(stats.preparation_count, 1);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        // Two disjoint CNOTs can run in parallel: depth 1.
+        c.cnot(0, 1);
+        c.cnot(2, 3);
+        assert_eq!(c.stats().depth, 1);
+        // A third CNOT overlapping both adds two more layers? It overlaps
+        // qubit 1 and 2, both at depth 1, so it lands at depth 2.
+        c.cnot(1, 2);
+        assert_eq!(c.stats().depth, 2);
+    }
+
+    #[test]
+    fn sequential_chain_depth() {
+        let mut c = Circuit::new(2);
+        for _ in 0..5 {
+            c.cnot(0, 1);
+        }
+        assert_eq!(c.stats().depth, 5);
+    }
+}

@@ -1,0 +1,306 @@
+//! Pauli-frame propagation through Clifford circuits.
+
+use std::ops::{Bound, RangeBounds};
+
+use dftsp_f2::BitVec;
+use dftsp_pauli::{Pauli, PauliString};
+
+use crate::{Circuit, Gate};
+
+/// Propagates a Pauli error frame through a circuit.
+///
+/// The tracker maintains the current Pauli error (the "frame") acting on the
+/// circuit's qubits and the set of measurement outcomes that the frame has
+/// flipped so far. Because every gate in the circuit is Clifford, errors
+/// propagate by conjugation: `E → U E U†`, which is a linear map on the
+/// symplectic representation.
+///
+/// This single primitive backs both the exhaustive single-fault analysis used
+/// during synthesis and the Monte-Carlo sampling used in the noise
+/// simulations: in both cases one injects Pauli faults at chosen positions
+/// and asks what error remains on the data and which measurements fire.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_circuit::{Circuit, PauliTracker};
+/// use dftsp_pauli::{Pauli, PauliString};
+///
+/// let mut c = Circuit::new(2);
+/// c.cnot(0, 1);
+/// let bit = c.measure_z(1);
+///
+/// let mut tracker = PauliTracker::new(&c);
+/// tracker.inject(&PauliString::single(2, 0, Pauli::X));
+/// tracker.run(..);
+/// // The X spreads through the CNOT onto qubit 1 and flips the measurement.
+/// assert_eq!(tracker.frame().to_string(), "XX");
+/// assert!(tracker.measurement_flipped(bit));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PauliTracker<'a> {
+    circuit: &'a Circuit,
+    frame: PauliString,
+    flips: BitVec,
+}
+
+impl<'a> PauliTracker<'a> {
+    /// Creates a tracker with an identity frame and no flipped measurements.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        PauliTracker {
+            circuit,
+            frame: PauliString::identity(circuit.num_qubits()),
+            flips: BitVec::zeros(circuit.num_bits()),
+        }
+    }
+
+    /// Multiplies a Pauli error into the current frame (i.e. the error occurs
+    /// at the tracker's current position in the circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator acts on a different number of qubits.
+    pub fn inject(&mut self, error: &PauliString) {
+        assert_eq!(
+            error.num_qubits(),
+            self.circuit.num_qubits(),
+            "injected error must act on the circuit's qubits"
+        );
+        self.frame.mul_assign(error);
+    }
+
+    /// Processes the gates whose indices lie in `range`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the circuit.
+    pub fn run<R: RangeBounds<usize>>(&mut self, range: R) {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.circuit.len(),
+        };
+        assert!(end <= self.circuit.len(), "gate range out of bounds");
+        for idx in start..end {
+            self.apply_gate(self.circuit.gates()[idx]);
+        }
+    }
+
+    fn apply_gate(&mut self, gate: Gate) {
+        match gate {
+            Gate::H { qubit } => {
+                let p = self.frame.get(qubit);
+                let (x, z) = p.xz();
+                self.frame.set(qubit, Pauli::from_xz(z, x));
+            }
+            Gate::Cnot { control, target } => {
+                // X on the control spreads to the target; Z on the target
+                // spreads to the control.
+                let (xc, zc) = self.frame.get(control).xz();
+                let (xt, zt) = self.frame.get(target).xz();
+                self.frame.set(control, Pauli::from_xz(xc, zc ^ zt));
+                self.frame.set(target, Pauli::from_xz(xt ^ xc, zt));
+            }
+            Gate::X { .. } | Gate::Z { .. } => {
+                // Pauli corrections commute with the frame up to phase.
+            }
+            Gate::PrepZ { qubit } | Gate::PrepX { qubit } => {
+                // A reset discards any accumulated error on the qubit.
+                self.frame.set(qubit, Pauli::I);
+            }
+            Gate::MeasureZ { qubit, bit } => {
+                if self.frame.get(qubit).has_x() {
+                    self.flips.flip(bit);
+                }
+            }
+            Gate::MeasureX { qubit, bit } => {
+                if self.frame.get(qubit).has_z() {
+                    self.flips.flip(bit);
+                }
+            }
+        }
+    }
+
+    /// Returns the current error frame.
+    pub fn frame(&self) -> &PauliString {
+        &self.frame
+    }
+
+    /// Returns `true` if the frame has flipped the outcome of the given
+    /// classical bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit index is out of range.
+    pub fn measurement_flipped(&self, bit: usize) -> bool {
+        self.flips.get(bit)
+    }
+
+    /// Returns the vector of measurement-outcome flips (one bit per classical
+    /// bit of the circuit).
+    pub fn flips(&self) -> &BitVec {
+        &self.flips
+    }
+
+    /// Flips a recorded measurement outcome directly (used to model classical
+    /// measurement readout errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit index is out of range.
+    pub fn flip_measurement(&mut self, bit: usize) {
+        self.flips.flip(bit);
+    }
+
+    /// Splits the tracker into its final frame and measurement flips.
+    pub fn into_parts(self) -> (PauliString, BitVec) {
+        (self.frame, self.flips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_exchanges_x_and_z() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut t = PauliTracker::new(&c);
+        t.inject(&"X".parse().unwrap());
+        t.run(..);
+        assert_eq!(t.frame().to_string(), "Z");
+
+        let mut t = PauliTracker::new(&c);
+        t.inject(&"Y".parse().unwrap());
+        t.run(..);
+        assert_eq!(t.frame().to_string(), "Y");
+    }
+
+    #[test]
+    fn cnot_propagation_rules() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        for (input, expected) in [
+            ("XI", "XX"),
+            ("IX", "IX"),
+            ("ZI", "ZI"),
+            ("IZ", "ZZ"),
+            ("YI", "YX"),
+            ("IY", "ZY"),
+        ] {
+            let mut t = PauliTracker::new(&c);
+            t.inject(&input.parse().unwrap());
+            t.run(..);
+            assert_eq!(t.frame().to_string(), expected, "input {input}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_errors() {
+        let mut c = Circuit::new(2);
+        c.prep_z(0);
+        c.prep_x(1);
+        let mut t = PauliTracker::new(&c);
+        t.inject(&"YZ".parse().unwrap());
+        t.run(..);
+        assert!(t.frame().is_identity());
+    }
+
+    #[test]
+    fn measurement_flip_detection() {
+        let mut c = Circuit::new(2);
+        let b0 = c.measure_z(0);
+        let b1 = c.measure_x(1);
+        // X flips Z-basis measurements, Z flips X-basis measurements.
+        let mut t = PauliTracker::new(&c);
+        t.inject(&"XZ".parse().unwrap());
+        t.run(..);
+        assert!(t.measurement_flipped(b0));
+        assert!(t.measurement_flipped(b1));
+        // Z does not flip a Z-basis measurement.
+        let mut t = PauliTracker::new(&c);
+        t.inject(&"ZX".parse().unwrap());
+        t.run(..);
+        assert!(!t.measurement_flipped(b0));
+        assert!(!t.measurement_flipped(b1));
+    }
+
+    #[test]
+    fn stabilizer_measurement_detects_single_x() {
+        // Measure Z0 Z1 Z2 Z3 with an ancilla (qubit 4), as in Fig. 1.
+        let mut c = Circuit::new(5);
+        c.prep_z(4);
+        for q in 0..4 {
+            c.cnot(q, 4);
+        }
+        let bit = c.measure_z(4);
+        // Any single X on a data qubit flips the ancilla.
+        for q in 0..4 {
+            let mut t = PauliTracker::new(&c);
+            t.inject(&PauliString::single(5, q, Pauli::X));
+            t.run(..);
+            assert!(t.measurement_flipped(bit));
+        }
+        // A two-qubit X error does not.
+        let mut t = PauliTracker::new(&c);
+        t.inject(&PauliString::from_x(BitVec::from_indices(5, &[0, 1])));
+        t.run(..);
+        assert!(!t.measurement_flipped(bit));
+    }
+
+    #[test]
+    fn hook_error_spreads_from_ancilla() {
+        // Z error on the ancilla in the middle of a weight-4 Z-stabilizer
+        // measurement propagates onto the data qubits coupled afterwards —
+        // the hook error of Fig. 1 / Example 2.
+        let mut c = Circuit::new(5);
+        c.prep_z(4);
+        for q in 0..4 {
+            c.cnot(q, 4);
+        }
+        c.measure_z(4);
+        let mut t = PauliTracker::new(&c);
+        // Run the preparation and the first two CNOTs.
+        t.run(0..3);
+        t.inject(&PauliString::single(5, 4, Pauli::Z));
+        t.run(3..c.len());
+        // The Z spreads back onto data qubits 2 and 3 (controls of the
+        // remaining CNOTs); a copy also stays on the ancilla.
+        assert_eq!(t.frame().to_string(), "IIZZZ");
+    }
+
+    #[test]
+    fn partial_runs_and_injection_between_gates() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        c.cnot(0, 1);
+        // An X injected between the two CNOTs propagates through only one.
+        let mut t = PauliTracker::new(&c);
+        t.run(0..1);
+        t.inject(&"XI".parse().unwrap());
+        t.run(1..2);
+        assert_eq!(t.frame().to_string(), "XX");
+        let (frame, flips) = t.into_parts();
+        assert_eq!(frame.weight(), 2);
+        assert!(flips.is_zero());
+    }
+
+    #[test]
+    fn flip_measurement_models_readout_error() {
+        let mut c = Circuit::new(1);
+        let b = c.measure_z(0);
+        let mut t = PauliTracker::new(&c);
+        t.run(..);
+        assert!(!t.measurement_flipped(b));
+        t.flip_measurement(b);
+        assert!(t.measurement_flipped(b));
+    }
+
+    use dftsp_f2::BitVec;
+}

@@ -1,0 +1,59 @@
+//! Command-line utility to (re)generate the searched catalog codes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dftsp-code --bin search_codes -- <n> <k> <d> [--self-dual] [--seed S] [--max-weight W]
+//! ```
+//!
+//! Prints the found generator matrices in a form that can be pasted into
+//! `catalog.rs`. The catalog entries for `[[11,1,3]]`, `[[12,2,4]]` and
+//! `[[16,2,4]]` were produced with this tool (see DESIGN.md, substitution 3).
+
+use dftsp_code::search::{find_css_code, SearchParams};
+use dftsp_pauli::PauliKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: search_codes <n> <k> <d> [--self-dual] [--seed S] [--max-weight W] [--attempts A]");
+        std::process::exit(2);
+    }
+    let n: usize = args[0].parse().expect("n must be an integer");
+    let k: usize = args[1].parse().expect("k must be an integer");
+    let d: usize = args[2].parse().expect("d must be an integer");
+    let self_dual = args.iter().any(|a| a == "--self-dual");
+    let seed = flag_value(&args, "--seed").unwrap_or(1);
+    let max_weight = flag_value(&args, "--max-weight").unwrap_or(8) as usize;
+    let attempts = flag_value(&args, "--attempts").unwrap_or(500_000);
+
+    let mut params = SearchParams::new(n, k, d, self_dual);
+    params.max_row_weight = max_weight;
+    params.max_attempts = attempts;
+
+    println!("searching for [[{n},{k},{d}]] (self_dual={self_dual}, seed={seed}) ...");
+    match find_css_code(&params, seed) {
+        Some(code) => {
+            let (n, k, d) = code.parameters();
+            println!("found {} with parameters [[{n},{k},{d}]]", code.name());
+            for kind in [PauliKind::X, PauliKind::Z] {
+                println!("H_{kind}:");
+                for row in code.stabilizers(kind).iter() {
+                    let supp: Vec<String> = row.support().iter().map(ToString::to_string).collect();
+                    println!("  &[{}][..],  // {}", row.to_bits().iter().map(ToString::to_string).collect::<Vec<_>>().join(", "), supp.join(","));
+                }
+            }
+        }
+        None => {
+            println!("no code found within {attempts} attempts");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

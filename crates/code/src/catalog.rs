@@ -1,0 +1,311 @@
+//! The CSS codes evaluated in the paper (Table I).
+//!
+//! | Code | Parameters | Construction here |
+//! |---|---|---|
+//! | Steane | `[[7,1,3]]` | self-dual, Hamming-[7,4,3] check matrix |
+//! | Shor | `[[9,1,3]]` | weight-2 Z pairs, weight-6 X blocks |
+//! | Surface | `[[9,1,3]]` | rotated distance-3 surface code |
+//! | `[[11,1,3]]` | `[[11,1,3]]` | seeded random search (substitution, see DESIGN.md) |
+//! | Tetrahedral | `[[15,1,3]]` | punctured quantum Reed–Muller code |
+//! | Hamming | `[[15,7,3]]` | self-dual, Hamming-[15,11,3] check matrix |
+//! | Carbon | `[[12,2,4]]` | seeded random search (substitution) |
+//! | `[[16,2,4]]` | `[[16,2,4]]` | seeded random search (substitution) |
+//! | Tesseract | `[[16,6,4]]` | self-dual, Reed–Muller RM(1,4) generator matrix |
+//!
+//! The searched codes replace check matrices that are only available from
+//! online tables (Grassl) or hardware papers (Quantinuum carbon code); they
+//! have identical `[[n,k,d]]` parameters and comparable stabilizer weights,
+//! so the synthesis pipeline is exercised in the same way. The matrices were
+//! generated once with `cargo run -p dftsp-code --bin search_codes` and are
+//! frozen below; a test asserts their parameters.
+
+use dftsp_f2::{BitMatrix, BitVec};
+
+use crate::CssCode;
+
+/// Returns the Steane `[[7,1,3]]` code.
+pub fn steane() -> CssCode {
+    let h = BitMatrix::from_dense(&[
+        &[1, 0, 1, 0, 1, 0, 1][..],
+        &[0, 1, 1, 0, 0, 1, 1][..],
+        &[0, 0, 0, 1, 1, 1, 1][..],
+    ]);
+    CssCode::new("Steane", h.clone(), h).expect("Steane code is valid")
+}
+
+/// Returns the Shor `[[9,1,3]]` code.
+pub fn shor() -> CssCode {
+    let hx = BitMatrix::from_dense(&[
+        &[1, 1, 1, 1, 1, 1, 0, 0, 0][..],
+        &[0, 0, 0, 1, 1, 1, 1, 1, 1][..],
+    ]);
+    let hz = BitMatrix::from_dense(&[
+        &[1, 1, 0, 0, 0, 0, 0, 0, 0][..],
+        &[0, 1, 1, 0, 0, 0, 0, 0, 0][..],
+        &[0, 0, 0, 1, 1, 0, 0, 0, 0][..],
+        &[0, 0, 0, 0, 1, 1, 0, 0, 0][..],
+        &[0, 0, 0, 0, 0, 0, 1, 1, 0][..],
+        &[0, 0, 0, 0, 0, 0, 0, 1, 1][..],
+    ]);
+    CssCode::new("Shor", hx, hz).expect("Shor code is valid")
+}
+
+/// Returns the rotated distance-3 surface code `[[9,1,3]]`.
+///
+/// Qubits are laid out on a 3×3 grid (row-major). Bulk stabilizers are
+/// weight-4 plaquettes, boundary stabilizers weight-2.
+pub fn surface3() -> CssCode {
+    let hx = BitMatrix::from_dense(&[
+        &[1, 1, 0, 1, 1, 0, 0, 0, 0][..], // plaquette {0,1,3,4}
+        &[0, 0, 0, 0, 1, 1, 0, 1, 1][..], // plaquette {4,5,7,8}
+        &[0, 0, 1, 0, 0, 1, 0, 0, 0][..], // boundary {2,5}
+        &[0, 0, 0, 1, 0, 0, 1, 0, 0][..], // boundary {3,6}
+    ]);
+    let hz = BitMatrix::from_dense(&[
+        &[0, 1, 1, 0, 1, 1, 0, 0, 0][..], // plaquette {1,2,4,5}
+        &[0, 0, 0, 1, 1, 0, 1, 1, 0][..], // plaquette {3,4,6,7}
+        &[1, 1, 0, 0, 0, 0, 0, 0, 0][..], // boundary {0,1}
+        &[0, 0, 0, 0, 0, 0, 0, 1, 1][..], // boundary {7,8}
+    ]);
+    CssCode::new("Surface-3", hx, hz).expect("surface code is valid")
+}
+
+/// Returns the tetrahedral (punctured quantum Reed–Muller) `[[15,1,3]]` code.
+///
+/// Qubit `q` (0-based) is identified with the nonzero vector `q + 1 ∈ F₂⁴`.
+/// The four X stabilizers are the weight-8 coordinate indicators; the ten Z
+/// stabilizers are weight-4 degree-two monomial supports.
+pub fn tetrahedral() -> CssCode {
+    let n = 15;
+    let point = |q: usize| -> [bool; 4] {
+        let v = q + 1;
+        [v & 1 != 0, v & 2 != 0, v & 4 != 0, v & 8 != 0]
+    };
+    let indicator = |pred: &dyn Fn(&[bool; 4]) -> bool| -> BitVec {
+        BitVec::from_bools(&(0..n).map(|q| pred(&point(q))).collect::<Vec<_>>())
+    };
+    let hx = BitMatrix::from_rows((0..4).map(|i| indicator(&|p| p[i])));
+    let mut z_rows = Vec::new();
+    // All six products x_i x_j.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            z_rows.push(indicator(&|p| p[i] && p[j]));
+        }
+    }
+    // Four weight-4 generators of the form x_i (1 + x_j) completing the rank.
+    for (i, j) in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+        z_rows.push(indicator(&|p| p[i] && !p[j]));
+    }
+    let hz = BitMatrix::from_rows(z_rows);
+    CssCode::new("Tetrahedral", hx, hz).expect("tetrahedral code is valid")
+}
+
+/// Returns the self-dual Hamming `[[15,7,3]]` code.
+pub fn hamming_15_7() -> CssCode {
+    let h = BitMatrix::from_rows((0..4).map(|bit| {
+        BitVec::from_bools(&(1..=15u32).map(|c| (c >> bit) & 1 == 1).collect::<Vec<_>>())
+    }));
+    CssCode::new("Hamming", h.clone(), h).expect("Hamming code is valid")
+}
+
+/// Returns the tesseract `[[16,6,4]]` code (self-dual Reed–Muller RM(1,4)).
+pub fn tesseract() -> CssCode {
+    let n = 16;
+    let mut rows = vec![BitVec::ones(n)];
+    for bit in 0..4 {
+        rows.push(BitVec::from_bools(
+            &(0..n as u32).map(|c| (c >> bit) & 1 == 1).collect::<Vec<_>>(),
+        ));
+    }
+    let h = BitMatrix::from_rows(rows);
+    CssCode::new("Tesseract", h.clone(), h).expect("tesseract code is valid")
+}
+
+/// Returns a searched `[[11,1,3]]` CSS code (substitute for Grassl's table entry).
+///
+/// Generated with `search_codes 11 1 3 --seed 1 --max-weight 6` (see
+/// DESIGN.md, substitution 3) and frozen here.
+pub fn code_11_1_3() -> CssCode {
+    let hx = BitMatrix::from_dense(&[
+        &[1, 1, 1, 0, 1, 0, 0, 0, 0, 1, 0][..],
+        &[0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 0][..],
+        &[0, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1][..],
+        &[0, 1, 1, 0, 0, 1, 1, 1, 1, 0, 0][..],
+        &[1, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1][..],
+    ]);
+    let hz = BitMatrix::from_dense(&[
+        &[0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0][..],
+        &[0, 1, 1, 0, 0, 1, 1, 0, 0, 0, 0][..],
+        &[0, 1, 0, 0, 1, 0, 1, 0, 0, 0, 1][..],
+        &[1, 0, 0, 1, 1, 0, 1, 0, 1, 0, 1][..],
+        &[0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0][..],
+    ]);
+    CssCode::new("[[11,1,3]]", hx, hz).expect("searched [[11,1,3]] code is valid")
+}
+
+/// Returns a `[[12,2,4]]` CSS code substituting for the carbon code of
+/// Ref. \[19\].
+///
+/// The published check matrix of the Quantinuum carbon code is not available
+/// offline, so this catalog entry uses a code with the same parameters built
+/// by concatenation in the spirit of Knill's C4/C6 architecture: three
+/// `[[4,2,2]]` inner blocks whose six logical qubits are protected by a
+/// `[[6,2,2]]` outer CSS code chosen such that every weight-two physical
+/// error that acts as an inner logical is detected by an outer stabilizer,
+/// which yields distance 4 (verified exactly at construction time).
+pub fn carbon() -> CssCode {
+    let n = 12;
+    // Inner [[4,2,2]] blocks: stabilizers X⊗4 / Z⊗4, logical operators
+    // X̄₁ = X₀X₁, X̄₂ = X₀X₂, Z̄₁ = Z₀Z₂, Z̄₂ = Z₀Z₁ (within each block).
+    let block = |j: usize, local: &[usize]| -> BitVec {
+        BitVec::from_indices(n, &local.iter().map(|q| 4 * j + q).collect::<Vec<_>>())
+    };
+    let logical_x = |outer_qubit: usize| -> BitVec {
+        let (j, l) = (outer_qubit / 2, outer_qubit % 2);
+        block(j, if l == 0 { &[0, 1] } else { &[0, 2] })
+    };
+    let logical_z = |outer_qubit: usize| -> BitVec {
+        let (j, l) = (outer_qubit / 2, outer_qubit % 2);
+        block(j, if l == 0 { &[0, 2] } else { &[0, 1] })
+    };
+    // Outer [[6,2,2]] code: S_X = S_Z = {(0,2,3,4), (1,2,4,5)} on the six
+    // inner logical qubits; every single logical qubit and every inner-block
+    // pair has odd overlap with some generator.
+    let outer_generators: [&[usize]; 2] = [&[0, 2, 3, 4], &[1, 2, 4, 5]];
+    let mut hx_rows = Vec::new();
+    let mut hz_rows = Vec::new();
+    for j in 0..3 {
+        hx_rows.push(block(j, &[0, 1, 2, 3]));
+        hz_rows.push(block(j, &[0, 1, 2, 3]));
+    }
+    for generator in outer_generators {
+        let mut x_row = BitVec::zeros(n);
+        let mut z_row = BitVec::zeros(n);
+        for &outer_qubit in generator {
+            x_row.xor_with(&logical_x(outer_qubit));
+            z_row.xor_with(&logical_z(outer_qubit));
+        }
+        hx_rows.push(x_row);
+        hz_rows.push(z_row);
+    }
+    CssCode::new(
+        "Carbon",
+        BitMatrix::from_rows(hx_rows),
+        BitMatrix::from_rows(hz_rows),
+    )
+    .expect("concatenated [[12,2,4]] code is valid")
+}
+
+/// Returns a searched self-dual `[[16,2,4]]` CSS code (substitute for
+/// Grassl's table entry).
+///
+/// Generated with `search_codes 16 2 4 --self-dual --seed 1 --max-weight 8`
+/// (see DESIGN.md, substitution 3) and frozen here.
+pub fn code_16_2_4() -> CssCode {
+    let h = BitMatrix::from_dense(&[
+        &[0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 1][..],
+        &[1, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 1, 1, 0, 1, 1][..],
+        &[0, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0][..],
+        &[1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0][..],
+        &[1, 1, 1, 0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 0][..],
+        &[1, 1, 0, 1, 1, 0, 0, 1, 0, 0, 0, 1, 1, 0, 1, 0][..],
+        &[0, 0, 0, 1, 1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1, 1][..],
+    ]);
+    CssCode::new("[[16,2,4]]", h.clone(), h).expect("searched [[16,2,4]] code is valid")
+}
+
+/// Returns every catalog code in the order used by Table I of the paper.
+pub fn all() -> Vec<CssCode> {
+    vec![
+        steane(),
+        shor(),
+        surface3(),
+        code_11_1_3(),
+        tetrahedral(),
+        hamming_15_7(),
+        carbon(),
+        code_16_2_4(),
+        tesseract(),
+    ]
+}
+
+/// Looks a catalog code up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<CssCode> {
+    let lower = name.to_lowercase();
+    all().into_iter().find(|c| c.name().to_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_pauli::PauliKind;
+
+    #[test]
+    fn steane_is_7_1_3() {
+        assert_eq!(steane().parameters(), (7, 1, 3));
+    }
+
+    #[test]
+    fn shor_is_9_1_3() {
+        assert_eq!(shor().parameters(), (9, 1, 3));
+    }
+
+    #[test]
+    fn surface3_is_9_1_3() {
+        let code = surface3();
+        assert_eq!(code.parameters(), (9, 1, 3));
+        // Bulk stabilizers have weight 4, boundary weight 2.
+        let weights: Vec<usize> = code
+            .stabilizers(PauliKind::X)
+            .iter()
+            .map(|r| r.weight())
+            .collect();
+        assert_eq!(weights, vec![4, 4, 2, 2]);
+    }
+
+    #[test]
+    fn tetrahedral_is_15_1_3() {
+        let code = tetrahedral();
+        assert_eq!(code.parameters(), (15, 1, 3));
+        // X stabilizers have weight 8, Z stabilizers weight 4.
+        assert!(code.stabilizers(PauliKind::X).iter().all(|r| r.weight() == 8));
+        assert!(code.stabilizers(PauliKind::Z).iter().all(|r| r.weight() == 4));
+    }
+
+    #[test]
+    fn hamming_is_15_7_3() {
+        assert_eq!(hamming_15_7().parameters(), (15, 7, 3));
+    }
+
+    #[test]
+    fn tesseract_is_16_6_4() {
+        assert_eq!(tesseract().parameters(), (16, 6, 4));
+    }
+
+    #[test]
+    fn searched_codes_have_expected_parameters() {
+        assert_eq!(code_11_1_3().parameters(), (11, 1, 3));
+        assert_eq!(carbon().parameters(), (12, 2, 4));
+        assert_eq!(code_16_2_4().parameters(), (16, 2, 4));
+    }
+
+    #[test]
+    fn catalog_has_nine_codes_with_unique_names() {
+        let codes = all();
+        assert_eq!(codes.len(), 9);
+        let names: std::collections::HashSet<&str> = codes.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 9);
+        for code in &codes {
+            let (_, k, d) = code.parameters();
+            assert!(k >= 1);
+            assert!((3..5).contains(&d), "paper targets d < 5 codes, got d={d}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("steane").unwrap().parameters(), (7, 1, 3));
+        assert_eq!(by_name("Tesseract").unwrap().parameters(), (16, 6, 4));
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,422 @@
+//! CSS code definition, validation and basic queries.
+
+use std::fmt;
+
+use dftsp_f2::{BitMatrix, BitVec};
+use dftsp_pauli::{PauliKind, PauliString};
+
+use crate::distance::css_distance;
+use crate::weight::reduced_weight;
+
+/// Error produced when constructing an invalid [`CssCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The X- and Z-type generator matrices have different column counts.
+    MismatchedQubitCounts {
+        /// Columns of the X-type matrix.
+        x_cols: usize,
+        /// Columns of the Z-type matrix.
+        z_cols: usize,
+    },
+    /// Some X-type generator anticommutes with some Z-type generator.
+    NonCommutingStabilizers {
+        /// Index of the offending X-type row.
+        x_row: usize,
+        /// Index of the offending Z-type row.
+        z_row: usize,
+    },
+    /// The generators are linearly dependent (rank deficient).
+    RedundantGenerators,
+    /// The code encodes no logical qubits.
+    NoLogicalQubits,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::MismatchedQubitCounts { x_cols, z_cols } => write!(
+                f,
+                "X and Z generators act on different qubit counts ({x_cols} vs {z_cols})"
+            ),
+            CodeError::NonCommutingStabilizers { x_row, z_row } => write!(
+                f,
+                "X generator {x_row} anticommutes with Z generator {z_row}"
+            ),
+            CodeError::RedundantGenerators => write!(f, "stabilizer generators are linearly dependent"),
+            CodeError::NoLogicalQubits => write!(f, "code encodes no logical qubits"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A Calderbank–Shor–Steane (CSS) stabilizer code.
+///
+/// The code is defined by two generator matrices: the rows of `hx` are the
+/// supports of the X-type stabilizer generators and the rows of `hz` those of
+/// the Z-type generators. The CSS condition requires every X generator to
+/// commute with every Z generator, i.e. `H_X · H_Zᵀ = 0` over GF(2).
+///
+/// On construction the code computes representatives of the logical X and Z
+/// operators and its exact distance (by exhaustive enumeration — the codes of
+/// interest have at most 16 qubits).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_code::CssCode;
+/// use dftsp_f2::BitMatrix;
+///
+/// // The Steane code: H_X = H_Z = parity-check matrix of the [7,4,3] Hamming code.
+/// let h = BitMatrix::from_dense(&[
+///     &[1, 0, 1, 0, 1, 0, 1][..],
+///     &[0, 1, 1, 0, 0, 1, 1][..],
+///     &[0, 0, 0, 1, 1, 1, 1][..],
+/// ]);
+/// let code = CssCode::new("Steane", h.clone(), h)?;
+/// assert_eq!(code.parameters(), (7, 1, 3));
+/// # Ok::<(), dftsp_code::CodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssCode {
+    name: String,
+    hx: BitMatrix,
+    hz: BitMatrix,
+    logical_x: BitMatrix,
+    logical_z: BitMatrix,
+    distance: usize,
+}
+
+impl CssCode {
+    /// Constructs and validates a CSS code from its generator matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] if the matrices act on different qubit counts,
+    /// contain anticommuting generators, are rank deficient, or leave no
+    /// logical qubits.
+    pub fn new(
+        name: impl Into<String>,
+        hx: BitMatrix,
+        hz: BitMatrix,
+    ) -> Result<CssCode, CodeError> {
+        let name = name.into();
+        if hx.num_cols() != hz.num_cols() {
+            return Err(CodeError::MismatchedQubitCounts {
+                x_cols: hx.num_cols(),
+                z_cols: hz.num_cols(),
+            });
+        }
+        let n = hx.num_cols();
+        for (i, x_row) in hx.iter().enumerate() {
+            for (j, z_row) in hz.iter().enumerate() {
+                if x_row.dot(z_row) {
+                    return Err(CodeError::NonCommutingStabilizers { x_row: i, z_row: j });
+                }
+            }
+        }
+        if hx.rank() != hx.num_rows() || hz.rank() != hz.num_rows() {
+            return Err(CodeError::RedundantGenerators);
+        }
+        if hx.num_rows() + hz.num_rows() >= n {
+            return Err(CodeError::NoLogicalQubits);
+        }
+
+        let logical_x = compute_logicals(&hz, &hx);
+        let logical_z = compute_logicals(&hx, &hz);
+        let distance = css_distance(&hx, &hz);
+
+        Ok(CssCode {
+            name,
+            hx,
+            hz,
+            logical_x,
+            logical_z,
+            distance,
+        })
+    }
+
+    /// Returns the human-readable name of the code.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of physical qubits `n`.
+    pub fn num_qubits(&self) -> usize {
+        self.hx.num_cols()
+    }
+
+    /// Returns the number of logical qubits `k`.
+    pub fn num_logical(&self) -> usize {
+        self.num_qubits() - self.hx.num_rows() - self.hz.num_rows()
+    }
+
+    /// Returns the code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Returns the `[[n, k, d]]` parameter triple.
+    pub fn parameters(&self) -> (usize, usize, usize) {
+        (self.num_qubits(), self.num_logical(), self.distance())
+    }
+
+    /// Returns the stabilizer generator matrix of the given kind
+    /// (`PauliKind::X` → X-type generators).
+    pub fn stabilizers(&self, kind: PauliKind) -> &BitMatrix {
+        match kind {
+            PauliKind::X => &self.hx,
+            PauliKind::Z => &self.hz,
+        }
+    }
+
+    /// Returns representatives of the logical operators of the given kind.
+    ///
+    /// The matrix has [`CssCode::num_logical`] rows. The representatives are
+    /// not weight-minimized; use [`crate::min_logical_weight`] for the
+    /// distance-realizing weight.
+    pub fn logicals(&self, kind: PauliKind) -> &BitMatrix {
+        match kind {
+            PauliKind::X => &self.logical_x,
+            PauliKind::Z => &self.logical_z,
+        }
+    }
+
+    /// Returns the stabilizer generators of `kind` as Pauli operators.
+    pub fn stabilizer_paulis(&self, kind: PauliKind) -> Vec<PauliString> {
+        self.stabilizers(kind)
+            .iter()
+            .map(|row| PauliString::from_kind(kind, row.clone()))
+            .collect()
+    }
+
+    /// Computes the syndrome of an error of the given kind.
+    ///
+    /// An X-type error is detected by the Z-type stabilizers (and vice
+    /// versa), so the returned vector has one bit per generator of the *dual*
+    /// kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len() != num_qubits()`.
+    pub fn syndrome(&self, error_kind: PauliKind, error: &BitVec) -> BitVec {
+        self.stabilizers(error_kind.dual()).mul_vec(error)
+    }
+
+    /// Returns `true` if `v` is an element of the stabilizer group of the
+    /// given kind (i.e. lies in the row space of the corresponding generator
+    /// matrix).
+    pub fn is_stabilizer(&self, kind: PauliKind, v: &BitVec) -> bool {
+        self.stabilizers(kind).in_row_space(v)
+    }
+
+    /// Returns the stabilizer-reduced weight `wt_S` of an error of the given
+    /// kind: the minimum Hamming weight over the stabilizer coset
+    /// `{v + s : s ∈ ⟨H_kind⟩}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_qubits()`.
+    pub fn reduced_weight(&self, kind: PauliKind, v: &BitVec) -> usize {
+        reduced_weight(self.stabilizers(kind), v)
+    }
+
+    /// Returns `true` if a residual error of the given kind acts
+    /// non-trivially on the logical subspace, i.e. anticommutes with at least
+    /// one logical operator of the dual kind.
+    ///
+    /// For residuals with zero syndrome this is exactly the logical-error
+    /// condition used in the paper's simulations ("the resulting classical
+    /// bitstring anticommutes with any of the logical operators").
+    pub fn is_logical_error(&self, error_kind: PauliKind, residual: &BitVec) -> bool {
+        self.logicals(error_kind.dual())
+            .iter()
+            .any(|l| l.dot(residual))
+    }
+
+    /// Returns every element of the stabilizer group of the given kind
+    /// (including the identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has 2³⁰ or more elements.
+    pub fn stabilizer_group(&self, kind: PauliKind) -> Vec<BitVec> {
+        self.stabilizers(kind).iter_span().collect()
+    }
+}
+
+impl fmt::Display for CssCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (n, k, d) = self.parameters();
+        write!(f, "{} [[{n},{k},{d}]]", self.name)
+    }
+}
+
+/// Computes representatives of the logical operators that commute with all
+/// generators in `commute_with` and are independent of the stabilizers in
+/// `modulo`.
+///
+/// For logical X operators: `commute_with = H_Z`, `modulo = H_X`.
+fn compute_logicals(commute_with: &BitMatrix, modulo: &BitMatrix) -> BitMatrix {
+    let kernel = commute_with.nullspace();
+    let n = commute_with.num_cols();
+    let mut chosen = BitMatrix::with_cols(n, std::iter::empty());
+    let mut span = modulo.clone();
+    for candidate in kernel.iter() {
+        let mut test = span.clone();
+        test.push_row(candidate.clone());
+        if test.rank() > span.rank() {
+            chosen.push_row(candidate.clone());
+            span = test;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_f2::BitMatrix;
+
+    fn steane_h() -> BitMatrix {
+        BitMatrix::from_dense(&[
+            &[1, 0, 1, 0, 1, 0, 1][..],
+            &[0, 1, 1, 0, 0, 1, 1][..],
+            &[0, 0, 0, 1, 1, 1, 1][..],
+        ])
+    }
+
+    fn steane() -> CssCode {
+        CssCode::new("Steane", steane_h(), steane_h()).unwrap()
+    }
+
+    #[test]
+    fn steane_parameters() {
+        let code = steane();
+        assert_eq!(code.parameters(), (7, 1, 3));
+        assert_eq!(code.num_qubits(), 7);
+        assert_eq!(code.num_logical(), 1);
+        assert_eq!(code.distance(), 3);
+        assert_eq!(code.to_string(), "Steane [[7,1,3]]");
+    }
+
+    #[test]
+    fn logical_operators_commute_with_stabilizers() {
+        let code = steane();
+        for kind in PauliKind::BOTH {
+            let logicals = code.logicals(kind);
+            assert_eq!(logicals.num_rows(), 1);
+            for l in logicals.iter() {
+                for s in code.stabilizers(kind.dual()).iter() {
+                    assert!(!l.dot(s), "logical must commute with dual stabilizers");
+                }
+                assert!(!code.is_stabilizer(kind, l), "logical must not be a stabilizer");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_x_and_z_anticommute() {
+        let code = steane();
+        let lx = code.logicals(PauliKind::X).row(0);
+        let lz = code.logicals(PauliKind::Z).row(0);
+        assert!(lx.dot(lz), "logical X and Z of the same qubit anticommute");
+    }
+
+    #[test]
+    fn syndrome_of_single_qubit_errors_is_nonzero() {
+        let code = steane();
+        for q in 0..7 {
+            let e = BitVec::unit(7, q);
+            assert!(!code.syndrome(PauliKind::X, &e).is_zero());
+            assert!(!code.syndrome(PauliKind::Z, &e).is_zero());
+        }
+    }
+
+    #[test]
+    fn stabilizers_have_zero_syndrome_and_weight() {
+        let code = steane();
+        for kind in PauliKind::BOTH {
+            for s in code.stabilizers(kind).iter() {
+                assert!(code.syndrome(kind, s).is_zero());
+                assert!(code.is_stabilizer(kind, s));
+                assert_eq!(code.reduced_weight(kind, s), 0);
+                assert!(!code.is_logical_error(kind, s));
+            }
+        }
+    }
+
+    #[test]
+    fn logical_operator_is_logical_error() {
+        let code = steane();
+        let lx = code.logicals(PauliKind::X).row(0);
+        assert!(code.is_logical_error(PauliKind::X, lx));
+        assert!(code.syndrome(PauliKind::X, lx).is_zero());
+    }
+
+    #[test]
+    fn reduced_weight_of_weight_one_error() {
+        let code = steane();
+        let e = BitVec::unit(7, 3);
+        assert_eq!(code.reduced_weight(PauliKind::X, &e), 1);
+    }
+
+    #[test]
+    fn mismatched_qubit_counts_error() {
+        let hx = BitMatrix::from_dense(&[&[1, 1, 0][..]]);
+        let hz = BitMatrix::from_dense(&[&[1, 1, 0, 0][..]]);
+        assert!(matches!(
+            CssCode::new("bad", hx, hz),
+            Err(CodeError::MismatchedQubitCounts { .. })
+        ));
+    }
+
+    #[test]
+    fn anticommuting_generators_error() {
+        let hx = BitMatrix::from_dense(&[&[1, 1, 0, 0][..]]);
+        let hz = BitMatrix::from_dense(&[&[1, 0, 0, 0][..]]);
+        let err = CssCode::new("bad", hx, hz).unwrap_err();
+        assert!(matches!(err, CodeError::NonCommutingStabilizers { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn redundant_generators_error() {
+        let hx = BitMatrix::from_dense(&[&[1, 1, 0, 0, 0, 0][..], &[1, 1, 0, 0, 0, 0][..]]);
+        let hz = BitMatrix::from_dense(&[&[0, 0, 1, 1, 0, 0][..]]);
+        assert!(matches!(
+            CssCode::new("bad", hx, hz),
+            Err(CodeError::RedundantGenerators)
+        ));
+    }
+
+    #[test]
+    fn no_logical_qubits_error() {
+        // [[2,0,..]]: two qubits fully constrained.
+        let hx = BitMatrix::from_dense(&[&[1, 1][..]]);
+        let hz = BitMatrix::from_dense(&[&[1, 1][..]]);
+        assert!(matches!(
+            CssCode::new("bad", hx, hz),
+            Err(CodeError::NoLogicalQubits)
+        ));
+    }
+
+    #[test]
+    fn stabilizer_group_enumeration() {
+        let code = steane();
+        let group = code.stabilizer_group(PauliKind::X);
+        assert_eq!(group.len(), 8);
+        for g in &group {
+            assert!(code.is_stabilizer(PauliKind::X, g));
+        }
+    }
+
+    #[test]
+    fn stabilizer_paulis_have_right_type() {
+        let code = steane();
+        for p in code.stabilizer_paulis(PauliKind::Z) {
+            assert!(p.is_z_type());
+            assert_eq!(p.weight(), 4);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimum-weight lookup-table decoding.
+
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliKind;
+
+use crate::CssCode;
+
+/// A minimum-weight lookup-table decoder for one error sector of a CSS code.
+///
+/// The paper's simulations follow the state-preparation protocol with "a
+/// perfect round of error correction using lookup table decoding". This
+/// decoder reproduces that step: it maps every syndrome to a minimum-weight
+/// error producing it, computed once by exhaustive enumeration (the catalog
+/// codes have at most 16 qubits).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_code::{catalog, LookupDecoder};
+/// use dftsp_pauli::PauliKind;
+/// use dftsp_f2::BitVec;
+///
+/// let code = catalog::steane();
+/// let decoder = LookupDecoder::new(&code, PauliKind::X);
+/// // A single X error is decoded exactly.
+/// let error = BitVec::unit(7, 2);
+/// let syndrome = code.syndrome(PauliKind::X, &error);
+/// assert_eq!(decoder.decode(&syndrome), &error);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LookupDecoder {
+    error_kind: PauliKind,
+    num_checks: usize,
+    table: Vec<BitVec>,
+}
+
+impl LookupDecoder {
+    /// Builds the decoder for errors of `error_kind` on `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code has more than 24 qubits (the exhaustive table
+    /// construction would be too large).
+    pub fn new(code: &CssCode, error_kind: PauliKind) -> Self {
+        let n = code.num_qubits();
+        assert!(n <= 24, "lookup decoding is limited to small codes (n ≤ 24)");
+        let checks = code.stabilizers(error_kind.dual());
+        let num_checks = checks.num_rows();
+        let mut table: Vec<Option<BitVec>> = vec![None; 1 << num_checks];
+        let mut filled = 0usize;
+
+        // Enumerate error patterns in order of increasing weight so that the
+        // first pattern reaching a syndrome is a minimum-weight
+        // representative.
+        let mut patterns: Vec<u32> = (0..(1u32 << n)).collect();
+        patterns.sort_by_key(|m| m.count_ones());
+        for mask in patterns {
+            if filled == table.len() {
+                break;
+            }
+            let error = mask_to_vec(mask, n);
+            let syndrome = checks.mul_vec(&error);
+            let idx = vec_to_index(&syndrome);
+            if table[idx].is_none() {
+                table[idx] = Some(error);
+                filled += 1;
+            }
+        }
+        let table = table
+            .into_iter()
+            .map(|e| e.expect("full-rank checks make every syndrome reachable"))
+            .collect();
+        LookupDecoder {
+            error_kind,
+            num_checks,
+            table,
+        }
+    }
+
+    /// Returns the error sector this decoder corrects.
+    pub fn error_kind(&self) -> PauliKind {
+        self.error_kind
+    }
+
+    /// Returns the minimum-weight correction for the given syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the number of checks.
+    pub fn decode(&self, syndrome: &BitVec) -> &BitVec {
+        assert_eq!(
+            syndrome.len(),
+            self.num_checks,
+            "syndrome length must match the number of dual-sector generators"
+        );
+        &self.table[vec_to_index(syndrome)]
+    }
+
+    /// Number of syndrome bits the decoder expects.
+    pub fn num_checks(&self) -> usize {
+        self.num_checks
+    }
+}
+
+fn mask_to_vec(mask: u32, n: usize) -> BitVec {
+    let mut v = BitVec::zeros(n);
+    for i in 0..n {
+        if (mask >> i) & 1 == 1 {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+fn vec_to_index(v: &BitVec) -> usize {
+    v.iter_ones().fold(0usize, |acc, i| acc | (1 << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn steane_single_errors_are_corrected_exactly() {
+        let code = catalog::steane();
+        for kind in PauliKind::BOTH {
+            let decoder = LookupDecoder::new(&code, kind);
+            assert_eq!(decoder.num_checks(), 3);
+            assert_eq!(decoder.error_kind(), kind);
+            for q in 0..7 {
+                let e = BitVec::unit(7, q);
+                let syndrome = code.syndrome(kind, &e);
+                assert_eq!(decoder.decode(&syndrome), &e);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_syndrome_decodes_to_identity() {
+        let code = catalog::steane();
+        let decoder = LookupDecoder::new(&code, PauliKind::X);
+        assert!(decoder.decode(&BitVec::zeros(3)).is_zero());
+    }
+
+    #[test]
+    fn corrections_restore_the_codespace() {
+        let code = catalog::steane();
+        let decoder = LookupDecoder::new(&code, PauliKind::X);
+        // For any two-qubit error the corrected residual has zero syndrome
+        // (though it may be a logical error).
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                let e = BitVec::from_indices(7, &[a, b]);
+                let syndrome = code.syndrome(PauliKind::X, &e);
+                let correction = decoder.decode(&syndrome).clone();
+                let residual = &e ^ &correction;
+                assert!(code.syndrome(PauliKind::X, &residual).is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_corrections_are_minimum_weight() {
+        let code = catalog::steane();
+        let decoder = LookupDecoder::new(&code, PauliKind::Z);
+        // Every correction in the table has weight at most the weight of any
+        // other error with the same syndrome; single-qubit errors suffice to
+        // cover all nonzero syndromes for the Steane code (perfect code).
+        for q in 0..7 {
+            let e = BitVec::unit(7, q);
+            let syndrome = code.syndrome(PauliKind::Z, &e);
+            assert_eq!(decoder.decode(&syndrome).weight(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "syndrome length")]
+    fn wrong_syndrome_length_panics() {
+        let code = catalog::steane();
+        let decoder = LookupDecoder::new(&code, PauliKind::X);
+        decoder.decode(&BitVec::zeros(5));
+    }
+}

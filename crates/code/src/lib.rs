@@ -1,0 +1,45 @@
+//! Stabilizer and CSS quantum error-correcting codes.
+//!
+//! This crate provides the code machinery required by the deterministic
+//! fault-tolerant state-preparation synthesis:
+//!
+//! * [`CssCode`] — a Calderbank–Shor–Steane code defined by its X- and Z-type
+//!   stabilizer generator matrices, with logical operators, syndromes,
+//!   stabilizer-reduced weights and exact (brute-force) distance.
+//! * [`catalog`] — the codes evaluated in Table I of the paper (Steane, Shor,
+//!   rotated surface, `[[11,1,3]]`, tetrahedral `[[15,1,3]]`, Hamming
+//!   `[[15,7,3]]`, carbon-like `[[12,2,4]]`, `[[16,2,4]]` and the tesseract
+//!   `[[16,6,4]]`).
+//! * [`LookupDecoder`] — a minimum-weight lookup-table decoder used for the
+//!   "perfect round of error correction" in the noise simulations.
+//! * [`search`] — randomized CSS code search used to regenerate codes whose
+//!   published check matrices are not available offline.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_code::catalog;
+//! use dftsp_pauli::PauliKind;
+//! use dftsp_f2::BitVec;
+//!
+//! let steane = catalog::steane();
+//! assert_eq!(steane.parameters(), (7, 1, 3));
+//! // A weight-one X error has a nonzero syndrome under the Z stabilizers.
+//! let error = BitVec::unit(7, 0);
+//! assert!(!steane.syndrome(PauliKind::X, &error).is_zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod css;
+mod decoder;
+mod distance;
+pub mod search;
+mod weight;
+
+pub use css::{CodeError, CssCode};
+pub use decoder::LookupDecoder;
+pub use distance::{css_distance, min_logical_weight};
+pub use weight::{reduced_weight, reduced_weight_bounded};

@@ -1,0 +1,238 @@
+//! Randomized search for CSS codes with given parameters.
+//!
+//! Three of the codes evaluated in the paper (`[[11,1,3]]` and `[[16,2,4]]`
+//! from Grassl's online table, and the `[[12,2,4]]` carbon code) have
+//! published check matrices that are not reproducible offline. This module
+//! regenerates codes with the *same parameters* by seeded random search; the
+//! frozen results live in [`crate::catalog`]. The synthesis pipeline only
+//! consumes `(H_X, H_Z)`, so any code with matching parameters exercises the
+//! same algorithms.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use dftsp_f2::{BitMatrix, BitVec};
+
+use crate::css::CssCode;
+use crate::distance::css_distance;
+
+/// Parameters of a CSS code search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchParams {
+    /// Number of physical qubits.
+    pub n: usize,
+    /// Number of logical qubits.
+    pub k: usize,
+    /// Required minimum distance.
+    pub target_distance: usize,
+    /// Search only self-dual codes (`H_X = H_Z`); requires `n - k` even.
+    pub self_dual: bool,
+    /// Maximum Hamming weight of a generator row.
+    pub max_row_weight: usize,
+    /// Minimum Hamming weight of a generator row.
+    pub min_row_weight: usize,
+    /// Maximum number of candidate codes to examine.
+    pub max_attempts: u64,
+}
+
+impl SearchParams {
+    /// Convenient constructor with default weight bounds (4 to 8) and a
+    /// 200 000-candidate budget.
+    pub fn new(n: usize, k: usize, target_distance: usize, self_dual: bool) -> Self {
+        SearchParams {
+            n,
+            k,
+            target_distance,
+            self_dual,
+            max_row_weight: 8,
+            min_row_weight: 2,
+            max_attempts: 200_000,
+        }
+    }
+}
+
+/// Searches for a CSS code with the requested parameters using the given
+/// random seed. Returns `None` if the attempt budget is exhausted.
+///
+/// The search is deterministic for a fixed seed and parameter set, so found
+/// codes can be regenerated exactly.
+///
+/// # Panics
+///
+/// Panics if `self_dual` is requested with an odd `n - k`, or if `k >= n`.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_code::search::{find_css_code, SearchParams};
+///
+/// // A small distance-2 detection code is found almost immediately.
+/// let params = SearchParams::new(4, 2, 2, true);
+/// let code = find_css_code(&params, 1).expect("search succeeds");
+/// assert_eq!(code.parameters(), (4, 2, 2));
+/// ```
+pub fn find_css_code(params: &SearchParams, seed: u64) -> Option<CssCode> {
+    assert!(params.k < params.n, "k must be smaller than n");
+    if params.self_dual {
+        assert!(
+            (params.n - params.k) % 2 == 0,
+            "self-dual search requires an even number of stabilizers"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for attempt in 0..params.max_attempts {
+        let candidate = if params.self_dual {
+            sample_self_dual(params, &mut rng).map(|h| (h.clone(), h))
+        } else {
+            sample_general(params, &mut rng)
+        };
+        let Some((hx, hz)) = candidate else { continue };
+        if css_distance(&hx, &hz) < params.target_distance {
+            continue;
+        }
+        let name = format!(
+            "searched-[[{},{},{}]]-seed{}-attempt{}",
+            params.n, params.k, params.target_distance, seed, attempt
+        );
+        if let Ok(code) = CssCode::new(name, hx, hz) {
+            if code.distance() >= params.target_distance {
+                return Some(code);
+            }
+        }
+    }
+    None
+}
+
+/// Samples a random vector of length `n` with weight in the allowed range.
+fn sample_row(params: &SearchParams, rng: &mut StdRng) -> BitVec {
+    let weight = rng.gen_range(params.min_row_weight..=params.max_row_weight.min(params.n));
+    let mut indices: Vec<usize> = (0..params.n).collect();
+    indices.shuffle(rng);
+    BitVec::from_indices(params.n, &indices[..weight])
+}
+
+/// Samples a self-orthogonal generator matrix `H` with `(n - k) / 2` rows.
+fn sample_self_dual(params: &SearchParams, rng: &mut StdRng) -> Option<BitMatrix> {
+    let rows_needed = (params.n - params.k) / 2;
+    let mut h = BitMatrix::with_cols(params.n, std::iter::empty());
+    let mut tries = 0;
+    while h.num_rows() < rows_needed {
+        tries += 1;
+        if tries > 200 {
+            return None;
+        }
+        let row = sample_row(params, rng);
+        // Self-orthogonality over GF(2) requires even weight, and the row must
+        // commute with (be orthogonal to) every previously chosen row.
+        if row.weight() % 2 != 0 {
+            continue;
+        }
+        if h.iter().any(|r| r.dot(&row)) {
+            continue;
+        }
+        let mut test = h.clone();
+        test.push_row(row);
+        if test.rank() == test.num_rows() {
+            h = test;
+        }
+    }
+    Some(h)
+}
+
+/// Samples a general `(H_X, H_Z)` pair with `⌈(n-k)/2⌉` X rows and the
+/// remaining Z rows drawn from the orthogonal complement of `H_X`.
+fn sample_general(params: &SearchParams, rng: &mut StdRng) -> Option<(BitMatrix, BitMatrix)> {
+    let total = params.n - params.k;
+    let rx = total.div_ceil(2);
+    let rz = total - rx;
+    // Sample a full-rank H_X.
+    let mut hx = BitMatrix::with_cols(params.n, std::iter::empty());
+    let mut tries = 0;
+    while hx.num_rows() < rx {
+        tries += 1;
+        if tries > 200 {
+            return None;
+        }
+        let row = sample_row(params, rng);
+        let mut test = hx.clone();
+        test.push_row(row);
+        if test.rank() == test.num_rows() {
+            hx = test;
+        }
+    }
+    // H_Z rows live in the orthogonal complement of H_X.
+    let complement = hx.nullspace();
+    if complement.num_rows() < rz {
+        return None;
+    }
+    let mut hz = BitMatrix::with_cols(params.n, std::iter::empty());
+    tries = 0;
+    while hz.num_rows() < rz {
+        tries += 1;
+        if tries > 400 {
+            return None;
+        }
+        // Random combination of complement basis vectors.
+        let selector = BitVec::from_bools(
+            &(0..complement.num_rows())
+                .map(|_| rng.gen_bool(0.5))
+                .collect::<Vec<_>>(),
+        );
+        let row = complement.combine_rows(&selector);
+        let w = row.weight();
+        if w < params.min_row_weight || w > params.max_row_weight {
+            continue;
+        }
+        let mut test = hz.clone();
+        test.push_row(row);
+        if test.rank() == test.num_rows() {
+            hz = test;
+        }
+    }
+    Some((hx, hz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_small_detection_code() {
+        let params = SearchParams::new(4, 2, 2, true);
+        let code = find_css_code(&params, 3).expect("search should succeed");
+        assert_eq!(code.parameters(), (4, 2, 2));
+    }
+
+    #[test]
+    fn finds_distance_three_code() {
+        let mut params = SearchParams::new(9, 1, 3, false);
+        params.max_attempts = 50_000;
+        let code = find_css_code(&params, 11).expect("search should succeed");
+        let (n, k, d) = code.parameters();
+        assert_eq!((n, k), (9, 1));
+        assert!(d >= 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let params = SearchParams::new(4, 2, 2, true);
+        let a = find_css_code(&params, 5).expect("found");
+        let b = find_css_code(&params, 5).expect("found");
+        assert_eq!(a.stabilizers(dftsp_pauli::PauliKind::X), b.stabilizers(dftsp_pauli::PauliKind::X));
+    }
+
+    #[test]
+    fn impossible_parameters_return_none() {
+        // Distance 5 on 5 qubits with 1 logical qubit does not exist.
+        let mut params = SearchParams::new(5, 1, 5, true);
+        params.max_attempts = 2_000;
+        assert!(find_css_code(&params, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of stabilizers")]
+    fn self_dual_requires_even_stabilizer_count() {
+        let params = SearchParams::new(6, 1, 2, true);
+        let _ = find_css_code(&params, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Stabilizer-reduced error weights.
+
+use dftsp_f2::{BitMatrix, BitVec};
+
+/// Computes the stabilizer-reduced weight `wt_S(v) = min_{s ∈ ⟨S⟩} wt(v + s)`
+/// by exhaustive enumeration of the stabilizer group spanned by the rows of
+/// `stabilizers`.
+///
+/// In the paper's fault-tolerance criterion only stabilizer-*equivalent*
+/// representatives of an error matter: multiplying an error by a stabilizer
+/// does not change its effect on the encoded state, so a "dangerous" error is
+/// one whose *reduced* weight is at least 2.
+///
+/// # Panics
+///
+/// Panics if the stabilizer matrix has 30 or more rows (the enumeration would
+/// be prohibitively large) or if `v.len()` differs from the number of
+/// columns.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_code::reduced_weight;
+/// use dftsp_f2::{BitMatrix, BitVec};
+///
+/// let stabs = BitMatrix::from_dense(&[&[1, 1, 1, 1, 0, 0][..]]);
+/// // A weight-3 error equivalent to a weight-1 error modulo the stabilizer.
+/// let e = BitVec::from_indices(6, &[0, 1, 2]);
+/// assert_eq!(reduced_weight(&stabs, &e), 1);
+/// ```
+pub fn reduced_weight(stabilizers: &BitMatrix, v: &BitVec) -> usize {
+    assert_eq!(
+        v.len(),
+        stabilizers.num_cols(),
+        "error length must match the stabilizer qubit count"
+    );
+    stabilizers
+        .iter_span()
+        .map(|s| (&s ^ v).weight())
+        .min()
+        .unwrap_or_else(|| v.weight())
+}
+
+/// Returns `true` if the stabilizer-reduced weight of `v` is at most `bound`.
+///
+/// Equivalent to `reduced_weight(stabilizers, v) <= bound` but exits early
+/// once a witness is found.
+pub fn reduced_weight_bounded(stabilizers: &BitMatrix, v: &BitVec, bound: usize) -> bool {
+    assert_eq!(
+        v.len(),
+        stabilizers.num_cols(),
+        "error length must match the stabilizer qubit count"
+    );
+    stabilizers.iter_span().any(|s| (&s ^ v).weight() <= bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steane_hx() -> BitMatrix {
+        BitMatrix::from_dense(&[
+            &[1, 0, 1, 0, 1, 0, 1][..],
+            &[0, 1, 1, 0, 0, 1, 1][..],
+            &[0, 0, 0, 1, 1, 1, 1][..],
+        ])
+    }
+
+    #[test]
+    fn weight_of_zero_vector_is_zero() {
+        let stabs = steane_hx();
+        assert_eq!(reduced_weight(&stabs, &BitVec::zeros(7)), 0);
+    }
+
+    #[test]
+    fn weight_of_stabilizer_is_zero() {
+        let stabs = steane_hx();
+        let s = stabs.row(0).clone();
+        assert_eq!(reduced_weight(&stabs, &s), 0);
+        assert!(reduced_weight_bounded(&stabs, &s, 0));
+    }
+
+    #[test]
+    fn single_qubit_errors_have_weight_one() {
+        let stabs = steane_hx();
+        for q in 0..7 {
+            assert_eq!(reduced_weight(&stabs, &BitVec::unit(7, q)), 1);
+        }
+    }
+
+    #[test]
+    fn weight_three_stabilizer_complement() {
+        let stabs = steane_hx();
+        // Row 0 has weight 4; removing one qubit from its support gives a
+        // weight-3 error equivalent to a weight-1 error.
+        let mut e = stabs.row(0).clone();
+        e.flip(0);
+        assert_eq!(e.weight(), 3);
+        assert_eq!(reduced_weight(&stabs, &e), 1);
+        assert!(reduced_weight_bounded(&stabs, &e, 1));
+        assert!(!reduced_weight_bounded(&stabs, &e, 0));
+    }
+
+    #[test]
+    fn dangerous_two_qubit_error() {
+        let stabs = steane_hx();
+        // Qubits {0,1} do not lie inside any single weight-4 stabilizer
+        // support in a way that reduces the weight below 2.
+        let e = BitVec::from_indices(7, &[0, 1]);
+        assert_eq!(reduced_weight(&stabs, &e), 2);
+        assert!(!reduced_weight_bounded(&stabs, &e, 1));
+    }
+
+    #[test]
+    fn empty_stabilizer_group() {
+        let stabs = BitMatrix::with_cols(5, std::iter::empty());
+        let e = BitVec::from_indices(5, &[1, 2, 3]);
+        assert_eq!(reduced_weight(&stabs, &e), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        reduced_weight(&steane_hx(), &BitVec::zeros(5));
+    }
+}

@@ -1,0 +1,200 @@
+//! The stabilizer structure of the prepared logical zero state.
+
+use dftsp_code::{reduced_weight, CssCode};
+use dftsp_f2::{BitMatrix, BitVec};
+use dftsp_pauli::PauliKind;
+
+/// Stabilizer structure of the logical all-zero state `|0…0⟩_L` of a CSS code.
+///
+/// Synthesis of verification and correction circuits for state preparation
+/// works with the stabilizer group of the *prepared state*, which is larger
+/// than the code's stabilizer group: `|0…0⟩_L` is additionally stabilized by
+/// every logical Z operator. Two consequences drive the whole pipeline:
+///
+/// * **Measurable operators.** To detect X errors one may measure any Z-type
+///   operator that stabilizes the state — products of Z-type code stabilizers
+///   *and* logical Z operators (the paper's weight-3 Steane verification is
+///   the logical Z itself). To detect Z errors only X-type code stabilizers
+///   are available (logical X does not stabilize `|0⟩_L`).
+/// * **Residual-error equivalence.** A residual X error matters modulo the
+///   X-type code stabilizers; a residual Z error matters modulo the Z-type
+///   stabilizers *and* logical Z, because a logical Z acts trivially on
+///   `|0…0⟩_L`.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::ZeroStateContext;
+/// use dftsp_code::catalog;
+/// use dftsp_f2::BitVec;
+/// use dftsp_pauli::PauliKind;
+///
+/// let ctx = ZeroStateContext::new(catalog::steane());
+/// // The logical Z (weight 3) is measurable for X-error detection.
+/// assert_eq!(ctx.measurable_group(PauliKind::X).num_rows(), 4);
+/// // A weight-2 X error is dangerous, a weight-1 X error is not.
+/// assert!(ctx.is_dangerous(PauliKind::X, &BitVec::from_indices(7, &[0, 1])));
+/// assert!(!ctx.is_dangerous(PauliKind::X, &BitVec::unit(7, 0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeroStateContext {
+    code: CssCode,
+    /// Z-type stabilizers of |0…0⟩_L: rows of H_Z plus logical Z representatives.
+    z_state_group: BitMatrix,
+    /// X-type stabilizers of |0…0⟩_L: rows of H_X.
+    x_state_group: BitMatrix,
+}
+
+impl ZeroStateContext {
+    /// Builds the context for the logical all-zero state of `code`.
+    pub fn new(code: CssCode) -> Self {
+        let z_state_group = code
+            .stabilizers(PauliKind::Z)
+            .vstack(code.logicals(PauliKind::Z));
+        let x_state_group = code.stabilizers(PauliKind::X).clone();
+        ZeroStateContext {
+            code,
+            z_state_group,
+            x_state_group,
+        }
+    }
+
+    /// Returns the underlying code.
+    pub fn code(&self) -> &CssCode {
+        &self.code
+    }
+
+    /// Returns the number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.code.num_qubits()
+    }
+
+    /// Returns the generators of the group of operators that stabilize
+    /// `|0…0⟩_L` and can therefore be measured without disturbing the state to
+    /// *detect errors of the given kind*.
+    ///
+    /// X errors are detected by Z-type operators (code Z stabilizers and
+    /// logical Z), Z errors by X-type code stabilizers.
+    pub fn measurable_group(&self, error_kind: PauliKind) -> &BitMatrix {
+        match error_kind {
+            PauliKind::X => &self.z_state_group,
+            PauliKind::Z => &self.x_state_group,
+        }
+    }
+
+    /// Returns the generators of the group modulo which a residual error of
+    /// the given kind is equivalent on `|0…0⟩_L`.
+    ///
+    /// Residual X errors are reduced modulo the X-type code stabilizers;
+    /// residual Z errors modulo the Z-type stabilizers *and* logical Z.
+    pub fn reduction_group(&self, error_kind: PauliKind) -> &BitMatrix {
+        match error_kind {
+            PauliKind::X => &self.x_state_group,
+            PauliKind::Z => &self.z_state_group,
+        }
+    }
+
+    /// Returns the state-stabilizer-reduced weight of a residual error of the
+    /// given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len()` differs from the number of qubits.
+    pub fn reduced_weight(&self, error_kind: PauliKind, error: &BitVec) -> usize {
+        reduced_weight(self.reduction_group(error_kind), error)
+    }
+
+    /// Returns `true` if a residual error of the given kind is *dangerous*:
+    /// its state-stabilizer-reduced weight is at least 2, so a single such
+    /// error already violates the strict fault-tolerance condition for a
+    /// distance-3 or distance-4 code.
+    pub fn is_dangerous(&self, error_kind: PauliKind, error: &BitVec) -> bool {
+        self.reduced_weight(error_kind, error) >= 2
+    }
+
+    /// Returns the syndrome of a residual error of the given kind under the
+    /// measurable group: one parity bit per generator returned by
+    /// [`ZeroStateContext::measurable_group`].
+    pub fn state_syndrome(&self, error_kind: PauliKind, error: &BitVec) -> BitVec {
+        self.measurable_group(error_kind).mul_vec(error)
+    }
+
+    /// Returns `true` if the error is undetectable by every operator of the
+    /// measurable group yet still dangerous — i.e. the error acts as a
+    /// logical operator on the prepared state. Such errors cannot be caught
+    /// by any verification measurement.
+    pub fn is_undetectable_logical(&self, error_kind: PauliKind, error: &BitVec) -> bool {
+        self.state_syndrome(error_kind, error).is_zero() && self.is_dangerous(error_kind, error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn steane_measurable_groups() {
+        let ctx = ZeroStateContext::new(catalog::steane());
+        // 3 Z stabilizers + 1 logical Z for X-error detection.
+        assert_eq!(ctx.measurable_group(PauliKind::X).num_rows(), 4);
+        // 3 X stabilizers for Z-error detection.
+        assert_eq!(ctx.measurable_group(PauliKind::Z).num_rows(), 3);
+        assert_eq!(ctx.num_qubits(), 7);
+        assert_eq!(ctx.code().name(), "Steane");
+    }
+
+    #[test]
+    fn logical_z_is_not_dangerous_on_zero_state() {
+        let code = catalog::steane();
+        let lz = code.logicals(PauliKind::Z).row(0).clone();
+        let ctx = ZeroStateContext::new(code);
+        // As a Z error the logical Z acts trivially on |0⟩_L.
+        assert_eq!(ctx.reduced_weight(PauliKind::Z, &lz), 0);
+        assert!(!ctx.is_dangerous(PauliKind::Z, &lz));
+    }
+
+    #[test]
+    fn logical_x_is_dangerous_but_detectable_on_zero_state() {
+        // A logical X flips |0⟩_L to |1⟩_L: it is dangerous, but because the
+        // logical Z stabilizes |0⟩_L and anticommutes with it, it *is*
+        // detectable by a state-stabilizer measurement (unlike in the plain
+        // code picture, where logical operators are undetectable).
+        let code = catalog::steane();
+        let lx = code.logicals(PauliKind::X).row(0).clone();
+        let ctx = ZeroStateContext::new(code);
+        assert!(ctx.is_dangerous(PauliKind::X, &lx));
+        assert!(!ctx.state_syndrome(PauliKind::X, &lx).is_zero());
+        assert!(!ctx.is_undetectable_logical(PauliKind::X, &lx));
+    }
+
+    #[test]
+    fn weight_two_x_error_is_dangerous_and_detectable() {
+        let ctx = ZeroStateContext::new(catalog::steane());
+        let e = BitVec::from_indices(7, &[0, 1]);
+        assert!(ctx.is_dangerous(PauliKind::X, &e));
+        assert!(!ctx.state_syndrome(PauliKind::X, &e).is_zero());
+        assert!(!ctx.is_undetectable_logical(PauliKind::X, &e));
+    }
+
+    #[test]
+    fn x_stabilizer_is_harmless() {
+        let code = catalog::steane();
+        let s = code.stabilizers(PauliKind::X).row(0).clone();
+        let ctx = ZeroStateContext::new(code);
+        assert_eq!(ctx.reduced_weight(PauliKind::X, &s), 0);
+        assert!(ctx.state_syndrome(PauliKind::X, &s).is_zero());
+        assert!(!ctx.is_undetectable_logical(PauliKind::X, &s));
+    }
+
+    #[test]
+    fn shor_weight_two_z_error_within_block_is_harmless() {
+        // On the Shor code, Z₁Z₂ is a stabilizer, so as a residual Z error it
+        // is equivalent to the identity.
+        let ctx = ZeroStateContext::new(catalog::shor());
+        let e = BitVec::from_indices(9, &[0, 1]);
+        assert_eq!(ctx.reduced_weight(PauliKind::Z, &e), 0);
+        // The same two-qubit support as an X error is dangerous.
+        assert!(ctx.is_dangerous(PauliKind::X, &e));
+    }
+}

@@ -1,0 +1,528 @@
+//! SAT-based synthesis of correction circuits.
+//!
+//! This is the paper's central contribution (Sec. IV, problem box
+//! "CORRECTION CIRCUIT SYNTHESIS"): given the set of errors that may be
+//! present when a particular verification outcome is observed, find
+//!
+//! * a set of `u` additional stabilizer measurements `s₁, …, s_u` drawn from
+//!   the group of operators that stabilize the prepared state, with bounded
+//!   summed weight `Σ wt(sᵢ) ≤ v`, and
+//! * one Pauli recovery per additional-measurement outcome,
+//!
+//! such that every error in the set, once the recovery selected by its
+//! refined syndrome is applied, is equivalent to an error of weight at most
+//! one modulo the state's stabilizer group.
+//!
+//! The decision problem for fixed `(u, v)` is encoded into CNF and solved
+//! with the in-tree CDCL solver; optimality follows the paper by iterating
+//! `u` upwards and minimizing `v` for the first feasible `u`.
+
+use std::collections::HashMap;
+
+use dftsp_f2::{BitMatrix, BitVec};
+use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+
+/// One instance of the correction-synthesis problem: a set of candidate
+/// residual errors (all mapped to the same verification outcome) that must be
+/// reduced to weight ≤ 1 by a common, outcome-dependent recovery.
+#[derive(Debug, Clone)]
+pub struct CorrectionProblem {
+    /// Residual error supports (in the sector being corrected).
+    pub errors: Vec<BitVec>,
+    /// Generators of the group of measurable operators (operators that
+    /// stabilize the prepared state and anticommute with errors of this
+    /// sector).
+    pub measurable: BitMatrix,
+    /// Generators of the group modulo which residual errors of this sector
+    /// are equivalent on the prepared state.
+    pub reduction: BitMatrix,
+}
+
+/// Options bounding the correction-synthesis search.
+#[derive(Debug, Clone)]
+pub struct CorrectionOptions {
+    /// Maximum number of additional measurements per branch.
+    pub max_measurements: usize,
+}
+
+impl Default for CorrectionOptions {
+    fn default() -> Self {
+        CorrectionOptions { max_measurements: 3 }
+    }
+}
+
+/// A synthesized correction: additional measurements plus a recovery for each
+/// of their outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectionSolution {
+    /// Support vectors of the additional measurements.
+    pub measurements: Vec<BitVec>,
+    /// Recovery supports indexed by the little-endian outcome mask of the
+    /// additional measurements (`2^measurements.len()` entries).
+    pub recoveries: Vec<BitVec>,
+    /// Summed weight of the additional measurements (= data CNOT count).
+    pub total_weight: usize,
+}
+
+impl CorrectionSolution {
+    /// Number of additional measurements (= ancillas) in this correction.
+    pub fn num_measurements(&self) -> usize {
+        self.measurements.len()
+    }
+}
+
+/// Errors reported by correction synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorrectionError {
+    /// No correction was found within the measurement budget.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for CorrectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorrectionError::BudgetExhausted => {
+                write!(f, "no correction circuit found within the measurement budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorrectionError {}
+
+/// Synthesizes an optimal correction for the given problem: minimal number of
+/// additional measurements first, minimal summed measurement weight second.
+///
+/// # Errors
+///
+/// Returns [`CorrectionError::BudgetExhausted`] if no solution exists within
+/// `options.max_measurements` additional measurements.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::correct::{synthesize_correction, CorrectionOptions, CorrectionProblem};
+/// use dftsp::ZeroStateContext;
+/// use dftsp_code::catalog;
+/// use dftsp_f2::BitVec;
+/// use dftsp_pauli::PauliKind;
+///
+/// let ctx = ZeroStateContext::new(catalog::steane());
+/// // A single dangerous two-qubit X error: no extra measurement is needed,
+/// // the recovery is simply that error itself.
+/// let problem = CorrectionProblem {
+///     errors: vec![BitVec::from_indices(7, &[0, 1])],
+///     measurable: ctx.measurable_group(PauliKind::X).clone(),
+///     reduction: ctx.reduction_group(PauliKind::X).clone(),
+/// };
+/// let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+/// assert_eq!(solution.num_measurements(), 0);
+/// ```
+pub fn synthesize_correction(
+    problem: &CorrectionProblem,
+    options: &CorrectionOptions,
+) -> Result<CorrectionSolution, CorrectionError> {
+    let errors = dedupe_errors(&problem.errors);
+    if errors.is_empty() {
+        return Ok(CorrectionSolution {
+            measurements: Vec::new(),
+            recoveries: vec![BitVec::zeros(problem.measurable.num_cols())],
+            total_weight: 0,
+        });
+    }
+    for u in 0..=options.max_measurements {
+        let unbounded = problem.measurable.num_cols() * u.max(1);
+        if let Some(solution) = solve_correction(problem, &errors, u, unbounded) {
+            if u == 0 {
+                return Ok(solution);
+            }
+            // Minimize the summed measurement weight.
+            let mut lo = u;
+            let mut hi = solution.total_weight;
+            let mut best = solution;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match solve_correction(problem, &errors, u, mid) {
+                    Some(better) => {
+                        hi = better.total_weight.min(mid);
+                        best = better;
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+            return Ok(best);
+        }
+    }
+    Err(CorrectionError::BudgetExhausted)
+}
+
+/// Removes exact duplicates from the error set. Errors of weight ≤ 1 are
+/// kept: although harmless by themselves they constrain the recovery (the
+/// recovery applied on their syndrome must not make them worse).
+fn dedupe_errors(errors: &[BitVec]) -> Vec<BitVec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for e in errors {
+        if seen.insert(e.to_bits()) {
+            out.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Solves one `(u, v)` instance of the correction-synthesis decision problem.
+fn solve_correction(
+    problem: &CorrectionProblem,
+    errors: &[BitVec],
+    u: usize,
+    v: usize,
+) -> Option<CorrectionSolution> {
+    let m = problem.measurable.num_rows();
+    let n = problem.measurable.num_cols();
+    // Syndrome map of the reduction group: a vector lies in the group's row
+    // space iff it is orthogonal to every row of the nullspace basis.
+    let null_basis = problem.reduction.nullspace();
+    let k = null_basis.num_rows();
+    // Admissible target syndromes: the zero vector and the syndrome of every
+    // single-qubit error.
+    let mut targets: Vec<BitVec> = vec![BitVec::zeros(k)];
+    for q in 0..n {
+        let t = null_basis.mul_vec(&BitVec::unit(n, q));
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+
+    let mut solver = Solver::new();
+    // Measurement selector variables.
+    let selectors: Vec<Vec<Lit>> = (0..u)
+        .map(|_| (0..m).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+    // Recovery bits per additional-measurement outcome.
+    let num_outcomes = 1usize << u;
+    let recoveries: Vec<Vec<Lit>> = (0..num_outcomes)
+        .map(|_| (0..n).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+
+    let mut support_lits: Vec<Vec<Lit>> = Vec::with_capacity(u);
+    {
+        let mut enc = Encoder::new(&mut solver);
+
+        // Measurement supports and weight bound.
+        for row in &selectors {
+            let mut supports = Vec::with_capacity(n);
+            for q in 0..n {
+                let involved: Vec<Lit> = (0..m)
+                    .filter(|&j| problem.measurable.get(j, q))
+                    .map(|j| row[j])
+                    .collect();
+                supports.push(enc.xor_many(&involved));
+            }
+            support_lits.push(supports);
+        }
+        if u > 0 {
+            let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
+            enc.at_most_k(&all_supports, v);
+            // Each additional measurement must be non-trivial.
+            for supports in &support_lits {
+                enc.solver().add_clause(supports.clone());
+            }
+        }
+
+        // Reduction-group syndrome parities of each recovery.
+        // pi[y][row] = XOR_{q in supp(null_basis[row])} recovery[y][q].
+        let mut recovery_syndrome: Vec<Vec<Lit>> = Vec::with_capacity(num_outcomes);
+        for outcome in &recoveries {
+            let mut parities = Vec::with_capacity(k);
+            for row in 0..k {
+                let involved: Vec<Lit> = null_basis
+                    .row(row)
+                    .iter_ones()
+                    .map(|q| outcome[q])
+                    .collect();
+                parities.push(enc.xor_many(&involved));
+            }
+            recovery_syndrome.push(parities);
+        }
+
+        // Cache of "recovery syndrome of outcome y equals constant pattern"
+        // literals, keyed by (outcome, pattern bits).
+        let mut equality_cache: HashMap<(usize, Vec<u8>), Lit> = HashMap::new();
+
+        for error in errors {
+            // Syndrome of the error under the candidate measurements:
+            // t[i] = XOR_{j : <error, g_j> = 1} a[i][j].
+            let detection_set: Vec<usize> = (0..m)
+                .filter(|&j| problem.measurable.row(j).dot(error))
+                .collect();
+            let error_syndrome: Vec<Lit> = selectors
+                .iter()
+                .map(|row| {
+                    let involved: Vec<Lit> = detection_set.iter().map(|&j| row[j]).collect();
+                    enc.xor_many(&involved)
+                })
+                .collect();
+            let error_null = null_basis.mul_vec(error);
+
+            for (y, _) in recoveries.iter().enumerate() {
+                // Literal: "this error produces outcome y".
+                let outcome_match: Vec<Lit> = error_syndrome
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| if (y >> i) & 1 == 1 { t } else { !t })
+                    .collect();
+                let matches = enc.and(&outcome_match);
+
+                // Literal: "error + recovery[y] has reduced weight ≤ 1", i.e.
+                // its reduction-group syndrome equals one of the admissible
+                // targets.
+                let mut alternatives = Vec::with_capacity(targets.len());
+                for target in &targets {
+                    let pattern: Vec<u8> = (0..k)
+                        .map(|row| u8::from(error_null.get(row) ^ target.get(row)))
+                        .collect();
+                    let key = (y, pattern.clone());
+                    let lit = if let Some(&lit) = equality_cache.get(&key) {
+                        lit
+                    } else {
+                        let conjuncts: Vec<Lit> = pattern
+                            .iter()
+                            .enumerate()
+                            .map(|(row, &bit)| {
+                                if bit == 1 {
+                                    recovery_syndrome[y][row]
+                                } else {
+                                    !recovery_syndrome[y][row]
+                                }
+                            })
+                            .collect();
+                        let lit = enc.and(&conjuncts);
+                        equality_cache.insert(key, lit);
+                        lit
+                    };
+                    alternatives.push(lit);
+                }
+                let mut clause = vec![!matches];
+                clause.extend(alternatives);
+                enc.solver().add_clause(clause);
+            }
+        }
+    }
+
+    if solver.solve() != SolveResult::Sat {
+        return None;
+    }
+    let model = solver.model().expect("SAT result has a model").clone();
+    let mut measurements = Vec::with_capacity(u);
+    let mut total_weight = 0;
+    for supports in &support_lits {
+        let mut support = BitVec::zeros(n);
+        for (q, &lit) in supports.iter().enumerate() {
+            if model.lit_value(lit) {
+                support.set(q, true);
+            }
+        }
+        total_weight += support.weight();
+        measurements.push(support);
+    }
+    // Outcomes that no error of this branch can produce keep the identity
+    // recovery instead of whatever the solver happened to assign.
+    let mut reachable = vec![false; num_outcomes];
+    for error in errors {
+        let mut outcome = 0usize;
+        for (i, s) in measurements.iter().enumerate() {
+            if s.dot(error) {
+                outcome |= 1 << i;
+            }
+        }
+        reachable[outcome] = true;
+    }
+    let recoveries: Vec<BitVec> = recoveries
+        .iter()
+        .enumerate()
+        .map(|(y, bits)| {
+            if !reachable[y] {
+                return BitVec::zeros(n);
+            }
+            let mut r = BitVec::zeros(n);
+            for (q, &lit) in bits.iter().enumerate() {
+                if model.lit_value(lit) {
+                    r.set(q, true);
+                }
+            }
+            r
+        })
+        .collect();
+    Some(CorrectionSolution {
+        measurements,
+        recoveries,
+        total_weight,
+    })
+}
+
+/// Checks that a correction solution actually handles every error of a
+/// problem: for each error, the recovery selected by its refined syndrome
+/// leaves a residual of reduced weight at most 1.
+///
+/// Used in tests and by the protocol-level fault-tolerance check.
+pub fn correction_is_valid(problem: &CorrectionProblem, solution: &CorrectionSolution) -> bool {
+    problem.errors.iter().all(|error| {
+        let mut outcome = 0usize;
+        for (i, s) in solution.measurements.iter().enumerate() {
+            if s.dot(error) {
+                outcome |= 1 << i;
+            }
+        }
+        let corrected = error ^ &solution.recoveries[outcome];
+        dftsp_code::reduced_weight(&problem.reduction, &corrected) <= 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZeroStateContext;
+    use dftsp_code::catalog;
+    use dftsp_pauli::PauliKind;
+
+    fn steane_problem(errors: Vec<BitVec>) -> CorrectionProblem {
+        let ctx = ZeroStateContext::new(catalog::steane());
+        CorrectionProblem {
+            errors,
+            measurable: ctx.measurable_group(PauliKind::X).clone(),
+            reduction: ctx.reduction_group(PauliKind::X).clone(),
+        }
+    }
+
+    #[test]
+    fn empty_error_set_is_trivial() {
+        let problem = steane_problem(vec![]);
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert_eq!(solution.num_measurements(), 0);
+        assert_eq!(solution.total_weight, 0);
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn single_error_needs_no_measurement() {
+        let problem = steane_problem(vec![BitVec::from_indices(7, &[0, 1])]);
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert_eq!(solution.num_measurements(), 0);
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn weight_one_errors_constrain_but_do_not_require_measurements() {
+        // A dangerous error together with the identity and a single-qubit
+        // error with the same verification outcome: the recovery must not
+        // break the harmless cases.
+        let problem = steane_problem(vec![
+            BitVec::from_indices(7, &[0, 1]),
+            BitVec::zeros(7),
+            BitVec::unit(7, 5),
+        ]);
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn incompatible_errors_force_an_additional_measurement() {
+        // Two errors whose sum has weight 4 with a trivial reduction group:
+        // no single recovery fixes both, so the synthesis must introduce a
+        // distinguishing measurement (here a single-qubit Z suffices).
+        let problem = CorrectionProblem {
+            errors: vec![BitVec::from_indices(4, &[0, 1]), BitVec::from_indices(4, &[2, 3])],
+            measurable: BitMatrix::from_dense(&[&[1, 0, 0, 0][..], &[0, 0, 1, 0][..]]),
+            reduction: BitMatrix::with_cols(4, std::iter::empty()),
+        };
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert_eq!(solution.num_measurements(), 1);
+        assert_eq!(solution.total_weight, 1);
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn steane_dangerous_pairs_share_a_recovery() {
+        // On the Steane code the sum of any two two-qubit X errors has
+        // stabilizer-reduced weight at most 2, so every pair of dangerous
+        // errors with the same verification outcome can share one recovery —
+        // the synthesized branch needs no additional measurement.
+        let ctx = ZeroStateContext::new(catalog::steane());
+        for (a, b) in [(0usize, 1usize), (2, 4), (3, 6)] {
+            for (c, d) in [(1usize, 5usize), (2, 6)] {
+                let e1 = BitVec::from_indices(7, &[a, b]);
+                let e2 = BitVec::from_indices(7, &[c, d]);
+                if !ctx.is_dangerous(PauliKind::X, &e1) || !ctx.is_dangerous(PauliKind::X, &e2) {
+                    continue;
+                }
+                let problem = steane_problem(vec![e1, e2]);
+                let solution =
+                    synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+                assert_eq!(solution.num_measurements(), 0);
+                assert!(correction_is_valid(&problem, &solution));
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_are_drawn_from_the_measurable_group() {
+        let ctx = ZeroStateContext::new(catalog::steane());
+        let problem = steane_problem(vec![
+            BitVec::from_indices(7, &[0, 1]),
+            BitVec::from_indices(7, &[0, 3]),
+            BitVec::from_indices(7, &[5, 6]),
+        ]);
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        for s in &solution.measurements {
+            assert!(ctx.measurable_group(PauliKind::X).in_row_space(s));
+        }
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn shor_weight_two_z_errors_are_trivially_correctable() {
+        // On the Shor code every in-block weight-2 Z error is a stabilizer, so
+        // the zero recovery suffices for whole families of them.
+        let ctx = ZeroStateContext::new(catalog::shor());
+        let problem = CorrectionProblem {
+            errors: vec![
+                BitVec::from_indices(9, &[0, 1]),
+                BitVec::from_indices(9, &[3, 4]),
+                BitVec::zeros(9),
+            ],
+            measurable: ctx.measurable_group(PauliKind::Z).clone(),
+            reduction: ctx.reduction_group(PauliKind::Z).clone(),
+        };
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert_eq!(solution.num_measurements(), 0);
+        assert!(correction_is_valid(&problem, &solution));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let problem = CorrectionProblem {
+            errors: vec![BitVec::from_indices(4, &[0, 1]), BitVec::from_indices(4, &[2, 3])],
+            // Empty measurable group and empty reduction group: the two
+            // dangerous errors cannot be distinguished nor reduced.
+            measurable: BitMatrix::with_cols(4, std::iter::empty()),
+            reduction: BitMatrix::with_cols(4, std::iter::empty()),
+        };
+        let options = CorrectionOptions { max_measurements: 1 };
+        assert_eq!(
+            synthesize_correction(&problem, &options),
+            Err(CorrectionError::BudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn recovery_table_has_power_of_two_entries() {
+        let problem = steane_problem(vec![
+            BitVec::from_indices(7, &[0, 1]),
+            BitVec::from_indices(7, &[2, 3]),
+            BitVec::from_indices(7, &[4, 6]),
+        ]);
+        let solution = synthesize_correction(&problem, &CorrectionOptions::default()).unwrap();
+        assert_eq!(solution.recoveries.len(), 1 << solution.num_measurements());
+        assert!(correction_is_valid(&problem, &solution));
+    }
+}

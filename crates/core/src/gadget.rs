@@ -1,0 +1,376 @@
+//! Stabilizer-measurement gadgets: bare and flag-fault-tolerant.
+//!
+//! A verification or correction measurement of the protocol measures a single
+//! X- or Z-type Pauli operator with one syndrome ancilla and, optionally, one
+//! flag ancilla that heralds dangerous hook errors (Sec. IV of the paper,
+//! following the flag scheme of Chamberland & Beverland).
+//!
+//! The gadget is described abstractly by [`MeasurementGadget`] (operator
+//! support, basis, CNOT order, flag placement) and lowered to a
+//! [`dftsp_circuit::Circuit`] on `n + 2` qubits (data qubits `0..n`, syndrome
+//! ancilla `n`, flag ancilla `n + 1`) by [`MeasurementGadget::to_circuit`].
+
+use dftsp_circuit::Circuit;
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliKind;
+
+/// Index of the syndrome ancilla in a lowered gadget circuit on `n + 2`
+/// qubits.
+pub fn ancilla_index(num_data: usize) -> usize {
+    num_data
+}
+
+/// Index of the flag ancilla in a lowered gadget circuit on `n + 2` qubits.
+pub fn flag_index(num_data: usize) -> usize {
+    num_data + 1
+}
+
+/// A single stabilizer measurement used in verification or correction.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::gadget::MeasurementGadget;
+/// use dftsp_f2::BitVec;
+/// use dftsp_pauli::PauliKind;
+///
+/// // Measure the Z-type operator Z0 Z1 Z2 Z3 without a flag.
+/// let gadget = MeasurementGadget::new(BitVec::from_indices(7, &[0, 1, 2, 3]), PauliKind::Z);
+/// let circuit = gadget.to_circuit();
+/// assert_eq!(circuit.stats().cnot_count, 4);
+/// assert_eq!(circuit.num_qubits(), 9); // 7 data + ancilla + flag slot
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasurementGadget {
+    /// Support of the measured operator on the data qubits.
+    support: BitVec,
+    /// Pauli type of the measured operator (`Z` detects X errors and vice
+    /// versa).
+    basis: PauliKind,
+    /// Whether a flag ancilla is attached.
+    flagged: bool,
+    /// Order in which the data qubits of the support are coupled to the
+    /// syndrome ancilla.
+    cnot_order: Vec<usize>,
+}
+
+impl MeasurementGadget {
+    /// Creates an unflagged gadget measuring the operator of the given basis
+    /// and support, coupling data qubits in increasing index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support is empty.
+    pub fn new(support: BitVec, basis: PauliKind) -> Self {
+        let cnot_order = support.support();
+        assert!(!cnot_order.is_empty(), "cannot measure an empty operator");
+        MeasurementGadget {
+            support,
+            basis,
+            flagged: false,
+            cnot_order,
+        }
+    }
+
+    /// Creates a gadget with an explicit data-coupling order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnot_order` is not a permutation of the support.
+    pub fn with_order(support: BitVec, basis: PauliKind, cnot_order: Vec<usize>) -> Self {
+        let mut sorted = cnot_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            support.support(),
+            "cnot_order must be a permutation of the operator support"
+        );
+        MeasurementGadget {
+            support,
+            basis,
+            flagged: false,
+            cnot_order,
+        }
+    }
+
+    /// Returns a copy of the gadget with the flag ancilla enabled or disabled.
+    pub fn flagged(mut self, flagged: bool) -> Self {
+        self.flagged = flagged;
+        self
+    }
+
+    /// Support of the measured operator.
+    pub fn support(&self) -> &BitVec {
+        &self.support
+    }
+
+    /// Pauli type of the measured operator.
+    pub fn basis(&self) -> PauliKind {
+        self.basis
+    }
+
+    /// The kind of data error this measurement detects (the dual of the
+    /// measured operator's type).
+    pub fn detects(&self) -> PauliKind {
+        self.basis.dual()
+    }
+
+    /// Whether the gadget carries a flag ancilla.
+    pub fn is_flagged(&self) -> bool {
+        self.flagged
+    }
+
+    /// The data-coupling order.
+    pub fn cnot_order(&self) -> &[usize] {
+        &self.cnot_order
+    }
+
+    /// Number of data qubits the gadget acts on.
+    pub fn num_data_qubits(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Weight of the measured operator (= number of data CNOTs).
+    pub fn weight(&self) -> usize {
+        self.support.weight()
+    }
+
+    /// Total CNOT count of the lowered circuit (data CNOTs plus two flag
+    /// CNOTs if flagged).
+    pub fn cnot_count(&self) -> usize {
+        self.weight() + if self.flagged { 2 } else { 0 }
+    }
+
+    /// Number of ancilla qubits used (1, or 2 if flagged).
+    pub fn ancilla_count(&self) -> usize {
+        1 + usize::from(self.flagged)
+    }
+
+    /// Lowers the gadget to a circuit on `num_data_qubits() + 2` qubits.
+    ///
+    /// Classical bit 0 of the returned circuit is the syndrome outcome and,
+    /// if the gadget is flagged, bit 1 is the flag outcome.
+    ///
+    /// The syndrome ancilla sits at index [`ancilla_index`], the flag ancilla
+    /// at [`flag_index`]; the flag qubit is idle for unflagged gadgets so all
+    /// gadget circuits of one protocol share the same width.
+    pub fn to_circuit(&self) -> Circuit {
+        let n = self.num_data_qubits();
+        let anc = ancilla_index(n);
+        let flag = flag_index(n);
+        let mut circuit = Circuit::new(n + 2);
+        let order = &self.cnot_order;
+        match self.basis {
+            // Z-type operator: ancilla |0⟩ is the target of data-controlled
+            // CNOTs; hook errors are Z errors on the ancilla, caught by a |+⟩
+            // flag coupled with CNOT(flag → ancilla).
+            PauliKind::Z => {
+                circuit.prep_z(anc);
+                if self.flagged {
+                    circuit.prep_x(flag);
+                }
+                for (i, &q) in order.iter().enumerate() {
+                    if self.flagged && i == 1 {
+                        circuit.cnot(flag, anc);
+                    }
+                    circuit.cnot(q, anc);
+                    if self.flagged && i + 2 == order.len() {
+                        circuit.cnot(flag, anc);
+                    }
+                }
+                circuit.measure_z(anc);
+                if self.flagged {
+                    circuit.measure_x(flag);
+                }
+            }
+            // X-type operator: ancilla |+⟩ controls CNOTs onto the data; hook
+            // errors are X errors on the ancilla, caught by a |0⟩ flag coupled
+            // with CNOT(ancilla → flag).
+            PauliKind::X => {
+                circuit.prep_x(anc);
+                if self.flagged {
+                    circuit.prep_z(flag);
+                }
+                for (i, &q) in order.iter().enumerate() {
+                    if self.flagged && i == 1 {
+                        circuit.cnot(anc, flag);
+                    }
+                    circuit.cnot(anc, q);
+                    if self.flagged && i + 2 == order.len() {
+                        circuit.cnot(anc, flag);
+                    }
+                }
+                circuit.measure_x(anc);
+                if self.flagged {
+                    circuit.measure_z(flag);
+                }
+            }
+        }
+        circuit
+    }
+}
+
+impl std::fmt::Display for MeasurementGadget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let qubits: Vec<String> = self.cnot_order.iter().map(|q| q.to_string()).collect();
+        write!(
+            f,
+            "{}[{}]{}",
+            self.basis,
+            qubits.join(","),
+            if self.flagged { " (flagged)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_circuit::PauliTracker;
+    use dftsp_code::catalog;
+    use dftsp_pauli::{Pauli, PauliString};
+    use dftsp_stabsim::{run_circuit, Tableau};
+
+    fn weight4_z_gadget(flagged: bool) -> MeasurementGadget {
+        MeasurementGadget::new(BitVec::from_indices(4, &[0, 1, 2, 3]), PauliKind::Z).flagged(flagged)
+    }
+
+    #[test]
+    fn bare_gadget_counts() {
+        let g = weight4_z_gadget(false);
+        assert_eq!(g.cnot_count(), 4);
+        assert_eq!(g.ancilla_count(), 1);
+        assert_eq!(g.detects(), PauliKind::X);
+        assert_eq!(g.to_circuit().num_bits(), 1);
+        assert_eq!(g.to_string(), "Z[0,1,2,3]");
+    }
+
+    #[test]
+    fn flagged_gadget_counts() {
+        let g = weight4_z_gadget(true);
+        assert_eq!(g.cnot_count(), 6);
+        assert_eq!(g.ancilla_count(), 2);
+        assert_eq!(g.to_circuit().num_bits(), 2);
+        assert!(g.to_string().contains("flagged"));
+    }
+
+    #[test]
+    fn z_gadget_detects_single_x_error() {
+        // An X error on any support qubit before the gadget flips the syndrome
+        // bit; a stabilizer-sized (even-overlap) error does not.
+        let g = weight4_z_gadget(false);
+        let circuit = g.to_circuit();
+        for q in 0..4 {
+            let mut t = PauliTracker::new(&circuit);
+            t.inject(&PauliString::single(6, q, Pauli::X));
+            t.run(..);
+            assert!(t.measurement_flipped(0), "qubit {q}");
+        }
+        let mut t = PauliTracker::new(&circuit);
+        t.inject(&PauliString::from_x(BitVec::from_indices(6, &[0, 1])));
+        t.run(..);
+        assert!(!t.measurement_flipped(0));
+    }
+
+    #[test]
+    fn x_gadget_detects_single_z_error() {
+        let g = MeasurementGadget::new(BitVec::from_indices(4, &[0, 1, 2, 3]), PauliKind::X);
+        let circuit = g.to_circuit();
+        let mut t = PauliTracker::new(&circuit);
+        t.inject(&PauliString::single(6, 2, Pauli::Z));
+        t.run(..);
+        assert!(t.measurement_flipped(0));
+    }
+
+    #[test]
+    fn flag_fires_on_mid_gadget_ancilla_error() {
+        // A Z error on the syndrome ancilla in the middle of a flagged Z-type
+        // gadget must flip the flag outcome; the same error in an unflagged
+        // gadget goes unnoticed while still spreading onto the data.
+        let flagged = weight4_z_gadget(true).to_circuit();
+        // Find the position after the second data CNOT.
+        let mut data_cnots = 0;
+        let mut inject_after = 0;
+        for (i, gate) in flagged.gates().iter().enumerate() {
+            if let dftsp_circuit::Gate::Cnot { control, .. } = gate {
+                if *control < 4 {
+                    data_cnots += 1;
+                    if data_cnots == 2 {
+                        inject_after = i + 1;
+                    }
+                }
+            }
+        }
+        let mut t = PauliTracker::new(&flagged);
+        t.run(0..inject_after);
+        t.inject(&PauliString::single(6, ancilla_index(4), Pauli::Z));
+        t.run(inject_after..flagged.len());
+        assert!(t.measurement_flipped(1), "flag must herald the hook error");
+    }
+
+    #[test]
+    fn ideal_flagged_gadget_has_deterministic_outcomes_on_stabilized_state() {
+        // Measure a Steane Z stabilizer on |0⟩_L with a flagged gadget: both
+        // outcomes must be deterministically 0 (no error, no flag).
+        let code = catalog::steane();
+        let prep = crate::prep::synthesize_prep(&code, &crate::prep::PrepOptions::default());
+        let support = code.stabilizers(PauliKind::Z).row(0).clone();
+        let gadget = MeasurementGadget::new(support, PauliKind::Z).flagged(true);
+        let gadget_circuit = gadget.to_circuit();
+
+        let mut state = Tableau::new(9);
+        run_circuit(&mut state, &prep.circuit, || false);
+        let outcomes = run_circuit(&mut state, &gadget_circuit, || panic!("must be deterministic"));
+        assert!(outcomes.is_zero());
+        // The data state is undisturbed.
+        assert!(dftsp_stabsim::is_logical_zero_state(&state, &code));
+    }
+
+    #[test]
+    fn ideal_flagged_x_gadget_is_nondestructive() {
+        let code = catalog::steane();
+        let prep = crate::prep::synthesize_prep(&code, &crate::prep::PrepOptions::default());
+        let support = code.stabilizers(PauliKind::X).row(1).clone();
+        let gadget = MeasurementGadget::new(support, PauliKind::X).flagged(true);
+        let mut state = Tableau::new(9);
+        run_circuit(&mut state, &prep.circuit, || false);
+        let outcomes = run_circuit(&mut state, &gadget.to_circuit(), || panic!("must be deterministic"));
+        assert!(outcomes.is_zero());
+        assert!(dftsp_stabsim::is_logical_zero_state(&state, &code));
+    }
+
+    #[test]
+    fn custom_cnot_order_is_respected() {
+        let g = MeasurementGadget::with_order(
+            BitVec::from_indices(5, &[0, 2, 4]),
+            PauliKind::Z,
+            vec![4, 0, 2],
+        );
+        let circuit = g.to_circuit();
+        let controls: Vec<usize> = circuit
+            .gates()
+            .iter()
+            .filter_map(|gate| match gate {
+                dftsp_circuit::Gate::Cnot { control, .. } => Some(*control),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(controls, vec![4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn wrong_order_panics() {
+        MeasurementGadget::with_order(
+            BitVec::from_indices(5, &[0, 2, 4]),
+            PauliKind::Z,
+            vec![0, 1, 2],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty operator")]
+    fn empty_support_panics() {
+        MeasurementGadget::new(BitVec::zeros(5), PauliKind::Z);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic fault-tolerant state preparation for near-term quantum error
+//! correction: automatic synthesis using Boolean satisfiability.
+//!
+//! This crate is the core of a from-scratch Rust reproduction of the DATE
+//! 2025 paper by Schmid, Peham, Berent, Müller and Wille. Given a CSS code
+//! with distance `d < 5` it synthesizes the complete *deterministic*
+//! fault-tolerant preparation protocol for the logical all-zero state:
+//!
+//! 1. a (generally non-fault-tolerant) unitary preparation circuit
+//!    ([`prep`]),
+//! 2. verification measurements that detect every dangerous error a single
+//!    circuit fault can cause ([`verify`]), optionally flagged against hook
+//!    errors ([`gadget`]),
+//! 3. for every verification outcome, a SAT-optimal *correction circuit* —
+//!    additional stabilizer measurements plus a Pauli recovery — that converts
+//!    the detected error into a correctable one ([`correct`]), removing the
+//!    repeat-until-success loop of non-deterministic schemes.
+//!
+//! The full pipeline is [`synthesize_protocol`]; [`globally_optimize`]
+//! additionally explores all equivalent minimal verification circuits. The
+//! synthesized [`DeterministicProtocol`] can be executed under arbitrary
+//! circuit-level fault models ([`execute`]), checked exhaustively against the
+//! strict fault-tolerance criterion ([`check_fault_tolerance`]), and summarized
+//! in the metrics format of the paper's Table I ([`ProtocolMetrics`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use dftsp::{check_fault_tolerance, synthesize_protocol, ProtocolMetrics, SynthesisOptions};
+//! use dftsp_code::catalog;
+//!
+//! let code = catalog::steane();
+//! let protocol = synthesize_protocol(&code, &SynthesisOptions::default())?;
+//! assert!(check_fault_tolerance(&protocol).is_fault_tolerant());
+//!
+//! let metrics = ProtocolMetrics::from_protocol(&protocol);
+//! println!("{metrics}");
+//! # Ok::<(), dftsp::SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+pub mod correct;
+pub mod ftcheck;
+pub mod gadget;
+pub mod global;
+pub mod metrics;
+pub mod prep;
+pub mod protocol;
+pub mod synthesis;
+pub mod verify;
+
+pub use context::ZeroStateContext;
+pub use correct::{CorrectionOptions, CorrectionProblem, CorrectionSolution};
+pub use ftcheck::{check_fault_tolerance, enumerate_single_fault_records, FtReport, FtViolation};
+pub use gadget::MeasurementGadget;
+pub use global::{globally_optimize, GlobalOptions, GlobalResult};
+pub use metrics::{LayerMetrics, ProtocolMetrics};
+pub use prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
+pub use protocol::{
+    execute, BranchKey, CorrectionBranch, DeterministicProtocol, ExecutionRecord, FaultModel,
+    NoFaults, SegmentId, SingleFault, VerificationLayer,
+};
+pub use synthesis::{
+    synthesize_protocol, synthesize_protocol_with_prep, FlagPolicy, SynthesisError,
+    SynthesisOptions,
+};
+pub use verify::{VerificationOptions, VerificationSolution};

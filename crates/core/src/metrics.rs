@@ -1,0 +1,213 @@
+//! Circuit metrics in the format of Table I of the paper.
+
+use dftsp_pauli::PauliKind;
+
+use crate::prep::PrepMethod;
+use crate::protocol::DeterministicProtocol;
+
+/// Metrics of one verification/correction layer, matching one "layer" block
+/// of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerMetrics {
+    /// The sector of data errors the layer verifies.
+    pub error_kind: PauliKind,
+    /// Number of verification measurements (`a_m`).
+    pub verification_ancillas: usize,
+    /// Number of flag ancillas (`a_f`).
+    pub flag_ancillas: usize,
+    /// Summed verification CNOTs excluding flag couplings (`w_m`).
+    pub verification_cnots: usize,
+    /// Flag-coupling CNOTs (`w_f`, two per flag).
+    pub flag_cnots: usize,
+    /// Additional ancillas of each syndrome-triggered correction branch.
+    pub correction_ancillas: Vec<usize>,
+    /// Additional CNOTs of each syndrome-triggered correction branch.
+    pub correction_cnots: Vec<usize>,
+    /// Additional ancillas of each flag-triggered (hook) correction branch.
+    pub hook_correction_ancillas: Vec<usize>,
+    /// Additional CNOTs of each flag-triggered (hook) correction branch.
+    pub hook_correction_cnots: Vec<usize>,
+}
+
+impl LayerMetrics {
+    /// All branch ancilla counts (syndrome branches first, then hook branches).
+    pub fn all_branch_ancillas(&self) -> Vec<usize> {
+        let mut v = self.correction_ancillas.clone();
+        v.extend(&self.hook_correction_ancillas);
+        v
+    }
+
+    /// All branch CNOT counts (syndrome branches first, then hook branches).
+    pub fn all_branch_cnots(&self) -> Vec<usize> {
+        let mut v = self.correction_cnots.clone();
+        v.extend(&self.hook_correction_cnots);
+        v
+    }
+}
+
+/// Metrics of a complete protocol: one row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolMetrics {
+    /// Code name.
+    pub code_name: String,
+    /// `[[n, k, d]]` parameters.
+    pub parameters: (usize, usize, usize),
+    /// Preparation-circuit synthesis method.
+    pub prep_method: PrepMethod,
+    /// CNOT count of the preparation circuit (not reported in Table I but
+    /// useful context).
+    pub prep_cnots: usize,
+    /// Per-layer metrics, in execution order.
+    pub layers: Vec<LayerMetrics>,
+    /// Total verification ancillas over all layers (`Σ ANC`).
+    pub total_verification_ancillas: usize,
+    /// Total verification CNOTs over all layers, including flag couplings
+    /// (`Σ CNOT`).
+    pub total_verification_cnots: usize,
+    /// Average correction ancillas over all branches (`∅ ANC`).
+    pub avg_correction_ancillas: f64,
+    /// Average correction CNOTs over all branches (`∅ CNOT`).
+    pub avg_correction_cnots: f64,
+}
+
+impl ProtocolMetrics {
+    /// Extracts the Table-I metrics of a synthesized protocol.
+    pub fn from_protocol(protocol: &DeterministicProtocol) -> Self {
+        let mut layers = Vec::with_capacity(protocol.layers.len());
+        let mut branch_ancillas = Vec::new();
+        let mut branch_cnots = Vec::new();
+        for layer in &protocol.layers {
+            let (verification_cnots, flag_cnots) = layer.verification_cnots();
+            let mut metrics = LayerMetrics {
+                error_kind: layer.error_kind,
+                verification_ancillas: layer.verification_ancillas(),
+                flag_ancillas: layer.flag_ancillas(),
+                verification_cnots,
+                flag_cnots,
+                correction_ancillas: Vec::new(),
+                correction_cnots: Vec::new(),
+                hook_correction_ancillas: Vec::new(),
+                hook_correction_cnots: Vec::new(),
+            };
+            for (key, branch) in &layer.branches {
+                if key.has_flag() {
+                    metrics.hook_correction_ancillas.push(branch.ancilla_count());
+                    metrics.hook_correction_cnots.push(branch.cnot_count());
+                } else {
+                    metrics.correction_ancillas.push(branch.ancilla_count());
+                    metrics.correction_cnots.push(branch.cnot_count());
+                }
+                branch_ancillas.push(branch.ancilla_count());
+                branch_cnots.push(branch.cnot_count());
+            }
+            layers.push(metrics);
+        }
+        let total_verification_ancillas = layers
+            .iter()
+            .map(|l| l.verification_ancillas + l.flag_ancillas)
+            .sum();
+        let total_verification_cnots = layers
+            .iter()
+            .map(|l| l.verification_cnots + l.flag_cnots)
+            .sum();
+        let branches = branch_ancillas.len().max(1) as f64;
+        let (n, k, d) = protocol.context.code().parameters();
+        ProtocolMetrics {
+            code_name: protocol.context.code().name().to_string(),
+            parameters: (n, k, d),
+            prep_method: protocol.prep.method,
+            prep_cnots: protocol.prep.cnot_count(),
+            layers,
+            total_verification_ancillas,
+            total_verification_cnots,
+            avg_correction_ancillas: branch_ancillas.iter().sum::<usize>() as f64 / branches,
+            avg_correction_cnots: branch_cnots.iter().sum::<usize>() as f64 / branches,
+        }
+    }
+
+    /// A scalar cost used to rank equivalent protocols during global
+    /// optimization: verification cost (paid every run) plus the expected
+    /// conditional correction cost.
+    pub fn expected_cost(&self) -> f64 {
+        self.total_verification_cnots as f64
+            + self.total_verification_ancillas as f64
+            + self.avg_correction_cnots
+            + self.avg_correction_ancillas
+    }
+}
+
+impl std::fmt::Display for ProtocolMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (n, k, d) = self.parameters;
+        write!(
+            f,
+            "{} [[{n},{k},{d}]] ({}): ΣANC={} ΣCNOT={} ∅ANC={:.2} ∅CNOT={:.2}",
+            self.code_name,
+            self.prep_method,
+            self.total_verification_ancillas,
+            self.total_verification_cnots,
+            self.avg_correction_ancillas,
+            self.avg_correction_cnots
+        )?;
+        for layer in &self.layers {
+            write!(
+                f,
+                " | {}-layer: a_m={} a_f={} w_m={} w_f={} corr={:?}/{:?} hook={:?}/{:?}",
+                layer.error_kind,
+                layer.verification_ancillas,
+                layer.flag_ancillas,
+                layer.verification_cnots,
+                layer.flag_cnots,
+                layer.correction_ancillas,
+                layer.correction_cnots,
+                layer.hook_correction_ancillas,
+                layer.hook_correction_cnots,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize_protocol, SynthesisOptions};
+    use dftsp_code::catalog;
+
+    #[test]
+    fn steane_metrics_match_table_one() {
+        let protocol =
+            synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+        let metrics = ProtocolMetrics::from_protocol(&protocol);
+        assert_eq!(metrics.code_name, "Steane");
+        assert_eq!(metrics.parameters, (7, 1, 3));
+        // Table I (Steane row): 1 verification ancilla, 3 verification CNOTs,
+        // a single correction branch with 1 ancilla and 3 CNOTs.
+        assert_eq!(metrics.total_verification_ancillas, 1);
+        assert_eq!(metrics.total_verification_cnots, 3);
+        assert_eq!(metrics.layers.len(), 1);
+        assert_eq!(metrics.layers[0].correction_ancillas.len(), 1);
+        assert!(metrics.avg_correction_cnots <= 3.0 + f64::EPSILON);
+        assert!(metrics.expected_cost() > 0.0);
+        assert!(!metrics.to_string().is_empty());
+    }
+
+    #[test]
+    fn totals_are_sums_over_layers() {
+        let protocol =
+            synthesize_protocol(&catalog::surface3(), &SynthesisOptions::default()).unwrap();
+        let metrics = ProtocolMetrics::from_protocol(&protocol);
+        let anc: usize = metrics
+            .layers
+            .iter()
+            .map(|l| l.verification_ancillas + l.flag_ancillas)
+            .sum();
+        let cnot: usize = metrics
+            .layers
+            .iter()
+            .map(|l| l.verification_cnots + l.flag_cnots)
+            .sum();
+        assert_eq!(metrics.total_verification_ancillas, anc);
+        assert_eq!(metrics.total_verification_cnots, cnot);
+    }
+}

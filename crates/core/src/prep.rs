@@ -1,0 +1,663 @@
+//! Synthesis of (non-fault-tolerant) logical-zero state-preparation circuits.
+//!
+//! Step (a) of the protocol in Fig. 3 of the paper: a unitary circuit that
+//! maps `|0…0⟩` to the logical all-zero state `|0…0⟩_L` of a CSS code. The
+//! paper reuses the synthesis tool of Ref. \[22\] for this step; this module
+//! re-implements both a *heuristic* and an *optimal* (exhaustive search with
+//! admissible pruning) variant so the workspace is self-contained.
+//!
+//! The synthesized circuits have the canonical CSS structure: a layer of
+//! Hadamards on one "seed" qubit per X-type stabilizer generator followed by a
+//! CNOT network among the data qubits. Such a circuit prepares
+//! `Σ_{c ∈ rowspace(H_X)} |c⟩ = |0…0⟩_L` exactly when the seed rows of the
+//! CNOT network's GF(2) transfer matrix span `rowspace(H_X)`.
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use dftsp_circuit::{enumerate_fault_sites, propagate_fault, Circuit, Gate};
+use dftsp_code::CssCode;
+use dftsp_f2::{BitMatrix, BitVec};
+use dftsp_pauli::PauliKind;
+use dftsp_stabsim::{is_logical_zero_state, run_circuit, Tableau};
+
+use crate::ZeroStateContext;
+
+/// Which state-preparation synthesis method to use.
+///
+/// These correspond to the "Opt" and "Heu" columns of Table I in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrepMethod {
+    /// Greedy Gaussian-elimination synthesis (fast, not CNOT-optimal).
+    #[default]
+    Heuristic,
+    /// CNOT-count-optimal synthesis by iterative-deepening A* over the
+    /// reachable subspaces, with a node budget. Falls back to the heuristic
+    /// circuit when the budget is exhausted.
+    Optimal,
+}
+
+impl std::fmt::Display for PrepMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepMethod::Heuristic => write!(f, "Heu"),
+            PrepMethod::Optimal => write!(f, "Opt"),
+        }
+    }
+}
+
+/// Options controlling state-preparation synthesis.
+#[derive(Debug, Clone)]
+pub struct PrepOptions {
+    /// The synthesis method.
+    pub method: PrepMethod,
+    /// Node budget for the optimal search before falling back to the
+    /// heuristic result.
+    pub search_node_budget: usize,
+}
+
+impl Default for PrepOptions {
+    fn default() -> Self {
+        PrepOptions {
+            method: PrepMethod::Heuristic,
+            search_node_budget: 2_000_000,
+        }
+    }
+}
+
+impl PrepOptions {
+    /// Options selecting the given method with the default node budget.
+    pub fn with_method(method: PrepMethod) -> Self {
+        PrepOptions {
+            method,
+            ..PrepOptions::default()
+        }
+    }
+}
+
+/// A synthesized state-preparation circuit together with its provenance.
+#[derive(Debug, Clone)]
+pub struct PrepCircuit {
+    /// The circuit acting on the code's data qubits.
+    pub circuit: Circuit,
+    /// Seed qubits that receive the initial Hadamard layer.
+    pub seeds: Vec<usize>,
+    /// Method that produced this circuit.
+    pub method: PrepMethod,
+    /// Whether the optimal search proved CNOT optimality (always `false` for
+    /// the heuristic and for budget-exhausted optimal runs).
+    pub proven_optimal: bool,
+}
+
+impl PrepCircuit {
+    /// Number of CNOT gates in the circuit.
+    pub fn cnot_count(&self) -> usize {
+        self.circuit.stats().cnot_count
+    }
+}
+
+/// Synthesizes a `|0…0⟩_L` preparation circuit for `code`.
+///
+/// The returned circuit is validated against a stabilizer simulation of the
+/// target state; synthesis bugs therefore surface as panics rather than as
+/// silently wrong downstream results.
+///
+/// # Panics
+///
+/// Panics if the synthesized circuit fails validation (this would indicate an
+/// internal bug, not a user error).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::prep::{synthesize_prep, PrepOptions};
+/// use dftsp_code::catalog;
+///
+/// let prep = synthesize_prep(&catalog::steane(), &PrepOptions::default());
+/// assert_eq!(prep.circuit.num_qubits(), 7);
+/// assert!(prep.cnot_count() <= 9);
+/// ```
+pub fn synthesize_prep(code: &CssCode, options: &PrepOptions) -> PrepCircuit {
+    let heuristic = heuristic_prep(code);
+    let result = match options.method {
+        PrepMethod::Heuristic => heuristic,
+        PrepMethod::Optimal => match optimal_prep(code, options.search_node_budget) {
+            Some(optimal) if optimal.cnot_count() <= heuristic.cnot_count() => optimal,
+            _ => PrepCircuit {
+                method: PrepMethod::Optimal,
+                proven_optimal: false,
+                ..heuristic
+            },
+        },
+    };
+    assert!(
+        validate_prep(code, &result.circuit),
+        "synthesized preparation circuit does not prepare |0…0⟩_L of {code}"
+    );
+    result
+}
+
+/// Checks (by stabilizer simulation) that `circuit` prepares `|0…0⟩_L` of
+/// `code` from the all-zero input state.
+pub fn validate_prep(code: &CssCode, circuit: &Circuit) -> bool {
+    if circuit.num_qubits() != code.num_qubits() {
+        return false;
+    }
+    let mut state = Tableau::new(code.num_qubits());
+    run_circuit(&mut state, circuit, || false);
+    is_logical_zero_state(&state, code)
+}
+
+/// Greedy Gaussian-elimination synthesis with fault-aware post-processing.
+///
+/// The X-generator matrix is brought into systematic form for several pivot
+/// choices (greedy weight-minimizing plus randomized restarts), each is
+/// lowered to the Hadamard-plus-fan-out circuit, and the CNOT order of every
+/// candidate is then locally optimized to minimize the number of *dangerous*
+/// residual errors a single circuit fault can cause. Fewer dangerous errors
+/// translate directly into smaller verification and correction circuits (and
+/// often remove the need for a whole verification layer), which is what the
+/// heuristic of Ref. \[22\] achieves for the codes of Table I.
+fn heuristic_prep(code: &CssCode) -> PrepCircuit {
+    let context = ZeroStateContext::new(code.clone());
+    let hx = code.stabilizers(PauliKind::X);
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+
+    let mut bases = vec![greedy_systematic_basis(hx)];
+    let (rref, pivots) = hx.row_basis().rref();
+    bases.push(
+        pivots
+            .iter()
+            .enumerate()
+            .map(|(row, &pivot)| (pivot, rref.row(row).clone()))
+            .collect(),
+    );
+    for _ in 0..2 {
+        bases.push(random_systematic_basis(hx, &mut rng));
+    }
+
+    let mut best: Option<((usize, usize, usize), PrepCircuit)> = None;
+    for basis in bases {
+        let candidate = build_fanout_circuit(code.num_qubits(), &basis, PrepMethod::Heuristic, false);
+        let optimized = optimize_cnot_order(&context, candidate, &mut rng);
+        let cost = danger_cost(&context, &optimized.circuit);
+        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            best = Some((cost, optimized));
+        }
+    }
+    best.expect("at least one candidate basis exists").1
+}
+
+/// A systematic basis obtained by eliminating columns in a random order.
+fn random_systematic_basis(m: &BitMatrix, rng: &mut StdRng) -> Vec<(usize, BitVec)> {
+    let mut work = m.row_basis();
+    let rank = work.num_rows();
+    let n = work.num_cols();
+    let mut columns: Vec<usize> = (0..n).collect();
+    columns.shuffle(rng);
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, column)
+    let mut used_rows = vec![false; rank];
+    for &col in &columns {
+        if pivots.len() == rank {
+            break;
+        }
+        let Some(row) = (0..rank).find(|&r| !used_rows[r] && work.get(r, col)) else {
+            continue;
+        };
+        used_rows[row] = true;
+        let pivot_row = work.row(row).clone();
+        for other in 0..rank {
+            if other != row && work.get(other, col) {
+                work.row_mut(other).xor_with(&pivot_row);
+            }
+        }
+        pivots.push((row, col));
+    }
+    pivots
+        .into_iter()
+        .map(|(row, col)| (col, work.row(row).clone()))
+        .collect()
+}
+
+/// Cost of a preparation circuit for the purpose of the heuristic: number of
+/// distinct dangerous Z residuals, number of distinct dangerous X residuals,
+/// CNOT count (lexicographic).
+///
+/// Because CNOTs propagate X and Z components independently, it suffices to
+/// enumerate the pure-X and pure-Z faults at every location: the X (Z)
+/// residual of any mixed fault equals that of its X (Z) component.
+fn danger_cost(context: &ZeroStateContext, circuit: &Circuit) -> (usize, usize, usize) {
+    use dftsp_circuit::FaultEffect;
+    use dftsp_pauli::{Pauli, PauliString};
+
+    let n = circuit.num_qubits();
+    let mut dangerous_x = std::collections::HashSet::new();
+    let mut dangerous_z = std::collections::HashSet::new();
+    for site in enumerate_fault_sites(circuit) {
+        for pauli in [Pauli::X, Pauli::Z] {
+            let mut faults: Vec<PauliString> = site
+                .qubits
+                .iter()
+                .map(|&q| PauliString::single(n, q, pauli))
+                .collect();
+            if site.qubits.len() == 2 {
+                let mut both = PauliString::identity(n);
+                both.set(site.qubits[0], pauli);
+                both.set(site.qubits[1], pauli);
+                faults.push(both);
+            }
+            for fault in faults {
+                let (residual, _) = propagate_fault(circuit, &site, &FaultEffect::Pauli(fault));
+                if context.is_dangerous(PauliKind::X, residual.x_part()) {
+                    dangerous_x.insert(residual.x_part().to_bits());
+                }
+                if context.is_dangerous(PauliKind::Z, residual.z_part()) {
+                    dangerous_z.insert(residual.z_part().to_bits());
+                }
+            }
+        }
+    }
+    (
+        dangerous_z.len(),
+        dangerous_x.len(),
+        circuit.stats().cnot_count,
+    )
+}
+
+/// Local search over the CNOT order of a fan-out preparation circuit.
+///
+/// Any permutation of the fan-out CNOTs prepares the same state (every CNOT
+/// control is a seed and every target a non-seed, so the GF(2) transfer
+/// matrix is order-independent), but the propagated single-fault errors — and
+/// hence the verification cost — depend strongly on the order.
+fn optimize_cnot_order(
+    context: &ZeroStateContext,
+    prep: PrepCircuit,
+    rng: &mut StdRng,
+) -> PrepCircuit {
+    let hadamards: Vec<Gate> = prep
+        .circuit
+        .gates()
+        .iter()
+        .copied()
+        .filter(|g| matches!(g, Gate::H { .. }))
+        .collect();
+    let mut cnots: Vec<Gate> = prep
+        .circuit
+        .gates()
+        .iter()
+        .copied()
+        .filter(|g| matches!(g, Gate::Cnot { .. }))
+        .collect();
+    let n = prep.circuit.num_qubits();
+    let rebuild = |cnots: &[Gate]| {
+        let mut c = Circuit::new(n);
+        for &g in &hadamards {
+            c.push(g);
+        }
+        for &g in cnots {
+            c.push(g);
+        }
+        c
+    };
+
+    let mut best_circuit = rebuild(&cnots);
+    let mut best_cost = danger_cost(context, &best_circuit);
+    let iterations = 30 * cnots.len().max(1);
+    for _ in 0..iterations {
+        if cnots.len() < 2 || best_cost.0 == 0 && best_cost.1 == 0 {
+            break;
+        }
+        let i = rng.gen_range(0..cnots.len());
+        let j = rng.gen_range(0..cnots.len());
+        if i == j {
+            continue;
+        }
+        cnots.swap(i, j);
+        let candidate = rebuild(&cnots);
+        let cost = danger_cost(context, &candidate);
+        if cost <= best_cost {
+            best_cost = cost;
+            best_circuit = candidate;
+        } else {
+            cnots.swap(i, j);
+        }
+    }
+    PrepCircuit {
+        circuit: best_circuit,
+        ..prep
+    }
+}
+
+/// Systematic basis `(rows, pivots)` of the row space of `m` with greedily
+/// minimized total weight.
+fn greedy_systematic_basis(m: &BitMatrix) -> Vec<(usize, BitVec)> {
+    let mut work = m.row_basis();
+    let rank = work.num_rows();
+    let n = work.num_cols();
+    let mut pivots: Vec<Option<usize>> = vec![None; rank];
+    let mut used_cols = vec![false; n];
+    for step in 0..rank {
+        // Choose (row, col) among unpivoted rows / unused columns minimizing
+        // the total weight after elimination.
+        let mut best: Option<(usize, usize, usize)> = None;
+        for row in 0..rank {
+            if pivots[row].is_some() {
+                continue;
+            }
+            for col in work.row(row).support() {
+                if used_cols[col] {
+                    continue;
+                }
+                let mut total = 0usize;
+                for other in 0..rank {
+                    if other == row {
+                        total += work.row(other).weight();
+                    } else if work.get(other, col) {
+                        total += (&work.row(other).clone() ^ work.row(row)).weight();
+                    } else {
+                        total += work.row(other).weight();
+                    }
+                }
+                if best.map_or(true, |(_, _, t)| total < t) {
+                    best = Some((row, col, total));
+                }
+            }
+        }
+        let (row, col, _) = best.expect("full-rank matrix always has a pivot");
+        pivots[row] = Some(col);
+        used_cols[col] = true;
+        let pivot_row = work.row(row).clone();
+        for other in 0..rank {
+            if other != row && work.get(other, col) {
+                work.row_mut(other).xor_with(&pivot_row);
+            }
+        }
+        let _ = step;
+    }
+    (0..rank)
+        .map(|row| {
+            (
+                pivots[row].expect("every row received a pivot"),
+                work.row(row).clone(),
+            )
+        })
+        .collect()
+}
+
+/// Builds the Hadamard-plus-fan-out circuit for a systematic basis.
+fn build_fanout_circuit(
+    n: usize,
+    basis: &[(usize, BitVec)],
+    method: PrepMethod,
+    proven_optimal: bool,
+) -> PrepCircuit {
+    let mut circuit = Circuit::new(n);
+    let mut seeds = Vec::with_capacity(basis.len());
+    for &(pivot, _) in basis {
+        circuit.h(pivot);
+        seeds.push(pivot);
+    }
+    for &(pivot, ref row) in basis {
+        for q in row.iter_ones() {
+            if q != pivot {
+                circuit.cnot(pivot, q);
+            }
+        }
+    }
+    PrepCircuit {
+        circuit,
+        seeds,
+        method,
+        proven_optimal,
+    }
+}
+
+/// CNOT-count-optimal synthesis via A* search over subspaces.
+///
+/// The search runs backwards: starting from `rowspace(H_X)` it applies column
+/// operations (the inverse action of a CNOT on the spanned subspace) until the
+/// subspace is spanned by unit vectors, which corresponds to the state right
+/// after the Hadamard layer. Returns `None` if the node budget is exhausted.
+fn optimal_prep(code: &CssCode, node_budget: usize) -> Option<PrepCircuit> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = code.num_qubits();
+    let target = code.stabilizers(PauliKind::X).row_basis();
+    let rank = target.num_rows();
+
+    // States are canonical (RREF) bases of subspaces; edges are column
+    // operations. `parents` records how each state was first reached so the
+    // path can be reconstructed.
+    let (start_canonical, _) = target.rref();
+    let start_key = canonical_key(&start_canonical);
+    let mut best_g: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut parents: HashMap<Vec<u8>, (Vec<u8>, (usize, usize))> = HashMap::new();
+    let mut open: BinaryHeap<Reverse<(usize, usize, Vec<u8>)>> = BinaryHeap::new();
+
+    best_g.insert(start_key.clone(), 0);
+    open.push(Reverse((
+        subspace_heuristic(&start_canonical, rank),
+        0,
+        start_key.clone(),
+    )));
+    let mut nodes = 0usize;
+
+    while let Some(Reverse((_, g, key))) = open.pop() {
+        nodes += 1;
+        if nodes > node_budget {
+            return None;
+        }
+        if best_g.get(&key).copied().unwrap_or(usize::MAX) < g {
+            continue; // stale heap entry
+        }
+        let basis = key_to_matrix(&key, rank, n);
+        if is_goal(&basis) {
+            let path = reconstruct_path(&parents, &start_key, &key);
+            return Some(reconstruct_circuit(code, &path));
+        }
+        for control in 0..n {
+            for target_col in 0..n {
+                if control == target_col {
+                    continue;
+                }
+                let mut next = basis.clone();
+                let mut changed = false;
+                for row in 0..rank {
+                    if next.get(row, control) {
+                        let v = next.get(row, target_col);
+                        next.set(row, target_col, !v);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    continue;
+                }
+                let (next_canonical, _) = next.rref();
+                let next_key = canonical_key(&next_canonical);
+                let next_g = g + 1;
+                if best_g.get(&next_key).copied().unwrap_or(usize::MAX) <= next_g {
+                    continue;
+                }
+                best_g.insert(next_key.clone(), next_g);
+                parents.insert(next_key.clone(), (key.clone(), (control, target_col)));
+                let f = next_g + subspace_heuristic(&next_canonical, rank);
+                open.push(Reverse((f, next_g, next_key)));
+            }
+        }
+    }
+    None
+}
+
+/// Admissible lower bound on the number of remaining CNOTs for a subspace
+/// with the given basis: every CNOT changes one column of the basis matrix,
+/// so it can reduce the number of distinct nonzero columns by at most one and
+/// the total weight by at most `rank`.
+fn subspace_heuristic(basis: &BitMatrix, rank: usize) -> usize {
+    let n = basis.num_cols();
+    let mut nonzero_cols = 0usize;
+    let mut total_weight = 0usize;
+    for col in 0..n {
+        let w = basis.iter().filter(|row| row.get(col)).count();
+        if w > 0 {
+            nonzero_cols += 1;
+        }
+        total_weight += w;
+    }
+    let by_cols = nonzero_cols.saturating_sub(rank);
+    let by_weight = total_weight.saturating_sub(rank).div_ceil(rank.max(1));
+    by_cols.max(by_weight)
+}
+
+fn canonical_key(rref_basis: &BitMatrix) -> Vec<u8> {
+    let mut key = Vec::new();
+    for row in rref_basis.iter() {
+        key.extend(row.to_bits());
+    }
+    key
+}
+
+fn key_to_matrix(key: &[u8], rank: usize, n: usize) -> BitMatrix {
+    BitMatrix::from_rows((0..rank).map(|r| BitVec::from_bits(&key[r * n..(r + 1) * n])))
+}
+
+fn reconstruct_path(
+    parents: &HashMap<Vec<u8>, (Vec<u8>, (usize, usize))>,
+    start_key: &[u8],
+    goal_key: &[u8],
+) -> Vec<(usize, usize)> {
+    let mut path = Vec::new();
+    let mut current = goal_key.to_vec();
+    while current != start_key {
+        let (prev, op) = parents
+            .get(&current)
+            .expect("every reached state has a parent")
+            .clone();
+        path.push(op);
+        current = prev;
+    }
+    path.reverse();
+    path
+}
+
+fn is_goal(basis: &BitMatrix) -> bool {
+    basis.iter().all(|row| row.weight() == 1)
+}
+
+/// Replays the reverse-search path to produce the forward circuit.
+fn reconstruct_circuit(code: &CssCode, reverse_path: &[(usize, usize)]) -> PrepCircuit {
+    let n = code.num_qubits();
+    // Apply the reverse path to the target basis to recover the seed columns.
+    let mut basis = code.stabilizers(PauliKind::X).row_basis();
+    for &(control, target) in reverse_path {
+        for row in 0..basis.num_rows() {
+            if basis.get(row, control) {
+                let v = basis.get(row, target);
+                basis.set(row, target, !v);
+            }
+        }
+    }
+    let (seed_basis, _) = basis.rref();
+    let seeds: Vec<usize> = seed_basis
+        .iter()
+        .map(|row| row.first_one().expect("goal rows are unit vectors"))
+        .collect();
+
+    let mut circuit = Circuit::new(n);
+    for &s in &seeds {
+        circuit.h(s);
+    }
+    // The forward CNOT sequence is the reverse path in reverse order.
+    for &(control, target) in reverse_path.iter().rev() {
+        circuit.cnot(control, target);
+    }
+    PrepCircuit {
+        circuit,
+        seeds,
+        method: PrepMethod::Optimal,
+        proven_optimal: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn heuristic_prepares_all_catalog_distance3_codes() {
+        for code in [
+            catalog::steane(),
+            catalog::shor(),
+            catalog::surface3(),
+            catalog::hamming_15_7(),
+        ] {
+            let prep = synthesize_prep(&code, &PrepOptions::default());
+            assert!(validate_prep(&code, &prep.circuit), "{}", code.name());
+            assert_eq!(prep.seeds.len(), code.stabilizers(PauliKind::X).num_rows());
+        }
+    }
+
+    #[test]
+    fn heuristic_steane_cnot_count_is_reasonable() {
+        let prep = synthesize_prep(&catalog::steane(), &PrepOptions::default());
+        // The plain RREF fan-out needs 9 CNOTs; the greedy pivot selection must
+        // not do worse.
+        assert!(prep.cnot_count() <= 9, "got {}", prep.cnot_count());
+        assert_eq!(prep.method, PrepMethod::Heuristic);
+        assert!(!prep.proven_optimal);
+    }
+
+    #[test]
+    fn optimal_steane_is_at_most_eight_cnots() {
+        let options = PrepOptions::with_method(PrepMethod::Optimal);
+        let prep = synthesize_prep(&catalog::steane(), &options);
+        assert!(validate_prep(&catalog::steane(), &prep.circuit));
+        // The known CNOT-optimal Steane |0⟩_L encoder uses 8 CNOTs.
+        assert!(prep.cnot_count() <= 8, "got {}", prep.cnot_count());
+    }
+
+    #[test]
+    fn optimal_never_worse_than_heuristic() {
+        for code in [catalog::steane(), catalog::surface3()] {
+            let heu = synthesize_prep(&code, &PrepOptions::default());
+            let opt = synthesize_prep(&code, &PrepOptions::with_method(PrepMethod::Optimal));
+            assert!(opt.cnot_count() <= heu.cnot_count(), "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn optimal_falls_back_gracefully_on_tiny_budget() {
+        let options = PrepOptions {
+            method: PrepMethod::Optimal,
+            search_node_budget: 1,
+        };
+        let prep = synthesize_prep(&catalog::steane(), &options);
+        assert!(validate_prep(&catalog::steane(), &prep.circuit));
+        assert!(!prep.proven_optimal);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_circuit() {
+        let code = catalog::steane();
+        let empty = Circuit::new(7);
+        assert!(!validate_prep(&code, &empty));
+        let narrow = Circuit::new(5);
+        assert!(!validate_prep(&code, &narrow));
+    }
+
+    #[test]
+    fn seeds_match_hadamard_gates() {
+        let prep = synthesize_prep(&catalog::shor(), &PrepOptions::default());
+        let hadamards = prep
+            .circuit
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, dftsp_circuit::Gate::H { .. }))
+            .count();
+        assert_eq!(hadamards, prep.seeds.len());
+    }
+}

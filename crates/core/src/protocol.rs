@@ -1,0 +1,561 @@
+//! The deterministic fault-tolerant state-preparation protocol and its
+//! executor.
+//!
+//! A [`DeterministicProtocol`] is the full object synthesized by this crate
+//! (Fig. 3 of the paper): the unitary preparation circuit, one or two
+//! verification layers, and for every non-trivial verification outcome a
+//! conditional correction branch consisting of additional stabilizer
+//! measurements and an outcome-dependent Pauli recovery.
+//!
+//! The [`execute`] function runs the protocol on a Pauli-frame simulation
+//! under an arbitrary [`FaultModel`]. The same executor backs
+//!
+//! * the exhaustive single-fault check of [`crate::ftcheck`],
+//! * the error-set enumeration that drives correction synthesis, and
+//! * the Monte-Carlo circuit-level noise simulations in `dftsp-noise`.
+
+use std::collections::BTreeMap;
+
+use dftsp_circuit::{
+    enumerate_fault_sites, Circuit, FaultEffect, FaultSite, PauliTracker,
+};
+use dftsp_f2::BitVec;
+use dftsp_pauli::{PauliKind, PauliString};
+
+use crate::gadget::MeasurementGadget;
+use crate::prep::PrepCircuit;
+use crate::ZeroStateContext;
+
+/// Identifies the verification outcome that selects a correction branch: the
+/// syndrome bits of the layer's verification measurements and the flag bits
+/// of its flagged measurements, packed little-endian into masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BranchKey {
+    /// Verification syndrome bits (bit `i` = outcome of verification `i`).
+    pub syndrome: u64,
+    /// Flag bits (bit `i` = flag outcome of verification `i`; always 0 for
+    /// unflagged measurements).
+    pub flags: u64,
+}
+
+impl BranchKey {
+    /// Builds a key from syndrome and flag bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector has more than 64 bits.
+    pub fn new(syndrome: &BitVec, flags: &BitVec) -> Self {
+        assert!(syndrome.len() <= 64 && flags.len() <= 64, "branch keys hold at most 64 bits");
+        BranchKey {
+            syndrome: pack_bits(syndrome),
+            flags: pack_bits(flags),
+        }
+    }
+
+    /// The all-zero outcome (no correction necessary).
+    pub fn trivial() -> Self {
+        BranchKey::default()
+    }
+
+    /// Returns `true` if neither a syndrome nor a flag bit is set.
+    pub fn is_trivial(&self) -> bool {
+        self.syndrome == 0 && self.flags == 0
+    }
+
+    /// Returns `true` if any flag bit is set (hook-error branch).
+    pub fn has_flag(&self) -> bool {
+        self.flags != 0
+    }
+}
+
+impl std::fmt::Display for BranchKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b={:b}/f={:b}", self.syndrome, self.flags)
+    }
+}
+
+fn pack_bits(bits: &BitVec) -> u64 {
+    bits.iter_ones().fold(0u64, |acc, i| acc | (1 << i))
+}
+
+/// A conditional correction executed when its [`BranchKey`] is observed.
+#[derive(Debug, Clone)]
+pub struct CorrectionBranch {
+    /// The sector of data errors this branch corrects (the recovery is a pure
+    /// Pauli of this kind).
+    pub error_kind: PauliKind,
+    /// Additional stabilizer measurements refining the syndrome. Executed
+    /// unflagged: under the single-fault assumption the branch only runs after
+    /// the fault has already occurred.
+    pub measurements: Vec<MeasurementGadget>,
+    /// Recovery supports indexed by the little-endian outcome mask of the
+    /// additional measurements (`2^measurements.len()` entries).
+    pub recoveries: Vec<BitVec>,
+    /// Whether the protocol terminates after this branch (used for hook-error
+    /// branches: a detected hook excludes any further error, step (e) of
+    /// Fig. 3).
+    pub terminates: bool,
+}
+
+impl CorrectionBranch {
+    /// Total number of CNOTs in the branch's additional measurements.
+    pub fn cnot_count(&self) -> usize {
+        self.measurements.iter().map(MeasurementGadget::cnot_count).sum()
+    }
+
+    /// Number of ancilla qubits (= additional measurements) in the branch.
+    pub fn ancilla_count(&self) -> usize {
+        self.measurements.len()
+    }
+}
+
+/// One verification layer of the protocol (step (b)/(c) of Fig. 3) together
+/// with all of its conditional correction branches (steps (d)/(e)).
+#[derive(Debug, Clone)]
+pub struct VerificationLayer {
+    /// The sector of data errors this layer verifies.
+    pub error_kind: PauliKind,
+    /// The verification measurements (possibly flagged).
+    pub verifications: Vec<MeasurementGadget>,
+    /// Correction branches keyed by the observed verification outcome.
+    pub branches: BTreeMap<BranchKey, CorrectionBranch>,
+}
+
+impl VerificationLayer {
+    /// A layer with the given verification measurements and no branches yet.
+    pub fn new(error_kind: PauliKind, verifications: Vec<MeasurementGadget>) -> Self {
+        VerificationLayer {
+            error_kind,
+            verifications,
+            branches: BTreeMap::new(),
+        }
+    }
+
+    /// Number of verification ancillas (one syndrome ancilla per measurement).
+    pub fn verification_ancillas(&self) -> usize {
+        self.verifications.len()
+    }
+
+    /// Number of flag ancillas.
+    pub fn flag_ancillas(&self) -> usize {
+        self.verifications.iter().filter(|g| g.is_flagged()).count()
+    }
+
+    /// Total verification CNOTs, split into (stabilizer CNOTs, flag CNOTs).
+    pub fn verification_cnots(&self) -> (usize, usize) {
+        let stab = self.verifications.iter().map(MeasurementGadget::weight).sum();
+        let flag = 2 * self.flag_ancillas();
+        (stab, flag)
+    }
+}
+
+/// A complete deterministic fault-tolerant state-preparation protocol.
+#[derive(Debug, Clone)]
+pub struct DeterministicProtocol {
+    /// The stabilizer context of the prepared `|0…0⟩_L` state.
+    pub context: ZeroStateContext,
+    /// The (generally non-fault-tolerant) unitary preparation circuit.
+    pub prep: PrepCircuit,
+    /// The verification/correction layers, in execution order.
+    pub layers: Vec<VerificationLayer>,
+}
+
+impl DeterministicProtocol {
+    /// Number of data qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.context.num_qubits()
+    }
+}
+
+/// Identifies which part of the protocol a fault location belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentId {
+    /// The unitary preparation circuit.
+    Prep,
+    /// Verification measurement `index` of layer `layer`.
+    Verification {
+        /// Layer index.
+        layer: usize,
+        /// Measurement index within the layer.
+        index: usize,
+    },
+    /// Correction measurement `index` of the branch taken in layer `layer`.
+    Correction {
+        /// Layer index.
+        layer: usize,
+        /// Measurement index within the branch.
+        index: usize,
+    },
+}
+
+/// Source of circuit-level faults driving an execution.
+///
+/// The executor calls [`FaultModel::fault`] exactly once per fault location it
+/// traverses, in execution order; returning `Some` injects that fault
+/// immediately after the corresponding gate (or flips the corresponding
+/// measurement outcome).
+pub trait FaultModel {
+    /// Decides the fault at the current location.
+    ///
+    /// `location` is the global index of the location in this execution,
+    /// `segment` identifies the protocol part, `circuit` is the segment's
+    /// circuit and `site` the location within it.
+    fn fault(
+        &mut self,
+        location: usize,
+        segment: SegmentId,
+        circuit: &Circuit,
+        site: &FaultSite,
+    ) -> Option<FaultEffect>;
+}
+
+/// The fault-free execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn fault(
+        &mut self,
+        _location: usize,
+        _segment: SegmentId,
+        _circuit: &Circuit,
+        _site: &FaultSite,
+    ) -> Option<FaultEffect> {
+        None
+    }
+}
+
+/// Injects one specific fault at one specific global location index.
+#[derive(Debug, Clone)]
+pub struct SingleFault {
+    /// Global location index at which to inject.
+    pub location: usize,
+    /// The fault to inject.
+    pub effect: FaultEffect,
+}
+
+impl FaultModel for SingleFault {
+    fn fault(
+        &mut self,
+        location: usize,
+        _segment: SegmentId,
+        _circuit: &Circuit,
+        _site: &FaultSite,
+    ) -> Option<FaultEffect> {
+        (location == self.location).then(|| self.effect.clone())
+    }
+}
+
+/// Result of one protocol execution under a fault model.
+#[derive(Debug, Clone)]
+pub struct ExecutionRecord {
+    /// Residual Pauli error on the data qubits at the end of the protocol
+    /// (before any subsequent round of error correction).
+    pub residual: PauliString,
+    /// Observed verification syndrome and flag bits per layer.
+    pub layer_outcomes: Vec<BranchKey>,
+    /// The branch key looked up per layer (`None` when the trivial outcome
+    /// was observed or the layer was skipped).
+    pub branches_taken: Vec<Option<BranchKey>>,
+    /// `true` if a hook branch terminated the protocol before its last layer.
+    pub terminated_early: bool,
+    /// Number of fault locations traversed during this execution.
+    pub locations: usize,
+}
+
+/// Executes the protocol under the given fault model and returns the final
+/// residual error together with the branching history.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{execute, synthesize_protocol, NoFaults, SynthesisOptions};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// let record = execute(&protocol, &mut NoFaults);
+/// assert!(record.residual.is_identity());
+/// assert!(!record.terminated_early);
+/// ```
+pub fn execute(protocol: &DeterministicProtocol, faults: &mut dyn FaultModel) -> ExecutionRecord {
+    let n = protocol.num_qubits();
+    let mut frame = PauliString::identity(n);
+    let mut locations = 0usize;
+    let mut layer_outcomes = Vec::with_capacity(protocol.layers.len());
+    let mut branches_taken = Vec::with_capacity(protocol.layers.len());
+    let mut terminated_early = false;
+
+    // Preparation segment.
+    run_segment(
+        &protocol.prep.circuit,
+        n,
+        SegmentId::Prep,
+        &mut frame,
+        faults,
+        &mut locations,
+    );
+
+    for (layer_index, layer) in protocol.layers.iter().enumerate() {
+        if terminated_early {
+            break;
+        }
+        let mut syndrome = BitVec::zeros(layer.verifications.len());
+        let mut flags = BitVec::zeros(layer.verifications.len());
+        for (gadget_index, gadget) in layer.verifications.iter().enumerate() {
+            let circuit = gadget.to_circuit();
+            let outcomes = run_segment(
+                &circuit,
+                n,
+                SegmentId::Verification {
+                    layer: layer_index,
+                    index: gadget_index,
+                },
+                &mut frame,
+                faults,
+                &mut locations,
+            );
+            syndrome.set(gadget_index, outcomes.get(0));
+            if gadget.is_flagged() {
+                flags.set(gadget_index, outcomes.get(1));
+            }
+        }
+        let key = BranchKey::new(&syndrome, &flags);
+        layer_outcomes.push(key);
+
+        if key.is_trivial() {
+            branches_taken.push(None);
+            continue;
+        }
+        let Some(branch) = layer.branches.get(&key) else {
+            // Only reachable with two or more faults: no synthesized branch,
+            // leave the state to the downstream error-correction round.
+            branches_taken.push(None);
+            continue;
+        };
+        branches_taken.push(Some(key));
+        let mut outcome_mask = 0usize;
+        for (measurement_index, gadget) in branch.measurements.iter().enumerate() {
+            let circuit = gadget.to_circuit();
+            let outcomes = run_segment(
+                &circuit,
+                n,
+                SegmentId::Correction {
+                    layer: layer_index,
+                    index: measurement_index,
+                },
+                &mut frame,
+                faults,
+                &mut locations,
+            );
+            if outcomes.get(0) {
+                outcome_mask |= 1 << measurement_index;
+            }
+        }
+        let recovery = &branch.recoveries[outcome_mask];
+        frame.mul_assign(&PauliString::from_kind(branch.error_kind, recovery.clone()));
+        if branch.terminates {
+            terminated_early = layer_index + 1 < protocol.layers.len();
+            if terminated_early {
+                // Record skipped layers as trivial for a uniform shape.
+                break;
+            }
+        }
+    }
+
+    ExecutionRecord {
+        residual: frame,
+        layer_outcomes,
+        branches_taken,
+        terminated_early,
+        locations,
+    }
+}
+
+/// Runs one segment circuit, propagating the data-qubit Pauli frame through
+/// it while injecting faults from the model, and returns the segment's
+/// measurement-outcome flips.
+///
+/// The segment circuit acts on `num_data` data qubits plus any number of
+/// ancillas (which are assumed to start fresh and be discarded afterwards);
+/// the data frame is widened on entry and truncated on exit.
+fn run_segment(
+    circuit: &Circuit,
+    num_data: usize,
+    segment: SegmentId,
+    data_frame: &mut PauliString,
+    faults: &mut dyn FaultModel,
+    locations: &mut usize,
+) -> BitVec {
+    let width = circuit.num_qubits();
+    debug_assert!(width >= num_data);
+    let mut tracker = PauliTracker::new(circuit);
+    // Widen the incoming data frame to the segment width.
+    let mut incoming = PauliString::identity(width);
+    for q in 0..num_data {
+        incoming.set(q, data_frame.get(q));
+    }
+    tracker.inject(&incoming);
+
+    let sites = enumerate_fault_sites(circuit);
+    for (gate_index, site) in sites.iter().enumerate() {
+        tracker.run(gate_index..gate_index + 1);
+        if let Some(effect) = faults.fault(*locations, segment, circuit, site) {
+            match effect {
+                FaultEffect::Pauli(p) => {
+                    assert_eq!(
+                        p.num_qubits(),
+                        width,
+                        "fault must act on the segment's qubits"
+                    );
+                    tracker.inject(&p);
+                }
+                FaultEffect::MeasurementFlip(bit) => tracker.flip_measurement(bit),
+            }
+        }
+        *locations += 1;
+    }
+    let (frame, flips) = tracker.into_parts();
+    let mut truncated = PauliString::identity(num_data);
+    for q in 0..num_data {
+        truncated.set(q, frame.get(q));
+    }
+    *data_frame = truncated;
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_code::catalog;
+    use dftsp_pauli::Pauli;
+
+    use crate::prep::{synthesize_prep, PrepOptions};
+
+    /// A protocol with a single unflagged verification layer and no branches,
+    /// built directly for executor unit tests (full synthesis is exercised in
+    /// the pipeline tests).
+    fn bare_steane_protocol() -> DeterministicProtocol {
+        let code = catalog::steane();
+        let context = ZeroStateContext::new(code.clone());
+        let prep = synthesize_prep(&code, &PrepOptions::default());
+        let logical_z = code.logicals(PauliKind::Z).row(0).clone();
+        let layer = VerificationLayer::new(
+            PauliKind::X,
+            vec![MeasurementGadget::new(logical_z, PauliKind::Z)],
+        );
+        DeterministicProtocol {
+            context,
+            prep,
+            layers: vec![layer],
+        }
+    }
+
+    #[test]
+    fn noiseless_execution_is_clean() {
+        let protocol = bare_steane_protocol();
+        let record = execute(&protocol, &mut NoFaults);
+        assert!(record.residual.is_identity());
+        assert_eq!(record.layer_outcomes, vec![BranchKey::trivial()]);
+        assert_eq!(record.branches_taken, vec![None]);
+        assert!(!record.terminated_early);
+        // Locations: every prep gate plus every verification-gadget gate.
+        let expected = protocol.prep.circuit.len() + protocol.layers[0].verifications[0].to_circuit().len();
+        assert_eq!(record.locations, expected);
+    }
+
+    #[test]
+    fn single_fault_location_count_is_stable() {
+        let protocol = bare_steane_protocol();
+        let clean = execute(&protocol, &mut NoFaults);
+        // A fault at the very first location (a prep-circuit gate) does not
+        // change the number of traversed locations when no branch exists.
+        let effect = FaultEffect::Pauli(PauliString::single(7, protocol.prep.seeds[0], Pauli::X));
+        let mut model = SingleFault {
+            location: 0,
+            effect,
+        };
+        let record = execute(&protocol, &mut model);
+        assert_eq!(record.locations, clean.locations);
+    }
+
+    #[test]
+    fn prep_fault_spreads_through_final_cnot() {
+        let protocol = bare_steane_protocol();
+        // An X error on the control of the last prep CNOT spreads to a
+        // weight-two error which the logical-Z verification must detect.
+        let prep_len = protocol.prep.circuit.len();
+        let last_cnot_index = (0..prep_len)
+            .rev()
+            .find(|&i| matches!(protocol.prep.circuit.gates()[i], dftsp_circuit::Gate::Cnot { .. }))
+            .expect("prep has CNOTs");
+        let control = match protocol.prep.circuit.gates()[last_cnot_index] {
+            dftsp_circuit::Gate::Cnot { control, .. } => control,
+            _ => unreachable!(),
+        };
+        // Inject right before the last CNOT by faulting the preceding location.
+        let mut model = SingleFault {
+            location: last_cnot_index - 1,
+            effect: FaultEffect::Pauli(PauliString::single(7, control, Pauli::X)),
+        };
+        let record = execute(&protocol, &mut model);
+        // The X spreads through the final CNOT onto exactly two data qubits.
+        assert_eq!(record.residual.x_part().weight(), 2);
+        assert_eq!(record.layer_outcomes.len(), 1);
+    }
+
+    #[test]
+    fn measurement_flip_fault_sets_syndrome_without_residual() {
+        let protocol = bare_steane_protocol();
+        let prep_len = protocol.prep.circuit.len();
+        let gadget_circuit = protocol.layers[0].verifications[0].to_circuit();
+        // The syndrome-ancilla measurement is the last gate of the gadget.
+        let meas_location = prep_len + gadget_circuit.len() - 1;
+        let mut model = SingleFault {
+            location: meas_location,
+            effect: FaultEffect::MeasurementFlip(0),
+        };
+        let record = execute(&protocol, &mut model);
+        assert!(record.residual.is_identity());
+        assert_eq!(record.layer_outcomes[0].syndrome, 1);
+    }
+
+    #[test]
+    fn branch_recovery_is_applied() {
+        // Attach a branch that applies a fixed X recovery whenever the
+        // verification fires, then force the verification to fire with a
+        // measurement flip: the recovery must show up in the residual.
+        let mut protocol = bare_steane_protocol();
+        let recovery = BitVec::unit(7, 3);
+        protocol.layers[0].branches.insert(
+            BranchKey { syndrome: 1, flags: 0 },
+            CorrectionBranch {
+                error_kind: PauliKind::X,
+                measurements: Vec::new(),
+                recoveries: vec![recovery.clone()],
+                terminates: false,
+            },
+        );
+        let prep_len = protocol.prep.circuit.len();
+        let gadget_len = protocol.layers[0].verifications[0].to_circuit().len();
+        let mut model = SingleFault {
+            location: prep_len + gadget_len - 1,
+            effect: FaultEffect::MeasurementFlip(0),
+        };
+        let record = execute(&protocol, &mut model);
+        assert_eq!(record.branches_taken, vec![Some(BranchKey { syndrome: 1, flags: 0 })]);
+        assert_eq!(record.residual.x_part(), &recovery);
+    }
+
+    #[test]
+    fn branch_key_packing() {
+        let syndrome = BitVec::from_indices(3, &[0, 2]);
+        let flags = BitVec::from_indices(3, &[1]);
+        let key = BranchKey::new(&syndrome, &flags);
+        assert_eq!(key.syndrome, 0b101);
+        assert_eq!(key.flags, 0b010);
+        assert!(!key.is_trivial());
+        assert!(key.has_flag());
+        assert!(BranchKey::trivial().is_trivial());
+        assert!(!key.to_string().is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! End-to-end synthesis of the deterministic fault-tolerant state-preparation
+//! protocol (Fig. 3 of the paper).
+//!
+//! [`synthesize_protocol`] chains all steps:
+//!
+//! 1. synthesize the (non-fault-tolerant) preparation circuit (step (a)),
+//! 2. synthesize the X-verification layer covering the dangerous X errors
+//!    that single preparation faults can produce (step (b)),
+//! 3. decide which verification measurements need flag qubits (step (c)),
+//! 4. synthesize, per verification outcome, the optimal correction circuit
+//!    with the SAT encoding of Sec. IV (steps (d)/(e)),
+//! 5. repeat for the Z sector if dangerous Z errors remain (step (f)).
+//!
+//! Every step that involves an error set is driven by exhaustive single-fault
+//! enumeration through the *partial protocol built so far*, executed on the
+//! shared Pauli-frame executor. This keeps the synthesis honest: hook errors,
+//! measurement errors and errors that occur between verification measurements
+//! are all included in the correction problems automatically.
+
+use std::collections::BTreeMap;
+
+use dftsp_code::CssCode;
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliKind;
+
+use crate::correct::{
+    synthesize_correction, CorrectionError, CorrectionOptions, CorrectionProblem,
+};
+use crate::ftcheck::enumerate_single_fault_records;
+use crate::gadget::MeasurementGadget;
+use crate::prep::{synthesize_prep, PrepCircuit, PrepOptions};
+use crate::protocol::{BranchKey, CorrectionBranch, DeterministicProtocol, VerificationLayer};
+use crate::verify::{
+    synthesize_verification, VerificationError, VerificationOptions, VerificationSolution,
+};
+use crate::ZeroStateContext;
+
+/// Controls whether verification measurements are flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlagPolicy {
+    /// Flag a measurement only when its hook errors are dangerous and cannot
+    /// be deferred to a later verification layer (the paper's strategy).
+    #[default]
+    Auto,
+    /// Flag every verification measurement.
+    Always,
+    /// Never flag (only sound if all hook errors are harmless or caught by a
+    /// later layer; the synthesis fails otherwise).
+    Never,
+}
+
+/// Options for the full protocol synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisOptions {
+    /// State-preparation synthesis options (step (a)).
+    pub prep: PrepOptions,
+    /// Verification synthesis options (step (b)).
+    pub verification: VerificationOptions,
+    /// Correction synthesis options (step (d)).
+    pub correction: CorrectionOptions,
+    /// Flagging strategy (step (c)).
+    pub flag_policy: FlagPolicy,
+}
+
+impl SynthesisOptions {
+    /// Options using the given preparation method and defaults elsewhere.
+    pub fn with_prep_method(method: crate::prep::PrepMethod) -> Self {
+        SynthesisOptions {
+            prep: PrepOptions::with_method(method),
+            ..SynthesisOptions::default()
+        }
+    }
+}
+
+/// Errors reported by protocol synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// Verification synthesis failed for the given error sector.
+    Verification {
+        /// The sector whose verification failed.
+        error_kind: PauliKind,
+        /// The underlying failure.
+        source: VerificationError,
+    },
+    /// Correction synthesis failed for one verification outcome.
+    Correction {
+        /// The sector whose correction failed.
+        error_kind: PauliKind,
+        /// The verification outcome whose branch could not be synthesized.
+        key: BranchKey,
+        /// The underlying failure.
+        source: CorrectionError,
+    },
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Verification { error_kind, source } => {
+                write!(f, "{error_kind}-verification synthesis failed: {source}")
+            }
+            SynthesisError::Correction {
+                error_kind,
+                key,
+                source,
+            } => write!(
+                f,
+                "{error_kind}-correction synthesis failed for outcome {key}: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesizes the complete deterministic fault-tolerant preparation protocol
+/// for `|0…0⟩_L` of the given CSS code.
+///
+/// # Errors
+///
+/// Returns a [`SynthesisError`] if verification or correction synthesis fails
+/// (e.g. a dangerous error is undetectable, or a branch exceeds the
+/// measurement budget).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{synthesize_protocol, SynthesisOptions};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// // The Steane code needs a single verification layer with one measurement.
+/// assert_eq!(protocol.layers.len(), 1);
+/// assert_eq!(protocol.layers[0].verifications.len(), 1);
+/// ```
+pub fn synthesize_protocol(
+    code: &CssCode,
+    options: &SynthesisOptions,
+) -> Result<DeterministicProtocol, SynthesisError> {
+    let prep = synthesize_prep(code, &options.prep);
+    synthesize_protocol_with_prep(code, prep, options)
+}
+
+/// Synthesizes the protocol around an already-chosen preparation circuit.
+///
+/// This is the entry point used by the global optimization procedure, which
+/// explores several preparation/verification combinations.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_protocol`].
+pub fn synthesize_protocol_with_prep(
+    code: &CssCode,
+    prep: PrepCircuit,
+    options: &SynthesisOptions,
+) -> Result<DeterministicProtocol, SynthesisError> {
+    let context = ZeroStateContext::new(code.clone());
+    let mut protocol = DeterministicProtocol {
+        context,
+        prep,
+        layers: Vec::new(),
+    };
+
+    // Dangerous Z errors caused by preparation faults alone decide whether a
+    // second layer will exist regardless of the first layer's flag choices.
+    let prep_faults = enumerate_single_fault_records(&protocol);
+    let second_layer_expected = prep_faults.iter().any(|record| {
+        protocol
+            .context
+            .is_dangerous(PauliKind::Z, record.execution.residual.z_part())
+    });
+
+    for error_kind in [PauliKind::X, PauliKind::Z] {
+        let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
+        build_layer(&mut protocol, error_kind, later_layer_available, options)?;
+    }
+    Ok(protocol)
+}
+
+/// Collects the dangerous residual errors of one sector that single faults in
+/// the protocol built so far can leave behind (deduplicated). These are the
+/// errors the next verification layer must detect.
+pub fn dangerous_errors_for_layer(
+    protocol: &DeterministicProtocol,
+    error_kind: PauliKind,
+) -> Vec<BitVec> {
+    let records = enumerate_single_fault_records(protocol);
+    let mut dangerous = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for record in &records {
+        if record.execution.terminated_early {
+            continue;
+        }
+        let residual = record.execution.residual.part(error_kind).clone();
+        if protocol.context.is_dangerous(error_kind, &residual) && seen.insert(residual.to_bits()) {
+            dangerous.push(residual);
+        }
+    }
+    dangerous
+}
+
+/// Builds one verification/correction layer (if the sector has dangerous
+/// errors) and appends it to the protocol.
+fn build_layer(
+    protocol: &mut DeterministicProtocol,
+    error_kind: PauliKind,
+    later_layer_available: bool,
+    options: &SynthesisOptions,
+) -> Result<(), SynthesisError> {
+    let dangerous = dangerous_errors_for_layer(protocol, error_kind);
+    if dangerous.is_empty() {
+        return Ok(());
+    }
+    let verification = synthesize_verification(
+        protocol.context.measurable_group(error_kind),
+        &dangerous,
+        &options.verification,
+    )
+    .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+
+    let layer = build_layer_from_verification(
+        protocol,
+        error_kind,
+        &verification,
+        later_layer_available,
+        options,
+    )?;
+    protocol.layers.push(layer);
+    attach_correction_branches(protocol, options)?;
+    Ok(())
+}
+
+/// Turns a verification solution into a [`VerificationLayer`] (gadget
+/// construction, CNOT ordering and flag decisions), without branches.
+pub(crate) fn build_layer_from_verification(
+    protocol: &DeterministicProtocol,
+    error_kind: PauliKind,
+    verification: &VerificationSolution,
+    later_layer_available: bool,
+    options: &SynthesisOptions,
+) -> Result<VerificationLayer, SynthesisError> {
+    let measured_basis = error_kind.dual();
+    let hook_kind = measured_basis; // hook errors have the measured operator's type
+    let mut gadgets = Vec::with_capacity(verification.measurements.len());
+    for support in &verification.measurements {
+        let (order, hooks_dangerous) = choose_cnot_order(protocol, hook_kind, support);
+        let flag = match options.flag_policy {
+            FlagPolicy::Always => true,
+            FlagPolicy::Never => false,
+            FlagPolicy::Auto => hooks_dangerous && !later_layer_available,
+        };
+        gadgets.push(
+            MeasurementGadget::with_order(support.clone(), measured_basis, order).flagged(flag),
+        );
+    }
+    Ok(VerificationLayer::new(error_kind, gadgets))
+}
+
+/// Chooses a data-coupling order for a stabilizer measurement, preferring
+/// orders whose hook errors are all harmless. Returns the order and whether
+/// dangerous hooks remain.
+fn choose_cnot_order(
+    protocol: &DeterministicProtocol,
+    hook_kind: PauliKind,
+    support: &BitVec,
+) -> (Vec<usize>, bool) {
+    let qubits = support.support();
+    let n = support.len();
+    let hook_danger = |order: &[usize]| -> bool {
+        // A fault on the syndrome ancilla after the i-th data CNOT propagates
+        // onto the data qubits coupled afterwards.
+        (1..order.len()).any(|i| {
+            let suffix = BitVec::from_indices(n, &order[i..]);
+            protocol.context.is_dangerous(hook_kind, &suffix)
+        })
+    };
+    if !hook_danger(&qubits) {
+        return (qubits, false);
+    }
+    // Try all cyclic rotations and reversals first (cheap), then full
+    // permutations for small supports.
+    let mut candidates: Vec<Vec<usize>> = Vec::new();
+    for rotation in 0..qubits.len() {
+        let mut rotated = qubits.clone();
+        rotated.rotate_left(rotation);
+        candidates.push(rotated.clone());
+        rotated.reverse();
+        candidates.push(rotated);
+    }
+    if qubits.len() <= 6 {
+        candidates.extend(permutations_of(&qubits));
+    }
+    for candidate in candidates {
+        if !hook_danger(&candidate) {
+            return (candidate, false);
+        }
+    }
+    (qubits, true)
+}
+
+fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
+    fn recurse(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let item = rest.remove(i);
+            prefix.push(item);
+            recurse(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, item);
+        }
+    }
+    let mut out = Vec::new();
+    recurse(&mut Vec::new(), &mut items.to_vec(), &mut out);
+    out
+}
+
+/// (Re)synthesizes the correction branches of the protocol's *last* layer by
+/// exhaustive single-fault enumeration through everything built so far.
+pub(crate) fn attach_correction_branches(
+    protocol: &mut DeterministicProtocol,
+    options: &SynthesisOptions,
+) -> Result<(), SynthesisError> {
+    let layer_index = protocol.layers.len() - 1;
+    let error_kind = protocol.layers[layer_index].error_kind;
+
+    // Bucket the single-fault residuals by the last layer's observed outcome.
+    let records = enumerate_single_fault_records(protocol);
+    let mut buckets: BTreeMap<BranchKey, (Vec<BitVec>, Vec<BitVec>)> = BTreeMap::new();
+    for record in &records {
+        let Some(&key) = record.execution.layer_outcomes.get(layer_index) else {
+            continue; // fault terminated the protocol in an earlier layer
+        };
+        if key.is_trivial() {
+            continue;
+        }
+        let entry = buckets.entry(key).or_default();
+        entry.0.push(record.execution.residual.part(error_kind).clone());
+        entry
+            .1
+            .push(record.execution.residual.part(error_kind.dual()).clone());
+    }
+
+    let mut branches = BTreeMap::new();
+    for (key, (same_sector, dual_sector)) in buckets {
+        // Flag-triggered branches correct hook errors, which live in the dual
+        // sector of the layer's verified errors; syndrome-only branches
+        // correct the verified sector itself.
+        let corrected_kind = if key.has_flag() {
+            error_kind.dual()
+        } else {
+            error_kind
+        };
+        let errors = if key.has_flag() { dual_sector } else { same_sector };
+        let problem = CorrectionProblem {
+            errors,
+            measurable: protocol.context.measurable_group(corrected_kind).clone(),
+            reduction: protocol.context.reduction_group(corrected_kind).clone(),
+        };
+        let solution = synthesize_correction(&problem, &options.correction).map_err(|source| {
+            SynthesisError::Correction {
+                error_kind: corrected_kind,
+                key,
+                source,
+            }
+        })?;
+        let measurements = solution
+            .measurements
+            .iter()
+            .map(|support| MeasurementGadget::new(support.clone(), corrected_kind.dual()))
+            .collect();
+        branches.insert(
+            key,
+            CorrectionBranch {
+                error_kind: corrected_kind,
+                measurements,
+                recoveries: solution.recoveries,
+                // A detected hook implies the single fault happened inside
+                // this layer's measurements, so no further layer is needed
+                // (step (e) of Fig. 3).
+                terminates: key.has_flag(),
+            },
+        );
+    }
+    protocol.layers[layer_index].branches = branches;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftcheck::check_fault_tolerance;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn steane_protocol_has_single_unflagged_layer() {
+        let protocol =
+            synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+        assert_eq!(protocol.layers.len(), 1);
+        let layer = &protocol.layers[0];
+        assert_eq!(layer.error_kind, PauliKind::X);
+        assert_eq!(layer.verification_ancillas(), 1);
+        assert_eq!(layer.flag_ancillas(), 0);
+        // The single verification measurement has weight 3 (the logical Z).
+        assert_eq!(layer.verification_cnots(), (3, 0));
+        // Exactly one non-trivial verification outcome, with a correction
+        // branch of at most one additional measurement.
+        assert_eq!(layer.branches.len(), 1);
+        let branch = layer.branches.values().next().unwrap();
+        assert!(branch.ancilla_count() <= 1);
+    }
+
+    #[test]
+    fn steane_protocol_is_fault_tolerant() {
+        let protocol =
+            synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+        let report = check_fault_tolerance(&protocol);
+        assert!(report.is_fault_tolerant(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn surface_protocol_is_fault_tolerant() {
+        let protocol =
+            synthesize_protocol(&catalog::surface3(), &SynthesisOptions::default()).unwrap();
+        let report = check_fault_tolerance(&protocol);
+        assert!(report.is_fault_tolerant(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn always_flag_policy_flags_every_measurement() {
+        let options = SynthesisOptions {
+            flag_policy: FlagPolicy::Always,
+            ..SynthesisOptions::default()
+        };
+        let protocol = synthesize_protocol(&catalog::steane(), &options).unwrap();
+        for layer in &protocol.layers {
+            assert_eq!(layer.flag_ancillas(), layer.verification_ancillas());
+        }
+    }
+
+    #[test]
+    fn branch_recoveries_have_consistent_sizes() {
+        let protocol =
+            synthesize_protocol(&catalog::surface3(), &SynthesisOptions::default()).unwrap();
+        for layer in &protocol.layers {
+            for branch in layer.branches.values() {
+                assert_eq!(branch.recoveries.len(), 1 << branch.measurements.len());
+                for gadget in &branch.measurements {
+                    assert!(!gadget.is_flagged(), "correction measurements are unflagged");
+                    assert_eq!(gadget.detects(), branch.error_kind);
+                }
+            }
+        }
+    }
+}

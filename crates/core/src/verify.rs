@@ -1,0 +1,512 @@
+//! SAT-based synthesis of verification circuits.
+//!
+//! Step (b) of the protocol in Fig. 3: given the set of *dangerous* errors
+//! that single faults in the preparation circuit can leave on the data (those
+//! with state-stabilizer-reduced weight at least 2), find a minimal set of
+//! stabilizer measurements such that every dangerous error anticommutes with
+//! at least one measured operator.
+//!
+//! The measured operators are drawn from the group of operators that
+//! stabilize the prepared state (see [`crate::ZeroStateContext`]); a
+//! measurement is encoded as a GF(2) combination of that group's generators.
+//! Optimality follows the paper: the number of measurements `u` is minimized
+//! first, then the summed operator weight `v` (one CNOT per support qubit).
+
+use dftsp_f2::{BitMatrix, BitVec};
+use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+
+/// Options bounding the verification-synthesis search.
+#[derive(Debug, Clone)]
+pub struct VerificationOptions {
+    /// Maximum number of verification measurements to consider.
+    pub max_measurements: usize,
+    /// Cap on the number of distinct minimal solutions enumerated by
+    /// [`enumerate_minimal_verifications`].
+    pub enumeration_cap: usize,
+}
+
+impl Default for VerificationOptions {
+    fn default() -> Self {
+        VerificationOptions {
+            max_measurements: 4,
+            enumeration_cap: 64,
+        }
+    }
+}
+
+/// A synthesized verification circuit: the supports of the measured
+/// stabilizers, in measurement order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationSolution {
+    /// Support vectors of the measured operators.
+    pub measurements: Vec<BitVec>,
+    /// Summed weight of the measured operators (= data CNOT count).
+    pub total_weight: usize,
+}
+
+impl VerificationSolution {
+    /// Number of verification measurements (= syndrome ancillas).
+    pub fn num_measurements(&self) -> usize {
+        self.measurements.len()
+    }
+}
+
+/// Errors reported by verification synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerificationError {
+    /// Some dangerous error commutes with the entire measurable group and can
+    /// therefore never be detected (it acts as a logical operator on the
+    /// prepared state). The offending error is returned.
+    UndetectableError(BitVec),
+    /// No covering set was found within `max_measurements` measurements.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerificationError::UndetectableError(e) => {
+                write!(f, "dangerous error {e} is undetectable by any state stabilizer")
+            }
+            VerificationError::BudgetExhausted => {
+                write!(f, "no verification found within the measurement budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Synthesizes a verification circuit that detects every error in
+/// `dangerous`, measuring operators from the row space of `measurable`.
+///
+/// Returns the solution with the minimal number of measurements and, among
+/// those, minimal summed weight. If `dangerous` is empty, the empty solution
+/// is returned.
+///
+/// # Errors
+///
+/// Returns [`VerificationError::UndetectableError`] if some dangerous error
+/// commutes with the whole measurable group, and
+/// [`VerificationError::BudgetExhausted`] if no cover exists within
+/// `options.max_measurements`.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::verify::{synthesize_verification, VerificationOptions};
+/// use dftsp::ZeroStateContext;
+/// use dftsp_code::catalog;
+/// use dftsp_f2::BitVec;
+/// use dftsp_pauli::PauliKind;
+///
+/// let ctx = ZeroStateContext::new(catalog::steane());
+/// // One dangerous two-qubit X error: a single weight-3 measurement (the
+/// // logical Z) suffices.
+/// let dangerous = vec![BitVec::from_indices(7, &[2, 3])];
+/// let solution = synthesize_verification(
+///     ctx.measurable_group(PauliKind::X),
+///     &dangerous,
+///     &VerificationOptions::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(solution.num_measurements(), 1);
+/// assert!(solution.total_weight <= 4);
+/// ```
+pub fn synthesize_verification(
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+) -> Result<VerificationSolution, VerificationError> {
+    let detection_sets = detection_sets(measurable, dangerous)?;
+    if detection_sets.is_empty() {
+        return Ok(VerificationSolution {
+            measurements: Vec::new(),
+            total_weight: 0,
+        });
+    }
+    for u in 1..=options.max_measurements {
+        // First check feasibility with an effectively unbounded weight.
+        let unbounded = measurable.num_cols() * u;
+        if let Some(solution) = solve_cover(measurable, &detection_sets, u, unbounded, None) {
+            // Minimize the total weight by binary search.
+            let mut lo = u; // each measurement has weight ≥ 1
+            let mut hi = solution.total_weight;
+            let mut best = solution;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match solve_cover(measurable, &detection_sets, u, mid, None) {
+                    Some(better) => {
+                        hi = better.total_weight.min(mid);
+                        best = better;
+                    }
+                    None => lo = mid + 1,
+                }
+            }
+            return Ok(best);
+        }
+    }
+    Err(VerificationError::BudgetExhausted)
+}
+
+/// Enumerates all verification circuits that achieve the optimal measurement
+/// count and total weight (up to `options.enumeration_cap` distinct
+/// measurement sets). Used by the global optimization procedure.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_verification`].
+pub fn enumerate_minimal_verifications(
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+) -> Result<Vec<VerificationSolution>, VerificationError> {
+    let best = synthesize_verification(measurable, dangerous, options)?;
+    if best.measurements.is_empty() {
+        return Ok(vec![best]);
+    }
+    let detection_sets = detection_sets(measurable, dangerous)?;
+    let u = best.num_measurements();
+    let v = best.total_weight;
+
+    let mut solutions: Vec<VerificationSolution> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<Vec<u8>>> = std::collections::HashSet::new();
+    let mut blocked: Vec<Vec<BitVec>> = Vec::new();
+    while solutions.len() < options.enumeration_cap {
+        match solve_cover(measurable, &detection_sets, u, v, Some(&blocked)) {
+            Some(solution) => {
+                let mut canonical: Vec<Vec<u8>> =
+                    solution.measurements.iter().map(BitVec::to_bits).collect();
+                canonical.sort();
+                blocked.push(solution.measurements.clone());
+                if seen.insert(canonical) {
+                    solutions.push(solution);
+                }
+            }
+            None => break,
+        }
+    }
+    Ok(solutions)
+}
+
+/// Computes, for every dangerous error, the set of generator indices whose
+/// operators anticommute with it, after deduplication. Errors with an empty
+/// set are undetectable.
+fn detection_sets(
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+) -> Result<Vec<Vec<usize>>, VerificationError> {
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for error in dangerous {
+        let set: Vec<usize> = (0..measurable.num_rows())
+            .filter(|&j| measurable.row(j).dot(error))
+            .collect();
+        if set.is_empty() {
+            return Err(VerificationError::UndetectableError(error.clone()));
+        }
+        if seen.insert(set.clone()) {
+            sets.push(set);
+        }
+    }
+    Ok(sets)
+}
+
+/// Solves one (u, v) instance of the covering problem. `blocked` lists
+/// measurement sets that must not be returned again (for enumeration).
+fn solve_cover(
+    measurable: &BitMatrix,
+    detection_sets: &[Vec<usize>],
+    u: usize,
+    v: usize,
+    blocked: Option<&[Vec<BitVec>]>,
+) -> Option<VerificationSolution> {
+    let m = measurable.num_rows();
+    let n = measurable.num_cols();
+    let mut solver = Solver::new();
+
+    // Selector variables a[i][j]: measurement i includes generator j.
+    let selectors: Vec<Vec<Lit>> = (0..u)
+        .map(|_| (0..m).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+
+    let mut support_lits: Vec<Vec<Lit>> = Vec::with_capacity(u);
+    {
+        let mut enc = Encoder::new(&mut solver);
+        // Support literals w[i][q] = XOR_j a[i][j]·measurable[j][q].
+        for row in &selectors {
+            let mut supports = Vec::with_capacity(n);
+            for q in 0..n {
+                let involved: Vec<Lit> = (0..m)
+                    .filter(|&j| measurable.get(j, q))
+                    .map(|j| row[j])
+                    .collect();
+                supports.push(enc.xor_many(&involved));
+            }
+            support_lits.push(supports);
+        }
+        // Coverage: every dangerous error anticommutes with some measurement.
+        for set in detection_sets {
+            let mut detectors = Vec::with_capacity(u);
+            for row in &selectors {
+                let involved: Vec<Lit> = set.iter().map(|&j| row[j]).collect();
+                detectors.push(enc.xor_many(&involved));
+            }
+            enc.solver().add_clause(detectors);
+        }
+        // Weight bound.
+        let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
+        enc.at_most_k(&all_supports, v);
+        // Symmetry breaking / non-degeneracy: every measurement is nonzero.
+        for supports in &support_lits {
+            enc.solver().add_clause(supports.clone());
+        }
+        // Blocking clauses for enumeration: at least one support bit differs
+        // from each blocked solution, for every assignment of measurement
+        // order (we block the multiset via per-permutation clauses on sorted
+        // canonical solutions being re-found; simple per-model blocking on
+        // support literals suffices to make progress).
+        if let Some(blocked) = blocked {
+            for previous in blocked {
+                for permutation in permutations(previous.len()) {
+                    let mut clause = Vec::new();
+                    for (i, &p) in permutation.iter().enumerate() {
+                        for q in 0..n {
+                            let lit = support_lits[i][q];
+                            clause.push(if previous[p].get(q) { !lit } else { lit });
+                        }
+                    }
+                    enc.solver().add_clause(clause);
+                }
+            }
+        }
+    }
+
+    if solver.solve() != SolveResult::Sat {
+        return None;
+    }
+    let model = solver.model().expect("SAT result has a model").clone();
+    let mut measurements = Vec::with_capacity(u);
+    let mut total_weight = 0;
+    for supports in &support_lits {
+        let mut support = BitVec::zeros(n);
+        for (q, &lit) in supports.iter().enumerate() {
+            if model.lit_value(lit) {
+                support.set(q, true);
+            }
+        }
+        total_weight += support.weight();
+        measurements.push(support);
+    }
+    Some(VerificationSolution {
+        measurements,
+        total_weight,
+    })
+}
+
+/// All permutations of `0..len` (small `len` only).
+fn permutations(len: usize) -> Vec<Vec<usize>> {
+    fn recurse(prefix: &mut Vec<usize>, remaining: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let item = remaining.remove(i);
+            prefix.push(item);
+            recurse(prefix, remaining, out);
+            prefix.pop();
+            remaining.insert(i, item);
+        }
+    }
+    let mut out = Vec::new();
+    recurse(&mut Vec::new(), &mut (0..len).collect(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZeroStateContext;
+    use dftsp_code::catalog;
+    use dftsp_pauli::PauliKind;
+
+    fn steane_ctx() -> ZeroStateContext {
+        ZeroStateContext::new(catalog::steane())
+    }
+
+    #[test]
+    fn empty_error_set_needs_no_measurements() {
+        let ctx = steane_ctx();
+        let solution = synthesize_verification(
+            ctx.measurable_group(PauliKind::X),
+            &[],
+            &VerificationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(solution.num_measurements(), 0);
+        assert_eq!(solution.total_weight, 0);
+    }
+
+    #[test]
+    fn single_dangerous_error_is_covered_by_one_measurement() {
+        let ctx = steane_ctx();
+        let dangerous = vec![BitVec::from_indices(7, &[2, 3])];
+        let solution = synthesize_verification(
+            ctx.measurable_group(PauliKind::X),
+            &dangerous,
+            &VerificationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(solution.num_measurements(), 1);
+        // The measurement anticommutes with the error and is a state stabilizer.
+        assert!(solution.measurements[0].dot(&dangerous[0]));
+        assert!(ctx.measurable_group(PauliKind::X).in_row_space(&solution.measurements[0]));
+        // The minimal-weight choice is at most the logical Z weight (3).
+        assert!(solution.total_weight <= 3);
+    }
+
+    #[test]
+    fn coverage_holds_for_every_synthesized_measurement_set() {
+        let ctx = steane_ctx();
+        let dangerous = vec![
+            BitVec::from_indices(7, &[0, 1]),
+            BitVec::from_indices(7, &[2, 3]),
+            BitVec::from_indices(7, &[4, 5, 6]),
+        ];
+        let solution = synthesize_verification(
+            ctx.measurable_group(PauliKind::X),
+            &dangerous,
+            &VerificationOptions::default(),
+        )
+        .unwrap();
+        for e in &dangerous {
+            assert!(
+                solution.measurements.iter().any(|s| s.dot(e)),
+                "error {e} must anticommute with some measurement"
+            );
+        }
+    }
+
+    #[test]
+    fn undetectable_error_is_reported() {
+        // An error commuting with every generator of the measurable group can
+        // never be verified; synthesis must report it instead of looping.
+        let measurable = BitMatrix::from_dense(&[&[1, 1, 0, 0][..]]);
+        let invisible = BitVec::from_indices(4, &[2, 3]);
+        let err = synthesize_verification(
+            &measurable,
+            &[invisible.clone()],
+            &VerificationOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, VerificationError::UndetectableError(invisible));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn logical_x_is_detectable_on_the_prepared_state() {
+        // On |0⟩_L the logical Z is measurable, so even a full logical X error
+        // is covered by a verification measurement.
+        let ctx = steane_ctx();
+        let logical_x = ctx.code().logicals(PauliKind::X).row(0).clone();
+        let solution = synthesize_verification(
+            ctx.measurable_group(PauliKind::X),
+            &[logical_x.clone()],
+            &VerificationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(solution.num_measurements(), 1);
+        assert!(solution.measurements[0].dot(&logical_x));
+    }
+
+    #[test]
+    fn weight_minimization_prefers_logical_z_over_stabilizers() {
+        // For the Steane code a dangerous error anticommuting with the
+        // weight-3 logical Z should be verified with weight 3, not 4.
+        let ctx = steane_ctx();
+        // The Fano-plane structure of the Steane code guarantees a weight-3
+        // Z-type state stabilizer with odd overlap with any two-qubit error.
+        let e = BitVec::from_indices(7, &[0, 6]);
+        let solution = synthesize_verification(
+            ctx.measurable_group(PauliKind::X),
+            &[e],
+            &VerificationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(solution.num_measurements(), 1);
+        assert!(solution.total_weight <= 3);
+    }
+
+    #[test]
+    fn enumeration_returns_distinct_minimal_solutions() {
+        let ctx = steane_ctx();
+        let dangerous = vec![BitVec::from_indices(7, &[0, 1])];
+        let options = VerificationOptions {
+            enumeration_cap: 16,
+            ..VerificationOptions::default()
+        };
+        let solutions = enumerate_minimal_verifications(
+            ctx.measurable_group(PauliKind::X),
+            &dangerous,
+            &options,
+        )
+        .unwrap();
+        assert!(!solutions.is_empty());
+        let best_weight = solutions[0].total_weight;
+        let mut seen = std::collections::HashSet::new();
+        for s in &solutions {
+            assert_eq!(s.num_measurements(), 1);
+            assert_eq!(s.total_weight, best_weight, "all enumerated solutions are minimal");
+            assert!(s.measurements[0].dot(&dangerous[0]));
+            assert!(seen.insert(s.measurements[0].to_bits()));
+        }
+    }
+
+    #[test]
+    fn two_measurements_needed_when_one_cannot_cover() {
+        // Construct a measurable group where no single operator anticommutes
+        // with both errors: group generated by Z0Z1 and Z2Z3 on 4 qubits,
+        // errors X0 X... error1 = {0}, error2 = {2}. A single measurement
+        // would have to anticommute with both, i.e. contain qubit 0 (odd) and
+        // qubit 2 (odd): Z0Z1+Z2Z3 overlaps each in exactly one qubit — so one
+        // measurement *does* suffice here; use disjoint errors {0,1} and {2}
+        // instead: {0,1} has even overlap with Z0Z1, so only the combined
+        // operator could detect it — nothing does. Expect an error.
+        let measurable = BitMatrix::from_dense(&[&[1, 1, 0, 0][..], &[0, 0, 1, 1][..]]);
+        let errors = vec![BitVec::from_indices(4, &[0, 1])];
+        let err = synthesize_verification(&measurable, &errors, &VerificationOptions::default());
+        assert!(matches!(err, Err(VerificationError::UndetectableError(_))));
+
+        // Two detectable errors with disjoint detection sets force u = 2 when
+        // the group has no element overlapping both oddly.
+        let measurable = BitMatrix::from_dense(&[&[1, 0, 0, 0][..], &[0, 0, 1, 0][..]]);
+        let errors = vec![BitVec::unit(4, 0), BitVec::unit(4, 2)];
+        let solution =
+            synthesize_verification(&measurable, &errors, &VerificationOptions::default()).unwrap();
+        // A single measurement Z0Z2 would detect... it is in the group (sum of
+        // both generators) and overlaps each error once, so u = 1 suffices.
+        assert_eq!(solution.num_measurements(), 1);
+        assert_eq!(solution.total_weight, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Force an impossible budget: two errors with disjoint singleton
+        // detection sets and max_measurements = 1... a combined generator
+        // covers both, so instead use generators that cannot be combined:
+        // detection sets {0} and {1} with generators that cancel on combination.
+        let measurable = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..]]);
+        // Error {0,1} anticommutes only with generator 1 (overlap with g0 is
+        // 2, with g1 is 1); error {1,2} only with generator 0.
+        let errors = vec![BitVec::from_indices(3, &[0, 1]), BitVec::from_indices(3, &[1, 2])];
+        let options = VerificationOptions {
+            max_measurements: 0,
+            ..VerificationOptions::default()
+        };
+        assert_eq!(
+            synthesize_verification(&measurable, &errors, &options),
+            Err(VerificationError::BudgetExhausted)
+        );
+    }
+}

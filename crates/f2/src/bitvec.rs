@@ -1,0 +1,502 @@
+//! Fixed-length bit vectors over GF(2).
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitXor, BitXorAssign};
+
+/// A fixed-length vector over GF(2), bit-packed into `u64` words.
+///
+/// Addition over GF(2) is XOR, multiplication is AND. The vector length is
+/// fixed at construction time; all binary operations require both operands to
+/// have the same length.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_f2::BitVec;
+///
+/// let a = BitVec::from_indices(5, &[0, 2, 4]);
+/// let b = BitVec::from_indices(5, &[2, 3]);
+/// let sum = &a ^ &b;
+/// assert_eq!(sum.support(), vec![0, 3, 4]);
+/// assert_eq!(a.dot(&b), true); // overlap {2} has odd size
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    ///
+    /// ```
+    /// # use dftsp_f2::BitVec;
+    /// let v = BitVec::zeros(10);
+    /// assert!(v.is_zero());
+    /// assert_eq!(v.len(), 10);
+    /// ```
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates an all-ones vector of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector of length `len` with ones exactly at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = Self::zeros(len);
+        for &i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of 0/1 integers.
+    ///
+    /// Any nonzero entry is interpreted as 1.
+    pub fn from_bits(bits: &[u8]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b != 0);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Creates the `i`-th standard basis vector of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        Self::from_indices(len, &[i])
+    }
+
+    /// Returns the number of coordinates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at position `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Returns the Hamming weight (number of ones).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if every coordinate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Computes the GF(2) inner product `⟨self, other⟩` (parity of the
+    /// overlap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "dot product of vectors with different lengths");
+        let mut acc = 0u32;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= (a & b).count_ones() & 1;
+        }
+        acc & 1 == 1
+    }
+
+    /// Returns the indices of the nonzero coordinates in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Iterates over the indices of nonzero coordinates in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * WORD_BITS;
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+
+    /// Returns the index of the first nonzero coordinate, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+
+    /// XORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor of vectors with different lengths");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// ORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "or of vectors with different lengths");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// ANDs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "and of vectors with different lengths");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Returns the concatenation `self ∥ other`.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in self.iter_ones() {
+            out.set(i, true);
+        }
+        for i in other.iter_ones() {
+            out.set(self.len + i, true);
+        }
+        out
+    }
+
+    /// Returns the sub-vector covering coordinates `range.start..range.end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.start <= range.end && range.end <= self.len, "slice range out of bounds");
+        let mut out = BitVec::zeros(range.end - range.start);
+        for (j, i) in range.enumerate() {
+            if self.get(i) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Converts the vector into a `Vec<u8>` of 0/1 entries.
+    pub fn to_bits(&self) -> Vec<u8> {
+        (0..self.len).map(|i| u8::from(self.get(i))).collect()
+    }
+
+    /// Returns `true` if the supports of `self` and `other` intersect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "intersects of vectors with different lengths");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns the number of coordinates where both vectors are 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn overlap(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "overlap of vectors with different lengths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{self}]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_with(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_with(rhs);
+        out
+    }
+}
+
+impl std::ops::BitOrAssign<&BitVec> for BitVec {
+    fn bitor_assign(&mut self, rhs: &BitVec) {
+        self.or_with(rhs);
+    }
+}
+
+impl std::ops::BitOr<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_with(rhs);
+        out
+    }
+}
+
+impl BitAndAssign<&BitVec> for BitVec {
+    fn bitand_assign(&mut self, rhs: &BitVec) {
+        self.and_with(rhs);
+    }
+}
+
+impl BitAnd<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitand(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_with(rhs);
+        out
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let v = BitVec::zeros(100);
+        assert!(v.is_zero());
+        assert_eq!(v.weight(), 0);
+        assert_eq!(v.len(), 100);
+        assert!(!v.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn ones_has_full_weight() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.weight(), 70);
+        assert!((0..70).all(|i| v.get(i)));
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.weight(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        v.set(0, false);
+        assert_eq!(v.support(), vec![129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(5).get(5);
+    }
+
+    #[test]
+    fn from_indices_and_support() {
+        let v = BitVec::from_indices(10, &[9, 1, 5, 1]);
+        assert_eq!(v.support(), vec![1, 5, 9]);
+        assert_eq!(v.weight(), 3);
+    }
+
+    #[test]
+    fn from_bits_and_to_bits_roundtrip() {
+        let bits = [1u8, 0, 0, 1, 1, 0, 1];
+        let v = BitVec::from_bits(&bits);
+        assert_eq!(v.to_bits(), bits.to_vec());
+        let w = BitVec::from_bools(&[true, false, false, true, true, false, true]);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn xor_is_symmetric_difference() {
+        let a = BitVec::from_indices(8, &[0, 1, 2]);
+        let b = BitVec::from_indices(8, &[2, 3]);
+        let c = &a ^ &b;
+        assert_eq!(c.support(), vec![0, 1, 3]);
+        let mut d = a.clone();
+        d ^= &b;
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn or_is_union() {
+        let a = BitVec::from_indices(8, &[0, 1]);
+        let b = BitVec::from_indices(8, &[1, 5]);
+        assert_eq!((&a | &b).support(), vec![0, 1, 5]);
+        let mut c = a;
+        c |= &b;
+        assert_eq!(c.weight(), 3);
+    }
+
+    #[test]
+    fn and_is_intersection() {
+        let a = BitVec::from_indices(8, &[0, 1, 2, 5]);
+        let b = BitVec::from_indices(8, &[2, 3, 5]);
+        assert_eq!((&a & &b).support(), vec![2, 5]);
+        assert_eq!(a.overlap(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&BitVec::from_indices(8, &[4, 7])));
+    }
+
+    #[test]
+    fn dot_is_overlap_parity() {
+        let a = BitVec::from_indices(9, &[0, 1, 4, 5]);
+        let b = BitVec::from_indices(9, &[1, 4, 8]);
+        assert!(!a.dot(&b)); // overlap {1,4} even
+        let c = BitVec::from_indices(9, &[1, 8]);
+        assert!(a.dot(&c)); // overlap {1} odd
+        assert!(!a.dot(&BitVec::zeros(9)));
+    }
+
+    #[test]
+    fn unit_vectors() {
+        let e3 = BitVec::unit(6, 3);
+        assert_eq!(e3.support(), vec![3]);
+        assert_eq!(e3.first_one(), Some(3));
+        assert_eq!(BitVec::zeros(6).first_one(), None);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = BitVec::from_indices(4, &[1, 3]);
+        let b = BitVec::from_indices(3, &[0]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.support(), vec![1, 3, 4]);
+        assert_eq!(c.slice(0..4), a);
+        assert_eq!(c.slice(4..7), b);
+        assert_eq!(c.slice(3..5).support(), vec![0, 1]);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let v = BitVec::from_indices(200, &[0, 63, 64, 127, 128, 199]);
+        assert_eq!(v.support(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = BitVec::from_indices(5, &[0, 3]);
+        assert_eq!(v.to_string(), "10010");
+        assert_eq!(format!("{v:?}"), "BitVec[10010]");
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.support(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn mismatched_xor_panics() {
+        let mut a = BitVec::zeros(3);
+        a.xor_with(&BitVec::zeros(4));
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-packed linear algebra over the two-element field GF(2).
+//!
+//! Everything in the stabilizer formalism — Pauli operators, stabilizer
+//! generators, syndromes, error vectors — can be represented as vectors and
+//! matrices over GF(2). This crate provides the small, dependency-free
+//! substrate used by every other crate in the workspace:
+//!
+//! * [`BitVec`] — a fixed-length vector over GF(2), bit-packed into `u64`
+//!   words, with XOR arithmetic, inner products and support iteration.
+//! * [`BitMatrix`] — a dense matrix over GF(2) with row reduction
+//!   ([`BitMatrix::rref`]), rank, nullspace, row-space membership and linear
+//!   system solving.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_f2::{BitMatrix, BitVec};
+//!
+//! // The parity-check matrix of the classical [7,4,3] Hamming code.
+//! let h = BitMatrix::from_dense(&[
+//!     &[1, 0, 1, 0, 1, 0, 1][..],
+//!     &[0, 1, 1, 0, 0, 1, 1][..],
+//!     &[0, 0, 0, 1, 1, 1, 1][..],
+//! ]);
+//! assert_eq!(h.rank(), 3);
+//! let codeword = BitVec::from_indices(7, &[0, 1, 2]);
+//! assert!(h.mul_vec(&codeword).is_zero());
+//! assert!(h.in_row_space(&BitVec::from_indices(7, &[0, 2, 4, 6])));
+//! // A single bit flip produces a nonzero syndrome.
+//! assert_eq!(h.mul_vec(&BitVec::unit(7, 6)).weight(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod matrix;
+mod solve;
+
+pub use bitvec::BitVec;
+pub use matrix::BitMatrix;
+pub use solve::{solve, SolveOutcome};

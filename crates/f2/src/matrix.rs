@@ -1,0 +1,610 @@
+//! Dense matrices over GF(2).
+
+use std::fmt;
+
+use crate::BitVec;
+
+/// A dense matrix over GF(2), stored as a list of [`BitVec`] rows.
+///
+/// The matrix supports elementary row operations, reduced row echelon form,
+/// rank, right-nullspace computation and row-space membership tests — the
+/// operations needed to manipulate stabilizer groups, syndromes and logical
+/// operators of CSS codes.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_f2::BitMatrix;
+///
+/// let m = BitMatrix::from_dense(&[
+///     &[1, 1, 0][..],
+///     &[0, 1, 1][..],
+///     &[1, 0, 1][..],
+/// ]);
+/// assert_eq!(m.rank(), 2);
+/// let kernel = m.nullspace();
+/// assert_eq!(kernel.num_rows(), 1);
+/// assert!(m.mul_vec(kernel.row(0)).is_zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    ncols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with the given dimensions.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zeros(ncols); nrows],
+            ncols,
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.rows[i].set(i, true);
+        }
+        m
+    }
+
+    /// Creates a matrix from an iterator of rows.
+    ///
+    /// An empty iterator yields a `0 × 0` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows<I: IntoIterator<Item = BitVec>>(rows: I) -> Self {
+        let rows: Vec<BitVec> = rows.into_iter().collect();
+        let ncols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "matrix rows must have equal lengths"
+        );
+        BitMatrix { rows, ncols }
+    }
+
+    /// Creates a matrix with `ncols` columns from an iterator of rows, also
+    /// accepting an empty row set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from `ncols`.
+    pub fn with_cols<I: IntoIterator<Item = BitVec>>(ncols: usize, rows: I) -> Self {
+        let rows: Vec<BitVec> = rows.into_iter().collect();
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "matrix rows must have length {ncols}"
+        );
+        BitMatrix { rows, ncols }
+    }
+
+    /// Creates a matrix from dense 0/1 slices (any nonzero entry is 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_dense(rows: &[&[u8]]) -> Self {
+        Self::from_rows(rows.iter().map(|r| BitVec::from_bits(r)))
+    }
+
+    /// Returns the number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Returns `true` if the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns a reference to row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Returns a mutable reference to row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_mut(&mut self, i: usize) -> &mut BitVec {
+        &mut self.rows[i]
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].get(col)
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.rows[row].set(col, value);
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Appends a row to the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns of a
+    /// non-empty matrix.
+    pub fn push_row(&mut self, row: BitVec) {
+        if self.rows.is_empty() && self.ncols == 0 {
+            self.ncols = row.len();
+        }
+        assert_eq!(row.len(), self.ncols, "row length must match matrix width");
+        self.rows.push(row);
+    }
+
+    /// Returns column `j` as a vector of length `num_rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn column(&self, j: usize) -> BitVec {
+        assert!(j < self.ncols, "column index {j} out of range");
+        let mut v = BitVec::zeros(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.get(j) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.ncols, self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in row.iter_ones() {
+                t.rows[j].set(i, true);
+            }
+        }
+        t
+    }
+
+    /// Computes the matrix-vector product `A·x` over GF(2).
+    ///
+    /// The result has one entry per row: the parity `⟨row_i, x⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_cols()`.
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.ncols, "vector length must match matrix width");
+        let mut out = BitVec::zeros(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.dot(x) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Computes the vector-matrix product `xᵀ·A` over GF(2): the XOR of the
+    /// rows selected by `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_rows()`.
+    pub fn combine_rows(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.rows.len(), "selector length must match row count");
+        let mut out = BitVec::zeros(self.ncols);
+        for i in x.iter_ones() {
+            out.xor_with(&self.rows[i]);
+        }
+        out
+    }
+
+    /// Computes the matrix product `A·B` over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.num_cols() != other.num_rows()`.
+    pub fn mul_mat(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.ncols,
+            other.rows.len(),
+            "inner dimensions must match for matrix product"
+        );
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| other.combine_rows(row))
+            .collect::<Vec<_>>();
+        BitMatrix::with_cols(other.ncols, rows)
+    }
+
+    /// Stacks `other` below `self`, returning the vertical concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ (unless one matrix is `0 × 0`).
+    pub fn vstack(&self, other: &BitMatrix) -> BitMatrix {
+        if self.rows.is_empty() && self.ncols == 0 {
+            return other.clone();
+        }
+        if other.rows.is_empty() && other.ncols == 0 {
+            return self.clone();
+        }
+        assert_eq!(self.ncols, other.ncols, "vstack requires equal column counts");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        BitMatrix::with_cols(self.ncols, rows)
+    }
+
+    /// Concatenates `other` to the right of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.rows.len(),
+            other.rows.len(),
+            "hstack requires equal row counts"
+        );
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a.concat(b))
+            .collect::<Vec<_>>();
+        BitMatrix::with_cols(self.ncols + other.ncols, rows)
+    }
+
+    /// Transforms the matrix in place into reduced row echelon form and
+    /// returns the pivot columns in order.
+    pub fn rref_in_place(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.ncols {
+            if pivot_row >= self.rows.len() {
+                break;
+            }
+            // Find a row at or below pivot_row with a 1 in this column.
+            let found = (pivot_row..self.rows.len()).find(|&r| self.rows[r].get(col));
+            let Some(r) = found else { continue };
+            self.rows.swap(pivot_row, r);
+            // Eliminate this column from every other row.
+            let pivot = self.rows[pivot_row].clone();
+            for (i, row) in self.rows.iter_mut().enumerate() {
+                if i != pivot_row && row.get(col) {
+                    row.xor_with(&pivot);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+
+    /// Returns the reduced row echelon form together with the pivot columns.
+    pub fn rref(&self) -> (BitMatrix, Vec<usize>) {
+        let mut m = self.clone();
+        let pivots = m.rref_in_place();
+        (m, pivots)
+    }
+
+    /// Returns the rank over GF(2).
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// Returns a matrix whose rows form a basis of the row space (the nonzero
+    /// rows of the RREF).
+    pub fn row_basis(&self) -> BitMatrix {
+        let (r, pivots) = self.rref();
+        BitMatrix::with_cols(self.ncols, r.rows.into_iter().take(pivots.len()))
+    }
+
+    /// Returns a basis of the right nullspace `{x : A·x = 0}` as the rows of
+    /// a matrix with `num_cols()` columns.
+    pub fn nullspace(&self) -> BitMatrix {
+        let (r, pivots) = self.rref();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let free: Vec<usize> = (0..self.ncols).filter(|c| !pivot_set.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &f in &free {
+            let mut v = BitVec::zeros(self.ncols);
+            v.set(f, true);
+            // For each pivot row, the pivot variable equals the sum of the free
+            // variables appearing in that row.
+            for (row_idx, &p) in pivots.iter().enumerate() {
+                if r.rows[row_idx].get(f) {
+                    v.set(p, true);
+                }
+            }
+            basis.push(v);
+        }
+        BitMatrix::with_cols(self.ncols, basis)
+    }
+
+    /// Returns `true` if `v` lies in the row space of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_cols()`.
+    pub fn in_row_space(&self, v: &BitVec) -> bool {
+        assert_eq!(v.len(), self.ncols, "vector length must match matrix width");
+        let mut m = self.clone();
+        let pivots = m.rref_in_place();
+        let mut residual = v.clone();
+        for (row_idx, &p) in pivots.iter().enumerate() {
+            if residual.get(p) {
+                residual.xor_with(&m.rows[row_idx]);
+            }
+        }
+        residual.is_zero()
+    }
+
+    /// Expresses `v` as a combination of the matrix rows, returning the
+    /// selector vector (length `num_rows()`), or `None` if `v` is not in the
+    /// row space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != num_cols()`.
+    pub fn express_in_rows(&self, v: &BitVec) -> Option<BitVec> {
+        assert_eq!(v.len(), self.ncols, "vector length must match matrix width");
+        // Row-reduce [A | I] so we can track which original rows combine into
+        // each reduced row.
+        let tracked = self.hstack(&BitMatrix::identity(self.rows.len()));
+        let mut m = tracked;
+        // Only pivot on the first `ncols` columns.
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.ncols {
+            if pivot_row >= m.rows.len() {
+                break;
+            }
+            let found = (pivot_row..m.rows.len()).find(|&r| m.rows[r].get(col));
+            let Some(r) = found else { continue };
+            m.rows.swap(pivot_row, r);
+            let pivot = m.rows[pivot_row].clone();
+            for (i, row) in m.rows.iter_mut().enumerate() {
+                if i != pivot_row && row.get(col) {
+                    row.xor_with(&pivot);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        let mut residual = v.clone();
+        let mut selector = BitVec::zeros(self.rows.len());
+        for (row_idx, &p) in pivots.iter().enumerate() {
+            if residual.get(p) {
+                residual.xor_with(&m.rows[row_idx].slice(0..self.ncols));
+                selector.xor_with(&m.rows[row_idx].slice(self.ncols..self.ncols + self.rows.len()));
+            }
+        }
+        if residual.is_zero() {
+            Some(selector)
+        } else {
+            None
+        }
+    }
+
+    /// Enumerates all `2^num_rows()` vectors in the row span.
+    ///
+    /// Intended for small matrices (e.g. stabilizer groups of near-term
+    /// codes); the iterator yields `2^r` elements where `r = num_rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_rows() >= 30` to guard against accidental blow-up.
+    pub fn iter_span(&self) -> impl Iterator<Item = BitVec> + '_ {
+        let r = self.rows.len();
+        assert!(r < 30, "span enumeration of {r} rows would be too large");
+        (0..(1u64 << r)).map(move |mask| {
+            let mut v = BitVec::zeros(self.ncols);
+            for (i, row) in self.rows.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    v.xor_with(row);
+                }
+            }
+            v
+        })
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}x{}) [", self.rows.len(), self.ncols)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<BitVec> for BitMatrix {
+    fn from_iter<T: IntoIterator<Item = BitVec>>(iter: T) -> Self {
+        BitMatrix::from_rows(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming_h() -> BitMatrix {
+        BitMatrix::from_dense(&[
+            &[1, 0, 1, 0, 1, 0, 1][..],
+            &[0, 1, 1, 0, 0, 1, 1][..],
+            &[0, 0, 0, 1, 1, 1, 1][..],
+        ])
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = BitMatrix::identity(5);
+        assert_eq!(id.rank(), 5);
+        assert_eq!(id.nullspace().num_rows(), 0);
+        let v = BitVec::from_indices(5, &[1, 3]);
+        assert_eq!(id.mul_vec(&v), v);
+    }
+
+    #[test]
+    fn rref_and_rank() {
+        let m = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..], &[1, 0, 1][..]]);
+        assert_eq!(m.rank(), 2);
+        let (r, pivots) = m.rref();
+        assert_eq!(pivots, vec![0, 1]);
+        assert!(r.row(2).is_zero());
+    }
+
+    #[test]
+    fn nullspace_is_kernel() {
+        let h = hamming_h();
+        let ns = h.nullspace();
+        assert_eq!(ns.num_rows(), 4);
+        for row in ns.iter() {
+            assert!(h.mul_vec(row).is_zero());
+        }
+        assert_eq!(ns.rank(), 4);
+    }
+
+    #[test]
+    fn row_space_membership() {
+        let h = hamming_h();
+        let sum01 = &h.row(0).clone() ^ h.row(1);
+        assert!(h.in_row_space(&sum01));
+        assert!(h.in_row_space(&BitVec::zeros(7)));
+        assert!(!h.in_row_space(&BitVec::unit(7, 0)));
+    }
+
+    #[test]
+    fn express_in_rows_matches_combination() {
+        let h = hamming_h();
+        let target = &h.row(0).clone() ^ h.row(2);
+        let sel = h.express_in_rows(&target).expect("in row space");
+        assert_eq!(h.combine_rows(&sel), target);
+        assert!(h.express_in_rows(&BitVec::unit(7, 1)).is_none());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let h = hamming_h();
+        assert_eq!(h.transpose().transpose(), h);
+        assert_eq!(h.transpose().num_rows(), 7);
+        assert_eq!(h.transpose().num_cols(), 3);
+    }
+
+    #[test]
+    fn mul_vec_and_combine_rows() {
+        let h = hamming_h();
+        // Column 6 = (1,1,1): unit vector at position 6 has syndrome 111.
+        assert_eq!(h.mul_vec(&BitVec::unit(7, 6)).support(), vec![0, 1, 2]);
+        let sel = BitVec::from_indices(3, &[0, 2]);
+        let combined = h.combine_rows(&sel);
+        assert_eq!(combined, &h.row(0).clone() ^ h.row(2));
+    }
+
+    #[test]
+    fn mul_mat_against_identity() {
+        let h = hamming_h();
+        assert_eq!(h.mul_mat(&BitMatrix::identity(7)), h);
+        assert_eq!(BitMatrix::identity(3).mul_mat(&h), h);
+    }
+
+    #[test]
+    fn mul_mat_matches_manual() {
+        let a = BitMatrix::from_dense(&[&[1, 1][..], &[0, 1][..]]);
+        let b = BitMatrix::from_dense(&[&[1, 0, 1][..], &[1, 1, 0][..]]);
+        let c = a.mul_mat(&b);
+        assert_eq!(c, BitMatrix::from_dense(&[&[0, 1, 1][..], &[1, 1, 0][..]]));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = BitMatrix::from_dense(&[&[1, 0][..]]);
+        let b = BitMatrix::from_dense(&[&[0, 1][..]]);
+        let v = a.vstack(&b);
+        assert_eq!(v.num_rows(), 2);
+        let h = a.hstack(&b);
+        assert_eq!(h.num_cols(), 4);
+        assert_eq!(h.row(0).support(), vec![0, 3]);
+        let empty = BitMatrix::default();
+        assert_eq!(empty.vstack(&a), a);
+        assert_eq!(a.vstack(&empty), a);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let h = hamming_h();
+        assert_eq!(h.column(6).support(), vec![0, 1, 2]);
+        assert_eq!(h.column(0).support(), vec![0]);
+    }
+
+    #[test]
+    fn row_basis_spans_same_space() {
+        let m = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..], &[1, 0, 1][..]]);
+        let basis = m.row_basis();
+        assert_eq!(basis.num_rows(), 2);
+        for row in m.iter() {
+            assert!(basis.in_row_space(row));
+        }
+    }
+
+    #[test]
+    fn iter_span_enumerates_group() {
+        let m = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..]]);
+        let elems: Vec<BitVec> = m.iter_span().collect();
+        assert_eq!(elems.len(), 4);
+        let unique: std::collections::HashSet<_> = elems.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = BitMatrix::default();
+        m.push_row(BitVec::from_indices(4, &[0]));
+        m.push_row(BitVec::from_indices(4, &[1, 2]));
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.num_cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn inconsistent_rows_panic() {
+        BitMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Solving linear systems `A·x = b` over GF(2).
+
+use crate::{BitMatrix, BitVec};
+
+/// Outcome of solving a linear system over GF(2).
+///
+/// Produced by [`solve`]. On success it carries one particular solution and a
+/// basis for the solution space offset (the nullspace of `A`), so callers can
+/// enumerate or optimize over all solutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The system has at least one solution.
+    Solvable {
+        /// A particular solution `x₀` with `A·x₀ = b`.
+        particular: BitVec,
+        /// A basis of the homogeneous solutions; every solution is
+        /// `x₀ + Σ cᵢ·hᵢ`.
+        homogeneous: BitMatrix,
+    },
+    /// The system is inconsistent.
+    Inconsistent,
+}
+
+impl SolveOutcome {
+    /// Returns the particular solution if the system is solvable.
+    pub fn solution(&self) -> Option<&BitVec> {
+        match self {
+            SolveOutcome::Solvable { particular, .. } => Some(particular),
+            SolveOutcome::Inconsistent => None,
+        }
+    }
+
+    /// Returns `true` if the system is solvable.
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, SolveOutcome::Solvable { .. })
+    }
+
+    /// Enumerates every solution of the system (empty for an inconsistent
+    /// system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the homogeneous space has dimension ≥ 30.
+    pub fn iter_solutions(&self) -> Box<dyn Iterator<Item = BitVec> + '_> {
+        match self {
+            SolveOutcome::Inconsistent => Box::new(std::iter::empty()),
+            SolveOutcome::Solvable {
+                particular,
+                homogeneous,
+            } => Box::new(homogeneous.iter_span().map(move |h| &h ^ particular)),
+        }
+    }
+}
+
+/// Solves `A·x = b` over GF(2).
+///
+/// Returns [`SolveOutcome::Solvable`] with a particular solution and the
+/// nullspace basis, or [`SolveOutcome::Inconsistent`].
+///
+/// # Panics
+///
+/// Panics if `b.len() != a.num_rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_f2::{solve, BitMatrix, BitVec};
+///
+/// let a = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..]]);
+/// let b = BitVec::from_bits(&[1, 0]);
+/// let outcome = solve(&a, &b);
+/// let x = outcome.solution().expect("solvable");
+/// assert_eq!(a.mul_vec(x), b);
+/// ```
+pub fn solve(a: &BitMatrix, b: &BitVec) -> SolveOutcome {
+    assert_eq!(
+        b.len(),
+        a.num_rows(),
+        "right-hand side length must match the number of rows"
+    );
+    // Row-reduce the augmented matrix [A | b].
+    let b_col = BitMatrix::with_cols(1, b.iter_ones().fold(
+        vec![BitVec::zeros(1); b.len()],
+        |mut acc, i| {
+            acc[i].set(0, true);
+            acc
+        },
+    ));
+    let aug = a.hstack(&b_col);
+    let (r, pivots) = aug.rref();
+    let n = a.num_cols();
+    // Inconsistent iff some pivot lands in the augmented column.
+    if pivots.iter().any(|&p| p == n) {
+        return SolveOutcome::Inconsistent;
+    }
+    let mut particular = BitVec::zeros(n);
+    for (row_idx, &p) in pivots.iter().enumerate() {
+        if r.row(row_idx).get(n) {
+            particular.set(p, true);
+        }
+    }
+    SolveOutcome::Solvable {
+        particular,
+        homogeneous: a.nullspace(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solvable_system() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..]]);
+        let b = BitVec::from_bits(&[1, 0]);
+        let out = solve(&a, &b);
+        assert!(out.is_solvable());
+        let x = out.solution().unwrap();
+        assert_eq!(a.mul_vec(x), b);
+    }
+
+    #[test]
+    fn inconsistent_system() {
+        // x1 = 0 and x1 = 1 simultaneously.
+        let a = BitMatrix::from_dense(&[&[1, 0][..], &[1, 0][..]]);
+        let b = BitVec::from_bits(&[0, 1]);
+        assert_eq!(solve(&a, &b), SolveOutcome::Inconsistent);
+        assert!(solve(&a, &b).solution().is_none());
+        assert_eq!(solve(&a, &b).iter_solutions().count(), 0);
+    }
+
+    #[test]
+    fn all_solutions_satisfy_system() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 0, 0][..], &[0, 0, 1, 1][..]]);
+        let b = BitVec::from_bits(&[1, 1]);
+        let out = solve(&a, &b);
+        let sols: Vec<BitVec> = out.iter_solutions().collect();
+        assert_eq!(sols.len(), 4); // 2-dimensional homogeneous space
+        for x in &sols {
+            assert_eq!(a.mul_vec(x), b);
+        }
+        // Solutions are distinct.
+        let unique: std::collections::HashSet<_> = sols.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn zero_rhs_gives_nullspace() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 1][..]]);
+        let out = solve(&a, &BitVec::zeros(1));
+        match out {
+            SolveOutcome::Solvable {
+                particular,
+                homogeneous,
+            } => {
+                assert!(particular.is_zero());
+                assert_eq!(homogeneous.num_rows(), 2);
+            }
+            SolveOutcome::Inconsistent => panic!("homogeneous system is always solvable"),
+        }
+    }
+
+    #[test]
+    fn square_invertible_system_has_unique_solution() {
+        let a = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 0][..], &[0, 0, 1][..]]);
+        let b = BitVec::from_bits(&[1, 1, 1]);
+        let out = solve(&a, &b);
+        assert_eq!(out.iter_solutions().count(), 1);
+        assert_eq!(a.mul_vec(out.solution().unwrap()), b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the GF(2) linear algebra substrate.
+
+use dftsp_f2::{solve, BitMatrix, BitVec};
+use proptest::prelude::*;
+
+/// Strategy producing a random bit vector of the given length.
+fn bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+/// Strategy producing a random matrix with the given dimensions.
+fn bitmatrix(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
+    prop::collection::vec(bitvec(cols), rows).prop_map(BitMatrix::from_rows)
+}
+
+proptest! {
+    #[test]
+    fn xor_is_involutive(a in bitvec(40), b in bitvec(40)) {
+        let c = &(&a ^ &b) ^ &b;
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn xor_weight_parity(a in bitvec(40), b in bitvec(40)) {
+        // |a ^ b| = |a| + |b| - 2|a & b|
+        let overlap = a.overlap(&b);
+        prop_assert_eq!((&a ^ &b).weight(), a.weight() + b.weight() - 2 * overlap);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in bitvec(32), b in bitvec(32), c in bitvec(32)) {
+        let lhs = (&a ^ &b).dot(&c);
+        let rhs = a.dot(&c) ^ b.dot(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn support_roundtrip(a in bitvec(64)) {
+        let rebuilt = BitVec::from_indices(64, &a.support());
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn rref_preserves_row_space(m in bitmatrix(6, 10)) {
+        let (r, _) = m.rref();
+        for row in m.iter() {
+            prop_assert!(r.in_row_space(row));
+        }
+        for row in r.iter() {
+            prop_assert!(m.in_row_space(row));
+        }
+    }
+
+    #[test]
+    fn rank_plus_nullity_equals_cols(m in bitmatrix(7, 9)) {
+        prop_assert_eq!(m.rank() + m.nullspace().num_rows(), m.num_cols());
+    }
+
+    #[test]
+    fn nullspace_vectors_are_in_kernel(m in bitmatrix(5, 8)) {
+        let ns = m.nullspace();
+        for v in ns.iter() {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+        // The nullspace basis is linearly independent.
+        prop_assert_eq!(ns.rank(), ns.num_rows());
+    }
+
+    #[test]
+    fn express_in_rows_is_consistent(m in bitmatrix(5, 8), sel in bitvec(5)) {
+        let target = m.combine_rows(&sel);
+        let found = m.express_in_rows(&target).expect("combination is in row space");
+        prop_assert_eq!(m.combine_rows(&found), target);
+    }
+
+    #[test]
+    fn solve_finds_valid_solution(m in bitmatrix(6, 9), x in bitvec(9)) {
+        // Construct a right-hand side that is guaranteed solvable.
+        let b = m.mul_vec(&x);
+        let out = solve(&m, &b);
+        let sol = out.solution().expect("constructed system is solvable");
+        prop_assert_eq!(m.mul_vec(sol), b);
+    }
+
+    #[test]
+    fn transpose_swaps_mul_direction(m in bitmatrix(5, 7), x in bitvec(5)) {
+        // xᵀ·A computed through combine_rows equals Aᵀ·x.
+        prop_assert_eq!(m.combine_rows(&x), m.transpose().mul_vec(&x));
+    }
+
+    #[test]
+    fn mul_mat_associates_with_mul_vec(a in bitmatrix(4, 5), b in bitmatrix(5, 6), x in bitvec(6)) {
+        let lhs = a.mul_mat(&b).mul_vec(&x);
+        let rhs = a.mul_vec(&b.mul_vec(&x));
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,273 @@
+//! Circuit-level depolarizing noise (the `E1_1` model of the paper's
+//! simulations).
+
+use dftsp::{FaultModel, SegmentId};
+use dftsp_circuit::{Circuit, FaultEffect, FaultSite, FaultSiteKind};
+use dftsp_pauli::{Pauli, PauliString};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters of the circuit-level depolarizing noise model.
+///
+/// The paper uses Qsample's `E1_1` model: a single physical error rate `p`
+/// governs single-qubit gates, two-qubit gates, preparations and measurement
+/// readout. After a faulty single-qubit operation one of the three
+/// non-trivial Paulis is applied uniformly at random; after a faulty
+/// two-qubit gate one of the fifteen non-trivial two-qubit Paulis; a faulty
+/// measurement flips its recorded outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Fault probability after a single-qubit gate.
+    pub single_qubit: f64,
+    /// Fault probability after a two-qubit gate.
+    pub two_qubit: f64,
+    /// Fault probability of a preparation (reset).
+    pub preparation: f64,
+    /// Probability that a measurement outcome is flipped.
+    pub measurement: f64,
+}
+
+impl NoiseParams {
+    /// The uniform single-parameter model used throughout the paper.
+    pub fn e1_1(p: f64) -> Self {
+        NoiseParams {
+            single_qubit: p,
+            two_qubit: p,
+            preparation: p,
+            measurement: p,
+        }
+    }
+
+    /// The fault probability at a location of the given kind.
+    pub fn probability(&self, kind: FaultSiteKind) -> f64 {
+        match kind {
+            FaultSiteKind::SingleQubitGate => self.single_qubit,
+            FaultSiteKind::TwoQubitGate => self.two_qubit,
+            FaultSiteKind::Preparation => self.preparation,
+            FaultSiteKind::Measurement => self.measurement,
+        }
+    }
+}
+
+/// Draws a uniformly random non-trivial fault for a location.
+pub(crate) fn random_effect(circuit: &Circuit, site: &FaultSite, rng: &mut StdRng) -> FaultEffect {
+    let n = circuit.num_qubits();
+    match site.kind {
+        FaultSiteKind::SingleQubitGate | FaultSiteKind::Preparation => {
+            let pauli = Pauli::ERRORS[rng.gen_range(0..3)];
+            FaultEffect::Pauli(PauliString::single(n, site.qubits[0], pauli))
+        }
+        FaultSiteKind::TwoQubitGate => {
+            // Uniform over the 15 non-identity two-qubit Paulis.
+            let index = rng.gen_range(1..16);
+            let mut error = PauliString::identity(n);
+            error.set(site.qubits[0], Pauli::ALL[index / 4]);
+            error.set(site.qubits[1], Pauli::ALL[index % 4]);
+            FaultEffect::Pauli(error)
+        }
+        FaultSiteKind::Measurement => {
+            let bit = circuit.gates()[site.gate_index]
+                .measured_bit()
+                .expect("measurement sites correspond to measurement gates");
+            FaultEffect::MeasurementFlip(bit)
+        }
+    }
+}
+
+/// A [`FaultModel`] that injects independent depolarizing faults at every
+/// traversed location.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{execute, synthesize_protocol, SynthesisOptions};
+/// use dftsp_noise::{DepolarizingFaults, NoiseParams};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// let mut noise = DepolarizingFaults::new(NoiseParams::e1_1(0.01), 7);
+/// let record = execute(&protocol, &mut noise);
+/// assert!(record.locations > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepolarizingFaults {
+    params: NoiseParams,
+    rng: StdRng,
+    faults_injected: usize,
+}
+
+impl DepolarizingFaults {
+    /// Creates the model with the given parameters and RNG seed.
+    pub fn new(params: NoiseParams, seed: u64) -> Self {
+        DepolarizingFaults {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            faults_injected: 0,
+        }
+    }
+
+    /// Number of faults injected since construction (or the last reset).
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+
+    /// Resets the fault counter (the RNG stream continues).
+    pub fn reset_counter(&mut self) {
+        self.faults_injected = 0;
+    }
+}
+
+impl FaultModel for DepolarizingFaults {
+    fn fault(
+        &mut self,
+        _location: usize,
+        _segment: SegmentId,
+        circuit: &Circuit,
+        site: &FaultSite,
+    ) -> Option<FaultEffect> {
+        let p = self.params.probability(site.kind);
+        if self.rng.gen_bool(p) {
+            self.faults_injected += 1;
+            Some(random_effect(circuit, site, &mut self.rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// A [`FaultModel`] that injects uniformly random faults at a fixed set of
+/// location indices — the sampling primitive of the subset estimator.
+#[derive(Debug, Clone)]
+pub struct FixedLocationFaults {
+    locations: Vec<usize>,
+    rng: StdRng,
+    faults_injected: usize,
+}
+
+impl FixedLocationFaults {
+    /// Creates a model that faults exactly the given global location indices
+    /// (on the traversed path; indices beyond the executed path are ignored).
+    pub fn new(mut locations: Vec<usize>, seed: u64) -> Self {
+        locations.sort_unstable();
+        locations.dedup();
+        FixedLocationFaults {
+            locations,
+            rng: StdRng::seed_from_u64(seed),
+            faults_injected: 0,
+        }
+    }
+
+    /// Number of faults actually injected (locations on skipped branches do
+    /// not fire).
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+}
+
+impl FaultModel for FixedLocationFaults {
+    fn fault(
+        &mut self,
+        location: usize,
+        _segment: SegmentId,
+        circuit: &Circuit,
+        site: &FaultSite,
+    ) -> Option<FaultEffect> {
+        if self.locations.binary_search(&location).is_ok() {
+            self.faults_injected += 1;
+            Some(random_effect(circuit, site, &mut self.rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp::{execute, synthesize_protocol, NoFaults, SynthesisOptions};
+    use dftsp_code::catalog;
+
+    fn steane_protocol() -> dftsp::DeterministicProtocol {
+        synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn e1_1_is_uniform() {
+        let params = NoiseParams::e1_1(0.02);
+        for kind in [
+            FaultSiteKind::SingleQubitGate,
+            FaultSiteKind::TwoQubitGate,
+            FaultSiteKind::Preparation,
+            FaultSiteKind::Measurement,
+        ] {
+            assert_eq!(params.probability(kind), 0.02);
+        }
+    }
+
+    #[test]
+    fn zero_probability_injects_nothing() {
+        let protocol = steane_protocol();
+        let mut noise = DepolarizingFaults::new(NoiseParams::e1_1(0.0), 1);
+        let record = execute(&protocol, &mut noise);
+        assert_eq!(noise.faults_injected(), 0);
+        assert!(record.residual.is_identity());
+    }
+
+    #[test]
+    fn unit_probability_faults_every_location() {
+        let protocol = steane_protocol();
+        let clean = execute(&protocol, &mut NoFaults);
+        let mut noise = DepolarizingFaults::new(NoiseParams::e1_1(1.0), 2);
+        let record = execute(&protocol, &mut noise);
+        // Every traversed location received a fault (branch locations may
+        // differ from the clean path, so compare against the noisy record).
+        assert_eq!(noise.faults_injected(), record.locations);
+        assert!(record.locations >= clean.locations);
+    }
+
+    #[test]
+    fn fixed_locations_fire_once_each() {
+        let protocol = steane_protocol();
+        let clean = execute(&protocol, &mut NoFaults);
+        let targets = vec![0, clean.locations - 1];
+        let mut model = FixedLocationFaults::new(targets, 3);
+        let _ = execute(&protocol, &mut model);
+        assert_eq!(model.faults_injected(), 2);
+    }
+
+    #[test]
+    fn out_of_path_locations_are_ignored() {
+        let protocol = steane_protocol();
+        let clean = execute(&protocol, &mut NoFaults);
+        let mut model = FixedLocationFaults::new(vec![clean.locations + 500], 4);
+        let _ = execute(&protocol, &mut model);
+        assert_eq!(model.faults_injected(), 0);
+    }
+
+    #[test]
+    fn random_effects_match_site_kind() {
+        let mut circuit = Circuit::new(3);
+        circuit.h(0);
+        circuit.cnot(0, 1);
+        circuit.measure_z(2);
+        let sites = dftsp_circuit::enumerate_fault_sites(&circuit);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            match random_effect(&circuit, &sites[0], &mut rng) {
+                FaultEffect::Pauli(p) => assert_eq!(p.support(), vec![0]),
+                FaultEffect::MeasurementFlip(_) => panic!("1q site yields Pauli faults"),
+            }
+            match random_effect(&circuit, &sites[1], &mut rng) {
+                FaultEffect::Pauli(p) => {
+                    assert!(!p.is_identity());
+                    assert!(p.support().iter().all(|&q| q < 2));
+                }
+                FaultEffect::MeasurementFlip(_) => panic!("2q site yields Pauli faults"),
+            }
+            match random_effect(&circuit, &sites[2], &mut rng) {
+                FaultEffect::MeasurementFlip(bit) => assert_eq!(bit, 0),
+                FaultEffect::Pauli(_) => panic!("measurement site yields outcome flips"),
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Direct Monte-Carlo estimation of the logical error rate.
+
+use dftsp::{execute, DeterministicProtocol};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::logical::PerfectDecoder;
+use crate::model::{DepolarizingFaults, NoiseParams};
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated probability.
+    pub mean: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Builds a binomial estimate from a failure count.
+    pub fn from_counts(failures: usize, samples: usize) -> Self {
+        let n = samples.max(1) as f64;
+        let mean = failures as f64 / n;
+        Estimate {
+            mean,
+            std_error: (mean * (1.0 - mean) / n).sqrt(),
+            samples,
+        }
+    }
+}
+
+/// Result of one noisy protocol run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Whether the run ended in a logical failure (X sector, as in Fig. 4).
+    pub failure: bool,
+    /// Number of faults injected during the run.
+    pub faults: usize,
+    /// Number of fault locations traversed (branch-dependent).
+    pub locations: usize,
+}
+
+/// Runs the protocol once under depolarizing noise and classifies the result.
+pub fn run_once(
+    protocol: &DeterministicProtocol,
+    decoder: &PerfectDecoder,
+    params: NoiseParams,
+    seed: u64,
+) -> RunOutcome {
+    let mut noise = DepolarizingFaults::new(params, seed);
+    let record = execute(protocol, &mut noise);
+    let outcome = decoder.classify(&record.residual);
+    RunOutcome {
+        failure: outcome.is_failure(),
+        faults: noise.faults_injected(),
+        locations: record.locations,
+    }
+}
+
+/// Estimates the logical error rate at a single physical error rate by plain
+/// Monte-Carlo sampling.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{synthesize_protocol, SynthesisOptions};
+/// use dftsp_noise::{monte_carlo, NoiseParams};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// let estimate = monte_carlo(&protocol, NoiseParams::e1_1(0.05), 200, 1);
+/// assert!(estimate.mean >= 0.0 && estimate.mean <= 1.0);
+/// ```
+pub fn monte_carlo(
+    protocol: &DeterministicProtocol,
+    params: NoiseParams,
+    samples: usize,
+    seed: u64,
+) -> Estimate {
+    let decoder = PerfectDecoder::for_protocol(protocol);
+    let mut seeder = StdRng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    for _ in 0..samples {
+        let outcome = run_once(protocol, &decoder, params, seeder.gen());
+        if outcome.failure {
+            failures += 1;
+        }
+    }
+    Estimate::from_counts(failures, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp::{synthesize_protocol, SynthesisOptions};
+    use dftsp_code::catalog;
+
+    fn steane_protocol() -> DeterministicProtocol {
+        synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn noiseless_runs_never_fail() {
+        let protocol = steane_protocol();
+        let estimate = monte_carlo(&protocol, NoiseParams::e1_1(0.0), 50, 11);
+        assert_eq!(estimate.mean, 0.0);
+        assert_eq!(estimate.samples, 50);
+    }
+
+    #[test]
+    fn heavy_noise_produces_failures() {
+        let protocol = steane_protocol();
+        let estimate = monte_carlo(&protocol, NoiseParams::e1_1(0.25), 300, 12);
+        assert!(estimate.mean > 0.05, "got {}", estimate.mean);
+        assert!(estimate.std_error > 0.0);
+    }
+
+    #[test]
+    fn estimates_are_reproducible_for_fixed_seed() {
+        let protocol = steane_protocol();
+        let a = monte_carlo(&protocol, NoiseParams::e1_1(0.1), 100, 33);
+        let b = monte_carlo(&protocol, NoiseParams::e1_1(0.1), 100, 33);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_counts_statistics() {
+        let e = Estimate::from_counts(25, 100);
+        assert!((e.mean - 0.25).abs() < 1e-12);
+        assert!((e.std_error - (0.25f64 * 0.75 / 100.0).sqrt()).abs() < 1e-12);
+        let zero = Estimate::from_counts(0, 0);
+        assert_eq!(zero.mean, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Subset-sampling estimation of the logical error rate.
+//!
+//! The paper samples 8000 protocol runs at `p_max = 0.1` and uses Dynamic
+//! Subset Sampling (Heußen et al.) to extrapolate the logical error rate to
+//! lower physical error rates. This module implements the same stratification
+//! idea in a simplified, self-contained form:
+//!
+//! * fault configurations are stratified by the *number of faults* `k`,
+//! * the conditional failure probability `f_k = P(logical error | k faults)`
+//!   is estimated by Monte Carlo with exactly `k` faults placed uniformly at
+//!   random on the protocol's fault locations,
+//! * the logical error rate at any physical rate `p` is recombined as
+//!   `p_L(p) = Σ_k B(L, k, p) · f_k`, where `B` is the binomial probability of
+//!   `k` faults among the `L` locations of the fault-free execution path.
+//!
+//! For a fault-tolerant protocol `f_0 = f_1 = 0`, so the recombined curve
+//! scales as `O(p²)` — the quantitative statement behind Fig. 4. Conditional
+//! branches make `L` mildly configuration-dependent; using the fault-free
+//! path length is an approximation that only affects the (already
+//! heuristic-free) high-`p` end of the curve and is documented in DESIGN.md.
+
+use dftsp::{execute, DeterministicProtocol, NoFaults};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::logical::PerfectDecoder;
+use crate::model::FixedLocationFaults;
+use crate::sampler::Estimate;
+
+/// Configuration of the subset estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetConfig {
+    /// Largest fault count stratum to sample (`k = 0..=max_faults`).
+    pub max_faults: usize,
+    /// Number of Monte-Carlo samples per stratum.
+    pub samples_per_stratum: usize,
+}
+
+impl Default for SubsetConfig {
+    fn default() -> Self {
+        SubsetConfig {
+            max_faults: 4,
+            samples_per_stratum: 2000,
+        }
+    }
+}
+
+/// The stratified estimate: conditional failure probabilities per fault
+/// count, reusable for any physical error rate.
+#[derive(Debug, Clone)]
+pub struct SubsetEstimate {
+    /// Number of fault locations on the fault-free execution path.
+    pub locations: usize,
+    /// Conditional failure estimates `f_k`, indexed by the fault count `k`.
+    pub conditional_failure: Vec<Estimate>,
+}
+
+impl SubsetEstimate {
+    /// Builds the stratified estimate for a protocol.
+    ///
+    /// The `k = 0` stratum is exact (no faults → no failure for a correct
+    /// protocol) and is still sampled once as a sanity check.
+    pub fn build(protocol: &DeterministicProtocol, config: &SubsetConfig, seed: u64) -> Self {
+        let decoder = PerfectDecoder::for_protocol(protocol);
+        let locations = execute(protocol, &mut NoFaults).locations;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conditional_failure = Vec::with_capacity(config.max_faults + 1);
+        for k in 0..=config.max_faults {
+            if k == 0 {
+                let record = execute(protocol, &mut NoFaults);
+                let failure = decoder.classify(&record.residual).is_failure();
+                conditional_failure.push(Estimate::from_counts(usize::from(failure), 1));
+                continue;
+            }
+            let samples = config.samples_per_stratum;
+            let mut failures = 0usize;
+            for _ in 0..samples {
+                let chosen = sample_locations(locations, k, &mut rng);
+                let mut model = FixedLocationFaults::new(chosen, rng.gen());
+                let record = execute(protocol, &mut model);
+                if decoder.classify(&record.residual).is_failure() {
+                    failures += 1;
+                }
+            }
+            conditional_failure.push(Estimate::from_counts(failures, samples));
+        }
+        SubsetEstimate {
+            locations,
+            conditional_failure,
+        }
+    }
+
+    /// Recombines the strata into the logical error rate at physical rate `p`.
+    ///
+    /// The returned estimate includes the truncation term: the probability of
+    /// more than `max_faults` faults is added to the upper error bar by
+    /// assuming those configurations always fail.
+    pub fn logical_error_rate(&self, p: f64) -> Estimate {
+        let l = self.locations;
+        let mut mean = 0.0;
+        let mut variance = 0.0;
+        let mut covered = 0.0;
+        for (k, estimate) in self.conditional_failure.iter().enumerate() {
+            let weight = binomial_pmf(l, k, p);
+            covered += weight;
+            mean += weight * estimate.mean;
+            variance += (weight * estimate.std_error).powi(2);
+        }
+        // Configurations with more faults than sampled: bound their
+        // contribution by assuming they always fail and fold it into the
+        // uncertainty.
+        let truncated = (1.0 - covered).max(0.0);
+        Estimate {
+            mean,
+            std_error: (variance + truncated * truncated).sqrt(),
+            samples: self
+                .conditional_failure
+                .iter()
+                .map(|e| e.samples)
+                .sum(),
+        }
+    }
+}
+
+/// Samples `k` distinct location indices uniformly from `0..locations`.
+fn sample_locations(locations: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let k = k.min(locations);
+    rand::seq::index::sample(rng, locations, k).into_vec()
+}
+
+/// Binomial probability mass function `P(K = k)` for `K ~ Bin(n, p)`.
+fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    // log-space for numerical stability with n ≈ hundreds of locations.
+    let ln_choose = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+    (ln_choose + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln()).exp()
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp::{synthesize_protocol, SynthesisOptions};
+    use dftsp_code::catalog;
+
+    fn quick_estimate(samples: usize) -> SubsetEstimate {
+        let protocol =
+            synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+        let config = SubsetConfig {
+            max_faults: 3,
+            samples_per_stratum: samples,
+        };
+        SubsetEstimate::build(&protocol, &config, 99)
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=20).map(|k| binomial_pmf(20, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(binomial_pmf(5, 9, 0.3), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_matches_direct_formula() {
+        let direct = 45.0 * 0.1f64.powi(2) * 0.9f64.powi(8);
+        assert!((binomial_pmf(10, 2, 0.1) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_and_single_fault_strata_never_fail() {
+        let estimate = quick_estimate(300);
+        assert_eq!(estimate.conditional_failure[0].mean, 0.0);
+        assert_eq!(
+            estimate.conditional_failure[1].mean, 0.0,
+            "a fault-tolerant protocol never fails under a single fault"
+        );
+    }
+
+    #[test]
+    fn logical_error_rate_scales_quadratically() {
+        let estimate = quick_estimate(400);
+        let high = estimate.logical_error_rate(1e-2).mean;
+        let low = estimate.logical_error_rate(1e-3).mean;
+        assert!(high > 0.0, "two-fault configurations must sometimes fail");
+        let ratio = high / low;
+        // A ×10 reduction in p reduces p_L by roughly ×100 (allow slack for
+        // the k ≥ 3 strata and sampling noise).
+        assert!(
+            (30.0..300.0).contains(&ratio),
+            "expected quadratic scaling, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn recombination_is_monotone_in_p() {
+        let estimate = quick_estimate(200);
+        let mut last = 0.0;
+        for &p in &[1e-4, 1e-3, 1e-2, 5e-2] {
+            let value = estimate.logical_error_rate(p).mean;
+            assert!(value >= last);
+            last = value;
+        }
+    }
+
+    #[test]
+    fn sample_locations_returns_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let sample = sample_locations(30, 4, &mut rng);
+            let unique: std::collections::HashSet<_> = sample.iter().collect();
+            assert_eq!(unique.len(), 4);
+            assert!(sample.iter().all(|&i| i < 30));
+        }
+        assert_eq!(sample_locations(3, 10, &mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Logical-error-rate curves over a range of physical error rates (Fig. 4).
+
+use dftsp::DeterministicProtocol;
+
+use crate::sampler::Estimate;
+use crate::subset::{SubsetConfig, SubsetEstimate};
+
+/// One point of a logical-error-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Physical error rate.
+    pub physical: f64,
+    /// Estimated logical error rate.
+    pub logical: Estimate,
+}
+
+/// A named logical-error-rate curve (one series of Fig. 4).
+#[derive(Debug, Clone)]
+pub struct ErrorRateCurve {
+    /// Label of the series (usually the code name).
+    pub label: String,
+    /// Curve points, ordered by increasing physical error rate.
+    pub points: Vec<CurvePoint>,
+}
+
+impl ErrorRateCurve {
+    /// Fits the slope of `log p_L` against `log p` over the points with a
+    /// positive logical error rate — ≈ 2 for a fault-tolerant protocol.
+    pub fn log_log_slope(&self) -> Option<f64> {
+        let data: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|pt| pt.logical.mean > 0.0)
+            .map(|pt| (pt.physical.ln(), pt.logical.mean.ln()))
+            .collect();
+        if data.len() < 2 {
+            return None;
+        }
+        let n = data.len() as f64;
+        let sx: f64 = data.iter().map(|(x, _)| x).sum();
+        let sy: f64 = data.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = data.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = data.iter().map(|(x, y)| x * y).sum();
+        let denominator = n * sxx - sx * sx;
+        (denominator.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denominator)
+    }
+}
+
+/// A geometric grid of physical error rates, matching the range of Fig. 4
+/// (`10⁻⁴` to `10⁻¹`).
+pub fn default_physical_rates(points_per_decade: usize) -> Vec<f64> {
+    let mut rates = Vec::new();
+    let total = 3 * points_per_decade;
+    for i in 0..=total {
+        rates.push(1e-4 * 10f64.powf(i as f64 / points_per_decade as f64));
+    }
+    rates
+}
+
+/// Computes the logical-error-rate curve of a protocol with the subset
+/// estimator.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{synthesize_protocol, SynthesisOptions};
+/// use dftsp_noise::{logical_error_curve, SubsetConfig};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// let config = SubsetConfig { max_faults: 2, samples_per_stratum: 100 };
+/// let curve = logical_error_curve(&protocol, &[1e-3, 1e-2], &config, 7);
+/// assert_eq!(curve.points.len(), 2);
+/// assert!(curve.points[0].logical.mean <= curve.points[1].logical.mean);
+/// ```
+pub fn logical_error_curve(
+    protocol: &DeterministicProtocol,
+    physical_rates: &[f64],
+    config: &SubsetConfig,
+    seed: u64,
+) -> ErrorRateCurve {
+    let estimate = SubsetEstimate::build(protocol, config, seed);
+    let points = physical_rates
+        .iter()
+        .map(|&p| CurvePoint {
+            physical: p,
+            logical: estimate.logical_error_rate(p),
+        })
+        .collect();
+    ErrorRateCurve {
+        label: protocol.context.code().name().to_string(),
+        points,
+    }
+}
+
+/// The `p_L = p` reference line plotted in Fig. 4.
+pub fn linear_reference(physical_rates: &[f64]) -> ErrorRateCurve {
+    ErrorRateCurve {
+        label: "Linear".to_string(),
+        points: physical_rates
+            .iter()
+            .map(|&p| CurvePoint {
+                physical: p,
+                logical: Estimate {
+                    mean: p,
+                    std_error: 0.0,
+                    samples: 0,
+                },
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_spans_the_figure_range() {
+        let rates = default_physical_rates(4);
+        assert_eq!(rates.len(), 13);
+        assert!((rates[0] - 1e-4).abs() < 1e-12);
+        assert!((rates.last().unwrap() - 1e-1).abs() < 1e-6);
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn linear_reference_is_the_identity() {
+        let curve = linear_reference(&[1e-3, 1e-2]);
+        assert_eq!(curve.label, "Linear");
+        assert_eq!(curve.points[0].logical.mean, 1e-3);
+        assert!((curve.log_log_slope().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_quadratic_series_is_two() {
+        let points: Vec<CurvePoint> = [1e-4, 1e-3, 1e-2]
+            .iter()
+            .map(|&p: &f64| CurvePoint {
+                physical: p,
+                logical: Estimate {
+                    mean: 40.0 * p * p,
+                    std_error: 0.0,
+                    samples: 1,
+                },
+            })
+            .collect();
+        let curve = ErrorRateCurve {
+            label: "test".into(),
+            points,
+        };
+        assert!((curve.log_log_slope().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_needs_at_least_two_positive_points() {
+        let curve = ErrorRateCurve {
+            label: "empty".into(),
+            points: vec![CurvePoint {
+                physical: 1e-3,
+                logical: Estimate {
+                    mean: 0.0,
+                    std_error: 0.0,
+                    samples: 1,
+                },
+            }],
+        };
+        assert!(curve.log_log_slope().is_none());
+    }
+}

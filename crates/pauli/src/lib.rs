@@ -1,0 +1,42 @@
+//! Pauli operators and their GF(2) symplectic representation.
+//!
+//! Stabilizer quantum error correction manipulates `n`-qubit Pauli operators
+//! almost exclusively through their *symplectic* representation: a Pauli
+//! `P = i^φ · X^a Z^b` is identified with the pair of GF(2) vectors
+//! `(a, b) ∈ F₂ⁿ × F₂ⁿ`. Multiplication becomes XOR, and two Paulis commute
+//! iff the symplectic inner product `⟨a, b'⟩ + ⟨a', b⟩` vanishes.
+//!
+//! This crate provides:
+//!
+//! * [`Pauli`] — a single-qubit Pauli (`I`, `X`, `Y`, `Z`),
+//! * [`PauliString`] — an `n`-qubit Pauli operator (phase-free), stored as a
+//!   pair of bit vectors,
+//! * [`PauliKind`] — the X/Z sector tag used throughout the CSS-code
+//!   machinery of the workspace.
+//!
+//! Global phases are deliberately not tracked here: for error analysis and
+//! circuit synthesis only the projective Pauli group matters. The stabilizer
+//! tableau simulator in `dftsp-stabsim` tracks signs separately.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_pauli::PauliString;
+//!
+//! let err: PauliString = "XIYZI".parse()?;
+//! let stab: PauliString = "ZZIIZ".parse()?;
+//! assert_eq!(err.weight(), 3);
+//! assert!(!err.commutes_with(&stab));
+//! let product = err.mul(&stab);
+//! assert_eq!(product.to_string(), "YZYZZ");
+//! # Ok::<(), dftsp_pauli::ParsePauliError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod single;
+mod string;
+
+pub use single::{Pauli, PauliKind};
+pub use string::{ParsePauliError, PauliString};

@@ -1,0 +1,218 @@
+//! Single-qubit Pauli operators and the X/Z sector tag.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator, up to global phase.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_pauli::Pauli;
+///
+/// assert_eq!(Pauli::X.mul(Pauli::Z), Pauli::Y);
+/// assert!(Pauli::X.commutes_with(Pauli::X));
+/// assert!(!Pauli::X.commutes_with(Pauli::Z));
+/// assert_eq!(Pauli::Y.weight(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pauli {
+    /// The identity operator.
+    #[default]
+    I,
+    /// The bit-flip operator σₓ.
+    X,
+    /// The combined bit- and phase-flip operator σ_y.
+    Y,
+    /// The phase-flip operator σ_z.
+    Z,
+}
+
+impl Pauli {
+    /// All four single-qubit Paulis, identity first.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Paulis.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Constructs a Pauli from its symplectic bits `(x, z)`.
+    ///
+    /// ```
+    /// # use dftsp_pauli::Pauli;
+    /// assert_eq!(Pauli::from_xz(true, true), Pauli::Y);
+    /// assert_eq!(Pauli::from_xz(false, false), Pauli::I);
+    /// ```
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Returns the symplectic bits `(x, z)`.
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Returns `true` if the operator has an X component (is `X` or `Y`).
+    pub fn has_x(self) -> bool {
+        self.xz().0
+    }
+
+    /// Returns `true` if the operator has a Z component (is `Z` or `Y`).
+    pub fn has_z(self) -> bool {
+        self.xz().1
+    }
+
+    /// Multiplies two Paulis, discarding the global phase.
+    pub fn mul(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+
+    /// Returns `true` if the two operators commute.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        !((x1 && z2) ^ (z1 && x2))
+    }
+
+    /// Returns 0 for the identity and 1 otherwise.
+    pub fn weight(self) -> usize {
+        usize::from(self != Pauli::I)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The Pauli sector relevant for CSS codes: pure-X or pure-Z operators.
+///
+/// CSS codes treat X and Z errors independently: X errors are detected by
+/// Z-type stabilizers and vice versa. Most synthesis routines in the
+/// workspace are parameterized by this tag.
+///
+/// ```
+/// use dftsp_pauli::PauliKind;
+///
+/// assert_eq!(PauliKind::X.dual(), PauliKind::Z);
+/// assert_eq!(PauliKind::Z.dual(), PauliKind::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauliKind {
+    /// Pure X-type operators (products of σₓ).
+    X,
+    /// Pure Z-type operators (products of σ_z).
+    Z,
+}
+
+impl PauliKind {
+    /// Both sectors, X first.
+    pub const BOTH: [PauliKind; 2] = [PauliKind::X, PauliKind::Z];
+
+    /// Returns the opposite sector.
+    ///
+    /// X errors are detected by Z stabilizers and corrected by X recoveries,
+    /// so "dual" pairs occur throughout the synthesis pipeline.
+    pub fn dual(self) -> PauliKind {
+        match self {
+            PauliKind::X => PauliKind::Z,
+            PauliKind::Z => PauliKind::X,
+        }
+    }
+
+    /// Returns the single-qubit Pauli of this kind.
+    pub fn pauli(self) -> Pauli {
+        match self {
+            PauliKind::X => Pauli::X,
+            PauliKind::Z => Pauli::Z,
+        }
+    }
+}
+
+impl fmt::Display for PauliKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PauliKind::X => write!(f, "X"),
+            PauliKind::Z => write!(f, "Z"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X.mul(X), I);
+        assert_eq!(Z.mul(Z), I);
+        assert_eq!(Y.mul(Y), I);
+        assert_eq!(X.mul(Z), Y);
+        assert_eq!(Z.mul(X), Y);
+        assert_eq!(X.mul(Y), Z);
+        assert_eq!(Y.mul(Z), X);
+        assert_eq!(I.mul(Y), Y);
+    }
+
+    #[test]
+    fn commutation_relations() {
+        use Pauli::*;
+        for p in Pauli::ALL {
+            assert!(I.commutes_with(p));
+            assert!(p.commutes_with(p));
+        }
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+    }
+
+    #[test]
+    fn xz_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn weight_and_components() {
+        assert_eq!(Pauli::I.weight(), 0);
+        assert_eq!(Pauli::Y.weight(), 1);
+        assert!(Pauli::Y.has_x() && Pauli::Y.has_z());
+        assert!(Pauli::X.has_x() && !Pauli::X.has_z());
+        assert!(!Pauli::Z.has_x() && Pauli::Z.has_z());
+    }
+
+    #[test]
+    fn kind_duality() {
+        assert_eq!(PauliKind::X.dual(), PauliKind::Z);
+        assert_eq!(PauliKind::Z.dual().dual(), PauliKind::Z);
+        assert_eq!(PauliKind::X.pauli(), Pauli::X);
+        assert_eq!(PauliKind::Z.pauli(), Pauli::Z);
+        assert_eq!(PauliKind::X.to_string(), "X");
+    }
+
+    #[test]
+    fn display() {
+        let s: String = Pauli::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(s, "IXYZ");
+    }
+}

@@ -1,0 +1,361 @@
+//! Multi-qubit Pauli operators in symplectic representation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use dftsp_f2::BitVec;
+
+use crate::{Pauli, PauliKind};
+
+/// An `n`-qubit Pauli operator, up to global phase.
+///
+/// Internally the operator `X^a Z^b` is stored as the pair of bit vectors
+/// `(a, b)`. Multiplication is coordinate-wise XOR and two operators commute
+/// iff their symplectic inner product vanishes.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_pauli::{Pauli, PauliString};
+///
+/// let p = PauliString::from_paulis(&[Pauli::X, Pauli::I, Pauli::Z]);
+/// assert_eq!(p.weight(), 2);
+/// assert_eq!(p.get(0), Pauli::X);
+/// assert_eq!(p.to_string(), "XIZ");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    x: BitVec,
+    z: BitVec,
+}
+
+impl PauliString {
+    /// Creates the identity operator on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+        }
+    }
+
+    /// Creates an operator from its X and Z component vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_xz(x: BitVec, z: BitVec) -> Self {
+        assert_eq!(x.len(), z.len(), "X and Z components must have equal length");
+        PauliString { x, z }
+    }
+
+    /// Creates a pure X-type operator with the given support vector.
+    pub fn from_x(x: BitVec) -> Self {
+        let z = BitVec::zeros(x.len());
+        PauliString { x, z }
+    }
+
+    /// Creates a pure Z-type operator with the given support vector.
+    pub fn from_z(z: BitVec) -> Self {
+        let x = BitVec::zeros(z.len());
+        PauliString { x, z }
+    }
+
+    /// Creates a pure operator of the given kind with the given support.
+    pub fn from_kind(kind: PauliKind, support: BitVec) -> Self {
+        match kind {
+            PauliKind::X => Self::from_x(support),
+            PauliKind::Z => Self::from_z(support),
+        }
+    }
+
+    /// Creates an operator from a slice of single-qubit Paulis.
+    pub fn from_paulis(paulis: &[Pauli]) -> Self {
+        let mut s = Self::identity(paulis.len());
+        for (i, &p) in paulis.iter().enumerate() {
+            s.set(i, p);
+        }
+        s
+    }
+
+    /// Creates an operator acting as `p` on qubit `q` and trivially elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        let mut s = Self::identity(n);
+        s.set(q, p);
+        s
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns the single-qubit Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn get(&self, q: usize) -> Pauli {
+        Pauli::from_xz(self.x.get(q), self.z.get(q))
+    }
+
+    /// Sets the single-qubit Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        let (x, z) = p.xz();
+        self.x.set(q, x);
+        self.z.set(q, z);
+    }
+
+    /// Returns the X component vector (`1` where the operator is `X` or `Y`).
+    pub fn x_part(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// Returns the Z component vector (`1` where the operator is `Z` or `Y`).
+    pub fn z_part(&self) -> &BitVec {
+        &self.z
+    }
+
+    /// Returns the component vector for the requested sector.
+    pub fn part(&self, kind: PauliKind) -> &BitVec {
+        match kind {
+            PauliKind::X => &self.x,
+            PauliKind::Z => &self.z,
+        }
+    }
+
+    /// Returns the number of qubits on which the operator acts non-trivially.
+    pub fn weight(&self) -> usize {
+        (&self.x | &self.z).weight()
+    }
+
+    /// Returns `true` if the operator is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.z.is_zero()
+    }
+
+    /// Returns `true` if the operator contains no Z or Y factors.
+    pub fn is_x_type(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Returns `true` if the operator contains no X or Y factors.
+    pub fn is_z_type(&self) -> bool {
+        self.x.is_zero()
+    }
+
+    /// Returns the qubits on which the operator acts non-trivially.
+    pub fn support(&self) -> Vec<usize> {
+        (&self.x | &self.z).support()
+    }
+
+    /// Multiplies two operators (discarding phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        PauliString {
+            x: &self.x ^ &other.x,
+            z: &self.z ^ &other.z,
+        }
+    }
+
+    /// Multiplies `other` into `self` in place (discarding phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        self.x.xor_with(&other.x);
+        self.z.xor_with(&other.z);
+    }
+
+    /// Returns `true` if the two operators commute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        !(self.x.dot(&other.z) ^ self.z.dot(&other.x))
+    }
+
+    /// Returns the symplectic inner product with `other` (0 if they commute,
+    /// 1 otherwise), as a boolean.
+    pub fn symplectic_product(&self, other: &PauliString) -> bool {
+        !self.commutes_with(other)
+    }
+
+    /// Restricts the operator to its pure-X or pure-Z part as a new operator.
+    pub fn restrict(&self, kind: PauliKind) -> PauliString {
+        PauliString::from_kind(kind, self.part(kind).clone())
+    }
+
+    /// Returns the full symplectic vector `(x ∥ z)` of length `2n`.
+    pub fn to_symplectic(&self) -> BitVec {
+        self.x.concat(&self.z)
+    }
+
+    /// Reconstructs an operator from a symplectic vector `(x ∥ z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length is odd.
+    pub fn from_symplectic(v: &BitVec) -> PauliString {
+        assert!(v.len() % 2 == 0, "symplectic vector length must be even");
+        let n = v.len() / 2;
+        PauliString {
+            x: v.slice(0..n),
+            z: v.slice(n..2 * n),
+        }
+    }
+
+    /// Iterates over the single-qubit Paulis.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        (0..self.num_qubits()).map(move |q| self.get(q))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.iter() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString({self})")
+    }
+}
+
+/// Error returned when parsing a [`PauliString`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pauli character '{}'", self.offending)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    /// Parses strings such as `"XIZZY"`; `_` and `.` are accepted as identity.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut paulis = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            let p = match c {
+                'I' | 'i' | '_' | '.' => Pauli::I,
+                'X' | 'x' => Pauli::X,
+                'Y' | 'y' => Pauli::Y,
+                'Z' | 'z' => Pauli::Z,
+                other => return Err(ParsePauliError { offending: other }),
+            };
+            paulis.push(p);
+        }
+        Ok(PauliString::from_paulis(&paulis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p: PauliString = "XIZZY".parse().unwrap();
+        assert_eq!(p.to_string(), "XIZZY");
+        assert_eq!(p.num_qubits(), 5);
+        assert_eq!(p.weight(), 4);
+        let q: PauliString = "x_z.y".parse().unwrap();
+        assert_eq!(q.to_string(), "XIZIY");
+        assert!("XQZ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn identity_and_single() {
+        let id = PauliString::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.weight(), 0);
+        let s = PauliString::single(4, 2, Pauli::Y);
+        assert_eq!(s.to_string(), "IIYI");
+        assert_eq!(s.support(), vec![2]);
+    }
+
+    #[test]
+    fn multiplication_is_xor_of_components() {
+        let a: PauliString = "XXI".parse().unwrap();
+        let b: PauliString = "IZZ".parse().unwrap();
+        let c = a.mul(&b);
+        assert_eq!(c.to_string(), "XYZ");
+        let mut d = a.clone();
+        d.mul_assign(&b);
+        assert_eq!(d, c);
+        // Self-inverse.
+        assert!(a.mul(&a).is_identity());
+    }
+
+    #[test]
+    fn commutation_via_symplectic_product() {
+        let x1: PauliString = "XII".parse().unwrap();
+        let z1: PauliString = "ZII".parse().unwrap();
+        let z2: PauliString = "IZI".parse().unwrap();
+        assert!(!x1.commutes_with(&z1));
+        assert!(x1.commutes_with(&z2));
+        assert!(x1.symplectic_product(&z1));
+        // Steane stabilizers commute.
+        let sx: PauliString = "XXIIXXI".parse().unwrap();
+        let sz: PauliString = "ZIZIZIZ".parse().unwrap();
+        assert!(sx.commutes_with(&sz));
+    }
+
+    #[test]
+    fn x_and_z_parts() {
+        let p: PauliString = "XYZI".parse().unwrap();
+        assert_eq!(p.x_part().support(), vec![0, 1]);
+        assert_eq!(p.z_part().support(), vec![1, 2]);
+        assert_eq!(p.part(PauliKind::X).support(), vec![0, 1]);
+        assert!(p.restrict(PauliKind::X).is_x_type());
+        assert_eq!(p.restrict(PauliKind::Z).to_string(), "IZZI");
+        assert!(!p.is_x_type());
+        assert!(PauliString::from_x(dftsp_f2::BitVec::from_indices(3, &[1])).is_x_type());
+    }
+
+    #[test]
+    fn symplectic_roundtrip() {
+        let p: PauliString = "XYZIZ".parse().unwrap();
+        let v = p.to_symplectic();
+        assert_eq!(v.len(), 10);
+        assert_eq!(PauliString::from_symplectic(&v), p);
+    }
+
+    #[test]
+    fn from_kind_constructor() {
+        let v = dftsp_f2::BitVec::from_indices(4, &[0, 3]);
+        let x = PauliString::from_kind(PauliKind::X, v.clone());
+        assert_eq!(x.to_string(), "XIIX");
+        let z = PauliString::from_kind(PauliKind::Z, v);
+        assert_eq!(z.to_string(), "ZIIZ");
+    }
+
+    #[test]
+    fn weight_counts_y_once() {
+        let p: PauliString = "YYI".parse().unwrap();
+        assert_eq!(p.weight(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! DIMACS CNF import and export.
+//!
+//! The synthesis pipeline never touches DIMACS itself, but emitting the
+//! generated formulas in the standard format makes them easy to inspect and
+//! to cross-check against external solvers during development.
+
+use std::fmt;
+
+use crate::{Lit, Solver, Var};
+
+/// Error produced when parsing a DIMACS CNF file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A plain CNF formula: a variable count and a list of clauses.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::dimacs::Cnf;
+/// use dftsp_sat::SolveResult;
+///
+/// let cnf = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// assert_eq!(cnf.num_vars, 2);
+/// let (mut solver, vars) = cnf.to_solver();
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert!(solver.model().unwrap().value(vars[1]));
+/// # Ok::<(), dftsp_sat::dimacs::ParseDimacsError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared in the problem line.
+    pub num_vars: usize,
+    /// Clauses as signed, 1-based DIMACS literals.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed problem lines, literals outside the
+    /// declared variable range, or clauses not terminated by `0`.
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut num_vars = None;
+        let mut clauses = Vec::new();
+        let mut current = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "expected 'p cnf <vars> <clauses>'".into(),
+                    });
+                }
+                let nv = parts[1].parse::<usize>().map_err(|e| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad variable count: {e}"),
+                })?;
+                num_vars = Some(nv);
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let lit: i64 = tok.parse().map_err(|e| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal '{tok}': {e}"),
+                })?;
+                if lit == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let nv = num_vars.ok_or_else(|| ParseDimacsError {
+                        line: lineno + 1,
+                        message: "clause before problem line".into(),
+                    })?;
+                    if lit.unsigned_abs() as usize > nv {
+                        return Err(ParseDimacsError {
+                            line: lineno + 1,
+                            message: format!("literal {lit} exceeds variable count {nv}"),
+                        });
+                    }
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError {
+                line: text.lines().count(),
+                message: "last clause not terminated by 0".into(),
+            });
+        }
+        Ok(Cnf {
+            num_vars: num_vars.unwrap_or(0),
+            clauses,
+        })
+    }
+
+    /// Renders the formula as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                out.push_str(&lit.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Builds a [`Solver`] loaded with this formula, returning the solver and
+    /// the variables corresponding to DIMACS indices `1..=num_vars` (at
+    /// position `i - 1`).
+    pub fn to_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::with_polarity(vars[(l.unsigned_abs() - 1) as usize], l > 0))
+                .collect();
+            solver.add_clause(lits);
+        }
+        (solver, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_simple_formula() {
+        let cnf = Cnf::parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses, vec![vec![1, -2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![1, 2], vec![-1]],
+        };
+        let text = cnf.to_dimacs();
+        let parsed = Cnf::parse(&text).unwrap();
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Cnf::parse("p cnf x 2\n").is_err());
+        assert!(Cnf::parse("1 2 0\n").is_err());
+        assert!(Cnf::parse("p cnf 1 1\n5 0\n").is_err());
+        assert!(Cnf::parse("p cnf 2 1\n1 2\n").is_err());
+        assert!(Cnf::parse("p dnf 2 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn solver_roundtrip_sat_and_unsat() {
+        let sat = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let (mut s, vars) = sat.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().value(vars[1]));
+
+        let unsat = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let (mut s, _) = unsat.to_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula() {
+        let cnf = Cnf::parse("").unwrap();
+        assert_eq!(cnf.num_vars, 0);
+        let (mut s, _) = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+}

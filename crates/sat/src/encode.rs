@@ -1,0 +1,536 @@
+//! Higher-level constraint encodings on top of the CDCL solver.
+//!
+//! The synthesis encodings of the paper need three constraint families
+//! beyond plain clauses: Tseitin gate definitions (AND/OR/XOR), GF(2) parity
+//! constraints, and cardinality bounds (at-most-k), optionally guarded by an
+//! activation literal so they only apply on selected protocol branches.
+
+use crate::{Lit, Solver};
+
+/// Encoder that adds structured constraints to a [`Solver`].
+///
+/// The encoder borrows the solver mutably; all auxiliary variables it
+/// introduces live in the same variable space as the caller's variables.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let bits: Vec<Lit> = (0..4).map(|_| Lit::pos(solver.new_var())).collect();
+/// {
+///     let mut enc = Encoder::new(&mut solver);
+///     enc.at_most_k(&bits, 1);
+///     enc.add_parity(&bits, true); // odd number of bits set
+/// }
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// let model = solver.model().expect("sat");
+/// let ones = bits.iter().filter(|&&b| model.lit_value(b)).count();
+/// assert_eq!(ones, 1);
+/// ```
+#[derive(Debug)]
+pub struct Encoder<'a> {
+    solver: &'a mut Solver,
+    true_lit: Option<Lit>,
+}
+
+impl<'a> Encoder<'a> {
+    /// Creates an encoder targeting `solver`.
+    pub fn new(solver: &'a mut Solver) -> Self {
+        Encoder {
+            solver,
+            true_lit: None,
+        }
+    }
+
+    /// Returns the underlying solver.
+    pub fn solver(&mut self) -> &mut Solver {
+        self.solver
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn new_lit(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// Returns a literal that is constrained to be true.
+    pub fn true_lit(&mut self) -> Lit {
+        if let Some(t) = self.true_lit {
+            return t;
+        }
+        let t = self.new_lit();
+        self.solver.add_clause([t]);
+        self.true_lit = Some(t);
+        t
+    }
+
+    /// Returns a literal that is constrained to be false.
+    pub fn false_lit(&mut self) -> Lit {
+        !self.true_lit()
+    }
+
+    /// Adds the implication `a → b`.
+    pub fn implies(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause([!a, b]);
+    }
+
+    /// Adds the equivalence `a ↔ b`.
+    pub fn equivalent(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause([!a, b]);
+        self.solver.add_clause([a, !b]);
+    }
+
+    /// Returns a literal equivalent to the conjunction of `lits`
+    /// (Tseitin encoding).
+    ///
+    /// The conjunction of an empty set is true.
+    pub fn and(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.true_lit(),
+            [single] => *single,
+            _ => {
+                let out = self.new_lit();
+                // out → each lit
+                for &l in lits {
+                    self.solver.add_clause([!out, l]);
+                }
+                // all lits → out
+                let mut clause: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                clause.push(out);
+                self.solver.add_clause(clause);
+                out
+            }
+        }
+    }
+
+    /// Returns a literal equivalent to the disjunction of `lits`
+    /// (Tseitin encoding).
+    ///
+    /// The disjunction of an empty set is false.
+    pub fn or(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.false_lit(),
+            [single] => *single,
+            _ => {
+                let out = self.new_lit();
+                // each lit → out
+                for &l in lits {
+                    self.solver.add_clause([!l, out]);
+                }
+                // out → some lit
+                let mut clause: Vec<Lit> = lits.to_vec();
+                clause.push(!out);
+                self.solver.add_clause(clause);
+                out
+            }
+        }
+    }
+
+    /// Returns a literal equivalent to `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let out = self.new_lit();
+        // out ↔ a ⊕ b
+        self.solver.add_clause([!out, a, b]);
+        self.solver.add_clause([!out, !a, !b]);
+        self.solver.add_clause([out, !a, b]);
+        self.solver.add_clause([out, a, !b]);
+        out
+    }
+
+    /// Returns a literal equivalent to the parity (XOR) of `lits`.
+    ///
+    /// The parity of an empty set is false.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.false_lit(),
+            [single] => *single,
+            _ => {
+                let mut acc = lits[0];
+                for &l in &lits[1..] {
+                    acc = self.xor(acc, l);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Constrains the XOR of `lits` to equal `parity`
+    /// (`true` = odd number of satisfied literals).
+    pub fn add_parity(&mut self, lits: &[Lit], parity: bool) {
+        match lits {
+            [] => {
+                if parity {
+                    // XOR of nothing is 0; requiring 1 is a contradiction.
+                    let f = self.false_lit();
+                    self.solver.add_clause([f]);
+                }
+            }
+            [single] => {
+                let l = if parity { *single } else { !*single };
+                self.solver.add_clause([l]);
+            }
+            _ => {
+                let folded = self.xor_many(lits);
+                let l = if parity { folded } else { !folded };
+                self.solver.add_clause([l]);
+            }
+        }
+    }
+
+    /// Constrains at most one of `lits` to be true (pairwise encoding).
+    pub fn at_most_one(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                self.solver.add_clause([!lits[i], !lits[j]]);
+            }
+        }
+    }
+
+    /// Constrains exactly one of `lits` to be true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lits` is empty (no literal can then be true).
+    pub fn exactly_one(&mut self, lits: &[Lit]) {
+        assert!(!lits.is_empty(), "exactly_one of an empty set is unsatisfiable");
+        self.solver.add_clause(lits.to_vec());
+        self.at_most_one(lits);
+    }
+
+    /// Constrains at most `k` of `lits` to be true, using the
+    /// sequential-counter encoding of Sinz.
+    pub fn at_most_k(&mut self, lits: &[Lit], k: usize) {
+        self.at_most_k_guarded(None, lits, k);
+    }
+
+    /// Constrains at most `k` of `lits` to be true *when `guard` is true*.
+    ///
+    /// With `guard = None` the constraint is unconditional. The guarded form
+    /// is used for branch-dependent constraints (e.g. a correction-weight
+    /// bound that only applies on the branch selected by a syndrome).
+    pub fn at_most_k_guarded(&mut self, guard: Option<Lit>, lits: &[Lit], k: usize) {
+        let n = lits.len();
+        if n <= k {
+            return;
+        }
+        let relax = guard.map(|g| !g);
+        if k == 0 {
+            for &l in lits {
+                let mut clause = vec![!l];
+                if let Some(r) = relax {
+                    clause.push(r);
+                }
+                self.solver.add_clause(clause);
+            }
+            return;
+        }
+        // s[i][j] ⇔ at least j+1 of the first i+1 literals are true.
+        let mut s = vec![vec![Lit(0); k]; n];
+        for (i, row) in s.iter_mut().enumerate() {
+            for cell in row.iter_mut() {
+                let _ = i;
+                *cell = Lit::pos(self.solver.new_var());
+            }
+        }
+        let add = |solver: &mut Solver, mut clause: Vec<Lit>| {
+            if let Some(r) = relax {
+                clause.push(r);
+            }
+            solver.add_clause(clause);
+        };
+        // Base cases.
+        add(self.solver, vec![!lits[0], s[0][0]]);
+        for j in 1..k {
+            add(self.solver, vec![!s[0][j]]);
+        }
+        for i in 1..n {
+            // lits[i] → s[i][0]
+            add(self.solver, vec![!lits[i], s[i][0]]);
+            // s[i-1][0] → s[i][0]
+            add(self.solver, vec![!s[i - 1][0], s[i][0]]);
+            for j in 1..k {
+                // lits[i] ∧ s[i-1][j-1] → s[i][j]
+                add(self.solver, vec![!lits[i], !s[i - 1][j - 1], s[i][j]]);
+                // s[i-1][j] → s[i][j]
+                add(self.solver, vec![!s[i - 1][j], s[i][j]]);
+            }
+            // lits[i] ∧ s[i-1][k-1] → ⊥
+            add(self.solver, vec![!lits[i], !s[i - 1][k - 1]]);
+        }
+    }
+
+    /// Constrains at least `k` of `lits` to be true.
+    pub fn at_least_k(&mut self, lits: &[Lit], k: usize) {
+        if k == 0 {
+            return;
+        }
+        if k == 1 {
+            self.solver.add_clause(lits.to_vec());
+            return;
+        }
+        // At least k of lits ⇔ at most (n - k) of the negations.
+        let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        let bound = lits.len().saturating_sub(k);
+        if lits.len() < k {
+            // Impossible to satisfy.
+            let f = self.false_lit();
+            self.solver.add_clause([f]);
+            return;
+        }
+        self.at_most_k(&negated, bound);
+    }
+
+    /// Constrains exactly `k` of `lits` to be true.
+    pub fn exactly_k(&mut self, lits: &[Lit], k: usize) {
+        self.at_most_k(lits, k);
+        self.at_least_k(lits, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveResult, Solver};
+
+    fn fresh(n: usize) -> (Solver, Vec<Lit>) {
+        let mut s = Solver::new();
+        let lits = (0..n).map(|_| Lit::pos(s.new_var())).collect();
+        (s, lits)
+    }
+
+    fn count_true(s: &Solver, lits: &[Lit]) -> usize {
+        let m = s.model().expect("expected sat");
+        lits.iter().filter(|&&l| m.lit_value(l)).count()
+    }
+
+    #[test]
+    fn and_gate_semantics() {
+        let (mut s, lits) = fresh(3);
+        let out = {
+            let mut e = Encoder::new(&mut s);
+            e.and(&lits)
+        };
+        // Force the output true: all inputs must be true.
+        s.add_clause([out]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(count_true(&s, &lits), 3);
+        // Forcing output true and one input false is unsatisfiable.
+        assert_eq!(
+            s.solve_with_assumptions(&[!lits[1]]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn or_gate_semantics() {
+        let (mut s, lits) = fresh(3);
+        let out = {
+            let mut e = Encoder::new(&mut s);
+            e.or(&lits)
+        };
+        s.add_clause([!out]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(count_true(&s, &lits), 0);
+        assert_eq!(s.solve_with_assumptions(&[lits[2]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_gate_semantics() {
+        let (mut s, lits) = fresh(2);
+        let out = {
+            let mut e = Encoder::new(&mut s);
+            e.xor(lits[0], lits[1])
+        };
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let assumptions = [
+                Lit::with_polarity(lits[0].var(), a),
+                Lit::with_polarity(lits[1].var(), b),
+            ];
+            assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+            assert_eq!(s.model().unwrap().lit_value(out), a ^ b);
+        }
+    }
+
+    #[test]
+    fn parity_constraint_enumeration() {
+        for parity in [false, true] {
+            let (mut s, lits) = fresh(4);
+            {
+                let mut e = Encoder::new(&mut s);
+                e.add_parity(&lits, parity);
+            }
+            // Count satisfying assignments over the original 4 variables by
+            // enumerating with assumptions: each of the 16 assignments should
+            // be satisfiable iff its parity matches.
+            for mask in 0..16u32 {
+                let assumptions: Vec<Lit> = (0..4)
+                    .map(|i| Lit::with_polarity(lits[i].var(), (mask >> i) & 1 == 1))
+                    .collect();
+                let expected = (mask.count_ones() % 2 == 1) == parity;
+                let result = s.solve_with_assumptions(&assumptions) == SolveResult::Sat;
+                assert_eq!(result, expected, "mask={mask} parity={parity}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parity_cases() {
+        let mut s = Solver::new();
+        {
+            let mut e = Encoder::new(&mut s);
+            e.add_parity(&[], false);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let mut s = Solver::new();
+        {
+            let mut e = Encoder::new(&mut s);
+            e.add_parity(&[], true);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn at_most_one_and_exactly_one() {
+        let (mut s, lits) = fresh(5);
+        {
+            let mut e = Encoder::new(&mut s);
+            e.exactly_one(&lits);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(count_true(&s, &lits), 1);
+        // Two literals forced true violates the constraint.
+        assert_eq!(
+            s.solve_with_assumptions(&[lits[0], lits[4]]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn at_most_k_bounds_are_tight() {
+        for k in 0..4 {
+            let (mut s, lits) = fresh(5);
+            {
+                let mut e = Encoder::new(&mut s);
+                e.at_most_k(&lits, k);
+            }
+            // Forcing k literals true is fine; forcing k+1 is not.
+            let forced: Vec<Lit> = lits.iter().copied().take(k).collect();
+            assert_eq!(s.solve_with_assumptions(&forced), SolveResult::Sat, "k={k}");
+            let forced: Vec<Lit> = lits.iter().copied().take(k + 1).collect();
+            assert_eq!(
+                s.solve_with_assumptions(&forced),
+                SolveResult::Unsat,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn at_least_and_exactly_k() {
+        let (mut s, lits) = fresh(6);
+        {
+            let mut e = Encoder::new(&mut s);
+            e.exactly_k(&lits, 3);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(count_true(&s, &lits), 3);
+        // Forcing four true is unsat, forcing four false is unsat.
+        let four_true: Vec<Lit> = lits.iter().copied().take(4).collect();
+        assert_eq!(s.solve_with_assumptions(&four_true), SolveResult::Unsat);
+        let four_false: Vec<Lit> = lits.iter().map(|&l| !l).take(4).collect();
+        assert_eq!(s.solve_with_assumptions(&four_false), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn at_least_k_impossible_bound() {
+        let (mut s, lits) = fresh(2);
+        {
+            let mut e = Encoder::new(&mut s);
+            e.at_least_k(&lits, 3);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn guarded_cardinality_only_applies_when_guard_true() {
+        let (mut s, lits) = fresh(4);
+        let guard = Lit::pos(s.new_var());
+        {
+            let mut e = Encoder::new(&mut s);
+            e.at_most_k_guarded(Some(guard), &lits, 1);
+        }
+        // With the guard false, all four literals may be true.
+        let mut assumptions = vec![!guard];
+        assumptions.extend(lits.iter().copied());
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+        // With the guard true, at most one may be true.
+        let mut assumptions = vec![guard];
+        assumptions.extend(lits.iter().copied().take(2));
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let assumptions = vec![guard, lits[0]];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+    }
+
+    #[test]
+    fn guarded_zero_bound() {
+        let (mut s, lits) = fresh(3);
+        let guard = Lit::pos(s.new_var());
+        {
+            let mut e = Encoder::new(&mut s);
+            e.at_most_k_guarded(Some(guard), &lits, 0);
+        }
+        assert_eq!(s.solve_with_assumptions(&[guard, lits[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[!guard, lits[1]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_many_matches_reference() {
+        let (mut s, lits) = fresh(5);
+        let out = {
+            let mut e = Encoder::new(&mut s);
+            e.xor_many(&lits)
+        };
+        for mask in 0..32u32 {
+            let assumptions: Vec<Lit> = (0..5)
+                .map(|i| Lit::with_polarity(lits[i].var(), (mask >> i) & 1 == 1))
+                .collect();
+            assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+            assert_eq!(
+                s.model().unwrap().lit_value(out),
+                mask.count_ones() % 2 == 1
+            );
+        }
+    }
+
+    #[test]
+    fn true_and_false_lits() {
+        let mut s = Solver::new();
+        let (t, f) = {
+            let mut e = Encoder::new(&mut s);
+            (e.true_lit(), e.false_lit())
+        };
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().lit_value(t));
+        assert!(!s.model().unwrap().lit_value(f));
+    }
+
+    #[test]
+    fn implies_and_equivalent() {
+        let (mut s, lits) = fresh(2);
+        {
+            let mut e = Encoder::new(&mut s);
+            e.implies(lits[0], lits[1]);
+        }
+        assert_eq!(s.solve_with_assumptions(&[lits[0], !lits[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[!lits[0], !lits[1]]), SolveResult::Sat);
+        let (mut s, lits) = fresh(2);
+        {
+            let mut e = Encoder::new(&mut s);
+            e.equivalent(lits[0], lits[1]);
+        }
+        assert_eq!(s.solve_with_assumptions(&[lits[0], !lits[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[!lits[0], lits[1]]), SolveResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[lits[0], lits[1]]), SolveResult::Sat);
+    }
+}

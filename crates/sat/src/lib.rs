@@ -1,0 +1,45 @@
+//! A self-contained CDCL SAT solver with encoding helpers.
+//!
+//! The deterministic fault-tolerant state-preparation synthesis of the paper
+//! encodes verification- and correction-circuit synthesis as Boolean
+//! satisfiability problems and solves them with Z3. All constraints involved
+//! are purely propositional (XOR parities, cardinality bounds, guarded
+//! implications), so this workspace replaces the external SMT solver with an
+//! in-tree conflict-driven clause-learning (CDCL) SAT solver:
+//!
+//! * [`Solver`] — CDCL with two-watched-literal propagation, first-UIP clause
+//!   learning, VSIDS-style activities, phase saving, Luby restarts and
+//!   incremental solving under assumptions.
+//! * [`Encoder`] — Tseitin gate encodings (AND/OR/XOR), parity constraints
+//!   and sequential-counter cardinality constraints (optionally guarded by an
+//!   activation literal), which is exactly the constraint vocabulary the
+//!   synthesis encodings need.
+//! * [`dimacs`] — DIMACS CNF import/export for debugging and testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause([Lit::neg(a)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! let model = solver.model().expect("satisfiable");
+//! assert!(!model.value(a));
+//! assert!(model.value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod encode;
+mod lit;
+mod solver;
+
+pub use encode::Encoder;
+pub use lit::{Lit, Var};
+pub use solver::{Model, SolveResult, Solver, SolverStats};

@@ -1,0 +1,139 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var); the
+/// index is internal but exposed for collection indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a variable from its dense index.
+    ///
+    /// Intended for testing and DIMACS import; using a variable that was not
+    /// allocated by the target solver is an error.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{Lit, Var};
+///
+/// let v = Var::from_index(3);
+/// let p = Lit::pos(v);
+/// assert_eq!(!p, Lit::neg(v));
+/// assert_eq!((!p).var(), v);
+/// assert!(p.is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit polarity (`true` = positive).
+    pub fn with_polarity(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// Returns the underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is the positive occurrence.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns the dense code of the literal (used to index watch lists).
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "-{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_polarity_and_negation() {
+        let v = Var::from_index(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_ne!(p, n);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(Lit::with_polarity(v, true), p);
+        assert_eq!(Lit::with_polarity(v, false), n);
+    }
+
+    #[test]
+    fn display_uses_one_based_names() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::pos(v).to_string(), "x1");
+        assert_eq!(Lit::neg(v).to_string(), "-x1");
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert_eq!(Lit::pos(v0).code(), 0);
+        assert_eq!(Lit::neg(v0).code(), 1);
+        assert_eq!(Lit::pos(v1).code(), 2);
+        assert_eq!(Lit::neg(v1).code(), 3);
+    }
+}

@@ -1,0 +1,835 @@
+//! Conflict-driven clause-learning SAT solver.
+
+use std::fmt;
+
+use crate::{Lit, Var};
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; retrieve it with
+    /// [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+/// Truth value of a variable during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// A satisfying assignment extracted after a successful solve.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// s.add_clause([Lit::pos(v)]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model().expect("sat").value(v));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Returns the value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was not part of the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Returns the truth value of a literal under the model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of variables covered by the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Search statistics collected during solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of learned clauses added.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} learned={} restarts={}",
+            self.decisions, self.propagations, self.conflicts, self.learned_clauses, self.restarts
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// A CDCL SAT solver.
+///
+/// Features: two-watched-literal propagation, first-UIP conflict analysis
+/// with clause learning and backjumping, VSIDS-style variable activities with
+/// phase saving, Luby-sequence restarts and incremental solving under
+/// assumptions. Decision variables are selected by a linear activity scan,
+/// which is ample for the problem sizes produced by the synthesis encodings
+/// (hundreds of variables).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let vars: Vec<_> = (0..3).map(|_| s.new_var()).collect();
+/// // x0 ∨ x1, ¬x0 ∨ x2, ¬x1 ∨ x2, ¬x2  ⇒ unsatisfiable together with x2's
+/// // implications? Not quite: check with the solver.
+/// s.add_clause([Lit::pos(vars[0]), Lit::pos(vars[1])]);
+/// s.add_clause([Lit::neg(vars[0]), Lit::pos(vars[2])]);
+/// s.add_clause([Lit::neg(vars[1]), Lit::pos(vars[2])]);
+/// s.add_clause([Lit::neg(vars[2])]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// For each literal code, the clauses in which that literal is watched.
+    watches: Vec<Vec<usize>>,
+    assign: Vec<LBool>,
+    level: Vec<usize>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    ok: bool,
+    model: Option<Model>,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            phase: Vec::new(),
+            ok: true,
+            model: None,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Returns the number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Returns the number of clauses currently stored (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the accumulated search statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the clause makes the formula trivially
+    /// unsatisfiable (e.g. the empty clause, or a unit clause contradicting a
+    /// previously derived fact); the solver then reports
+    /// [`SolveResult::Unsat`] from all future queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was not allocated with
+    /// [`Solver::new_var`].
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        // Clause database changes are only sound at decision level 0.
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} refers to an unallocated variable"
+            );
+        }
+        lits.sort();
+        lits.dedup();
+        // Tautology check: both polarities of some variable present.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Remove literals already false at level 0; detect satisfied clauses.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.value(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[filtered[0].code()].push(idx);
+                self.watches[filtered[1].code()].push(idx);
+                self.clauses.push(Clause { lits: filtered });
+                true
+            }
+        }
+    }
+
+    fn value(&self, lit: Lit) -> LBool {
+        match self.assign[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var().index();
+        self.assign[v] = if lit.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        while self.trail.len() > bound {
+            let lit = self.trail.pop().expect("trail bound checked");
+            let v = lit.var().index();
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = None;
+        }
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len().min(self.qhead).min(bound);
+        self.qhead = bound.min(self.trail.len());
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut kept = Vec::with_capacity(watch_list.len());
+            let mut conflict = None;
+            for (pos, &ci) in watch_list.iter().enumerate() {
+                if conflict.is_some() {
+                    kept.extend_from_slice(&watch_list[pos..]);
+                    break;
+                }
+                // Normalize so the falsified watch sits at index 1.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == LBool::True {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replacement = None;
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.value(self.clauses[ci].lits[k]) != LBool::False {
+                        replacement = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = replacement {
+                    self.clauses[ci].lits.swap(1, k);
+                    let new_watch = self.clauses[ci].lits[1];
+                    self.watches[new_watch.code()].push(ci);
+                } else {
+                    // Clause is unit or conflicting.
+                    kept.push(ci);
+                    if self.value(first) == LBool::False {
+                        conflict = Some(ci);
+                        self.qhead = self.trail.len();
+                    } else {
+                        self.enqueue(first, Some(ci));
+                    }
+                }
+            }
+            self.watches[false_lit.code()].extend(kept);
+            if let Some(ci) = conflict {
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = conflict;
+        let mut index = self.trail.len();
+        let mut to_clear = Vec::new();
+        let current_level = self.decision_level();
+
+        loop {
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick the next trail literal that participates in the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var().index()].expect("non-decision literal has a reason");
+        }
+        learnt[0] = !p.expect("conflict analysis visits at least one literal");
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+        (learnt, backjump)
+    }
+
+    fn record_learned(&mut self, learnt: Vec<Lit>) {
+        self.stats.learned_clauses += 1;
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], None);
+        } else {
+            let idx = self.clauses.len();
+            self.watches[learnt[0].code()].push(idx);
+            self.watches[learnt[1].code()].push(idx);
+            let asserting = learnt[0];
+            self.clauses.push(Clause { lits: learnt });
+            self.enqueue(asserting, Some(idx));
+        }
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == LBool::Undef {
+                match best {
+                    None => best = Some(v),
+                    Some(b) if self.activity[v] > self.activity[b] => best = Some(v),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|v| Var(v as u32))
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// The assumptions are treated as temporary unit clauses: they constrain
+    /// this query only and are forgotten afterwards, enabling incremental
+    /// use.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve always terminates with a result")
+    }
+
+    /// Solves with a conflict budget; returns `None` if the budget was
+    /// exhausted before a result was established.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        self.model = None;
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        for l in assumptions {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "assumption {l} refers to an unallocated variable"
+            );
+        }
+        self.cancel_until(0);
+        let mut conflicts_this_call = 0u64;
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = 64 * luby(restart_count + 1);
+
+        loop {
+            let conflict = self.propagate();
+            match conflict {
+                Some(ci) => {
+                    self.stats.conflicts += 1;
+                    conflicts_this_call += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return Some(SolveResult::Unsat);
+                    }
+                    let (learnt, backjump) = self.analyze(ci);
+                    self.cancel_until(backjump);
+                    self.record_learned(learnt);
+                    self.decay_activities();
+                    if conflicts_this_call >= max_conflicts {
+                        self.cancel_until(0);
+                        return None;
+                    }
+                    if conflicts_this_call >= conflicts_until_restart {
+                        restart_count += 1;
+                        self.stats.restarts += 1;
+                        conflicts_until_restart =
+                            conflicts_this_call + 64 * luby(restart_count + 1);
+                        self.cancel_until(0);
+                    }
+                }
+                None => {
+                    // Re-establish assumptions one decision level at a time.
+                    if self.decision_level() < assumptions.len() {
+                        let p = assumptions[self.decision_level()];
+                        match self.value(p) {
+                            LBool::True => {
+                                self.new_decision_level();
+                            }
+                            LBool::False => {
+                                self.cancel_until(0);
+                                return Some(SolveResult::Unsat);
+                            }
+                            LBool::Undef => {
+                                self.new_decision_level();
+                                self.enqueue(p, None);
+                            }
+                        }
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            // Every variable is assigned: extract the model.
+                            let values = self
+                                .assign
+                                .iter()
+                                .map(|&a| a == LBool::True)
+                                .collect::<Vec<_>>();
+                            self.model = Some(Model { values });
+                            self.cancel_until(0);
+                            return Some(SolveResult::Sat);
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.new_decision_level();
+                            let lit = Lit::with_polarity(v, self.phase[v.index()]);
+                            self.enqueue(lit, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the model of the most recent successful [`Solver::solve`]
+    /// call, or `None` if the last query was unsatisfiable or interrupted.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i and its size.
+    let mut size = 1u64;
+    let mut seq = 0u64;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, idx: usize, positive: bool) -> Lit {
+        while s.num_vars() <= idx {
+            s.new_var();
+        }
+        Lit::with_polarity(Var::from_index(idx), positive)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().is_some());
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().value(a));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a)]));
+        assert!(!s.add_clause([Lit::neg(a)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.model().is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a), Lit::neg(a)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..20).map(|_| s.new_var()).collect();
+        s.add_clause([Lit::pos(vars[0])]);
+        for w in vars.windows(2) {
+            s.add_clause([Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().unwrap().clone();
+        assert!(vars.iter().all(|&v| m.value(v)));
+    }
+
+    #[test]
+    fn unsat_triangle() {
+        // (a∨b) (¬a∨b) (a∨¬b) (¬a∨¬b) is unsatisfiable.
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        s.add_clause([a, !b]);
+        s.add_clause([!a, !b]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        // Without the assumptions the formula is satisfiable again.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a)]),
+            SolveResult::Sat
+        );
+        assert!(s.model().unwrap().value(b));
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_unsat() {
+        // Variables p[i][j] = pigeon i sits in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_five_pigeons_five_holes_sat() {
+        let mut s = Solver::new();
+        let n = 5;
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Every pigeon occupies at least one hole in the model.
+        let m = s.model().unwrap().clone();
+        for row in &p {
+            assert!(row.iter().any(|&l| m.lit_value(l)));
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..30 {
+            let num_vars = 8 + round % 5;
+            let num_clauses = 3 * num_vars;
+            let mut s = Solver::new();
+            let vars: Vec<_> = (0..num_vars).map(|_| s.new_var()).collect();
+            let mut clauses = Vec::new();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| Lit::with_polarity(vars[rng.gen_range(0..num_vars)], rng.gen()))
+                    .collect();
+                clauses.push(clause.clone());
+                s.add_clause(clause);
+            }
+            // Brute-force reference.
+            let brute_sat = (0..(1u64 << num_vars)).any(|mask| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|l| {
+                        let val = (mask >> l.var().index()) & 1 == 1;
+                        val == l.is_positive()
+                    })
+                })
+            });
+            let result = s.solve();
+            assert_eq!(result == SolveResult::Sat, brute_sat, "round {round}");
+            if result == SolveResult::Sat {
+                let m = s.model().unwrap();
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| m.lit_value(l)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_limited_respects_budget() {
+        // A hard pigeonhole instance with a tiny budget returns None.
+        let mut s = Solver::new();
+        let n = 8;
+        let p: Vec<Vec<Lit>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for j in 0..n {
+            for i1 in 0..n + 1 {
+                for i2 in (i1 + 1)..n + 1 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[], 5), None);
+        // The solver remains usable afterwards.
+        assert_eq!(s.solve_limited(&[], u64::MAX), Some(SolveResult::Unsat));
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(b), Lit::pos(a)]);
+        s.solve();
+        let stats = s.stats();
+        assert!(stats.decisions + stats.propagations > 0);
+        assert!(!stats.to_string().is_empty());
+    }
+}

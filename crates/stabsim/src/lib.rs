@@ -1,0 +1,45 @@
+//! Stabilizer-circuit simulation for validating synthesized circuits.
+//!
+//! The synthesis pipeline needs a way to check that a candidate
+//! state-preparation circuit really prepares the logical `|0…0⟩_L` state of a
+//! CSS code, and the examples and tests need a small exact simulator for
+//! Clifford circuits. This crate provides both on top of the classic
+//! Aaronson–Gottesman tableau formalism:
+//!
+//! * [`Tableau`] — a pure stabilizer state with gate application, single-qubit
+//!   measurements and Pauli expectation values,
+//! * [`run_circuit`] — applies a [`dftsp_circuit::Circuit`] to a tableau,
+//! * [`is_logical_zero_state`] — checks a state against the stabilizers and
+//!   logical Z operators of a [`dftsp_code::CssCode`].
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp_circuit::Circuit;
+//! use dftsp_code::catalog;
+//! use dftsp_pauli::PauliKind;
+//! use dftsp_stabsim::{is_logical_zero_state, run_circuit, Tableau};
+//!
+//! // Hand-built Steane |0⟩_L encoder (RREF fan-out construction).
+//! let code = catalog::steane();
+//! let (rref, pivots) = code.stabilizers(PauliKind::X).rref();
+//! let mut encoder = Circuit::new(7);
+//! for (row, &pivot) in pivots.iter().enumerate() {
+//!     encoder.h(pivot);
+//!     for q in rref.row(row).iter_ones().filter(|&q| q != pivot) {
+//!         encoder.cnot(pivot, q);
+//!     }
+//! }
+//! let mut state = Tableau::new(7);
+//! run_circuit(&mut state, &encoder, || false);
+//! assert!(is_logical_zero_state(&state, &code));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod state;
+mod tableau;
+
+pub use state::{is_logical_zero_state, run_circuit};
+pub use tableau::{Expectation, Outcome, Tableau};

@@ -1,0 +1,203 @@
+//! Running circuits on tableaus and validating encoded states.
+
+use dftsp_circuit::{Circuit, Gate};
+use dftsp_code::CssCode;
+use dftsp_f2::BitVec;
+use dftsp_pauli::{PauliKind, PauliString};
+
+use crate::{Expectation, Tableau};
+
+/// Applies a circuit to a tableau, drawing random measurement results from
+/// `random_bit`, and returns the measurement outcomes (one bit per classical
+/// bit of the circuit).
+///
+/// # Panics
+///
+/// Panics if the circuit acts on more qubits than the tableau has.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_circuit::Circuit;
+/// use dftsp_stabsim::{run_circuit, Tableau};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cnot(0, 1);
+/// c.measure_z(0);
+/// c.measure_z(1);
+/// let mut state = Tableau::new(2);
+/// let outcomes = run_circuit(&mut state, &c, || true);
+/// // Bell-state measurements agree.
+/// assert_eq!(outcomes.get(0), outcomes.get(1));
+/// ```
+pub fn run_circuit(
+    state: &mut Tableau,
+    circuit: &Circuit,
+    mut random_bit: impl FnMut() -> bool,
+) -> BitVec {
+    assert!(
+        circuit.num_qubits() <= state.num_qubits(),
+        "circuit acts on {} qubits but the tableau has {}",
+        circuit.num_qubits(),
+        state.num_qubits()
+    );
+    let mut outcomes = BitVec::zeros(circuit.num_bits());
+    for gate in circuit.gates() {
+        match *gate {
+            Gate::H { qubit } => state.h(qubit),
+            Gate::Cnot { control, target } => state.cnot(control, target),
+            Gate::X { qubit } => state.x(qubit),
+            Gate::Z { qubit } => state.z(qubit),
+            Gate::PrepZ { qubit } => state.reset_z(qubit),
+            Gate::PrepX { qubit } => state.reset_x(qubit),
+            Gate::MeasureZ { qubit, bit } => {
+                let out = state.measure_z(qubit, &mut random_bit);
+                outcomes.set(bit, out.value());
+            }
+            Gate::MeasureX { qubit, bit } => {
+                let out = state.measure_x(qubit, &mut random_bit);
+                outcomes.set(bit, out.value());
+            }
+        }
+    }
+    outcomes
+}
+
+/// Checks whether the first `code.num_qubits()` qubits of a tableau hold the
+/// logical all-zero state `|0…0⟩_L` of the given CSS code.
+///
+/// The state must be a +1 eigenstate of every X- and Z-type stabilizer
+/// generator and of every logical Z representative.
+///
+/// # Panics
+///
+/// Panics if the tableau has fewer qubits than the code.
+pub fn is_logical_zero_state(state: &Tableau, code: &CssCode) -> bool {
+    let n = code.num_qubits();
+    assert!(
+        state.num_qubits() >= n,
+        "tableau has {} qubits but the code needs {n}",
+        state.num_qubits()
+    );
+    let widen = |support: &BitVec, kind: PauliKind| {
+        let mut full = BitVec::zeros(state.num_qubits());
+        for q in support.iter_ones() {
+            full.set(q, true);
+        }
+        PauliString::from_kind(kind, full)
+    };
+    for kind in PauliKind::BOTH {
+        for row in code.stabilizers(kind).iter() {
+            if state.expectation(&widen(row, kind)) != Expectation::Plus {
+                return false;
+            }
+        }
+    }
+    for row in code.logicals(PauliKind::Z).iter() {
+        if state.expectation(&widen(row, PauliKind::Z)) != Expectation::Plus {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn run_circuit_collects_outcomes() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        c.measure_z(0);
+        c.measure_z(1);
+        c.measure_z(2);
+        let mut state = Tableau::new(3);
+        let out = run_circuit(&mut state, &c, || false);
+        assert_eq!(out.support(), vec![1]);
+    }
+
+    #[test]
+    fn random_bits_are_consumed_only_for_random_outcomes() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure_z(0);
+        let mut calls = 0;
+        let mut state = Tableau::new(1);
+        run_circuit(&mut state, &c, || {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 1);
+
+        let mut c = Circuit::new(1);
+        c.measure_z(0);
+        let mut calls = 0;
+        let mut state = Tableau::new(1);
+        run_circuit(&mut state, &c, || {
+            calls += 1;
+            true
+        });
+        // Deterministic measurements never invoke the random-bit source.
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn all_zero_state_is_not_logical_zero_of_steane() {
+        let code = catalog::steane();
+        let state = Tableau::new(7);
+        // |0000000⟩ satisfies all Z stabilizers but not the X stabilizers.
+        assert!(!is_logical_zero_state(&state, &code));
+    }
+
+    #[test]
+    fn textbook_steane_encoding_circuit_prepares_logical_zero() {
+        // Standard Steane |0⟩_L encoder: Hadamards on the X-stabilizer pivot
+        // qubits followed by CNOT fan-outs along the RREF rows of H_X.
+        let code = catalog::steane();
+        let (rref, pivots) = code.stabilizers(PauliKind::X).rref();
+        let mut circuit = Circuit::new(7);
+        for (row, &pivot) in pivots.iter().enumerate() {
+            circuit.h(pivot);
+            for q in rref.row(row).iter_ones() {
+                if q != pivot {
+                    circuit.cnot(pivot, q);
+                }
+            }
+        }
+        let mut state = Tableau::new(7);
+        run_circuit(&mut state, &circuit, || false);
+        assert!(is_logical_zero_state(&state, &code));
+    }
+
+    #[test]
+    fn logical_zero_check_rejects_logical_x_flip() {
+        let code = catalog::steane();
+        let (rref, pivots) = code.stabilizers(PauliKind::X).rref();
+        let mut circuit = Circuit::new(7);
+        for (row, &pivot) in pivots.iter().enumerate() {
+            circuit.h(pivot);
+            for q in rref.row(row).iter_ones() {
+                if q != pivot {
+                    circuit.cnot(pivot, q);
+                }
+            }
+        }
+        let mut state = Tableau::new(7);
+        run_circuit(&mut state, &circuit, || false);
+        // Apply a logical X: the state becomes |1⟩_L and fails the check.
+        let lx = code.logicals(PauliKind::X).row(0).clone();
+        state.apply_pauli(&PauliString::from_x(lx));
+        assert!(!is_logical_zero_state(&state, &code));
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit acts on")]
+    fn circuit_wider_than_tableau_panics() {
+        let c = Circuit::new(3);
+        let mut state = Tableau::new(2);
+        run_circuit(&mut state, &c, || false);
+    }
+}

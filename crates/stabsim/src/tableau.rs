@@ -1,0 +1,548 @@
+//! Aaronson–Gottesman stabilizer tableau simulation.
+
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliString;
+
+/// Outcome of a single-qubit measurement on a stabilizer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The outcome was fully determined by the state.
+    Deterministic(bool),
+    /// The outcome was uniformly random; the recorded value is the one that
+    /// was chosen (supplied by the caller) and the state has collapsed
+    /// accordingly.
+    Random(bool),
+}
+
+impl Outcome {
+    /// Returns the measured bit, regardless of determinism.
+    pub fn value(self) -> bool {
+        match self {
+            Outcome::Deterministic(v) | Outcome::Random(v) => v,
+        }
+    }
+
+    /// Returns `true` if the outcome was determined by the state.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, Outcome::Deterministic(_))
+    }
+}
+
+/// Expectation value of a Pauli operator on a stabilizer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The operator stabilizes the state (+1 eigenstate).
+    Plus,
+    /// The negated operator stabilizes the state (−1 eigenstate).
+    Minus,
+    /// The operator anticommutes with some stabilizer (expectation 0).
+    Zero,
+}
+
+/// A pure `n`-qubit stabilizer state in the Aaronson–Gottesman tableau
+/// representation.
+///
+/// The tableau stores `2n` rows: rows `0..n` are the destabilizer generators
+/// and rows `n..2n` the stabilizer generators, each with an `n`-bit X part, an
+/// `n`-bit Z part and a sign bit. The initial state is `|0…0⟩` (stabilized by
+/// `Z₀, …, Z_{n−1}`).
+///
+/// The simulator supports the Clifford gate set used throughout the
+/// workspace (H, CNOT, Pauli corrections, resets) plus single-qubit
+/// measurements, and can evaluate the expectation value of an arbitrary Pauli
+/// operator — which is how synthesized state-preparation circuits are
+/// validated against the target code.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_stabsim::{Expectation, Tableau};
+/// use dftsp_pauli::PauliString;
+///
+/// // Prepare the Bell state (|00⟩ + |11⟩)/√2.
+/// let mut state = Tableau::new(2);
+/// state.h(0);
+/// state.cnot(0, 1);
+/// let xx: PauliString = "XX".parse().unwrap();
+/// let zz: PauliString = "ZZ".parse().unwrap();
+/// assert_eq!(state.expectation(&xx), Expectation::Plus);
+/// assert_eq!(state.expectation(&zz), Expectation::Plus);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    /// X parts of the 2n tableau rows.
+    x: Vec<BitVec>,
+    /// Z parts of the 2n tableau rows.
+    z: Vec<BitVec>,
+    /// Sign bits of the 2n tableau rows.
+    r: BitVec,
+}
+
+impl Tableau {
+    /// Creates the tableau of the all-zero state `|0…0⟩` on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        let mut x = Vec::with_capacity(2 * n);
+        let mut z = Vec::with_capacity(2 * n);
+        for i in 0..2 * n {
+            if i < n {
+                x.push(BitVec::unit(n, i));
+                z.push(BitVec::zeros(n));
+            } else {
+                x.push(BitVec::zeros(n));
+                z.push(BitVec::unit(n, i - n));
+            }
+        }
+        Tableau {
+            n,
+            x,
+            z,
+            r: BitVec::zeros(2 * n),
+        }
+    }
+
+    /// Returns the number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the `i`-th stabilizer generator as a (phase-free) Pauli
+    /// operator together with its sign (`true` = negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_qubits()`.
+    pub fn stabilizer(&self, i: usize) -> (PauliString, bool) {
+        assert!(i < self.n, "stabilizer index {i} out of range");
+        let row = self.n + i;
+        (
+            PauliString::from_xz(self.x[row].clone(), self.z[row].clone()),
+            self.r.get(row),
+        )
+    }
+
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n, "qubit {q} out of range for {}-qubit tableau", self.n);
+    }
+
+    /// Applies a Hadamard gate to qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let xq = self.x[row].get(q);
+            let zq = self.z[row].get(q);
+            if xq && zq {
+                self.r.flip(row);
+            }
+            self.x[row].set(q, zq);
+            self.z[row].set(q, xq);
+        }
+    }
+
+    /// Applies a CNOT gate with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either qubit is out of range.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "CNOT control and target must differ");
+        for row in 0..2 * self.n {
+            let xc = self.x[row].get(c);
+            let zc = self.z[row].get(c);
+            let xt = self.x[row].get(t);
+            let zt = self.z[row].get(t);
+            if xc && zt && (xt == zc) {
+                self.r.flip(row);
+            }
+            self.x[row].set(t, xt ^ xc);
+            self.z[row].set(c, zc ^ zt);
+        }
+    }
+
+    /// Applies a Pauli X gate to qubit `q`.
+    pub fn x(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.z[row].get(q) {
+                self.r.flip(row);
+            }
+        }
+    }
+
+    /// Applies a Pauli Z gate to qubit `q`.
+    pub fn z(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.x[row].get(q) {
+                self.r.flip(row);
+            }
+        }
+    }
+
+    /// Applies an arbitrary Pauli operator (as a sequence of X and Z gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator acts on a different number of qubits.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.n, "Pauli must act on the tableau's qubits");
+        for q in p.x_part().iter_ones() {
+            self.x(q);
+        }
+        for q in p.z_part().iter_ones() {
+            self.z(q);
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// If the outcome is not determined by the state, `random_bit` is invoked
+    /// to supply the measurement result and the state collapses accordingly;
+    /// for deterministic outcomes `random_bit` is never called.
+    pub fn measure_z(&mut self, q: usize, random_bit: impl FnOnce() -> bool) -> Outcome {
+        self.check_qubit(q);
+        // Look for a stabilizer generator with an X component on q.
+        let p = (self.n..2 * self.n).find(|&row| self.x[row].get(q));
+        match p {
+            Some(p) => {
+                // Random outcome.
+                let outcome = random_bit();
+                // Every other row with x[q] = 1 gets the old row p multiplied in.
+                let rows: Vec<usize> = (0..2 * self.n)
+                    .filter(|&row| row != p && self.x[row].get(q))
+                    .collect();
+                for row in rows {
+                    self.rowmul(row, p);
+                }
+                // The destabilizer partner becomes the old stabilizer row.
+                let dest = p - self.n;
+                self.x[dest] = self.x[p].clone();
+                self.z[dest] = self.z[p].clone();
+                self.r.set(dest, self.r.get(p));
+                // Row p becomes ±Z_q.
+                self.x[p] = BitVec::zeros(self.n);
+                self.z[p] = BitVec::unit(self.n, q);
+                self.r.set(p, outcome);
+                Outcome::Random(outcome)
+            }
+            None => {
+                // Deterministic outcome: accumulate the product of stabilizer
+                // rows whose destabilizer partner has an X component on q.
+                let mut scratch = ScratchRow::identity(self.n);
+                for i in 0..self.n {
+                    if self.x[i].get(q) {
+                        scratch.multiply_by(self, self.n + i);
+                    }
+                }
+                Outcome::Deterministic(scratch.sign)
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the X basis (by conjugating with Hadamards).
+    pub fn measure_x(&mut self, q: usize, random_bit: impl FnOnce() -> bool) -> Outcome {
+        self.h(q);
+        let out = self.measure_z(q, random_bit);
+        self.h(q);
+        out
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure in Z and flip if needed).
+    pub fn reset_z(&mut self, q: usize) {
+        let outcome = self.measure_z(q, || false);
+        if outcome.value() {
+            self.x(q);
+        }
+    }
+
+    /// Resets qubit `q` to `|+⟩`.
+    pub fn reset_x(&mut self, q: usize) {
+        self.reset_z(q);
+        self.h(q);
+    }
+
+    /// Multiplies tableau row `target` by tableau row `source` in place,
+    /// updating the sign with the correct power-of-i bookkeeping.
+    fn rowmul(&mut self, target: usize, source: usize) {
+        let mut phase = 2 * (u32::from(self.r.get(target)) + u32::from(self.r.get(source)));
+        for q in 0..self.n {
+            phase = phase.wrapping_add(g(
+                self.x[source].get(q),
+                self.z[source].get(q),
+                self.x[target].get(q),
+                self.z[target].get(q),
+            ) as u32);
+        }
+        debug_assert!(phase % 2 == 0, "Pauli products of commuting rows have real phase");
+        self.r.set(target, (phase / 2) % 2 == 1);
+        let src_x = self.x[source].clone();
+        let src_z = self.z[source].clone();
+        self.x[target].xor_with(&src_x);
+        self.z[target].xor_with(&src_z);
+    }
+
+    /// Returns the expectation value of a Pauli operator on the current state.
+    ///
+    /// The operator is interpreted as the Hermitian Pauli with a `Y` on every
+    /// qubit where both the X and Z components are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator acts on a different number of qubits.
+    pub fn expectation(&self, p: &PauliString) -> Expectation {
+        assert_eq!(p.num_qubits(), self.n, "Pauli must act on the tableau's qubits");
+        // If the operator anticommutes with any stabilizer generator the
+        // expectation value is zero.
+        for i in 0..self.n {
+            let (stab, _) = self.stabilizer(i);
+            if !p.commutes_with(&stab) {
+                return Expectation::Zero;
+            }
+        }
+        // Otherwise the operator is ± an element of the stabilizer group.
+        // Express it as a product of generators using the destabilizers: the
+        // generator n+i participates iff p anticommutes with destabilizer i.
+        let mut scratch = ScratchRow::identity(self.n);
+        for i in 0..self.n {
+            let dest = PauliString::from_xz(self.x[i].clone(), self.z[i].clone());
+            if !p.commutes_with(&dest) {
+                scratch.multiply_by(self, self.n + i);
+            }
+        }
+        debug_assert_eq!(
+            (&scratch.x, &scratch.z),
+            (p.x_part(), p.z_part()),
+            "operator commuting with all stabilizers must lie in the group"
+        );
+        if scratch.sign {
+            Expectation::Minus
+        } else {
+            Expectation::Plus
+        }
+    }
+
+    /// Returns `true` if the operator stabilizes the state (expectation +1).
+    pub fn is_stabilized_by(&self, p: &PauliString) -> bool {
+        self.expectation(p) == Expectation::Plus
+    }
+}
+
+/// Scratch row used for deterministic-measurement and expectation-value
+/// computations.
+struct ScratchRow {
+    x: BitVec,
+    z: BitVec,
+    sign: bool,
+}
+
+impl ScratchRow {
+    fn identity(n: usize) -> Self {
+        ScratchRow {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+            sign: false,
+        }
+    }
+
+    /// Multiplies this scratch row by tableau row `source`.
+    fn multiply_by(&mut self, tableau: &Tableau, source: usize) {
+        let mut phase = 2 * (u32::from(self.sign) + u32::from(tableau.r.get(source)));
+        for q in 0..tableau.n {
+            phase = phase.wrapping_add(g(
+                tableau.x[source].get(q),
+                tableau.z[source].get(q),
+                self.x.get(q),
+                self.z.get(q),
+            ) as u32);
+        }
+        debug_assert!(phase % 2 == 0);
+        self.sign = (phase / 2) % 2 == 1;
+        self.x.xor_with(&tableau.x[source]);
+        self.z.xor_with(&tableau.z[source]);
+    }
+}
+
+/// The Aaronson–Gottesman `g` function: the exponent of `i` produced when the
+/// single-qubit Pauli `(x1, z1)` is multiplied onto `(x2, z2)` from the left.
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => i32::from(z2) - i32::from(x2),
+        (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+        (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_pauli::Pauli;
+
+    fn pauli(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_all_zero() {
+        let t = Tableau::new(3);
+        assert_eq!(t.num_qubits(), 3);
+        for q in 0..3 {
+            assert_eq!(
+                t.expectation(&PauliString::single(3, q, Pauli::Z)),
+                Expectation::Plus
+            );
+            assert_eq!(
+                t.expectation(&PauliString::single(3, q, Pauli::X)),
+                Expectation::Zero
+            );
+        }
+    }
+
+    #[test]
+    fn x_gate_flips_z_expectation() {
+        let mut t = Tableau::new(1);
+        t.x(0);
+        assert_eq!(t.expectation(&pauli("Z")), Expectation::Minus);
+        t.x(0);
+        assert_eq!(t.expectation(&pauli("Z")), Expectation::Plus);
+    }
+
+    #[test]
+    fn hadamard_maps_z_to_x() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert_eq!(t.expectation(&pauli("X")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("Z")), Expectation::Zero);
+        t.z(0);
+        assert_eq!(t.expectation(&pauli("X")), Expectation::Minus);
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        assert_eq!(t.expectation(&pauli("XX")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("ZZ")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("YY")), Expectation::Minus);
+        assert_eq!(t.expectation(&pauli("ZI")), Expectation::Zero);
+    }
+
+    #[test]
+    fn deterministic_measurement_of_computational_state() {
+        let mut t = Tableau::new(2);
+        t.x(1);
+        assert_eq!(t.measure_z(0, || true), Outcome::Deterministic(false));
+        assert_eq!(t.measure_z(1, || false), Outcome::Deterministic(true));
+    }
+
+    #[test]
+    fn random_measurement_collapses_state() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let out = t.measure_z(0, || true);
+        assert_eq!(out, Outcome::Random(true));
+        // After collapse the outcome is deterministic and repeatable.
+        assert_eq!(t.measure_z(0, || false), Outcome::Deterministic(true));
+        assert_eq!(t.expectation(&pauli("Z")), Expectation::Minus);
+    }
+
+    #[test]
+    fn bell_measurements_are_correlated() {
+        for first in [false, true] {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure_z(0, || first);
+            let b = t.measure_z(1, || !first);
+            assert!(!a.is_deterministic());
+            assert!(b.is_deterministic());
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn measure_x_basis() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert_eq!(t.measure_x(0, || true), Outcome::Deterministic(false));
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.z(0);
+        assert_eq!(t.measure_x(0, || false), Outcome::Deterministic(true));
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        t.reset_z(0);
+        assert_eq!(t.measure_z(0, || true), Outcome::Deterministic(false));
+        let mut t = Tableau::new(1);
+        t.x(0);
+        t.reset_x(0);
+        assert_eq!(t.measure_x(0, || true), Outcome::Deterministic(false));
+    }
+
+    #[test]
+    fn apply_pauli_matches_individual_gates() {
+        let mut a = Tableau::new(3);
+        a.h(0);
+        a.cnot(0, 1);
+        let mut b = a.clone();
+        a.apply_pauli(&pauli("XYZ"));
+        b.x(0);
+        b.x(1);
+        b.z(1);
+        b.z(2);
+        // Same expectations for a set of probe operators (global phase is not
+        // represented in the tableau).
+        for probe in ["XXI", "ZZI", "IIZ", "XII", "ZIZ"] {
+            assert_eq!(a.expectation(&pauli(probe)), b.expectation(&pauli(probe)), "{probe}");
+        }
+    }
+
+    #[test]
+    fn ghz_state_parity() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(0, 2);
+        assert_eq!(t.expectation(&pauli("XXX")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("ZZI")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("IZZ")), Expectation::Plus);
+        assert_eq!(t.expectation(&pauli("ZII")), Expectation::Zero);
+        let out = t.measure_z(0, || true);
+        assert!(!out.is_deterministic());
+        // All three qubits now agree.
+        let b1 = t.measure_z(1, || false);
+        let b2 = t.measure_z(2, || false);
+        assert_eq!(b1, Outcome::Deterministic(out.value()));
+        assert_eq!(b2, Outcome::Deterministic(out.value()));
+    }
+
+    #[test]
+    fn y_sign_bookkeeping() {
+        // S·H|0⟩-like state is out of the gate set, but Y expectations can be
+        // probed on the |+i⟩-free states we can reach: Y = iXZ, so on the Bell
+        // state YY has expectation −1 (checked above) while on |00⟩ YI is 0.
+        let t = Tableau::new(2);
+        assert_eq!(t.expectation(&pauli("YI")), Expectation::Zero);
+        assert_eq!(t.expectation(&pauli("YY")), Expectation::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        Tableau::new(2).h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_cnot_panics() {
+        Tableau::new(2).cnot(1, 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Walk through the deterministic Steane-code protocol of Fig. 2 of the
+//! paper: inject the problematic propagated error by hand, watch the
+//! verification fire, and confirm that the conditional correction removes the
+//! need to restart (the whole point of the deterministic scheme).
+//!
+//! ```text
+//! cargo run --release -p dftsp --example steane_deterministic
+//! ```
+
+use dftsp::{
+    enumerate_single_fault_records, execute, synthesize_protocol, NoFaults, SingleFault,
+    SynthesisOptions,
+};
+use dftsp_circuit::{FaultEffect, Gate};
+use dftsp_code::catalog;
+use dftsp_noise::{monte_carlo, NoiseParams, PerfectDecoder};
+use dftsp_pauli::{Pauli, PauliKind, PauliString};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = catalog::steane();
+    let protocol = synthesize_protocol(&code, &SynthesisOptions::default())?;
+    let decoder = PerfectDecoder::for_protocol(&protocol);
+
+    // The non-deterministic scheme would restart whenever the verification
+    // fires. Count how often single faults trigger it — every one of those
+    // restarts is avoided by the deterministic correction branch.
+    let records = enumerate_single_fault_records(&protocol);
+    let mut triggered = 0usize;
+    let mut corrected = 0usize;
+    for record in &records {
+        let fired = record
+            .execution
+            .layer_outcomes
+            .iter()
+            .any(|key| !key.is_trivial());
+        if fired {
+            triggered += 1;
+            if !decoder.classify(&record.execution.residual).is_failure() {
+                corrected += 1;
+            }
+        }
+    }
+    println!(
+        "single faults: {} total, {} trigger the verification, {} of those end with no logical error",
+        records.len(),
+        triggered,
+        corrected
+    );
+    assert_eq!(triggered, corrected, "every detected fault must be corrected in place");
+
+    // Reproduce Example 3 of the paper explicitly: an X error on the control
+    // of the last preparation CNOT spreads to a two-qubit error, the
+    // verification detects it, and the conditional correction reduces it to
+    // weight at most one.
+    let last_cnot = (0..protocol.prep.circuit.len())
+        .rev()
+        .find(|&i| matches!(protocol.prep.circuit.gates()[i], Gate::Cnot { .. }))
+        .expect("the preparation circuit contains CNOTs");
+    let control = match protocol.prep.circuit.gates()[last_cnot] {
+        Gate::Cnot { control, .. } => control,
+        _ => unreachable!(),
+    };
+    let mut fault = SingleFault {
+        location: last_cnot - 1,
+        effect: FaultEffect::Pauli(PauliString::single(7, control, Pauli::X)),
+    };
+    let record = execute(&protocol, &mut fault);
+    println!(
+        "\ninjected X on qubit {control} before the last preparation CNOT:\n  residual on data     = {}\n  verification outcome = {}\n  branch taken         = {:?}",
+        record.residual, record.layer_outcomes[0], record.branches_taken[0]
+    );
+    let residual_weight = protocol
+        .context
+        .reduced_weight(PauliKind::X, record.residual.x_part());
+    println!("  stabilizer-reduced residual weight after correction = {residual_weight}");
+    assert!(residual_weight <= 1);
+
+    // Sanity check against the noiseless run and a quick Monte-Carlo sweep.
+    assert!(execute(&protocol, &mut NoFaults).residual.is_identity());
+    println!();
+    for p in [0.02, 0.05, 0.1] {
+        let estimate = monte_carlo(&protocol, NoiseParams::e1_1(p), 2000, 7);
+        println!(
+            "p = {p:>5}: logical error rate ≈ {:.4} ± {:.4}",
+            estimate.mean, estimate.std_error
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Circuit-level noise integration tests (Experiment E2 of DESIGN.md): the
+//! logical error rate of synthesized protocols scales quadratically with the
+//! physical error rate, and the subset-sampling estimator agrees with direct
+//! Monte Carlo where the latter is feasible.
+
+use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp_code::catalog;
+use dftsp_noise::{
+    default_physical_rates, linear_reference, logical_error_curve, monte_carlo, NoiseParams,
+    SubsetConfig, SubsetEstimate,
+};
+
+fn steane_protocol() -> dftsp::DeterministicProtocol {
+    synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap()
+}
+
+#[test]
+fn single_fault_stratum_never_fails_for_synthesized_protocols() {
+    for code in [catalog::steane(), catalog::surface3()] {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let estimate = SubsetEstimate::build(
+            &protocol,
+            &SubsetConfig {
+                max_faults: 1,
+                samples_per_stratum: 400,
+            },
+            17,
+        );
+        assert_eq!(estimate.conditional_failure[0].mean, 0.0, "{}", code.name());
+        assert_eq!(
+            estimate.conditional_failure[1].mean, 0.0,
+            "{}: single faults never cause a logical error",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn logical_error_rate_scales_quadratically_below_threshold() {
+    let protocol = steane_protocol();
+    let rates = [1e-4, 1e-3, 1e-2];
+    let config = SubsetConfig {
+        max_faults: 3,
+        samples_per_stratum: 800,
+    };
+    let curve = logical_error_curve(&protocol, &rates, &config, 5);
+    let slope = curve.log_log_slope().expect("positive estimates");
+    assert!(
+        (1.7..2.3).contains(&slope),
+        "expected O(p²) scaling, measured log-log slope {slope}"
+    );
+    // The protocol beats the unencoded (linear) reference at low p.
+    let linear = linear_reference(&rates);
+    assert!(curve.points[0].logical.mean < linear.points[0].logical.mean);
+}
+
+#[test]
+fn subset_estimator_agrees_with_direct_monte_carlo_at_high_p() {
+    let protocol = steane_protocol();
+    let p = 0.03;
+    let direct = monte_carlo(&protocol, NoiseParams::e1_1(p), 4000, 23);
+    let subset = SubsetEstimate::build(
+        &protocol,
+        &SubsetConfig {
+            max_faults: 6,
+            samples_per_stratum: 1500,
+        },
+        29,
+    )
+    .logical_error_rate(p);
+    let tolerance = 4.0 * (direct.std_error + subset.std_error) + 0.02;
+    assert!(
+        (direct.mean - subset.mean).abs() <= tolerance,
+        "direct {} ± {} vs subset {} ± {}",
+        direct.mean,
+        direct.std_error,
+        subset.mean,
+        subset.std_error
+    );
+}
+
+#[test]
+fn default_rate_grid_matches_figure_range() {
+    let rates = default_physical_rates(3);
+    assert!(rates.first().unwrap() >= &9.9e-5);
+    assert!(rates.last().unwrap() <= &1.01e-1);
+}
+
+#[test]
+fn noisier_circuits_fail_more_often() {
+    let protocol = steane_protocol();
+    let low = monte_carlo(&protocol, NoiseParams::e1_1(0.02), 3000, 31).mean;
+    let high = monte_carlo(&protocol, NoiseParams::e1_1(0.1), 3000, 37).mean;
+    assert!(high > low);
+}

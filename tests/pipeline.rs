@@ -1,0 +1,154 @@
+//! End-to-end pipeline integration tests: code definition → preparation
+//! synthesis → verification → correction → protocol execution, spanning the
+//! `dftsp-code`, `dftsp-circuit`, `dftsp-stabsim` and `dftsp` crates.
+
+use dftsp::{
+    execute, synthesize_protocol, NoFaults, PrepMethod, ProtocolMetrics, SynthesisOptions,
+    ZeroStateContext,
+};
+use dftsp_code::catalog;
+use dftsp_pauli::PauliKind;
+use dftsp_stabsim::{is_logical_zero_state, run_circuit, Tableau};
+
+fn small_codes() -> Vec<dftsp_code::CssCode> {
+    vec![catalog::steane(), catalog::shor(), catalog::surface3()]
+}
+
+#[test]
+fn synthesized_prep_circuits_prepare_the_logical_zero_state() {
+    // The three small codes plus the two distance-4 substitutes; the full
+    // catalog (including the 15- and 16-qubit codes) is exercised by the
+    // `table1` and `ftcheck` binaries and by the ignored test below.
+    let codes = vec![
+        catalog::steane(),
+        catalog::shor(),
+        catalog::surface3(),
+        catalog::code_11_1_3(),
+        catalog::carbon(),
+    ];
+    for code in codes {
+        let protocol = match synthesize_protocol(&code, &SynthesisOptions::default()) {
+            Ok(p) => p,
+            Err(e) => panic!("synthesis failed for {}: {e}", code.name()),
+        };
+        let mut state = Tableau::new(code.num_qubits());
+        run_circuit(&mut state, &protocol.prep.circuit, || false);
+        assert!(
+            is_logical_zero_state(&state, &code),
+            "{} prep circuit must prepare |0…0⟩_L",
+            code.name()
+        );
+    }
+}
+
+/// Full-catalog variant of the test above. Slow (several minutes); run with
+/// `cargo test -- --ignored` or rely on the `table1`/`ftcheck` binaries.
+#[test]
+#[ignore = "covers the 15- and 16-qubit codes; several minutes of synthesis"]
+fn synthesized_prep_circuits_prepare_the_logical_zero_state_full_catalog() {
+    for code in catalog::all() {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default())
+            .unwrap_or_else(|e| panic!("synthesis failed for {}: {e}", code.name()));
+        let mut state = Tableau::new(code.num_qubits());
+        run_circuit(&mut state, &protocol.prep.circuit, || false);
+        assert!(is_logical_zero_state(&state, &code), "{}", code.name());
+    }
+}
+
+#[test]
+fn noiseless_execution_leaves_no_residual_and_takes_no_branch() {
+    for code in small_codes() {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let record = execute(&protocol, &mut NoFaults);
+        assert!(record.residual.is_identity(), "{}", code.name());
+        assert!(record.branches_taken.iter().all(Option::is_none));
+        assert!(!record.terminated_early);
+    }
+}
+
+#[test]
+fn verification_measurements_stabilize_the_prepared_state() {
+    for code in small_codes() {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let context = ZeroStateContext::new(code.clone());
+        for layer in &protocol.layers {
+            for gadget in &layer.verifications {
+                let measured_kind = gadget.basis();
+                assert!(
+                    context
+                        .measurable_group(gadget.detects())
+                        .in_row_space(gadget.support()),
+                    "{}: measured operator must stabilize |0…0⟩_L",
+                    code.name()
+                );
+                assert_eq!(measured_kind, layer.error_kind.dual());
+            }
+            for branch in layer.branches.values() {
+                for gadget in &branch.measurements {
+                    assert!(context
+                        .measurable_group(branch.error_kind)
+                        .in_row_space(gadget.support()));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_prep_is_never_worse_than_heuristic() {
+    for code in [catalog::steane(), catalog::surface3()] {
+        let heu = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let opt =
+            synthesize_protocol(&code, &SynthesisOptions::with_prep_method(PrepMethod::Optimal))
+                .unwrap();
+        assert!(
+            opt.prep.cnot_count() <= heu.prep.cnot_count(),
+            "{}: optimal prep must not use more CNOTs",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn metrics_are_consistent_with_the_protocol_structure() {
+    for code in small_codes() {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let metrics = ProtocolMetrics::from_protocol(&protocol);
+        assert_eq!(metrics.layers.len(), protocol.layers.len());
+        for (layer_metrics, layer) in metrics.layers.iter().zip(&protocol.layers) {
+            assert_eq!(layer_metrics.verification_ancillas, layer.verifications.len());
+            assert_eq!(
+                layer_metrics.correction_ancillas.len() + layer_metrics.hook_correction_ancillas.len(),
+                layer.branches.len()
+            );
+            let max_branches = (1usize << layer.verifications.len()) - 1;
+            assert!(
+                layer_metrics.correction_ancillas.len() <= max_branches,
+                "at most 2^a_m - 1 syndrome branches"
+            );
+        }
+        // The X layer, when present, always precedes the Z layer.
+        let kinds: Vec<PauliKind> = protocol.layers.iter().map(|l| l.error_kind).collect();
+        assert!(
+            kinds == vec![]
+                || kinds == vec![PauliKind::X]
+                || kinds == vec![PauliKind::Z]
+                || kinds == vec![PauliKind::X, PauliKind::Z]
+        );
+    }
+}
+
+#[test]
+fn branch_recoveries_act_on_the_branch_sector_only() {
+    for code in small_codes() {
+        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        for layer in &protocol.layers {
+            for branch in layer.branches.values() {
+                assert_eq!(branch.recoveries.len(), 1 << branch.measurements.len());
+                for recovery in &branch.recoveries {
+                    assert_eq!(recovery.len(), code.num_qubits());
+                }
+            }
+        }
+    }
+}
