@@ -2,12 +2,14 @@
 //! estimate and recombining it into a logical-error-rate curve.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp::SynthesisEngine;
 use dftsp_noise::{default_physical_rates, logical_error_curve, SubsetConfig, SubsetEstimate};
 
 fn bench_fig4(c: &mut Criterion) {
-    let steane = synthesize_protocol(&dftsp_code::catalog::steane(), &SynthesisOptions::default())
-        .expect("synthesis succeeds");
+    let steane = SynthesisEngine::default()
+        .synthesize(&dftsp_code::catalog::steane())
+        .expect("synthesis succeeds")
+        .protocol;
     let config = SubsetConfig {
         max_faults: 2,
         samples_per_stratum: 100,

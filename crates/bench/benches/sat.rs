@@ -31,15 +31,13 @@ fn parity_cardinality(bits: usize, parity_rows: usize, bound: usize) -> Solver {
     let mut enc = Encoder::new(&mut solver);
     let mut state = 0x1234_5678u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     for row in 0..parity_rows {
-        let members: Vec<Lit> = vars
-            .iter()
-            .copied()
-            .filter(|_| next() % 2 == 0)
-            .collect();
+        let members: Vec<Lit> = vars.iter().copied().filter(|_| next() % 2 == 0).collect();
         if !members.is_empty() {
             enc.add_parity(&members, row % 2 == 0);
         }
@@ -53,12 +51,16 @@ fn bench_sat(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(5));
     for holes in [6usize, 7] {
-        group.bench_with_input(BenchmarkId::new("pigeonhole", holes), &holes, |b, &holes| {
-            b.iter(|| {
-                let mut solver = pigeonhole(holes);
-                assert_eq!(solver.solve(), SolveResult::Unsat);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pigeonhole", holes),
+            &holes,
+            |b, &holes| {
+                b.iter(|| {
+                    let mut solver = pigeonhole(holes);
+                    assert_eq!(solver.solve(), SolveResult::Unsat);
+                })
+            },
+        );
     }
     for bits in [24usize, 40] {
         group.bench_with_input(

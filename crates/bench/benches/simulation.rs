@@ -2,16 +2,21 @@
 //! primitives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dftsp::{execute, synthesize_protocol, NoFaults, SynthesisOptions};
+use dftsp::{execute, NoFaults, SynthesisEngine};
 use dftsp_noise::{monte_carlo, NoiseParams, PerfectDecoder};
 
 fn bench_executor(c: &mut Criterion) {
-    let protocols: Vec<_> = [dftsp_code::catalog::steane(), dftsp_code::catalog::surface3()]
-        .into_iter()
-        .map(|code| {
-            let protocol = synthesize_protocol(&code, &SynthesisOptions::default())
-                .expect("synthesis succeeds");
-            (code.name().to_string(), protocol)
+    let engine = SynthesisEngine::default();
+    let codes = [
+        dftsp_code::catalog::steane(),
+        dftsp_code::catalog::surface3(),
+    ];
+    let protocols: Vec<_> = codes
+        .iter()
+        .zip(engine.synthesize_all(&codes))
+        .map(|(code, report)| {
+            let report = report.expect("synthesis succeeds");
+            (code.name().to_string(), report.protocol)
         })
         .collect();
 

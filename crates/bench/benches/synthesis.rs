@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dftsp::correct::{synthesize_correction, CorrectionOptions, CorrectionProblem};
 use dftsp::prep::{synthesize_prep, PrepMethod, PrepOptions};
 use dftsp::verify::{synthesize_verification, VerificationOptions};
-use dftsp::ZeroStateContext;
+use dftsp::{BackendChoice, SynthesisEngine, ZeroStateContext};
 use dftsp_code::catalog;
 use dftsp_f2::BitVec;
 use dftsp_pauli::PauliKind;
@@ -72,5 +72,27 @@ fn bench_correction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prep, bench_verification, bench_correction);
+fn bench_engine(c: &mut Criterion) {
+    let steane = catalog::steane();
+    let mut group = c.benchmark_group("engine_synthesis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    for backend in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+        let engine = SynthesisEngine::builder().solver(backend).build();
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline/Steane", backend),
+            &engine,
+            |b, engine| b.iter(|| engine.synthesize(&steane).expect("synthesis succeeds")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prep,
+    bench_verification,
+    bench_correction,
+    bench_engine
+);
 criterion_main!(benches);

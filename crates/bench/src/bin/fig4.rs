@@ -11,7 +11,7 @@
 //! fitted log-log slope of each series, which should be ≈ 2 for a
 //! fault-tolerant protocol.
 
-use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp::SynthesisEngine;
 use dftsp_bench::{evaluation_codes, quick_codes};
 use dftsp_noise::{
     default_physical_rates, linear_reference, logical_error_curve, ErrorRateCurve, SubsetConfig,
@@ -23,19 +23,32 @@ fn main() {
     let samples = flag_value(&args, "--samples").unwrap_or(if quick { 500 } else { 2000 });
     let points_per_decade = flag_value(&args, "--points-per-decade").unwrap_or(3);
 
-    let codes = if quick { quick_codes() } else { evaluation_codes() };
+    let codes = if quick {
+        quick_codes()
+    } else {
+        evaluation_codes()
+    };
     let rates = default_physical_rates(points_per_decade);
     let config = SubsetConfig {
         max_faults: 4,
         samples_per_stratum: samples,
     };
 
+    let engine = SynthesisEngine::default();
+    eprintln!(
+        "synthesizing {} protocols on {} threads ...",
+        codes.len(),
+        engine.threads()
+    );
+    let reports = engine.synthesize_all(&codes);
     let mut curves: Vec<ErrorRateCurve> = vec![linear_reference(&rates)];
-    for code in codes {
-        eprintln!("synthesizing and sampling {} ...", code.name());
-        match synthesize_protocol(&code, &SynthesisOptions::default()) {
-            Ok(protocol) => curves.push(logical_error_curve(&protocol, &rates, &config, 2025)),
-            Err(e) => eprintln!("  skipped ({e})"),
+    for (code, report) in codes.iter().zip(reports) {
+        match report {
+            Ok(report) => {
+                eprintln!("sampling {} ...", code.name());
+                curves.push(logical_error_curve(&report.protocol, &rates, &config, 2025));
+            }
+            Err(e) => eprintln!("{} skipped ({e})", code.name()),
         }
     }
 

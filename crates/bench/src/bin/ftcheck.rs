@@ -9,24 +9,33 @@
 //! of fault locations, the number of faults checked and any violations of the
 //! strict fault-tolerance criterion (Definition 1 of the paper).
 
-use dftsp::{check_fault_tolerance, synthesize_protocol, SynthesisOptions};
+use dftsp::{check_fault_tolerance, SynthesisEngine};
 use dftsp_bench::{evaluation_codes, quick_codes};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let codes = if quick { quick_codes() } else { evaluation_codes() };
+    let codes = if quick {
+        quick_codes()
+    } else {
+        evaluation_codes()
+    };
     let mut all_pass = true;
+
+    // Synthesize the whole catalog batched over worker threads, then check
+    // each protocol sequentially (the check itself is already exhaustive).
+    let engine = SynthesisEngine::default();
+    let reports = engine.synthesize_all(&codes);
 
     println!(
         "{:<12} {:>11} {:>10} {:>10} {:>11}",
         "Code", "[[n,k,d]]", "locations", "faults", "violations"
     );
     println!("{}", "-".repeat(60));
-    for code in codes {
+    for (code, synthesis) in codes.iter().zip(reports) {
         let (n, k, d) = code.parameters();
-        match synthesize_protocol(&code, &SynthesisOptions::default()) {
-            Ok(protocol) => {
-                let report = check_fault_tolerance(&protocol);
+        match synthesis {
+            Ok(synthesis) => {
+                let report = check_fault_tolerance(&synthesis.protocol);
                 println!(
                     "{:<12} {:>11} {:>10} {:>10} {:>11}",
                     code.name(),

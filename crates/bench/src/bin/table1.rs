@@ -25,7 +25,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
 
-    let codes = if quick { quick_codes() } else { evaluation_codes() };
+    let codes = if quick {
+        quick_codes()
+    } else {
+        evaluation_codes()
+    };
     let mut prep_methods = vec![PrepMethod::Heuristic];
     if with_opt_prep {
         prep_methods.push(PrepMethod::Optimal);
@@ -37,9 +41,16 @@ fn main() {
 
     println!(
         "{:<12} {:>11} {:>5} {:>7} | {:>28} | {:>28} | {:>6} {:>6} {:>7} {:>7}",
-        "Code", "[[n,k,d]]", "Prep", "Verif.",
-        "Layer-1 verif/corr", "Layer-2 verif/corr",
-        "ΣANC", "ΣCNOT", "∅ANC", "∅CNOT"
+        "Code",
+        "[[n,k,d]]",
+        "Prep",
+        "Verif.",
+        "Layer-1 verif/corr",
+        "Layer-2 verif/corr",
+        "ΣANC",
+        "ΣCNOT",
+        "∅ANC",
+        "∅CNOT"
     );
     println!("{}", "-".repeat(140));
 

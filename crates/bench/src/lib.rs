@@ -14,8 +14,7 @@
 //! and simulation steps themselves.
 
 use dftsp::{
-    globally_optimize, synthesize_protocol, DeterministicProtocol, GlobalOptions, PrepMethod,
-    ProtocolMetrics, SynthesisError, SynthesisOptions,
+    DeterministicProtocol, PrepMethod, ProtocolMetrics, SatStats, SynthesisEngine, SynthesisError,
 };
 use dftsp_code::{catalog, CssCode};
 
@@ -49,6 +48,15 @@ pub struct TableRow {
     pub protocol: DeterministicProtocol,
     /// Its Table I metrics.
     pub metrics: ProtocolMetrics,
+    /// Aggregate SAT statistics of the synthesis run.
+    pub sat: SatStats,
+    /// Wall-clock synthesis time.
+    pub synthesis_time: std::time::Duration,
+}
+
+/// The engine configuration of one Table I row.
+pub fn row_engine(prep_method: PrepMethod) -> SynthesisEngine {
+    SynthesisEngine::builder().prep_method(prep_method).build()
 }
 
 /// Synthesizes one Table I row.
@@ -61,11 +69,20 @@ pub fn synthesize_row(
     prep_method: PrepMethod,
     flavor: VerificationFlavor,
 ) -> Result<TableRow, SynthesisError> {
-    let options = SynthesisOptions::with_prep_method(prep_method);
-    let protocol = match flavor {
-        VerificationFlavor::Optimal => synthesize_protocol(code, &options)?,
+    let engine = row_engine(prep_method);
+    let (protocol, sat, synthesis_time) = match flavor {
+        VerificationFlavor::Optimal => {
+            let report = engine.synthesize(code)?;
+            let sat = report.sat_totals();
+            (report.protocol, sat, report.total_time)
+        }
         VerificationFlavor::Global => {
-            globally_optimize(code, &GlobalOptions { synthesis: options })?.protocol
+            let report = engine.globally_optimize(code)?;
+            let mut sat = SatStats::default();
+            for stage in &report.stages {
+                sat.absorb(&stage.sat);
+            }
+            (report.protocol, sat, report.total_time)
         }
     };
     let metrics = ProtocolMetrics::from_protocol(&protocol);
@@ -74,6 +91,8 @@ pub fn synthesize_row(
         verification_flavor: flavor,
         protocol,
         metrics,
+        sat,
+        synthesis_time,
     })
 }
 
@@ -129,5 +148,7 @@ mod tests {
         assert_eq!(row.metrics.code_name, "Steane");
         assert_eq!(row.verification_flavor, VerificationFlavor::Optimal);
         assert_eq!(row.verification_flavor.to_string(), "Opt");
+        assert!(row.sat.calls > 0, "engine reports attach SAT statistics");
+        assert!(row.synthesis_time > std::time::Duration::ZERO);
     }
 }

@@ -87,7 +87,10 @@ impl Circuit {
             self.check_qubit(q);
         }
         if let Some(bit) = gate.measured_bit() {
-            assert!(bit < self.num_bits, "classical bit {bit} has not been allocated");
+            assert!(
+                bit < self.num_bits,
+                "classical bit {bit} has not been allocated"
+            );
         }
         if let Gate::Cnot { control, target } = gate {
             assert_ne!(control, target, "CNOT control and target must differ");
@@ -205,7 +208,11 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# circuit: {} qubits, {} bits", self.num_qubits, self.num_bits)?;
+        writeln!(
+            f,
+            "# circuit: {} qubits, {} bits",
+            self.num_qubits, self.num_bits
+        )?;
         for gate in &self.gates {
             writeln!(f, "{gate}")?;
         }
@@ -239,10 +246,7 @@ mod tests {
         let offset = a.append(&b);
         assert_eq!(offset, 1);
         assert_eq!(a.num_bits(), 2);
-        assert_eq!(
-            a.gates()[1],
-            Gate::MeasureZ { qubit: 1, bit: 1 }
-        );
+        assert_eq!(a.gates()[1], Gate::MeasureZ { qubit: 1, bit: 1 });
     }
 
     #[test]

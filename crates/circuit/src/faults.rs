@@ -176,7 +176,9 @@ mod tests {
         let sites = enumerate_fault_sites(&c);
         assert_eq!(sites.len(), 6);
         assert_eq!(sites[0].kind, FaultSiteKind::Preparation);
-        assert!(sites[1..5].iter().all(|s| s.kind == FaultSiteKind::TwoQubitGate));
+        assert!(sites[1..5]
+            .iter()
+            .all(|s| s.kind == FaultSiteKind::TwoQubitGate));
         assert_eq!(sites[5].kind, FaultSiteKind::Measurement);
         assert_eq!(sites[2].qubits, vec![1, 4]);
     }
@@ -234,9 +236,6 @@ mod tests {
         let effect = FaultEffect::Pauli(PauliString::single(5, 4, Pauli::X));
         let (residual, flips) = propagate_fault(&c, &sites[4], &effect);
         assert!(flips.get(0));
-        assert!(residual
-            .support()
-            .into_iter()
-            .all(|q| q == 4));
+        assert!(residual.support().into_iter().all(|q| q == 4));
     }
 }

@@ -124,8 +124,19 @@ mod tests {
     #[test]
     fn qubit_lists() {
         assert_eq!(Gate::H { qubit: 3 }.qubits(), vec![3]);
-        assert_eq!(Gate::Cnot { control: 1, target: 4 }.qubits(), vec![1, 4]);
-        assert!(Gate::Cnot { control: 1, target: 4 }.is_two_qubit());
+        assert_eq!(
+            Gate::Cnot {
+                control: 1,
+                target: 4
+            }
+            .qubits(),
+            vec![1, 4]
+        );
+        assert!(Gate::Cnot {
+            control: 1,
+            target: 4
+        }
+        .is_two_qubit());
         assert!(!Gate::H { qubit: 0 }.is_two_qubit());
     }
 
@@ -142,8 +153,18 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(Gate::Cnot { control: 0, target: 2 }.to_string(), "cx q0, q2");
-        assert_eq!(Gate::MeasureZ { qubit: 5, bit: 1 }.to_string(), "mz q5 -> c1");
+        assert_eq!(
+            Gate::Cnot {
+                control: 0,
+                target: 2
+            }
+            .to_string(),
+            "cx q0, q2"
+        );
+        assert_eq!(
+            Gate::MeasureZ { qubit: 5, bit: 1 }.to_string(),
+            "mz q5 -> c1"
+        );
     }
 
     #[test]

@@ -40,7 +40,15 @@ fn main() {
                 println!("H_{kind}:");
                 for row in code.stabilizers(kind).iter() {
                     let supp: Vec<String> = row.support().iter().map(ToString::to_string).collect();
-                    println!("  &[{}][..],  // {}", row.to_bits().iter().map(ToString::to_string).collect::<Vec<_>>().join(", "), supp.join(","));
+                    println!(
+                        "  &[{}][..],  // {}",
+                        row.to_bits()
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        supp.join(",")
+                    );
                 }
             }
         }

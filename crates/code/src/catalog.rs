@@ -114,7 +114,9 @@ pub fn tesseract() -> CssCode {
     let mut rows = vec![BitVec::ones(n)];
     for bit in 0..4 {
         rows.push(BitVec::from_bools(
-            &(0..n as u32).map(|c| (c >> bit) & 1 == 1).collect::<Vec<_>>(),
+            &(0..n as u32)
+                .map(|c| (c >> bit) & 1 == 1)
+                .collect::<Vec<_>>(),
         ));
     }
     let h = BitMatrix::from_rows(rows);
@@ -268,8 +270,14 @@ mod tests {
         let code = tetrahedral();
         assert_eq!(code.parameters(), (15, 1, 3));
         // X stabilizers have weight 8, Z stabilizers weight 4.
-        assert!(code.stabilizers(PauliKind::X).iter().all(|r| r.weight() == 8));
-        assert!(code.stabilizers(PauliKind::Z).iter().all(|r| r.weight() == 4));
+        assert!(code
+            .stabilizers(PauliKind::X)
+            .iter()
+            .all(|r| r.weight() == 8));
+        assert!(code
+            .stabilizers(PauliKind::Z)
+            .iter()
+            .all(|r| r.weight() == 4));
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl fmt::Display for CodeError {
                 f,
                 "X generator {x_row} anticommutes with Z generator {z_row}"
             ),
-            CodeError::RedundantGenerators => write!(f, "stabilizer generators are linearly dependent"),
+            CodeError::RedundantGenerators => {
+                write!(f, "stabilizer generators are linearly dependent")
+            }
             CodeError::NoLogicalQubits => write!(f, "code encodes no logical qubits"),
         }
     }
@@ -310,7 +312,10 @@ mod tests {
                 for s in code.stabilizers(kind.dual()).iter() {
                     assert!(!l.dot(s), "logical must commute with dual stabilizers");
                 }
-                assert!(!code.is_stabilizer(kind, l), "logical must not be a stabilizer");
+                assert!(
+                    !code.is_stabilizer(kind, l),
+                    "logical must not be a stabilizer"
+                );
             }
         }
     }

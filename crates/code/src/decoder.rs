@@ -43,7 +43,10 @@ impl LookupDecoder {
     /// construction would be too large).
     pub fn new(code: &CssCode, error_kind: PauliKind) -> Self {
         let n = code.num_qubits();
-        assert!(n <= 24, "lookup decoding is limited to small codes (n ≤ 24)");
+        assert!(
+            n <= 24,
+            "lookup decoding is limited to small codes (n ≤ 24)"
+        );
         let checks = code.stabilizers(error_kind.dual());
         let num_checks = checks.num_rows();
         let mut table: Vec<Option<BitVec>> = vec![None; 1 << num_checks];

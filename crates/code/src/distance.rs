@@ -20,7 +20,10 @@ use dftsp_f2::BitMatrix;
 pub fn min_logical_weight(commute_with: &BitMatrix, modulo: &BitMatrix) -> Option<usize> {
     let kernel = commute_with.nullspace();
     let dim = kernel.num_rows();
-    assert!(dim < 26, "kernel dimension {dim} too large for exhaustive distance computation");
+    assert!(
+        dim < 26,
+        "kernel dimension {dim} too large for exhaustive distance computation"
+    );
     let mut best: Option<usize> = None;
     for v in kernel.iter_span() {
         if v.is_zero() || modulo.in_row_space(&v) {

@@ -75,7 +75,7 @@ pub fn find_css_code(params: &SearchParams, seed: u64) -> Option<CssCode> {
     assert!(params.k < params.n, "k must be smaller than n");
     if params.self_dual {
         assert!(
-            (params.n - params.k) % 2 == 0,
+            (params.n - params.k).is_multiple_of(2),
             "self-dual search requires an even number of stabilizers"
         );
     }
@@ -124,7 +124,7 @@ fn sample_self_dual(params: &SearchParams, rng: &mut StdRng) -> Option<BitMatrix
         let row = sample_row(params, rng);
         // Self-orthogonality over GF(2) requires even weight, and the row must
         // commute with (be orthogonal to) every previously chosen row.
-        if row.weight() % 2 != 0 {
+        if !row.weight().is_multiple_of(2) {
             continue;
         }
         if h.iter().any(|r| r.dot(&row)) {
@@ -218,7 +218,10 @@ mod tests {
         let params = SearchParams::new(4, 2, 2, true);
         let a = find_css_code(&params, 5).expect("found");
         let b = find_css_code(&params, 5).expect("found");
-        assert_eq!(a.stabilizers(dftsp_pauli::PauliKind::X), b.stabilizers(dftsp_pauli::PauliKind::X));
+        assert_eq!(
+            a.stabilizers(dftsp_pauli::PauliKind::X),
+            b.stabilizers(dftsp_pauli::PauliKind::X)
+        );
     }
 
     #[test]

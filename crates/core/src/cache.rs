@@ -1,0 +1,145 @@
+//! Reusable single-fault enumeration cache.
+//!
+//! Exhaustive single-fault enumeration — executing the protocol once per
+//! possible fault — is the most expensive non-SAT step of the synthesis
+//! pipeline, and the pipeline historically repeated it for the *same* partial
+//! protocol (once to decide whether a second layer is expected, once to
+//! collect the first layer's dangerous errors). [`FaultCache`] memoizes the
+//! records keyed by a structural fingerprint of the protocol, so each
+//! distinct partial protocol is enumerated exactly once per synthesis run.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::ftcheck::{enumerate_single_fault_records, SingleFaultRecord};
+use crate::protocol::DeterministicProtocol;
+
+/// Memoized single-fault enumeration for the protocol under construction.
+#[derive(Debug, Default)]
+pub struct FaultCache {
+    fingerprint: Option<u64>,
+    records: Vec<SingleFaultRecord>,
+    hits: u64,
+    misses: u64,
+}
+
+impl FaultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FaultCache::default()
+    }
+
+    /// The single-fault records of `protocol`, recomputing only when the
+    /// protocol changed structurally since the previous call.
+    pub fn records(&mut self, protocol: &DeterministicProtocol) -> &[SingleFaultRecord] {
+        let fingerprint = structural_fingerprint(protocol);
+        if self.fingerprint == Some(fingerprint) {
+            self.hits += 1;
+        } else {
+            self.records = enumerate_single_fault_records(protocol);
+            self.fingerprint = Some(fingerprint);
+            self.misses += 1;
+        }
+        &self.records
+    }
+
+    /// Number of avoided enumerations.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of performed enumerations.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// A fingerprint of everything the fault enumeration depends on: the
+/// preparation circuit and the layers (gadgets, flags, branches, recoveries).
+///
+/// The `Debug` rendering of those structures is a faithful, deterministic
+/// serialization of their content (branch maps are ordered `BTreeMap`s). It
+/// is streamed straight into the hasher — no intermediate string — and costs
+/// microseconds against the milliseconds-to-seconds of one enumeration.
+fn structural_fingerprint(protocol: &DeterministicProtocol) -> u64 {
+    use std::fmt::Write;
+
+    /// Feeds formatted output directly into a [`Hasher`].
+    struct HashWriter<'a>(&'a mut DefaultHasher);
+
+    impl Write for HashWriter<'_> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            s.hash(self.0);
+            Ok(())
+        }
+    }
+
+    let mut hasher = DefaultHasher::new();
+    write!(
+        HashWriter(&mut hasher),
+        "{:?}|{:?}",
+        protocol.prep.circuit,
+        protocol.layers
+    )
+    .expect("hashing writer never fails");
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::MeasurementGadget;
+    use crate::prep::{synthesize_prep, PrepOptions};
+    use crate::protocol::VerificationLayer;
+    use crate::ZeroStateContext;
+    use dftsp_code::catalog;
+    use dftsp_pauli::PauliKind;
+
+    fn bare_protocol() -> DeterministicProtocol {
+        let code = catalog::steane();
+        DeterministicProtocol {
+            context: ZeroStateContext::new(code.clone()),
+            prep: synthesize_prep(&code, &PrepOptions::default()),
+            layers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let protocol = bare_protocol();
+        let mut cache = FaultCache::new();
+        let first_len = cache.records(&protocol).len();
+        let second_len = cache.records(&protocol).len();
+        assert_eq!(first_len, second_len);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn structural_changes_invalidate_the_cache() {
+        let mut protocol = bare_protocol();
+        let mut cache = FaultCache::new();
+        let bare_count = cache.records(&protocol).len();
+
+        let logical_z = protocol
+            .context
+            .code()
+            .logicals(PauliKind::Z)
+            .row(0)
+            .clone();
+        protocol.layers.push(VerificationLayer::new(
+            PauliKind::X,
+            vec![MeasurementGadget::new(logical_z, PauliKind::Z)],
+        ));
+        let layered_count = cache.records(&protocol).len();
+        assert!(layered_count > bare_count, "more locations, more faults");
+        assert_eq!(cache.misses(), 2);
+
+        // The cached result matches a fresh enumeration of the same protocol.
+        assert_eq!(
+            cache.records(&protocol).len(),
+            enumerate_single_fault_records(&protocol).len()
+        );
+        assert_eq!(cache.hits(), 1);
+    }
+}

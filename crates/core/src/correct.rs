@@ -20,7 +20,9 @@
 use std::collections::HashMap;
 
 use dftsp_f2::{BitMatrix, BitVec};
-use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+use dftsp_sat::{Encoder, Lit, SatBackend, SolveResult};
+
+use crate::engine::SatSession;
 
 /// One instance of the correction-synthesis problem: a set of candidate
 /// residual errors (all mapped to the same verification outcome) that must be
@@ -43,11 +45,18 @@ pub struct CorrectionProblem {
 pub struct CorrectionOptions {
     /// Maximum number of additional measurements per branch.
     pub max_measurements: usize,
+    /// Conflict budget per SAT query (`None` = unlimited). Pathological
+    /// instances then fail with [`CorrectionError::ConflictBudgetExceeded`]
+    /// instead of hanging.
+    pub max_conflicts: Option<u64>,
 }
 
 impl Default for CorrectionOptions {
     fn default() -> Self {
-        CorrectionOptions { max_measurements: 3 }
+        CorrectionOptions {
+            max_measurements: 3,
+            max_conflicts: None,
+        }
     }
 }
 
@@ -76,13 +85,27 @@ impl CorrectionSolution {
 pub enum CorrectionError {
     /// No correction was found within the measurement budget.
     BudgetExhausted,
+    /// A SAT query exceeded the configured conflict budget.
+    ConflictBudgetExceeded {
+        /// The per-query conflict budget that was exhausted.
+        max_conflicts: u64,
+    },
 }
 
 impl std::fmt::Display for CorrectionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CorrectionError::BudgetExhausted => {
-                write!(f, "no correction circuit found within the measurement budget")
+                write!(
+                    f,
+                    "no correction circuit found within the measurement budget"
+                )
+            }
+            CorrectionError::ConflictBudgetExceeded { max_conflicts } => {
+                write!(
+                    f,
+                    "a SAT query exceeded the budget of {max_conflicts} conflicts"
+                )
             }
         }
     }
@@ -122,6 +145,21 @@ pub fn synthesize_correction(
     problem: &CorrectionProblem,
     options: &CorrectionOptions,
 ) -> Result<CorrectionSolution, CorrectionError> {
+    synthesize_correction_with(&mut SatSession::default(), problem, options)
+}
+
+/// [`synthesize_correction`] against an explicit [`SatSession`], which
+/// selects the SAT backend and accumulates per-query statistics. This is the
+/// entry point used by [`crate::SynthesisEngine`].
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_correction`].
+pub fn synthesize_correction_with(
+    session: &mut SatSession,
+    problem: &CorrectionProblem,
+    options: &CorrectionOptions,
+) -> Result<CorrectionSolution, CorrectionError> {
     let errors = dedupe_errors(&problem.errors);
     if errors.is_empty() {
         return Ok(CorrectionSolution {
@@ -132,22 +170,27 @@ pub fn synthesize_correction(
     }
     for u in 0..=options.max_measurements {
         let unbounded = problem.measurable.num_cols() * u.max(1);
-        if let Some(solution) = solve_correction(problem, &errors, u, unbounded) {
+        if let Some(solution) = solve_correction(session, problem, &errors, u, unbounded, options)?
+        {
             if u == 0 {
                 return Ok(solution);
             }
-            // Minimize the summed measurement weight.
+            // Minimize the summed measurement weight. A conflict-budget
+            // interruption here only costs weight optimality — the feasible
+            // solution already in hand is returned rather than failing.
             let mut lo = u;
             let mut hi = solution.total_weight;
             let mut best = solution;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                match solve_correction(problem, &errors, u, mid) {
-                    Some(better) => {
+                match solve_correction(session, problem, &errors, u, mid, options) {
+                    Ok(Some(better)) => {
                         hi = better.total_weight.min(mid);
                         best = better;
                     }
-                    None => lo = mid + 1,
+                    Ok(None) => lo = mid + 1,
+                    Err(CorrectionError::ConflictBudgetExceeded { .. }) => break,
+                    Err(other) => return Err(other),
                 }
             }
             return Ok(best);
@@ -172,11 +215,13 @@ fn dedupe_errors(errors: &[BitVec]) -> Vec<BitVec> {
 
 /// Solves one `(u, v)` instance of the correction-synthesis decision problem.
 fn solve_correction(
+    session: &mut SatSession,
     problem: &CorrectionProblem,
     errors: &[BitVec],
     u: usize,
     v: usize,
-) -> Option<CorrectionSolution> {
+    options: &CorrectionOptions,
+) -> Result<Option<CorrectionSolution>, CorrectionError> {
     let m = problem.measurable.num_rows();
     let n = problem.measurable.num_cols();
     // Syndrome map of the reduction group: a vector lies in the group's row
@@ -193,7 +238,8 @@ fn solve_correction(
         }
     }
 
-    let mut solver = Solver::new();
+    let mut solver = session.instance();
+    let mut solver = solver.as_mut();
     // Measurement selector variables.
     let selectors: Vec<Vec<Lit>> = (0..u)
         .map(|_| (0..m).map(|_| Lit::pos(solver.new_var())).collect())
@@ -225,7 +271,7 @@ fn solve_correction(
             enc.at_most_k(&all_supports, v);
             // Each additional measurement must be non-trivial.
             for supports in &support_lits {
-                enc.solver().add_clause(supports.clone());
+                enc.solver().add_clause(supports);
             }
         }
 
@@ -304,13 +350,19 @@ fn solve_correction(
                 }
                 let mut clause = vec![!matches];
                 clause.extend(alternatives);
-                enc.solver().add_clause(clause);
+                enc.solver().add_clause(&clause);
             }
         }
     }
 
-    if solver.solve() != SolveResult::Sat {
-        return None;
+    match session.solve(solver, options.max_conflicts) {
+        Some(SolveResult::Sat) => {}
+        Some(SolveResult::Unsat) => return Ok(None),
+        None => {
+            return Err(CorrectionError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            })
+        }
     }
     let model = solver.model().expect("SAT result has a model").clone();
     let mut measurements = Vec::with_capacity(u);
@@ -353,11 +405,11 @@ fn solve_correction(
             r
         })
         .collect();
-    Some(CorrectionSolution {
+    Ok(Some(CorrectionSolution {
         measurements,
         recoveries,
         total_weight,
-    })
+    }))
 }
 
 /// Checks that a correction solution actually handles every error of a
@@ -431,7 +483,10 @@ mod tests {
         // no single recovery fixes both, so the synthesis must introduce a
         // distinguishing measurement (here a single-qubit Z suffices).
         let problem = CorrectionProblem {
-            errors: vec![BitVec::from_indices(4, &[0, 1]), BitVec::from_indices(4, &[2, 3])],
+            errors: vec![
+                BitVec::from_indices(4, &[0, 1]),
+                BitVec::from_indices(4, &[2, 3]),
+            ],
             measurable: BitMatrix::from_dense(&[&[1, 0, 0, 0][..], &[0, 0, 1, 0][..]]),
             reduction: BitMatrix::with_cols(4, std::iter::empty()),
         };
@@ -501,13 +556,19 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_error() {
         let problem = CorrectionProblem {
-            errors: vec![BitVec::from_indices(4, &[0, 1]), BitVec::from_indices(4, &[2, 3])],
+            errors: vec![
+                BitVec::from_indices(4, &[0, 1]),
+                BitVec::from_indices(4, &[2, 3]),
+            ],
             // Empty measurable group and empty reduction group: the two
             // dangerous errors cannot be distinguished nor reduced.
             measurable: BitMatrix::with_cols(4, std::iter::empty()),
             reduction: BitMatrix::with_cols(4, std::iter::empty()),
         };
-        let options = CorrectionOptions { max_measurements: 1 };
+        let options = CorrectionOptions {
+            max_measurements: 1,
+            ..CorrectionOptions::default()
+        };
         assert_eq!(
             synthesize_correction(&problem, &options),
             Err(CorrectionError::BudgetExhausted)

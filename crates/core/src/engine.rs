@@ -1,0 +1,838 @@
+//! The synthesis engine: a configured session object around the full
+//! pipeline of Fig. 3.
+//!
+//! [`SynthesisEngine`] (built via [`EngineBuilder`]) owns the synthesis
+//! configuration — preparation method, flag policy, verification/correction
+//! budgets, SAT-backend choice and worker-thread count — and exposes
+//!
+//! * [`SynthesisEngine::synthesize`] — one code to a [`SynthesisReport`]
+//!   (protocol plus per-stage SAT statistics, timings and branch counts),
+//! * [`SynthesisEngine::synthesize_all`] — a whole code catalog, fanned out
+//!   over worker threads,
+//! * [`SynthesisEngine::globally_optimize`] — the paper's global
+//!   optimization over all minimal verification circuits.
+//!
+//! All SAT-driven steps run through a [`SatSession`], which instantiates the
+//! chosen [`BackendChoice`] per query and accumulates [`SatStats`], and share
+//! a [`FaultCache`] so the exhaustive single-fault enumeration is not
+//! repeated for unchanged partial protocols.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use dftsp_code::CssCode;
+use dftsp_pauli::PauliKind;
+use dftsp_sat::{BackendChoice, SatBackend, SolveResult};
+
+use crate::cache::FaultCache;
+use crate::global::GlobalResult;
+use crate::metrics::ProtocolMetrics;
+use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
+use crate::protocol::DeterministicProtocol;
+use crate::synthesis::{
+    attach_correction_branches_with, build_layer_from_verification, dangerous_errors_from_records,
+    FlagPolicy, SynthesisError, SynthesisOptions,
+};
+use crate::verify::{enumerate_minimal_verifications_with, synthesize_verification_with};
+use crate::ZeroStateContext;
+
+/// Accumulated SAT statistics of one synthesis stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of SAT queries issued.
+    pub calls: u64,
+    /// Queries answered satisfiable.
+    pub sat: u64,
+    /// Queries answered unsatisfiable.
+    pub unsat: u64,
+    /// Queries interrupted by the conflict budget.
+    pub interrupted: u64,
+    /// Total decisions across all queries.
+    pub decisions: u64,
+    /// Total unit propagations across all queries.
+    pub propagations: u64,
+    /// Total conflicts across all queries.
+    pub conflicts: u64,
+    /// Total learned clauses across all queries.
+    pub learned_clauses: u64,
+    /// Total restarts across all queries.
+    pub restarts: u64,
+    /// Total variables across all query formulas.
+    pub variables: u64,
+    /// Total clauses across all query formulas.
+    pub clauses: u64,
+}
+
+impl SatStats {
+    /// Adds the counters of `other` into `self`.
+    pub fn absorb(&mut self, other: &SatStats) {
+        self.calls += other.calls;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.interrupted += other.interrupted;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.learned_clauses += other.learned_clauses;
+        self.restarts += other.restarts;
+        self.variables += other.variables;
+        self.clauses += other.clauses;
+    }
+}
+
+impl std::fmt::Display for SatStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "calls={} (sat={} unsat={} interrupted={}) vars={} clauses={} conflicts={} decisions={} propagations={}",
+            self.calls,
+            self.sat,
+            self.unsat,
+            self.interrupted,
+            self.variables,
+            self.clauses,
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+        )
+    }
+}
+
+/// A SAT-solving session: instantiates the configured backend per query and
+/// accumulates statistics across queries.
+///
+/// The SAT-driven synthesis steps ([`crate::verify`], [`crate::correct`])
+/// take a session instead of constructing a hard-wired solver, which is what
+/// makes the solver pluggable end to end.
+#[derive(Debug, Clone, Default)]
+pub struct SatSession {
+    choice: BackendChoice,
+    stats: SatStats,
+}
+
+impl SatSession {
+    /// A session using the given backend.
+    pub fn new(choice: BackendChoice) -> Self {
+        SatSession {
+            choice,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// The configured backend choice.
+    pub fn choice(&self) -> BackendChoice {
+        self.choice
+    }
+
+    /// Instantiates a fresh backend for one encoding/query round.
+    pub fn instance(&self) -> Box<dyn SatBackend> {
+        self.choice.instantiate()
+    }
+
+    /// Solves `backend` (optionally under a conflict budget), recording the
+    /// query in the session statistics. Returns `None` when the budget was
+    /// exhausted.
+    pub fn solve(
+        &mut self,
+        backend: &mut dyn SatBackend,
+        max_conflicts: Option<u64>,
+    ) -> Option<SolveResult> {
+        let result = match max_conflicts {
+            None => Some(backend.solve()),
+            Some(budget) => backend.solve_limited(&[], budget),
+        };
+        let stats = backend.stats();
+        self.stats.calls += 1;
+        match result {
+            Some(SolveResult::Sat) => self.stats.sat += 1,
+            Some(SolveResult::Unsat) => self.stats.unsat += 1,
+            None => self.stats.interrupted += 1,
+        }
+        self.stats.decisions += stats.decisions;
+        self.stats.propagations += stats.propagations;
+        self.stats.conflicts += stats.conflicts;
+        self.stats.learned_clauses += stats.learned_clauses;
+        self.stats.restarts += stats.restarts;
+        self.stats.variables += backend.num_vars() as u64;
+        self.stats.clauses += backend.num_clauses() as u64;
+        result
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Returns the accumulated statistics and resets the counters (used for
+    /// per-stage attribution).
+    pub fn take_stats(&mut self) -> SatStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Identifies a synthesis stage in a [`SynthesisReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// State-preparation synthesis (step (a); no SAT involved).
+    Prep,
+    /// Verification synthesis for one error sector (step (b)).
+    Verification(PauliKind),
+    /// Correction synthesis for one layer (steps (d)/(e)).
+    Correction(PauliKind),
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Prep => write!(f, "prep"),
+            Stage::Verification(kind) => write!(f, "{kind}-verification"),
+            Stage::Correction(kind) => write!(f, "{kind}-correction"),
+        }
+    }
+}
+
+/// Timing, SAT statistics and branch count of one synthesis stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Which stage this is.
+    pub stage: Stage,
+    /// Wall-clock time spent in the stage.
+    pub time: Duration,
+    /// SAT statistics of the stage (all-zero for SAT-free stages).
+    pub sat: SatStats,
+    /// Number of correction branches synthesized in the stage (0 for
+    /// non-correction stages).
+    pub branches: usize,
+}
+
+/// Result of [`SynthesisEngine::synthesize`]: the protocol plus structured
+/// per-stage statistics.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Name of the synthesized code.
+    pub code_name: String,
+    /// The synthesized deterministic protocol.
+    pub protocol: DeterministicProtocol,
+    /// Per-stage timings, SAT statistics and branch counts.
+    pub stages: Vec<StageReport>,
+    /// Fault-enumeration cache hits (enumerations avoided).
+    pub fault_cache_hits: u64,
+    /// Fault-enumeration cache misses (enumerations performed).
+    pub fault_cache_misses: u64,
+    /// Total wall-clock synthesis time.
+    pub total_time: Duration,
+}
+
+impl SynthesisReport {
+    /// Total number of correction branches across all layers.
+    pub fn branch_count(&self) -> usize {
+        self.protocol.layers.iter().map(|l| l.branches.len()).sum()
+    }
+
+    /// SAT statistics summed over all stages.
+    pub fn sat_totals(&self) -> SatStats {
+        let mut totals = SatStats::default();
+        for stage in &self.stages {
+            totals.absorb(&stage.sat);
+        }
+        totals
+    }
+
+    /// The report of one stage, if that stage ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Table-I metrics of the synthesized protocol.
+    pub fn metrics(&self) -> ProtocolMetrics {
+        ProtocolMetrics::from_protocol(&self.protocol)
+    }
+}
+
+impl std::fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} layers, {} branches in {:.1?} (sat: {})",
+            self.code_name,
+            self.protocol.layers.len(),
+            self.branch_count(),
+            self.total_time,
+            self.sat_totals(),
+        )
+    }
+}
+
+/// Result of [`SynthesisEngine::globally_optimize`]: the best protocol plus
+/// the same structured statistics as [`SynthesisReport`].
+#[derive(Debug, Clone)]
+pub struct GlobalReport {
+    /// Name of the synthesized code.
+    pub code_name: String,
+    /// The protocol with the lowest expected cost.
+    pub protocol: DeterministicProtocol,
+    /// Number of candidate verification circuits explored per layer.
+    pub candidates_per_layer: Vec<usize>,
+    /// Per-stage timings, SAT statistics and branch counts.
+    pub stages: Vec<StageReport>,
+    /// Total wall-clock synthesis time.
+    pub total_time: Duration,
+}
+
+impl GlobalReport {
+    /// Converts into the classic [`GlobalResult`] shape.
+    pub fn into_result(self) -> GlobalResult {
+        GlobalResult {
+            protocol: self.protocol,
+            candidates_per_layer: self.candidates_per_layer,
+        }
+    }
+}
+
+/// Builder for a [`SynthesisEngine`].
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{BackendChoice, FlagPolicy, PrepMethod, SynthesisEngine};
+///
+/// let engine = SynthesisEngine::builder()
+///     .prep_method(PrepMethod::Heuristic)
+///     .flag_policy(FlagPolicy::Auto)
+///     .max_verification_measurements(4)
+///     .conflict_budget(1_000_000)
+///     .solver(BackendChoice::Cdcl)
+///     .threads(2)
+///     .build();
+/// assert_eq!(engine.threads(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    options: SynthesisOptions,
+    solver: BackendChoice,
+    threads: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// A builder with all defaults (heuristic prep, automatic flags,
+    /// unlimited conflict budgets, the CDCL backend, hardware parallelism).
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Replaces the complete per-step option set.
+    pub fn options(mut self, options: SynthesisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the state-preparation method (step (a)).
+    pub fn prep_method(mut self, method: PrepMethod) -> Self {
+        self.options.prep.method = method;
+        self
+    }
+
+    /// Replaces the state-preparation options.
+    pub fn prep(mut self, prep: PrepOptions) -> Self {
+        self.options.prep = prep;
+        self
+    }
+
+    /// Selects the flagging strategy (step (c)).
+    pub fn flag_policy(mut self, policy: FlagPolicy) -> Self {
+        self.options.flag_policy = policy;
+        self
+    }
+
+    /// Bounds the number of verification measurements per layer (step (b)).
+    pub fn max_verification_measurements(mut self, max: usize) -> Self {
+        self.options.verification.max_measurements = max;
+        self
+    }
+
+    /// Bounds the number of additional measurements per correction branch
+    /// (step (d)).
+    pub fn max_correction_measurements(mut self, max: usize) -> Self {
+        self.options.correction.max_measurements = max;
+        self
+    }
+
+    /// Caps how many equivalent minimal verifications the global optimization
+    /// explores per layer.
+    pub fn enumeration_cap(mut self, cap: usize) -> Self {
+        self.options.verification.enumeration_cap = cap;
+        self
+    }
+
+    /// Sets the per-query SAT conflict budget for both verification and
+    /// correction synthesis. Exceeding it yields the typed
+    /// `ConflictBudgetExceeded` errors instead of an unbounded solve.
+    pub fn conflict_budget(mut self, max_conflicts: u64) -> Self {
+        self.options.verification.max_conflicts = Some(max_conflicts);
+        self.options.correction.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Sets the per-query conflict budget of verification synthesis only.
+    pub fn verification_conflict_budget(mut self, max_conflicts: u64) -> Self {
+        self.options.verification.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Sets the per-query conflict budget of correction synthesis only.
+    pub fn correction_conflict_budget(mut self, max_conflicts: u64) -> Self {
+        self.options.correction.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Selects the SAT backend all synthesis queries run on.
+    pub fn solver(mut self, choice: BackendChoice) -> Self {
+        self.solver = choice;
+        self
+    }
+
+    /// Sets the worker-thread count of [`SynthesisEngine::synthesize_all`]
+    /// (defaults to the available hardware parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> SynthesisEngine {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        SynthesisEngine {
+            options: self.options,
+            solver: self.solver,
+            threads,
+        }
+    }
+}
+
+/// A configured synthesis session for the deterministic fault-tolerant
+/// state-preparation pipeline (Fig. 3 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::SynthesisEngine;
+/// use dftsp_code::catalog;
+///
+/// let engine = SynthesisEngine::default();
+/// let report = engine.synthesize(&catalog::steane())?;
+/// assert_eq!(report.protocol.layers.len(), 1);
+/// assert!(report.sat_totals().calls > 0);
+/// # Ok::<(), dftsp::SynthesisError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthesisEngine {
+    options: SynthesisOptions,
+    solver: BackendChoice,
+    threads: usize,
+}
+
+impl Default for SynthesisEngine {
+    fn default() -> Self {
+        SynthesisEngine::builder().build()
+    }
+}
+
+impl SynthesisEngine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// An engine with the given per-step options and defaults elsewhere.
+    pub fn with_options(options: SynthesisOptions) -> Self {
+        SynthesisEngine::builder().options(options).build()
+    }
+
+    /// The per-step synthesis options.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// The configured SAT backend.
+    pub fn solver(&self) -> BackendChoice {
+        self.solver
+    }
+
+    /// The worker-thread count used by [`SynthesisEngine::synthesize_all`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Synthesizes the complete deterministic protocol for `|0…0⟩_L` of the
+    /// given code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] if verification or correction synthesis
+    /// fails (undetectable error, measurement budget, or conflict budget).
+    pub fn synthesize(&self, code: &CssCode) -> Result<SynthesisReport, SynthesisError> {
+        let start = Instant::now();
+        let (prep, prep_stage) = self.prep_stage(code);
+        self.run_pipeline(code, prep, start, vec![prep_stage])
+    }
+
+    /// Synthesizes the protocol around an already-chosen preparation circuit.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SynthesisEngine::synthesize`].
+    pub fn synthesize_with_prep(
+        &self,
+        code: &CssCode,
+        prep: PrepCircuit,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        self.run_pipeline(code, prep, Instant::now(), Vec::new())
+    }
+
+    /// Runs the state-preparation stage (step (a), no SAT involved).
+    fn prep_stage(&self, code: &CssCode) -> (PrepCircuit, StageReport) {
+        let prep_start = Instant::now();
+        let prep = synthesize_prep(code, &self.options.prep);
+        let stage = StageReport {
+            stage: Stage::Prep,
+            time: prep_start.elapsed(),
+            sat: SatStats::default(),
+            branches: 0,
+        };
+        (prep, stage)
+    }
+
+    /// Pipeline state shared by [`Self::run_pipeline`] and
+    /// [`Self::globally_optimize`]: the layer-less protocol, its fault cache,
+    /// and whether a second (Z) layer is expected. Dangerous Z errors caused
+    /// by preparation faults alone decide the latter regardless of the first
+    /// layer's flag choices.
+    fn pipeline_setup(
+        &self,
+        code: &CssCode,
+        prep: PrepCircuit,
+    ) -> (DeterministicProtocol, FaultCache, bool) {
+        let protocol = DeterministicProtocol {
+            context: ZeroStateContext::new(code.clone()),
+            prep,
+            layers: Vec::new(),
+        };
+        let mut cache = FaultCache::new();
+        let second_layer_expected = cache.records(&protocol).iter().any(|record| {
+            protocol
+                .context
+                .is_dangerous(PauliKind::Z, record.execution.residual.z_part())
+        });
+        (protocol, cache, second_layer_expected)
+    }
+
+    fn run_pipeline(
+        &self,
+        code: &CssCode,
+        prep: PrepCircuit,
+        start: Instant,
+        mut stages: Vec<StageReport>,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let (mut protocol, mut cache, second_layer_expected) = self.pipeline_setup(code, prep);
+
+        for error_kind in [PauliKind::X, PauliKind::Z] {
+            let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
+
+            let verify_start = Instant::now();
+            let mut verify_session = SatSession::new(self.solver);
+            let dangerous = {
+                let records = cache.records(&protocol);
+                dangerous_errors_from_records(&protocol.context, records, error_kind)
+            };
+            if dangerous.is_empty() {
+                continue;
+            }
+            let verification = synthesize_verification_with(
+                &mut verify_session,
+                protocol.context.measurable_group(error_kind),
+                &dangerous,
+                &self.options.verification,
+            )
+            .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+            let layer = build_layer_from_verification(
+                &protocol,
+                error_kind,
+                &verification,
+                later_layer_available,
+                &self.options,
+            )?;
+            protocol.layers.push(layer);
+            stages.push(StageReport {
+                stage: Stage::Verification(error_kind),
+                time: verify_start.elapsed(),
+                sat: verify_session.take_stats(),
+                branches: 0,
+            });
+
+            let correct_start = Instant::now();
+            let mut correct_session = SatSession::new(self.solver);
+            let branches = attach_correction_branches_with(
+                &mut protocol,
+                &self.options,
+                &mut correct_session,
+                &mut cache,
+            )?;
+            stages.push(StageReport {
+                stage: Stage::Correction(error_kind),
+                time: correct_start.elapsed(),
+                sat: correct_session.take_stats(),
+                branches,
+            });
+        }
+
+        Ok(SynthesisReport {
+            code_name: code.name().to_string(),
+            protocol,
+            stages,
+            fault_cache_hits: cache.hits(),
+            fault_cache_misses: cache.misses(),
+            total_time: start.elapsed(),
+        })
+    }
+
+    /// Synthesizes every code of a catalog, fanning the work out over the
+    /// engine's worker threads. Results are returned in input order.
+    pub fn synthesize_all(
+        &self,
+        codes: &[CssCode],
+    ) -> Vec<Result<SynthesisReport, SynthesisError>> {
+        let workers = self.threads.min(codes.len()).max(1);
+        if workers <= 1 {
+            return codes.iter().map(|code| self.synthesize(code)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let (sender, receiver) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= codes.len() {
+                        break;
+                    }
+                    let result = self.synthesize(&codes[index]);
+                    sender
+                        .send((index, result))
+                        .expect("receiver outlives the worker scope");
+                });
+            }
+        });
+        drop(sender);
+        let mut results: Vec<Option<Result<SynthesisReport, SynthesisError>>> =
+            (0..codes.len()).map(|_| None).collect();
+        for (index, result) in receiver {
+            results[index] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every input index was processed"))
+            .collect()
+    }
+
+    /// Runs the paper's global optimization: enumerate all minimal
+    /// verification circuits per layer, synthesize the corrections for each,
+    /// and keep the combination with the lowest expected cost.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the synthesis failures of the underlying steps.
+    pub fn globally_optimize(&self, code: &CssCode) -> Result<GlobalReport, SynthesisError> {
+        let start = Instant::now();
+        let (prep, prep_stage) = self.prep_stage(code);
+        let mut stages = vec![prep_stage];
+        let (mut protocol, mut cache, second_layer_expected) = self.pipeline_setup(code, prep);
+
+        let mut candidates_per_layer = Vec::new();
+        for error_kind in [PauliKind::X, PauliKind::Z] {
+            let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
+
+            let verify_start = Instant::now();
+            let mut verify_session = SatSession::new(self.solver);
+            let dangerous = {
+                let records = cache.records(&protocol);
+                dangerous_errors_from_records(&protocol.context, records, error_kind)
+            };
+            if dangerous.is_empty() {
+                continue;
+            }
+            let candidates = enumerate_minimal_verifications_with(
+                &mut verify_session,
+                protocol.context.measurable_group(error_kind),
+                &dangerous,
+                &self.options.verification,
+            )
+            .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+            candidates_per_layer.push(candidates.len());
+            stages.push(StageReport {
+                stage: Stage::Verification(error_kind),
+                time: verify_start.elapsed(),
+                sat: verify_session.take_stats(),
+                branches: 0,
+            });
+
+            let correct_start = Instant::now();
+            let mut correct_session = SatSession::new(self.solver);
+            let mut best: Option<(f64, DeterministicProtocol)> = None;
+            for candidate in &candidates {
+                let mut trial = protocol.clone();
+                let layer = build_layer_from_verification(
+                    &trial,
+                    error_kind,
+                    candidate,
+                    later_layer_available,
+                    &self.options,
+                )?;
+                trial.layers.push(layer);
+                match attach_correction_branches_with(
+                    &mut trial,
+                    &self.options,
+                    &mut correct_session,
+                    &mut cache,
+                ) {
+                    Ok(_) => {}
+                    Err(_) if candidates.len() > 1 => continue,
+                    Err(e) => return Err(e),
+                }
+                let cost = ProtocolMetrics::from_protocol(&trial).expected_cost();
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, trial));
+                }
+            }
+            protocol = match best {
+                Some((_, p)) => p,
+                None => {
+                    return Err(SynthesisError::Verification {
+                        error_kind,
+                        source: crate::verify::VerificationError::BudgetExhausted,
+                    })
+                }
+            };
+            stages.push(StageReport {
+                stage: Stage::Correction(error_kind),
+                time: correct_start.elapsed(),
+                sat: correct_session.take_stats(),
+                branches: protocol
+                    .layers
+                    .last()
+                    .map_or(0, |layer| layer.branches.len()),
+            });
+        }
+
+        Ok(GlobalReport {
+            code_name: code.name().to_string(),
+            protocol,
+            candidates_per_layer,
+            stages,
+            total_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn default_engine_matches_default_options() {
+        let engine = SynthesisEngine::default();
+        assert_eq!(engine.solver(), BackendChoice::Cdcl);
+        assert!(engine.threads() >= 1);
+        assert!(engine.options().verification.max_conflicts.is_none());
+    }
+
+    #[test]
+    fn builder_wires_every_knob() {
+        let engine = SynthesisEngine::builder()
+            .prep_method(PrepMethod::Optimal)
+            .flag_policy(FlagPolicy::Always)
+            .max_verification_measurements(5)
+            .max_correction_measurements(2)
+            .enumeration_cap(8)
+            .conflict_budget(123)
+            .solver(BackendChoice::DimacsLogging)
+            .threads(3)
+            .build();
+        assert_eq!(engine.options().prep.method, PrepMethod::Optimal);
+        assert_eq!(engine.options().flag_policy, FlagPolicy::Always);
+        assert_eq!(engine.options().verification.max_measurements, 5);
+        assert_eq!(engine.options().correction.max_measurements, 2);
+        assert_eq!(engine.options().verification.enumeration_cap, 8);
+        assert_eq!(engine.options().verification.max_conflicts, Some(123));
+        assert_eq!(engine.options().correction.max_conflicts, Some(123));
+        assert_eq!(engine.solver(), BackendChoice::DimacsLogging);
+        assert_eq!(engine.threads(), 3);
+    }
+
+    #[test]
+    fn report_carries_stage_statistics() {
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&catalog::steane()).unwrap();
+        assert_eq!(report.code_name, "Steane");
+        assert!(report.stage(Stage::Prep).is_some());
+        let verify = report.stage(Stage::Verification(PauliKind::X)).unwrap();
+        assert!(
+            verify.sat.calls > 0,
+            "verification synthesis issues SAT queries"
+        );
+        assert_eq!(verify.sat.interrupted, 0);
+        let correct = report.stage(Stage::Correction(PauliKind::X)).unwrap();
+        assert!(correct.sat.calls > 0);
+        assert_eq!(correct.branches, 1, "the Steane layer has one branch");
+        assert_eq!(report.branch_count(), 1);
+        assert!(report.sat_totals().calls >= verify.sat.calls + correct.sat.calls);
+        assert!(
+            report.fault_cache_hits > 0,
+            "the prep enumeration is reused"
+        );
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn dimacs_backend_reproduces_the_cdcl_protocol() {
+        let cdcl = SynthesisEngine::default()
+            .synthesize(&catalog::steane())
+            .unwrap();
+        let logged = SynthesisEngine::builder()
+            .solver(BackendChoice::DimacsLogging)
+            .build()
+            .synthesize(&catalog::steane())
+            .unwrap();
+        // Same deterministic search, same protocol — the wrapper only records.
+        assert_eq!(
+            format!("{:?}", cdcl.protocol.layers),
+            format!("{:?}", logged.protocol.layers)
+        );
+    }
+
+    #[test]
+    fn tiny_conflict_budget_yields_typed_error() {
+        let engine = SynthesisEngine::builder().conflict_budget(0).build();
+        // The Steane verification instance needs conflicts to solve; a zero
+        // budget must surface as the typed error, not a hang or a panic.
+        let err = engine.synthesize(&catalog::steane()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("budget"), "unexpected error: {text}");
+    }
+
+    #[test]
+    fn synthesize_all_preserves_input_order() {
+        let engine = SynthesisEngine::builder().threads(4).build();
+        let codes = vec![catalog::surface3(), catalog::steane(), catalog::shor()];
+        let reports = engine.synthesize_all(&codes);
+        assert_eq!(reports.len(), 3);
+        let names: Vec<String> = reports
+            .iter()
+            .map(|r| r.as_ref().unwrap().code_name.clone())
+            .collect();
+        assert_eq!(names, vec!["Surface-3", "Steane", "Shor"]);
+    }
+}

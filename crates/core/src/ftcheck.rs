@@ -94,9 +94,7 @@ impl FaultModel for LocationRecorder {
 /// already occurred elsewhere, so branch-internal locations never carry the
 /// single fault (they are still noisy in the Monte-Carlo simulations of
 /// `dftsp-noise`).
-pub fn enumerate_single_fault_records(
-    protocol: &DeterministicProtocol,
-) -> Vec<SingleFaultRecord> {
+pub fn enumerate_single_fault_records(protocol: &DeterministicProtocol) -> Vec<SingleFaultRecord> {
     let mut recorder = LocationRecorder::default();
     execute(protocol, &mut recorder);
 
@@ -134,7 +132,11 @@ pub fn enumerate_single_fault_records(
 /// ```
 pub fn check_fault_tolerance(protocol: &DeterministicProtocol) -> FtReport {
     let records = enumerate_single_fault_records(protocol);
-    let locations = records.iter().map(|r| r.location).max().map_or(0, |m| m + 1);
+    let locations = records
+        .iter()
+        .map(|r| r.location)
+        .max()
+        .map_or(0, |m| m + 1);
     let mut violations = Vec::new();
     for record in &records {
         let x_weight = protocol
@@ -202,7 +204,8 @@ mod tests {
             prep,
             layers: Vec::new(),
         };
-        let dangerous = crate::synthesis::dangerous_errors_for_layer(&protocol, dftsp_pauli::PauliKind::X);
+        let dangerous =
+            crate::synthesis::dangerous_errors_for_layer(&protocol, dftsp_pauli::PauliKind::X);
         let verification = crate::verify::synthesize_verification(
             protocol.context.measurable_group(dftsp_pauli::PauliKind::X),
             &dangerous,
@@ -220,9 +223,10 @@ mod tests {
 
         let records = enumerate_single_fault_records(&protocol);
         for record in records {
-            let x_dangerous = protocol
-                .context
-                .is_dangerous(dftsp_pauli::PauliKind::X, record.execution.residual.x_part());
+            let x_dangerous = protocol.context.is_dangerous(
+                dftsp_pauli::PauliKind::X,
+                record.execution.residual.x_part(),
+            );
             if x_dangerous {
                 assert!(
                     !record.execution.layer_outcomes[0].is_trivial(),

@@ -232,7 +232,8 @@ mod tests {
     use dftsp_stabsim::{run_circuit, Tableau};
 
     fn weight4_z_gadget(flagged: bool) -> MeasurementGadget {
-        MeasurementGadget::new(BitVec::from_indices(4, &[0, 1, 2, 3]), PauliKind::Z).flagged(flagged)
+        MeasurementGadget::new(BitVec::from_indices(4, &[0, 1, 2, 3]), PauliKind::Z)
+            .flagged(flagged)
     }
 
     #[test]
@@ -320,7 +321,9 @@ mod tests {
 
         let mut state = Tableau::new(9);
         run_circuit(&mut state, &prep.circuit, || false);
-        let outcomes = run_circuit(&mut state, &gadget_circuit, || panic!("must be deterministic"));
+        let outcomes = run_circuit(&mut state, &gadget_circuit, || {
+            panic!("must be deterministic")
+        });
         assert!(outcomes.is_zero());
         // The data state is undisturbed.
         assert!(dftsp_stabsim::is_logical_zero_state(&state, &code));
@@ -334,7 +337,9 @@ mod tests {
         let gadget = MeasurementGadget::new(support, PauliKind::X).flagged(true);
         let mut state = Tableau::new(9);
         run_circuit(&mut state, &prep.circuit, || false);
-        let outcomes = run_circuit(&mut state, &gadget.to_circuit(), || panic!("must be deterministic"));
+        let outcomes = run_circuit(&mut state, &gadget.to_circuit(), || {
+            panic!("must be deterministic")
+        });
         assert!(outcomes.is_zero());
         assert!(dftsp_stabsim::is_logical_zero_state(&state, &code));
     }

@@ -6,20 +6,15 @@
 //! of the paper enumerates all minimal verification circuits, synthesizes the
 //! corrections for each, and keeps the combination with the lowest expected
 //! cost.
+//!
+//! The implementation lives in [`crate::SynthesisEngine::globally_optimize`];
+//! this module keeps the classic free-function entry point.
 
 use dftsp_code::CssCode;
-use dftsp_pauli::PauliKind;
 
-use crate::ftcheck::enumerate_single_fault_records;
-use crate::metrics::ProtocolMetrics;
-use crate::prep::synthesize_prep;
+use crate::engine::SynthesisEngine;
 use crate::protocol::DeterministicProtocol;
-use crate::synthesis::{
-    attach_correction_branches, build_layer_from_verification, dangerous_errors_for_layer,
-    SynthesisError, SynthesisOptions,
-};
-use crate::verify::enumerate_minimal_verifications;
-use crate::ZeroStateContext;
+use crate::synthesis::{SynthesisError, SynthesisOptions};
 
 /// Options for the global optimization procedure.
 #[derive(Debug, Clone, Default)]
@@ -67,87 +62,23 @@ pub fn globally_optimize(
     code: &CssCode,
     options: &GlobalOptions,
 ) -> Result<GlobalResult, SynthesisError> {
-    let prep = synthesize_prep(code, &options.synthesis.prep);
-    let context = ZeroStateContext::new(code.clone());
-    let mut protocol = DeterministicProtocol {
-        context,
-        prep,
-        layers: Vec::new(),
-    };
-
-    // Whether a Z layer will exist regardless of the X layer's flag choices
-    // (same criterion as the plain pipeline).
-    let prep_faults = enumerate_single_fault_records(&protocol);
-    let second_layer_expected = prep_faults.iter().any(|record| {
-        protocol
-            .context
-            .is_dangerous(PauliKind::Z, record.execution.residual.z_part())
-    });
-
-    let mut candidates_per_layer = Vec::new();
-    for error_kind in [PauliKind::X, PauliKind::Z] {
-        let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
-        let dangerous = dangerous_errors_for_layer(&protocol, error_kind);
-        if dangerous.is_empty() {
-            continue;
-        }
-        let candidates = enumerate_minimal_verifications(
-            protocol.context.measurable_group(error_kind),
-            &dangerous,
-            &options.synthesis.verification,
-        )
-        .map_err(|source| SynthesisError::Verification { error_kind, source })?;
-        candidates_per_layer.push(candidates.len());
-
-        let mut best: Option<(f64, DeterministicProtocol)> = None;
-        for candidate in &candidates {
-            let mut trial = protocol.clone();
-            let layer = build_layer_from_verification(
-                &trial,
-                error_kind,
-                candidate,
-                later_layer_available,
-                &options.synthesis,
-            )?;
-            trial.layers.push(layer);
-            match attach_correction_branches(&mut trial, &options.synthesis) {
-                Ok(()) => {}
-                Err(_) if candidates.len() > 1 => continue,
-                Err(e) => return Err(e),
-            }
-            let cost = ProtocolMetrics::from_protocol(&trial).expected_cost();
-            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
-                best = Some((cost, trial));
-            }
-        }
-        protocol = match best {
-            Some((_, p)) => p,
-            None => {
-                return Err(SynthesisError::Verification {
-                    error_kind,
-                    source: crate::verify::VerificationError::BudgetExhausted,
-                })
-            }
-        };
-    }
-    Ok(GlobalResult {
-        protocol,
-        candidates_per_layer,
-    })
+    SynthesisEngine::with_options(options.synthesis.clone())
+        .globally_optimize(code)
+        .map(crate::engine::GlobalReport::into_result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ftcheck::check_fault_tolerance;
+    use crate::metrics::ProtocolMetrics;
     use crate::synthesis::synthesize_protocol;
     use dftsp_code::catalog;
 
     #[test]
     fn global_is_never_worse_than_single_shot() {
         for code in [catalog::steane(), catalog::surface3()] {
-            let baseline =
-                synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+            let baseline = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
             let global = globally_optimize(&code, &GlobalOptions::default()).unwrap();
             let baseline_cost = ProtocolMetrics::from_protocol(&baseline).expected_cost();
             let global_cost = ProtocolMetrics::from_protocol(&global.protocol).expected_cost();

@@ -16,44 +16,71 @@
 //!    the detected error into a correctable one ([`correct`]), removing the
 //!    repeat-until-success loop of non-deterministic schemes.
 //!
-//! The full pipeline is [`synthesize_protocol`]; [`globally_optimize`]
-//! additionally explores all equivalent minimal verification circuits. The
-//! synthesized [`DeterministicProtocol`] can be executed under arbitrary
+//! The public API is the [`SynthesisEngine`]: a session object configured via
+//! [`EngineBuilder`] (preparation method, flag policy, measurement and SAT
+//! conflict budgets, pluggable SAT backend, worker threads) whose
+//! [`synthesize`](SynthesisEngine::synthesize) runs the full pipeline and
+//! returns a [`SynthesisReport`] — the protocol plus per-stage SAT
+//! statistics, timings and branch counts. Whole code catalogs batch through
+//! [`synthesize_all`](SynthesisEngine::synthesize_all) on worker threads, and
+//! [`globally_optimize`](SynthesisEngine::globally_optimize) explores all
+//! equivalent minimal verification circuits. The classic free functions
+//! ([`synthesize_protocol`], [`globally_optimize`](crate::globally_optimize))
+//! remain as thin wrappers.
+//!
+//! The synthesized [`DeterministicProtocol`] can be executed under arbitrary
 //! circuit-level fault models ([`execute`]), checked exhaustively against the
-//! strict fault-tolerance criterion ([`check_fault_tolerance`]), and summarized
-//! in the metrics format of the paper's Table I ([`ProtocolMetrics`]).
+//! strict fault-tolerance criterion ([`check_fault_tolerance`]), and
+//! summarized in the metrics format of the paper's Table I
+//! ([`ProtocolMetrics`]).
 //!
 //! # Quick start
 //!
 //! ```
-//! use dftsp::{check_fault_tolerance, synthesize_protocol, ProtocolMetrics, SynthesisOptions};
+//! use dftsp::{check_fault_tolerance, SynthesisEngine};
 //! use dftsp_code::catalog;
 //!
-//! let code = catalog::steane();
-//! let protocol = synthesize_protocol(&code, &SynthesisOptions::default())?;
-//! assert!(check_fault_tolerance(&protocol).is_fault_tolerant());
+//! // Configure once, synthesize many: the engine owns the solver choice,
+//! // the budgets and the thread pool.
+//! let engine = SynthesisEngine::builder().threads(2).build();
 //!
-//! let metrics = ProtocolMetrics::from_protocol(&protocol);
-//! println!("{metrics}");
+//! let report = engine.synthesize(&catalog::steane())?;
+//! assert!(check_fault_tolerance(&report.protocol).is_fault_tolerant());
+//! println!("{report}");
+//! for stage in &report.stages {
+//!     println!("  {}: {:?}, {} SAT calls", stage.stage, stage.time, stage.sat.calls);
+//! }
+//!
+//! // Batched multi-code synthesis over worker threads.
+//! let reports = engine.synthesize_all(&[catalog::steane(), catalog::surface3()]);
+//! assert!(reports.iter().all(Result::is_ok));
 //! # Ok::<(), dftsp::SynthesisError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod context;
 pub mod correct;
+mod engine;
 pub mod ftcheck;
 pub mod gadget;
 pub mod global;
 pub mod metrics;
+mod perm;
 pub mod prep;
 pub mod protocol;
 pub mod synthesis;
 pub mod verify;
 
+pub use cache::FaultCache;
 pub use context::ZeroStateContext;
 pub use correct::{CorrectionOptions, CorrectionProblem, CorrectionSolution};
+pub use engine::{
+    EngineBuilder, GlobalReport, SatSession, SatStats, Stage, StageReport, SynthesisEngine,
+    SynthesisReport,
+};
 pub use ftcheck::{check_fault_tolerance, enumerate_single_fault_records, FtReport, FtViolation};
 pub use gadget::MeasurementGadget;
 pub use global::{globally_optimize, GlobalOptions, GlobalResult};
@@ -68,3 +95,7 @@ pub use synthesis::{
     SynthesisOptions,
 };
 pub use verify::{VerificationOptions, VerificationSolution};
+
+// Re-exported so downstream callers can select a backend without depending on
+// `dftsp-sat` directly.
+pub use dftsp_sat::BackendChoice;

@@ -91,7 +91,9 @@ impl ProtocolMetrics {
             };
             for (key, branch) in &layer.branches {
                 if key.has_flag() {
-                    metrics.hook_correction_ancillas.push(branch.ancilla_count());
+                    metrics
+                        .hook_correction_ancillas
+                        .push(branch.ancilla_count());
                     metrics.hook_correction_cnots.push(branch.cnot_count());
                 } else {
                     metrics.correction_ancillas.push(branch.ancilla_count());

@@ -1,0 +1,113 @@
+//! Lazy permutation generation (Heap's algorithm).
+//!
+//! The CNOT-order search and the verification-enumeration blocking clauses
+//! both need the permutations of a small set. Generating them lazily lets
+//! callers early-exit on the first acceptable permutation instead of
+//! materializing all `n!` candidates up front.
+
+/// Iterator over all permutations of a vector, by Heap's algorithm.
+///
+/// The first yielded permutation is the input order itself; each subsequent
+/// permutation differs from its predecessor by a single swap, so producing
+/// the next candidate is O(1) plus the clone of the output vector.
+#[derive(Debug, Clone)]
+pub(crate) struct HeapPermutations<T> {
+    items: Vec<T>,
+    counters: Vec<usize>,
+    index: usize,
+    started: bool,
+    exhausted: bool,
+}
+
+impl<T: Clone> HeapPermutations<T> {
+    /// Permutations of the given items, starting with their current order.
+    pub(crate) fn new(items: Vec<T>) -> Self {
+        let n = items.len();
+        HeapPermutations {
+            items,
+            counters: vec![0; n],
+            index: 1,
+            started: false,
+            exhausted: false,
+        }
+    }
+}
+
+impl HeapPermutations<usize> {
+    /// Permutations of the index set `0..len`.
+    pub(crate) fn of_indices(len: usize) -> Self {
+        HeapPermutations::new((0..len).collect())
+    }
+}
+
+impl<T: Clone> Iterator for HeapPermutations<T> {
+    type Item = Vec<T>;
+
+    fn next(&mut self) -> Option<Vec<T>> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.items.len() <= 1 {
+                self.exhausted = true;
+            }
+            return Some(self.items.clone());
+        }
+        while self.index < self.items.len() {
+            if self.counters[self.index] < self.index {
+                if self.index.is_multiple_of(2) {
+                    self.items.swap(0, self.index);
+                } else {
+                    self.items.swap(self.counters[self.index], self.index);
+                }
+                self.counters[self.index] += 1;
+                self.index = 1;
+                return Some(self.items.clone());
+            }
+            self.counters[self.index] = 0;
+            self.index += 1;
+        }
+        self.exhausted = true;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factorial(n: usize) -> usize {
+        (1..=n).product::<usize>().max(1)
+    }
+
+    #[test]
+    fn yields_exactly_n_factorial_distinct_permutations() {
+        for n in 0..=6 {
+            let perms: Vec<Vec<usize>> = HeapPermutations::of_indices(n).collect();
+            assert_eq!(perms.len(), factorial(n), "n={n}");
+            let distinct: std::collections::HashSet<_> = perms.iter().cloned().collect();
+            assert_eq!(distinct.len(), perms.len(), "n={n}");
+            for p in &perms {
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn first_permutation_is_the_input_order() {
+        let input = vec![4usize, 2, 9];
+        let first = HeapPermutations::new(input.clone()).next().unwrap();
+        assert_eq!(first, input);
+    }
+
+    #[test]
+    fn lazy_early_exit_touches_only_a_prefix() {
+        // Finding a permutation with a fixed property must not require
+        // generating all n! candidates: take() bounds the work.
+        let found = HeapPermutations::of_indices(10).take(3).find(|p| p[0] == 0);
+        assert!(found.is_some());
+    }
+}

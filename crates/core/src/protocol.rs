@@ -16,9 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use dftsp_circuit::{
-    enumerate_fault_sites, Circuit, FaultEffect, FaultSite, PauliTracker,
-};
+use dftsp_circuit::{enumerate_fault_sites, Circuit, FaultEffect, FaultSite, PauliTracker};
 use dftsp_f2::BitVec;
 use dftsp_pauli::{PauliKind, PauliString};
 
@@ -45,7 +43,10 @@ impl BranchKey {
     ///
     /// Panics if either vector has more than 64 bits.
     pub fn new(syndrome: &BitVec, flags: &BitVec) -> Self {
-        assert!(syndrome.len() <= 64 && flags.len() <= 64, "branch keys hold at most 64 bits");
+        assert!(
+            syndrome.len() <= 64 && flags.len() <= 64,
+            "branch keys hold at most 64 bits"
+        );
         BranchKey {
             syndrome: pack_bits(syndrome),
             flags: pack_bits(flags),
@@ -100,7 +101,10 @@ pub struct CorrectionBranch {
 impl CorrectionBranch {
     /// Total number of CNOTs in the branch's additional measurements.
     pub fn cnot_count(&self) -> usize {
-        self.measurements.iter().map(MeasurementGadget::cnot_count).sum()
+        self.measurements
+            .iter()
+            .map(MeasurementGadget::cnot_count)
+            .sum()
     }
 
     /// Number of ancilla qubits (= additional measurements) in the branch.
@@ -143,7 +147,11 @@ impl VerificationLayer {
 
     /// Total verification CNOTs, split into (stabilizer CNOTs, flag CNOTs).
     pub fn verification_cnots(&self) -> (usize, usize) {
-        let stab = self.verifications.iter().map(MeasurementGadget::weight).sum();
+        let stab = self
+            .verifications
+            .iter()
+            .map(MeasurementGadget::weight)
+            .sum();
         let flag = 2 * self.flag_ancillas();
         (stab, flag)
     }
@@ -459,7 +467,8 @@ mod tests {
         assert_eq!(record.branches_taken, vec![None]);
         assert!(!record.terminated_early);
         // Locations: every prep gate plus every verification-gadget gate.
-        let expected = protocol.prep.circuit.len() + protocol.layers[0].verifications[0].to_circuit().len();
+        let expected =
+            protocol.prep.circuit.len() + protocol.layers[0].verifications[0].to_circuit().len();
         assert_eq!(record.locations, expected);
     }
 
@@ -486,7 +495,12 @@ mod tests {
         let prep_len = protocol.prep.circuit.len();
         let last_cnot_index = (0..prep_len)
             .rev()
-            .find(|&i| matches!(protocol.prep.circuit.gates()[i], dftsp_circuit::Gate::Cnot { .. }))
+            .find(|&i| {
+                matches!(
+                    protocol.prep.circuit.gates()[i],
+                    dftsp_circuit::Gate::Cnot { .. }
+                )
+            })
             .expect("prep has CNOTs");
         let control = match protocol.prep.circuit.gates()[last_cnot_index] {
             dftsp_circuit::Gate::Cnot { control, .. } => control,
@@ -527,7 +541,10 @@ mod tests {
         let mut protocol = bare_steane_protocol();
         let recovery = BitVec::unit(7, 3);
         protocol.layers[0].branches.insert(
-            BranchKey { syndrome: 1, flags: 0 },
+            BranchKey {
+                syndrome: 1,
+                flags: 0,
+            },
             CorrectionBranch {
                 error_kind: PauliKind::X,
                 measurements: Vec::new(),
@@ -542,7 +559,13 @@ mod tests {
             effect: FaultEffect::MeasurementFlip(0),
         };
         let record = execute(&protocol, &mut model);
-        assert_eq!(record.branches_taken, vec![Some(BranchKey { syndrome: 1, flags: 0 })]);
+        assert_eq!(
+            record.branches_taken,
+            vec![Some(BranchKey {
+                syndrome: 1,
+                flags: 0
+            })]
+        );
         assert_eq!(record.residual.x_part(), &recovery);
     }
 

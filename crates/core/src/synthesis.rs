@@ -23,16 +23,17 @@ use dftsp_code::CssCode;
 use dftsp_f2::BitVec;
 use dftsp_pauli::PauliKind;
 
+use crate::cache::FaultCache;
 use crate::correct::{
-    synthesize_correction, CorrectionError, CorrectionOptions, CorrectionProblem,
+    synthesize_correction_with, CorrectionError, CorrectionOptions, CorrectionProblem,
 };
-use crate::ftcheck::enumerate_single_fault_records;
+use crate::engine::{SatSession, SynthesisEngine};
+use crate::ftcheck::{enumerate_single_fault_records, SingleFaultRecord};
 use crate::gadget::MeasurementGadget;
-use crate::prep::{synthesize_prep, PrepCircuit, PrepOptions};
+use crate::perm::HeapPermutations;
+use crate::prep::{PrepCircuit, PrepOptions};
 use crate::protocol::{BranchKey, CorrectionBranch, DeterministicProtocol, VerificationLayer};
-use crate::verify::{
-    synthesize_verification, VerificationError, VerificationOptions, VerificationSolution,
-};
+use crate::verify::{VerificationError, VerificationOptions, VerificationSolution};
 use crate::ZeroStateContext;
 
 /// Controls whether verification measurements are flagged.
@@ -137,8 +138,9 @@ pub fn synthesize_protocol(
     code: &CssCode,
     options: &SynthesisOptions,
 ) -> Result<DeterministicProtocol, SynthesisError> {
-    let prep = synthesize_prep(code, &options.prep);
-    synthesize_protocol_with_prep(code, prep, options)
+    SynthesisEngine::with_options(options.clone())
+        .synthesize(code)
+        .map(|report| report.protocol)
 }
 
 /// Synthesizes the protocol around an already-chosen preparation circuit.
@@ -154,27 +156,9 @@ pub fn synthesize_protocol_with_prep(
     prep: PrepCircuit,
     options: &SynthesisOptions,
 ) -> Result<DeterministicProtocol, SynthesisError> {
-    let context = ZeroStateContext::new(code.clone());
-    let mut protocol = DeterministicProtocol {
-        context,
-        prep,
-        layers: Vec::new(),
-    };
-
-    // Dangerous Z errors caused by preparation faults alone decide whether a
-    // second layer will exist regardless of the first layer's flag choices.
-    let prep_faults = enumerate_single_fault_records(&protocol);
-    let second_layer_expected = prep_faults.iter().any(|record| {
-        protocol
-            .context
-            .is_dangerous(PauliKind::Z, record.execution.residual.z_part())
-    });
-
-    for error_kind in [PauliKind::X, PauliKind::Z] {
-        let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
-        build_layer(&mut protocol, error_kind, later_layer_available, options)?;
-    }
-    Ok(protocol)
+    SynthesisEngine::with_options(options.clone())
+        .synthesize_with_prep(code, prep)
+        .map(|report| report.protocol)
 }
 
 /// Collects the dangerous residual errors of one sector that single faults in
@@ -185,49 +169,28 @@ pub fn dangerous_errors_for_layer(
     error_kind: PauliKind,
 ) -> Vec<BitVec> {
     let records = enumerate_single_fault_records(protocol);
+    dangerous_errors_from_records(&protocol.context, &records, error_kind)
+}
+
+/// [`dangerous_errors_for_layer`] over pre-enumerated (typically cached)
+/// single-fault records.
+pub(crate) fn dangerous_errors_from_records(
+    context: &ZeroStateContext,
+    records: &[SingleFaultRecord],
+    error_kind: PauliKind,
+) -> Vec<BitVec> {
     let mut dangerous = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for record in &records {
+    for record in records {
         if record.execution.terminated_early {
             continue;
         }
         let residual = record.execution.residual.part(error_kind).clone();
-        if protocol.context.is_dangerous(error_kind, &residual) && seen.insert(residual.to_bits()) {
+        if context.is_dangerous(error_kind, &residual) && seen.insert(residual.to_bits()) {
             dangerous.push(residual);
         }
     }
     dangerous
-}
-
-/// Builds one verification/correction layer (if the sector has dangerous
-/// errors) and appends it to the protocol.
-fn build_layer(
-    protocol: &mut DeterministicProtocol,
-    error_kind: PauliKind,
-    later_layer_available: bool,
-    options: &SynthesisOptions,
-) -> Result<(), SynthesisError> {
-    let dangerous = dangerous_errors_for_layer(protocol, error_kind);
-    if dangerous.is_empty() {
-        return Ok(());
-    }
-    let verification = synthesize_verification(
-        protocol.context.measurable_group(error_kind),
-        &dangerous,
-        &options.verification,
-    )
-    .map_err(|source| SynthesisError::Verification { error_kind, source })?;
-
-    let layer = build_layer_from_verification(
-        protocol,
-        error_kind,
-        &verification,
-        later_layer_available,
-        options,
-    )?;
-    protocol.layers.push(layer);
-    attach_correction_branches(protocol, options)?;
-    Ok(())
 }
 
 /// Turns a verification solution into a [`VerificationLayer`] (gadget
@@ -277,20 +240,23 @@ fn choose_cnot_order(
     if !hook_danger(&qubits) {
         return (qubits, false);
     }
-    // Try all cyclic rotations and reversals first (cheap), then full
-    // permutations for small supports.
-    let mut candidates: Vec<Vec<usize>> = Vec::new();
-    for rotation in 0..qubits.len() {
+    // Try all cyclic rotations and reversals first (cheap), then stream full
+    // permutations lazily (Heap's algorithm) for small supports — the search
+    // stops at the first hook-safe order instead of materializing all n!
+    // candidates.
+    let rotations = (0..qubits.len()).flat_map(|rotation| {
         let mut rotated = qubits.clone();
         rotated.rotate_left(rotation);
-        candidates.push(rotated.clone());
-        rotated.reverse();
-        candidates.push(rotated);
-    }
-    if qubits.len() <= 6 {
-        candidates.extend(permutations_of(&qubits));
-    }
-    for candidate in candidates {
+        let mut reversed = rotated.clone();
+        reversed.reverse();
+        [rotated, reversed]
+    });
+    let full = if qubits.len() <= 6 {
+        Some(HeapPermutations::new(qubits.clone()))
+    } else {
+        None
+    };
+    for candidate in rotations.chain(full.into_iter().flatten()) {
         if !hook_danger(&candidate) {
             return (candidate, false);
         }
@@ -298,38 +264,22 @@ fn choose_cnot_order(
     (qubits, true)
 }
 
-fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
-    fn recurse(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if rest.is_empty() {
-            out.push(prefix.clone());
-            return;
-        }
-        for i in 0..rest.len() {
-            let item = rest.remove(i);
-            prefix.push(item);
-            recurse(prefix, rest, out);
-            prefix.pop();
-            rest.insert(i, item);
-        }
-    }
-    let mut out = Vec::new();
-    recurse(&mut Vec::new(), &mut items.to_vec(), &mut out);
-    out
-}
-
 /// (Re)synthesizes the correction branches of the protocol's *last* layer by
 /// exhaustive single-fault enumeration through everything built so far.
-pub(crate) fn attach_correction_branches(
+/// Returns the number of synthesized branches.
+pub(crate) fn attach_correction_branches_with(
     protocol: &mut DeterministicProtocol,
     options: &SynthesisOptions,
-) -> Result<(), SynthesisError> {
+    session: &mut SatSession,
+    cache: &mut FaultCache,
+) -> Result<usize, SynthesisError> {
     let layer_index = protocol.layers.len() - 1;
     let error_kind = protocol.layers[layer_index].error_kind;
 
     // Bucket the single-fault residuals by the last layer's observed outcome.
-    let records = enumerate_single_fault_records(protocol);
+    let records = cache.records(protocol);
     let mut buckets: BTreeMap<BranchKey, (Vec<BitVec>, Vec<BitVec>)> = BTreeMap::new();
-    for record in &records {
+    for record in records {
         let Some(&key) = record.execution.layer_outcomes.get(layer_index) else {
             continue; // fault terminated the protocol in an earlier layer
         };
@@ -337,7 +287,9 @@ pub(crate) fn attach_correction_branches(
             continue;
         }
         let entry = buckets.entry(key).or_default();
-        entry.0.push(record.execution.residual.part(error_kind).clone());
+        entry
+            .0
+            .push(record.execution.residual.part(error_kind).clone());
         entry
             .1
             .push(record.execution.residual.part(error_kind.dual()).clone());
@@ -353,19 +305,23 @@ pub(crate) fn attach_correction_branches(
         } else {
             error_kind
         };
-        let errors = if key.has_flag() { dual_sector } else { same_sector };
+        let errors = if key.has_flag() {
+            dual_sector
+        } else {
+            same_sector
+        };
         let problem = CorrectionProblem {
             errors,
             measurable: protocol.context.measurable_group(corrected_kind).clone(),
             reduction: protocol.context.reduction_group(corrected_kind).clone(),
         };
-        let solution = synthesize_correction(&problem, &options.correction).map_err(|source| {
-            SynthesisError::Correction {
+        let solution = synthesize_correction_with(session, &problem, &options.correction).map_err(
+            |source| SynthesisError::Correction {
                 error_kind: corrected_kind,
                 key,
                 source,
-            }
-        })?;
+            },
+        )?;
         let measurements = solution
             .measurements
             .iter()
@@ -384,8 +340,9 @@ pub(crate) fn attach_correction_branches(
             },
         );
     }
+    let count = branches.len();
     protocol.layers[layer_index].branches = branches;
-    Ok(())
+    Ok(count)
 }
 
 #[cfg(test)]
@@ -417,7 +374,11 @@ mod tests {
         let protocol =
             synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
         let report = check_fault_tolerance(&protocol);
-        assert!(report.is_fault_tolerant(), "violations: {:?}", report.violations);
+        assert!(
+            report.is_fault_tolerant(),
+            "violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -425,7 +386,11 @@ mod tests {
         let protocol =
             synthesize_protocol(&catalog::surface3(), &SynthesisOptions::default()).unwrap();
         let report = check_fault_tolerance(&protocol);
-        assert!(report.is_fault_tolerant(), "violations: {:?}", report.violations);
+        assert!(
+            report.is_fault_tolerant(),
+            "violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -448,7 +413,10 @@ mod tests {
             for branch in layer.branches.values() {
                 assert_eq!(branch.recoveries.len(), 1 << branch.measurements.len());
                 for gadget in &branch.measurements {
-                    assert!(!gadget.is_flagged(), "correction measurements are unflagged");
+                    assert!(
+                        !gadget.is_flagged(),
+                        "correction measurements are unflagged"
+                    );
                     assert_eq!(gadget.detects(), branch.error_kind);
                 }
             }

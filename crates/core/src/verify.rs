@@ -13,7 +13,10 @@
 //! first, then the summed operator weight `v` (one CNOT per support qubit).
 
 use dftsp_f2::{BitMatrix, BitVec};
-use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
+use dftsp_sat::{Encoder, Lit, SatBackend, SolveResult};
+
+use crate::engine::SatSession;
+use crate::perm::HeapPermutations;
 
 /// Options bounding the verification-synthesis search.
 #[derive(Debug, Clone)]
@@ -23,6 +26,10 @@ pub struct VerificationOptions {
     /// Cap on the number of distinct minimal solutions enumerated by
     /// [`enumerate_minimal_verifications`].
     pub enumeration_cap: usize,
+    /// Conflict budget per SAT query (`None` = unlimited). Pathological
+    /// instances then fail with [`VerificationError::ConflictBudgetExceeded`]
+    /// instead of hanging.
+    pub max_conflicts: Option<u64>,
 }
 
 impl Default for VerificationOptions {
@@ -30,6 +37,7 @@ impl Default for VerificationOptions {
         VerificationOptions {
             max_measurements: 4,
             enumeration_cap: 64,
+            max_conflicts: None,
         }
     }
 }
@@ -60,16 +68,30 @@ pub enum VerificationError {
     UndetectableError(BitVec),
     /// No covering set was found within `max_measurements` measurements.
     BudgetExhausted,
+    /// A SAT query exceeded the configured conflict budget.
+    ConflictBudgetExceeded {
+        /// The per-query conflict budget that was exhausted.
+        max_conflicts: u64,
+    },
 }
 
 impl std::fmt::Display for VerificationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerificationError::UndetectableError(e) => {
-                write!(f, "dangerous error {e} is undetectable by any state stabilizer")
+                write!(
+                    f,
+                    "dangerous error {e} is undetectable by any state stabilizer"
+                )
             }
             VerificationError::BudgetExhausted => {
                 write!(f, "no verification found within the measurement budget")
+            }
+            VerificationError::ConflictBudgetExceeded { max_conflicts } => {
+                write!(
+                    f,
+                    "a SAT query exceeded the budget of {max_conflicts} conflicts"
+                )
             }
         }
     }
@@ -118,6 +140,22 @@ pub fn synthesize_verification(
     dangerous: &[BitVec],
     options: &VerificationOptions,
 ) -> Result<VerificationSolution, VerificationError> {
+    synthesize_verification_with(&mut SatSession::default(), measurable, dangerous, options)
+}
+
+/// [`synthesize_verification`] against an explicit [`SatSession`], which
+/// selects the SAT backend and accumulates per-query statistics. This is the
+/// entry point used by [`crate::SynthesisEngine`].
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_verification`].
+pub fn synthesize_verification_with(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+) -> Result<VerificationSolution, VerificationError> {
     let detection_sets = detection_sets(measurable, dangerous)?;
     if detection_sets.is_empty() {
         return Ok(VerificationSolution {
@@ -128,19 +166,31 @@ pub fn synthesize_verification(
     for u in 1..=options.max_measurements {
         // First check feasibility with an effectively unbounded weight.
         let unbounded = measurable.num_cols() * u;
-        if let Some(solution) = solve_cover(measurable, &detection_sets, u, unbounded, None) {
-            // Minimize the total weight by binary search.
+        if let Some(solution) = solve_cover(
+            session,
+            measurable,
+            &detection_sets,
+            u,
+            unbounded,
+            None,
+            options,
+        )? {
+            // Minimize the total weight by binary search. A conflict-budget
+            // interruption here only costs weight optimality — the feasible
+            // solution already in hand is returned rather than failing.
             let mut lo = u; // each measurement has weight ≥ 1
             let mut hi = solution.total_weight;
             let mut best = solution;
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                match solve_cover(measurable, &detection_sets, u, mid, None) {
-                    Some(better) => {
+                match solve_cover(session, measurable, &detection_sets, u, mid, None, options) {
+                    Ok(Some(better)) => {
                         hi = better.total_weight.min(mid);
                         best = better;
                     }
-                    None => lo = mid + 1,
+                    Ok(None) => lo = mid + 1,
+                    Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
+                    Err(other) => return Err(other),
                 }
             }
             return Ok(best);
@@ -161,7 +211,21 @@ pub fn enumerate_minimal_verifications(
     dangerous: &[BitVec],
     options: &VerificationOptions,
 ) -> Result<Vec<VerificationSolution>, VerificationError> {
-    let best = synthesize_verification(measurable, dangerous, options)?;
+    enumerate_minimal_verifications_with(&mut SatSession::default(), measurable, dangerous, options)
+}
+
+/// [`enumerate_minimal_verifications`] against an explicit [`SatSession`].
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_verification`].
+pub fn enumerate_minimal_verifications_with(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+) -> Result<Vec<VerificationSolution>, VerificationError> {
+    let best = synthesize_verification_with(session, measurable, dangerous, options)?;
     if best.measurements.is_empty() {
         return Ok(vec![best]);
     }
@@ -173,7 +237,22 @@ pub fn enumerate_minimal_verifications(
     let mut seen: std::collections::HashSet<Vec<Vec<u8>>> = std::collections::HashSet::new();
     let mut blocked: Vec<Vec<BitVec>> = Vec::new();
     while solutions.len() < options.enumeration_cap {
-        match solve_cover(measurable, &detection_sets, u, v, Some(&blocked)) {
+        // A conflict-budget interruption stops the enumeration early; the
+        // minimal solutions found so far (at least one) are still returned.
+        let next = match solve_cover(
+            session,
+            measurable,
+            &detection_sets,
+            u,
+            v,
+            Some(&blocked),
+            options,
+        ) {
+            Ok(next) => next,
+            Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
+            Err(other) => return Err(other),
+        };
+        match next {
             Some(solution) => {
                 let mut canonical: Vec<Vec<u8>> =
                     solution.measurements.iter().map(BitVec::to_bits).collect();
@@ -215,15 +294,18 @@ fn detection_sets(
 /// Solves one (u, v) instance of the covering problem. `blocked` lists
 /// measurement sets that must not be returned again (for enumeration).
 fn solve_cover(
+    session: &mut SatSession,
     measurable: &BitMatrix,
     detection_sets: &[Vec<usize>],
     u: usize,
     v: usize,
     blocked: Option<&[Vec<BitVec>]>,
-) -> Option<VerificationSolution> {
+    options: &VerificationOptions,
+) -> Result<Option<VerificationSolution>, VerificationError> {
     let m = measurable.num_rows();
     let n = measurable.num_cols();
-    let mut solver = Solver::new();
+    let mut solver = session.instance();
+    let mut solver = solver.as_mut();
 
     // Selector variables a[i][j]: measurement i includes generator j.
     let selectors: Vec<Vec<Lit>> = (0..u)
@@ -252,14 +334,14 @@ fn solve_cover(
                 let involved: Vec<Lit> = set.iter().map(|&j| row[j]).collect();
                 detectors.push(enc.xor_many(&involved));
             }
-            enc.solver().add_clause(detectors);
+            enc.solver().add_clause(&detectors);
         }
         // Weight bound.
         let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
         enc.at_most_k(&all_supports, v);
         // Symmetry breaking / non-degeneracy: every measurement is nonzero.
         for supports in &support_lits {
-            enc.solver().add_clause(supports.clone());
+            enc.solver().add_clause(supports);
         }
         // Blocking clauses for enumeration: at least one support bit differs
         // from each blocked solution, for every assignment of measurement
@@ -268,22 +350,27 @@ fn solve_cover(
         // support literals suffices to make progress).
         if let Some(blocked) = blocked {
             for previous in blocked {
-                for permutation in permutations(previous.len()) {
+                for permutation in HeapPermutations::of_indices(previous.len()) {
                     let mut clause = Vec::new();
                     for (i, &p) in permutation.iter().enumerate() {
-                        for q in 0..n {
-                            let lit = support_lits[i][q];
+                        for (q, &lit) in support_lits[i].iter().enumerate() {
                             clause.push(if previous[p].get(q) { !lit } else { lit });
                         }
                     }
-                    enc.solver().add_clause(clause);
+                    enc.solver().add_clause(&clause);
                 }
             }
         }
     }
 
-    if solver.solve() != SolveResult::Sat {
-        return None;
+    match session.solve(solver, options.max_conflicts) {
+        Some(SolveResult::Sat) => {}
+        Some(SolveResult::Unsat) => return Ok(None),
+        None => {
+            return Err(VerificationError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            })
+        }
     }
     let model = solver.model().expect("SAT result has a model").clone();
     let mut measurements = Vec::with_capacity(u);
@@ -298,30 +385,10 @@ fn solve_cover(
         total_weight += support.weight();
         measurements.push(support);
     }
-    Some(VerificationSolution {
+    Ok(Some(VerificationSolution {
         measurements,
         total_weight,
-    })
-}
-
-/// All permutations of `0..len` (small `len` only).
-fn permutations(len: usize) -> Vec<Vec<usize>> {
-    fn recurse(prefix: &mut Vec<usize>, remaining: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if remaining.is_empty() {
-            out.push(prefix.clone());
-            return;
-        }
-        for i in 0..remaining.len() {
-            let item = remaining.remove(i);
-            prefix.push(item);
-            recurse(prefix, remaining, out);
-            prefix.pop();
-            remaining.insert(i, item);
-        }
-    }
-    let mut out = Vec::new();
-    recurse(&mut Vec::new(), &mut (0..len).collect(), &mut out);
-    out
+    }))
 }
 
 #[cfg(test)]
@@ -361,7 +428,9 @@ mod tests {
         assert_eq!(solution.num_measurements(), 1);
         // The measurement anticommutes with the error and is a state stabilizer.
         assert!(solution.measurements[0].dot(&dangerous[0]));
-        assert!(ctx.measurable_group(PauliKind::X).in_row_space(&solution.measurements[0]));
+        assert!(ctx
+            .measurable_group(PauliKind::X)
+            .in_row_space(&solution.measurements[0]));
         // The minimal-weight choice is at most the logical Z weight (3).
         assert!(solution.total_weight <= 3);
     }
@@ -396,7 +465,7 @@ mod tests {
         let invisible = BitVec::from_indices(4, &[2, 3]);
         let err = synthesize_verification(
             &measurable,
-            &[invisible.clone()],
+            std::slice::from_ref(&invisible),
             &VerificationOptions::default(),
         )
         .unwrap_err();
@@ -412,7 +481,7 @@ mod tests {
         let logical_x = ctx.code().logicals(PauliKind::X).row(0).clone();
         let solution = synthesize_verification(
             ctx.measurable_group(PauliKind::X),
-            &[logical_x.clone()],
+            std::slice::from_ref(&logical_x),
             &VerificationOptions::default(),
         )
         .unwrap();
@@ -457,7 +526,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for s in &solutions {
             assert_eq!(s.num_measurements(), 1);
-            assert_eq!(s.total_weight, best_weight, "all enumerated solutions are minimal");
+            assert_eq!(
+                s.total_weight, best_weight,
+                "all enumerated solutions are minimal"
+            );
             assert!(s.measurements[0].dot(&dangerous[0]));
             assert!(seen.insert(s.measurements[0].to_bits()));
         }
@@ -499,7 +571,10 @@ mod tests {
         let measurable = BitMatrix::from_dense(&[&[1, 1, 0][..], &[0, 1, 1][..]]);
         // Error {0,1} anticommutes only with generator 1 (overlap with g0 is
         // 2, with g1 is 1); error {1,2} only with generator 0.
-        let errors = vec![BitVec::from_indices(3, &[0, 1]), BitVec::from_indices(3, &[1, 2])];
+        let errors = vec![
+            BitVec::from_indices(3, &[0, 1]),
+            BitVec::from_indices(3, &[1, 2]),
+        ];
         let options = VerificationOptions {
             max_measurements: 0,
             ..VerificationOptions::default()

@@ -111,7 +111,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -121,7 +125,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -136,7 +144,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 
@@ -157,7 +169,10 @@ impl BitVec {
     ///
     /// Panics if the lengths differ.
     pub fn dot(&self, other: &BitVec) -> bool {
-        assert_eq!(self.len, other.len, "dot product of vectors with different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "dot product of vectors with different lengths"
+        );
         let mut acc = 0u32;
         for (a, b) in self.words.iter().zip(&other.words) {
             acc ^= (a & b).count_ones() & 1;
@@ -246,7 +261,10 @@ impl BitVec {
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
-        assert!(range.start <= range.end && range.end <= self.len, "slice range out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice range out of bounds"
+        );
         let mut out = BitVec::zeros(range.end - range.start);
         for (j, i) in range.enumerate() {
             if self.get(i) {
@@ -267,7 +285,10 @@ impl BitVec {
     ///
     /// Panics if the lengths differ.
     pub fn intersects(&self, other: &BitVec) -> bool {
-        assert_eq!(self.len, other.len, "intersects of vectors with different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "intersects of vectors with different lengths"
+        );
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
@@ -277,7 +298,10 @@ impl BitVec {
     ///
     /// Panics if the lengths differ.
     pub fn overlap(&self, other: &BitVec) -> usize {
-        assert_eq!(self.len, other.len, "overlap of vectors with different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "overlap of vectors with different lengths"
+        );
         self.words
             .iter()
             .zip(&other.words)

@@ -213,7 +213,11 @@ impl BitMatrix {
     ///
     /// Panics if `x.len() != num_rows()`.
     pub fn combine_rows(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.rows.len(), "selector length must match row count");
+        assert_eq!(
+            x.len(),
+            self.rows.len(),
+            "selector length must match row count"
+        );
         let mut out = BitVec::zeros(self.ncols);
         for i in x.iter_ones() {
             out.xor_with(&self.rows[i]);
@@ -252,7 +256,10 @@ impl BitMatrix {
         if other.rows.is_empty() && other.ncols == 0 {
             return self.clone();
         }
-        assert_eq!(self.ncols, other.ncols, "vstack requires equal column counts");
+        assert_eq!(
+            self.ncols, other.ncols,
+            "vstack requires equal column counts"
+        );
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
         BitMatrix::with_cols(self.ncols, rows)

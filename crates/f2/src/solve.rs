@@ -79,18 +79,19 @@ pub fn solve(a: &BitMatrix, b: &BitVec) -> SolveOutcome {
         "right-hand side length must match the number of rows"
     );
     // Row-reduce the augmented matrix [A | b].
-    let b_col = BitMatrix::with_cols(1, b.iter_ones().fold(
-        vec![BitVec::zeros(1); b.len()],
-        |mut acc, i| {
-            acc[i].set(0, true);
-            acc
-        },
-    ));
+    let b_col = BitMatrix::with_cols(
+        1,
+        b.iter_ones()
+            .fold(vec![BitVec::zeros(1); b.len()], |mut acc, i| {
+                acc[i].set(0, true);
+                acc
+            }),
+    );
     let aug = a.hstack(&b_col);
     let (r, pivots) = aug.rref();
     let n = a.num_cols();
     // Inconsistent iff some pivot lands in the augmented column.
-    if pivots.iter().any(|&p| p == n) {
+    if pivots.contains(&n) {
         return SolveOutcome::Inconsistent;
     }
     let mut particular = BitVec::zeros(n);

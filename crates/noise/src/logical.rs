@@ -136,7 +136,8 @@ mod tests {
         let code = catalog::surface3();
         let decoder = PerfectDecoder::new(&code);
         for mask in 0u32..64 {
-            let residual = BitVec::from_bools(&(0..9).map(|q| (mask >> q) & 1 == 1).collect::<Vec<_>>());
+            let residual =
+                BitVec::from_bools(&(0..9).map(|q| (mask >> q) & 1 == 1).collect::<Vec<_>>());
             let corrected = decoder.correct(PauliKind::X, &residual);
             assert!(code.syndrome(PauliKind::X, &corrected).is_zero());
         }

@@ -54,12 +54,12 @@ pub(crate) fn random_effect(circuit: &Circuit, site: &FaultSite, rng: &mut StdRn
     let n = circuit.num_qubits();
     match site.kind {
         FaultSiteKind::SingleQubitGate | FaultSiteKind::Preparation => {
-            let pauli = Pauli::ERRORS[rng.gen_range(0..3)];
+            let pauli = Pauli::ERRORS[rng.gen_range(0..3usize)];
             FaultEffect::Pauli(PauliString::single(n, site.qubits[0], pauli))
         }
         FaultSiteKind::TwoQubitGate => {
             // Uniform over the 15 non-identity two-qubit Paulis.
-            let index = rng.gen_range(1..16);
+            let index = rng.gen_range(1..16usize);
             let mut error = PauliString::identity(n);
             error.set(site.qubits[0], Pauli::ALL[index / 4]);
             error.set(site.qubits[1], Pauli::ALL[index % 4]);

@@ -113,11 +113,7 @@ impl SubsetEstimate {
         Estimate {
             mean,
             std_error: (variance + truncated * truncated).sqrt(),
-            samples: self
-                .conditional_failure
-                .iter()
-                .map(|e| e.samples)
-                .sum(),
+            samples: self.conditional_failure.iter().map(|e| e.samples).sum(),
         }
     }
 }

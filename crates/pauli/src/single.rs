@@ -71,6 +71,7 @@ impl Pauli {
     }
 
     /// Multiplies two Paulis, discarding the global phase.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Pauli) -> Pauli {
         let (x1, z1) = self.xz();
         let (x2, z2) = other.xz();

@@ -44,7 +44,11 @@ impl PauliString {
     ///
     /// Panics if the vectors have different lengths.
     pub fn from_xz(x: BitVec, z: BitVec) -> Self {
-        assert_eq!(x.len(), z.len(), "X and Z components must have equal length");
+        assert_eq!(
+            x.len(),
+            z.len(),
+            "X and Z components must have equal length"
+        );
         PauliString { x, z }
     }
 
@@ -209,7 +213,10 @@ impl PauliString {
     ///
     /// Panics if the vector length is odd.
     pub fn from_symplectic(v: &BitVec) -> PauliString {
-        assert!(v.len() % 2 == 0, "symplectic vector length must be even");
+        assert!(
+            v.len().is_multiple_of(2),
+            "symplectic vector length must be even"
+        );
         let n = v.len() / 2;
         PauliString {
             x: v.slice(0..n),

@@ -1,0 +1,419 @@
+//! Pluggable SAT backends.
+//!
+//! The synthesis pipeline treats the SAT solver as an injectable component:
+//! everything it needs is captured by the [`SatBackend`] trait
+//! (`new_var`/`add_clause`/`solve_with_assumptions`/`model`/`stats`), so the
+//! encodings in [`crate::Encoder`] and the synthesis code in `dftsp` are
+//! written once and run against any implementation. Two backends ship
+//! in-tree:
+//!
+//! * the CDCL [`Solver`] itself (the default), and
+//! * [`DimacsLoggingBackend`], an instrumented wrapper that records every
+//!   clause and query, can export the accumulated formula as DIMACS CNF for
+//!   inspection or cross-checking against external solvers, and re-validates
+//!   every satisfying model against the recorded clauses.
+
+use crate::dimacs::Cnf;
+use crate::{Lit, Model, SolveResult, Solver, SolverStats, Var};
+
+/// Abstract interface of an incremental SAT solver.
+///
+/// The trait is object safe, so callers can select a backend at runtime via
+/// [`BackendChoice`] and work with `Box<dyn SatBackend>`.
+pub trait SatBackend {
+    /// Short human-readable backend name (used in statistics reports).
+    fn name(&self) -> &'static str;
+
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Number of allocated variables.
+    fn num_vars(&self) -> usize;
+
+    /// Number of problem clauses added so far.
+    fn num_clauses(&self) -> usize;
+
+    /// Adds a clause; returns `false` if the formula became trivially
+    /// unsatisfiable.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Solves under the given assumption literals.
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult;
+
+    /// Solves with a conflict budget; `None` means the budget was exhausted
+    /// before a result was established.
+    fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult>;
+
+    /// The model of the most recent satisfiable query, if any.
+    fn model(&self) -> Option<&Model>;
+
+    /// Cumulative search statistics.
+    fn stats(&self) -> SolverStats;
+
+    /// Solves without assumptions.
+    fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+}
+
+macro_rules! impl_backend_delegate {
+    ($ty:ty) => {
+        impl<B: SatBackend + ?Sized> SatBackend for $ty {
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+            fn new_var(&mut self) -> Var {
+                (**self).new_var()
+            }
+            fn num_vars(&self) -> usize {
+                (**self).num_vars()
+            }
+            fn num_clauses(&self) -> usize {
+                (**self).num_clauses()
+            }
+            fn add_clause(&mut self, lits: &[Lit]) -> bool {
+                (**self).add_clause(lits)
+            }
+            fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+                (**self).solve_with_assumptions(assumptions)
+            }
+            fn solve_limited(
+                &mut self,
+                assumptions: &[Lit],
+                max_conflicts: u64,
+            ) -> Option<SolveResult> {
+                (**self).solve_limited(assumptions, max_conflicts)
+            }
+            fn model(&self) -> Option<&Model> {
+                (**self).model()
+            }
+            fn stats(&self) -> SolverStats {
+                (**self).stats()
+            }
+        }
+    };
+}
+
+impl_backend_delegate!(&mut B);
+impl_backend_delegate!(Box<B>);
+
+impl SatBackend for Solver {
+    fn name(&self) -> &'static str {
+        "cdcl"
+    }
+
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        Solver::num_clauses(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits.iter().copied())
+    }
+
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        Solver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        Solver::solve_limited(self, assumptions, max_conflicts)
+    }
+
+    fn model(&self) -> Option<&Model> {
+        Solver::model(self)
+    }
+
+    fn stats(&self) -> SolverStats {
+        Solver::stats(self)
+    }
+}
+
+/// One recorded query of a [`DimacsLoggingBackend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// The assumption literals of the query.
+    pub assumptions: Vec<Lit>,
+    /// The query result (`None` = conflict budget exhausted).
+    pub result: Option<SolveResult>,
+    /// Conflict budget of the query, if one was set.
+    pub max_conflicts: Option<u64>,
+}
+
+/// Instrumented backend wrapper: records the full formula and query history,
+/// exports DIMACS CNF, and cross-checks every model it hands out.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{DimacsLoggingBackend, Lit, SatBackend, SolveResult};
+///
+/// let mut backend = DimacsLoggingBackend::default();
+/// let a = backend.new_var();
+/// let b = backend.new_var();
+/// backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// backend.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(backend.solve(), SolveResult::Sat);
+/// let dimacs = backend.to_cnf().to_dimacs();
+/// assert!(dimacs.starts_with("p cnf 2 2"));
+/// assert_eq!(backend.queries().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DimacsLoggingBackend<B: SatBackend = Solver> {
+    inner: B,
+    clauses: Vec<Vec<Lit>>,
+    queries: Vec<QueryRecord>,
+    check_models: bool,
+}
+
+impl Default for DimacsLoggingBackend<Solver> {
+    fn default() -> Self {
+        DimacsLoggingBackend::wrapping(Solver::new())
+    }
+}
+
+impl<B: SatBackend> DimacsLoggingBackend<B> {
+    /// Wraps an existing backend.
+    pub fn wrapping(inner: B) -> Self {
+        DimacsLoggingBackend {
+            inner,
+            clauses: Vec::new(),
+            queries: Vec::new(),
+            check_models: true,
+        }
+    }
+
+    /// Enables or disables model cross-checking (enabled by default).
+    pub fn check_models(mut self, check: bool) -> Self {
+        self.check_models = check;
+        self
+    }
+
+    /// The recorded formula as a DIMACS [`Cnf`].
+    pub fn to_cnf(&self) -> Cnf {
+        let clauses = self
+            .clauses
+            .iter()
+            .map(|clause| {
+                clause
+                    .iter()
+                    .map(|l| {
+                        let v = l.var().index() as i64 + 1;
+                        if l.is_positive() {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Cnf {
+            num_vars: self.inner.num_vars(),
+            clauses,
+        }
+    }
+
+    /// The recorded query history.
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Panics if `model` violates any recorded clause — the cross-check that
+    /// makes this backend useful when debugging new encodings or backends.
+    fn assert_model_valid(&self, model: &Model) {
+        for (index, clause) in self.clauses.iter().enumerate() {
+            assert!(
+                clause.iter().any(|&l| model.lit_value(l)),
+                "backend '{}' returned a model violating recorded clause #{index}: {clause:?}",
+                self.inner.name()
+            );
+        }
+    }
+}
+
+impl<B: SatBackend> SatBackend for DimacsLoggingBackend<B> {
+    fn name(&self) -> &'static str {
+        "dimacs-log"
+    }
+
+    fn new_var(&mut self) -> Var {
+        self.inner.new_var()
+    }
+
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+
+    fn num_clauses(&self) -> usize {
+        self.inner.num_clauses()
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.clauses.push(lits.to_vec());
+        self.inner.add_clause(lits)
+    }
+
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let result = self.inner.solve_with_assumptions(assumptions);
+        if result == SolveResult::Sat && self.check_models {
+            let model = self.inner.model().expect("SAT result carries a model");
+            self.assert_model_valid(model);
+        }
+        self.queries.push(QueryRecord {
+            assumptions: assumptions.to_vec(),
+            result: Some(result),
+            max_conflicts: None,
+        });
+        result
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        let result = self.inner.solve_limited(assumptions, max_conflicts);
+        if result == Some(SolveResult::Sat) && self.check_models {
+            let model = self.inner.model().expect("SAT result carries a model");
+            self.assert_model_valid(model);
+        }
+        self.queries.push(QueryRecord {
+            assumptions: assumptions.to_vec(),
+            result,
+            max_conflicts: Some(max_conflicts),
+        });
+        result
+    }
+
+    fn model(&self) -> Option<&Model> {
+        self.inner.model()
+    }
+
+    fn stats(&self) -> SolverStats {
+        self.inner.stats()
+    }
+}
+
+/// Runtime selection of a SAT backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// The in-tree CDCL solver (fastest; the default).
+    #[default]
+    Cdcl,
+    /// The CDCL solver behind the clause-recording, model-cross-checking
+    /// DIMACS wrapper (for debugging and formula export).
+    DimacsLogging,
+}
+
+impl BackendChoice {
+    /// Instantiates a fresh backend of the chosen kind.
+    pub fn instantiate(self) -> Box<dyn SatBackend> {
+        match self {
+            BackendChoice::Cdcl => Box::new(Solver::new()),
+            BackendChoice::DimacsLogging => Box::new(DimacsLoggingBackend::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Cdcl => write!(f, "cdcl"),
+            BackendChoice::DimacsLogging => write!(f, "dimacs-log"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_formula(backend: &mut dyn SatBackend) -> (Var, Var) {
+        let a = backend.new_var();
+        let b = backend.new_var();
+        backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        backend.add_clause(&[Lit::neg(a)]);
+        (a, b)
+    }
+
+    #[test]
+    fn both_backends_agree_on_a_tiny_formula() {
+        for choice in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+            let mut backend = choice.instantiate();
+            let (a, b) = tiny_formula(backend.as_mut());
+            assert_eq!(backend.solve(), SolveResult::Sat, "{choice}");
+            let model = backend.model().expect("sat");
+            assert!(!model.value(a));
+            assert!(model.value(b));
+            assert_eq!(backend.num_vars(), 2);
+        }
+    }
+
+    #[test]
+    fn logging_backend_exports_dimacs_and_queries() {
+        let mut backend = DimacsLoggingBackend::default();
+        let (_, b) = tiny_formula(&mut backend);
+        assert_eq!(backend.solve(), SolveResult::Sat);
+        assert_eq!(
+            backend.solve_with_assumptions(&[Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(backend.solve_limited(&[], u64::MAX), Some(SolveResult::Sat));
+
+        let cnf = backend.to_cnf();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses, vec![vec![1, 2], vec![-1]]);
+        // The exported formula round-trips through the DIMACS text form.
+        let reparsed = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(reparsed, cnf);
+
+        let queries = backend.queries();
+        assert_eq!(queries.len(), 3);
+        assert_eq!(queries[0].result, Some(SolveResult::Sat));
+        assert_eq!(queries[1].assumptions, vec![Lit::neg(b)]);
+        assert_eq!(queries[1].result, Some(SolveResult::Unsat));
+        assert_eq!(queries[2].max_conflicts, Some(u64::MAX));
+    }
+
+    #[test]
+    fn solve_limited_budget_is_forwarded() {
+        // An unsatisfiable pigeonhole-style core that needs several conflicts.
+        let mut backend = DimacsLoggingBackend::default();
+        let vars: Vec<Var> = (0..12).map(|_| backend.new_var()).collect();
+        for i in 0..4 {
+            backend.add_clause(&[
+                Lit::pos(vars[3 * i]),
+                Lit::pos(vars[3 * i + 1]),
+                Lit::pos(vars[3 * i + 2]),
+            ]);
+        }
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                backend.add_clause(&[Lit::neg(vars[i]), Lit::neg(vars[j])]);
+            }
+        }
+        assert_eq!(backend.solve_limited(&[], 1), None);
+        assert_eq!(backend.queries().last().unwrap().result, None);
+        assert_eq!(
+            backend.solve_limited(&[], u64::MAX),
+            Some(SolveResult::Unsat)
+        );
+    }
+
+    #[test]
+    fn stats_pass_through() {
+        let mut backend = BackendChoice::DimacsLogging.instantiate();
+        let (_, _) = tiny_formula(backend.as_mut());
+        backend.solve();
+        let stats = backend.stats();
+        assert!(stats.propagations > 0 || stats.decisions > 0);
+    }
+}

@@ -17,7 +17,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

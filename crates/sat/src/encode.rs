@@ -5,11 +5,12 @@
 //! constraints, and cardinality bounds (at-most-k), optionally guarded by an
 //! activation literal so they only apply on selected protocol branches.
 
-use crate::{Lit, Solver};
+use crate::{Lit, SatBackend, Solver};
 
-/// Encoder that adds structured constraints to a [`Solver`].
+/// Encoder that adds structured constraints to any [`SatBackend`]
+/// (defaulting to the in-tree CDCL [`Solver`]).
 ///
-/// The encoder borrows the solver mutably; all auxiliary variables it
+/// The encoder borrows the backend mutably; all auxiliary variables it
 /// introduces live in the same variable space as the caller's variables.
 ///
 /// # Examples
@@ -30,14 +31,14 @@ use crate::{Lit, Solver};
 /// assert_eq!(ones, 1);
 /// ```
 #[derive(Debug)]
-pub struct Encoder<'a> {
-    solver: &'a mut Solver,
+pub struct Encoder<'a, B: SatBackend + ?Sized = Solver> {
+    solver: &'a mut B,
     true_lit: Option<Lit>,
 }
 
-impl<'a> Encoder<'a> {
+impl<'a, B: SatBackend + ?Sized> Encoder<'a, B> {
     /// Creates an encoder targeting `solver`.
-    pub fn new(solver: &'a mut Solver) -> Self {
+    pub fn new(solver: &'a mut B) -> Self {
         Encoder {
             solver,
             true_lit: None,
@@ -45,7 +46,7 @@ impl<'a> Encoder<'a> {
     }
 
     /// Returns the underlying solver.
-    pub fn solver(&mut self) -> &mut Solver {
+    pub fn solver(&mut self) -> &mut B {
         self.solver
     }
 
@@ -60,7 +61,7 @@ impl<'a> Encoder<'a> {
             return t;
         }
         let t = self.new_lit();
-        self.solver.add_clause([t]);
+        self.solver.add_clause(&[t]);
         self.true_lit = Some(t);
         t
     }
@@ -72,13 +73,13 @@ impl<'a> Encoder<'a> {
 
     /// Adds the implication `a → b`.
     pub fn implies(&mut self, a: Lit, b: Lit) {
-        self.solver.add_clause([!a, b]);
+        self.solver.add_clause(&[!a, b]);
     }
 
     /// Adds the equivalence `a ↔ b`.
     pub fn equivalent(&mut self, a: Lit, b: Lit) {
-        self.solver.add_clause([!a, b]);
-        self.solver.add_clause([a, !b]);
+        self.solver.add_clause(&[!a, b]);
+        self.solver.add_clause(&[a, !b]);
     }
 
     /// Returns a literal equivalent to the conjunction of `lits`
@@ -93,12 +94,12 @@ impl<'a> Encoder<'a> {
                 let out = self.new_lit();
                 // out → each lit
                 for &l in lits {
-                    self.solver.add_clause([!out, l]);
+                    self.solver.add_clause(&[!out, l]);
                 }
                 // all lits → out
                 let mut clause: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                 clause.push(out);
-                self.solver.add_clause(clause);
+                self.solver.add_clause(&clause);
                 out
             }
         }
@@ -116,12 +117,12 @@ impl<'a> Encoder<'a> {
                 let out = self.new_lit();
                 // each lit → out
                 for &l in lits {
-                    self.solver.add_clause([!l, out]);
+                    self.solver.add_clause(&[!l, out]);
                 }
                 // out → some lit
                 let mut clause: Vec<Lit> = lits.to_vec();
                 clause.push(!out);
-                self.solver.add_clause(clause);
+                self.solver.add_clause(&clause);
                 out
             }
         }
@@ -131,10 +132,10 @@ impl<'a> Encoder<'a> {
     pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
         let out = self.new_lit();
         // out ↔ a ⊕ b
-        self.solver.add_clause([!out, a, b]);
-        self.solver.add_clause([!out, !a, !b]);
-        self.solver.add_clause([out, !a, b]);
-        self.solver.add_clause([out, a, !b]);
+        self.solver.add_clause(&[!out, a, b]);
+        self.solver.add_clause(&[!out, !a, !b]);
+        self.solver.add_clause(&[out, !a, b]);
+        self.solver.add_clause(&[out, a, !b]);
         out
     }
 
@@ -163,17 +164,17 @@ impl<'a> Encoder<'a> {
                 if parity {
                     // XOR of nothing is 0; requiring 1 is a contradiction.
                     let f = self.false_lit();
-                    self.solver.add_clause([f]);
+                    self.solver.add_clause(&[f]);
                 }
             }
             [single] => {
                 let l = if parity { *single } else { !*single };
-                self.solver.add_clause([l]);
+                self.solver.add_clause(&[l]);
             }
             _ => {
                 let folded = self.xor_many(lits);
                 let l = if parity { folded } else { !folded };
-                self.solver.add_clause([l]);
+                self.solver.add_clause(&[l]);
             }
         }
     }
@@ -182,7 +183,7 @@ impl<'a> Encoder<'a> {
     pub fn at_most_one(&mut self, lits: &[Lit]) {
         for i in 0..lits.len() {
             for j in (i + 1)..lits.len() {
-                self.solver.add_clause([!lits[i], !lits[j]]);
+                self.solver.add_clause(&[!lits[i], !lits[j]]);
             }
         }
     }
@@ -193,8 +194,11 @@ impl<'a> Encoder<'a> {
     ///
     /// Panics if `lits` is empty (no literal can then be true).
     pub fn exactly_one(&mut self, lits: &[Lit]) {
-        assert!(!lits.is_empty(), "exactly_one of an empty set is unsatisfiable");
-        self.solver.add_clause(lits.to_vec());
+        assert!(
+            !lits.is_empty(),
+            "exactly_one of an empty set is unsatisfiable"
+        );
+        self.solver.add_clause(lits);
         self.at_most_one(lits);
     }
 
@@ -221,7 +225,7 @@ impl<'a> Encoder<'a> {
                 if let Some(r) = relax {
                     clause.push(r);
                 }
-                self.solver.add_clause(clause);
+                self.solver.add_clause(&clause);
             }
             return;
         }
@@ -233,30 +237,30 @@ impl<'a> Encoder<'a> {
                 *cell = Lit::pos(self.solver.new_var());
             }
         }
-        let add = |solver: &mut Solver, mut clause: Vec<Lit>| {
+        let add = |solver: &mut B, mut clause: Vec<Lit>| {
             if let Some(r) = relax {
                 clause.push(r);
             }
-            solver.add_clause(clause);
+            solver.add_clause(&clause);
         };
         // Base cases.
-        add(self.solver, vec![!lits[0], s[0][0]]);
-        for j in 1..k {
-            add(self.solver, vec![!s[0][j]]);
+        add(&mut *self.solver, vec![!lits[0], s[0][0]]);
+        for cell in s[0].iter().skip(1) {
+            add(&mut *self.solver, vec![!*cell]);
         }
         for i in 1..n {
             // lits[i] → s[i][0]
-            add(self.solver, vec![!lits[i], s[i][0]]);
+            add(&mut *self.solver, vec![!lits[i], s[i][0]]);
             // s[i-1][0] → s[i][0]
-            add(self.solver, vec![!s[i - 1][0], s[i][0]]);
+            add(&mut *self.solver, vec![!s[i - 1][0], s[i][0]]);
             for j in 1..k {
                 // lits[i] ∧ s[i-1][j-1] → s[i][j]
-                add(self.solver, vec![!lits[i], !s[i - 1][j - 1], s[i][j]]);
+                add(&mut *self.solver, vec![!lits[i], !s[i - 1][j - 1], s[i][j]]);
                 // s[i-1][j] → s[i][j]
-                add(self.solver, vec![!s[i - 1][j], s[i][j]]);
+                add(&mut *self.solver, vec![!s[i - 1][j], s[i][j]]);
             }
             // lits[i] ∧ s[i-1][k-1] → ⊥
-            add(self.solver, vec![!lits[i], !s[i - 1][k - 1]]);
+            add(&mut *self.solver, vec![!lits[i], !s[i - 1][k - 1]]);
         }
     }
 
@@ -266,7 +270,7 @@ impl<'a> Encoder<'a> {
             return;
         }
         if k == 1 {
-            self.solver.add_clause(lits.to_vec());
+            self.solver.add_clause(lits);
             return;
         }
         // At least k of lits ⇔ at most (n - k) of the negations.
@@ -275,7 +279,7 @@ impl<'a> Encoder<'a> {
         if lits.len() < k {
             // Impossible to satisfy.
             let f = self.false_lit();
-            self.solver.add_clause([f]);
+            self.solver.add_clause(&[f]);
             return;
         }
         self.at_most_k(&negated, bound);
@@ -316,10 +320,7 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(count_true(&s, &lits), 3);
         // Forcing output true and one input false is unsatisfiable.
-        assert_eq!(
-            s.solve_with_assumptions(&[!lits[1]]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[!lits[1]]), SolveResult::Unsat);
     }
 
     #[test]
@@ -480,8 +481,14 @@ mod tests {
             let mut e = Encoder::new(&mut s);
             e.at_most_k_guarded(Some(guard), &lits, 0);
         }
-        assert_eq!(s.solve_with_assumptions(&[guard, lits[1]]), SolveResult::Unsat);
-        assert_eq!(s.solve_with_assumptions(&[!guard, lits[1]]), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[guard, lits[1]]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[!guard, lits[1]]),
+            SolveResult::Sat
+        );
     }
 
     #[test]
@@ -522,15 +529,30 @@ mod tests {
             let mut e = Encoder::new(&mut s);
             e.implies(lits[0], lits[1]);
         }
-        assert_eq!(s.solve_with_assumptions(&[lits[0], !lits[1]]), SolveResult::Unsat);
-        assert_eq!(s.solve_with_assumptions(&[!lits[0], !lits[1]]), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lits[0], !lits[1]]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[!lits[0], !lits[1]]),
+            SolveResult::Sat
+        );
         let (mut s, lits) = fresh(2);
         {
             let mut e = Encoder::new(&mut s);
             e.equivalent(lits[0], lits[1]);
         }
-        assert_eq!(s.solve_with_assumptions(&[lits[0], !lits[1]]), SolveResult::Unsat);
-        assert_eq!(s.solve_with_assumptions(&[!lits[0], lits[1]]), SolveResult::Unsat);
-        assert_eq!(s.solve_with_assumptions(&[lits[0], lits[1]]), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lits[0], !lits[1]]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[!lits[0], lits[1]]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[lits[0], lits[1]]),
+            SolveResult::Sat
+        );
     }
 }

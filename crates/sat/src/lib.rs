@@ -14,6 +14,11 @@
 //!   and sequential-counter cardinality constraints (optionally guarded by an
 //!   activation literal), which is exactly the constraint vocabulary the
 //!   synthesis encodings need.
+//! * [`SatBackend`] — the pluggable-solver abstraction the synthesis engine
+//!   is generic over, with the CDCL [`Solver`] as the default implementation
+//!   and [`DimacsLoggingBackend`] as an instrumented, formula-exporting,
+//!   model-cross-checking alternative. [`BackendChoice`] selects one at
+//!   runtime.
 //! * [`dimacs`] — DIMACS CNF import/export for debugging and testing.
 //!
 //! # Examples
@@ -35,11 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod dimacs;
 mod encode;
 mod lit;
 mod solver;
 
+pub use backend::{BackendChoice, DimacsLoggingBackend, QueryRecord, SatBackend};
 pub use encode::Encoder;
 pub use lit::{Lit, Var};
 pub use solver::{Model, SolveResult, Solver, SolverStats};

@@ -611,6 +611,8 @@ fn luby(mut i: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
 
     fn lit(s: &mut Solver, idx: usize, positive: bool) -> Lit {
@@ -706,10 +708,7 @@ mod tests {
         );
         // Without the assumptions the formula is satisfiable again.
         assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a)]),
-            SolveResult::Sat
-        );
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(a)]), SolveResult::Sat);
         assert!(s.model().unwrap().value(b));
     }
 
@@ -762,7 +761,7 @@ mod tests {
     fn model_satisfies_all_clauses_random() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(42);
-        for round in 0..30 {
+        for round in 0..30usize {
             let num_vars = 8 + round % 5;
             let num_clauses = 3 * num_vars;
             let mut s = Solver::new();

@@ -130,7 +130,7 @@ fn random_3sat_stress() {
     use rand::prelude::*;
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..10 {
-        let n = 30;
+        let n = 30usize;
         let m = (4.0 * n as f64) as usize;
         let mut solver = Solver::new();
         let vars: Vec<Var> = (0..n).map(|_| solver.new_var()).collect();

@@ -1,0 +1,27 @@
+//! Offline stand-in for the parts of `serde` this workspace uses.
+//!
+//! The build environment has no network access, so this shim provides the
+//! `Serialize`/`Deserialize` names — as both marker traits (with blanket
+//! implementations, so derived types satisfy generic bounds) and no-op derive
+//! macros re-exported from the companion `serde_derive` shim. No actual
+//! serialization is performed; swap in the crates.io `serde` to get it.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Deserializer-side traits, mirroring `serde::de`.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The companion `serde` shim provides blanket implementations of its
+//! `Serialize`/`Deserialize` marker traits, so the derive macros only need to
+//! exist for `#[derive(Serialize, Deserialize)]` attributes to parse.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -122,7 +122,11 @@ impl Tableau {
     }
 
     fn check_qubit(&self, q: usize) {
-        assert!(q < self.n, "qubit {q} out of range for {}-qubit tableau", self.n);
+        assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit tableau",
+            self.n
+        );
     }
 
     /// Applies a Hadamard gate to qubit `q`.
@@ -187,7 +191,11 @@ impl Tableau {
     ///
     /// Panics if the operator acts on a different number of qubits.
     pub fn apply_pauli(&mut self, p: &PauliString) {
-        assert_eq!(p.num_qubits(), self.n, "Pauli must act on the tableau's qubits");
+        assert_eq!(
+            p.num_qubits(),
+            self.n,
+            "Pauli must act on the tableau's qubits"
+        );
         for q in p.x_part().iter_ones() {
             self.x(q);
         }
@@ -275,7 +283,10 @@ impl Tableau {
                 self.z[target].get(q),
             ) as u32);
         }
-        debug_assert!(phase % 2 == 0, "Pauli products of commuting rows have real phase");
+        debug_assert!(
+            phase % 2 == 0,
+            "Pauli products of commuting rows have real phase"
+        );
         self.r.set(target, (phase / 2) % 2 == 1);
         let src_x = self.x[source].clone();
         let src_z = self.z[source].clone();
@@ -292,7 +303,11 @@ impl Tableau {
     ///
     /// Panics if the operator acts on a different number of qubits.
     pub fn expectation(&self, p: &PauliString) -> Expectation {
-        assert_eq!(p.num_qubits(), self.n, "Pauli must act on the tableau's qubits");
+        assert_eq!(
+            p.num_qubits(),
+            self.n,
+            "Pauli must act on the tableau's qubits"
+        );
         // If the operator anticommutes with any stabilizer generator the
         // expectation value is zero.
         for i in 0..self.n {
@@ -501,7 +516,11 @@ mod tests {
         // Same expectations for a set of probe operators (global phase is not
         // represented in the tableau).
         for probe in ["XXI", "ZZI", "IIZ", "XII", "ZIZ"] {
-            assert_eq!(a.expectation(&pauli(probe)), b.expectation(&pauli(probe)), "{probe}");
+            assert_eq!(
+                a.expectation(&pauli(probe)),
+                b.expectation(&pauli(probe)),
+                "{probe}"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 //! By default only the three smallest codes are compared; pass `--all` to run
 //! the full catalog (slower, identical to the bench binaries).
 
-use dftsp::{synthesize_protocol, ProtocolMetrics, SynthesisOptions};
+use dftsp::{ProtocolMetrics, SynthesisEngine};
 use dftsp_code::catalog;
 use dftsp_noise::{SubsetConfig, SubsetEstimate};
 
@@ -21,6 +21,15 @@ fn main() {
         vec![catalog::steane(), catalog::shor(), catalog::surface3()]
     };
 
+    // One engine, the whole catalog: synthesis fans out over worker threads.
+    let engine = SynthesisEngine::default();
+    eprintln!(
+        "synthesizing {} codes on {} threads ...",
+        codes.len(),
+        engine.threads()
+    );
+    let reports = engine.synthesize_all(&codes);
+
     println!(
         "{:<12} {:>11} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12}",
         "code", "[[n,k,d]]", "prep CX", "ver ANC", "ver CX", "avg corr", "p_L(1e-3)", "p_L(1e-2)"
@@ -30,10 +39,10 @@ fn main() {
         max_faults: 3,
         samples_per_stratum: 500,
     };
-    for code in codes {
+    for (code, report) in codes.iter().zip(reports) {
         let (n, k, d) = code.parameters();
-        let protocol = match synthesize_protocol(&code, &SynthesisOptions::default()) {
-            Ok(p) => p,
+        let report = match report {
+            Ok(r) => r,
             Err(e) => {
                 println!(
                     "{:<12} {:>11} synthesis failed: {e}",
@@ -43,8 +52,8 @@ fn main() {
                 continue;
             }
         };
-        let metrics = ProtocolMetrics::from_protocol(&protocol);
-        let estimate = SubsetEstimate::build(&protocol, &config, 11);
+        let metrics = ProtocolMetrics::from_protocol(&report.protocol);
+        let estimate = SubsetEstimate::build(&report.protocol, &config, 11);
         println!(
             "{:<12} {:>11} {:>9} {:>9} {:>9} {:>9.2} {:>12.3e} {:>12.3e}",
             metrics.code_name,

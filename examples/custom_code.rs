@@ -12,7 +12,7 @@
 //! cargo run --release -p dftsp --example custom_code
 //! ```
 
-use dftsp::{check_fault_tolerance, synthesize_protocol, ProtocolMetrics, SynthesisOptions};
+use dftsp::{check_fault_tolerance, ProtocolMetrics, SynthesisEngine};
 use dftsp_code::{CodeError, CssCode};
 use dftsp_f2::BitMatrix;
 
@@ -59,9 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn report(code: &CssCode) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== {code} ===");
-    let protocol = synthesize_protocol(code, &SynthesisOptions::default())?;
+    let synthesis = SynthesisEngine::default().synthesize(code)?;
+    let protocol = synthesis.protocol;
     let metrics = ProtocolMetrics::from_protocol(&protocol);
-    println!("{metrics}");
+    println!("{metrics} (synthesized in {:.1?})", synthesis.total_time);
     if protocol.layers.is_empty() {
         println!("no verification needed: the preparation circuit is already fault tolerant");
     }

@@ -6,10 +6,7 @@
 //! cargo run --release -p dftsp --example quickstart
 //! ```
 
-use dftsp::{
-    check_fault_tolerance, execute, synthesize_protocol, NoFaults, ProtocolMetrics,
-    SynthesisOptions,
-};
+use dftsp::{check_fault_tolerance, execute, NoFaults, ProtocolMetrics, SynthesisEngine};
 use dftsp_code::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,9 +14,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let code = catalog::steane();
     println!("code: {code}");
 
-    // 2. Synthesize the full deterministic protocol: preparation circuit,
-    //    verification measurements and SAT-optimal correction branches.
-    let protocol = synthesize_protocol(&code, &SynthesisOptions::default())?;
+    // 2. Build a synthesis engine (prep method, flag policy, budgets and SAT
+    //    backend are all configurable on the builder) and run the full
+    //    pipeline: preparation circuit, verification measurements and
+    //    SAT-optimal correction branches.
+    let engine = SynthesisEngine::builder().build();
+    let report = engine.synthesize(&code)?;
+    let protocol = &report.protocol;
     println!(
         "preparation circuit: {} CNOTs, {} Hadamards",
         protocol.prep.circuit.stats().cnot_count,
@@ -44,23 +45,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 3. Summarize in the format of Table I of the paper.
-    let metrics = ProtocolMetrics::from_protocol(&protocol);
+    // 3. The report carries per-stage timings and SAT statistics.
+    println!("\nsynthesis stages ({:.1?} total):", report.total_time);
+    for stage in &report.stages {
+        println!(
+            "  {:<16} {:>9.1?}  {}",
+            stage.stage.to_string(),
+            stage.time,
+            stage.sat
+        );
+    }
+
+    // 4. Summarize in the format of Table I of the paper.
+    let metrics = ProtocolMetrics::from_protocol(protocol);
     println!("\nTable-I metrics: {metrics}");
 
-    // 4. The fault-free protocol prepares the state exactly ...
-    let record = execute(&protocol, &mut NoFaults);
+    // 5. The fault-free protocol prepares the state exactly ...
+    let record = execute(protocol, &mut NoFaults);
     assert!(record.residual.is_identity());
 
-    // 5. ... and no single circuit fault can leave a dangerous error.
-    let report = check_fault_tolerance(&protocol);
+    // 6. ... and no single circuit fault can leave a dangerous error.
+    let ft = check_fault_tolerance(protocol);
     println!(
         "\nfault-tolerance check: {} locations, {} single faults, {} violations",
-        report.locations,
-        report.faults_checked,
-        report.violations.len()
+        ft.locations,
+        ft.faults_checked,
+        ft.violations.len()
     );
-    assert!(report.is_fault_tolerant());
+    assert!(ft.is_fault_tolerant());
     println!("the protocol is strictly fault tolerant");
     Ok(())
 }

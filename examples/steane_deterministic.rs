@@ -7,10 +7,7 @@
 //! cargo run --release -p dftsp --example steane_deterministic
 //! ```
 
-use dftsp::{
-    enumerate_single_fault_records, execute, synthesize_protocol, NoFaults, SingleFault,
-    SynthesisOptions,
-};
+use dftsp::{enumerate_single_fault_records, execute, NoFaults, SingleFault, SynthesisEngine};
 use dftsp_circuit::{FaultEffect, Gate};
 use dftsp_code::catalog;
 use dftsp_noise::{monte_carlo, NoiseParams, PerfectDecoder};
@@ -18,7 +15,7 @@ use dftsp_pauli::{Pauli, PauliKind, PauliString};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let code = catalog::steane();
-    let protocol = synthesize_protocol(&code, &SynthesisOptions::default())?;
+    let protocol = SynthesisEngine::default().synthesize(&code)?.protocol;
     let decoder = PerfectDecoder::for_protocol(&protocol);
 
     // The non-deterministic scheme would restart whenever the verification
@@ -46,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         triggered,
         corrected
     );
-    assert_eq!(triggered, corrected, "every detected fault must be corrected in place");
+    assert_eq!(
+        triggered, corrected,
+        "every detected fault must be corrected in place"
+    );
 
     // Reproduce Example 3 of the paper explicitly: an X error on the control
     // of the last preparation CNOT spreads to a two-qubit error, the

@@ -1,0 +1,105 @@
+//! Integration tests of the `SynthesisEngine` session API: equivalence with
+//! the classic free functions, batched multi-code synthesis, and catalog
+//! round-trips.
+
+use dftsp::{
+    synthesize_protocol, BackendChoice, SynthesisEngine, SynthesisOptions, SynthesisReport,
+};
+use dftsp_code::catalog;
+
+/// Bit-for-bit structural equality: the `Debug` rendering covers every field
+/// of the preparation circuit and every layer, gadget, branch and recovery.
+fn protocol_fingerprint(protocol: &dftsp::DeterministicProtocol) -> String {
+    format!("{:?}|{:?}", protocol.prep.circuit, protocol.layers)
+}
+
+#[test]
+fn builder_defaults_reproduce_the_classic_pipeline_bit_for_bit() {
+    for code in [catalog::steane(), catalog::surface3()] {
+        let classic = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let engine = SynthesisEngine::builder().build();
+        let report = engine.synthesize(&code).unwrap();
+        assert_eq!(
+            protocol_fingerprint(&classic),
+            protocol_fingerprint(&report.protocol),
+            "{}: engine defaults must match synthesize_protocol exactly",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn synthesize_all_matches_sequential_synthesis() {
+    let engine = SynthesisEngine::builder().threads(4).build();
+    let codes = vec![catalog::steane(), catalog::shor(), catalog::surface3()];
+    let batched = engine.synthesize_all(&codes);
+    assert_eq!(batched.len(), codes.len());
+    for (code, batched) in codes.iter().zip(&batched) {
+        let sequential = engine.synthesize(code).unwrap();
+        let batched = batched.as_ref().unwrap();
+        assert_eq!(batched.code_name, code.name());
+        assert_eq!(
+            protocol_fingerprint(&sequential.protocol),
+            protocol_fingerprint(&batched.protocol),
+            "{}: batched synthesis must be deterministic",
+            code.name()
+        );
+    }
+}
+
+#[test]
+#[ignore = "synthesizes the full catalog including the 15- and 16-qubit codes; several minutes"]
+fn synthesize_all_covers_the_full_catalog() {
+    let engine = SynthesisEngine::default();
+    let codes = catalog::all();
+    let reports = engine.synthesize_all(&codes);
+    for (code, report) in codes.iter().zip(reports) {
+        let report = report.unwrap_or_else(|e| panic!("{}: {e}", code.name()));
+        assert_eq!(report.code_name, code.name());
+        assert!(report.sat_totals().calls > 0 || report.protocol.layers.is_empty());
+    }
+}
+
+#[test]
+fn reports_carry_stage_and_cache_statistics() {
+    let report: SynthesisReport = SynthesisEngine::default()
+        .synthesize(&catalog::steane())
+        .unwrap();
+    assert!(!report.stages.is_empty());
+    assert!(report.total_time >= report.stages.iter().map(|s| s.time).sum());
+    assert!(report.sat_totals().calls > 0);
+    assert_eq!(report.sat_totals().interrupted, 0);
+    // The prep-fault enumeration is shared between the second-layer decision
+    // and the first verification layer.
+    assert!(report.fault_cache_hits >= 1);
+    assert!(report.fault_cache_misses >= 1);
+}
+
+#[test]
+fn dimacs_logging_backend_is_a_drop_in_replacement() {
+    let code = catalog::surface3();
+    let cdcl = SynthesisEngine::builder()
+        .solver(BackendChoice::Cdcl)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    let logged = SynthesisEngine::builder()
+        .solver(BackendChoice::DimacsLogging)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    assert_eq!(
+        protocol_fingerprint(&cdcl.protocol),
+        protocol_fingerprint(&logged.protocol)
+    );
+}
+
+#[test]
+fn catalog_by_name_round_trips_for_every_code() {
+    for code in catalog::all() {
+        let found = catalog::by_name(code.name())
+            .unwrap_or_else(|| panic!("{} must be retrievable by name", code.name()));
+        assert_eq!(found.name(), code.name());
+        assert_eq!(found.parameters(), code.parameters());
+    }
+}

@@ -2,17 +2,16 @@
 //! (Experiment E3 of DESIGN.md): Definition 1 of the paper must hold for
 //! every single circuit fault.
 
-use dftsp::{
-    check_fault_tolerance, enumerate_single_fault_records, globally_optimize, synthesize_protocol,
-    FlagPolicy, GlobalOptions, SynthesisOptions,
-};
+use dftsp::{check_fault_tolerance, enumerate_single_fault_records, FlagPolicy, SynthesisEngine};
 use dftsp_code::{catalog, CssCode};
 use dftsp_f2::BitMatrix;
 use dftsp_pauli::PauliKind;
 
-fn assert_fault_tolerant(code: &CssCode, options: &SynthesisOptions) {
-    let protocol = synthesize_protocol(code, options)
-        .unwrap_or_else(|e| panic!("synthesis failed for {}: {e}", code.name()));
+fn assert_fault_tolerant(code: &CssCode, engine: &SynthesisEngine) {
+    let protocol = engine
+        .synthesize(code)
+        .unwrap_or_else(|e| panic!("synthesis failed for {}: {e}", code.name()))
+        .protocol;
     let report = check_fault_tolerance(&protocol);
     assert!(
         report.is_fault_tolerant(),
@@ -27,42 +26,42 @@ fn assert_fault_tolerant(code: &CssCode, options: &SynthesisOptions) {
 #[test]
 fn steane_shor_and_surface_protocols_are_fault_tolerant() {
     for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
-        assert_fault_tolerant(&code, &SynthesisOptions::default());
+        assert_fault_tolerant(&code, &SynthesisEngine::default());
     }
 }
 
 #[test]
 fn distance_four_carbon_substitute_protocol_is_fault_tolerant() {
-    assert_fault_tolerant(&catalog::carbon(), &SynthesisOptions::default());
+    assert_fault_tolerant(&catalog::carbon(), &SynthesisEngine::default());
 }
 
 #[test]
 #[ignore = "15-qubit codes; several minutes of synthesis and exhaustive checking"]
 fn hamming_and_tetrahedral_protocols_are_fault_tolerant() {
     for code in [catalog::hamming_15_7(), catalog::tetrahedral()] {
-        assert_fault_tolerant(&code, &SynthesisOptions::default());
+        assert_fault_tolerant(&code, &SynthesisEngine::default());
     }
 }
 
 #[test]
 fn searched_code_protocol_is_fault_tolerant() {
-    assert_fault_tolerant(&catalog::code_11_1_3(), &SynthesisOptions::default());
+    assert_fault_tolerant(&catalog::code_11_1_3(), &SynthesisEngine::default());
 }
 
 #[test]
 fn always_flagging_preserves_fault_tolerance() {
-    let options = SynthesisOptions {
-        flag_policy: FlagPolicy::Always,
-        ..SynthesisOptions::default()
-    };
-    assert_fault_tolerant(&catalog::steane(), &options);
-    assert_fault_tolerant(&catalog::surface3(), &options);
+    let engine = SynthesisEngine::builder()
+        .flag_policy(FlagPolicy::Always)
+        .build();
+    assert_fault_tolerant(&catalog::steane(), &engine);
+    assert_fault_tolerant(&catalog::surface3(), &engine);
 }
 
 #[test]
 fn globally_optimized_protocols_are_fault_tolerant() {
+    let engine = SynthesisEngine::default();
     for code in [catalog::steane(), catalog::shor()] {
-        let result = globally_optimize(&code, &GlobalOptions::default()).unwrap();
+        let result = engine.globally_optimize(&code).unwrap();
         let report = check_fault_tolerance(&result.protocol);
         assert!(report.is_fault_tolerant(), "{}", code.name());
     }
@@ -76,7 +75,7 @@ fn custom_distance_two_code_protocol_is_fault_tolerant() {
         BitMatrix::from_dense(&[&[1, 1, 1, 1][..]]),
     )
     .unwrap();
-    assert_fault_tolerant(&code, &SynthesisOptions::default());
+    assert_fault_tolerant(&code, &SynthesisEngine::default());
 }
 
 #[test]
@@ -85,7 +84,10 @@ fn every_dangerous_single_fault_is_detected_before_correction() {
     // would be dangerous must produce a non-trivial verification outcome
     // (otherwise the protocol could not possibly correct it).
     let code = catalog::surface3();
-    let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+    let protocol = SynthesisEngine::default()
+        .synthesize(&code)
+        .unwrap()
+        .protocol;
     for record in enumerate_single_fault_records(&protocol) {
         let x_dangerous = protocol
             .context

@@ -3,7 +3,7 @@
 //! physical error rate, and the subset-sampling estimator agrees with direct
 //! Monte Carlo where the latter is feasible.
 
-use dftsp::{synthesize_protocol, SynthesisOptions};
+use dftsp::SynthesisEngine;
 use dftsp_code::catalog;
 use dftsp_noise::{
     default_physical_rates, linear_reference, logical_error_curve, monte_carlo, NoiseParams,
@@ -11,13 +11,19 @@ use dftsp_noise::{
 };
 
 fn steane_protocol() -> dftsp::DeterministicProtocol {
-    synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap()
+    SynthesisEngine::default()
+        .synthesize(&catalog::steane())
+        .unwrap()
+        .protocol
 }
 
 #[test]
 fn single_fault_stratum_never_fails_for_synthesized_protocols() {
     for code in [catalog::steane(), catalog::surface3()] {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = SynthesisEngine::default()
+            .synthesize(&code)
+            .unwrap()
+            .protocol;
         let estimate = SubsetEstimate::build(
             &protocol,
             &SubsetConfig {
@@ -28,7 +34,8 @@ fn single_fault_stratum_never_fails_for_synthesized_protocols() {
         );
         assert_eq!(estimate.conditional_failure[0].mean, 0.0, "{}", code.name());
         assert_eq!(
-            estimate.conditional_failure[1].mean, 0.0,
+            estimate.conditional_failure[1].mean,
+            0.0,
             "{}: single faults never cause a logical error",
             code.name()
         );

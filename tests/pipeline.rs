@@ -2,16 +2,17 @@
 //! synthesis → verification → correction → protocol execution, spanning the
 //! `dftsp-code`, `dftsp-circuit`, `dftsp-stabsim` and `dftsp` crates.
 
-use dftsp::{
-    execute, synthesize_protocol, NoFaults, PrepMethod, ProtocolMetrics, SynthesisOptions,
-    ZeroStateContext,
-};
+use dftsp::{execute, NoFaults, PrepMethod, ProtocolMetrics, SynthesisEngine, ZeroStateContext};
 use dftsp_code::catalog;
 use dftsp_pauli::PauliKind;
 use dftsp_stabsim::{is_logical_zero_state, run_circuit, Tableau};
 
 fn small_codes() -> Vec<dftsp_code::CssCode> {
     vec![catalog::steane(), catalog::shor(), catalog::surface3()]
+}
+
+fn engine() -> SynthesisEngine {
+    SynthesisEngine::default()
 }
 
 #[test]
@@ -27,8 +28,8 @@ fn synthesized_prep_circuits_prepare_the_logical_zero_state() {
         catalog::carbon(),
     ];
     for code in codes {
-        let protocol = match synthesize_protocol(&code, &SynthesisOptions::default()) {
-            Ok(p) => p,
+        let protocol = match engine().synthesize(&code) {
+            Ok(report) => report.protocol,
             Err(e) => panic!("synthesis failed for {}: {e}", code.name()),
         };
         let mut state = Tableau::new(code.num_qubits());
@@ -47,8 +48,10 @@ fn synthesized_prep_circuits_prepare_the_logical_zero_state() {
 #[ignore = "covers the 15- and 16-qubit codes; several minutes of synthesis"]
 fn synthesized_prep_circuits_prepare_the_logical_zero_state_full_catalog() {
     for code in catalog::all() {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default())
-            .unwrap_or_else(|e| panic!("synthesis failed for {}: {e}", code.name()));
+        let protocol = engine()
+            .synthesize(&code)
+            .unwrap_or_else(|e| panic!("synthesis failed for {}: {e}", code.name()))
+            .protocol;
         let mut state = Tableau::new(code.num_qubits());
         run_circuit(&mut state, &protocol.prep.circuit, || false);
         assert!(is_logical_zero_state(&state, &code), "{}", code.name());
@@ -58,7 +61,7 @@ fn synthesized_prep_circuits_prepare_the_logical_zero_state_full_catalog() {
 #[test]
 fn noiseless_execution_leaves_no_residual_and_takes_no_branch() {
     for code in small_codes() {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = engine().synthesize(&code).unwrap().protocol;
         let record = execute(&protocol, &mut NoFaults);
         assert!(record.residual.is_identity(), "{}", code.name());
         assert!(record.branches_taken.iter().all(Option::is_none));
@@ -69,7 +72,7 @@ fn noiseless_execution_leaves_no_residual_and_takes_no_branch() {
 #[test]
 fn verification_measurements_stabilize_the_prepared_state() {
     for code in small_codes() {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = engine().synthesize(&code).unwrap().protocol;
         let context = ZeroStateContext::new(code.clone());
         for layer in &protocol.layers {
             for gadget in &layer.verifications {
@@ -97,10 +100,13 @@ fn verification_measurements_stabilize_the_prepared_state() {
 #[test]
 fn optimal_prep_is_never_worse_than_heuristic() {
     for code in [catalog::steane(), catalog::surface3()] {
-        let heu = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
-        let opt =
-            synthesize_protocol(&code, &SynthesisOptions::with_prep_method(PrepMethod::Optimal))
-                .unwrap();
+        let heu = engine().synthesize(&code).unwrap().protocol;
+        let opt = SynthesisEngine::builder()
+            .prep_method(PrepMethod::Optimal)
+            .build()
+            .synthesize(&code)
+            .unwrap()
+            .protocol;
         assert!(
             opt.prep.cnot_count() <= heu.prep.cnot_count(),
             "{}: optimal prep must not use more CNOTs",
@@ -112,13 +118,17 @@ fn optimal_prep_is_never_worse_than_heuristic() {
 #[test]
 fn metrics_are_consistent_with_the_protocol_structure() {
     for code in small_codes() {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = engine().synthesize(&code).unwrap().protocol;
         let metrics = ProtocolMetrics::from_protocol(&protocol);
         assert_eq!(metrics.layers.len(), protocol.layers.len());
         for (layer_metrics, layer) in metrics.layers.iter().zip(&protocol.layers) {
-            assert_eq!(layer_metrics.verification_ancillas, layer.verifications.len());
             assert_eq!(
-                layer_metrics.correction_ancillas.len() + layer_metrics.hook_correction_ancillas.len(),
+                layer_metrics.verification_ancillas,
+                layer.verifications.len()
+            );
+            assert_eq!(
+                layer_metrics.correction_ancillas.len()
+                    + layer_metrics.hook_correction_ancillas.len(),
                 layer.branches.len()
             );
             let max_branches = (1usize << layer.verifications.len()) - 1;
@@ -141,7 +151,7 @@ fn metrics_are_consistent_with_the_protocol_structure() {
 #[test]
 fn branch_recoveries_act_on_the_branch_sector_only() {
     for code in small_codes() {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = engine().synthesize(&code).unwrap().protocol;
         for layer in &protocol.layers {
             for branch in layer.branches.values() {
                 assert_eq!(branch.recoveries.len(), 1 << branch.measurements.len());

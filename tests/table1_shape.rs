@@ -3,9 +3,7 @@
 //! the paper — which codes need a single verification layer, where flags are
 //! unnecessary, zero-CNOT correction branches, and Global ≤ Opt.
 
-use dftsp::{
-    globally_optimize, synthesize_protocol, GlobalOptions, ProtocolMetrics, SynthesisOptions,
-};
+use dftsp::{ProtocolMetrics, SynthesisEngine};
 use dftsp_code::catalog;
 use dftsp_pauli::PauliKind;
 
@@ -14,7 +12,10 @@ fn steane_row_matches_table_one() {
     // Table I, Steane row: one verification ancilla, three verification
     // CNOTs, no flags, a single correction branch with one ancilla and three
     // CNOTs.
-    let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+    let protocol = SynthesisEngine::default()
+        .synthesize(&catalog::steane())
+        .map(|r| r.protocol)
+        .unwrap();
     let metrics = ProtocolMetrics::from_protocol(&protocol);
     assert_eq!(metrics.layers.len(), 1, "single verification layer");
     let layer = &metrics.layers[0];
@@ -36,8 +37,8 @@ fn every_catalog_code_synthesizes_with_bounded_overhead() {
     // two verification layers, every verification measurement weighs at most
     // the largest stabilizer weight, and branch lists are consistent.
     for code in catalog::all() {
-        let protocol = match synthesize_protocol(&code, &SynthesisOptions::default()) {
-            Ok(p) => p,
+        let protocol = match SynthesisEngine::default().synthesize(&code) {
+            Ok(report) => report.protocol,
             Err(e) => panic!("{}: synthesis failed: {e}", code.name()),
         };
         let metrics = ProtocolMetrics::from_protocol(&protocol);
@@ -46,7 +47,11 @@ fn every_catalog_code_synthesizes_with_bounded_overhead() {
         for layer in &metrics.layers {
             assert!(layer.verification_ancillas >= 1);
             let branches = layer.correction_ancillas.len() + layer.hook_correction_ancillas.len();
-            assert!(branches >= 1, "{}: a verified layer has at least one branch", code.name());
+            assert!(
+                branches >= 1,
+                "{}: a verified layer has at least one branch",
+                code.name()
+            );
             for &ancillas in layer
                 .correction_ancillas
                 .iter()
@@ -63,7 +68,10 @@ fn distance_three_single_logical_qubit_codes_need_one_layer() {
     // Table I: Steane, Shor, Surface and Tetrahedral are handled with a
     // single verification layer (possibly flagged).
     for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = SynthesisEngine::default()
+            .synthesize(&code)
+            .unwrap()
+            .protocol;
         assert!(
             protocol.layers.len() <= 1,
             "{} should need at most one verification layer, got {}",
@@ -79,7 +87,10 @@ fn small_code_branches_need_at_most_two_extra_measurements() {
     // (at most a couple of additional measurements per branch). Check the
     // same bound on the synthesized protocols.
     for code in [catalog::steane(), catalog::surface3(), catalog::shor()] {
-        let protocol = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
+        let protocol = SynthesisEngine::default()
+            .synthesize(&code)
+            .unwrap()
+            .protocol;
         let metrics = ProtocolMetrics::from_protocol(&protocol);
         for layer in &metrics.layers {
             for &ancillas in layer
@@ -87,7 +98,11 @@ fn small_code_branches_need_at_most_two_extra_measurements() {
                 .iter()
                 .chain(&layer.hook_correction_ancillas)
             {
-                assert!(ancillas <= 2, "{}: branch uses {ancillas} measurements", code.name());
+                assert!(
+                    ancillas <= 2,
+                    "{}: branch uses {ancillas} measurements",
+                    code.name()
+                );
             }
         }
     }
@@ -99,7 +114,10 @@ fn zero_cnot_correction_branches_occur_for_larger_codes() {
     // Table I shows zero-CNOT correction branches (w_m = 0): a branch whose
     // errors are all mutually compatible needs only the recovery. Our
     // [[16,2,4]] substitute exhibits the same feature.
-    let protocol = synthesize_protocol(&catalog::code_16_2_4(), &SynthesisOptions::default()).unwrap();
+    let protocol = SynthesisEngine::default()
+        .synthesize(&catalog::code_16_2_4())
+        .map(|r| r.protocol)
+        .unwrap();
     let metrics = ProtocolMetrics::from_protocol(&protocol);
     let found = metrics.layers.iter().any(|layer| {
         layer
@@ -114,8 +132,9 @@ fn zero_cnot_correction_branches_occur_for_larger_codes() {
 #[test]
 fn global_optimization_never_increases_the_expected_cost() {
     for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
-        let baseline = synthesize_protocol(&code, &SynthesisOptions::default()).unwrap();
-        let global = globally_optimize(&code, &GlobalOptions::default()).unwrap();
+        let engine = SynthesisEngine::default();
+        let baseline = engine.synthesize(&code).unwrap().protocol;
+        let global = engine.globally_optimize(&code).unwrap();
         let baseline_cost = ProtocolMetrics::from_protocol(&baseline).expected_cost();
         let global_cost = ProtocolMetrics::from_protocol(&global.protocol).expected_cost();
         assert!(
@@ -132,10 +151,16 @@ fn verification_totals_are_dominated_by_code_size() {
     // verification as the Steane code (checked against the distance-4
     // carbon-code substitute, the largest code in the fast test set).
     let steane = ProtocolMetrics::from_protocol(
-        &synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap(),
+        &SynthesisEngine::default()
+            .synthesize(&catalog::steane())
+            .map(|r| r.protocol)
+            .unwrap(),
     );
     let metrics = ProtocolMetrics::from_protocol(
-        &synthesize_protocol(&catalog::carbon(), &SynthesisOptions::default()).unwrap(),
+        &SynthesisEngine::default()
+            .synthesize(&catalog::carbon())
+            .map(|r| r.protocol)
+            .unwrap(),
     );
     assert!(metrics.total_verification_cnots >= steane.total_verification_cnots);
 }
