@@ -2,17 +2,24 @@
 //! deterministic fault-tolerant state-preparation circuits.
 //!
 //! ```text
-//! cargo run --release -p dftsp-bench --bin table1 [-- --quick] [--code NAME] [--global] [--opt-prep]
+//! cargo run --release -p dftsp-bench --bin table1 [-- --quick] [--code NAME] [--global] [--opt-prep] [--store PATH]
 //! ```
 //!
 //! By default every catalog code is synthesized with the heuristic prep and
 //! per-part optimal verification/correction (the paper's "Heu/Opt"
 //! configuration). `--global` adds the global-optimization column,
 //! `--opt-prep` adds the optimal-prep rows, `--quick` restricts to the three
-//! smallest codes.
+//! smallest codes. `--store PATH` additionally exercises the persistent
+//! JSON report store: the selected codes are synthesized twice against the
+//! store at `PATH` and the cold-vs-warm timings are printed (re-running the
+//! command with the same path starts warm).
 
-use dftsp::PrepMethod;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dftsp::{JsonReportStore, PrepMethod, ReportStore, SynthesisEngine};
 use dftsp_bench::{branch_list, evaluation_codes, quick_codes, synthesize_row, VerificationFlavor};
+use dftsp_code::CssCode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +31,11 @@ fn main() {
         .position(|a| a == "--code")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
+    let store_path = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let codes = if quick {
         quick_codes()
@@ -54,15 +66,19 @@ fn main() {
     );
     println!("{}", "-".repeat(140));
 
-    for code in codes {
-        if let Some(filter) = &code_filter {
-            if !code.name().to_lowercase().contains(filter) {
-                continue;
-            }
-        }
+    let selected: Vec<CssCode> = codes
+        .into_iter()
+        .filter(|code| {
+            code_filter
+                .as_ref()
+                .is_none_or(|filter| code.name().to_lowercase().contains(filter))
+        })
+        .collect();
+
+    for code in &selected {
         for &prep in &prep_methods {
             for &flavor in &flavors {
-                match synthesize_row(&code, prep, flavor) {
+                match synthesize_row(code, prep, flavor) {
                     Ok(row) => print_row(&row),
                     Err(e) => {
                         let (n, k, d) = code.parameters();
@@ -76,6 +92,71 @@ fn main() {
                     }
                 }
             }
+        }
+    }
+
+    if let Some(path) = store_path {
+        run_store_round_trip(&path, &selected, &prep_methods);
+    }
+}
+
+/// Synthesizes the selected codes twice per prep method against the JSON
+/// report store at `path` and prints cold-vs-warm timings. The store keys
+/// include the prep method, so `--opt-prep` rows cache separately. The first
+/// pass is only cold if the store directory does not already hold the
+/// reports — re-running the command with the same path demonstrates the
+/// cross-process warm start.
+fn run_store_round_trip(path: &str, codes: &[CssCode], prep_methods: &[PrepMethod]) {
+    let store = match JsonReportStore::new(path) {
+        Ok(store) => Arc::new(store),
+        Err(e) => {
+            eprintln!("cannot open report store at {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!();
+    println!("Report store round-trip against {path}:");
+    for &prep in prep_methods {
+        let engine = SynthesisEngine::builder()
+            .prep_method(prep)
+            .report_store(store.clone())
+            .build();
+        let mut renderings: Vec<Vec<String>> = Vec::new();
+        for pass in ["first pass", "second pass"] {
+            let hits_before = store.hits();
+            let misses_before = store.misses();
+            let start = Instant::now();
+            let reports = engine.synthesize_all(codes);
+            let elapsed = start.elapsed();
+            let failures = reports.iter().filter(|r| r.is_err()).count();
+            println!(
+                "  {prep} prep, {pass}: {elapsed:>10.2?}  ({} served from store, {} synthesized{})",
+                store.hits() - hits_before,
+                store.misses() - misses_before,
+                if failures > 0 {
+                    format!(", {failures} failed")
+                } else {
+                    String::new()
+                }
+            );
+            renderings.push(
+                reports
+                    .iter()
+                    .flatten()
+                    .map(|report| {
+                        format!(
+                            "{:?}|{:?}|{:?}",
+                            report.protocol.prep, report.protocol.layers, report.stages
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        if renderings[0] == renderings[1] {
+            println!("  {prep} prep: warm reports are bit-identical to the first pass");
+        } else {
+            println!("  {prep} prep: WARNING: warm reports differ from the first pass");
         }
     }
 }

@@ -54,14 +54,15 @@ impl FaultCache {
     }
 }
 
-/// A fingerprint of everything the fault enumeration depends on: the
-/// preparation circuit and the layers (gadgets, flags, branches, recoveries).
+/// Hashes the `Debug` rendering of a value into a 64-bit fingerprint.
 ///
-/// The `Debug` rendering of those structures is a faithful, deterministic
-/// serialization of their content (branch maps are ordered `BTreeMap`s). It
-/// is streamed straight into the hasher — no intermediate string — and costs
-/// microseconds against the milliseconds-to-seconds of one enumeration.
-fn structural_fingerprint(protocol: &DeterministicProtocol) -> u64 {
+/// The `Debug` renderings used with this helper are faithful, deterministic
+/// serializations of their content (maps are ordered `BTreeMap`s, derived
+/// formatting covers every field). The text is streamed straight into the
+/// hasher — no intermediate string — and costs microseconds. Besides the
+/// fault cache below, this backs the code + options fingerprinting of
+/// [`crate::store::ReportKey`].
+pub(crate) fn debug_fingerprint<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
     use std::fmt::Write;
 
     /// Feeds formatted output directly into a [`Hasher`].
@@ -75,14 +76,14 @@ fn structural_fingerprint(protocol: &DeterministicProtocol) -> u64 {
     }
 
     let mut hasher = DefaultHasher::new();
-    write!(
-        HashWriter(&mut hasher),
-        "{:?}|{:?}",
-        protocol.prep.circuit,
-        protocol.layers
-    )
-    .expect("hashing writer never fails");
+    write!(HashWriter(&mut hasher), "{value:?}").expect("hashing writer never fails");
     hasher.finish()
+}
+
+/// A fingerprint of everything the fault enumeration depends on: the
+/// preparation circuit and the layers (gadgets, flags, branches, recoveries).
+fn structural_fingerprint(protocol: &DeterministicProtocol) -> u64 {
+    debug_fingerprint(&(&protocol.prep.circuit, &protocol.layers))
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use dftsp_f2::{BitMatrix, BitVec};
-use dftsp_sat::{Encoder, Lit, SatBackend, SolveResult};
+use dftsp_sat::{BoundedLadder, Encoder, LadderMode, Lit, Model, SatBackend, SolveResult};
 
 use crate::engine::SatSession;
 
@@ -168,35 +168,163 @@ pub fn synthesize_correction_with(
             total_weight: 0,
         });
     }
+    // Syndrome map of the reduction group: a vector lies in the group's row
+    // space iff it is orthogonal to every row of the nullspace basis.
+    let null_basis = problem.reduction.nullspace();
+    // Admissible target syndromes: the zero vector and the syndrome of every
+    // single-qubit error.
+    let k = null_basis.num_rows();
+    let n = problem.measurable.num_cols();
+    let mut targets: Vec<BitVec> = vec![BitVec::zeros(k)];
+    for q in 0..n {
+        let t = null_basis.mul_vec(&BitVec::unit(n, q));
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+
     for u in 0..=options.max_measurements {
-        let unbounded = problem.measurable.num_cols() * u.max(1);
-        if let Some(solution) = solve_correction(session, problem, &errors, u, unbounded, options)?
+        if let Some(solution) =
+            run_correction_ladder(session, problem, &errors, &null_basis, &targets, u, options)?
         {
-            if u == 0 {
-                return Ok(solution);
-            }
-            // Minimize the summed measurement weight. A conflict-budget
-            // interruption here only costs weight optimality — the feasible
-            // solution already in hand is returned rather than failing.
-            let mut lo = u;
-            let mut hi = solution.total_weight;
-            let mut best = solution;
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                match solve_correction(session, problem, &errors, u, mid, options) {
-                    Ok(Some(better)) => {
-                        hi = better.total_weight.min(mid);
-                        best = better;
-                    }
-                    Ok(None) => lo = mid + 1,
-                    Err(CorrectionError::ConflictBudgetExceeded { .. }) => break,
-                    Err(other) => return Err(other),
-                }
-            }
-            return Ok(best);
+            return Ok(solution);
         }
     }
     Err(CorrectionError::BudgetExhausted)
+}
+
+/// Runs the weight-minimization ladder for a fixed additional-measurement
+/// count `u`: one feasibility probe with unbounded weight, a binary search
+/// over the summed-weight bound, and a final canonical extraction solve at
+/// the optimum. Returns `None` when `u` measurements cannot solve the
+/// problem.
+///
+/// Mirrors the verification ladder (see `crate::verify`): in
+/// [`LadderMode::Incremental`] the whole ladder runs on one live solver with
+/// retractable weight bounds, and the canonical extraction makes the result
+/// bit-identical across modes (budget-interrupted ladders return the best
+/// mode-local solution instead, as in the verification ladder).
+fn run_correction_ladder(
+    session: &mut SatSession,
+    problem: &CorrectionProblem,
+    errors: &[BitVec],
+    null_basis: &BitMatrix,
+    targets: &[BitVec],
+    u: usize,
+    options: &CorrectionOptions,
+) -> Result<Option<CorrectionSolution>, CorrectionError> {
+    if u == 0 {
+        // No measurements, no weight to minimize: a single cold probe with
+        // the mode-independent base encoding decides feasibility.
+        return solve_correction_fresh(
+            session, problem, errors, null_basis, targets, 0, 0, options,
+        );
+    }
+    let mut ladder = CorrectionLadder::open(session, problem, errors, null_basis, targets, u);
+    let Some(first) = ladder.probe(
+        session, problem, errors, null_basis, targets, u, None, options,
+    )?
+    else {
+        return Ok(None);
+    };
+    // Minimize the summed measurement weight. A conflict-budget interruption
+    // here only costs weight optimality — the feasible solution already in
+    // hand is returned rather than failing.
+    let w0 = first.total_weight;
+    // Every probed bound lies strictly below w0.
+    ladder.prepare_bounds(w0);
+    let mut lo = u;
+    let mut hi = w0;
+    let mut best = first.clone();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match ladder.probe(
+            session,
+            problem,
+            errors,
+            null_basis,
+            targets,
+            u,
+            Some(mid),
+            options,
+        ) {
+            Ok(Some(better)) => {
+                hi = better.total_weight.min(mid);
+                best = better;
+            }
+            Ok(None) => lo = mid + 1,
+            Err(CorrectionError::ConflictBudgetExceeded { .. }) => return Ok(Some(best)),
+            Err(other) => return Err(other),
+        }
+    }
+    if hi == w0 {
+        // The unbounded probe was already optimal and ran on a cold solver.
+        return Ok(Some(first));
+    }
+    // Canonical extraction at the proven optimum (see `crate::verify`).
+    match solve_correction_fresh(
+        session, problem, errors, null_basis, targets, u, hi, options,
+    ) {
+        Ok(Some(solution)) => Ok(Some(solution)),
+        Ok(None) => Ok(Some(best)),
+        Err(CorrectionError::ConflictBudgetExceeded { .. }) => Ok(Some(best)),
+        Err(other) => Err(other),
+    }
+}
+
+/// One (u, ·) correction ladder: either a live incremental session or the
+/// fresh-backend-per-probe configuration.
+enum CorrectionLadder {
+    Warm(Box<WarmCorrectionLadder>),
+    Fresh,
+}
+
+impl CorrectionLadder {
+    fn open(
+        session: &SatSession,
+        problem: &CorrectionProblem,
+        errors: &[BitVec],
+        null_basis: &BitMatrix,
+        targets: &[BitVec],
+        u: usize,
+    ) -> Self {
+        match session.mode() {
+            LadderMode::Incremental => CorrectionLadder::Warm(Box::new(
+                WarmCorrectionLadder::open(session, problem, errors, null_basis, targets, u),
+            )),
+            LadderMode::Fresh => CorrectionLadder::Fresh,
+        }
+    }
+
+    /// Sizes the warm ladder's cardinality counter so every bound below
+    /// `width` can be assumed (no-op for fresh probes, which re-encode).
+    fn prepare_bounds(&mut self, width: usize) {
+        if let CorrectionLadder::Warm(warm) = self {
+            warm.prepare_bounds(width);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &mut self,
+        session: &mut SatSession,
+        problem: &CorrectionProblem,
+        errors: &[BitVec],
+        null_basis: &BitMatrix,
+        targets: &[BitVec],
+        u: usize,
+        bound: Option<usize>,
+        options: &CorrectionOptions,
+    ) -> Result<Option<CorrectionSolution>, CorrectionError> {
+        match self {
+            CorrectionLadder::Warm(warm) => warm.probe(session, errors, bound, options),
+            CorrectionLadder::Fresh => {
+                // An effectively unbounded weight makes `at_most_k` a no-op.
+                let v = bound.unwrap_or(problem.measurable.num_cols() * u);
+                solve_correction_fresh(session, problem, errors, null_basis, targets, u, v, options)
+            }
+        }
+    }
 }
 
 /// Removes exact duplicates from the error set. Errors of weight ≤ 1 are
@@ -213,33 +341,29 @@ fn dedupe_errors(errors: &[BitVec]) -> Vec<BitVec> {
     out
 }
 
-/// Solves one `(u, v)` instance of the correction-synthesis decision problem.
-fn solve_correction(
-    session: &mut SatSession,
+/// Selector, support and recovery literals of one `u`-measurement correction
+/// encoding (everything except the weight bound, which the ladders install
+/// separately — unguarded on fresh backends, guarded and retractable on
+/// incremental sessions).
+struct CorrectionEncoding {
+    support_lits: Vec<Vec<Lit>>,
+    all_supports: Vec<Lit>,
+    recoveries: Vec<Vec<Lit>>,
+}
+
+/// Encodes the weight-independent part of one `(u, ·)` correction instance.
+fn encode_correction_base(
+    solver: &mut dyn SatBackend,
     problem: &CorrectionProblem,
     errors: &[BitVec],
+    null_basis: &BitMatrix,
+    targets: &[BitVec],
     u: usize,
-    v: usize,
-    options: &CorrectionOptions,
-) -> Result<Option<CorrectionSolution>, CorrectionError> {
+) -> CorrectionEncoding {
     let m = problem.measurable.num_rows();
     let n = problem.measurable.num_cols();
-    // Syndrome map of the reduction group: a vector lies in the group's row
-    // space iff it is orthogonal to every row of the nullspace basis.
-    let null_basis = problem.reduction.nullspace();
     let k = null_basis.num_rows();
-    // Admissible target syndromes: the zero vector and the syndrome of every
-    // single-qubit error.
-    let mut targets: Vec<BitVec> = vec![BitVec::zeros(k)];
-    for q in 0..n {
-        let t = null_basis.mul_vec(&BitVec::unit(n, q));
-        if !targets.contains(&t) {
-            targets.push(t);
-        }
-    }
 
-    let mut solver = session.instance();
-    let mut solver = solver.as_mut();
     // Measurement selector variables.
     let selectors: Vec<Vec<Lit>> = (0..u)
         .map(|_| (0..m).map(|_| Lit::pos(solver.new_var())).collect())
@@ -252,9 +376,9 @@ fn solve_correction(
 
     let mut support_lits: Vec<Vec<Lit>> = Vec::with_capacity(u);
     {
-        let mut enc = Encoder::new(&mut solver);
+        let mut enc = Encoder::new(&mut *solver);
 
-        // Measurement supports and weight bound.
+        // Measurement supports.
         for row in &selectors {
             let mut supports = Vec::with_capacity(n);
             for q in 0..n {
@@ -266,13 +390,9 @@ fn solve_correction(
             }
             support_lits.push(supports);
         }
-        if u > 0 {
-            let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
-            enc.at_most_k(&all_supports, v);
-            // Each additional measurement must be non-trivial.
-            for supports in &support_lits {
-                enc.solver().add_clause(supports);
-            }
+        // Each additional measurement must be non-trivial.
+        for supports in &support_lits {
+            enc.solver().add_clause(supports);
         }
 
         // Reduction-group syndrome parities of each recovery.
@@ -323,7 +443,7 @@ fn solve_correction(
                 // its reduction-group syndrome equals one of the admissible
                 // targets.
                 let mut alternatives = Vec::with_capacity(targets.len());
-                for target in &targets {
+                for target in targets {
                     let pattern: Vec<u8> = (0..k)
                         .map(|row| u8::from(error_null.get(row) ^ target.get(row)))
                         .collect();
@@ -355,19 +475,24 @@ fn solve_correction(
         }
     }
 
-    match session.solve(solver, options.max_conflicts) {
-        Some(SolveResult::Sat) => {}
-        Some(SolveResult::Unsat) => return Ok(None),
-        None => {
-            return Err(CorrectionError::ConflictBudgetExceeded {
-                max_conflicts: options.max_conflicts.unwrap_or(0),
-            })
-        }
+    let all_supports = support_lits.iter().flatten().copied().collect();
+    CorrectionEncoding {
+        support_lits,
+        all_supports,
+        recoveries,
     }
-    let model = solver.model().expect("SAT result has a model").clone();
-    let mut measurements = Vec::with_capacity(u);
+}
+
+/// Reads the measurements and recoveries off a satisfying model.
+fn extract_correction_solution(
+    model: &Model,
+    encoding: &CorrectionEncoding,
+    errors: &[BitVec],
+    n: usize,
+) -> CorrectionSolution {
+    let mut measurements = Vec::with_capacity(encoding.support_lits.len());
     let mut total_weight = 0;
-    for supports in &support_lits {
+    for supports in &encoding.support_lits {
         let mut support = BitVec::zeros(n);
         for (q, &lit) in supports.iter().enumerate() {
             if model.lit_value(lit) {
@@ -379,7 +504,7 @@ fn solve_correction(
     }
     // Outcomes that no error of this branch can produce keep the identity
     // recovery instead of whatever the solver happened to assign.
-    let mut reachable = vec![false; num_outcomes];
+    let mut reachable = vec![false; encoding.recoveries.len()];
     for error in errors {
         let mut outcome = 0usize;
         for (i, s) in measurements.iter().enumerate() {
@@ -389,7 +514,8 @@ fn solve_correction(
         }
         reachable[outcome] = true;
     }
-    let recoveries: Vec<BitVec> = recoveries
+    let recoveries: Vec<BitVec> = encoding
+        .recoveries
         .iter()
         .enumerate()
         .map(|(y, bits)| {
@@ -405,11 +531,112 @@ fn solve_correction(
             r
         })
         .collect();
-    Ok(Some(CorrectionSolution {
+    CorrectionSolution {
         measurements,
         recoveries,
         total_weight,
-    }))
+    }
+}
+
+/// Solves one `(u, v)` instance of the correction-synthesis decision problem
+/// on a fresh backend.
+#[allow(clippy::too_many_arguments)]
+fn solve_correction_fresh(
+    session: &mut SatSession,
+    problem: &CorrectionProblem,
+    errors: &[BitVec],
+    null_basis: &BitMatrix,
+    targets: &[BitVec],
+    u: usize,
+    v: usize,
+    options: &CorrectionOptions,
+) -> Result<Option<CorrectionSolution>, CorrectionError> {
+    let n = problem.measurable.num_cols();
+    let mut solver = session.instance();
+    let solver = solver.as_mut();
+    let encoding = encode_correction_base(solver, problem, errors, null_basis, targets, u);
+    if u > 0 {
+        Encoder::new(&mut *solver).at_most_k(&encoding.all_supports, v);
+    }
+    match session.solve(solver, options.max_conflicts) {
+        Some(SolveResult::Sat) => {}
+        Some(SolveResult::Unsat) => return Ok(None),
+        None => {
+            return Err(CorrectionError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            })
+        }
+    }
+    let model = solver.model().expect("SAT result has a model");
+    Ok(Some(extract_correction_solution(
+        model, &encoding, errors, n,
+    )))
+}
+
+/// The warm half of a [`CorrectionLadder`]: the base encoding on a live
+/// [`BoundedLadder`], which owns the retractable-bound bookkeeping.
+struct WarmCorrectionLadder {
+    ladder: BoundedLadder<Box<dyn SatBackend>>,
+    encoding: CorrectionEncoding,
+    num_qubits: usize,
+}
+
+impl WarmCorrectionLadder {
+    fn open(
+        session: &SatSession,
+        problem: &CorrectionProblem,
+        errors: &[BitVec],
+        null_basis: &BitMatrix,
+        targets: &[BitVec],
+        u: usize,
+    ) -> Self {
+        let mut incremental = session.incremental();
+        let encoding = encode_correction_base(
+            incremental.backend_mut().as_mut(),
+            problem,
+            errors,
+            null_basis,
+            targets,
+            u,
+        );
+        let all_supports = encoding.all_supports.clone();
+        WarmCorrectionLadder {
+            ladder: BoundedLadder::new(incremental, all_supports),
+            encoding,
+            num_qubits: problem.measurable.num_cols(),
+        }
+    }
+
+    fn prepare_bounds(&mut self, width: usize) {
+        self.ladder.prepare_bounds(width);
+    }
+
+    fn probe(
+        &mut self,
+        session: &mut SatSession,
+        errors: &[BitVec],
+        bound: Option<usize>,
+        options: &CorrectionOptions,
+    ) -> Result<Option<CorrectionSolution>, CorrectionError> {
+        if let Some(v) = bound {
+            self.ladder.set_bound(v);
+        }
+        match session.solve_incremental(self.ladder.session_mut(), options.max_conflicts) {
+            Some(SolveResult::Sat) => {
+                let model = self.ladder.model().expect("SAT result has a model");
+                Ok(Some(extract_correction_solution(
+                    model,
+                    &self.encoding,
+                    errors,
+                    self.num_qubits,
+                )))
+            }
+            Some(SolveResult::Unsat) => Ok(None),
+            None => Err(CorrectionError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            }),
+        }
+    }
 }
 
 /// Checks that a correction solution actually handles every error of a

@@ -12,23 +12,31 @@
 //! * [`SynthesisEngine::globally_optimize`] — the paper's global
 //!   optimization over all minimal verification circuits.
 //!
-//! All SAT-driven steps run through a [`SatSession`], which instantiates the
-//! chosen [`BackendChoice`] per query and accumulates [`SatStats`], and share
-//! a [`FaultCache`] so the exhaustive single-fault enumeration is not
-//! repeated for unchanged partial protocols.
+//! All SAT-driven steps run through a [`SatSession`], which selects the
+//! [`BackendChoice`] and the [`LadderMode`] and accumulates [`SatStats`].
+//! With the default incremental mode each optimization ladder keeps one live
+//! solver (see [`IncrementalSession`]) so learned clauses survive between
+//! cardinality bounds; per-ladder reuse shows up as
+//! [`SatStats::warm_queries`] and [`SatStats::retained_clauses`] in the
+//! report. The steps share a [`FaultCache`] so the exhaustive single-fault
+//! enumeration is not repeated for unchanged partial protocols, and an
+//! optional [`ReportStore`] ([`EngineBuilder::report_store`]) serves repeat
+//! catalog requests without any solving at all.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dftsp_code::CssCode;
 use dftsp_pauli::PauliKind;
-use dftsp_sat::{BackendChoice, SatBackend, SolveResult};
+use dftsp_sat::{BackendChoice, IncrementalSession, LadderMode, SatBackend, SolveResult};
 
 use crate::cache::FaultCache;
 use crate::global::GlobalResult;
 use crate::metrics::ProtocolMetrics;
 use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
 use crate::protocol::DeterministicProtocol;
+use crate::store::{ReportKey, ReportStore};
 use crate::synthesis::{
     attach_correction_branches_with, build_layer_from_verification, dangerous_errors_from_records,
     FlagPolicy, SynthesisError, SynthesisOptions,
@@ -57,10 +65,19 @@ pub struct SatStats {
     pub learned_clauses: u64,
     /// Total restarts across all queries.
     pub restarts: u64,
-    /// Total variables across all query formulas.
+    /// Total variables across all query formulas. Incremental ladders count
+    /// each variable once; the fresh-backend path re-counts the full formula
+    /// per query.
     pub variables: u64,
-    /// Total clauses across all query formulas.
+    /// Total clauses across all query formulas (same counting convention as
+    /// [`SatStats::variables`]).
     pub clauses: u64,
+    /// Queries answered on a warm solver, i.e. on an incremental session that
+    /// had already solved at least once (always 0 on the fresh-backend path).
+    pub warm_queries: u64,
+    /// Clauses (original + learned) already present when warm queries
+    /// started — the encoding and learning work the ladder did not redo.
+    pub retained_clauses: u64,
 }
 
 impl SatStats {
@@ -77,6 +94,8 @@ impl SatStats {
         self.restarts += other.restarts;
         self.variables += other.variables;
         self.clauses += other.clauses;
+        self.warm_queries += other.warm_queries;
+        self.retained_clauses += other.retained_clauses;
     }
 }
 
@@ -84,13 +103,15 @@ impl std::fmt::Display for SatStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "calls={} (sat={} unsat={} interrupted={}) vars={} clauses={} conflicts={} decisions={} propagations={}",
+            "calls={} (sat={} unsat={} interrupted={} warm={}) vars={} clauses={} retained={} conflicts={} decisions={} propagations={}",
             self.calls,
             self.sat,
             self.unsat,
             self.interrupted,
+            self.warm_queries,
             self.variables,
             self.clauses,
+            self.retained_clauses,
             self.conflicts,
             self.decisions,
             self.propagations,
@@ -98,23 +119,35 @@ impl std::fmt::Display for SatStats {
     }
 }
 
-/// A SAT-solving session: instantiates the configured backend per query and
-/// accumulates statistics across queries.
+/// A SAT-solving session: selects the backend and ladder mode for the
+/// SAT-driven synthesis steps and accumulates statistics across queries.
 ///
 /// The SAT-driven synthesis steps ([`crate::verify`], [`crate::correct`])
 /// take a session instead of constructing a hard-wired solver, which is what
-/// makes the solver pluggable end to end.
+/// makes the solver pluggable end to end. With the default
+/// [`LadderMode::Incremental`], each optimization ladder opens one
+/// [`IncrementalSession`] ([`SatSession::incremental`]) and answers its
+/// bound-tightening queries on the warm solver; with [`LadderMode::Fresh`]
+/// every query instantiates its own backend ([`SatSession::instance`]).
 #[derive(Debug, Clone, Default)]
 pub struct SatSession {
     choice: BackendChoice,
+    mode: LadderMode,
     stats: SatStats,
 }
 
 impl SatSession {
-    /// A session using the given backend.
+    /// A session using the given backend and the default (incremental)
+    /// ladder mode.
     pub fn new(choice: BackendChoice) -> Self {
+        SatSession::with_mode(choice, LadderMode::default())
+    }
+
+    /// A session using the given backend and ladder mode.
+    pub fn with_mode(choice: BackendChoice, mode: LadderMode) -> Self {
         SatSession {
             choice,
+            mode,
             stats: SatStats::default(),
         }
     }
@@ -124,9 +157,62 @@ impl SatSession {
         self.choice
     }
 
+    /// The configured ladder mode.
+    pub fn mode(&self) -> LadderMode {
+        self.mode
+    }
+
     /// Instantiates a fresh backend for one encoding/query round.
+    ///
+    /// This allocates a new boxed solver; ladders should call it once per
+    /// ladder (via [`SatSession::incremental`]) rather than once per query —
+    /// the fresh-backend path only keeps per-query instantiation because full
+    /// query independence is its purpose.
     pub fn instance(&self) -> Box<dyn SatBackend> {
         self.choice.instantiate()
+    }
+
+    /// Opens an incremental session on one freshly instantiated backend, to
+    /// be reused for a whole optimization ladder.
+    pub fn incremental(&self) -> IncrementalSession<Box<dyn SatBackend>> {
+        IncrementalSession::new(self.instance())
+    }
+
+    /// Solves an incremental session under its active guards, recording the
+    /// query (with warm/cold attribution and per-query statistics deltas) in
+    /// the session statistics. Returns `None` when the budget was exhausted.
+    pub fn solve_incremental(
+        &mut self,
+        incremental: &mut IncrementalSession<Box<dyn SatBackend>>,
+        max_conflicts: Option<u64>,
+    ) -> Option<SolveResult> {
+        let warm = incremental.queries() > 0;
+        let before = incremental.stats();
+        let clauses_before = incremental.num_clauses();
+        let result = incremental.solve(max_conflicts);
+        let after = incremental.stats();
+
+        self.stats.calls += 1;
+        match result {
+            Some(SolveResult::Sat) => self.stats.sat += 1,
+            Some(SolveResult::Unsat) => self.stats.unsat += 1,
+            None => self.stats.interrupted += 1,
+        }
+        self.stats.decisions += after.decisions - before.decisions;
+        self.stats.propagations += after.propagations - before.propagations;
+        self.stats.conflicts += after.conflicts - before.conflicts;
+        self.stats.learned_clauses += after.learned_clauses - before.learned_clauses;
+        self.stats.restarts += after.restarts - before.restarts;
+        // Count each variable and clause of the live session exactly once;
+        // warm queries additionally credit the clauses they did not rebuild.
+        let (new_vars, new_clauses) = incremental.formula_growth();
+        self.stats.variables += new_vars as u64;
+        self.stats.clauses += new_clauses as u64;
+        if warm {
+            self.stats.warm_queries += 1;
+            self.stats.retained_clauses += clauses_before as u64;
+        }
+        result
     }
 
     /// Solves `backend` (optionally under a conflict budget), recording the
@@ -310,6 +396,8 @@ impl GlobalReport {
 pub struct EngineBuilder {
     options: SynthesisOptions,
     solver: BackendChoice,
+    ladder: LadderMode,
+    store: Option<Arc<dyn ReportStore>>,
     threads: Option<usize>,
 }
 
@@ -391,6 +479,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects how the optimization ladders drive the solver: incremental
+    /// sessions with guarded, retractable bounds (the default), or a fresh
+    /// backend per query for cross-checking.
+    pub fn ladder_mode(mut self, mode: LadderMode) -> Self {
+        self.ladder = mode;
+        self
+    }
+
+    /// Attaches a persistent [`ReportStore`]: `synthesize`/`synthesize_all`
+    /// consult it (keyed by code + configuration fingerprint) before solving
+    /// and persist fresh reports after, so repeat catalog requests are served
+    /// without SAT work.
+    pub fn report_store(mut self, store: Arc<dyn ReportStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Sets the worker-thread count of [`SynthesisEngine::synthesize_all`]
     /// (defaults to the available hardware parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
@@ -406,6 +511,8 @@ impl EngineBuilder {
         SynthesisEngine {
             options: self.options,
             solver: self.solver,
+            ladder: self.ladder,
+            store: self.store,
             threads,
         }
     }
@@ -430,6 +537,8 @@ impl EngineBuilder {
 pub struct SynthesisEngine {
     options: SynthesisOptions,
     solver: BackendChoice,
+    ladder: LadderMode,
+    store: Option<Arc<dyn ReportStore>>,
     threads: usize,
 }
 
@@ -460,6 +569,22 @@ impl SynthesisEngine {
         self.solver
     }
 
+    /// The configured ladder mode.
+    pub fn ladder_mode(&self) -> LadderMode {
+        self.ladder
+    }
+
+    /// The attached report store, if any.
+    pub fn report_store(&self) -> Option<&Arc<dyn ReportStore>> {
+        self.store.as_ref()
+    }
+
+    /// The store key identifying `code` under this engine's configuration
+    /// (synthesis options, backend and ladder mode).
+    pub fn report_key(&self, code: &CssCode) -> ReportKey {
+        ReportKey::new(code, &self.options, self.solver, self.ladder)
+    }
+
     /// The worker-thread count used by [`SynthesisEngine::synthesize_all`].
     pub fn threads(&self) -> usize {
         self.threads
@@ -468,11 +593,30 @@ impl SynthesisEngine {
     /// Synthesizes the complete deterministic protocol for `|0…0⟩_L` of the
     /// given code.
     ///
+    /// With a [`ReportStore`] attached, the store is consulted first (a hit
+    /// returns the persisted report without any SAT work) and fresh reports
+    /// are persisted after synthesis.
+    ///
     /// # Errors
     ///
     /// Returns a [`SynthesisError`] if verification or correction synthesis
     /// fails (undetectable error, measurement budget, or conflict budget).
     pub fn synthesize(&self, code: &CssCode) -> Result<SynthesisReport, SynthesisError> {
+        let Some(store) = &self.store else {
+            return self.synthesize_uncached(code);
+        };
+        let key = self.report_key(code);
+        if let Some(report) = store.load(&key, code) {
+            return Ok(report);
+        }
+        let report = self.synthesize_uncached(code)?;
+        store.save(&key, &report);
+        Ok(report)
+    }
+
+    /// [`SynthesisEngine::synthesize`] without consulting or updating the
+    /// attached [`ReportStore`].
+    pub fn synthesize_uncached(&self, code: &CssCode) -> Result<SynthesisReport, SynthesisError> {
         let start = Instant::now();
         let (prep, prep_stage) = self.prep_stage(code);
         self.run_pipeline(code, prep, start, vec![prep_stage])
@@ -541,7 +685,7 @@ impl SynthesisEngine {
             let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
 
             let verify_start = Instant::now();
-            let mut verify_session = SatSession::new(self.solver);
+            let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
             let dangerous = {
                 let records = cache.records(&protocol);
                 dangerous_errors_from_records(&protocol.context, records, error_kind)
@@ -572,7 +716,7 @@ impl SynthesisEngine {
             });
 
             let correct_start = Instant::now();
-            let mut correct_session = SatSession::new(self.solver);
+            let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
             let branches = attach_correction_branches_with(
                 &mut protocol,
                 &self.options,
@@ -655,7 +799,7 @@ impl SynthesisEngine {
             let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
 
             let verify_start = Instant::now();
-            let mut verify_session = SatSession::new(self.solver);
+            let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
             let dangerous = {
                 let records = cache.records(&protocol);
                 dangerous_errors_from_records(&protocol.context, records, error_kind)
@@ -679,7 +823,7 @@ impl SynthesisEngine {
             });
 
             let correct_start = Instant::now();
-            let mut correct_session = SatSession::new(self.solver);
+            let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
             let mut best: Option<(f64, DeterministicProtocol)> = None;
             for candidate in &candidates {
                 let mut trial = protocol.clone();

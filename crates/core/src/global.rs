@@ -8,9 +8,15 @@
 //! cost.
 //!
 //! The implementation lives in [`crate::SynthesisEngine::globally_optimize`];
-//! this module keeps the classic free-function entry point.
+//! this module keeps the classic free-function entry point. All SAT work —
+//! the per-layer (u, v) ladders and the enumeration of equivalent minimal
+//! verifications — runs through the engine's [`crate::SatSession`]s, so it
+//! honours the configured [`LadderMode`]: with the default incremental mode
+//! the whole enumeration of one layer shares a single live solver and each
+//! found candidate only adds its blocking clauses.
 
 use dftsp_code::CssCode;
+use dftsp_sat::LadderMode;
 
 use crate::engine::SynthesisEngine;
 use crate::protocol::DeterministicProtocol;
@@ -23,6 +29,9 @@ pub struct GlobalOptions {
     /// `enumeration_cap` bounds how many equivalent verifications are
     /// explored per layer).
     pub synthesis: SynthesisOptions,
+    /// How the SAT ladders drive the solver (incremental sessions by
+    /// default; the fresh-backend path remains available for cross-checks).
+    pub ladder: LadderMode,
 }
 
 /// Result of the global optimization: the best protocol found and how many
@@ -62,7 +71,10 @@ pub fn globally_optimize(
     code: &CssCode,
     options: &GlobalOptions,
 ) -> Result<GlobalResult, SynthesisError> {
-    SynthesisEngine::with_options(options.synthesis.clone())
+    SynthesisEngine::builder()
+        .options(options.synthesis.clone())
+        .ladder_mode(options.ladder)
+        .build()
         .globally_optimize(code)
         .map(crate::engine::GlobalReport::into_result)
 }

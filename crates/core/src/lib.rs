@@ -18,15 +18,23 @@
 //!
 //! The public API is the [`SynthesisEngine`]: a session object configured via
 //! [`EngineBuilder`] (preparation method, flag policy, measurement and SAT
-//! conflict budgets, pluggable SAT backend, worker threads) whose
-//! [`synthesize`](SynthesisEngine::synthesize) runs the full pipeline and
-//! returns a [`SynthesisReport`] — the protocol plus per-stage SAT
-//! statistics, timings and branch counts. Whole code catalogs batch through
-//! [`synthesize_all`](SynthesisEngine::synthesize_all) on worker threads, and
-//! [`globally_optimize`](SynthesisEngine::globally_optimize) explores all
-//! equivalent minimal verification circuits. The classic free functions
-//! ([`synthesize_protocol`], [`globally_optimize`](crate::globally_optimize))
-//! remain as thin wrappers.
+//! conflict budgets, pluggable SAT backend, ladder mode, report store, worker
+//! threads) whose [`synthesize`](SynthesisEngine::synthesize) runs the full
+//! pipeline and returns a [`SynthesisReport`] — the protocol plus per-stage
+//! SAT statistics, timings and branch counts. Whole code catalogs batch
+//! through [`synthesize_all`](SynthesisEngine::synthesize_all) on worker
+//! threads, and [`globally_optimize`](SynthesisEngine::globally_optimize)
+//! explores all equivalent minimal verification circuits. The classic free
+//! functions ([`synthesize_protocol`],
+//! [`globally_optimize`](crate::globally_optimize)) remain as thin wrappers.
+//!
+//! Two layers of reuse make the engine fit for repeat traffic: the SAT
+//! optimization ladders run on long-lived incremental solver sessions with
+//! guarded, retractable cardinality bounds ([`LadderMode`]; the
+//! fresh-backend-per-query path remains available for cross-checking), and a
+//! persistent [`ReportStore`] ([`MemoryReportStore`] in-process,
+//! [`JsonReportStore`] on disk) serves previously synthesized reports
+//! bit-identically without any solving.
 //!
 //! The synthesized [`DeterministicProtocol`] can be executed under arbitrary
 //! circuit-level fault models ([`execute`]), checked exhaustively against the
@@ -67,10 +75,12 @@ mod engine;
 pub mod ftcheck;
 pub mod gadget;
 pub mod global;
+mod json;
 pub mod metrics;
 mod perm;
 pub mod prep;
 pub mod protocol;
+pub mod store;
 pub mod synthesis;
 pub mod verify;
 
@@ -90,12 +100,13 @@ pub use protocol::{
     execute, BranchKey, CorrectionBranch, DeterministicProtocol, ExecutionRecord, FaultModel,
     NoFaults, SegmentId, SingleFault, VerificationLayer,
 };
+pub use store::{JsonReportStore, MemoryReportStore, ReportKey, ReportStore};
 pub use synthesis::{
     synthesize_protocol, synthesize_protocol_with_prep, FlagPolicy, SynthesisError,
     SynthesisOptions,
 };
 pub use verify::{VerificationOptions, VerificationSolution};
 
-// Re-exported so downstream callers can select a backend without depending on
-// `dftsp-sat` directly.
-pub use dftsp_sat::BackendChoice;
+// Re-exported so downstream callers can select a backend and ladder mode
+// without depending on `dftsp-sat` directly.
+pub use dftsp_sat::{BackendChoice, LadderMode};

@@ -1,0 +1,773 @@
+//! Persistent report stores: serve repeat synthesis requests from a cache.
+//!
+//! Synthesizing a protocol is expensive (SAT ladders plus exhaustive fault
+//! enumeration) while the result is a pure function of the code and the
+//! engine configuration. The [`ReportStore`] trait captures that seam: the
+//! engine consults the store (keyed by a [`ReportKey`] — a structural
+//! fingerprint of code, options, backend and ladder mode) before solving and
+//! persists fresh reports after, turning [`crate::SynthesisEngine`] into a
+//! cache-fronted service for repeat catalog traffic. This generalizes the
+//! in-run [`crate::FaultCache`] fingerprinting to cross-run persistence.
+//!
+//! Two implementations ship in-tree:
+//!
+//! * [`MemoryReportStore`] — a thread-safe in-process map, for serving many
+//!   requests from one long-lived engine;
+//! * [`JsonReportStore`] — one JSON file per key in a directory, for warm
+//!   starts across process restarts (the offline `serde` shim performs no
+//!   serialization, so the codec is the hand-rolled [`crate::json`] module).
+//!
+//! A loaded report is bit-identical to the stored one: the protocol, the
+//! per-stage statistics and the recorded timings all round-trip exactly.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dftsp_circuit::{Circuit, Gate};
+use dftsp_code::CssCode;
+use dftsp_f2::BitVec;
+use dftsp_pauli::PauliKind;
+use dftsp_sat::{BackendChoice, LadderMode};
+
+use crate::cache::debug_fingerprint;
+use crate::engine::{SatStats, Stage, StageReport, SynthesisReport};
+use crate::gadget::MeasurementGadget;
+use crate::json::Json;
+use crate::prep::{PrepCircuit, PrepMethod};
+use crate::protocol::{BranchKey, CorrectionBranch, DeterministicProtocol, VerificationLayer};
+use crate::synthesis::SynthesisOptions;
+use crate::ZeroStateContext;
+
+/// Bumped whenever the on-disk format or the meaning of a fingerprint
+/// changes, so stale cache entries miss instead of deserializing wrongly.
+const FORMAT_VERSION: u64 = 1;
+
+/// Identifies one synthesis result: the code plus a fingerprint of
+/// everything the result depends on (code structure, synthesis options, SAT
+/// backend and ladder mode).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReportKey {
+    /// Name of the code (kept readable for file names and diagnostics).
+    pub code_name: String,
+    /// Structural fingerprint of code + configuration.
+    pub fingerprint: u64,
+}
+
+impl ReportKey {
+    /// Builds the key for `code` under the given engine configuration.
+    pub fn new(
+        code: &CssCode,
+        options: &SynthesisOptions,
+        solver: BackendChoice,
+        ladder: LadderMode,
+    ) -> Self {
+        let fingerprint = debug_fingerprint(&(
+            FORMAT_VERSION,
+            code.name(),
+            code.parameters(),
+            code.stabilizers(PauliKind::X),
+            code.stabilizers(PauliKind::Z),
+            code.logicals(PauliKind::X),
+            code.logicals(PauliKind::Z),
+            options,
+            solver,
+            ladder,
+        ));
+        ReportKey {
+            code_name: code.name().to_string(),
+            fingerprint,
+        }
+    }
+
+    /// A file-system-safe name for this key.
+    pub fn file_name(&self) -> String {
+        let safe: String = self
+            .code_name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("{safe}-{:016x}.json", self.fingerprint)
+    }
+}
+
+/// A persistent cache of [`SynthesisReport`]s keyed by [`ReportKey`].
+///
+/// Implementations must be thread-safe: [`crate::SynthesisEngine::synthesize_all`]
+/// consults the store from its worker threads.
+pub trait ReportStore: Send + Sync + std::fmt::Debug {
+    /// Returns the stored report for `key`, if any. `code` is the code the
+    /// key was built from; implementations that persist externally use it to
+    /// reconstruct the parts of a report that are derivable from the code.
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport>;
+
+    /// Persists a freshly synthesized report under `key`.
+    fn save(&self, key: &ReportKey, report: &SynthesisReport);
+
+    /// Number of lookups answered from the store.
+    fn hits(&self) -> u64;
+
+    /// Number of lookups that missed.
+    fn misses(&self) -> u64;
+}
+
+/// Thread-safe in-memory [`ReportStore`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dftsp::{MemoryReportStore, ReportStore, SynthesisEngine};
+/// use dftsp_code::catalog;
+///
+/// let store = Arc::new(MemoryReportStore::new());
+/// let engine = SynthesisEngine::builder().report_store(store.clone()).build();
+/// let first = engine.synthesize(&catalog::steane())?;
+/// let second = engine.synthesize(&catalog::steane())?; // served from the store
+/// assert_eq!(store.hits(), 1);
+/// assert_eq!(format!("{:?}", first.protocol.layers), format!("{:?}", second.protocol.layers));
+/// # Ok::<(), dftsp::SynthesisError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryReportStore {
+    reports: Mutex<HashMap<ReportKey, SynthesisReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoryReportStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryReportStore::default()
+    }
+
+    /// Number of stored reports.
+    pub fn len(&self) -> usize {
+        self.reports.lock().expect("store lock poisoned").len()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ReportStore for MemoryReportStore {
+    fn load(&self, key: &ReportKey, _code: &CssCode) -> Option<SynthesisReport> {
+        let report = self
+            .reports
+            .lock()
+            .expect("store lock poisoned")
+            .get(key)
+            .cloned();
+        match &report {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        report
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        self.reports
+            .lock()
+            .expect("store lock poisoned")
+            .insert(key.clone(), report.clone());
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Directory-backed [`ReportStore`]: one JSON file per key.
+///
+/// Reports survive process restarts; a second run of the same catalog serves
+/// every request from disk without SAT work. Unreadable or stale-format
+/// files are treated as misses and overwritten on the next save.
+#[derive(Debug)]
+pub struct JsonReportStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl JsonReportStore {
+    /// Opens (and creates if necessary) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(JsonReportStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory the store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: &ReportKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+}
+
+impl ReportStore for JsonReportStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let report = std::fs::read_to_string(self.path(key))
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|json| report_from_json(&json, code).ok());
+        match &report {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        report
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        let text = report_to_json(report).to_text();
+        if let Err(e) = std::fs::write(self.path(key), text) {
+            eprintln!(
+                "warning: report store failed to persist {}: {e}",
+                self.path(key).display()
+            );
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialization of reports.
+// ---------------------------------------------------------------------------
+
+fn kind_to_json(kind: PauliKind) -> Json {
+    Json::Str(
+        match kind {
+            PauliKind::X => "X",
+            PauliKind::Z => "Z",
+        }
+        .to_string(),
+    )
+}
+
+fn kind_from_json(json: &Json) -> Result<PauliKind, String> {
+    match json.as_str() {
+        Some("X") => Ok(PauliKind::X),
+        Some("Z") => Ok(PauliKind::Z),
+        other => Err(format!("invalid Pauli kind {other:?}")),
+    }
+}
+
+fn bitvec_to_json(bits: &BitVec) -> Json {
+    Json::Str(
+        (0..bits.len())
+            .map(|i| if bits.get(i) { '1' } else { '0' })
+            .collect(),
+    )
+}
+
+fn bitvec_from_json(json: &Json) -> Result<BitVec, String> {
+    let text = json.as_str().ok_or("bit vector must be a string")?;
+    let bools: Vec<bool> = text
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid bit character {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(BitVec::from_bools(&bools))
+}
+
+fn num_field(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn str_field<'a>(json: &'a Json, key: &str) -> Result<&'a str, String> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn bool_field(json: &Json, key: &str) -> Result<bool, String> {
+    json.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing boolean field {key:?}"))
+}
+
+fn arr_field<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}
+
+fn stats_to_json(stats: &SatStats) -> Json {
+    Json::obj(vec![
+        ("calls", Json::Num(stats.calls)),
+        ("sat", Json::Num(stats.sat)),
+        ("unsat", Json::Num(stats.unsat)),
+        ("interrupted", Json::Num(stats.interrupted)),
+        ("decisions", Json::Num(stats.decisions)),
+        ("propagations", Json::Num(stats.propagations)),
+        ("conflicts", Json::Num(stats.conflicts)),
+        ("learned_clauses", Json::Num(stats.learned_clauses)),
+        ("restarts", Json::Num(stats.restarts)),
+        ("variables", Json::Num(stats.variables)),
+        ("clauses", Json::Num(stats.clauses)),
+        ("warm_queries", Json::Num(stats.warm_queries)),
+        ("retained_clauses", Json::Num(stats.retained_clauses)),
+    ])
+}
+
+fn stats_from_json(json: &Json) -> Result<SatStats, String> {
+    Ok(SatStats {
+        calls: num_field(json, "calls")?,
+        sat: num_field(json, "sat")?,
+        unsat: num_field(json, "unsat")?,
+        interrupted: num_field(json, "interrupted")?,
+        decisions: num_field(json, "decisions")?,
+        propagations: num_field(json, "propagations")?,
+        conflicts: num_field(json, "conflicts")?,
+        learned_clauses: num_field(json, "learned_clauses")?,
+        restarts: num_field(json, "restarts")?,
+        variables: num_field(json, "variables")?,
+        clauses: num_field(json, "clauses")?,
+        warm_queries: num_field(json, "warm_queries")?,
+        retained_clauses: num_field(json, "retained_clauses")?,
+    })
+}
+
+fn stage_to_json(stage: Stage) -> Json {
+    Json::Str(match stage {
+        Stage::Prep => "prep".to_string(),
+        Stage::Verification(kind) => format!("verification-{kind:?}"),
+        Stage::Correction(kind) => format!("correction-{kind:?}"),
+    })
+}
+
+fn stage_from_json(json: &Json) -> Result<Stage, String> {
+    match json.as_str() {
+        Some("prep") => Ok(Stage::Prep),
+        Some("verification-X") => Ok(Stage::Verification(PauliKind::X)),
+        Some("verification-Z") => Ok(Stage::Verification(PauliKind::Z)),
+        Some("correction-X") => Ok(Stage::Correction(PauliKind::X)),
+        Some("correction-Z") => Ok(Stage::Correction(PauliKind::Z)),
+        other => Err(format!("invalid stage {other:?}")),
+    }
+}
+
+fn duration_to_json(duration: Duration) -> Json {
+    Json::Num(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX))
+}
+
+fn gate_to_json(gate: &Gate) -> Json {
+    let tagged = |tag: &str, args: &[usize]| {
+        let mut items = vec![Json::Str(tag.to_string())];
+        items.extend(args.iter().map(|&a| Json::Num(a as u64)));
+        Json::Arr(items)
+    };
+    match *gate {
+        Gate::H { qubit } => tagged("h", &[qubit]),
+        Gate::Cnot { control, target } => tagged("cx", &[control, target]),
+        Gate::X { qubit } => tagged("x", &[qubit]),
+        Gate::Z { qubit } => tagged("z", &[qubit]),
+        Gate::PrepZ { qubit } => tagged("pz", &[qubit]),
+        Gate::PrepX { qubit } => tagged("px", &[qubit]),
+        Gate::MeasureZ { qubit, bit } => tagged("mz", &[qubit, bit]),
+        Gate::MeasureX { qubit, bit } => tagged("mx", &[qubit, bit]),
+    }
+}
+
+fn circuit_to_json(circuit: &Circuit) -> Json {
+    Json::obj(vec![
+        ("num_qubits", Json::Num(circuit.num_qubits() as u64)),
+        (
+            "gates",
+            Json::Arr(circuit.gates().iter().map(gate_to_json).collect()),
+        ),
+    ])
+}
+
+fn circuit_from_json(json: &Json) -> Result<Circuit, String> {
+    let num_qubits = num_field(json, "num_qubits")? as usize;
+    let mut circuit = Circuit::new(num_qubits);
+    for gate in arr_field(json, "gates")? {
+        let items = gate.as_arr().ok_or("gate must be an array")?;
+        let tag = items
+            .first()
+            .and_then(Json::as_str)
+            .ok_or("gate tag must be a string")?;
+        let arg = |i: usize| -> Result<usize, String> {
+            items
+                .get(i)
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("gate {tag:?} is missing argument {i}"))
+        };
+        match tag {
+            "h" => circuit.h(arg(1)?),
+            "cx" => circuit.cnot(arg(1)?, arg(2)?),
+            "x" => circuit.x(arg(1)?),
+            "z" => circuit.z(arg(1)?),
+            "pz" => circuit.prep_z(arg(1)?),
+            "px" => circuit.prep_x(arg(1)?),
+            "mz" | "mx" => {
+                let bit = if tag == "mz" {
+                    circuit.measure_z(arg(1)?)
+                } else {
+                    circuit.measure_x(arg(1)?)
+                };
+                if bit != arg(2)? {
+                    return Err(format!(
+                        "non-sequential measurement bit {} (expected {bit})",
+                        arg(2)?
+                    ));
+                }
+            }
+            other => return Err(format!("unknown gate tag {other:?}")),
+        }
+    }
+    Ok(circuit)
+}
+
+fn gadget_to_json(gadget: &MeasurementGadget) -> Json {
+    Json::obj(vec![
+        ("support", bitvec_to_json(gadget.support())),
+        ("basis", kind_to_json(gadget.basis())),
+        ("flagged", Json::Bool(gadget.is_flagged())),
+        (
+            "order",
+            Json::Arr(
+                gadget
+                    .cnot_order()
+                    .iter()
+                    .map(|&q| Json::Num(q as u64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn gadget_from_json(json: &Json) -> Result<MeasurementGadget, String> {
+    let support = bitvec_from_json(json.get("support").ok_or("missing gadget support")?)?;
+    let basis = kind_from_json(json.get("basis").ok_or("missing gadget basis")?)?;
+    let flagged = bool_field(json, "flagged")?;
+    let order: Vec<usize> = arr_field(json, "order")?
+        .iter()
+        .map(|q| q.as_num().map(|n| n as usize).ok_or("invalid CNOT order"))
+        .collect::<Result<_, _>>()?;
+    Ok(MeasurementGadget::with_order(support, basis, order).flagged(flagged))
+}
+
+fn prep_to_json(prep: &PrepCircuit) -> Json {
+    Json::obj(vec![
+        ("circuit", circuit_to_json(&prep.circuit)),
+        (
+            "seeds",
+            Json::Arr(prep.seeds.iter().map(|&s| Json::Num(s as u64)).collect()),
+        ),
+        (
+            "method",
+            Json::Str(
+                match prep.method {
+                    PrepMethod::Heuristic => "heuristic",
+                    PrepMethod::Optimal => "optimal",
+                }
+                .to_string(),
+            ),
+        ),
+        ("proven_optimal", Json::Bool(prep.proven_optimal)),
+    ])
+}
+
+fn prep_from_json(json: &Json) -> Result<PrepCircuit, String> {
+    let method = match str_field(json, "method")? {
+        "heuristic" => PrepMethod::Heuristic,
+        "optimal" => PrepMethod::Optimal,
+        other => return Err(format!("invalid prep method {other:?}")),
+    };
+    Ok(PrepCircuit {
+        circuit: circuit_from_json(json.get("circuit").ok_or("missing prep circuit")?)?,
+        seeds: arr_field(json, "seeds")?
+            .iter()
+            .map(|s| s.as_num().map(|n| n as usize).ok_or("invalid seed"))
+            .collect::<Result<_, _>>()?,
+        method,
+        proven_optimal: bool_field(json, "proven_optimal")?,
+    })
+}
+
+fn branch_to_json(key: &BranchKey, branch: &CorrectionBranch) -> Json {
+    Json::obj(vec![
+        ("syndrome", Json::Num(key.syndrome)),
+        ("flags", Json::Num(key.flags)),
+        ("error_kind", kind_to_json(branch.error_kind)),
+        (
+            "measurements",
+            Json::Arr(branch.measurements.iter().map(gadget_to_json).collect()),
+        ),
+        (
+            "recoveries",
+            Json::Arr(branch.recoveries.iter().map(bitvec_to_json).collect()),
+        ),
+        ("terminates", Json::Bool(branch.terminates)),
+    ])
+}
+
+fn branch_from_json(json: &Json) -> Result<(BranchKey, CorrectionBranch), String> {
+    let key = BranchKey {
+        syndrome: num_field(json, "syndrome")?,
+        flags: num_field(json, "flags")?,
+    };
+    let branch = CorrectionBranch {
+        error_kind: kind_from_json(json.get("error_kind").ok_or("missing branch error kind")?)?,
+        measurements: arr_field(json, "measurements")?
+            .iter()
+            .map(gadget_from_json)
+            .collect::<Result<_, _>>()?,
+        recoveries: arr_field(json, "recoveries")?
+            .iter()
+            .map(bitvec_from_json)
+            .collect::<Result<_, _>>()?,
+        terminates: bool_field(json, "terminates")?,
+    };
+    Ok((key, branch))
+}
+
+fn layer_to_json(layer: &VerificationLayer) -> Json {
+    Json::obj(vec![
+        ("error_kind", kind_to_json(layer.error_kind)),
+        (
+            "verifications",
+            Json::Arr(layer.verifications.iter().map(gadget_to_json).collect()),
+        ),
+        (
+            "branches",
+            Json::Arr(
+                layer
+                    .branches
+                    .iter()
+                    .map(|(key, branch)| branch_to_json(key, branch))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn layer_from_json(json: &Json) -> Result<VerificationLayer, String> {
+    let error_kind = kind_from_json(json.get("error_kind").ok_or("missing layer error kind")?)?;
+    let verifications = arr_field(json, "verifications")?
+        .iter()
+        .map(gadget_from_json)
+        .collect::<Result<_, _>>()?;
+    let mut layer = VerificationLayer::new(error_kind, verifications);
+    for branch in arr_field(json, "branches")? {
+        let (key, branch) = branch_from_json(branch)?;
+        layer.branches.insert(key, branch);
+    }
+    Ok(layer)
+}
+
+fn stage_report_to_json(stage: &StageReport) -> Json {
+    Json::obj(vec![
+        ("stage", stage_to_json(stage.stage)),
+        ("time_ns", duration_to_json(stage.time)),
+        ("sat", stats_to_json(&stage.sat)),
+        ("branches", Json::Num(stage.branches as u64)),
+    ])
+}
+
+fn stage_report_from_json(json: &Json) -> Result<StageReport, String> {
+    Ok(StageReport {
+        stage: stage_from_json(json.get("stage").ok_or("missing stage tag")?)?,
+        time: Duration::from_nanos(num_field(json, "time_ns")?),
+        sat: stats_from_json(json.get("sat").ok_or("missing stage SAT stats")?)?,
+        branches: num_field(json, "branches")? as usize,
+    })
+}
+
+/// Serializes a full report into the on-disk JSON form.
+pub(crate) fn report_to_json(report: &SynthesisReport) -> Json {
+    Json::obj(vec![
+        ("version", Json::Num(FORMAT_VERSION)),
+        ("code_name", Json::Str(report.code_name.clone())),
+        ("prep", prep_to_json(&report.protocol.prep)),
+        (
+            "layers",
+            Json::Arr(report.protocol.layers.iter().map(layer_to_json).collect()),
+        ),
+        (
+            "stages",
+            Json::Arr(report.stages.iter().map(stage_report_to_json).collect()),
+        ),
+        ("fault_cache_hits", Json::Num(report.fault_cache_hits)),
+        ("fault_cache_misses", Json::Num(report.fault_cache_misses)),
+        ("total_time_ns", duration_to_json(report.total_time)),
+    ])
+}
+
+/// Reconstructs a report from its JSON form. The stabilizer context is not
+/// stored — it is rebuilt deterministically from `code`.
+pub(crate) fn report_from_json(json: &Json, code: &CssCode) -> Result<SynthesisReport, String> {
+    if num_field(json, "version")? != FORMAT_VERSION {
+        return Err("unsupported report format version".to_string());
+    }
+    let code_name = str_field(json, "code_name")?.to_string();
+    if code_name != code.name() {
+        return Err(format!(
+            "stored report is for code {code_name:?}, not {:?}",
+            code.name()
+        ));
+    }
+    let protocol = DeterministicProtocol {
+        context: ZeroStateContext::new(code.clone()),
+        prep: prep_from_json(json.get("prep").ok_or("missing prep")?)?,
+        layers: arr_field(json, "layers")?
+            .iter()
+            .map(layer_from_json)
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(SynthesisReport {
+        code_name,
+        protocol,
+        stages: arr_field(json, "stages")?
+            .iter()
+            .map(stage_report_from_json)
+            .collect::<Result<_, _>>()?,
+        fault_cache_hits: num_field(json, "fault_cache_hits")?,
+        fault_cache_misses: num_field(json, "fault_cache_misses")?,
+        total_time: Duration::from_nanos(num_field(json, "total_time_ns")?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthesisEngine;
+    use dftsp_code::catalog;
+
+    fn debug_rendering(report: &SynthesisReport) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            report.code_name,
+            report.protocol.prep,
+            report.protocol.layers,
+            report.stages,
+            (report.fault_cache_hits, report.fault_cache_misses),
+            report.total_time,
+        )
+    }
+
+    #[test]
+    fn report_json_round_trip_is_bit_identical() {
+        let code = catalog::steane();
+        let report = SynthesisEngine::default().synthesize(&code).unwrap();
+        let json = report_to_json(&report);
+        let text = json.to_text();
+        let reparsed = Json::parse(&text).unwrap();
+        let restored = report_from_json(&reparsed, &code).unwrap();
+        assert_eq!(debug_rendering(&report), debug_rendering(&restored));
+        // The rebuilt context matches the deterministic construction.
+        assert_eq!(
+            format!("{:?}", report.protocol.context),
+            format!("{:?}", restored.protocol.context)
+        );
+    }
+
+    #[test]
+    fn report_key_separates_codes_and_configurations() {
+        let options = SynthesisOptions::default();
+        let steane = ReportKey::new(
+            &catalog::steane(),
+            &options,
+            BackendChoice::Cdcl,
+            LadderMode::Incremental,
+        );
+        let surface = ReportKey::new(
+            &catalog::surface3(),
+            &options,
+            BackendChoice::Cdcl,
+            LadderMode::Incremental,
+        );
+        assert_ne!(steane, surface);
+        let fresh = ReportKey::new(
+            &catalog::steane(),
+            &options,
+            BackendChoice::Cdcl,
+            LadderMode::Fresh,
+        );
+        assert_ne!(steane.fingerprint, fresh.fingerprint);
+        let mut tweaked = options.clone();
+        tweaked.verification.max_measurements += 1;
+        let other = ReportKey::new(
+            &catalog::steane(),
+            &tweaked,
+            BackendChoice::Cdcl,
+            LadderMode::Incremental,
+        );
+        assert_ne!(steane.fingerprint, other.fingerprint);
+        // Same inputs, same key.
+        let again = ReportKey::new(
+            &catalog::steane(),
+            &options,
+            BackendChoice::Cdcl,
+            LadderMode::Incremental,
+        );
+        assert_eq!(steane, again);
+        assert!(steane.file_name().ends_with(".json"));
+    }
+
+    #[test]
+    fn memory_store_round_trip() {
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&code).unwrap();
+        let key = engine.report_key(&code);
+        let store = MemoryReportStore::new();
+        assert!(store.load(&key, &code).is_none());
+        store.save(&key, &report);
+        let loaded = store.load(&key, &code).expect("stored report is served");
+        assert_eq!(debug_rendering(&report), debug_rendering(&loaded));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn json_store_misses_on_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-corrupt-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"corrupt")
+        ));
+        let store = JsonReportStore::new(&dir).unwrap();
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let key = engine.report_key(&code);
+        std::fs::write(store.dir().join(key.file_name()), "not json").unwrap();
+        assert!(store.load(&key, &code).is_none());
+        assert_eq!(store.misses(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

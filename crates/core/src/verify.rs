@@ -13,7 +13,7 @@
 //! first, then the summed operator weight `v` (one CNOT per support qubit).
 
 use dftsp_f2::{BitMatrix, BitVec};
-use dftsp_sat::{Encoder, Lit, SatBackend, SolveResult};
+use dftsp_sat::{BoundedLadder, Encoder, LadderMode, Lit, Model, SatBackend, SolveResult};
 
 use crate::engine::SatSession;
 use crate::perm::HeapPermutations;
@@ -164,39 +164,133 @@ pub fn synthesize_verification_with(
         });
     }
     for u in 1..=options.max_measurements {
-        // First check feasibility with an effectively unbounded weight.
-        let unbounded = measurable.num_cols() * u;
-        if let Some(solution) = solve_cover(
-            session,
-            measurable,
-            &detection_sets,
-            u,
-            unbounded,
-            None,
-            options,
-        )? {
-            // Minimize the total weight by binary search. A conflict-budget
-            // interruption here only costs weight optimality — the feasible
-            // solution already in hand is returned rather than failing.
-            let mut lo = u; // each measurement has weight ≥ 1
-            let mut hi = solution.total_weight;
-            let mut best = solution;
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                match solve_cover(session, measurable, &detection_sets, u, mid, None, options) {
-                    Ok(Some(better)) => {
-                        hi = better.total_weight.min(mid);
-                        best = better;
-                    }
-                    Ok(None) => lo = mid + 1,
-                    Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
-                    Err(other) => return Err(other),
-                }
-            }
-            return Ok(best);
+        if let Some(solution) = run_cover_ladder(session, measurable, &detection_sets, u, options)?
+        {
+            return Ok(solution);
         }
     }
     Err(VerificationError::BudgetExhausted)
+}
+
+/// Runs the weight-minimization ladder for a fixed measurement count `u`:
+/// one feasibility probe with unbounded weight, a binary search over the
+/// summed-weight bound, and a final canonical extraction solve at the
+/// optimum. Returns `None` when `u` measurements cannot cover the errors.
+///
+/// In [`LadderMode::Incremental`] the whole ladder runs on one live solver:
+/// the base encoding and a single cardinality counter are built once, each
+/// probed bound is one assumption literal on the counter outputs, and
+/// learned clauses survive between bounds. In [`LadderMode::Fresh`] every
+/// probe re-encodes on a fresh backend. Both
+/// modes converge to the same optimal bound, and the canonical extraction at
+/// that bound makes the returned solution bit-identical across modes —
+/// except when a configured conflict budget interrupts the ladder, which
+/// returns the best mode-local solution in hand (the same trade-off that
+/// already costs weight optimality within one mode).
+fn run_cover_ladder(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    detection_sets: &[Vec<usize>],
+    u: usize,
+    options: &VerificationOptions,
+) -> Result<Option<VerificationSolution>, VerificationError> {
+    let mut ladder = CoverLadder::open(session, measurable, detection_sets, u);
+    let Some(first) = ladder.probe(session, measurable, detection_sets, u, None, options)? else {
+        return Ok(None);
+    };
+    // Binary-search the minimal summed weight. A conflict-budget interruption
+    // only costs weight optimality — the feasible solution already in hand is
+    // returned rather than failing.
+    let w0 = first.total_weight;
+    // Every probed bound lies strictly below w0.
+    ladder.prepare_bounds(w0);
+    let mut lo = u; // each measurement has weight ≥ 1
+    let mut hi = w0;
+    let mut best = first.clone();
+    loop {
+        if lo >= hi {
+            break;
+        }
+        let mid = (lo + hi) / 2;
+        match ladder.probe(session, measurable, detection_sets, u, Some(mid), options) {
+            Ok(Some(better)) => {
+                hi = better.total_weight.min(mid);
+                best = better;
+            }
+            Ok(None) => lo = mid + 1,
+            Err(VerificationError::ConflictBudgetExceeded { .. }) => return Ok(Some(best)),
+            Err(other) => return Err(other),
+        }
+    }
+    if hi == w0 {
+        // The unbounded probe was already optimal; it ran on a cold solver
+        // with the mode-independent base encoding, so it needs no extraction.
+        return Ok(Some(first));
+    }
+    // Canonical extraction: one deterministic solve at the proven optimum on
+    // a fresh backend, independent of the search trajectory that found it.
+    match solve_cover_fresh(session, measurable, detection_sets, u, hi, &[], options) {
+        Ok(Some(solution)) => Ok(Some(solution)),
+        // `hi` is feasible, so `None` is unreachable; under a budget
+        // interruption fall back to the best solution the ladder holds.
+        Ok(None) => Ok(Some(best)),
+        Err(VerificationError::ConflictBudgetExceeded { .. }) => Ok(Some(best)),
+        Err(other) => Err(other),
+    }
+}
+
+/// One (u, ·) covering ladder: either a live incremental session or the
+/// fresh-backend-per-probe configuration.
+enum CoverLadder {
+    Warm(WarmCoverLadder),
+    Fresh,
+}
+
+impl CoverLadder {
+    fn open(
+        session: &SatSession,
+        measurable: &BitMatrix,
+        detection_sets: &[Vec<usize>],
+        u: usize,
+    ) -> Self {
+        match session.mode() {
+            LadderMode::Incremental => CoverLadder::Warm(WarmCoverLadder::open(
+                session,
+                measurable,
+                detection_sets,
+                u,
+            )),
+            LadderMode::Fresh => CoverLadder::Fresh,
+        }
+    }
+
+    /// Sizes the warm ladder's cardinality counter so every bound below
+    /// `width` can be assumed (no-op for fresh probes, which re-encode).
+    fn prepare_bounds(&mut self, width: usize) {
+        if let CoverLadder::Warm(warm) = self {
+            warm.prepare_bounds(width);
+        }
+    }
+
+    /// Solves one (u, v) probe; `None` weight bound = unbounded.
+    fn probe(
+        &mut self,
+        session: &mut SatSession,
+        measurable: &BitMatrix,
+        detection_sets: &[Vec<usize>],
+        u: usize,
+        bound: Option<usize>,
+        options: &VerificationOptions,
+    ) -> Result<Option<VerificationSolution>, VerificationError> {
+        match self {
+            CoverLadder::Warm(warm) => warm.probe(session, bound, options),
+            CoverLadder::Fresh => {
+                // An effectively unbounded weight makes `at_most_k` a no-op.
+                let v = bound.unwrap_or(measurable.num_cols() * u);
+                solve_cover_fresh(session, measurable, detection_sets, u, v, &[], options)
+            }
+        }
+    }
 }
 
 /// Enumerates all verification circuits that achieve the optimal measurement
@@ -233,36 +327,67 @@ pub fn enumerate_minimal_verifications_with(
     let u = best.num_measurements();
     let v = best.total_weight;
 
-    let mut solutions: Vec<VerificationSolution> = Vec::new();
+    let canonical_form = |solution: &VerificationSolution| -> Vec<Vec<u8>> {
+        let mut canonical: Vec<Vec<u8>> =
+            solution.measurements.iter().map(BitVec::to_bits).collect();
+        canonical.sort();
+        canonical
+    };
+
+    // The enumeration is seeded with the already-synthesized optimum, which
+    // guarantees it appears among the candidates of the global optimization.
     let mut seen: std::collections::HashSet<Vec<Vec<u8>>> = std::collections::HashSet::new();
-    let mut blocked: Vec<Vec<BitVec>> = Vec::new();
-    while solutions.len() < options.enumeration_cap {
-        // A conflict-budget interruption stops the enumeration early; the
-        // minimal solutions found so far (at least one) are still returned.
-        let next = match solve_cover(
-            session,
-            measurable,
-            &detection_sets,
-            u,
-            v,
-            Some(&blocked),
-            options,
-        ) {
-            Ok(next) => next,
-            Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
-            Err(other) => return Err(other),
-        };
-        match next {
-            Some(solution) => {
-                let mut canonical: Vec<Vec<u8>> =
-                    solution.measurements.iter().map(BitVec::to_bits).collect();
-                canonical.sort();
-                blocked.push(solution.measurements.clone());
-                if seen.insert(canonical) {
-                    solutions.push(solution);
+    seen.insert(canonical_form(&best));
+    let mut blocked: Vec<Vec<BitVec>> = vec![best.measurements.clone()];
+    let mut solutions: Vec<VerificationSolution> = vec![best];
+
+    // A conflict-budget interruption stops the enumeration early; the
+    // minimal solutions found so far (at least one) are still returned.
+    match session.mode() {
+        LadderMode::Incremental => {
+            // One live solver for the whole enumeration: the (u, v) encoding
+            // is built once and each found solution only adds its blocking
+            // clauses.
+            let mut ladder = WarmCoverLadder::open(session, measurable, &detection_sets, u);
+            ladder.prepare_bounds(v + 1);
+            ladder.set_bound(v);
+            for previous in &blocked {
+                ladder.block(previous);
+            }
+            while solutions.len() < options.enumeration_cap {
+                match ladder.probe(session, Some(v), options) {
+                    Ok(Some(solution)) => {
+                        ladder.block(&solution.measurements);
+                        if seen.insert(canonical_form(&solution)) {
+                            solutions.push(solution);
+                        }
+                    }
+                    Ok(None) | Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
+                    Err(other) => return Err(other),
                 }
             }
-            None => break,
+        }
+        LadderMode::Fresh => {
+            while solutions.len() < options.enumeration_cap {
+                match solve_cover_fresh(
+                    session,
+                    measurable,
+                    &detection_sets,
+                    u,
+                    v,
+                    &blocked,
+                    options,
+                ) {
+                    Ok(Some(solution)) => {
+                        blocked.push(solution.measurements.clone());
+                        if seen.insert(canonical_form(&solution)) {
+                            solutions.push(solution);
+                        }
+                    }
+                    Ok(None) | Err(VerificationError::ConflictBudgetExceeded { .. }) => break,
+                    Err(other) => return Err(other),
+                }
+            }
         }
     }
     Ok(solutions)
@@ -291,21 +416,19 @@ fn detection_sets(
     Ok(sets)
 }
 
-/// Solves one (u, v) instance of the covering problem. `blocked` lists
-/// measurement sets that must not be returned again (for enumeration).
-fn solve_cover(
-    session: &mut SatSession,
+/// Encodes everything of one `u`-measurement covering instance that does not
+/// depend on the weight bound: selector variables, support literals, coverage
+/// of every detection set and non-degeneracy. Returns the support literals
+/// `w[i][q]` the weight bound, blocking clauses and solution extraction work
+/// on.
+fn encode_cover_base(
+    solver: &mut dyn SatBackend,
     measurable: &BitMatrix,
     detection_sets: &[Vec<usize>],
     u: usize,
-    v: usize,
-    blocked: Option<&[Vec<BitVec>]>,
-    options: &VerificationOptions,
-) -> Result<Option<VerificationSolution>, VerificationError> {
+) -> Vec<Vec<Lit>> {
     let m = measurable.num_rows();
     let n = measurable.num_cols();
-    let mut solver = session.instance();
-    let mut solver = solver.as_mut();
 
     // Selector variables a[i][j]: measurement i includes generator j.
     let selectors: Vec<Vec<Lit>> = (0..u)
@@ -313,69 +436,59 @@ fn solve_cover(
         .collect();
 
     let mut support_lits: Vec<Vec<Lit>> = Vec::with_capacity(u);
-    {
-        let mut enc = Encoder::new(&mut solver);
-        // Support literals w[i][q] = XOR_j a[i][j]·measurable[j][q].
+    let mut enc = Encoder::new(solver);
+    // Support literals w[i][q] = XOR_j a[i][j]·measurable[j][q].
+    for row in &selectors {
+        let mut supports = Vec::with_capacity(n);
+        for q in 0..n {
+            let involved: Vec<Lit> = (0..m)
+                .filter(|&j| measurable.get(j, q))
+                .map(|j| row[j])
+                .collect();
+            supports.push(enc.xor_many(&involved));
+        }
+        support_lits.push(supports);
+    }
+    // Coverage: every dangerous error anticommutes with some measurement.
+    for set in detection_sets {
+        let mut detectors = Vec::with_capacity(u);
         for row in &selectors {
-            let mut supports = Vec::with_capacity(n);
-            for q in 0..n {
-                let involved: Vec<Lit> = (0..m)
-                    .filter(|&j| measurable.get(j, q))
-                    .map(|j| row[j])
-                    .collect();
-                supports.push(enc.xor_many(&involved));
-            }
-            support_lits.push(supports);
+            let involved: Vec<Lit> = set.iter().map(|&j| row[j]).collect();
+            detectors.push(enc.xor_many(&involved));
         }
-        // Coverage: every dangerous error anticommutes with some measurement.
-        for set in detection_sets {
-            let mut detectors = Vec::with_capacity(u);
-            for row in &selectors {
-                let involved: Vec<Lit> = set.iter().map(|&j| row[j]).collect();
-                detectors.push(enc.xor_many(&involved));
-            }
-            enc.solver().add_clause(&detectors);
-        }
-        // Weight bound.
-        let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
-        enc.at_most_k(&all_supports, v);
-        // Symmetry breaking / non-degeneracy: every measurement is nonzero.
-        for supports in &support_lits {
-            enc.solver().add_clause(supports);
-        }
-        // Blocking clauses for enumeration: at least one support bit differs
-        // from each blocked solution, for every assignment of measurement
-        // order (we block the multiset via per-permutation clauses on sorted
-        // canonical solutions being re-found; simple per-model blocking on
-        // support literals suffices to make progress).
-        if let Some(blocked) = blocked {
-            for previous in blocked {
-                for permutation in HeapPermutations::of_indices(previous.len()) {
-                    let mut clause = Vec::new();
-                    for (i, &p) in permutation.iter().enumerate() {
-                        for (q, &lit) in support_lits[i].iter().enumerate() {
-                            clause.push(if previous[p].get(q) { !lit } else { lit });
-                        }
-                    }
-                    enc.solver().add_clause(&clause);
-                }
-            }
-        }
+        enc.solver().add_clause(&detectors);
     }
-
-    match session.solve(solver, options.max_conflicts) {
-        Some(SolveResult::Sat) => {}
-        Some(SolveResult::Unsat) => return Ok(None),
-        None => {
-            return Err(VerificationError::ConflictBudgetExceeded {
-                max_conflicts: options.max_conflicts.unwrap_or(0),
-            })
-        }
-    }
-    let model = solver.model().expect("SAT result has a model").clone();
-    let mut measurements = Vec::with_capacity(u);
-    let mut total_weight = 0;
+    // Symmetry breaking / non-degeneracy: every measurement is nonzero.
     for supports in &support_lits {
+        enc.solver().add_clause(supports);
+    }
+    support_lits
+}
+
+/// Adds the blocking clauses excluding one previously found measurement set:
+/// at least one support bit differs, for every assignment of measurement
+/// order (per-permutation clauses block the multiset).
+fn add_cover_blocking(solver: &mut dyn SatBackend, support_lits: &[Vec<Lit>], previous: &[BitVec]) {
+    for permutation in HeapPermutations::of_indices(previous.len()) {
+        let mut clause = Vec::new();
+        for (i, &p) in permutation.iter().enumerate() {
+            for (q, &lit) in support_lits[i].iter().enumerate() {
+                clause.push(if previous[p].get(q) { !lit } else { lit });
+            }
+        }
+        solver.add_clause(&clause);
+    }
+}
+
+/// Reads the measurement supports off a satisfying model.
+fn extract_cover_solution(
+    model: &Model,
+    support_lits: &[Vec<Lit>],
+    n: usize,
+) -> VerificationSolution {
+    let mut measurements = Vec::with_capacity(support_lits.len());
+    let mut total_weight = 0;
+    for supports in support_lits {
         let mut support = BitVec::zeros(n);
         for (q, &lit) in supports.iter().enumerate() {
             if model.lit_value(lit) {
@@ -385,10 +498,118 @@ fn solve_cover(
         total_weight += support.weight();
         measurements.push(support);
     }
-    Ok(Some(VerificationSolution {
+    VerificationSolution {
         measurements,
         total_weight,
-    }))
+    }
+}
+
+/// Solves one (u, v) instance of the covering problem on a fresh backend.
+/// `blocked` lists measurement sets that must not be returned again (for
+/// enumeration).
+fn solve_cover_fresh(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    detection_sets: &[Vec<usize>],
+    u: usize,
+    v: usize,
+    blocked: &[Vec<BitVec>],
+    options: &VerificationOptions,
+) -> Result<Option<VerificationSolution>, VerificationError> {
+    let n = measurable.num_cols();
+    let mut solver = session.instance();
+    let solver = solver.as_mut();
+    let support_lits = encode_cover_base(solver, measurable, detection_sets, u);
+    {
+        let all_supports: Vec<Lit> = support_lits.iter().flatten().copied().collect();
+        Encoder::new(&mut *solver).at_most_k(&all_supports, v);
+    }
+    for previous in blocked {
+        add_cover_blocking(solver, &support_lits, previous);
+    }
+    match session.solve(solver, options.max_conflicts) {
+        Some(SolveResult::Sat) => {}
+        Some(SolveResult::Unsat) => return Ok(None),
+        None => {
+            return Err(VerificationError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            })
+        }
+    }
+    let model = solver.model().expect("SAT result has a model");
+    Ok(Some(extract_cover_solution(model, &support_lits, n)))
+}
+
+/// The warm half of a [`CoverLadder`]: the base encoding on a live
+/// [`BoundedLadder`], which owns the retractable-bound bookkeeping.
+struct WarmCoverLadder {
+    ladder: BoundedLadder<Box<dyn SatBackend>>,
+    support_lits: Vec<Vec<Lit>>,
+    num_qubits: usize,
+}
+
+impl WarmCoverLadder {
+    fn open(
+        session: &SatSession,
+        measurable: &BitMatrix,
+        detection_sets: &[Vec<usize>],
+        u: usize,
+    ) -> Self {
+        let mut incremental = session.incremental();
+        let support_lits = encode_cover_base(
+            incremental.backend_mut().as_mut(),
+            measurable,
+            detection_sets,
+            u,
+        );
+        let all_supports = support_lits.iter().flatten().copied().collect();
+        WarmCoverLadder {
+            ladder: BoundedLadder::new(incremental, all_supports),
+            support_lits,
+            num_qubits: measurable.num_cols(),
+        }
+    }
+
+    fn prepare_bounds(&mut self, width: usize) {
+        self.ladder.prepare_bounds(width);
+    }
+
+    fn set_bound(&mut self, v: usize) {
+        self.ladder.set_bound(v);
+    }
+
+    fn block(&mut self, previous: &[BitVec]) {
+        add_cover_blocking(
+            self.ladder.session_mut().backend_mut().as_mut(),
+            &self.support_lits,
+            previous,
+        );
+    }
+
+    fn probe(
+        &mut self,
+        session: &mut SatSession,
+        bound: Option<usize>,
+        options: &VerificationOptions,
+    ) -> Result<Option<VerificationSolution>, VerificationError> {
+        if let Some(v) = bound {
+            self.ladder.set_bound(v);
+        }
+        match session.solve_incremental(self.ladder.session_mut(), options.max_conflicts) {
+            Some(SolveResult::Sat) => {
+                let model = self.ladder.model().expect("SAT result has a model");
+                Ok(Some(extract_cover_solution(
+                    model,
+                    &self.support_lits,
+                    self.num_qubits,
+                )))
+            }
+            Some(SolveResult::Unsat) => Ok(None),
+            None => Err(VerificationError::ConflictBudgetExceeded {
+                max_conflicts: options.max_conflicts.unwrap_or(0),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

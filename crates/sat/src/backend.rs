@@ -54,6 +54,25 @@ pub trait SatBackend {
     fn solve(&mut self) -> SolveResult {
         self.solve_with_assumptions(&[])
     }
+
+    /// Allocates a fresh *guard* (selector) literal.
+    ///
+    /// A guard is an ordinary variable by a different name: constraints
+    /// encoded as `¬guard ∨ …` only apply to queries that assume the guard,
+    /// which makes them retractable. Passing the guard as an assumption to
+    /// [`SatBackend::solve_with_assumptions`] activates the constraints;
+    /// [`SatBackend::release_guard`] retires them permanently.
+    fn new_guard(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Permanently releases a guard: the clauses encoded behind it become
+    /// satisfied and the solver may simplify them away. Returns `false` if
+    /// the formula became trivially unsatisfiable (only possible if the
+    /// guard was previously forced true).
+    fn release_guard(&mut self, guard: Lit) -> bool {
+        self.add_clause(&[!guard])
+    }
 }
 
 macro_rules! impl_backend_delegate {
@@ -89,6 +108,12 @@ macro_rules! impl_backend_delegate {
             }
             fn stats(&self) -> SolverStats {
                 (**self).stats()
+            }
+            fn new_guard(&mut self) -> Lit {
+                (**self).new_guard()
+            }
+            fn release_guard(&mut self, guard: Lit) -> bool {
+                (**self).release_guard(guard)
             }
         }
     };
@@ -328,6 +353,43 @@ impl std::fmt::Display for BackendChoice {
         match self {
             BackendChoice::Cdcl => write!(f, "cdcl"),
             BackendChoice::DimacsLogging => write!(f, "dimacs-log"),
+        }
+    }
+}
+
+/// How the optimization ladders of the synthesis pipeline drive the solver.
+///
+/// The (u, v) verification ladder and the correction weight minimization
+/// issue sequences of queries that differ only in a cardinality bound. The
+/// two modes answer those sequences differently; both converge to the same
+/// optimal bounds and — because the final solution is always extracted by one
+/// deterministic solve at the optimum — to bit-identical solutions.
+///
+/// The bit-identity guarantee holds for ladders that complete, i.e. under
+/// the default unlimited conflict budget. A ladder interrupted by a
+/// configured conflict budget returns the best feasible solution it has in
+/// hand, which may differ between the modes (exactly as it already costs
+/// weight optimality within a single mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LadderMode {
+    /// One live [`IncrementalSession`](crate::IncrementalSession) per ladder:
+    /// the base encoding and a single cardinality counter
+    /// ([`Encoder::cardinality_ladder`](crate::Encoder::cardinality_ladder))
+    /// are built once, each tightened bound is a single assumption literal,
+    /// and learned clauses survive between bounds (the default).
+    #[default]
+    Incremental,
+    /// A fresh backend per query, re-encoding the full formula every time.
+    /// Slower, but each query is fully independent — kept for cross-checking
+    /// the incremental path.
+    Fresh,
+}
+
+impl std::fmt::Display for LadderMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderMode::Incremental => write!(f, "incremental"),
+            LadderMode::Fresh => write!(f, "fresh"),
         }
     }
 }

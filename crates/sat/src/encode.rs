@@ -264,6 +264,62 @@ impl<'a, B: SatBackend + ?Sized> Encoder<'a, B> {
         }
     }
 
+    /// Encodes a one-way sequential counter over `lits` and returns `width`
+    /// output literals: `out[j]` is implied true whenever at least `j + 1`
+    /// of `lits` are true.
+    ///
+    /// Assuming `!out[j]` in a query therefore enforces "at most `j` true"
+    /// for that query only. This is the retractable-bound primitive the
+    /// incremental optimization ladders use: the counter is encoded once,
+    /// and every tightened (or relaxed) bound of the ladder is a single
+    /// assumption literal — no re-encoding, no discarded learned clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn cardinality_ladder(&mut self, lits: &[Lit], width: usize) -> Vec<Lit> {
+        assert!(width > 0, "a zero-width counter has no outputs to assume");
+        let n = lits.len();
+        if n == 0 {
+            // No literal can ever be true: the outputs are hard-false.
+            let f = self.false_lit();
+            return vec![f; width];
+        }
+        // prev[j] ⇐ at least j+1 of the literals seen so far are true.
+        let mut prev: Vec<Lit> = (0..width).map(|_| self.new_lit()).collect();
+        self.implies(lits[0], prev[0]);
+        for &cell in &prev[1..] {
+            // Two or more of the first one literal is impossible.
+            self.solver.add_clause(&[!cell]);
+        }
+        for &lit in &lits[1..] {
+            let row: Vec<Lit> = (0..width).map(|_| self.new_lit()).collect();
+            self.implies(lit, row[0]);
+            self.implies(prev[0], row[0]);
+            for j in 1..width {
+                // lit ∧ prev[j-1] → row[j]
+                self.solver.add_clause(&[!lit, !prev[j - 1], row[j]]);
+                self.implies(prev[j], row[j]);
+            }
+            prev = row;
+        }
+        prev
+    }
+
+    /// Constrains at most `k` of `lits` to be true *behind a fresh guard
+    /// literal*, and returns the guard.
+    ///
+    /// The constraint only applies to queries that assume the returned guard;
+    /// releasing the guard ([`crate::SatBackend::release_guard`]) retracts it
+    /// permanently. This is the retractable form the incremental optimization
+    /// ladders use to tighten a cardinality bound on a live solver without
+    /// discarding learned clauses.
+    pub fn at_most_k_retractable(&mut self, lits: &[Lit], k: usize) -> Lit {
+        let guard = self.solver.new_guard();
+        self.at_most_k_guarded(Some(guard), lits, k);
+        guard
+    }
+
     /// Constrains at least `k` of `lits` to be true.
     pub fn at_least_k(&mut self, lits: &[Lit], k: usize) {
         if k == 0 {
@@ -471,6 +527,49 @@ mod tests {
         assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
         let assumptions = vec![guard, lits[0]];
         assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cardinality_ladder_bounds_via_assumptions() {
+        let (mut s, lits) = fresh(5);
+        let outputs = {
+            let mut e = Encoder::new(&mut s);
+            e.cardinality_ladder(&lits, 4)
+        };
+        for (k, &output) in outputs.iter().enumerate() {
+            // Forcing k+1 literals true violates the assumed at-most-k bound;
+            // forcing k is fine.
+            let mut assumptions = vec![!output];
+            assumptions.extend(lits.iter().copied().take(k + 1));
+            assert_eq!(
+                s.solve_with_assumptions(&assumptions),
+                SolveResult::Unsat,
+                "k={k}"
+            );
+            let mut assumptions = vec![!output];
+            assumptions.extend(lits.iter().copied().take(k));
+            assert_eq!(
+                s.solve_with_assumptions(&assumptions),
+                SolveResult::Sat,
+                "k={k}"
+            );
+        }
+        // Without an assumed output the count is unconstrained.
+        assert_eq!(s.solve_with_assumptions(&lits), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cardinality_ladder_over_no_literals_is_hard_false() {
+        let mut s = Solver::new();
+        let outputs = {
+            let mut e = Encoder::new(&mut s);
+            e.cardinality_ladder(&[], 3)
+        };
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for out in outputs {
+            assert!(!s.model().unwrap().lit_value(out));
+        }
     }
 
     #[test]

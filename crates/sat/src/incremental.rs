@@ -1,0 +1,396 @@
+//! Long-lived incremental solve sessions built on guard literals.
+//!
+//! The synthesis pipeline's optimization ladders (minimize the number of
+//! measurements `u`, then binary-search the summed weight `v`) issue many
+//! queries over one base encoding that differ only in a cardinality bound.
+//! [`IncrementalSession`] keeps a single backend alive across such a ladder,
+//! so the clauses the solver learns while answering one bound remain
+//! available for the next — the classic incremental-SAT speedup of
+//! assumption-based solving. Retractable constraints come in two flavours:
+//!
+//! * arbitrary clause groups behind guard literals
+//!   ([`IncrementalSession::guard`] / [`IncrementalSession::release_guard`],
+//!   see [`SatBackend::new_guard`]), and
+//! * cardinality bounds as single assumption literals on a one-time counter
+//!   ([`crate::Encoder::cardinality_ladder`] with
+//!   [`IncrementalSession::assume`] / [`IncrementalSession::retract`]) — the
+//!   form the (u, v) ladders use, since tightening then re-encodes nothing.
+
+use crate::{Encoder, Lit, Model, SatBackend, SolveResult, Solver, SolverStats};
+
+/// Clause-reuse statistics of one [`IncrementalSession`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Total queries answered by the session.
+    pub queries: u64,
+    /// Queries answered on a warm solver (every query after the first).
+    pub warm_queries: u64,
+    /// Clauses (original + learned) already present when warm queries
+    /// started — the work the session did not have to redo.
+    pub retained_clauses: u64,
+    /// Guard literals created.
+    pub guards_created: u64,
+    /// Guard literals released.
+    pub guards_released: u64,
+}
+
+impl ReuseStats {
+    /// Adds the counters of `other` into `self`.
+    pub fn absorb(&mut self, other: &ReuseStats) {
+        self.queries += other.queries;
+        self.warm_queries += other.warm_queries;
+        self.retained_clauses += other.retained_clauses;
+        self.guards_created += other.guards_created;
+        self.guards_released += other.guards_released;
+    }
+}
+
+/// A live solver owned for a whole optimization ladder.
+///
+/// The session tracks the set of *active* guards and passes them as
+/// assumptions on every [`IncrementalSession::solve`], so callers only
+/// manage constraint lifetimes ([`IncrementalSession::guard`] /
+/// [`IncrementalSession::release_guard`]), never assumption lists.
+///
+/// # Examples
+///
+/// A retractable cardinality bound: UNSAT while the bound is active, SAT
+/// again after the guard is released.
+///
+/// ```
+/// use dftsp_sat::{IncrementalSession, Lit, SolveResult, Solver};
+///
+/// let mut session = IncrementalSession::new(Solver::new());
+/// let lits: Vec<Lit> = (0..4).map(|_| Lit::pos(session.backend_mut().new_var())).collect();
+/// for &l in &lits {
+///     session.add_clause(&[l]); // force all four true
+/// }
+/// let bound = session.bound_at_most_k(&lits, 2);
+/// assert_eq!(session.solve(None), Some(SolveResult::Unsat));
+/// session.release_guard(bound);
+/// assert_eq!(session.solve(None), Some(SolveResult::Sat));
+/// assert_eq!(session.reuse().warm_queries, 1);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalSession<B: SatBackend = Solver> {
+    backend: B,
+    active_guards: Vec<Lit>,
+    reuse: ReuseStats,
+    observed_vars: usize,
+    observed_clauses: usize,
+}
+
+impl<B: SatBackend> IncrementalSession<B> {
+    /// Wraps a backend (typically freshly instantiated) into a session.
+    pub fn new(backend: B) -> Self {
+        IncrementalSession {
+            backend,
+            active_guards: Vec::new(),
+            reuse: ReuseStats::default(),
+            observed_vars: 0,
+            observed_clauses: 0,
+        }
+    }
+
+    /// The wrapped backend, for encoding base constraints.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// An [`Encoder`] targeting the wrapped backend.
+    pub fn encoder(&mut self) -> Encoder<'_, B> {
+        Encoder::new(&mut self.backend)
+    }
+
+    /// Adds a permanent clause.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backend.add_clause(lits)
+    }
+
+    /// Allocates a fresh guard literal and marks it active: every subsequent
+    /// [`IncrementalSession::solve`] assumes it until it is released.
+    pub fn guard(&mut self) -> Lit {
+        let guard = self.backend.new_guard();
+        self.active_guards.push(guard);
+        self.reuse.guards_created += 1;
+        guard
+    }
+
+    /// Releases a guard: it is no longer assumed and the constraints behind
+    /// it are permanently retracted.
+    pub fn release_guard(&mut self, guard: Lit) {
+        self.active_guards.retain(|&g| g != guard);
+        self.backend.release_guard(guard);
+        self.reuse.guards_released += 1;
+    }
+
+    /// Installs a retractable at-most-`k` bound over `lits` behind a fresh
+    /// active guard, and returns the guard.
+    pub fn bound_at_most_k(&mut self, lits: &[Lit], k: usize) -> Lit {
+        let guard = self.guard();
+        Encoder::new(&mut self.backend).at_most_k_guarded(Some(guard), lits, k);
+        guard
+    }
+
+    /// Adds an externally created literal (e.g. a
+    /// [`Encoder::cardinality_ladder`] output) to the set assumed on every
+    /// solve.
+    pub fn assume(&mut self, lit: Lit) {
+        self.active_guards.push(lit);
+    }
+
+    /// Stops assuming a literal, without asserting anything about it. Unlike
+    /// [`IncrementalSession::release_guard`] the literal stays free, so a
+    /// bound expressed through it can later be re-assumed.
+    pub fn retract(&mut self, lit: Lit) {
+        self.active_guards.retain(|&l| l != lit);
+    }
+
+    /// The guards currently assumed on every solve.
+    pub fn active_guards(&self) -> &[Lit] {
+        &self.active_guards
+    }
+
+    /// Solves under the active guards, optionally with a conflict budget
+    /// (`None` result = budget exhausted).
+    pub fn solve(&mut self, max_conflicts: Option<u64>) -> Option<SolveResult> {
+        if self.reuse.queries > 0 {
+            self.reuse.warm_queries += 1;
+            self.reuse.retained_clauses += self.backend.num_clauses() as u64;
+        }
+        self.reuse.queries += 1;
+        match max_conflicts {
+            None => Some(self.backend.solve_with_assumptions(&self.active_guards)),
+            Some(budget) => self.backend.solve_limited(&self.active_guards, budget),
+        }
+    }
+
+    /// The model of the most recent satisfiable query, if any.
+    pub fn model(&self) -> Option<&Model> {
+        self.backend.model()
+    }
+
+    /// Cumulative search statistics of the wrapped backend.
+    pub fn stats(&self) -> SolverStats {
+        self.backend.stats()
+    }
+
+    /// Number of variables allocated in the wrapped backend.
+    pub fn num_vars(&self) -> usize {
+        self.backend.num_vars()
+    }
+
+    /// Number of clauses in the wrapped backend.
+    pub fn num_clauses(&self) -> usize {
+        self.backend.num_clauses()
+    }
+
+    /// Total queries answered so far.
+    pub fn queries(&self) -> u64 {
+        self.reuse.queries
+    }
+
+    /// Variables and clauses added to the formula since the previous call
+    /// (everything on the first call). Statistics collectors use this to
+    /// count each variable and clause of a long-lived session exactly once.
+    pub fn formula_growth(&mut self) -> (usize, usize) {
+        let vars = self.backend.num_vars() - self.observed_vars;
+        let clauses = self
+            .backend
+            .num_clauses()
+            .saturating_sub(self.observed_clauses);
+        self.observed_vars = self.backend.num_vars();
+        self.observed_clauses = self.backend.num_clauses();
+        (vars, clauses)
+    }
+
+    /// The clause-reuse statistics accumulated so far.
+    pub fn reuse(&self) -> ReuseStats {
+        self.reuse
+    }
+
+    /// Unwraps the session, returning the live backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+}
+
+/// An [`IncrementalSession`] plus the retractable-bound bookkeeping of one
+/// optimization ladder: a one-time cardinality counter over a fixed literal
+/// set, with the current at-most bound expressed as a single assumption on
+/// the counter outputs.
+///
+/// This is the shared machinery of the synthesis (u, v) ladders — encode the
+/// base constraints on [`BoundedLadder::session_mut`], then
+/// [`BoundedLadder::prepare_bounds`] once and [`BoundedLadder::set_bound`]
+/// per probe; nothing is re-encoded when the bound moves.
+#[derive(Debug)]
+pub struct BoundedLadder<B: SatBackend = Solver> {
+    session: IncrementalSession<B>,
+    lits: Vec<Lit>,
+    /// `counter[j]` is implied true when more than `j` of `lits` are true.
+    counter: Vec<Lit>,
+    /// The currently assumed bound: (assumption literal, bound value).
+    bound: Option<(Lit, usize)>,
+}
+
+impl<B: SatBackend> BoundedLadder<B> {
+    /// Wraps a session whose future at-most bounds range over `lits`.
+    pub fn new(session: IncrementalSession<B>, lits: Vec<Lit>) -> Self {
+        BoundedLadder {
+            session,
+            lits,
+            counter: Vec::new(),
+            bound: None,
+        }
+    }
+
+    /// The underlying incremental session (for encoding base constraints,
+    /// blocking clauses, and solving).
+    pub fn session_mut(&mut self) -> &mut IncrementalSession<B> {
+        &mut self.session
+    }
+
+    /// The model of the most recent satisfiable query, if any.
+    pub fn model(&self) -> Option<&Model> {
+        self.session.model()
+    }
+
+    /// Encodes the shared cardinality counter once, wide enough to express
+    /// every bound below `width`. Later calls are no-ops.
+    pub fn prepare_bounds(&mut self, width: usize) {
+        if self.counter.is_empty() && width > 0 {
+            self.counter = self.session.encoder().cardinality_ladder(&self.lits, width);
+        }
+    }
+
+    /// Assumes a (tightened or relaxed) at-most-`v` bound, retracting the
+    /// previous one. Pure assumption bookkeeping — nothing is re-encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not below the width passed to
+    /// [`BoundedLadder::prepare_bounds`].
+    pub fn set_bound(&mut self, v: usize) {
+        if let Some((lit, current)) = self.bound {
+            if current == v {
+                return;
+            }
+            self.session.retract(lit);
+        }
+        assert!(
+            v < self.counter.len(),
+            "bound {v} exceeds the prepared counter width {}",
+            self.counter.len()
+        );
+        let lit = !self.counter[v];
+        self.session.assume(lit);
+        self.bound = Some((lit, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BackendChoice, Var};
+
+    #[test]
+    fn tightening_bounds_behind_guards() {
+        // Exactly-3-of-5 base constraints; walk the weight bound down.
+        let mut session = IncrementalSession::new(Solver::new());
+        let lits: Vec<Lit> = (0..5)
+            .map(|_| Lit::pos(session.backend_mut().new_var()))
+            .collect();
+        session.encoder().at_least_k(&lits, 3);
+
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+        let b4 = session.bound_at_most_k(&lits, 4);
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+        let b3 = session.bound_at_most_k(&lits, 3);
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+        let b2 = session.bound_at_most_k(&lits, 2);
+        assert_eq!(session.solve(None), Some(SolveResult::Unsat));
+        // Releasing the infeasible bound restores satisfiability.
+        session.release_guard(b2);
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+        session.release_guard(b3);
+        session.release_guard(b4);
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+
+        let reuse = session.reuse();
+        assert_eq!(reuse.queries, 6);
+        assert_eq!(reuse.warm_queries, 5);
+        assert_eq!(reuse.guards_created, 3);
+        assert_eq!(reuse.guards_released, 3);
+        assert!(reuse.retained_clauses > 0);
+    }
+
+    #[test]
+    fn works_on_boxed_runtime_backends() {
+        for choice in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+            let mut session = IncrementalSession::new(choice.instantiate());
+            let a = Lit::pos(session.backend_mut().new_var());
+            let b = Lit::pos(session.backend_mut().new_var());
+            session.add_clause(&[a, b]);
+            let guard = session.guard();
+            // Guarded constraint: ¬a.
+            session.add_clause(&[!guard, !a]);
+            session.add_clause(&[!guard, !b]);
+            assert_eq!(session.solve(None), Some(SolveResult::Unsat), "{choice}");
+            session.release_guard(guard);
+            assert_eq!(session.solve(None), Some(SolveResult::Sat), "{choice}");
+            assert!(session.model().is_some());
+        }
+    }
+
+    #[test]
+    fn bounded_ladder_moves_bounds_without_reencoding() {
+        let mut session = IncrementalSession::new(Solver::new());
+        let lits: Vec<Lit> = (0..5)
+            .map(|_| Lit::pos(session.backend_mut().new_var()))
+            .collect();
+        session.encoder().at_least_k(&lits, 3);
+        let mut ladder = BoundedLadder::new(session, lits);
+        ladder.prepare_bounds(5);
+        let clauses_after_counter = ladder.session_mut().num_clauses();
+        // Tighten, relax, re-tighten: feasible iff the bound admits 3 trues.
+        for (bound, expect) in [
+            (4, SolveResult::Sat),
+            (2, SolveResult::Unsat),
+            (3, SolveResult::Sat),
+        ] {
+            ladder.set_bound(bound);
+            assert_eq!(
+                ladder.session_mut().solve(None),
+                Some(expect),
+                "bound {bound}"
+            );
+        }
+        assert!(ladder.model().is_some());
+        // Moving the bound encoded nothing beyond learned clauses — the
+        // original clause count only grew by what the solver learned.
+        let reuse = ladder.session_mut().reuse();
+        assert_eq!(reuse.queries, 3);
+        assert!(ladder.session_mut().num_clauses() >= clauses_after_counter);
+    }
+
+    #[test]
+    fn budget_is_forwarded() {
+        let mut session = IncrementalSession::new(Solver::new());
+        let vars: Vec<Var> = (0..12).map(|_| session.backend_mut().new_var()).collect();
+        for i in 0..4 {
+            session.add_clause(&[
+                Lit::pos(vars[3 * i]),
+                Lit::pos(vars[3 * i + 1]),
+                Lit::pos(vars[3 * i + 2]),
+            ]);
+        }
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                session.add_clause(&[Lit::neg(vars[i]), Lit::neg(vars[j])]);
+            }
+        }
+        assert_eq!(session.solve(Some(1)), None);
+        assert_eq!(session.solve(None), Some(SolveResult::Unsat));
+    }
+}

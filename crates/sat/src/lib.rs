@@ -12,14 +12,37 @@
 //!   incremental solving under assumptions.
 //! * [`Encoder`] — Tseitin gate encodings (AND/OR/XOR), parity constraints
 //!   and sequential-counter cardinality constraints (optionally guarded by an
-//!   activation literal), which is exactly the constraint vocabulary the
-//!   synthesis encodings need.
+//!   activation literal, or retractable via
+//!   [`Encoder::at_most_k_retractable`]), which is exactly the constraint
+//!   vocabulary the synthesis encodings need.
 //! * [`SatBackend`] — the pluggable-solver abstraction the synthesis engine
 //!   is generic over, with the CDCL [`Solver`] as the default implementation
 //!   and [`DimacsLoggingBackend`] as an instrumented, formula-exporting,
 //!   model-cross-checking alternative. [`BackendChoice`] selects one at
-//!   runtime.
+//!   runtime. The trait also carries the guard-literal lifecycle
+//!   ([`SatBackend::new_guard`] / [`SatBackend::release_guard`]) that makes
+//!   constraints retractable.
+//! * [`IncrementalSession`] — a live solver owned for a whole optimization
+//!   ladder: the base encoding is built once, tightened cardinality bounds
+//!   are installed behind fresh guards, and learned clauses survive between
+//!   bounds. [`ReuseStats`] reports how much work the warm solver saved, and
+//!   [`LadderMode`] selects between this incremental driving and the
+//!   fresh-backend-per-query path kept for cross-checking.
 //! * [`dimacs`] — DIMACS CNF import/export for debugging and testing.
+//!
+//! # Guarded incremental solving
+//!
+//! ```
+//! use dftsp_sat::{IncrementalSession, Lit, SolveResult, Solver};
+//!
+//! let mut session = IncrementalSession::new(Solver::new());
+//! let lits: Vec<Lit> = (0..3).map(|_| Lit::pos(session.backend_mut().new_var())).collect();
+//! session.add_clause(&lits); // at least one true
+//! let bound = session.bound_at_most_k(&lits, 0); // guarded: none true
+//! assert_eq!(session.solve(None), Some(SolveResult::Unsat));
+//! session.release_guard(bound); // retract the bound, keep learned clauses
+//! assert_eq!(session.solve(None), Some(SolveResult::Sat));
+//! ```
 //!
 //! # Examples
 //!
@@ -43,10 +66,12 @@
 mod backend;
 pub mod dimacs;
 mod encode;
+mod incremental;
 mod lit;
 mod solver;
 
-pub use backend::{BackendChoice, DimacsLoggingBackend, QueryRecord, SatBackend};
+pub use backend::{BackendChoice, DimacsLoggingBackend, LadderMode, QueryRecord, SatBackend};
 pub use encode::Encoder;
+pub use incremental::{BoundedLadder, IncrementalSession, ReuseStats};
 pub use lit::{Lit, Var};
 pub use solver::{Model, SolveResult, Solver, SolverStats};

@@ -124,6 +124,44 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Guarded cardinality bounds are genuinely retractable: with all `n`
+    /// literals forced true, an at-most-`k < n` bound behind a guard is UNSAT
+    /// while the guard is assumed, and releasing the guard restores
+    /// satisfiability on the same live solver.
+    #[test]
+    fn release_guard_retracts_bounds(
+        shape in (2..8usize).prop_flat_map(|n| (0..n).prop_map(move |k| (n, k)))
+    ) {
+        use dftsp_sat::SatBackend;
+
+        let (n, k) = shape;
+        let mut solver = Solver::new();
+        let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(solver.new_var())).collect();
+        for &l in &lits {
+            solver.add_clause([l]);
+        }
+        let guard = {
+            let mut enc = Encoder::new(&mut solver);
+            enc.at_most_k_retractable(&lits, k)
+        };
+        // Active bound: UNSAT under the guard, SAT without it.
+        prop_assert_eq!(solver.solve_with_assumptions(&[guard]), SolveResult::Unsat);
+        prop_assert_eq!(solver.solve(), SolveResult::Sat);
+        // Released bound: SAT even though the same solver kept its learned
+        // clauses; re-assuming the dead guard now contradicts its release.
+        prop_assert!(solver.release_guard(guard));
+        prop_assert_eq!(solver.solve(), SolveResult::Sat);
+        let model = solver.model().expect("model after SAT");
+        for &l in &lits {
+            prop_assert!(model.lit_value(l));
+        }
+        prop_assert_eq!(solver.solve_with_assumptions(&[guard]), SolveResult::Unsat);
+    }
+}
+
 /// Larger deterministic stress test: random 3-SAT near the phase transition.
 #[test]
 fn random_3sat_stress() {

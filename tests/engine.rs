@@ -1,9 +1,13 @@
 //! Integration tests of the `SynthesisEngine` session API: equivalence with
-//! the classic free functions, batched multi-code synthesis, and catalog
+//! the classic free functions, incremental-vs-fresh ladder cross-checks,
+//! report-store round-trips, batched multi-code synthesis, and catalog
 //! round-trips.
 
+use std::sync::Arc;
+
 use dftsp::{
-    synthesize_protocol, BackendChoice, SynthesisEngine, SynthesisOptions, SynthesisReport,
+    synthesize_protocol, BackendChoice, JsonReportStore, LadderMode, MemoryReportStore,
+    ReportStore, SynthesisEngine, SynthesisOptions, SynthesisReport,
 };
 use dftsp_code::catalog;
 
@@ -92,6 +96,205 @@ fn dimacs_logging_backend_is_a_drop_in_replacement() {
         protocol_fingerprint(&cdcl.protocol),
         protocol_fingerprint(&logged.protocol)
     );
+}
+
+/// Everything a stored-and-reloaded report must reproduce exactly: the
+/// protocol, the per-stage statistics and the recorded timings.
+fn report_fingerprint(report: &SynthesisReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}",
+        report.code_name,
+        report.protocol.prep,
+        report.protocol.layers,
+        report.stages,
+        (
+            report.fault_cache_hits,
+            report.fault_cache_misses,
+            report.total_time
+        ),
+    )
+}
+
+fn mode_engine(backend: BackendChoice, mode: LadderMode) -> SynthesisEngine {
+    SynthesisEngine::builder()
+        .solver(backend)
+        .ladder_mode(mode)
+        .build()
+}
+
+#[test]
+fn incremental_ladders_match_fresh_ladders_bit_for_bit() {
+    // The incremental sessions reuse learned clauses across the (u, v)
+    // ladder; the canonical extraction at the optimum must nevertheless make
+    // the synthesized protocols bit-identical to the fresh-backend path —
+    // under the plain CDCL backend and under the model-cross-checking
+    // DIMACS-logging backend alike.
+    for backend in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+        for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
+            let incremental = mode_engine(backend, LadderMode::Incremental)
+                .synthesize(&code)
+                .unwrap();
+            let fresh = mode_engine(backend, LadderMode::Fresh)
+                .synthesize(&code)
+                .unwrap();
+            assert_eq!(
+                protocol_fingerprint(&incremental.protocol),
+                protocol_fingerprint(&fresh.protocol),
+                "{} on {backend}: ladder modes must agree bit for bit",
+                code.name()
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "synthesizes the full catalog twice per backend; many minutes"]
+fn incremental_ladders_match_fresh_ladders_on_the_full_catalog() {
+    for backend in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+        for code in catalog::all() {
+            let incremental = mode_engine(backend, LadderMode::Incremental)
+                .synthesize(&code)
+                .unwrap_or_else(|e| panic!("{}: {e}", code.name()));
+            let fresh = mode_engine(backend, LadderMode::Fresh)
+                .synthesize(&code)
+                .unwrap_or_else(|e| panic!("{}: {e}", code.name()));
+            assert_eq!(
+                protocol_fingerprint(&incremental.protocol),
+                protocol_fingerprint(&fresh.protocol),
+                "{} on {backend}",
+                code.name()
+            );
+        }
+    }
+}
+
+/// Synthesizes `code` in both ladder modes and returns
+/// `(incremental totals, fresh totals)`.
+fn mode_totals(code: &dftsp_code::CssCode) -> (dftsp::SatStats, dftsp::SatStats) {
+    let incremental = mode_engine(BackendChoice::Cdcl, LadderMode::Incremental)
+        .synthesize(code)
+        .unwrap();
+    let fresh = mode_engine(BackendChoice::Cdcl, LadderMode::Fresh)
+        .synthesize(code)
+        .unwrap();
+    (incremental.sat_totals(), fresh.sat_totals())
+}
+
+#[test]
+fn incremental_ladders_reduce_sat_work() {
+    // The acceptance gauge of the session redesign, on the fast test set:
+    // warm ladders answer queries on a live solver and never re-encode the
+    // base formula per query, and on the Steane code (the distance-3 2D
+    // color code) they also finish with fewer cumulative conflicts. (The
+    // larger distance-3 color-code benchmark is the ignored test below.)
+    for code in [catalog::steane(), catalog::surface3()] {
+        let (warm_totals, fresh_totals) = mode_totals(&code);
+        assert!(
+            warm_totals.warm_queries > 0,
+            "{}: ladders must answer queries on a warm solver",
+            code.name()
+        );
+        assert_eq!(fresh_totals.warm_queries, 0);
+        assert!(warm_totals.retained_clauses > 0, "{}", code.name());
+        assert!(
+            warm_totals.clauses < fresh_totals.clauses,
+            "{}: warm ladders must not re-encode the base formula per query",
+            code.name()
+        );
+    }
+    let (warm_totals, fresh_totals) = mode_totals(&catalog::steane());
+    assert!(
+        warm_totals.conflicts < fresh_totals.conflicts,
+        "Steane: warm {} vs fresh {} cumulative conflicts",
+        warm_totals.conflicts,
+        fresh_totals.conflicts
+    );
+}
+
+#[test]
+#[ignore = "synthesizes the 15-qubit tetrahedral code twice; several minutes"]
+fn incremental_ladders_reduce_conflicts_on_the_d3_color_code() {
+    // On the [[15,1,3]] tetrahedral (3D distance-3 color) code — where the
+    // ladders are long enough for clause reuse to matter — the warm path
+    // must beat the fresh path on cumulative conflicts, not just on encoding
+    // work.
+    let (warm_totals, fresh_totals) = mode_totals(&catalog::tetrahedral());
+    assert!(warm_totals.warm_queries > 0);
+    assert!(
+        warm_totals.conflicts < fresh_totals.conflicts,
+        "warm {} vs fresh {} cumulative conflicts",
+        warm_totals.conflicts,
+        fresh_totals.conflicts
+    );
+    assert!(warm_totals.clauses < fresh_totals.clauses);
+}
+
+#[test]
+fn populated_report_store_serves_synthesize_all_without_sat_work() {
+    let store = Arc::new(MemoryReportStore::new());
+    let engine = SynthesisEngine::builder()
+        .report_store(store.clone())
+        .threads(2)
+        .build();
+    let codes = vec![catalog::steane(), catalog::shor(), catalog::surface3()];
+
+    let first = engine.synthesize_all(&codes);
+    assert_eq!(store.misses(), codes.len() as u64);
+    assert_eq!(store.hits(), 0);
+
+    // The second run must be served entirely from the store: every lookup
+    // hits (zero SAT queries are issued) and the reports are bit-identical,
+    // down to stage statistics and recorded timings.
+    let second = engine.synthesize_all(&codes);
+    assert_eq!(store.hits(), codes.len() as u64);
+    assert_eq!(store.misses(), codes.len() as u64);
+    for (first, second) in first.iter().zip(&second) {
+        assert_eq!(
+            report_fingerprint(first.as_ref().unwrap()),
+            report_fingerprint(second.as_ref().unwrap()),
+        );
+    }
+}
+
+#[test]
+fn json_report_store_warm_starts_a_second_engine() {
+    let dir = std::env::temp_dir().join(format!("dftsp-engine-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let code = catalog::steane();
+
+    let cold_store = Arc::new(JsonReportStore::new(&dir).unwrap());
+    let cold = SynthesisEngine::builder()
+        .report_store(cold_store.clone())
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    assert_eq!(cold_store.misses(), 1);
+
+    // A brand-new store over the same directory (a fresh process in real
+    // deployments) serves the request from disk, bit-identically.
+    let warm_store = Arc::new(JsonReportStore::new(&dir).unwrap());
+    let warm = SynthesisEngine::builder()
+        .report_store(warm_store.clone())
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    assert_eq!(warm_store.hits(), 1);
+    assert_eq!(warm_store.misses(), 0);
+    assert_eq!(report_fingerprint(&cold), report_fingerprint(&warm));
+
+    // Different configurations must not collide in the store.
+    let other = SynthesisEngine::builder()
+        .report_store(warm_store.clone())
+        .ladder_mode(LadderMode::Fresh)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    assert_eq!(warm_store.misses(), 1);
+    assert_eq!(
+        protocol_fingerprint(&warm.protocol),
+        protocol_fingerprint(&other.protocol)
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

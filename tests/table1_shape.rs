@@ -130,6 +130,42 @@ fn zero_cnot_correction_branches_occur_for_larger_codes() {
 }
 
 #[test]
+fn steane_prep_rng_stream_is_pinned() {
+    // The heuristic prep search is seeded (0x5EED_0003 in
+    // `crates/core/src/prep.rs`) so its randomized restarts reproduce the
+    // Table I Steane preparation: this test pins the exact circuit the tuned
+    // RNG stream produces. If it fails, the RNG stream changed (a reordered
+    // draw, a shim change, a perturbed seed) and the Table I numbers are no
+    // longer guaranteed.
+    let prep = dftsp::synthesize_prep(&catalog::steane(), &dftsp::PrepOptions::default());
+    assert_eq!(prep.seeds, vec![0, 1, 3]);
+    assert_eq!(prep.cnot_count(), 9);
+    let gates: Vec<String> = prep
+        .circuit
+        .gates()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(
+        gates,
+        [
+            "h q0",
+            "h q1",
+            "h q3",
+            "cx q0, q6",
+            "cx q3, q6",
+            "cx q0, q4",
+            "cx q0, q2",
+            "cx q3, q4",
+            "cx q3, q5",
+            "cx q1, q5",
+            "cx q1, q2",
+            "cx q1, q6",
+        ]
+    );
+}
+
+#[test]
 fn global_optimization_never_increases_the_expected_cost() {
     for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
         let engine = SynthesisEngine::default();
