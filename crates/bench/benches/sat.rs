@@ -2,26 +2,8 @@
 //! families used by the synthesis encodings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dftsp_sat::{Encoder, Lit, SolveResult, Solver};
-
-/// Pigeonhole principle PHP(n+1, n): classic unsatisfiable cardinality
-/// benchmark exercising clause learning.
-fn pigeonhole(holes: usize) -> Solver {
-    let pigeons = holes + 1;
-    let mut solver = Solver::new();
-    let vars: Vec<Vec<Lit>> = (0..pigeons)
-        .map(|_| (0..holes).map(|_| Lit::pos(solver.new_var())).collect())
-        .collect();
-    let mut enc = Encoder::new(&mut solver);
-    for row in &vars {
-        enc.solver().add_clause(row.clone());
-    }
-    for hole in 0..holes {
-        let column: Vec<Lit> = vars.iter().map(|row| row[hole]).collect();
-        enc.at_most_one(&column);
-    }
-    solver
-}
+use dftsp_bench::pigeonhole;
+use dftsp_sat::{Encoder, Lit, SolveResult, Solver, SolverConfig};
 
 /// Random XOR chains plus a cardinality bound — the shape of the
 /// verification/correction encodings.
@@ -56,7 +38,7 @@ fn bench_sat(c: &mut Criterion) {
             &holes,
             |b, &holes| {
                 b.iter(|| {
-                    let mut solver = pigeonhole(holes);
+                    let mut solver = pigeonhole(SolverConfig::default(), holes);
                     assert_eq!(solver.solve(), SolveResult::Unsat);
                 })
             },
@@ -75,6 +57,29 @@ fn bench_sat(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Tuned hot path (VSIDS heap, LBD reduction, blockers, binary path,
+    // recursive minimization) against the heuristics-disabled reference
+    // configuration, on the learning-heavy pigeonhole family.
+    let mut configs = c.benchmark_group("sat_solver_configs");
+    configs.sample_size(20);
+    configs.measurement_time(std::time::Duration::from_secs(5));
+    for (name, config) in [
+        ("tuned", SolverConfig::default()),
+        ("reference", SolverConfig::reference()),
+    ] {
+        configs.bench_with_input(
+            BenchmarkId::new(name, "pigeonhole8"),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let mut solver = pigeonhole(config, 8);
+                    assert_eq!(solver.solve(), SolveResult::Unsat);
+                })
+            },
+        );
+    }
+    configs.finish();
 }
 
 criterion_group!(benches, bench_sat);

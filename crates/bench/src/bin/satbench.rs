@@ -1,0 +1,368 @@
+//! Solver microbenchmark: tuned vs reference hot path on the d = 3 catalog.
+//!
+//! ```text
+//! cargo run --release -p dftsp-bench --bin satbench [-- --quick] [--iters N] [--out PATH] [--check MIN_SPEEDUP]
+//! ```
+//!
+//! Runs the SAT-driven pipeline (verification + correction synthesis around
+//! one shared preparation circuit, via `synthesize_with_prep`) of every
+//! distance-3 catalog code (the Table I workload) twice — once on the
+//! default CDCL backend with the tuned hot path (VSIDS decision heap, LBD
+//! clause-database reduction, recursive clause minimization) and once on
+//! `BackendChoice::CdclReference` with those decision/learning heuristics
+//! disabled (the propagation layer — blocker literals, binary-clause path —
+//! is structural and active in both configurations) — and
+//! writes the wall-clock timings, speedups and solver counters to a
+//! machine-readable JSON file (`BENCH_solver.json` by default). The
+//! preparation circuit is synthesized once per code *outside* the timed
+//! region: prep is a seeded SAT-free search whose runtime dwarfs and has
+//! nothing to say about the solver. This file is the repo's perf trajectory
+//! for the solver: each PR that touches the hot path re-runs the bench and
+//! commits the fresh numbers.
+//!
+//! Alongside the synthesis pipeline the bench times pure-solver instances
+//! (pigeonhole, parity + cardinality — the shapes the encodings produce),
+//! where the hot path is the entire cost.
+//!
+//! * `--quick` restricts to the three smallest codes and the small
+//!   microbench instance (CI budget: seconds).
+//! * `--iters N` takes the best of N runs per configuration (default 3).
+//! * `--check MIN_SPEEDUP` exits non-zero when the overall
+//!   `reference_time / tuned_time` (synthesis + microbench) falls below the
+//!   threshold, so CI fails loudly on solver performance regressions
+//!   instead of silently absorbing them.
+
+use std::time::{Duration, Instant};
+
+use dftsp::{BackendChoice, SatStats, SynthesisEngine};
+use dftsp_bench::{evaluation_codes, pigeonhole, quick_codes};
+use dftsp_code::CssCode;
+use dftsp_sat::{Encoder, Lit, Solver, SolverConfig};
+
+/// Per-stage breakdown of one synthesis run: stage name, wall time, stats.
+type StageBreakdown = Vec<(String, Duration, SatStats)>;
+
+struct CodeResult {
+    name: String,
+    tuned: Duration,
+    reference: Duration,
+    tuned_sat: SatStats,
+    reference_sat: SatStats,
+    stages: StageBreakdown,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let iters: u32 = flag_value(&args, "--iters")
+        .map(|s| s.parse().expect("--iters takes an integer"))
+        .unwrap_or(3)
+        .max(1);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let check: Option<f64> =
+        flag_value(&args, "--check").map(|s| s.parse().expect("--check takes a float"));
+
+    let codes: Vec<CssCode> = if quick {
+        quick_codes()
+    } else {
+        evaluation_codes()
+            .into_iter()
+            .filter(|code| code.parameters().2 == 3)
+            .collect()
+    };
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}   counters (tuned vs reference)",
+        "Code", "tuned", "reference", "speedup"
+    );
+    let mut results = Vec::new();
+    for code in &codes {
+        // One shared prep per code, outside the timed region.
+        let prep = dftsp::synthesize_prep(code, &dftsp::PrepOptions::default());
+        let (tuned, tuned_sat, stages) = run_config(code, &prep, BackendChoice::Cdcl, iters);
+        let (reference, reference_sat, _) =
+            run_config(code, &prep, BackendChoice::CdclReference, iters);
+        println!(
+            "{:<14} {:>12.2?} {:>12.2?} {:>7.2}x   conflicts {} vs {}, props/dec {:.1} vs {:.1}, reduced {}",
+            code.name(),
+            tuned,
+            reference,
+            reference.as_secs_f64() / tuned.as_secs_f64(),
+            tuned_sat.conflicts,
+            reference_sat.conflicts,
+            tuned_sat.propagations_per_decision(),
+            reference_sat.propagations_per_decision(),
+            tuned_sat.reduced_clauses,
+        );
+        results.push(CodeResult {
+            name: code.name().to_string(),
+            tuned,
+            reference,
+            tuned_sat,
+            reference_sat,
+            stages,
+        });
+    }
+
+    let total_tuned: Duration = results.iter().map(|r| r.tuned).sum();
+    let total_reference: Duration = results.iter().map(|r| r.reference).sum();
+    let speedup = total_reference.as_secs_f64() / total_tuned.as_secs_f64();
+    println!(
+        "total: tuned {total_tuned:.2?} vs reference {total_reference:.2?} ({speedup:.2}x speedup)"
+    );
+
+    // Pure-solver microbenchmarks: synthesis wall time includes SAT-free
+    // work (fault enumeration, encoding) that dilutes the solver speedup, so
+    // the trajectory also records solver-only instances where the hot path
+    // is the whole cost.
+    println!();
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "Microbench", "tuned", "reference", "speedup"
+    );
+    let micro: Vec<MicroResult> = micro_instances(quick)
+        .into_iter()
+        .map(|(name, build)| {
+            let tuned = best_micro_time(&build, SolverConfig::default(), iters);
+            let reference = best_micro_time(&build, SolverConfig::reference(), iters);
+            println!(
+                "{:<22} {:>12.2?} {:>12.2?} {:>7.2}x",
+                name,
+                tuned,
+                reference,
+                reference.as_secs_f64() / tuned.as_secs_f64()
+            );
+            MicroResult {
+                name,
+                tuned,
+                reference,
+            }
+        })
+        .collect();
+
+    // Overall speedup: synthesis SAT pipeline plus the solver-only
+    // microbenchmarks, which is where the hot path dominates wall clock.
+    // This is the metric the CI regression check gates on.
+    let micro_tuned: Duration = micro.iter().map(|m| m.tuned).sum();
+    let micro_reference: Duration = micro.iter().map(|m| m.reference).sum();
+    let overall = (total_reference + micro_reference).as_secs_f64()
+        / (total_tuned + micro_tuned).as_secs_f64();
+    println!("overall (synthesis + microbench): {overall:.2}x speedup");
+
+    let json = render_json(
+        quick,
+        iters,
+        &results,
+        &micro,
+        total_tuned,
+        total_reference,
+        speedup,
+        overall,
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+
+    if let Some(min_speedup) = check {
+        if overall < min_speedup {
+            eprintln!(
+                "FAIL: overall tuned-solver speedup {overall:.2}x is below the required {min_speedup:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: {overall:.2}x >= {min_speedup:.2}x");
+    }
+}
+
+struct MicroResult {
+    name: String,
+    tuned: Duration,
+    reference: Duration,
+}
+
+/// A buildable solver-only instance: clauses loaded into a fresh solver with
+/// the given configuration.
+type MicroBuilder = Box<dyn Fn(SolverConfig) -> Solver>;
+
+/// Solver-only instances in the shape of the synthesis encodings: the
+/// unsatisfiable pigeonhole family (clause-learning-heavy) and random parity
+/// chains under a cardinality bound (the verification/correction formula
+/// shape).
+fn micro_instances(quick: bool) -> Vec<(String, MicroBuilder)> {
+    let mut instances = vec![(
+        "pigeonhole-7".to_string(),
+        Box::new(move |config| pigeonhole(config, 7)) as MicroBuilder,
+    )];
+    if !quick {
+        // The larger parity/cardinality instance takes several seconds on
+        // the reference solver — full-trajectory runs only.
+        instances.push((
+            "parity-card-48".to_string(),
+            Box::new(move |config| parity_cardinality(config, 48, 24, 16)) as MicroBuilder,
+        ));
+    }
+    instances
+}
+
+fn best_micro_time(build: &MicroBuilder, config: SolverConfig, iters: u32) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let mut solver = build(config);
+        let start = Instant::now();
+        let _ = solver.solve();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Random XOR chains plus a cardinality bound — the shape of the
+/// verification/correction encodings.
+fn parity_cardinality(
+    config: SolverConfig,
+    bits: usize,
+    parity_rows: usize,
+    bound: usize,
+) -> Solver {
+    let mut solver = Solver::with_config(config);
+    let vars: Vec<Lit> = (0..bits).map(|_| Lit::pos(solver.new_var())).collect();
+    let mut enc = Encoder::new(&mut solver);
+    let mut state = 0x1234_5678u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for row in 0..parity_rows {
+        let members: Vec<Lit> = vars.iter().copied().filter(|_| next() % 2 == 0).collect();
+        if !members.is_empty() {
+            enc.add_parity(&members, row % 2 == 0);
+        }
+    }
+    enc.at_most_k(&vars, bound);
+    solver
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Runs the SAT-driven pipeline of `code` around the shared `prep` on
+/// `backend`, `iters` times; returns the best wall time, the SAT totals, and
+/// the per-stage breakdown of the best run.
+fn run_config(
+    code: &CssCode,
+    prep: &dftsp::PrepCircuit,
+    backend: BackendChoice,
+    iters: u32,
+) -> (Duration, SatStats, StageBreakdown) {
+    let engine = SynthesisEngine::builder().solver(backend).build();
+    let mut best: Option<(Duration, SatStats, StageBreakdown)> = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = engine
+            .synthesize_with_prep(code, prep.clone())
+            .unwrap_or_else(|e| panic!("{} on {backend}: {e}", code.name()));
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
+            let stages = report
+                .stages
+                .iter()
+                .map(|s| (s.stage.to_string(), s.time, s.sat))
+                .collect();
+            best = Some((elapsed, report.sat_totals(), stages));
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+fn stats_json(stats: &SatStats) -> String {
+    format!(
+        "{{\"calls\": {}, \"warm_queries\": {}, \"decisions\": {}, \"propagations\": {}, \"conflicts\": {}, \"learned_clauses\": {}, \"minimized_literals\": {}, \"reduced_clauses\": {}, \"peak_clause_db\": {}, \"restarts\": {}, \"variables\": {}, \"clauses\": {}, \"retained_clauses\": {}}}",
+        stats.calls,
+        stats.warm_queries,
+        stats.decisions,
+        stats.propagations,
+        stats.conflicts,
+        stats.learned_clauses,
+        stats.minimized_literals,
+        stats.reduced_clauses,
+        stats.peak_clause_db,
+        stats.restarts,
+        stats.variables,
+        stats.clauses,
+        stats.retained_clauses,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    quick: bool,
+    iters: u32,
+    results: &[CodeResult],
+    micro: &[MicroResult],
+    total_tuned: Duration,
+    total_reference: Duration,
+    speedup: f64,
+    overall: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"satbench\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "d3-catalog" }
+    ));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!(
+        "  \"total_tuned_us\": {},\n  \"total_reference_us\": {},\n  \"speedup\": {speedup:.4},\n  \"overall_speedup\": {overall:.4},\n",
+        total_tuned.as_micros(),
+        total_reference.as_micros()
+    ));
+    out.push_str("  \"codes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"code\": \"{}\",\n", r.name));
+        out.push_str(&format!(
+            "      \"tuned_us\": {},\n      \"reference_us\": {},\n      \"speedup\": {:.4},\n",
+            r.tuned.as_micros(),
+            r.reference.as_micros(),
+            r.reference.as_secs_f64() / r.tuned.as_secs_f64()
+        ));
+        out.push_str(&format!("      \"tuned\": {},\n", stats_json(&r.tuned_sat)));
+        out.push_str(&format!(
+            "      \"reference\": {},\n",
+            stats_json(&r.reference_sat)
+        ));
+        out.push_str("      \"stages\": [\n");
+        for (j, (name, time, sat)) in r.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"stage\": \"{name}\", \"us\": {}, \"sat\": {}}}{}\n",
+                time.as_micros(),
+                stats_json(sat),
+                if j + 1 < r.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"microbench\": [\n");
+    for (i, m) in micro.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"tuned_us\": {}, \"reference_us\": {}, \"speedup\": {:.4}}}{}\n",
+            m.name,
+            m.tuned.as_micros(),
+            m.reference.as_micros(),
+            m.reference.as_secs_f64() / m.tuned.as_secs_f64(),
+            if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dftsp::{JsonReportStore, PrepMethod, ReportStore, SynthesisEngine};
+use dftsp::{JsonReportStore, PrepMethod, ReportStore, SatStats, SynthesisEngine};
 use dftsp_bench::{branch_list, evaluation_codes, quick_codes, synthesize_row, VerificationFlavor};
 use dftsp_code::CssCode;
 
@@ -75,11 +75,17 @@ fn main() {
         })
         .collect();
 
+    let mut solver_totals = SatStats::default();
+    let mut solve_time = std::time::Duration::ZERO;
     for code in &selected {
         for &prep in &prep_methods {
             for &flavor in &flavors {
                 match synthesize_row(code, prep, flavor) {
-                    Ok(row) => print_row(&row),
+                    Ok(row) => {
+                        solver_totals.absorb(&row.sat);
+                        solve_time += row.synthesis_time;
+                        print_row(&row);
+                    }
                     Err(e) => {
                         let (n, k, d) = code.parameters();
                         println!(
@@ -94,6 +100,10 @@ fn main() {
             }
         }
     }
+
+    println!();
+    println!("Solver totals over all rows ({solve_time:.2?} synthesis time):");
+    println!("  {solver_totals}");
 
     if let Some(path) = store_path {
         run_store_round_trip(&path, &selected, &prep_methods);

@@ -17,6 +17,7 @@ use dftsp::{
     DeterministicProtocol, PrepMethod, ProtocolMetrics, SatStats, SynthesisEngine, SynthesisError,
 };
 use dftsp_code::{catalog, CssCode};
+use dftsp_sat::{Encoder, Lit, Solver, SolverConfig};
 
 /// Which verification/correction synthesis flavour to run for a Table I row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,27 @@ pub fn evaluation_codes() -> Vec<CssCode> {
 /// The subset of catalog codes small enough for quick benchmarking and CI.
 pub fn quick_codes() -> Vec<CssCode> {
     vec![catalog::steane(), catalog::shor(), catalog::surface3()]
+}
+
+/// Pigeonhole principle PHP(holes+1, holes): the classic unsatisfiable
+/// cardinality instance, exercising clause learning, minimization and
+/// database reduction. The shared solver-only benchmark instance of the
+/// criterion benches and the `satbench` binary.
+pub fn pigeonhole(config: SolverConfig, holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut solver = Solver::with_config(config);
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+    let mut enc = Encoder::new(&mut solver);
+    for row in &vars {
+        enc.solver().add_clause(row.clone());
+    }
+    for hole in 0..holes {
+        let column: Vec<Lit> = vars.iter().map(|row| row[hole]).collect();
+        enc.at_most_one(&column);
+    }
+    solver
 }
 
 /// Formats the bracketed per-branch lists of Table I (e.g. `[1,1,0]`).

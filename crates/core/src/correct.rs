@@ -193,6 +193,69 @@ pub fn synthesize_correction_with(
     Err(CorrectionError::BudgetExhausted)
 }
 
+/// Synthesizes the corrections of a whole batch of problems — one per branch
+/// of a verification layer — fanning the solves across up to `threads`
+/// worker threads. Per-branch correction synthesis is embarrassingly
+/// parallel: every branch opens its own ladder on its own freshly
+/// instantiated backend, so the solves share no solver state.
+///
+/// Each worker runs a private [`SatSession`] with `session`'s backend choice
+/// and ladder mode; results are joined in input (deterministic branch) order
+/// and the workers' [`crate::SatStats`] are merged back into `session` in
+/// that same order. Because every per-branch solve is deterministic and the
+/// statistics counters combine commutatively (sums, and a maximum for the
+/// peak clause-database size), the returned solutions *and* the accumulated
+/// statistics are bit-identical to a serial run of
+/// [`synthesize_correction_with`] over the same problems, whatever `threads`
+/// is.
+///
+/// Fails fast: the first error (by branch index) is returned and unstarted
+/// branches are skipped. Indices are claimed in ascending order, so the
+/// lowest-index failure is always computed — the returned error and the
+/// statistics merged up to it match a serial run exactly.
+pub(crate) fn synthesize_corrections_batch(
+    session: &mut SatSession,
+    problems: &[CorrectionProblem],
+    options: &CorrectionOptions,
+    threads: usize,
+) -> Result<Vec<CorrectionSolution>, (usize, CorrectionError)> {
+    let workers = threads.min(problems.len()).max(1);
+    if workers <= 1 {
+        let mut solutions = Vec::with_capacity(problems.len());
+        for (index, problem) in problems.iter().enumerate() {
+            solutions.push(
+                synthesize_correction_with(session, problem, options)
+                    .map_err(|error| (index, error))?,
+            );
+        }
+        return Ok(solutions);
+    }
+    let choice = session.choice();
+    let mode = session.mode();
+    let slots = crate::par::parallel_map_indexed(
+        problems,
+        workers,
+        |_, problem| {
+            let mut worker_session = SatSession::with_mode(choice, mode);
+            let result = synthesize_correction_with(&mut worker_session, problem, options);
+            (result, worker_session.take_stats())
+        },
+        |(result, _)| result.is_err(),
+    );
+    let mut solutions = Vec::with_capacity(problems.len());
+    for (index, slot) in slots.into_iter().enumerate() {
+        // `None` slots are a suffix behind a computed failure.
+        let Some((result, stats)) = slot else { break };
+        session.absorb(&stats);
+        match result {
+            Ok(solution) => solutions.push(solution),
+            Err(error) => return Err((index, error)),
+        }
+    }
+    debug_assert_eq!(solutions.len(), problems.len());
+    Ok(solutions)
+}
+
 /// Runs the weight-minimization ladder for a fixed additional-measurement
 /// count `u`: one feasibility probe with unbounded weight, a binary search
 /// over the summed-weight bound, and a final canonical extraction solve at

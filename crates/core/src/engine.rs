@@ -22,8 +22,17 @@
 //! enumeration is not repeated for unchanged partial protocols, and an
 //! optional [`ReportStore`] ([`EngineBuilder::report_store`]) serves repeat
 //! catalog requests without any solving at all.
+//!
+//! Parallelism happens at two levels, together bounded by
+//! [`EngineBuilder::threads`]: [`SynthesisEngine::synthesize_all`] fans codes
+//! out over worker threads, and *within* one code's synthesis the per-branch
+//! correction solves (independent SAT problems, one per verification
+//! outcome) fan out over the remaining thread budget —
+//! [`SynthesisEngine::synthesize_all`] divides `threads` between the levels
+//! so they never multiply. Results are joined in deterministic order and
+//! per-branch [`SatStats`] merged in branch order, so reports are
+//! bit-identical for every thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,6 +87,15 @@ pub struct SatStats {
     /// Clauses (original + learned) already present when warm queries
     /// started — the encoding and learning work the ladder did not redo.
     pub retained_clauses: u64,
+    /// Learned clauses deleted by the solver's LBD-driven clause-database
+    /// reduction across all queries.
+    pub reduced_clauses: u64,
+    /// Largest clause database (original + learned) any single query's
+    /// solver ever held. Combined by maximum, not by sum.
+    pub peak_clause_db: u64,
+    /// Literals stripped from learned clauses by recursive minimization
+    /// across all queries.
+    pub minimized_literals: u64,
 }
 
 impl SatStats {
@@ -96,6 +114,20 @@ impl SatStats {
         self.clauses += other.clauses;
         self.warm_queries += other.warm_queries;
         self.retained_clauses += other.retained_clauses;
+        self.reduced_clauses += other.reduced_clauses;
+        self.peak_clause_db = self.peak_clause_db.max(other.peak_clause_db);
+        self.minimized_literals += other.minimized_literals;
+    }
+
+    /// Unit propagations per decision across all recorded queries — the
+    /// classic measure of how much work each branch triggers. Returns 0 when
+    /// no decision was made.
+    pub fn propagations_per_decision(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.propagations as f64 / self.decisions as f64
+        }
     }
 }
 
@@ -103,7 +135,7 @@ impl std::fmt::Display for SatStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "calls={} (sat={} unsat={} interrupted={} warm={}) vars={} clauses={} retained={} conflicts={} decisions={} propagations={}",
+            "calls={} (sat={} unsat={} interrupted={} warm={}) vars={} clauses={} retained={} reduced={} peak_db={} conflicts={} decisions={} propagations={} ({:.1}/decision) minimized={}",
             self.calls,
             self.sat,
             self.unsat,
@@ -112,9 +144,13 @@ impl std::fmt::Display for SatStats {
             self.variables,
             self.clauses,
             self.retained_clauses,
+            self.reduced_clauses,
+            self.peak_clause_db,
             self.conflicts,
             self.decisions,
             self.propagations,
+            self.propagations_per_decision(),
+            self.minimized_literals,
         )
     }
 }
@@ -203,6 +239,9 @@ impl SatSession {
         self.stats.conflicts += after.conflicts - before.conflicts;
         self.stats.learned_clauses += after.learned_clauses - before.learned_clauses;
         self.stats.restarts += after.restarts - before.restarts;
+        self.stats.reduced_clauses += after.reduced_clauses - before.reduced_clauses;
+        self.stats.minimized_literals += after.minimized_literals - before.minimized_literals;
+        self.stats.peak_clause_db = self.stats.peak_clause_db.max(after.peak_clause_db);
         // Count each variable and clause of the live session exactly once;
         // warm queries additionally credit the clauses they did not rebuild.
         let (new_vars, new_clauses) = incremental.formula_growth();
@@ -239,9 +278,22 @@ impl SatSession {
         self.stats.conflicts += stats.conflicts;
         self.stats.learned_clauses += stats.learned_clauses;
         self.stats.restarts += stats.restarts;
+        self.stats.reduced_clauses += stats.reduced_clauses;
+        self.stats.minimized_literals += stats.minimized_literals;
+        self.stats.peak_clause_db = self.stats.peak_clause_db.max(stats.peak_clause_db);
         self.stats.variables += backend.num_vars() as u64;
         self.stats.clauses += backend.num_clauses() as u64;
         result
+    }
+
+    /// Merges the accumulated statistics of another session into this one.
+    ///
+    /// Used when per-branch correction solves fan out over worker threads:
+    /// each worker runs its own session and the workers' statistics are
+    /// absorbed back in deterministic branch order, so the totals are
+    /// bit-identical to a serial run.
+    pub fn absorb(&mut self, stats: &SatStats) {
+        self.stats.absorb(stats);
     }
 
     /// The statistics accumulated so far.
@@ -496,8 +548,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the worker-thread count of [`SynthesisEngine::synthesize_all`]
-    /// (defaults to the available hardware parallelism).
+    /// Sets the worker-thread count used by
+    /// [`SynthesisEngine::synthesize_all`] (one code per worker) and by the
+    /// per-branch correction fan-out inside a single code's synthesis
+    /// (defaults to the available hardware parallelism). Results are joined
+    /// in deterministic order, so reports are bit-identical for every thread
+    /// count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -585,7 +641,8 @@ impl SynthesisEngine {
         ReportKey::new(code, &self.options, self.solver, self.ladder)
     }
 
-    /// The worker-thread count used by [`SynthesisEngine::synthesize_all`].
+    /// The worker-thread count used by [`SynthesisEngine::synthesize_all`]
+    /// and by the per-branch correction fan-out within one code's synthesis.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -722,6 +779,7 @@ impl SynthesisEngine {
                 &self.options,
                 &mut correct_session,
                 &mut cache,
+                self.threads,
             )?;
             stages.push(StageReport {
                 stage: Stage::Correction(error_kind),
@@ -743,6 +801,11 @@ impl SynthesisEngine {
 
     /// Synthesizes every code of a catalog, fanning the work out over the
     /// engine's worker threads. Results are returned in input order.
+    ///
+    /// The thread budget is divided between the two fan-out levels: with `w`
+    /// code workers active, each worker's per-branch correction fan-out gets
+    /// `threads / w` threads, so the total never exceeds
+    /// [`EngineBuilder::threads`].
     pub fn synthesize_all(
         &self,
         codes: &[CssCode],
@@ -751,34 +814,17 @@ impl SynthesisEngine {
         if workers <= 1 {
             return codes.iter().map(|code| self.synthesize(code)).collect();
         }
-        let next = AtomicUsize::new(0);
-        let next = &next;
-        let (sender, receiver) = std::sync::mpsc::channel();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let sender = sender.clone();
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= codes.len() {
-                        break;
-                    }
-                    let result = self.synthesize(&codes[index]);
-                    sender
-                        .send((index, result))
-                        .expect("receiver outlives the worker scope");
-                });
-            }
-        });
-        drop(sender);
-        let mut results: Vec<Option<Result<SynthesisReport, SynthesisError>>> =
-            (0..codes.len()).map(|_| None).collect();
-        for (index, result) in receiver {
-            results[index] = Some(result);
-        }
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every input index was processed"))
-            .collect()
+        let mut inner = self.clone();
+        inner.threads = (self.threads / workers).max(1);
+        crate::par::parallel_map_indexed(
+            codes,
+            workers,
+            |_, code| inner.synthesize(code),
+            |_| false,
+        )
+        .into_iter()
+        .map(|slot| slot.expect("no early stop was requested"))
+        .collect()
     }
 
     /// Runs the paper's global optimization: enumerate all minimal
@@ -840,6 +886,7 @@ impl SynthesisEngine {
                     &self.options,
                     &mut correct_session,
                     &mut cache,
+                    self.threads,
                 ) {
                     Ok(_) => {}
                     Err(_) if candidates.len() > 1 => continue,

@@ -77,6 +77,7 @@ pub mod gadget;
 pub mod global;
 mod json;
 pub mod metrics;
+mod par;
 mod perm;
 pub mod prep;
 pub mod protocol;

@@ -1,0 +1,119 @@
+//! Shared scoped-worker helper for the engine's two fan-out levels
+//! (`SynthesisEngine::synthesize_all` across codes, per-branch correction
+//! synthesis within one code).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `workers` scoped threads and returns the
+/// results in input order.
+///
+/// Indices are claimed in ascending order from a shared counter, so the
+/// processed items always form a contiguous prefix. When `stop_on` returns
+/// `true` for a produced result, workers stop claiming further indices
+/// (fail-fast); every already-claimed item still runs to completion, so the
+/// lowest-index stopping result is always present — callers scanning the
+/// returned slots in order see the same first failure a serial run would.
+/// Unprocessed slots are `None` and form a suffix; without an early stop
+/// every slot is `Some`.
+pub(crate) fn parallel_map_indexed<T, R, F, S>(
+    items: &[T],
+    workers: usize,
+    f: F,
+    stop_on: S,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    S: Fn(&R) -> bool + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            let result = f(index, item);
+            let stop = stop_on(&result);
+            out.push(Some(result));
+            if stop {
+                break;
+            }
+        }
+        out.resize_with(items.len(), || None);
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let (sender, receiver) = std::sync::mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let next = &next;
+            let stopped = &stopped;
+            let f = &f;
+            let stop_on = &stop_on;
+            scope.spawn(move || loop {
+                if stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(index, &items[index]);
+                if stop_on(&result) {
+                    stopped.store(true, Ordering::Relaxed);
+                }
+                sender
+                    .send((index, result))
+                    .expect("receiver outlives the worker scope");
+            });
+        }
+    });
+    drop(sender);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, result) in receiver {
+        slots[index] = Some(result);
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..40).collect();
+        for workers in [1, 4] {
+            let results = parallel_map_indexed(&items, workers, |_, &x| x * 2, |_| false);
+            let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..40).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn early_stop_keeps_the_first_stopping_result() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 4] {
+            let results = parallel_map_indexed(&items, workers, |_, &x| x, |&r| r == 9);
+            // Everything before the stopping item was claimed first and is
+            // present; the stopping result itself is always present.
+            for (i, slot) in results.iter().enumerate().take(10) {
+                assert_eq!(slot, &Some(i), "workers={workers}");
+            }
+            // The unprocessed tail is a (possibly empty) None suffix.
+            let first_none = results.iter().position(|s| s.is_none());
+            if let Some(start) = first_none {
+                assert!(results[start..].iter().all(|s| s.is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        let results = parallel_map_indexed(&items, 4, |_, &x| x, |_| false);
+        assert!(results.is_empty());
+    }
+}

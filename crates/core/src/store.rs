@@ -43,7 +43,7 @@ use crate::ZeroStateContext;
 
 /// Bumped whenever the on-disk format or the meaning of a fingerprint
 /// changes, so stale cache entries miss instead of deserializing wrongly.
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
 
 /// Identifies one synthesis result: the code plus a fingerprint of
 /// everything the result depends on (code structure, synthesis options, SAT
@@ -337,6 +337,9 @@ fn stats_to_json(stats: &SatStats) -> Json {
         ("clauses", Json::Num(stats.clauses)),
         ("warm_queries", Json::Num(stats.warm_queries)),
         ("retained_clauses", Json::Num(stats.retained_clauses)),
+        ("reduced_clauses", Json::Num(stats.reduced_clauses)),
+        ("peak_clause_db", Json::Num(stats.peak_clause_db)),
+        ("minimized_literals", Json::Num(stats.minimized_literals)),
     ])
 }
 
@@ -355,6 +358,9 @@ fn stats_from_json(json: &Json) -> Result<SatStats, String> {
         clauses: num_field(json, "clauses")?,
         warm_queries: num_field(json, "warm_queries")?,
         retained_clauses: num_field(json, "retained_clauses")?,
+        reduced_clauses: num_field(json, "reduced_clauses")?,
+        peak_clause_db: num_field(json, "peak_clause_db")?,
+        minimized_literals: num_field(json, "minimized_literals")?,
     })
 }
 

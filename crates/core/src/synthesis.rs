@@ -25,7 +25,7 @@ use dftsp_pauli::PauliKind;
 
 use crate::cache::FaultCache;
 use crate::correct::{
-    synthesize_correction_with, CorrectionError, CorrectionOptions, CorrectionProblem,
+    synthesize_corrections_batch, CorrectionError, CorrectionOptions, CorrectionProblem,
 };
 use crate::engine::{SatSession, SynthesisEngine};
 use crate::ftcheck::{enumerate_single_fault_records, SingleFaultRecord};
@@ -265,13 +265,18 @@ fn choose_cnot_order(
 }
 
 /// (Re)synthesizes the correction branches of the protocol's *last* layer by
-/// exhaustive single-fault enumeration through everything built so far.
-/// Returns the number of synthesized branches.
+/// exhaustive single-fault enumeration through everything built so far,
+/// fanning the per-branch correction solves across up to `threads` worker
+/// threads (the branches are independent SAT problems). Results are joined
+/// in deterministic branch order, so the synthesized protocol and the
+/// statistics recorded on `session` are bit-identical for every thread
+/// count. Returns the number of synthesized branches.
 pub(crate) fn attach_correction_branches_with(
     protocol: &mut DeterministicProtocol,
     options: &SynthesisOptions,
     session: &mut SatSession,
     cache: &mut FaultCache,
+    threads: usize,
 ) -> Result<usize, SynthesisError> {
     let layer_index = protocol.layers.len() - 1;
     let error_kind = protocol.layers[layer_index].error_kind;
@@ -295,7 +300,9 @@ pub(crate) fn attach_correction_branches_with(
             .push(record.execution.residual.part(error_kind.dual()).clone());
     }
 
-    let mut branches = BTreeMap::new();
+    // Materialize one correction problem per branch, in branch order.
+    let mut keys = Vec::with_capacity(buckets.len());
+    let mut problems = Vec::with_capacity(buckets.len());
     for (key, (same_sector, dual_sector)) in buckets {
         // Flag-triggered branches correct hook errors, which live in the dual
         // sector of the layer's verified errors; syndrome-only branches
@@ -310,18 +317,26 @@ pub(crate) fn attach_correction_branches_with(
         } else {
             same_sector
         };
-        let problem = CorrectionProblem {
+        keys.push((key, corrected_kind));
+        problems.push(CorrectionProblem {
             errors,
             measurable: protocol.context.measurable_group(corrected_kind).clone(),
             reduction: protocol.context.reduction_group(corrected_kind).clone(),
-        };
-        let solution = synthesize_correction_with(session, &problem, &options.correction).map_err(
-            |source| SynthesisError::Correction {
+        });
+    }
+
+    let solutions = synthesize_corrections_batch(session, &problems, &options.correction, threads)
+        .map_err(|(index, source)| {
+            let (key, corrected_kind) = keys[index];
+            SynthesisError::Correction {
                 error_kind: corrected_kind,
                 key,
                 source,
-            },
-        )?;
+            }
+        })?;
+
+    let mut branches = BTreeMap::new();
+    for (&(key, corrected_kind), solution) in keys.iter().zip(solutions) {
         let measurements = solution
             .measurements
             .iter()

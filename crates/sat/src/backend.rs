@@ -4,10 +4,14 @@
 //! everything it needs is captured by the [`SatBackend`] trait
 //! (`new_var`/`add_clause`/`solve_with_assumptions`/`model`/`stats`), so the
 //! encodings in [`crate::Encoder`] and the synthesis code in `dftsp` are
-//! written once and run against any implementation. Two backends ship
+//! written once and run against any implementation. Three backends ship
 //! in-tree:
 //!
-//! * the CDCL [`Solver`] itself (the default), and
+//! * the CDCL [`Solver`] itself with the tuned hot path (the default),
+//! * the same solver with every heuristic disabled
+//!   ([`crate::SolverConfig::reference`], selected via
+//!   [`BackendChoice::CdclReference`]) — the cross-checking and benchmarking
+//!   baseline, and
 //! * [`DimacsLoggingBackend`], an instrumented wrapper that records every
 //!   clause and query, can export the accumulated formula as DIMACS CNF for
 //!   inspection or cross-checking against external solvers, and re-validates
@@ -124,7 +128,11 @@ impl_backend_delegate!(Box<B>);
 
 impl SatBackend for Solver {
     fn name(&self) -> &'static str {
-        "cdcl"
+        if self.config().is_reference() {
+            "cdcl-ref"
+        } else {
+            "cdcl"
+        }
     }
 
     fn new_var(&mut self) -> Var {
@@ -330,9 +338,16 @@ impl<B: SatBackend> SatBackend for DimacsLoggingBackend<B> {
 /// Runtime selection of a SAT backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendChoice {
-    /// The in-tree CDCL solver (fastest; the default).
+    /// The in-tree CDCL solver with the tuned heuristics (fastest; the
+    /// default).
     #[default]
     Cdcl,
+    /// The CDCL solver with the decision/learning heuristics disabled
+    /// ([`crate::SolverConfig::reference`]): linear decision scan, no
+    /// clause-database reduction, no learned-clause minimization (the
+    /// propagation layer — blockers, binary path — is structural and stays
+    /// on). Kept as the cross-checking and benchmarking baseline.
+    CdclReference,
     /// The CDCL solver behind the clause-recording, model-cross-checking
     /// DIMACS wrapper (for debugging and formula export).
     DimacsLogging,
@@ -343,6 +358,9 @@ impl BackendChoice {
     pub fn instantiate(self) -> Box<dyn SatBackend> {
         match self {
             BackendChoice::Cdcl => Box::new(Solver::new()),
+            BackendChoice::CdclReference => {
+                Box::new(Solver::with_config(crate::SolverConfig::reference()))
+            }
             BackendChoice::DimacsLogging => Box::new(DimacsLoggingBackend::default()),
         }
     }
@@ -352,6 +370,7 @@ impl std::fmt::Display for BackendChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BackendChoice::Cdcl => write!(f, "cdcl"),
+            BackendChoice::CdclReference => write!(f, "cdcl-ref"),
             BackendChoice::DimacsLogging => write!(f, "dimacs-log"),
         }
     }
@@ -408,7 +427,11 @@ mod tests {
 
     #[test]
     fn both_backends_agree_on_a_tiny_formula() {
-        for choice in [BackendChoice::Cdcl, BackendChoice::DimacsLogging] {
+        for choice in [
+            BackendChoice::Cdcl,
+            BackendChoice::CdclReference,
+            BackendChoice::DimacsLogging,
+        ] {
             let mut backend = choice.instantiate();
             let (a, b) = tiny_formula(backend.as_mut());
             assert_eq!(backend.solve(), SolveResult::Sat, "{choice}");

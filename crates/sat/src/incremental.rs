@@ -6,7 +6,11 @@
 //! [`IncrementalSession`] keeps a single backend alive across such a ladder,
 //! so the clauses the solver learns while answering one bound remain
 //! available for the next — the classic incremental-SAT speedup of
-//! assumption-based solving. Retractable constraints come in two flavours:
+//! assumption-based solving. The solver's LBD-driven clause-database
+//! reduction (see [`Solver`]) keeps long-lived sessions from accumulating
+//! low-value learned clauses between bounds: locked reason clauses and the
+//! original encoding always survive, so retained learning stays sound.
+//! Retractable constraints come in two flavours:
 //!
 //! * arbitrary clause groups behind guard literals
 //!   ([`IncrementalSession::guard`] / [`IncrementalSession::release_guard`],

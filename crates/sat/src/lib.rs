@@ -7,9 +7,14 @@
 //! implications), so this workspace replaces the external SMT solver with an
 //! in-tree conflict-driven clause-learning (CDCL) SAT solver:
 //!
-//! * [`Solver`] — CDCL with two-watched-literal propagation, first-UIP clause
-//!   learning, VSIDS-style activities, phase saving, Luby restarts and
-//!   incremental solving under assumptions.
+//! * [`Solver`] — CDCL with two-watched-literal propagation (blocker
+//!   literals plus a dedicated binary-clause path), first-UIP clause learning
+//!   with recursive minimization, an indexed VSIDS decision heap with
+//!   deterministic tie-breaking, LBD-driven learned-clause database
+//!   reduction, phase saving, Luby restarts and incremental solving under
+//!   assumptions. [`SolverConfig`] tunes the heuristics;
+//!   [`SolverConfig::reference`] is the heuristics-disabled baseline kept for
+//!   cross-checking and benchmarking.
 //! * [`Encoder`] — Tseitin gate encodings (AND/OR/XOR), parity constraints
 //!   and sequential-counter cardinality constraints (optionally guarded by an
 //!   activation literal, or retractable via
@@ -74,4 +79,4 @@ pub use backend::{BackendChoice, DimacsLoggingBackend, LadderMode, QueryRecord, 
 pub use encode::Encoder;
 pub use incremental::{BoundedLadder, IncrementalSession, ReuseStats};
 pub use lit::{Lit, Var};
-pub use solver::{Model, SolveResult, Solver, SolverStats};
+pub use solver::{Model, SolveResult, Solver, SolverConfig, SolverStats};

@@ -1,6 +1,6 @@
 //! Property-based and randomized stress tests for the SAT solver.
 
-use dftsp_sat::{Encoder, Lit, SolveResult, Solver, Var};
+use dftsp_sat::{Encoder, Lit, SolveResult, Solver, SolverConfig, Var};
 use proptest::prelude::*;
 
 /// A small random CNF formula described by clauses over `num_vars` variables.
@@ -29,7 +29,11 @@ fn brute_force_sat(cnf: &RandomCnf) -> bool {
 }
 
 fn load(cnf: &RandomCnf) -> (Solver, Vec<Var>) {
-    let mut solver = Solver::new();
+    load_with(cnf, SolverConfig::default())
+}
+
+fn load_with(cnf: &RandomCnf, config: SolverConfig) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::with_config(config);
     let vars: Vec<Var> = (0..cnf.num_vars).map(|_| solver.new_var()).collect();
     for clause in &cnf.clauses {
         let lits: Vec<Lit> = clause
@@ -39,6 +43,17 @@ fn load(cnf: &RandomCnf) -> (Solver, Vec<Var>) {
         solver.add_clause(lits);
     }
     (solver, vars)
+}
+
+/// The tuned heuristics with the clause-database reduction forced to run
+/// after every single conflict — maximal stress on the locked-clause
+/// protection and the watch/reason remapping.
+fn aggressive_config() -> SolverConfig {
+    SolverConfig {
+        reduce_base: 1,
+        reduce_increment: 0,
+        ..SolverConfig::default()
+    }
 }
 
 proptest! {
@@ -56,6 +71,57 @@ proptest! {
             for clause in &cnf.clauses {
                 prop_assert!(clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive));
             }
+        }
+    }
+
+    /// The heap-based, database-reducing, clause-minimizing tuned solver and
+    /// the heuristics-disabled reference configuration always agree on the
+    /// SAT/UNSAT verdict, and both agree with brute force. The tuned side
+    /// runs with reduction after every conflict so the clause-database
+    /// machinery is exercised even on small formulas.
+    #[test]
+    fn tuned_heuristics_agree_with_reference(cnf in random_cnf(10, 40)) {
+        let expected = brute_force_sat(&cnf);
+        let (mut tuned, tuned_vars) = load_with(&cnf, aggressive_config());
+        let (mut reference, reference_vars) = load_with(&cnf, SolverConfig::reference());
+        let tuned_result = tuned.solve();
+        let reference_result = reference.solve();
+        prop_assert_eq!(tuned_result, reference_result);
+        prop_assert_eq!(tuned_result == SolveResult::Sat, expected);
+        // Both models (possibly different) satisfy every clause.
+        for (solver, vars) in [(&tuned, &tuned_vars), (&reference, &reference_vars)] {
+            if tuned_result == SolveResult::Sat {
+                let model = solver.model().expect("model exists after SAT");
+                for clause in &cnf.clauses {
+                    prop_assert!(
+                        clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(reference.stats().reduced_clauses, 0);
+        prop_assert_eq!(reference.stats().minimized_literals, 0);
+    }
+
+    /// Verdict agreement survives assumption-based incremental reuse: the
+    /// same query sequence on a constantly-reducing tuned solver and on the
+    /// reference solver returns identical verdict sequences.
+    #[test]
+    fn reduction_is_sound_under_assumptions(cnf in random_cnf(8, 30), m0: u64, m1: u64, m2: u64) {
+        let (mut tuned, tuned_vars) = load_with(&cnf, aggressive_config());
+        let (mut reference, reference_vars) = load_with(&cnf, SolverConfig::reference());
+        for mask in [m0, m1, m2] {
+            // Assume a random subset of variables (one polarity bit each).
+            let pick = |vars: &[Var]| -> Vec<Lit> {
+                vars.iter()
+                    .enumerate()
+                    .filter(|(i, _)| (mask >> (2 * i)) & 1 == 1)
+                    .map(|(i, &v)| Lit::with_polarity(v, (mask >> (2 * i + 1)) & 1 == 1))
+                    .collect()
+            };
+            let tuned_result = tuned.solve_with_assumptions(&pick(&tuned_vars));
+            let reference_result = reference.solve_with_assumptions(&pick(&reference_vars));
+            prop_assert_eq!(tuned_result, reference_result, "mask {}", mask);
         }
     }
 

@@ -52,6 +52,42 @@ fn synthesize_all_matches_sequential_synthesis() {
 }
 
 #[test]
+fn parallel_branch_corrections_match_the_serial_path_bit_for_bit() {
+    // Per-branch correction solves fan out over the engine's worker threads;
+    // joining in deterministic branch order and merging per-branch SatStats
+    // must make the whole report — protocol *and* statistics — bit-identical
+    // to the serial path.
+    for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
+        let serial = SynthesisEngine::builder()
+            .threads(1)
+            .build()
+            .synthesize(&code)
+            .unwrap();
+        let parallel = SynthesisEngine::builder()
+            .threads(4)
+            .build()
+            .synthesize(&code)
+            .unwrap();
+        assert_eq!(
+            protocol_fingerprint(&serial.protocol),
+            protocol_fingerprint(&parallel.protocol),
+            "{}: thread count must not change the synthesized protocol",
+            code.name()
+        );
+        assert_eq!(
+            serial.sat_totals(),
+            parallel.sat_totals(),
+            "{}: merged per-branch statistics must equal the serial totals",
+            code.name()
+        );
+        for (s, p) in serial.stages.iter().zip(&parallel.stages) {
+            assert_eq!(s.sat, p.sat, "{}: per-stage stats must match", code.name());
+            assert_eq!(s.branches, p.branches, "{}", code.name());
+        }
+    }
+}
+
+#[test]
 #[ignore = "synthesizes the full catalog including the 15- and 16-qubit codes; several minutes"]
 fn synthesize_all_covers_the_full_catalog() {
     let engine = SynthesisEngine::default();
