@@ -1,0 +1,241 @@
+//! Serving-layer load generator: throughput, coalescing rate and
+//! eviction-correctness of [`SynthesisService`] under concurrent traffic.
+//!
+//! ```text
+//! cargo run --release -p dftsp-bench --bin servebench \
+//!     [-- --quick] [--clients N] [--rounds N] [--capacity N] [--out PATH] [--check MIN_RATE]
+//! ```
+//!
+//! The workload is catalog-shaped, like the paper's: `--clients` threads all
+//! request the *same* code in lockstep rounds (a barrier per round), cycling
+//! through the code set round-robin and revisiting every code once more in a
+//! second pass. The first round of a code triggers exactly one SAT pipeline
+//! run — the remaining clients coalesce onto it — and every revisit is served
+//! from the tiered report store (a deliberately undersized memory front over
+//! a JSON directory back, so the revisit pass also exercises eviction and
+//! disk fault-in).
+//!
+//! Recorded to `BENCH_serve.json` (checked in as the serving-layer
+//! trajectory): request throughput, the provenance breakdown, the dedup
+//! ("coalescing") rate = fraction of requests that did **not** run the
+//! pipeline themselves, and the store's eviction counters.
+//!
+//! Correctness is asserted, not sampled: every response must be
+//! bit-identical to a serial single-caller reference report for its code —
+//! across coalescing, caching, eviction and disk fault-in ("zero-eviction-
+//! correctness": evictions cause zero wrong answers). Any mismatch aborts
+//! with a non-zero exit.
+//!
+//! * `--quick` restricts to the three smallest codes (CI budget: seconds).
+//! * `--check MIN_RATE` exits non-zero when the dedup rate falls below the
+//!   floor, so CI fails loudly if the request layer stops deduplicating.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use dftsp::{JsonReportStore, SynthesisEngine, SynthesisRequest, SynthesisService, TieredStore};
+use dftsp_bench::{evaluation_codes, quick_codes};
+use dftsp_code::CssCode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = flag_value(&args, "--clients")
+        .map(|s| s.parse().expect("--clients takes an integer"))
+        .unwrap_or(4)
+        .max(1);
+    let rounds: usize = flag_value(&args, "--rounds")
+        .map(|s| s.parse().expect("--rounds takes an integer"))
+        .unwrap_or(2)
+        .max(1);
+    let capacity: usize = flag_value(&args, "--capacity")
+        .map(|s| s.parse().expect("--capacity takes an integer"))
+        .unwrap_or(2);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let check: Option<f64> =
+        flag_value(&args, "--check").map(|s| s.parse().expect("--check takes a float"));
+
+    let codes: Vec<CssCode> = if quick {
+        quick_codes()
+    } else {
+        evaluation_codes()
+            .into_iter()
+            .filter(|code| code.parameters().2 == 3)
+            .collect()
+    };
+
+    // Serial single-caller reference reports: the correctness oracle every
+    // served response is checked against, bit for bit.
+    let reference_engine = SynthesisEngine::builder().threads(1).build();
+    let references: Vec<String> = codes
+        .iter()
+        .map(|code| {
+            protocol_rendering(
+                &reference_engine
+                    .synthesize(code)
+                    .unwrap_or_else(|e| panic!("{}: {e}", code.name()))
+                    .protocol,
+            )
+        })
+        .collect();
+
+    // An undersized memory front over a scratch JSON directory: revisit
+    // rounds hit evictions and disk fault-in on purpose.
+    let dir = std::env::temp_dir().join(format!("dftsp-servebench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let disk = Arc::new(JsonReportStore::new(&dir).expect("scratch store directory"));
+    let store = Arc::new(TieredStore::new(capacity).with_back(disk.clone() as Arc<_>));
+    let service = SynthesisService::builder()
+        .report_store(store.clone() as Arc<_>)
+        .concurrency(clients)
+        .build();
+
+    // The drive: every round, all clients hit the same code at a barrier.
+    // `rounds` passes over the code set make the later passes store-served.
+    let schedule: Vec<usize> = (0..rounds).flat_map(|_| 0..codes.len()).collect();
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = service.clone();
+                let barrier = Arc::clone(&barrier);
+                let codes = &codes;
+                let references = &references;
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let mut mismatches = 0usize;
+                    for &code_index in schedule {
+                        barrier.wait();
+                        let response = service
+                            .submit(SynthesisRequest::new(codes[code_index].clone()))
+                            .unwrap_or_else(|e| panic!("{}: {e}", codes[code_index].name()));
+                        if protocol_rendering(&response.report.protocol) != references[code_index] {
+                            eprintln!(
+                                "MISMATCH: {} served a wrong report ({})",
+                                codes[code_index].name(),
+                                response.provenance
+                            );
+                            mismatches += 1;
+                        }
+                    }
+                    mismatches
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client")).sum()
+    });
+    let elapsed = start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let stats = service.stats();
+    let total = stats.submitted;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let dedup = stats.dedup_rate();
+    println!(
+        "{} requests ({} clients × {} rounds × {} codes) in {:.2?}: {:.1} req/s",
+        total,
+        clients,
+        rounds,
+        codes.len(),
+        elapsed,
+        throughput
+    );
+    println!("  {stats}");
+    println!(
+        "  store: {} front hits, {} back hits, {} evictions, {} corrupt",
+        store.front_hits(),
+        store.back_hits(),
+        store.evictions(),
+        disk.corrupt_entries()
+    );
+
+    let json = render_json(
+        quick,
+        clients,
+        rounds,
+        capacity,
+        &codes,
+        elapsed.as_micros(),
+        throughput,
+        &stats,
+        &store,
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses differed from the serial reference");
+        std::process::exit(1);
+    }
+    println!("eviction-correctness passed: 0 mismatches across {total} responses");
+    if let Some(min_rate) = check {
+        if dedup < min_rate {
+            eprintln!(
+                "FAIL: dedup (coalescing + cache) rate {dedup:.3} is below the required {min_rate:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: dedup rate {dedup:.3} >= {min_rate:.3}");
+    }
+}
+
+/// The deterministic content of a protocol (prep circuit + layers) — what
+/// every served response must reproduce bit for bit.
+fn protocol_rendering(protocol: &dftsp::DeterministicProtocol) -> String {
+    format!("{:?}|{:?}", protocol.prep.circuit, protocol.layers)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    quick: bool,
+    clients: usize,
+    rounds: usize,
+    capacity: usize,
+    codes: &[CssCode],
+    elapsed_us: u128,
+    throughput: f64,
+    stats: &dftsp::ServiceStats,
+    store: &TieredStore,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"servebench\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "d3-catalog" }
+    ));
+    out.push_str(&format!(
+        "  \"clients\": {clients},\n  \"rounds\": {rounds},\n  \"front_capacity\": {capacity},\n"
+    ));
+    out.push_str(&format!(
+        "  \"codes\": [{}],\n",
+        codes
+            .iter()
+            .map(|c| format!("\"{}\"", c.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"elapsed_us\": {elapsed_us},\n"));
+    out.push_str(&format!("  \"requests_per_second\": {throughput:.2},\n"));
+    out.push_str(&format!(
+        "  \"requests\": {{\"submitted\": {}, \"solved\": {}, \"coalesced\": {}, \"cached\": {}, \"cancelled\": {}, \"failed\": {}}},\n",
+        stats.submitted, stats.solved, stats.coalesced, stats.cached, stats.cancelled, stats.failed
+    ));
+    out.push_str(&format!("  \"dedup_rate\": {:.4},\n", stats.dedup_rate()));
+    out.push_str(&format!(
+        "  \"store\": {{\"front_hits\": {}, \"back_hits\": {}, \"evictions\": {}}}\n",
+        store.front_hits(),
+        store.back_hits(),
+        store.evictions()
+    ));
+    out.push_str("}\n");
+    out
+}

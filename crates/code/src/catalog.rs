@@ -2,12 +2,12 @@
 //!
 //! | Code | Parameters | Construction here |
 //! |---|---|---|
-//! | Steane | `[[7,1,3]]` | self-dual, Hamming-[7,4,3] check matrix |
+//! | Steane | `[[7,1,3]]` | self-dual, Hamming-`[7,4,3]` check matrix |
 //! | Shor | `[[9,1,3]]` | weight-2 Z pairs, weight-6 X blocks |
 //! | Surface | `[[9,1,3]]` | rotated distance-3 surface code |
 //! | `[[11,1,3]]` | `[[11,1,3]]` | seeded random search (substitution, see DESIGN.md) |
 //! | Tetrahedral | `[[15,1,3]]` | punctured quantum Reed–Muller code |
-//! | Hamming | `[[15,7,3]]` | self-dual, Hamming-[15,11,3] check matrix |
+//! | Hamming | `[[15,7,3]]` | self-dual, Hamming-`[15,11,3]` check matrix |
 //! | Carbon | `[[12,2,4]]` | seeded random search (substitution) |
 //! | `[[16,2,4]]` | `[[16,2,4]]` | seeded random search (substitution) |
 //! | Tesseract | `[[16,6,4]]` | self-dual, Reed–Muller RM(1,4) generator matrix |

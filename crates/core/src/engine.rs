@@ -45,6 +45,7 @@ use crate::global::GlobalResult;
 use crate::metrics::ProtocolMetrics;
 use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
 use crate::protocol::DeterministicProtocol;
+use crate::service::{SynthesisRequest, SynthesisService};
 use crate::store::{ReportKey, ReportStore};
 use crate::synthesis::{
     attach_correction_branches_with, build_layer_from_verification, dangerous_errors_from_records,
@@ -647,28 +648,51 @@ impl SynthesisEngine {
         self.threads
     }
 
+    /// A copy of this engine with the given overrides applied — the seam
+    /// [`crate::SynthesisService`] uses to honor per-request configuration.
+    pub(crate) fn configured(
+        &self,
+        options: Option<SynthesisOptions>,
+        solver: Option<BackendChoice>,
+        ladder: Option<LadderMode>,
+        threads: Option<usize>,
+    ) -> SynthesisEngine {
+        let mut engine = self.clone();
+        if let Some(options) = options {
+            engine.options = options;
+        }
+        if let Some(solver) = solver {
+            engine.solver = solver;
+        }
+        if let Some(ladder) = ladder {
+            engine.ladder = ladder;
+        }
+        if let Some(threads) = threads {
+            engine.threads = threads.max(1);
+        }
+        engine
+    }
+
     /// Synthesizes the complete deterministic protocol for `|0…0⟩_L` of the
     /// given code.
     ///
-    /// With a [`ReportStore`] attached, the store is consulted first (a hit
+    /// This is a thin wrapper over a single-request [`SynthesisService`]:
+    /// with a [`ReportStore`] attached, the store is consulted first (a hit
     /// returns the persisted report without any SAT work) and fresh reports
-    /// are persisted after synthesis.
+    /// are persisted after synthesis — exactly the serving code path.
     ///
     /// # Errors
     ///
     /// Returns a [`SynthesisError`] if verification or correction synthesis
     /// fails (undetectable error, measurement budget, or conflict budget).
     pub fn synthesize(&self, code: &CssCode) -> Result<SynthesisReport, SynthesisError> {
-        let Some(store) = &self.store else {
-            return self.synthesize_uncached(code);
-        };
-        let key = self.report_key(code);
-        if let Some(report) = store.load(&key, code) {
-            return Ok(report);
-        }
-        let report = self.synthesize_uncached(code)?;
-        store.save(&key, &report);
-        Ok(report)
+        SynthesisService::from_engine(self)
+            .submit(SynthesisRequest::new(code.clone()))
+            .map(|response| response.report)
+            .map_err(|e| {
+                e.into_synthesis()
+                    .expect("no cancellation token was attached")
+            })
     }
 
     /// [`SynthesisEngine::synthesize`] without consulting or updating the
@@ -802,29 +826,31 @@ impl SynthesisEngine {
     /// Synthesizes every code of a catalog, fanning the work out over the
     /// engine's worker threads. Results are returned in input order.
     ///
-    /// The thread budget is divided between the two fan-out levels: with `w`
-    /// code workers active, each worker's per-branch correction fan-out gets
-    /// `threads / w` threads, so the total never exceeds
-    /// [`EngineBuilder::threads`].
+    /// This is a thin wrapper over [`SynthesisService::submit_all`] on a
+    /// service with this engine's configuration: duplicate catalog entries
+    /// coalesce onto one solve, and the thread budget is divided between the
+    /// two fan-out levels — with `w` code workers active, each worker's
+    /// per-branch correction fan-out gets `threads / w` threads, so the total
+    /// never exceeds [`EngineBuilder::threads`].
     pub fn synthesize_all(
         &self,
         codes: &[CssCode],
     ) -> Vec<Result<SynthesisReport, SynthesisError>> {
-        let workers = self.threads.min(codes.len()).max(1);
-        if workers <= 1 {
-            return codes.iter().map(|code| self.synthesize(code)).collect();
-        }
-        let mut inner = self.clone();
-        inner.threads = (self.threads / workers).max(1);
-        crate::par::parallel_map_indexed(
-            codes,
-            workers,
-            |_, code| inner.synthesize(code),
-            |_| false,
-        )
-        .into_iter()
-        .map(|slot| slot.expect("no early stop was requested"))
-        .collect()
+        SynthesisService::from_engine(self)
+            .submit_all(
+                codes
+                    .iter()
+                    .map(|code| SynthesisRequest::new(code.clone()))
+                    .collect(),
+            )
+            .into_iter()
+            .map(|result| {
+                result.map(|response| response.report).map_err(|e| {
+                    e.into_synthesis()
+                        .expect("no cancellation token was attached")
+                })
+            })
+            .collect()
     }
 
     /// Runs the paper's global optimization: enumerate all minimal

@@ -25,16 +25,52 @@
 //! through [`synthesize_all`](SynthesisEngine::synthesize_all) on worker
 //! threads, and [`globally_optimize`](SynthesisEngine::globally_optimize)
 //! explores all equivalent minimal verification circuits. The classic free
-//! functions ([`synthesize_protocol`],
-//! [`globally_optimize`](crate::globally_optimize)) remain as thin wrappers.
+//! functions ([`synthesize_protocol`], [`globally_optimize`]) remain as thin
+//! wrappers.
 //!
 //! Two layers of reuse make the engine fit for repeat traffic: the SAT
 //! optimization ladders run on long-lived incremental solver sessions with
 //! guarded, retractable cardinality bounds ([`LadderMode`]; the
 //! fresh-backend-per-query path remains available for cross-checking), and a
 //! persistent [`ReportStore`] ([`MemoryReportStore`] in-process,
-//! [`JsonReportStore`] on disk) serves previously synthesized reports
-//! bit-identically without any solving.
+//! [`JsonReportStore`] on disk, [`TieredStore`] layering a bounded memory
+//! front over a disk back with deterministic LRU eviction) serves previously
+//! synthesized reports bit-identically without any solving.
+//!
+//! # Serving API
+//!
+//! For many concurrent clients asking overlapping questions — the paper's
+//! catalog-shaped workload — the request-oriented front end is
+//! [`SynthesisService`]: typed [`SynthesisRequest`]s (code + options +
+//! backend + [`Priority`] + [`CancellationToken`]) answered with
+//! [`SynthesisResponse`]s that carry the report, its [`Provenance`]
+//! (`Cached` / `Coalesced` / `Solved`) and queue/solve timings. Identical
+//! in-flight requests are **coalesced**: N concurrent identical submissions
+//! trigger exactly one SAT pipeline run whose report fans out bit-identically
+//! to all waiters. Admission is bounded by
+//! [`concurrency`](ServiceBuilder::concurrency) and deterministic (priority
+//! first, submission order second), and a cancelled request is drained
+//! without poisoning the shared solve. The engine's own
+//! [`synthesize`](SynthesisEngine::synthesize) and
+//! [`synthesize_all`](SynthesisEngine::synthesize_all) are thin wrappers over
+//! a single-request service, so there is one serving code path
+//! (`examples/service_demo.rs` walks through it):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dftsp::{MemoryReportStore, Provenance, SynthesisRequest, SynthesisService};
+//! use dftsp_code::catalog;
+//!
+//! let service = SynthesisService::builder()
+//!     .report_store(Arc::new(MemoryReportStore::new()))
+//!     .concurrency(2)
+//!     .build();
+//! let first = service.submit(SynthesisRequest::new(catalog::steane()))?;
+//! assert_eq!(first.provenance, Provenance::Solved);
+//! let repeat = service.submit(SynthesisRequest::new(catalog::steane()))?;
+//! assert_eq!(repeat.provenance, Provenance::Cached); // zero SAT work
+//! # Ok::<(), dftsp::ServiceError>(())
+//! ```
 //!
 //! The synthesized [`DeterministicProtocol`] can be executed under arbitrary
 //! circuit-level fault models ([`execute`]), checked exhaustively against the
@@ -81,6 +117,7 @@ mod par;
 mod perm;
 pub mod prep;
 pub mod protocol;
+pub mod service;
 pub mod store;
 pub mod synthesis;
 pub mod verify;
@@ -101,7 +138,11 @@ pub use protocol::{
     execute, BranchKey, CorrectionBranch, DeterministicProtocol, ExecutionRecord, FaultModel,
     NoFaults, SegmentId, SingleFault, VerificationLayer,
 };
-pub use store::{JsonReportStore, MemoryReportStore, ReportKey, ReportStore};
+pub use service::{
+    CancellationToken, Priority, Provenance, ServiceBuilder, ServiceError, ServiceStats,
+    SynthesisRequest, SynthesisResponse, SynthesisService,
+};
+pub use store::{JsonReportStore, MemoryReportStore, ReportKey, ReportStore, TieredStore};
 pub use synthesis::{
     synthesize_protocol, synthesize_protocol_with_prep, FlagPolicy, SynthesisError,
     SynthesisOptions,

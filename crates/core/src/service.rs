@@ -1,0 +1,1376 @@
+//! The request-oriented serving front end: [`SynthesisService`].
+//!
+//! [`crate::SynthesisEngine`] is a single-caller session object; this module
+//! turns the same pipeline into a request/response service fit for many
+//! concurrent clients asking overlapping questions — the catalog-shaped
+//! workload of the paper, where a small set of (code, options) synthesis
+//! problems is requested over and over.
+//!
+//! A [`SynthesisRequest`] names the code plus everything the answer depends
+//! on (options, SAT backend, ladder mode), a scheduling [`Priority`] and an
+//! optional [`CancellationToken`]. [`SynthesisService::submit`] answers with
+//! a [`SynthesisResponse`]: the report plus its [`Provenance`] — whether the
+//! request was served from the report store ([`Provenance::Cached`]), rode an
+//! identical in-flight solve ([`Provenance::Coalesced`]) or ran the SAT
+//! pipeline itself ([`Provenance::Solved`]) — and queue/solve timings.
+//!
+//! Three mechanisms make the service safe under concurrent traffic:
+//!
+//! * **Deterministic priority admission.** At most
+//!   [`ServiceBuilder::concurrency`] solves run at once. Waiting requests are
+//!   admitted strictly by `(priority descending, submission order ascending)`
+//!   — given the same set of waiters, the next admitted request is always the
+//!   same one. Priority is *inherited* through coalescing: a high-priority
+//!   request joining a queued lower-priority identical request upgrades that
+//!   leader in place. Report-store hits bypass admission entirely — cached
+//!   traffic is never queued behind saturated solves.
+//! * **Coalescing.** Requests are keyed by [`ReportKey`] (code + options +
+//!   backend + ladder fingerprint). While a solve for a key is in flight,
+//!   every identical submission *joins* it instead of solving again: N
+//!   concurrent identical requests trigger exactly one SAT pipeline run whose
+//!   report fans out bit-identically to all waiters.
+//! * **Cancellation.** A cancelled request is drained: it stops waiting (for
+//!   admission or for a coalesced result) and returns
+//!   [`ServiceError::Cancelled`]. The shared solve is never poisoned — other
+//!   waiters on the same key, and the store entry the solve produces, are
+//!   unaffected. A leader cancelled before its solve starts hands the key to
+//!   a surviving waiter; one whose solve already runs completes it (SAT
+//!   queries are not interruptible mid-flight) and returns the result.
+//!
+//! The service runs solves on the *submitting* threads — there is no
+//! detached worker pool to shut down — while batch traffic
+//! ([`SynthesisService::submit_all`]) fans submissions out over the same
+//! scoped-worker helper the engine uses. [`crate::SynthesisEngine`]'s
+//! `synthesize`/`synthesize_all` are thin wrappers over a single-request
+//! service, so there is exactly one serving code path.
+//!
+//! # Examples
+//!
+//! ```
+//! use dftsp::{Priority, SynthesisRequest, SynthesisService};
+//! use dftsp_code::catalog;
+//!
+//! let service = SynthesisService::builder().concurrency(2).build();
+//! let response = service
+//!     .submit(SynthesisRequest::new(catalog::steane()).priority(Priority::High))?;
+//! assert!(response.provenance.is_solved());
+//! println!("{} in {:?}", response.report.code_name, response.solve_time);
+//! # Ok::<(), dftsp::ServiceError>(())
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dftsp_code::CssCode;
+use dftsp_sat::{BackendChoice, LadderMode};
+
+use crate::engine::{EngineBuilder, SynthesisEngine, SynthesisReport};
+use crate::store::{ReportKey, ReportStore};
+use crate::synthesis::{SynthesisError, SynthesisOptions};
+
+/// How long a blocked submission *with a cancellation token* sleeps between
+/// cancellation checks. Wakeups for results and admissions are prompt
+/// (condvar notifications); the timeout only bounds how stale a cancellation
+/// can go unnoticed. Requests without a token block without polling.
+const CANCEL_POLL: Duration = Duration::from_millis(5);
+
+/// Scheduling priority of a [`SynthesisRequest`].
+///
+/// When more requests are waiting than the service's concurrency limit
+/// admits, higher priorities are admitted first; within one priority,
+/// submission order decides. Coalescing inherits priority: a request joining
+/// a queued identical request upgrades that leader to its own priority if
+/// higher. The default is [`Priority::Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background traffic: admitted only when nothing more urgent waits.
+    Low,
+    /// Regular traffic (the default).
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic: admitted before all other waiters.
+    High,
+}
+
+/// A cooperative cancellation handle shared between a submitter and the
+/// caller that may abandon it.
+///
+/// Cancelling *drains* the request: the submission stops waiting and returns
+/// [`ServiceError::Cancelled`]. It never poisons shared state — an in-flight
+/// solve other requests coalesced onto keeps running and its result still
+/// fans out to the remaining waiters.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::CancellationToken;
+///
+/// let token = CancellationToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancellationToken::default()
+    }
+
+    /// Signals cancellation to every clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// One synthesis question: the code plus everything the answer depends on,
+/// along with how urgently (and how abortably) it should be answered.
+///
+/// Option, backend and ladder overrides default to the service's own
+/// configuration; two requests with the same effective configuration share
+/// one [`ReportKey`] and therefore coalesce.
+#[derive(Debug, Clone)]
+pub struct SynthesisRequest {
+    code: CssCode,
+    options: Option<SynthesisOptions>,
+    solver: Option<BackendChoice>,
+    ladder: Option<LadderMode>,
+    priority: Priority,
+    cancel: Option<CancellationToken>,
+    solve_threads: Option<usize>,
+}
+
+impl SynthesisRequest {
+    /// A request for `code` with the service's default configuration,
+    /// [`Priority::Normal`] and no cancellation token.
+    pub fn new(code: CssCode) -> Self {
+        SynthesisRequest {
+            code,
+            options: None,
+            solver: None,
+            ladder: None,
+            priority: Priority::default(),
+            cancel: None,
+            solve_threads: None,
+        }
+    }
+
+    /// Overrides the per-step synthesis options for this request only.
+    pub fn options(mut self, options: SynthesisOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Overrides the SAT backend for this request only.
+    pub fn solver(mut self, solver: BackendChoice) -> Self {
+        self.solver = Some(solver);
+        self
+    }
+
+    /// Overrides the ladder mode for this request only.
+    pub fn ladder_mode(mut self, ladder: LadderMode) -> Self {
+        self.ladder = Some(ladder);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a cancellation token. Cancelling it makes the submission
+    /// return [`ServiceError::Cancelled`] instead of waiting further.
+    pub fn cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bounds the per-branch correction fan-out of the solve this request may
+    /// lead (defaults to the service's full concurrency). Batch submission
+    /// uses this to divide the thread budget between concurrent leaders so
+    /// the two fan-out levels never multiply.
+    pub fn solve_threads(mut self, threads: usize) -> Self {
+        self.solve_threads = Some(threads.max(1));
+        self
+    }
+
+    /// The requested code.
+    pub fn code(&self) -> &CssCode {
+        &self.code
+    }
+}
+
+/// Where a response's report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Served from the report store without any solving.
+    Cached,
+    /// Joined an identical in-flight request; the report is the fan-out of
+    /// that request's single solve.
+    Coalesced,
+    /// This request ran the SAT pipeline itself.
+    Solved,
+}
+
+impl Provenance {
+    /// `true` for [`Provenance::Solved`].
+    pub fn is_solved(self) -> bool {
+        self == Provenance::Solved
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Cached => write!(f, "cached"),
+            Provenance::Coalesced => write!(f, "coalesced"),
+            Provenance::Solved => write!(f, "solved"),
+        }
+    }
+}
+
+/// A served synthesis answer: the report plus its provenance and the
+/// request's time breakdown.
+#[derive(Debug, Clone)]
+pub struct SynthesisResponse {
+    /// The synthesized (or cached, or coalesced) report. Bit-identical to
+    /// what a fresh single-caller engine run would produce.
+    pub report: SynthesisReport,
+    /// Whether the report was cached, coalesced or solved by this request.
+    pub provenance: Provenance,
+    /// Time spent waiting for admission by the priority scheduler.
+    pub queue_time: Duration,
+    /// Time from work start to the report being available: the SAT pipeline
+    /// for [`Provenance::Solved`], the store lookup for
+    /// [`Provenance::Cached`], the wait for the shared solve for
+    /// [`Provenance::Coalesced`].
+    pub solve_time: Duration,
+}
+
+/// Errors reported by [`SynthesisService`] submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The underlying synthesis pipeline failed. When the failing solve was
+    /// shared, every coalesced waiter receives the same error.
+    Synthesis(SynthesisError),
+    /// The request's [`CancellationToken`] fired before a result was
+    /// available; the request was drained without affecting shared state.
+    Cancelled,
+}
+
+impl ServiceError {
+    /// Unwraps the synthesis failure, if that is what this error is.
+    pub fn into_synthesis(self) -> Option<SynthesisError> {
+        match self {
+            ServiceError::Synthesis(e) => Some(e),
+            ServiceError::Cancelled => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Synthesis(source) => write!(f, "synthesis failed: {source}"),
+            ServiceError::Cancelled => write!(f, "the request was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Synthesis(source) => Some(source),
+            ServiceError::Cancelled => None,
+        }
+    }
+}
+
+impl From<SynthesisError> for ServiceError {
+    fn from(source: SynthesisError) -> Self {
+        ServiceError::Synthesis(source)
+    }
+}
+
+/// A snapshot of the service's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests submitted so far.
+    pub submitted: u64,
+    /// Requests that ran the SAT pipeline themselves.
+    pub solved: u64,
+    /// Requests that joined an identical in-flight solve.
+    pub coalesced: u64,
+    /// Requests served from the report store.
+    pub cached: u64,
+    /// Requests drained by cancellation.
+    pub cancelled: u64,
+    /// Requests whose (own or shared) solve failed.
+    pub failed: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of completed requests that did *not* run the pipeline
+    /// themselves — the dedup win of coalescing plus caching. Returns 0 when
+    /// nothing completed.
+    pub fn dedup_rate(&self) -> f64 {
+        let completed = self.solved + self.coalesced + self.cached;
+        if completed == 0 {
+            0.0
+        } else {
+            (self.coalesced + self.cached) as f64 / completed as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted={} solved={} coalesced={} cached={} cancelled={} failed={} (dedup {:.1}%)",
+            self.submitted,
+            self.solved,
+            self.coalesced,
+            self.cached,
+            self.cancelled,
+            self.failed,
+            100.0 * self.dedup_rate(),
+        )
+    }
+}
+
+/// Builder for a [`SynthesisService`].
+///
+/// The synthesis-facing knobs mirror [`EngineBuilder`]; `concurrency` bounds
+/// how many solves run at once (and how wide batch submission fans out).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBuilder {
+    engine: EngineBuilder,
+    concurrency: Option<usize>,
+}
+
+impl ServiceBuilder {
+    /// A builder with all defaults (default engine configuration, hardware
+    /// parallelism).
+    pub fn new() -> Self {
+        ServiceBuilder::default()
+    }
+
+    /// Replaces the default per-step option set of the service.
+    pub fn options(mut self, options: SynthesisOptions) -> Self {
+        self.engine = self.engine.options(options);
+        self
+    }
+
+    /// Selects the default SAT backend.
+    pub fn solver(mut self, choice: BackendChoice) -> Self {
+        self.engine = self.engine.solver(choice);
+        self
+    }
+
+    /// Selects the default ladder mode.
+    pub fn ladder_mode(mut self, mode: LadderMode) -> Self {
+        self.engine = self.engine.ladder_mode(mode);
+        self
+    }
+
+    /// Attaches a [`ReportStore`]; every request consults it before solving
+    /// and fresh reports are persisted into it.
+    pub fn report_store(mut self, store: Arc<dyn ReportStore>) -> Self {
+        self.engine = self.engine.report_store(store);
+        self
+    }
+
+    /// Bounds how many solves run concurrently (defaults to the available
+    /// hardware parallelism). Also the worker width of
+    /// [`SynthesisService::submit_all`].
+    pub fn concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = Some(concurrency.max(1));
+        self
+    }
+
+    /// Finalizes the service.
+    pub fn build(self) -> SynthesisService {
+        let mut engine_builder = self.engine;
+        if let Some(concurrency) = self.concurrency {
+            engine_builder = engine_builder.threads(concurrency);
+        }
+        SynthesisService::from_engine(&engine_builder.build())
+    }
+}
+
+/// What the leader of an in-flight key ends up publishing to its waiters.
+#[derive(Debug, Clone)]
+enum Publication {
+    /// The leader's outcome, ready to fan out. Errors fan out exactly like
+    /// reports. (Shared: N waiters clone the `Arc` under the cell lock and
+    /// materialize their own copies outside it, so the fan-out of a large
+    /// report is not serialized on the lock.)
+    Ready(Arc<Result<SynthesisReport, SynthesisError>>),
+    /// The leader was cancelled before its solve started; waiters retry and
+    /// one of them takes over the key.
+    Abandoned,
+}
+
+/// Where the leader of an in-flight key currently stands with the admission
+/// scheduler. Guarded by one mutex so boosts and the leader's own
+/// transitions are atomic; always locked *after* the admission lock.
+#[derive(Debug, Default)]
+struct LeaderQueueState {
+    /// The leader's ticket while it is queued (`None` before registration
+    /// and again once admitted). Followers with a higher priority upgrade it
+    /// in place — coalescing inherits priority instead of inverting it.
+    ticket: Option<Ticket>,
+    /// The highest priority a follower requested *before* the leader
+    /// registered its ticket; folded into the ticket at registration, so a
+    /// boost can never fall into the gap between claiming the key and
+    /// joining the admission queue.
+    boost: Option<Priority>,
+}
+
+/// Bookkeeping of one in-flight solve that identical requests coalesce onto.
+#[derive(Debug, Default)]
+struct InFlight {
+    /// `None` while the leader is still queued or solving.
+    done: Mutex<Option<Publication>>,
+    published: Condvar,
+    /// The leader's standing in the admission queue (see
+    /// [`LeaderQueueState`]).
+    queue: Mutex<LeaderQueueState>,
+}
+
+/// A ticket in the admission queue. `BTreeSet` order is admission order:
+/// highest priority first (hence the `Reverse`), then submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ticket {
+    priority: std::cmp::Reverse<Priority>,
+    seq: u64,
+}
+
+/// State of the deterministic priority scheduler: how many solves hold a
+/// permit and who is waiting for one.
+#[derive(Debug, Default)]
+struct AdmissionState {
+    active: usize,
+    waiting: BTreeSet<Ticket>,
+}
+
+impl AdmissionState {
+    /// The ticket the scheduler admits next, once a permit frees up:
+    /// the highest-priority, earliest-submitted waiter.
+    fn next_ticket(&self) -> Option<Ticket> {
+        self.waiting.first().copied()
+    }
+
+    /// Whether `ticket` may take a permit right now.
+    fn may_admit(&self, ticket: Ticket, limit: usize) -> bool {
+        self.active < limit && self.next_ticket() == Some(ticket)
+    }
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    /// The engine every leader solves on (uncached — the service owns the
+    /// store interaction).
+    engine: SynthesisEngine,
+    admission: Mutex<AdmissionState>,
+    admitted: Condvar,
+    inflight: Mutex<HashMap<ReportKey, Arc<InFlight>>>,
+    next_seq: AtomicU64,
+    submitted: AtomicU64,
+    solved: AtomicU64,
+    coalesced: AtomicU64,
+    cached: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// The request/response serving front end over the synthesis pipeline.
+///
+/// Cloning is cheap and shares all state — clones coalesce against each
+/// other, which is how the service is handed to many client threads.
+///
+/// # Examples
+///
+/// Identical concurrent submissions run the pipeline once — overlapping
+/// requests coalesce onto the in-flight solve, and a request arriving after
+/// it completed is served from the store:
+///
+/// ```
+/// use std::sync::Arc;
+/// use dftsp::{MemoryReportStore, SynthesisRequest, SynthesisService};
+/// use dftsp_code::catalog;
+///
+/// let service = SynthesisService::builder()
+///     .report_store(Arc::new(MemoryReportStore::new()))
+///     .concurrency(2)
+///     .build();
+/// let clients: Vec<_> = (0..3)
+///     .map(|_| {
+///         let service = service.clone();
+///         std::thread::spawn(move || service.submit(SynthesisRequest::new(catalog::steane())))
+///     })
+///     .collect();
+/// let responses: Vec<_> = clients
+///     .into_iter()
+///     .map(|c| c.join().unwrap().unwrap())
+///     .collect();
+/// let solved = responses.iter().filter(|r| r.provenance.is_solved()).count();
+/// assert_eq!(solved, 1, "one SAT pipeline run serves all three clients");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthesisService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Default for SynthesisService {
+    fn default() -> Self {
+        SynthesisService::builder().build()
+    }
+}
+
+impl SynthesisService {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// A service with the exact configuration (options, backend, ladder mode,
+    /// store, thread budget) of an existing engine. This is the seam the
+    /// engine's own `synthesize`/`synthesize_all` wrappers go through.
+    pub fn from_engine(engine: &SynthesisEngine) -> Self {
+        SynthesisService {
+            inner: Arc::new(ServiceInner {
+                engine: engine.clone(),
+                admission: Mutex::new(AdmissionState::default()),
+                admitted: Condvar::new(),
+                inflight: Mutex::new(HashMap::new()),
+                next_seq: AtomicU64::new(0),
+                submitted: AtomicU64::new(0),
+                solved: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                cached: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The concurrency limit (solves at once, batch worker width).
+    pub fn concurrency(&self) -> usize {
+        self.inner.engine.threads()
+    }
+
+    /// The report store requests are served from, if one is attached.
+    pub fn report_store(&self) -> Option<&Arc<dyn ReportStore>> {
+        self.inner.engine.report_store()
+    }
+
+    /// The [`ReportKey`] under which `request` is coalesced, cached and
+    /// stored: the code plus the request's *effective* configuration
+    /// (service defaults overlaid with the request's overrides).
+    pub fn request_key(&self, request: &SynthesisRequest) -> ReportKey {
+        ReportKey::new(
+            &request.code,
+            request
+                .options
+                .as_ref()
+                .unwrap_or(self.inner.engine.options()),
+            request.solver.unwrap_or_else(|| self.inner.engine.solver()),
+            request
+                .ladder
+                .unwrap_or_else(|| self.inner.engine.ladder_mode()),
+        )
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            solved: self.inner.solved.load(Ordering::Relaxed),
+            coalesced: self.inner.coalesced.load(Ordering::Relaxed),
+            cached: self.inner.cached.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits one request and blocks until it is served, coalesced away,
+    /// or cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Synthesis`] when the (own or shared) solve fails,
+    /// [`ServiceError::Cancelled`] when the request's token fires first.
+    pub fn submit(&self, request: SynthesisRequest) -> Result<SynthesisResponse, ServiceError> {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let result = self.serve(&request);
+        if matches!(result, Err(ServiceError::Cancelled)) {
+            self.inner.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Submits a whole batch, fanning the submissions out over up to
+    /// [`SynthesisService::concurrency`] scoped workers, and returns the
+    /// responses in input order. Duplicate requests within the batch coalesce
+    /// exactly like concurrent external submissions.
+    pub fn submit_all(
+        &self,
+        requests: Vec<SynthesisRequest>,
+    ) -> Vec<Result<SynthesisResponse, ServiceError>> {
+        let workers = self.concurrency().min(requests.len()).max(1);
+        // Divide the thread budget between the submission fan-out and each
+        // leader's per-branch correction fan-out so they never multiply.
+        let solve_threads = (self.concurrency() / workers).max(1);
+        let requests: Vec<SynthesisRequest> = requests
+            .into_iter()
+            .map(|request| match request.solve_threads {
+                Some(_) => request,
+                None => request.solve_threads(solve_threads),
+            })
+            .collect();
+        crate::par::parallel_map_indexed(
+            &requests,
+            workers,
+            |_, request| self.submit(request.clone()),
+            |_| false,
+        )
+        .into_iter()
+        .map(|slot| slot.expect("no early stop was requested"))
+        .collect()
+    }
+
+    /// The serving pipeline of one request: store fast path →
+    /// coalesce-or-lead → admission → solve → store persist → fan out.
+    ///
+    /// A store hit is answered immediately — it needs neither a permit nor
+    /// leadership, so cached traffic is never queued behind saturated
+    /// solves. Leadership of a key is claimed *before* a permit is acquired,
+    /// so identical requests coalesce even while the service is saturated
+    /// and their leader is still queued — the exactly-one-solve guarantee
+    /// does not depend on timing or load. A leader cancelled before its
+    /// solve starts publishes [`Publication::Abandoned`]; its waiters loop
+    /// back and one of them takes over the key.
+    fn serve(&self, request: &SynthesisRequest) -> Result<SynthesisResponse, ServiceError> {
+        let submitted_at = Instant::now();
+        let key = self.request_key(request);
+        loop {
+            if request.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return Err(ServiceError::Cancelled);
+            }
+
+            // Store fast path: exactly one lookup per request (as the
+            // engine's classic path did), before any scheduling.
+            if let Some(store) = self.inner.engine.report_store() {
+                let lookup_start = Instant::now();
+                if let Some(report) = store.load(&key, &request.code) {
+                    self.inner.cached.fetch_add(1, Ordering::Relaxed);
+                    return Ok(SynthesisResponse {
+                        report,
+                        provenance: Provenance::Cached,
+                        queue_time: lookup_start.duration_since(submitted_at),
+                        solve_time: lookup_start.elapsed(),
+                    });
+                }
+            }
+
+            // Claim leadership of the key, or join the request leading it.
+            let (cell, leader) = {
+                let mut inflight = self.inner.inflight.lock().expect("inflight lock poisoned");
+                match inflight.get(&key) {
+                    Some(cell) => (Arc::clone(cell), false),
+                    None => {
+                        let cell = Arc::new(InFlight::default());
+                        inflight.insert(key.clone(), Arc::clone(&cell));
+                        (cell, true)
+                    }
+                }
+            };
+
+            if leader {
+                return self.lead_and_publish(request, &key, &cell, submitted_at);
+            }
+
+            // A follower never holds a permit: it lends its priority to the
+            // queued leader (coalescing inherits priority instead of
+            // inverting it) and waits for the publication.
+            self.boost_leader(&cell, request.priority);
+            let queue_time = submitted_at.elapsed();
+            let wait_start = Instant::now();
+            match self.await_publication(&cell, request.cancel.as_ref())? {
+                Publication::Ready(result) => {
+                    // Deep-clone outside the cell lock (await_publication
+                    // only cloned the Arc under it).
+                    let result = result.as_ref().clone();
+                    match &result {
+                        Ok(_) => self.inner.coalesced.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => self.inner.failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                    return Ok(SynthesisResponse {
+                        report: result?,
+                        provenance: Provenance::Coalesced,
+                        queue_time,
+                        solve_time: wait_start.elapsed(),
+                    });
+                }
+                // The leader drained before solving; retry — this request
+                // may now claim the key itself.
+                Publication::Abandoned => continue,
+            }
+        }
+    }
+
+    /// The leader's path: wait for a permit, run the solve, publish the
+    /// result to every coalesced waiter, retire the key. A cancellation
+    /// before the solve starts abandons leadership instead (waiters retry
+    /// and take over), so a drained leader never poisons the shared key.
+    fn lead_and_publish(
+        &self,
+        request: &SynthesisRequest,
+        key: &ReportKey,
+        cell: &InFlight,
+        submitted_at: Instant,
+    ) -> Result<SynthesisResponse, ServiceError> {
+        // Until disarmed, every exit — including a panicking solve unwinding
+        // through this frame — publishes `Abandoned` (waiters retry and one
+        // takes over the key) and returns the permit, so a single failing
+        // request can never wedge the key or leak scheduler capacity.
+        let mut guard = LeaderGuard {
+            service: self,
+            key,
+            cell,
+            holds_permit: false,
+            armed: true,
+        };
+        if self.acquire_permit_as_leader(request, cell).is_err() {
+            return Err(ServiceError::Cancelled);
+        }
+        guard.holds_permit = true;
+        if request.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Err(ServiceError::Cancelled);
+        }
+        let queue_time = submitted_at.elapsed();
+
+        let work_start = Instant::now();
+        let result = self.lead(request, key);
+        let solve_time = work_start.elapsed();
+        guard.armed = false;
+        self.publish(key, cell, Publication::Ready(Arc::new(result.clone())));
+        self.release_permit();
+        match &result {
+            Err(_) => self.inner.failed.fetch_add(1, Ordering::Relaxed),
+            Ok(_) => self.inner.solved.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(SynthesisResponse {
+            report: result?,
+            provenance: Provenance::Solved,
+            queue_time,
+            solve_time,
+        })
+    }
+
+    /// Publishes the outcome of a led key to its waiters, then retires the
+    /// key so later identical requests go to the store (or a new leader).
+    fn publish(&self, key: &ReportKey, cell: &InFlight, publication: Publication) {
+        {
+            let mut done = cell.done.lock().expect("inflight cell poisoned");
+            *done = Some(publication);
+            cell.published.notify_all();
+        }
+        self.inner
+            .inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(key);
+    }
+
+    /// The leader's work: run the pipeline and persist the fresh report.
+    /// (The store was already consulted on the fast path before leadership
+    /// was claimed — a leader exists only because that lookup missed.)
+    fn lead(
+        &self,
+        request: &SynthesisRequest,
+        key: &ReportKey,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let engine = self.solve_engine(request);
+        let result = engine.synthesize_uncached(&request.code);
+        if let (Ok(report), Some(store)) = (&result, engine.report_store()) {
+            store.save(key, report);
+        }
+        result
+    }
+
+    /// The engine a leader solves `request` on: the service's engine with the
+    /// request's overrides applied.
+    fn solve_engine(&self, request: &SynthesisRequest) -> SynthesisEngine {
+        self.inner.engine.configured(
+            request.options.clone(),
+            request.solver,
+            request.ladder,
+            request.solve_threads,
+        )
+    }
+
+    /// Blocks until the scheduler admits the leader of `cell` (respecting
+    /// the concurrency limit and the deterministic priority order) or the
+    /// request's token fires. The leader's ticket lives in the cell while it
+    /// is queued, so coalescing followers can upgrade its priority in place
+    /// ([`SynthesisService::boost_leader`]); a boost requested before
+    /// registration is folded into the initial ticket.
+    ///
+    /// Lock order is always admission → cell queue state.
+    fn acquire_permit_as_leader(
+        &self,
+        request: &SynthesisRequest,
+        cell: &InFlight,
+    ) -> Result<(), ServiceError> {
+        let cancel = request.cancel.as_ref();
+        let limit = self.concurrency();
+        let mut state = self
+            .inner
+            .admission
+            .lock()
+            .expect("admission lock poisoned");
+        {
+            let mut queue = cell.queue.lock().expect("queue lock poisoned");
+            let priority = match queue.boost.take() {
+                Some(boost) => request.priority.max(boost),
+                None => request.priority,
+            };
+            let ticket = Ticket {
+                priority: std::cmp::Reverse(priority),
+                seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            };
+            state.waiting.insert(ticket);
+            queue.ticket = Some(ticket);
+        }
+        loop {
+            // Re-read every iteration: a follower may have upgraded it.
+            let ticket = cell
+                .queue
+                .lock()
+                .expect("queue lock poisoned")
+                .ticket
+                .expect("queued leader has a ticket");
+            if cancel.is_some_and(|t| t.is_cancelled()) {
+                state.waiting.remove(&ticket);
+                cell.queue.lock().expect("queue lock poisoned").ticket = None;
+                // The departure may unblock the next waiter in line.
+                self.inner.admitted.notify_all();
+                return Err(ServiceError::Cancelled);
+            }
+            if state.may_admit(ticket, limit) {
+                state.waiting.remove(&ticket);
+                cell.queue.lock().expect("queue lock poisoned").ticket = None;
+                state.active += 1;
+                // The new head of the queue may be admissible right away —
+                // wake it rather than leaving it to its poll timeout.
+                self.inner.admitted.notify_all();
+                return Ok(());
+            }
+            state = wait_step(
+                &self.inner.admitted,
+                state,
+                cancel.is_some(),
+                "admission lock poisoned",
+            );
+        }
+    }
+
+    /// Upgrades the leader of `cell` to at least `priority` — called by a
+    /// coalescing follower, so a high-priority request joining a
+    /// low-priority in-flight key pulls that key's solve forward instead of
+    /// inheriting its position (no priority inversion through coalescing).
+    /// Before the leader registered its ticket the boost is parked in the
+    /// cell and folded in at registration; once the leader is admitted it is
+    /// a no-op.
+    fn boost_leader(&self, cell: &InFlight, priority: Priority) {
+        let mut state = self
+            .inner
+            .admission
+            .lock()
+            .expect("admission lock poisoned");
+        let mut queue = cell.queue.lock().expect("queue lock poisoned");
+        match queue.ticket {
+            Some(ticket) => {
+                // `Reverse` order: a smaller value is a higher priority.
+                if std::cmp::Reverse(priority) < ticket.priority && state.waiting.remove(&ticket) {
+                    let upgraded = Ticket {
+                        priority: std::cmp::Reverse(priority),
+                        seq: ticket.seq,
+                    };
+                    state.waiting.insert(upgraded);
+                    queue.ticket = Some(upgraded);
+                    self.inner.admitted.notify_all();
+                }
+            }
+            None => {
+                // The leader has not registered yet (or is already
+                // admitted/done, in which case the watermark is never read).
+                queue.boost = Some(match queue.boost {
+                    Some(existing) => existing.max(priority),
+                    None => priority,
+                });
+            }
+        }
+    }
+
+    /// Returns a permit to the scheduler and wakes the next waiter in line.
+    fn release_permit(&self) {
+        let mut state = self
+            .inner
+            .admission
+            .lock()
+            .expect("admission lock poisoned");
+        state.active -= 1;
+        self.inner.admitted.notify_all();
+    }
+
+    /// A follower's wait for the leader's publication (or its own
+    /// cancellation — which detaches this waiter only).
+    fn await_publication(
+        &self,
+        cell: &InFlight,
+        cancel: Option<&CancellationToken>,
+    ) -> Result<Publication, ServiceError> {
+        let mut done = cell.done.lock().expect("inflight cell poisoned");
+        loop {
+            if let Some(result) = done.as_ref() {
+                return Ok(result.clone());
+            }
+            if cancel.is_some_and(|t| t.is_cancelled()) {
+                return Err(ServiceError::Cancelled);
+            }
+            done = wait_step(
+                &cell.published,
+                done,
+                cancel.is_some(),
+                "inflight cell poisoned",
+            );
+        }
+    }
+}
+
+/// One blocking step on a condvar. Requests without a cancellation token
+/// block outright (a notification always arrives: publication, abandonment,
+/// permit release, self-admission); tokened requests wake every
+/// [`CANCEL_POLL`] to notice a fired token.
+fn wait_step<'m, T>(
+    condvar: &Condvar,
+    guard: std::sync::MutexGuard<'m, T>,
+    cancellable: bool,
+    poison: &str,
+) -> std::sync::MutexGuard<'m, T> {
+    if cancellable {
+        condvar.wait_timeout(guard, CANCEL_POLL).expect(poison).0
+    } else {
+        condvar.wait(guard).expect(poison)
+    }
+}
+
+/// Panic/exit safety of a leadership claim: until disarmed, dropping the
+/// guard publishes [`Publication::Abandoned`] (so waiters retry instead of
+/// hanging forever) and returns the held permit to the scheduler.
+struct LeaderGuard<'a> {
+    service: &'a SynthesisService,
+    key: &'a ReportKey,
+    cell: &'a InFlight,
+    holds_permit: bool,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.service
+                .publish(self.key, self.cell, Publication::Abandoned);
+            if self.holds_permit {
+                self.service.release_permit();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryReportStore;
+    use dftsp_code::catalog;
+
+    #[test]
+    fn admission_order_is_priority_then_submission() {
+        let mut state = AdmissionState::default();
+        let ticket = |priority, seq| Ticket {
+            priority: std::cmp::Reverse(priority),
+            seq,
+        };
+        state.waiting.insert(ticket(Priority::Low, 0));
+        state.waiting.insert(ticket(Priority::Normal, 1));
+        state.waiting.insert(ticket(Priority::High, 3));
+        state.waiting.insert(ticket(Priority::High, 2));
+
+        // Highest priority first; within one priority, submission order.
+        let mut admitted = Vec::new();
+        while let Some(next) = state.next_ticket() {
+            state.waiting.remove(&next);
+            admitted.push((next.priority.0, next.seq));
+        }
+        assert_eq!(
+            admitted,
+            vec![
+                (Priority::High, 2),
+                (Priority::High, 3),
+                (Priority::Normal, 1),
+                (Priority::Low, 0),
+            ]
+        );
+
+        // No admission above the concurrency limit, regardless of waiters.
+        let mut full = AdmissionState {
+            active: 2,
+            waiting: BTreeSet::new(),
+        };
+        let urgent = ticket(Priority::High, 7);
+        full.waiting.insert(urgent);
+        assert!(!full.may_admit(urgent, 2));
+        full.active = 1;
+        assert!(full.may_admit(urgent, 2));
+        // Only the head of the queue may be admitted.
+        full.waiting.insert(ticket(Priority::High, 5));
+        assert!(!full.may_admit(urgent, 2));
+    }
+
+    #[test]
+    fn coalescing_followers_boost_a_queued_leader() {
+        let service = SynthesisService::builder().concurrency(2).build();
+        let cell = InFlight::default();
+
+        // Simulate a leader queued at Low priority behind a saturated pool.
+        let low = Ticket {
+            priority: std::cmp::Reverse(Priority::Low),
+            seq: 7,
+        };
+        {
+            let mut state = service.inner.admission.lock().unwrap();
+            state.waiting.insert(low);
+            state.waiting.insert(Ticket {
+                priority: std::cmp::Reverse(Priority::Normal),
+                seq: 9,
+            });
+            cell.queue.lock().unwrap().ticket = Some(low);
+        }
+
+        // A High-priority follower pulls the shared solve to the front.
+        service.boost_leader(&cell, Priority::High);
+        {
+            let state = service.inner.admission.lock().unwrap();
+            let head = state.next_ticket().unwrap();
+            assert_eq!(head.priority.0, Priority::High);
+            assert_eq!(head.seq, 7, "the upgraded ticket keeps its seq");
+            assert!(!state.waiting.contains(&low), "the old ticket is gone");
+        }
+        assert_eq!(
+            cell.queue.lock().unwrap().ticket.unwrap().priority.0,
+            Priority::High
+        );
+
+        // A lower or equal boost is a no-op.
+        service.boost_leader(&cell, Priority::Normal);
+        assert_eq!(
+            cell.queue.lock().unwrap().ticket.unwrap().priority.0,
+            Priority::High
+        );
+
+        // Once the ticket is cleared (admitted/done), a boost only parks a
+        // watermark that nobody will read.
+        cell.queue.lock().unwrap().ticket = None;
+        service.boost_leader(&cell, Priority::High);
+        assert!(cell.queue.lock().unwrap().ticket.is_none());
+    }
+
+    #[test]
+    fn boosts_before_ticket_registration_are_not_lost() {
+        // The race the watermark closes: a follower joins the cell after the
+        // leader claimed the key but before it registered its admission
+        // ticket. The parked boost must be folded into the ticket.
+        let service = SynthesisService::builder().concurrency(2).build();
+        let cell = InFlight::default();
+
+        service.boost_leader(&cell, Priority::Normal);
+        service.boost_leader(&cell, Priority::High);
+        service.boost_leader(&cell, Priority::Low); // never downgrades
+        assert_eq!(cell.queue.lock().unwrap().boost, Some(Priority::High));
+
+        // Saturate the pool so registration queues instead of admitting,
+        // then register a Low-priority leader: it must enqueue at High.
+        service.inner.admission.lock().unwrap().active = 2;
+        let token = CancellationToken::new();
+        let request = SynthesisRequest::new(catalog::steane())
+            .priority(Priority::Low)
+            .cancellation(token.clone());
+        let cell = Arc::new(cell);
+        let handle = {
+            let service = service.clone();
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || service.acquire_permit_as_leader(&request, &cell))
+        };
+        let registered = loop {
+            if let Some(ticket) = cell.queue.lock().unwrap().ticket {
+                break ticket;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(
+            registered.priority.0,
+            Priority::High,
+            "the parked boost is folded into the ticket"
+        );
+        assert_eq!(cell.queue.lock().unwrap().boost, None, "watermark consumed");
+
+        // Drain the queued leader via its token and restore the pool.
+        token.cancel();
+        assert_eq!(handle.join().unwrap(), Err(ServiceError::Cancelled));
+        assert_eq!(
+            service.inner.admission.lock().unwrap().active,
+            2,
+            "a cancelled registration takes no permit"
+        );
+        service.inner.admission.lock().unwrap().active = 0;
+    }
+
+    #[test]
+    fn dropped_leader_guard_abandons_the_key_and_returns_the_permit() {
+        // The panic-safety net: if a leader unwinds mid-solve, the guard
+        // must publish Abandoned (so waiters retry instead of hanging) and
+        // hand its permit back.
+        let service = SynthesisService::builder().concurrency(1).build();
+        let key = ReportKey {
+            code_name: "guard-test".to_string(),
+            fingerprint: 42,
+        };
+        let cell = Arc::new(InFlight::default());
+        service
+            .inner
+            .inflight
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::clone(&cell));
+        service.inner.admission.lock().unwrap().active = 1;
+
+        drop(LeaderGuard {
+            service: &service,
+            key: &key,
+            cell: &cell,
+            holds_permit: true,
+            armed: true,
+        });
+        assert!(
+            matches!(*cell.done.lock().unwrap(), Some(Publication::Abandoned)),
+            "waiters are told to retry"
+        );
+        assert!(
+            service.inner.inflight.lock().unwrap().is_empty(),
+            "the key is retired"
+        );
+        assert_eq!(
+            service.inner.admission.lock().unwrap().active,
+            0,
+            "the permit is returned"
+        );
+
+        // The service still serves the code normally afterwards.
+        let response = service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+        assert_eq!(response.provenance, Provenance::Solved);
+
+        // A disarmed guard touches nothing.
+        service.inner.admission.lock().unwrap().active = 1;
+        drop(LeaderGuard {
+            service: &service,
+            key: &key,
+            cell: &cell,
+            holds_permit: true,
+            armed: false,
+        });
+        assert_eq!(service.inner.admission.lock().unwrap().active, 1);
+        service.inner.admission.lock().unwrap().active = 0;
+    }
+
+    #[test]
+    fn single_request_is_solved_and_then_cached() {
+        let store = Arc::new(MemoryReportStore::new());
+        let service = SynthesisService::builder()
+            .report_store(store.clone())
+            .concurrency(2)
+            .build();
+        let first = service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+        assert_eq!(first.provenance, Provenance::Solved);
+        let second = service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+        assert_eq!(second.provenance, Provenance::Cached);
+        assert_eq!(
+            format!("{:?}", first.report.protocol.layers),
+            format!("{:?}", second.report.protocol.layers)
+        );
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.solved, 1);
+        assert_eq!(stats.cached, 1);
+        assert!(stats.dedup_rate() > 0.49);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn request_overrides_change_the_key() {
+        let service = SynthesisService::builder().build();
+        let base = SynthesisRequest::new(catalog::steane());
+        let fresh = SynthesisRequest::new(catalog::steane()).ladder_mode(LadderMode::Fresh);
+        let defaulted = SynthesisRequest::new(catalog::steane()).ladder_mode(LadderMode::default());
+        assert_ne!(
+            service.request_key(&base).fingerprint,
+            service.request_key(&fresh).fingerprint,
+            "a ladder override must not coalesce with the default"
+        );
+        assert_eq!(
+            service.request_key(&base),
+            service.request_key(&defaulted),
+            "an explicit default override is the same question"
+        );
+    }
+
+    #[test]
+    fn cancelled_before_admission_is_drained() {
+        let service = SynthesisService::builder().concurrency(1).build();
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = service
+            .submit(SynthesisRequest::new(catalog::steane()).cancellation(token))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Cancelled);
+        assert!(err.into_synthesis().is_none());
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.solved, 0);
+
+        // The drained request leaves no residue: the same service still
+        // serves the same question normally.
+        let response = service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+        assert_eq!(response.provenance, Provenance::Solved);
+    }
+
+    #[test]
+    fn cancelled_follower_does_not_poison_the_shared_solve() {
+        let service = SynthesisService::builder().concurrency(2).build();
+        let code = catalog::steane();
+        let token = CancellationToken::new();
+        let cancelling = {
+            let service = service.clone();
+            let code = code.clone();
+            let token = token.clone();
+            std::thread::spawn(move || {
+                service.submit(SynthesisRequest::new(code).cancellation(token))
+            })
+        };
+        let surviving = {
+            let service = service.clone();
+            let code = code.clone();
+            std::thread::spawn(move || service.submit(SynthesisRequest::new(code)))
+        };
+        // Fire the token while the requests are (most likely) in flight; no
+        // matter where each request is at that instant, the survivor must
+        // complete with the correct report.
+        std::thread::sleep(Duration::from_millis(2));
+        token.cancel();
+        let cancelled = cancelling.join().unwrap();
+        let survived = surviving.join().unwrap().expect("survivor is unaffected");
+        let reference = SynthesisEngine::builder()
+            .threads(1)
+            .build()
+            .synthesize(&code)
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", survived.report.protocol.layers),
+            format!("{:?}", reference.protocol.layers),
+            "a cancellation next to a shared solve must not corrupt it"
+        );
+        // The cancelled request either drained or (if it already led the
+        // solve / arrived after publication) completed — both are valid.
+        if let Err(e) = cancelled {
+            assert_eq!(e, ServiceError::Cancelled);
+        }
+    }
+
+    #[test]
+    fn submit_all_coalesces_duplicates_within_a_batch() {
+        let service = SynthesisService::builder()
+            .report_store(Arc::new(MemoryReportStore::new()))
+            .concurrency(4)
+            .build();
+        let requests: Vec<SynthesisRequest> = (0..6)
+            .map(|_| SynthesisRequest::new(catalog::steane()))
+            .collect();
+        let responses = service.submit_all(requests);
+        assert_eq!(responses.len(), 6);
+        let mut solved = 0;
+        let mut renderings = BTreeSet::new();
+        for response in responses {
+            let response = response.unwrap();
+            if response.provenance.is_solved() {
+                solved += 1;
+            } else {
+                // Duplicates either ride the in-flight solve or — if they
+                // arrive after it completed — hit the store it populated.
+                assert!(matches!(
+                    response.provenance,
+                    Provenance::Coalesced | Provenance::Cached
+                ));
+            }
+            renderings.insert(format!("{:?}", response.report.protocol.layers));
+        }
+        assert_eq!(solved, 1, "identical batch entries trigger one solve");
+        assert_eq!(renderings.len(), 1, "all responses are bit-identical");
+    }
+
+    #[test]
+    fn error_fan_out_reaches_every_coalesced_waiter() {
+        // A zero conflict budget fails the verification ladder; the failure
+        // must fan out to every waiter in the coalesced group as the same
+        // typed error.
+        let mut options = SynthesisOptions::default();
+        options.verification.max_conflicts = Some(0);
+        options.correction.max_conflicts = Some(0);
+        let service = SynthesisService::builder()
+            .options(options)
+            .concurrency(4)
+            .build();
+        let requests: Vec<SynthesisRequest> = (0..4)
+            .map(|_| SynthesisRequest::new(catalog::steane()))
+            .collect();
+        let responses = service.submit_all(requests);
+        for response in responses {
+            let err = response.unwrap_err();
+            let synthesis = err.into_synthesis().expect("a synthesis failure");
+            assert!(synthesis.to_string().contains("budget"));
+        }
+        assert_eq!(service.stats().solved + service.stats().cached, 0);
+        assert_eq!(service.stats().failed, 4);
+    }
+}

@@ -15,16 +15,16 @@
 //!   requests from one long-lived engine;
 //! * [`JsonReportStore`] — one JSON file per key in a directory, for warm
 //!   starts across process restarts (the offline `serde` shim performs no
-//!   serialization, so the codec is the hand-rolled [`crate::json`] module).
+//!   serialization, so the codec is the crate's hand-rolled JSON module).
 //!
 //! A loaded report is bit-identical to the stored one: the protocol, the
 //! per-stage statistics and the recorded timings all round-trip exactly.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use dftsp_circuit::{Circuit, Gate};
 use dftsp_code::CssCode;
@@ -43,7 +43,10 @@ use crate::ZeroStateContext;
 
 /// Bumped whenever the on-disk format or the meaning of a fingerprint
 /// changes, so stale cache entries miss instead of deserializing wrongly.
-const FORMAT_VERSION: u64 = 2;
+/// Version 3: [`ReportKey::file_name`] gained the collision-proof name-hash
+/// infix, so pre-3 files are unreachable under the new naming and must not
+/// resurface through a matching fingerprint.
+const FORMAT_VERSION: u64 = 3;
 
 /// Identifies one synthesis result: the code plus a fingerprint of
 /// everything the result depends on (code structure, synthesis options, SAT
@@ -82,14 +85,22 @@ impl ReportKey {
         }
     }
 
-    /// A file-system-safe name for this key.
+    /// A file-system-safe name for this key, unique per key.
+    ///
+    /// The readable prefix is the sanitized code name, which is lossy
+    /// (distinct names can sanitize identically), so the name also carries
+    /// the full 64-bit content hash of the *unsanitized* code name next to
+    /// the configuration fingerprint — two distinct keys map to distinct
+    /// files up to a 64-bit hash collision, the same standard the
+    /// fingerprint itself is built on.
     pub fn file_name(&self) -> String {
         let safe: String = self
             .code_name
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
             .collect();
-        format!("{safe}-{:016x}.json", self.fingerprint)
+        let name_hash = debug_fingerprint(self.code_name.as_str());
+        format!("{safe}-{name_hash:016x}-{:016x}.json", self.fingerprint)
     }
 }
 
@@ -188,14 +199,30 @@ impl ReportStore for MemoryReportStore {
 /// Directory-backed [`ReportStore`]: one JSON file per key.
 ///
 /// Reports survive process restarts; a second run of the same catalog serves
-/// every request from disk without SAT work. Unreadable or stale-format
-/// files are treated as misses and overwritten on the next save.
+/// every request from disk without SAT work.
+///
+/// The store is hardened for service traffic:
+///
+/// * **Atomic writes** — a report is written to a uniquely named tempfile in
+///   the store directory and atomically renamed into place, so a concurrent
+///   reader (or a crash mid-write) never observes a half-written entry.
+/// * **Corrupt-entry tolerance** — a present-but-undecodable file (truncated
+///   write from an earlier unhardened version, disk corruption, stale
+///   format) is *skipped with a warning* and counted in
+///   [`JsonReportStore::corrupt_entries`]; it reads as a miss, never an
+///   error or a panic, and the next save overwrites it.
 #[derive(Debug)]
 pub struct JsonReportStore {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
 }
+
+/// Discriminates concurrent tempfile writes process-wide, so two store
+/// instances opened on the same directory can never pick the same tempfile
+/// name for one key.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 impl JsonReportStore {
     /// Opens (and creates if necessary) the store directory.
@@ -206,10 +233,23 @@ impl JsonReportStore {
     pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // Sweep tempfiles orphaned by a crash between write and rename —
+        // without this they would accumulate forever. A concurrent save from
+        // another live process can in principle lose its tempfile to the
+        // sweep; that costs one (re-solvable) cache write, never
+        // correctness: the save only warns and the entry stays a miss.
+        if let Ok(dir_entries) = std::fs::read_dir(&dir) {
+            for entry in dir_entries.flatten() {
+                if entry.file_name().to_string_lossy().contains(".tmp-") {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
         Ok(JsonReportStore {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         })
     }
 
@@ -218,17 +258,44 @@ impl JsonReportStore {
         &self.dir
     }
 
+    /// Number of lookups that found a file but could not decode it (the
+    /// entry was skipped with a warning and reported as a miss).
+    pub fn corrupt_entries(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
     fn path(&self, key: &ReportKey) -> PathBuf {
         self.dir.join(key.file_name())
+    }
+
+    /// Decodes one stored entry; `Err` carries the reason the entry is
+    /// unusable (for the skip-with-warning diagnostics).
+    fn decode(text: &str, code: &CssCode) -> Result<SynthesisReport, String> {
+        let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        report_from_json(&json, code)
     }
 }
 
 impl ReportStore for JsonReportStore {
     fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
-        let report = std::fs::read_to_string(self.path(key))
-            .ok()
-            .and_then(|text| Json::parse(&text).ok())
-            .and_then(|json| report_from_json(&json, code).ok());
+        let path = self.path(key);
+        let report = match std::fs::read_to_string(&path) {
+            // A missing entry is the ordinary cold-cache miss: stay silent.
+            Err(_) => None,
+            Ok(text) => match JsonReportStore::decode(&text, code) {
+                Ok(report) => Some(report),
+                Err(reason) => {
+                    // Present but undecodable: skip with a warning, never
+                    // fail the request over a bad cache entry.
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: report store skipping corrupt entry {}: {reason}",
+                        path.display()
+                    );
+                    None
+                }
+            },
+        };
         match &report {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -238,11 +305,295 @@ impl ReportStore for JsonReportStore {
 
     fn save(&self, key: &ReportKey, report: &SynthesisReport) {
         let text = report_to_json(report).to_text();
-        if let Err(e) = std::fs::write(self.path(key), text) {
+        let path = self.path(key);
+        // Tempfile + atomic rename: the process id separates processes and
+        // the process-wide counter separates every call within one process
+        // (including calls from different store instances on the same
+        // directory), so concurrent saves of the same key never interleave
+        // within one file and readers only ever see complete entries.
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let written = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = written {
             eprintln!(
                 "warning: report store failed to persist {}: {e}",
-                self.path(key).display()
+                path.display()
             );
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// One resident entry of the [`TieredStore`] memory front.
+///
+/// The report is shared, not owned: a hit clones the `Arc` inside the front
+/// lock and materializes the caller's copy outside it, so concurrent cache
+/// hits are not serialized behind each other's deep clones.
+#[derive(Debug)]
+struct FrontEntry {
+    report: Arc<SynthesisReport>,
+    /// Logical LRU clock value of the last hit (or the insertion).
+    last_used: u64,
+    /// Wall-clock insertion time, for age-based expiry.
+    inserted: Instant,
+}
+
+/// Outcome of a front-cache lookup.
+enum Touch {
+    /// Resident and fresh: the shared report, LRU position refreshed.
+    Hit(Arc<SynthesisReport>),
+    /// Resident but older than the store's max age: dropped on the spot.
+    Expired,
+    /// Not resident.
+    Miss,
+}
+
+/// The bounded memory front of a [`TieredStore`].
+#[derive(Debug, Default)]
+struct FrontCache {
+    entries: HashMap<ReportKey, FrontEntry>,
+    /// `last_used` tick → key. Ticks are unique, so this is a total LRU
+    /// order and its first entry is always the eviction victim — O(log n)
+    /// to maintain instead of a full scan per eviction.
+    order: BTreeMap<u64, ReportKey>,
+    /// Monotonic logical clock: every insertion and hit advances it, so LRU
+    /// order is a total order independent of wall-clock resolution.
+    tick: u64,
+}
+
+impl FrontCache {
+    /// Looks `key` up, refreshing its LRU position. The age check happens
+    /// lazily here, so hot-path reads never sweep the whole cache.
+    fn touch(&mut self, key: &ReportKey, max_age: Option<Duration>) -> Touch {
+        self.tick += 1;
+        let tick = self.tick;
+        let Some(entry) = self.entries.get_mut(key) else {
+            return Touch::Miss;
+        };
+        if max_age.is_some_and(|age| entry.inserted.elapsed() > age) {
+            let stale = entry.last_used;
+            self.entries.remove(key);
+            self.order.remove(&stale);
+            return Touch::Expired;
+        }
+        self.order.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.order.insert(tick, key.clone());
+        Touch::Hit(Arc::clone(&entry.report))
+    }
+
+    fn insert(&mut self, key: ReportKey, report: Arc<SynthesisReport>) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(replaced) = self.entries.insert(
+            key.clone(),
+            FrontEntry {
+                report,
+                last_used: tick,
+                inserted: Instant::now(),
+            },
+        ) {
+            self.order.remove(&replaced.last_used);
+        }
+        self.order.insert(tick, key);
+    }
+
+    /// Drops entries older than `max_age`; returns how many were dropped.
+    /// Only the write path sweeps — reads expire lazily in
+    /// [`FrontCache::touch`].
+    fn expire(&mut self, max_age: Option<Duration>) -> u64 {
+        let Some(max_age) = max_age else { return 0 };
+        let stale: Vec<(u64, ReportKey)> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.inserted.elapsed() > max_age)
+            .map(|(key, entry)| (entry.last_used, key.clone()))
+            .collect();
+        for (tick, key) in &stale {
+            self.entries.remove(key);
+            self.order.remove(tick);
+        }
+        stale.len() as u64
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity` remain;
+    /// returns how many were evicted. The logical clock makes the order
+    /// deterministic: strictly ascending `last_used`, no ties possible.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let (_, victim) = self.order.pop_first().expect("order tracks entries");
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A two-tier [`ReportStore`]: a bounded in-memory front over an optional
+/// persistent back (typically a [`JsonReportStore`]).
+///
+/// The front holds at most [`TieredStore::capacity`] reports and optionally
+/// expires them by age; eviction is least-recently-used with a logical
+/// clock, so the eviction order is deterministic for a given access history.
+/// Every save is written through to the back, so an evicted entry is *not*
+/// lost — the next lookup faults it back in from the back tier. Lookups that
+/// hit either tier count as store hits.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dftsp::{ReportStore, SynthesisEngine, TieredStore};
+/// use dftsp_code::catalog;
+///
+/// // A front bounded to 8 resident reports, memory-only (no back tier).
+/// let store = Arc::new(TieredStore::new(8));
+/// let engine = SynthesisEngine::builder().report_store(store.clone()).build();
+/// engine.synthesize(&catalog::steane())?;
+/// engine.synthesize(&catalog::steane())?; // served from the front
+/// assert_eq!(store.hits(), 1);
+/// assert_eq!(store.evictions(), 0);
+/// # Ok::<(), dftsp::SynthesisError>(())
+/// ```
+#[derive(Debug)]
+pub struct TieredStore {
+    front: Mutex<FrontCache>,
+    back: Option<Arc<dyn ReportStore>>,
+    capacity: usize,
+    max_age: Option<Duration>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    front_hits: AtomicU64,
+    back_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TieredStore {
+    /// A memory-only tiered store whose front holds at most `capacity`
+    /// reports. With `capacity` 0 the front is disabled and every lookup
+    /// goes to the back tier (if any).
+    pub fn new(capacity: usize) -> Self {
+        TieredStore {
+            front: Mutex::new(FrontCache::default()),
+            back: None,
+            capacity,
+            max_age: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            front_hits: AtomicU64::new(0),
+            back_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a persistent back tier. Saves are written through to it and
+    /// front evictions fault back in from it.
+    pub fn with_back(mut self, back: Arc<dyn ReportStore>) -> Self {
+        self.back = Some(back);
+        self
+    }
+
+    /// Expires front entries older than `max_age` (checked on every access).
+    /// Expired entries count as evictions.
+    pub fn with_max_age(mut self, max_age: Duration) -> Self {
+        self.max_age = Some(max_age);
+        self
+    }
+
+    /// The front tier's capacity in resident reports.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of reports currently resident in the memory front.
+    pub fn front_len(&self) -> usize {
+        self.front
+            .lock()
+            .expect("front lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Lookups served by the memory front.
+    pub fn front_hits(&self) -> u64 {
+        self.front_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served by the back tier (and promoted into the front).
+    pub fn back_hits(&self) -> u64 {
+        self.back_hits.load(Ordering::Relaxed)
+    }
+
+    /// Front entries dropped by LRU eviction or age expiry.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Admits `report` into the locked front: write-path age sweep, the
+    /// insertion itself, then the capacity bound — with every dropped entry
+    /// accounted as an eviction.
+    fn admit(&self, key: &ReportKey, report: Arc<SynthesisReport>) {
+        let mut front = self.front.lock().expect("front lock poisoned");
+        let expired = front.expire(self.max_age);
+        front.insert(key.clone(), report);
+        let evicted = front.evict_to(self.capacity);
+        drop(front);
+        self.evictions
+            .fetch_add(expired + evicted, Ordering::Relaxed);
+    }
+}
+
+impl ReportStore for TieredStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let touched = self
+            .front
+            .lock()
+            .expect("front lock poisoned")
+            .touch(key, self.max_age);
+        match touched {
+            Touch::Hit(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.front_hits.fetch_add(1, Ordering::Relaxed);
+                // Materialize the caller's copy outside the front lock.
+                return Some(report.as_ref().clone());
+            }
+            Touch::Expired => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            Touch::Miss => {}
+        }
+        if let Some(report) = self.back.as_ref().and_then(|back| back.load(key, code)) {
+            if self.capacity > 0 {
+                // The promotion copy is made outside the front lock.
+                self.admit(key, Arc::new(report.clone()));
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.back_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(report);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        if self.capacity > 0 {
+            self.admit(key, Arc::new(report.clone()));
+        }
+        if let Some(back) = &self.back {
+            back.save(key, report);
         }
     }
 
@@ -774,6 +1125,200 @@ mod tests {
         std::fs::write(store.dir().join(key.file_name()), "not json").unwrap();
         assert!(store.load(&key, &code).is_none());
         assert_eq!(store.misses(), 1);
+        assert_eq!(store.corrupt_entries(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_store_skips_files_truncated_mid_byte() {
+        // Regression: a stored entry cut off mid-write (the failure mode the
+        // atomic tempfile+rename path prevents going forward) must read as a
+        // warned-and-skipped miss, never an error or a panic, and the next
+        // save must repair it.
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-truncated-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"truncated")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JsonReportStore::new(&dir).unwrap();
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let key = engine.report_key(&code);
+        let report = engine.synthesize(&code).unwrap();
+
+        store.save(&key, &report);
+        let path = store.dir().join(key.file_name());
+        let full = std::fs::read(&path).unwrap();
+        assert!(std::fs::read_dir(store.dir()).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .contains(".tmp")));
+
+        // Truncate at every interesting cut: mid-structure, mid-token, one
+        // byte short of complete.
+        for cut in [full.len() / 3, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                store.load(&key, &code).is_none(),
+                "a file truncated at byte {cut} must miss"
+            );
+        }
+        assert_eq!(store.corrupt_entries(), 3);
+
+        // The next save overwrites the corrupt entry and serves again.
+        store.save(&key, &report);
+        let restored = store.load(&key, &code).expect("repaired entry is served");
+        assert_eq!(debug_rendering(&report), debug_rendering(&restored));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn opening_a_json_store_sweeps_orphaned_tempfiles() {
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-orphans-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"orphans")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crash between write and rename leaves exactly this shape behind.
+        let orphan = dir.join("Steane-0abc.json.tmp-12345-0");
+        let keeper = dir.join("Steane-0abc.json");
+        std::fs::write(&orphan, "half-written").unwrap();
+        std::fs::write(&keeper, "{}").unwrap();
+        let _store = JsonReportStore::new(&dir).unwrap();
+        assert!(!orphan.exists(), "orphaned tempfiles are swept at open");
+        assert!(keeper.exists(), "real entries are untouched");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_names_never_collide_for_distinct_keys() {
+        // The sanitized prefix is lossy ("a.b" and "a-b" both sanitize to
+        // "a-b"); the content-hash suffix of the unsanitized name must keep
+        // the full file names distinct even for equal fingerprints.
+        let left = ReportKey {
+            code_name: "a.b".to_string(),
+            fingerprint: 0x1234,
+        };
+        let right = ReportKey {
+            code_name: "a-b".to_string(),
+            fingerprint: 0x1234,
+        };
+        assert_ne!(left, right);
+        assert_ne!(left.file_name(), right.file_name());
+        // Same key, same file — the suffix is a pure function of the key.
+        assert_eq!(left.file_name(), left.file_name());
+        assert!(left.file_name().ends_with(".json"));
+    }
+
+    #[test]
+    fn tiered_store_evicts_least_recently_used_deterministically() {
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&code).unwrap();
+        let key = |tag: u64| ReportKey {
+            code_name: format!("code-{tag}"),
+            fingerprint: tag,
+        };
+
+        let store = TieredStore::new(2);
+        store.save(&key(1), &report);
+        store.save(&key(2), &report);
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert!(store.load(&key(1), &code).is_some());
+        store.save(&key(3), &report);
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.front_len(), 2);
+        assert!(store.load(&key(2), &code).is_none(), "LRU entry is evicted");
+        assert!(store.load(&key(1), &code).is_some());
+        assert!(store.load(&key(3), &code).is_some());
+        assert_eq!(store.capacity(), 2);
+    }
+
+    #[test]
+    fn tiered_store_faults_evicted_entries_back_in_from_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-tiered-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"tiered")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let disk = Arc::new(JsonReportStore::new(&dir).unwrap());
+        // A front of one resident report: every second key evicts the other.
+        let store = TieredStore::new(1).with_back(disk.clone());
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&code).unwrap();
+        let key_a = engine.report_key(&code);
+        let key_b = ReportKey {
+            code_name: code.name().to_string(),
+            fingerprint: key_a.fingerprint ^ 1,
+        };
+
+        store.save(&key_a, &report);
+        store.save(&key_b, &report); // evicts key_a from the front
+        assert_eq!(store.evictions(), 1);
+
+        // Eviction loses nothing: the write-through back tier serves the
+        // evicted key bit-identically, and it is promoted back into the
+        // front (evicting key_b in turn).
+        let restored = store.load(&key_a, &code).expect("faulted back in");
+        assert_eq!(debug_rendering(&report), debug_rendering(&restored));
+        assert_eq!(store.back_hits(), 1);
+        let again = store.load(&key_a, &code).expect("now front-resident");
+        assert_eq!(debug_rendering(&report), debug_rendering(&again));
+        assert_eq!(store.front_hits(), 1);
+        assert_eq!(store.hits(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_store_capacity_zero_is_a_pure_pass_through() {
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-passthrough-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"passthrough")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let disk = Arc::new(JsonReportStore::new(&dir).unwrap());
+        let store = TieredStore::new(0).with_back(disk.clone());
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&code).unwrap();
+        let key = engine.report_key(&code);
+
+        store.save(&key, &report);
+        store.save(&key, &report);
+        // A disabled front never admits anything, so nothing is "evicted".
+        assert_eq!(store.evictions(), 0);
+        assert_eq!(store.front_len(), 0);
+        let loaded = store.load(&key, &code).expect("served by the back tier");
+        assert_eq!(debug_rendering(&report), debug_rendering(&loaded));
+        assert_eq!(store.back_hits(), 1);
+        assert_eq!(store.evictions(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_store_age_expiry_drops_stale_entries() {
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let report = engine.synthesize(&code).unwrap();
+        let key = engine.report_key(&code);
+
+        let store = TieredStore::new(8).with_max_age(Duration::ZERO);
+        store.save(&key, &report);
+        // With a zero max age the entry is already stale on the next access.
+        assert!(store.load(&key, &code).is_none());
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.front_len(), 0);
+
+        let keeper = TieredStore::new(8).with_max_age(Duration::from_secs(3600));
+        keeper.save(&key, &report);
+        assert!(keeper.load(&key, &code).is_some(), "fresh entries survive");
+        assert_eq!(keeper.evictions(), 0);
     }
 }

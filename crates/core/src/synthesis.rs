@@ -112,7 +112,14 @@ impl std::fmt::Display for SynthesisError {
     }
 }
 
-impl std::error::Error for SynthesisError {}
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Verification { source, .. } => Some(source),
+            SynthesisError::Correction { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Synthesizes the complete deterministic fault-tolerant preparation protocol
 /// for `|0…0⟩_L` of the given CSS code.

@@ -76,6 +76,7 @@ mod lit;
 mod solver;
 
 pub use backend::{BackendChoice, DimacsLoggingBackend, LadderMode, QueryRecord, SatBackend};
+pub use dimacs::ParseDimacsError;
 pub use encode::Encoder;
 pub use incremental::{BoundedLadder, IncrementalSession, ReuseStats};
 pub use lit::{Lit, Var};

@@ -164,7 +164,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::prelude::*;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a length range.
+    /// Sizes accepted by [`vec()`]: a fixed length or a length range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

@@ -6,8 +6,9 @@
 use std::sync::Arc;
 
 use dftsp::{
-    synthesize_protocol, BackendChoice, JsonReportStore, LadderMode, MemoryReportStore,
-    ReportStore, SynthesisEngine, SynthesisOptions, SynthesisReport,
+    synthesize_protocol, BackendChoice, JsonReportStore, LadderMode, MemoryReportStore, Provenance,
+    ReportStore, SynthesisEngine, SynthesisOptions, SynthesisReport, SynthesisRequest,
+    SynthesisService,
 };
 use dftsp_code::catalog;
 
@@ -331,6 +332,118 @@ fn json_report_store_warm_starts_a_second_engine() {
         protocol_fingerprint(&other.protocol)
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A [`ReportStore`] that never stores anything but makes every lookup
+/// rendezvous at a barrier. Each service request performs exactly one store
+/// lookup immediately before claiming or joining the in-flight key, so the
+/// barrier releases all clients into the coalescing window together: no
+/// client can lag behind before the window opens, and the window itself
+/// spans the leader's entire SAT solve.
+#[derive(Debug)]
+struct RendezvousStore(std::sync::Barrier);
+
+impl ReportStore for RendezvousStore {
+    fn load(
+        &self,
+        _key: &dftsp::ReportKey,
+        _code: &dftsp_code::CssCode,
+    ) -> Option<SynthesisReport> {
+        self.0.wait();
+        None
+    }
+    fn save(&self, _key: &dftsp::ReportKey, _report: &SynthesisReport) {}
+    fn hits(&self) -> u64 {
+        0
+    }
+    fn misses(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_solve() {
+    // The serving acceptance proof: 8 identical requests submitted from 8
+    // client threads against a service at concurrency 4 must trigger exactly
+    // one SAT pipeline execution — one response is Solved and carries the
+    // full SAT statistics, the other 7 are Coalesced fan-outs — and every
+    // report must be bit-identical (protocol, stage statistics, timings) to
+    // the serial threads(1) engine report.
+    let code = catalog::steane();
+    let serial = SynthesisEngine::builder()
+        .threads(1)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+
+    let service = SynthesisService::builder()
+        .report_store(Arc::new(RendezvousStore(std::sync::Barrier::new(8))))
+        .concurrency(4)
+        .build();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let service = service.clone();
+            let code = code.clone();
+            std::thread::spawn(move || service.submit(SynthesisRequest::new(code)).unwrap())
+        })
+        .collect();
+    let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let solved: Vec<_> = responses
+        .iter()
+        .filter(|r| r.provenance == Provenance::Solved)
+        .collect();
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.provenance == Provenance::Coalesced)
+        .count();
+    assert_eq!(solved.len(), 1, "exactly one request runs the SAT pipeline");
+    assert_eq!(coalesced, 7, "every other request rides that solve");
+
+    // One pipeline execution, verified through the SAT totals: the solved
+    // response carries exactly the serial run's statistics (had a second
+    // pipeline contributed, the totals could not match), and every
+    // fanned-out report repeats them rather than adding to them.
+    assert_eq!(solved[0].report.sat_totals(), serial.sat_totals());
+    for response in &responses {
+        assert_eq!(
+            protocol_fingerprint(&response.report.protocol),
+            protocol_fingerprint(&serial.protocol),
+            "every response is bit-identical to the serial protocol"
+        );
+        for (served, reference) in response.report.stages.iter().zip(&serial.stages) {
+            assert_eq!(served.sat, reference.sat, "per-stage SAT stats match");
+            assert_eq!(served.branches, reference.branches);
+        }
+        // All eight responses fan out one report object: equal down to the
+        // recorded wall-clock timings.
+        assert_eq!(
+            report_fingerprint(&response.report),
+            report_fingerprint(&solved[0].report),
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 8);
+    assert_eq!(stats.solved, 1);
+    assert_eq!(stats.coalesced, 7);
+    assert_eq!(stats.cached, 0);
+}
+
+#[test]
+fn coalescing_respects_distinct_configurations() {
+    // Requests that differ in any key ingredient (here: the ladder mode)
+    // must not coalesce — they are different questions.
+    let service = SynthesisService::builder().concurrency(4).build();
+    let responses = service.submit_all(vec![
+        SynthesisRequest::new(catalog::steane()),
+        SynthesisRequest::new(catalog::steane()).ladder_mode(LadderMode::Fresh),
+    ]);
+    let provenances: Vec<_> = responses
+        .into_iter()
+        .map(|r| r.unwrap().provenance)
+        .collect();
+    assert_eq!(provenances, vec![Provenance::Solved, Provenance::Solved]);
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Compile-time audit of the public error surface: every public error type
+//! of `dftsp-core` and `dftsp-sat` must implement `std::error::Error` (and
+//! therefore `Display` and `Debug`) plus `Send + Sync + 'static`, so service
+//! callers can `?`-propagate any of them uniformly — including boxing into
+//! `Box<dyn Error + Send + Sync>`.
+
+use std::error::Error;
+
+/// The bound a public error type must satisfy to compose with `?`, error
+/// trait objects and cross-thread result passing. Instantiating this
+/// function *is* the audit: a missing impl fails to compile.
+fn assert_uniform_error<E: Error + Send + Sync + 'static>() {}
+
+#[test]
+fn every_public_error_type_is_a_uniform_std_error() {
+    // dftsp-core.
+    assert_uniform_error::<dftsp::SynthesisError>();
+    assert_uniform_error::<dftsp::ServiceError>();
+    assert_uniform_error::<dftsp::verify::VerificationError>();
+    assert_uniform_error::<dftsp::correct::CorrectionError>();
+    // dftsp-sat.
+    assert_uniform_error::<dftsp_sat::ParseDimacsError>();
+    // dftsp-code (part of the serving call chain via catalog lookups).
+    assert_uniform_error::<dftsp_code::CodeError>();
+}
+
+#[test]
+fn service_errors_propagate_with_question_mark() {
+    // The uniform bound in practice: one function body `?`-propagating both
+    // a service error and a synthesis error into `Box<dyn Error>`.
+    fn serve() -> Result<(), Box<dyn Error + Send + Sync>> {
+        let service = dftsp::SynthesisService::builder().concurrency(1).build();
+        let response =
+            service.submit(dftsp::SynthesisRequest::new(dftsp_code::catalog::steane()))?;
+        let engine = dftsp::SynthesisEngine::builder().build();
+        let report = engine.synthesize(&dftsp_code::catalog::steane())?;
+        assert_eq!(response.report.code_name, report.code_name);
+        Ok(())
+    }
+    serve().unwrap();
+}
+
+#[test]
+fn error_sources_chain_to_the_underlying_failure() {
+    // A conflict budget of zero fails verification; the failure must be
+    // reachable through the standard source() chain from both the engine
+    // error and the service error that wraps it.
+    let engine = dftsp::SynthesisEngine::builder().conflict_budget(0).build();
+    let synthesis = engine
+        .synthesize(&dftsp_code::catalog::steane())
+        .unwrap_err();
+    let source = synthesis.source().expect("synthesis errors carry a source");
+    assert!(source.to_string().contains("budget"), "{source}");
+
+    let service = dftsp::ServiceError::from(synthesis);
+    let chained = service.source().expect("service errors chain the source");
+    assert!(chained.source().is_some(), "the chain reaches two levels");
+}
