@@ -24,6 +24,12 @@
 //! (pigeonhole, parity + cardinality — the shapes the encodings produce),
 //! where the hot path is the entire cost.
 //!
+//! Each code additionally runs once on `BackendChoice::portfolio()` (the
+//! deterministic backend race); with `--check` the summed portfolio time is
+//! gated at [`PORTFOLIO_OVERHEAD_ALLOWANCE`]× the summed per-code best
+//! single backend, so the race can never silently regress below the floor
+//! it is supposed to track.
+//!
 //! * `--quick` restricts to the three smallest codes and the small
 //!   microbench instance (CI budget: seconds).
 //! * `--iters N` takes the best of N runs per configuration (default 3).
@@ -46,10 +52,17 @@ struct CodeResult {
     name: String,
     tuned: Duration,
     reference: Duration,
+    portfolio: Duration,
     tuned_sat: SatStats,
     reference_sat: SatStats,
+    portfolio_sat: SatStats,
     stages: StageBreakdown,
 }
+
+/// How much slower than the best single backend the racing portfolio may be
+/// before the `--check` gate fails: thread spawning, chunked budgets and the
+/// canonical re-extraction solve are real but bounded scheduling overhead.
+const PORTFOLIO_OVERHEAD_ALLOWANCE: f64 = 1.3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,8 +85,8 @@ fn main() {
     };
 
     println!(
-        "{:<14} {:>12} {:>12} {:>8}   counters (tuned vs reference)",
-        "Code", "tuned", "reference", "speedup"
+        "{:<14} {:>12} {:>12} {:>12} {:>8}   counters (tuned vs reference)",
+        "Code", "tuned", "reference", "portfolio", "speedup"
     );
     let mut results = Vec::new();
     for code in &codes {
@@ -82,11 +95,14 @@ fn main() {
         let (tuned, tuned_sat, stages) = run_config(code, &prep, BackendChoice::Cdcl, iters);
         let (reference, reference_sat, _) =
             run_config(code, &prep, BackendChoice::CdclReference, iters);
+        let (portfolio, portfolio_sat, _) =
+            run_config(code, &prep, BackendChoice::portfolio(), iters);
         println!(
-            "{:<14} {:>12.2?} {:>12.2?} {:>7.2}x   conflicts {} vs {}, props/dec {:.1} vs {:.1}, reduced {}",
+            "{:<14} {:>12.2?} {:>12.2?} {:>12.2?} {:>7.2}x   conflicts {} vs {}, props/dec {:.1} vs {:.1}, reduced {}",
             code.name(),
             tuned,
             reference,
+            portfolio,
             reference.as_secs_f64() / tuned.as_secs_f64(),
             tuned_sat.conflicts,
             reference_sat.conflicts,
@@ -98,17 +114,27 @@ fn main() {
             name: code.name().to_string(),
             tuned,
             reference,
+            portfolio,
             tuned_sat,
             reference_sat,
+            portfolio_sat,
             stages,
         });
     }
 
     let total_tuned: Duration = results.iter().map(|r| r.tuned).sum();
     let total_reference: Duration = results.iter().map(|r| r.reference).sum();
+    let total_portfolio: Duration = results.iter().map(|r| r.portfolio).sum();
+    // The portfolio regression floor: per code, the faster of the two single
+    // backends — the race should track it up to scheduling overhead.
+    let total_best_single: Duration = results.iter().map(|r| r.tuned.min(r.reference)).sum();
     let speedup = total_reference.as_secs_f64() / total_tuned.as_secs_f64();
+    let portfolio_overhead = total_portfolio.as_secs_f64() / total_best_single.as_secs_f64();
     println!(
         "total: tuned {total_tuned:.2?} vs reference {total_reference:.2?} ({speedup:.2}x speedup)"
+    );
+    println!(
+        "portfolio: {total_portfolio:.2?} vs best-single {total_best_single:.2?} ({portfolio_overhead:.2}x of the floor)"
     );
 
     // Pure-solver microbenchmarks: synthesis wall time includes SAT-free
@@ -156,6 +182,7 @@ fn main() {
         &micro,
         total_tuned,
         total_reference,
+        total_portfolio,
         speedup,
         overall,
     );
@@ -163,13 +190,25 @@ fn main() {
     println!("wrote {out}");
 
     if let Some(min_speedup) = check {
+        let mut failed = false;
         if overall < min_speedup {
             eprintln!(
                 "FAIL: overall tuned-solver speedup {overall:.2}x is below the required {min_speedup:.2}x"
             );
+            failed = true;
+        }
+        if portfolio_overhead > PORTFOLIO_OVERHEAD_ALLOWANCE {
+            eprintln!(
+                "FAIL: portfolio synthesis time is {portfolio_overhead:.2}x the best single backend (allowed {PORTFOLIO_OVERHEAD_ALLOWANCE:.2}x)"
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("check passed: {overall:.2}x >= {min_speedup:.2}x");
+        println!(
+            "check passed: {overall:.2}x >= {min_speedup:.2}x, portfolio at {portfolio_overhead:.2}x of the single-backend floor"
+        );
     }
 }
 
@@ -297,6 +336,31 @@ fn stats_json(stats: &SatStats) -> String {
     )
 }
 
+/// Renders the per-lane portfolio attribution of one run.
+fn portfolio_json(stats: &SatStats) -> String {
+    let p = &stats.portfolio;
+    let lanes: Vec<String> = dftsp::PortfolioLane::ALL
+        .iter()
+        .map(|&lane| {
+            let l = p.lane(lane);
+            format!(
+                "{{\"lane\": \"{}\", \"wins\": {}, \"losses\": {}, \"cancelled_conflicts\": {}, \"time_us\": {}}}",
+                lane.name(),
+                l.wins,
+                l.losses,
+                l.cancelled_conflicts,
+                l.time_us
+            )
+        })
+        .collect();
+    format!(
+        "{{\"races\": {}, \"solo\": {}, \"lanes\": [{}]}}",
+        p.races,
+        p.solo,
+        lanes.join(", ")
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -305,6 +369,7 @@ fn render_json(
     micro: &[MicroResult],
     total_tuned: Duration,
     total_reference: Duration,
+    total_portfolio: Duration,
     speedup: f64,
     overall: f64,
 ) -> String {
@@ -317,24 +382,31 @@ fn render_json(
     ));
     out.push_str(&format!("  \"iters\": {iters},\n"));
     out.push_str(&format!(
-        "  \"total_tuned_us\": {},\n  \"total_reference_us\": {},\n  \"speedup\": {speedup:.4},\n  \"overall_speedup\": {overall:.4},\n",
+        "  \"total_tuned_us\": {},\n  \"total_reference_us\": {},\n  \"total_portfolio_us\": {},\n  \"speedup\": {speedup:.4},\n  \"overall_speedup\": {overall:.4},\n",
         total_tuned.as_micros(),
-        total_reference.as_micros()
+        total_reference.as_micros(),
+        total_portfolio.as_micros()
     ));
     out.push_str("  \"codes\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"code\": \"{}\",\n", r.name));
         out.push_str(&format!(
-            "      \"tuned_us\": {},\n      \"reference_us\": {},\n      \"speedup\": {:.4},\n",
+            "      \"tuned_us\": {},\n      \"reference_us\": {},\n      \"portfolio_us\": {},\n      \"speedup\": {:.4},\n      \"portfolio_vs_best_single\": {:.4},\n",
             r.tuned.as_micros(),
             r.reference.as_micros(),
-            r.reference.as_secs_f64() / r.tuned.as_secs_f64()
+            r.portfolio.as_micros(),
+            r.reference.as_secs_f64() / r.tuned.as_secs_f64(),
+            r.portfolio.as_secs_f64() / r.tuned.min(r.reference).as_secs_f64()
         ));
         out.push_str(&format!("      \"tuned\": {},\n", stats_json(&r.tuned_sat)));
         out.push_str(&format!(
             "      \"reference\": {},\n",
             stats_json(&r.reference_sat)
+        ));
+        out.push_str(&format!(
+            "      \"portfolio\": {},\n",
+            portfolio_json(&r.portfolio_sat)
         ));
         out.push_str("      \"stages\": [\n");
         for (j, (name, time, sat)) in r.stages.iter().enumerate() {

@@ -29,11 +29,19 @@
 //! * `--quick` restricts to the three smallest codes (CI budget: seconds).
 //! * `--check MIN_RATE` exits non-zero when the dedup rate falls below the
 //!   floor, so CI fails loudly if the request layer stops deduplicating.
+//! * `--portfolio` submits every request on the racing portfolio backend.
+//!   The correctness oracle stays the serial single-backend reference, so
+//!   this mode end-to-end-checks the race's bit-identity under serving
+//!   traffic; the solved responses' per-lane attribution (races, wins,
+//!   cancelled work) is reported and recorded.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use dftsp::{JsonReportStore, SynthesisEngine, SynthesisRequest, SynthesisService, TieredStore};
+use dftsp::{
+    BackendChoice, JsonReportStore, PortfolioStats, SynthesisEngine, SynthesisRequest,
+    SynthesisService, TieredStore,
+};
 use dftsp_bench::{evaluation_codes, quick_codes};
 use dftsp_code::CssCode;
 
@@ -54,6 +62,7 @@ fn main() {
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let check: Option<f64> =
         flag_value(&args, "--check").map(|s| s.parse().expect("--check takes a float"));
+    let portfolio = args.iter().any(|a| a == "--portfolio");
 
     let codes: Vec<CssCode> = if quick {
         quick_codes()
@@ -95,7 +104,7 @@ fn main() {
     let schedule: Vec<usize> = (0..rounds).flat_map(|_| 0..codes.len()).collect();
     let barrier = Arc::new(Barrier::new(clients));
     let start = Instant::now();
-    let mismatches: usize = std::thread::scope(|scope| {
+    let (mismatches, portfolio_totals) = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..clients)
             .map(|_| {
                 let service = service.clone();
@@ -105,10 +114,18 @@ fn main() {
                 let schedule = &schedule;
                 scope.spawn(move || {
                     let mut mismatches = 0usize;
+                    // Per-lane attribution of the pipeline runs this client
+                    // triggered (solved responses only — coalesced and cached
+                    // responses repeat another run's statistics).
+                    let mut attribution = PortfolioStats::default();
                     for &code_index in schedule {
                         barrier.wait();
+                        let mut request = SynthesisRequest::new(codes[code_index].clone());
+                        if portfolio {
+                            request = request.solver(BackendChoice::portfolio());
+                        }
                         let response = service
-                            .submit(SynthesisRequest::new(codes[code_index].clone()))
+                            .submit(request)
                             .unwrap_or_else(|e| panic!("{}: {e}", codes[code_index].name()));
                         if protocol_rendering(&response.report.protocol) != references[code_index] {
                             eprintln!(
@@ -118,12 +135,21 @@ fn main() {
                             );
                             mismatches += 1;
                         }
+                        if response.provenance == dftsp::Provenance::Solved {
+                            attribution.absorb(&response.report.sat_totals().portfolio);
+                        }
                     }
-                    mismatches
+                    (mismatches, attribution)
                 })
             })
             .collect();
-        workers.into_iter().map(|w| w.join().expect("client")).sum()
+        workers.into_iter().map(|w| w.join().expect("client")).fold(
+            (0usize, PortfolioStats::default()),
+            |(mismatches, mut totals), (m, attribution)| {
+                totals.absorb(&attribution);
+                (mismatches + m, totals)
+            },
+        )
     });
     let elapsed = start.elapsed();
     std::fs::remove_dir_all(&dir).ok();
@@ -149,6 +175,9 @@ fn main() {
         store.evictions(),
         disk.corrupt_entries()
     );
+    if portfolio {
+        println!("  portfolio: {portfolio_totals}");
+    }
 
     let json = render_json(
         quick,
@@ -160,6 +189,7 @@ fn main() {
         throughput,
         &stats,
         &store,
+        portfolio.then_some(&portfolio_totals),
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");
@@ -204,6 +234,7 @@ fn render_json(
     throughput: f64,
     stats: &dftsp::ServiceStats,
     store: &TieredStore,
+    portfolio: Option<&PortfolioStats>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -231,11 +262,33 @@ fn render_json(
     ));
     out.push_str(&format!("  \"dedup_rate\": {:.4},\n", stats.dedup_rate()));
     out.push_str(&format!(
-        "  \"store\": {{\"front_hits\": {}, \"back_hits\": {}, \"evictions\": {}}}\n",
+        "  \"store\": {{\"front_hits\": {}, \"back_hits\": {}, \"evictions\": {}}}",
         store.front_hits(),
         store.back_hits(),
         store.evictions()
     ));
-    out.push_str("}\n");
+    if let Some(p) = portfolio {
+        let lanes: Vec<String> = dftsp::PortfolioLane::ALL
+            .iter()
+            .map(|&lane| {
+                let l = p.lane(lane);
+                format!(
+                    "{{\"lane\": \"{}\", \"wins\": {}, \"losses\": {}, \"cancelled_conflicts\": {}, \"time_us\": {}}}",
+                    lane.name(),
+                    l.wins,
+                    l.losses,
+                    l.cancelled_conflicts,
+                    l.time_us
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            ",\n  \"portfolio\": {{\"races\": {}, \"solo\": {}, \"lanes\": [{}]}}",
+            p.races,
+            p.solo,
+            lanes.join(", ")
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }

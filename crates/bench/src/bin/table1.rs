@@ -2,7 +2,7 @@
 //! deterministic fault-tolerant state-preparation circuits.
 //!
 //! ```text
-//! cargo run --release -p dftsp-bench --bin table1 [-- --quick] [--code NAME] [--global] [--opt-prep] [--store PATH]
+//! cargo run --release -p dftsp-bench --bin table1 [-- --quick] [--code NAME] [--global] [--opt-prep] [--store PATH] [--portfolio]
 //! ```
 //!
 //! By default every catalog code is synthesized with the heuristic prep and
@@ -12,13 +12,17 @@
 //! smallest codes. `--store PATH` additionally exercises the persistent
 //! JSON report store: the selected codes are synthesized twice against the
 //! store at `PATH` and the cold-vs-warm timings are printed (re-running the
-//! command with the same path starts warm).
+//! command with the same path starts warm). `--portfolio` synthesizes every
+//! row on the racing portfolio backend; the solver totals then include the
+//! per-lane race attribution (wins, losses, cancelled work).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use dftsp::{JsonReportStore, PrepMethod, ReportStore, SatStats, SynthesisEngine};
-use dftsp_bench::{branch_list, evaluation_codes, quick_codes, synthesize_row, VerificationFlavor};
+use dftsp::{BackendChoice, JsonReportStore, PrepMethod, ReportStore, SatStats, SynthesisEngine};
+use dftsp_bench::{
+    branch_list, evaluation_codes, quick_codes, synthesize_row_on, VerificationFlavor,
+};
 use dftsp_code::CssCode;
 
 fn main() {
@@ -36,6 +40,11 @@ fn main() {
         .position(|a| a == "--store")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let backend = if args.iter().any(|a| a == "--portfolio") {
+        BackendChoice::portfolio()
+    } else {
+        BackendChoice::default()
+    };
 
     let codes = if quick {
         quick_codes()
@@ -80,7 +89,7 @@ fn main() {
     for code in &selected {
         for &prep in &prep_methods {
             for &flavor in &flavors {
-                match synthesize_row(code, prep, flavor) {
+                match synthesize_row_on(code, prep, flavor, backend) {
                     Ok(row) => {
                         solver_totals.absorb(&row.sat);
                         solve_time += row.synthesis_time;

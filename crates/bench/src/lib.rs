@@ -14,7 +14,8 @@
 //! and simulation steps themselves.
 
 use dftsp::{
-    DeterministicProtocol, PrepMethod, ProtocolMetrics, SatStats, SynthesisEngine, SynthesisError,
+    BackendChoice, DeterministicProtocol, PrepMethod, ProtocolMetrics, SatStats, SynthesisEngine,
+    SynthesisError,
 };
 use dftsp_code::{catalog, CssCode};
 use dftsp_sat::{Encoder, Lit, Solver, SolverConfig};
@@ -60,7 +61,7 @@ pub fn row_engine(prep_method: PrepMethod) -> SynthesisEngine {
     SynthesisEngine::builder().prep_method(prep_method).build()
 }
 
-/// Synthesizes one Table I row.
+/// Synthesizes one Table I row on the default backend.
 ///
 /// # Errors
 ///
@@ -70,7 +71,25 @@ pub fn synthesize_row(
     prep_method: PrepMethod,
     flavor: VerificationFlavor,
 ) -> Result<TableRow, SynthesisError> {
-    let engine = row_engine(prep_method);
+    synthesize_row_on(code, prep_method, flavor, BackendChoice::default())
+}
+
+/// Synthesizes one Table I row on an explicit SAT backend (e.g. the racing
+/// portfolio, whose per-lane attribution then lands in [`TableRow::sat`]).
+///
+/// # Errors
+///
+/// Forwards synthesis failures of the underlying pipeline.
+pub fn synthesize_row_on(
+    code: &CssCode,
+    prep_method: PrepMethod,
+    flavor: VerificationFlavor,
+    backend: BackendChoice,
+) -> Result<TableRow, SynthesisError> {
+    let engine = SynthesisEngine::builder()
+        .prep_method(prep_method)
+        .solver(backend)
+        .build();
     let (protocol, sat, synthesis_time) = match flavor {
         VerificationFlavor::Optimal => {
             let report = engine.synthesize(code)?;

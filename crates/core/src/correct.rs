@@ -320,13 +320,21 @@ fn run_correction_ladder(
             Err(other) => return Err(other),
         }
     }
-    if hi == w0 {
+    if hi == w0 && !session.choice().is_racing_portfolio() {
         // The unbounded probe was already optimal and ran on a cold solver.
         return Ok(Some(first));
     }
-    // Canonical extraction at the proven optimum (see `crate::verify`).
+    // Canonical extraction at the proven optimum (see `crate::verify`): a
+    // racing portfolio extracts even when the unbounded probe was already
+    // optimal (its model belongs to the race winner), re-solving the probe's
+    // exact formula via the no-op weight bound `n·u`.
+    let target = if hi == w0 {
+        problem.measurable.num_cols() * u
+    } else {
+        hi
+    };
     match solve_correction_fresh(
-        session, problem, errors, null_basis, targets, u, hi, options,
+        session, problem, errors, null_basis, targets, u, target, options,
     ) {
         Ok(Some(solution)) => Ok(Some(solution)),
         Ok(None) => Ok(Some(best)),
@@ -602,7 +610,10 @@ fn extract_correction_solution(
 }
 
 /// Solves one `(u, v)` instance of the correction-synthesis decision problem
-/// on a fresh backend.
+/// on a fresh *canonical* backend ([`SatSession::canonical_instance`]), so
+/// its model — which becomes protocol output — never depends on a portfolio
+/// race winner (racing is confined to the warm incremental ladders' bound
+/// probes; see `crate::verify`).
 #[allow(clippy::too_many_arguments)]
 fn solve_correction_fresh(
     session: &mut SatSession,
@@ -615,7 +626,7 @@ fn solve_correction_fresh(
     options: &CorrectionOptions,
 ) -> Result<Option<CorrectionSolution>, CorrectionError> {
     let n = problem.measurable.num_cols();
-    let mut solver = session.instance();
+    let mut solver = session.canonical_instance();
     let solver = solver.as_mut();
     let encoding = encode_correction_base(solver, problem, errors, null_basis, targets, u);
     if u > 0 {

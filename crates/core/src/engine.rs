@@ -38,7 +38,9 @@ use std::time::{Duration, Instant};
 
 use dftsp_code::CssCode;
 use dftsp_pauli::PauliKind;
-use dftsp_sat::{BackendChoice, IncrementalSession, LadderMode, SatBackend, SolveResult};
+use dftsp_sat::{
+    BackendChoice, IncrementalSession, LadderMode, PortfolioStats, SatBackend, SolveResult,
+};
 
 use crate::cache::FaultCache;
 use crate::global::GlobalResult;
@@ -97,6 +99,10 @@ pub struct SatStats {
     /// Literals stripped from learned clauses by recursive minimization
     /// across all queries.
     pub minimized_literals: u64,
+    /// Per-lane portfolio attribution (races, solo runs, wins, losses,
+    /// cancelled work and per-backend time). All-zero unless a
+    /// [`BackendChoice::Portfolio`] backend answered at least one query.
+    pub portfolio: PortfolioStats,
 }
 
 impl SatStats {
@@ -118,6 +124,7 @@ impl SatStats {
         self.reduced_clauses += other.reduced_clauses;
         self.peak_clause_db = self.peak_clause_db.max(other.peak_clause_db);
         self.minimized_literals += other.minimized_literals;
+        self.portfolio.absorb(&other.portfolio);
     }
 
     /// Unit propagations per decision across all recorded queries — the
@@ -152,7 +159,11 @@ impl std::fmt::Display for SatStats {
             self.propagations,
             self.propagations_per_decision(),
             self.minimized_literals,
-        )
+        )?;
+        if !self.portfolio.is_empty() {
+            write!(f, " portfolio[{}]", self.portfolio)?;
+        }
+        Ok(())
     }
 }
 
@@ -215,6 +226,26 @@ impl SatSession {
         IncrementalSession::new(self.instance())
     }
 
+    /// Instantiates a fresh backend on the *canonical* choice: for a racing
+    /// portfolio this is the portfolio's primary lane alone, for every other
+    /// choice it is the choice itself ([`BackendChoice::canonical`]).
+    ///
+    /// Racing portfolios return the model of whichever engine happened to
+    /// finish first, so ladders that race intermediate bound probes must
+    /// re-extract their *final* solution on this backend to keep reports
+    /// bit-identical regardless of race winners. The optimum bound itself is
+    /// winner-independent (feasibility is monotone in the bound), so the
+    /// canonical extraction solves exactly one deterministic query.
+    pub fn canonical_instance(&self) -> Box<dyn SatBackend> {
+        self.choice.canonical().instantiate()
+    }
+
+    /// Opens an incremental session on a canonical backend
+    /// (see [`SatSession::canonical_instance`]).
+    pub fn canonical_incremental(&self) -> IncrementalSession<Box<dyn SatBackend>> {
+        IncrementalSession::new(self.canonical_instance())
+    }
+
     /// Solves an incremental session under its active guards, recording the
     /// query (with warm/cold attribution and per-query statistics deltas) in
     /// the session statistics. Returns `None` when the budget was exhausted.
@@ -225,6 +256,7 @@ impl SatSession {
     ) -> Option<SolveResult> {
         let warm = incremental.queries() > 0;
         let before = incremental.stats();
+        let portfolio_before = incremental.portfolio_stats().unwrap_or_default();
         let clauses_before = incremental.num_clauses();
         let result = incremental.solve(max_conflicts);
         let after = incremental.stats();
@@ -251,6 +283,11 @@ impl SatSession {
         if warm {
             self.stats.warm_queries += 1;
             self.stats.retained_clauses += clauses_before as u64;
+        }
+        if let Some(portfolio_after) = incremental.portfolio_stats() {
+            self.stats
+                .portfolio
+                .absorb(&portfolio_after.since(&portfolio_before));
         }
         result
     }
@@ -284,6 +321,9 @@ impl SatSession {
         self.stats.peak_clause_db = self.stats.peak_clause_db.max(stats.peak_clause_db);
         self.stats.variables += backend.num_vars() as u64;
         self.stats.clauses += backend.num_clauses() as u64;
+        if let Some(portfolio) = backend.portfolio_stats() {
+            self.stats.portfolio.absorb(&portfolio);
+        }
         result
     }
 

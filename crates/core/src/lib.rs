@@ -151,4 +151,6 @@ pub use verify::{VerificationOptions, VerificationSolution};
 
 // Re-exported so downstream callers can select a backend and ladder mode
 // without depending on `dftsp-sat` directly.
-pub use dftsp_sat::{BackendChoice, LadderMode};
+pub use dftsp_sat::{
+    BackendChoice, LadderMode, LaneStats, PortfolioConfig, PortfolioLane, PortfolioStats,
+};

@@ -30,7 +30,7 @@ use dftsp_circuit::{Circuit, Gate};
 use dftsp_code::CssCode;
 use dftsp_f2::BitVec;
 use dftsp_pauli::PauliKind;
-use dftsp_sat::{BackendChoice, LadderMode};
+use dftsp_sat::{BackendChoice, LadderMode, LaneStats, PortfolioLane, PortfolioStats};
 
 use crate::cache::debug_fingerprint;
 use crate::engine::{SatStats, Stage, StageReport, SynthesisReport};
@@ -46,7 +46,7 @@ use crate::ZeroStateContext;
 /// Version 3: [`ReportKey::file_name`] gained the collision-proof name-hash
 /// infix, so pre-3 files are unreachable under the new naming and must not
 /// resurface through a matching fingerprint.
-const FORMAT_VERSION: u64 = 3;
+const FORMAT_VERSION: u64 = 4;
 
 /// Identifies one synthesis result: the code plus a fingerprint of
 /// everything the result depends on (code structure, synthesis options, SAT
@@ -691,7 +691,57 @@ fn stats_to_json(stats: &SatStats) -> Json {
         ("reduced_clauses", Json::Num(stats.reduced_clauses)),
         ("peak_clause_db", Json::Num(stats.peak_clause_db)),
         ("minimized_literals", Json::Num(stats.minimized_literals)),
+        ("portfolio", portfolio_to_json(&stats.portfolio)),
     ])
+}
+
+fn portfolio_to_json(portfolio: &PortfolioStats) -> Json {
+    Json::obj(vec![
+        ("races", Json::Num(portfolio.races)),
+        ("solo", Json::Num(portfolio.solo)),
+        (
+            "lanes",
+            Json::Arr(
+                portfolio
+                    .lanes
+                    .iter()
+                    .map(|lane| {
+                        Json::obj(vec![
+                            ("wins", Json::Num(lane.wins)),
+                            ("losses", Json::Num(lane.losses)),
+                            ("cancelled_conflicts", Json::Num(lane.cancelled_conflicts)),
+                            ("time_us", Json::Num(lane.time_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn portfolio_from_json(json: &Json) -> Result<PortfolioStats, String> {
+    let lanes_json = arr_field(json, "lanes")?;
+    if lanes_json.len() != PortfolioLane::ALL.len() {
+        return Err(format!(
+            "expected {} portfolio lanes, found {}",
+            PortfolioLane::ALL.len(),
+            lanes_json.len()
+        ));
+    }
+    let mut lanes = [LaneStats::default(); PortfolioLane::ALL.len()];
+    for (lane, json) in lanes.iter_mut().zip(lanes_json) {
+        *lane = LaneStats {
+            wins: num_field(json, "wins")?,
+            losses: num_field(json, "losses")?,
+            cancelled_conflicts: num_field(json, "cancelled_conflicts")?,
+            time_us: num_field(json, "time_us")?,
+        };
+    }
+    Ok(PortfolioStats {
+        races: num_field(json, "races")?,
+        solo: num_field(json, "solo")?,
+        lanes,
+    })
 }
 
 fn stats_from_json(json: &Json) -> Result<SatStats, String> {
@@ -712,6 +762,10 @@ fn stats_from_json(json: &Json) -> Result<SatStats, String> {
         reduced_clauses: num_field(json, "reduced_clauses")?,
         peak_clause_db: num_field(json, "peak_clause_db")?,
         minimized_literals: num_field(json, "minimized_literals")?,
+        portfolio: portfolio_from_json(
+            json.get("portfolio")
+                .ok_or_else(|| "missing object field \"portfolio\"".to_string())?,
+        )?,
     })
 }
 

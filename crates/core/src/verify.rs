@@ -222,14 +222,25 @@ fn run_cover_ladder(
             Err(other) => return Err(other),
         }
     }
-    if hi == w0 {
+    if hi == w0 && !session.choice().is_racing_portfolio() {
         // The unbounded probe was already optimal; it ran on a cold solver
         // with the mode-independent base encoding, so it needs no extraction.
         return Ok(Some(first));
     }
     // Canonical extraction: one deterministic solve at the proven optimum on
-    // a fresh backend, independent of the search trajectory that found it.
-    match solve_cover_fresh(session, measurable, detection_sets, u, hi, &[], options) {
+    // a fresh canonical backend, independent of the search trajectory that
+    // found it — and, for a racing portfolio, of which engine won any probe.
+    // When the unbounded probe was already optimal (racing portfolios reach
+    // here even then, because the probe's model belongs to the race winner),
+    // extracting at a weight bound of `n·u` re-solves the probe's exact
+    // formula: `at_most_k` over `n·u` literals with `k = n·u` encodes
+    // nothing.
+    let target = if hi == w0 {
+        measurable.num_cols() * u
+    } else {
+        hi
+    };
+    match solve_cover_fresh(session, measurable, detection_sets, u, target, &[], options) {
         Ok(Some(solution)) => Ok(Some(solution)),
         // `hi` is feasible, so `None` is unreachable; under a budget
         // interruption fall back to the best solution the ladder holds.
@@ -259,6 +270,7 @@ impl CoverLadder {
                 measurable,
                 detection_sets,
                 u,
+                false,
             )),
             LadderMode::Fresh => CoverLadder::Fresh,
         }
@@ -347,8 +359,10 @@ pub fn enumerate_minimal_verifications_with(
         LadderMode::Incremental => {
             // One live solver for the whole enumeration: the (u, v) encoding
             // is built once and each found solution only adds its blocking
-            // clauses.
-            let mut ladder = WarmCoverLadder::open(session, measurable, &detection_sets, u);
+            // clauses. Every probe's model is emitted as a solution, so the
+            // ladder opens canonically — a racing portfolio must not decide
+            // which co-optimal circuits surface in which order.
+            let mut ladder = WarmCoverLadder::open(session, measurable, &detection_sets, u, true);
             ladder.prepare_bounds(v + 1);
             ladder.set_bound(v);
             for previous in &blocked {
@@ -504,9 +518,13 @@ fn extract_cover_solution(
     }
 }
 
-/// Solves one (u, v) instance of the covering problem on a fresh backend.
-/// `blocked` lists measurement sets that must not be returned again (for
-/// enumeration).
+/// Solves one (u, v) instance of the covering problem on a fresh *canonical*
+/// backend ([`SatSession::canonical_instance`]): fresh-mode probes,
+/// enumeration and the ladders' final extraction solves all go through here,
+/// so their models never depend on a portfolio race winner. Racing is
+/// confined to the warm incremental ladders, whose intermediate models only
+/// steer the winner-independent bound search. `blocked` lists measurement
+/// sets that must not be returned again (for enumeration).
 fn solve_cover_fresh(
     session: &mut SatSession,
     measurable: &BitMatrix,
@@ -517,7 +535,7 @@ fn solve_cover_fresh(
     options: &VerificationOptions,
 ) -> Result<Option<VerificationSolution>, VerificationError> {
     let n = measurable.num_cols();
-    let mut solver = session.instance();
+    let mut solver = session.canonical_instance();
     let solver = solver.as_mut();
     let support_lits = encode_cover_base(solver, measurable, detection_sets, u);
     {
@@ -549,13 +567,22 @@ struct WarmCoverLadder {
 }
 
 impl WarmCoverLadder {
+    /// Opens the live solver and builds the base encoding. With `canonical`
+    /// the ladder runs on the canonical backend even under a racing
+    /// portfolio — required when probe models become output directly (the
+    /// enumeration) instead of merely steering a bound search.
     fn open(
         session: &SatSession,
         measurable: &BitMatrix,
         detection_sets: &[Vec<usize>],
         u: usize,
+        canonical: bool,
     ) -> Self {
-        let mut incremental = session.incremental();
+        let mut incremental = if canonical {
+            session.canonical_incremental()
+        } else {
+            session.incremental()
+        };
         let support_lits = encode_cover_base(
             incremental.backend_mut().as_mut(),
             measurable,

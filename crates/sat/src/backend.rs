@@ -4,21 +4,28 @@
 //! everything it needs is captured by the [`SatBackend`] trait
 //! (`new_var`/`add_clause`/`solve_with_assumptions`/`model`/`stats`), so the
 //! encodings in [`crate::Encoder`] and the synthesis code in `dftsp` are
-//! written once and run against any implementation. Three backends ship
+//! written once and run against any implementation. Five backends ship
 //! in-tree:
 //!
 //! * the CDCL [`Solver`] itself with the tuned hot path (the default),
 //! * the same solver with every heuristic disabled
 //!   ([`crate::SolverConfig::reference`], selected via
 //!   [`BackendChoice::CdclReference`]) — the cross-checking and benchmarking
-//!   baseline, and
+//!   baseline,
+//! * [`crate::ScrewSolver`], an independent second CDCL implementation
+//!   sharing no code with [`Solver`] (selected via
+//!   [`BackendChoice::Screwsat`]) — disagreement between the two engines is
+//!   meaningful evidence of a bug,
+//! * [`crate::PortfolioBackend`], which races or cross-checks several of the
+//!   above per query ([`BackendChoice::Portfolio`]), and
 //! * [`DimacsLoggingBackend`], an instrumented wrapper that records every
 //!   clause and query, can export the accumulated formula as DIMACS CNF for
 //!   inspection or cross-checking against external solvers, and re-validates
 //!   every satisfying model against the recorded clauses.
 
 use crate::dimacs::Cnf;
-use crate::{Lit, Model, SolveResult, Solver, SolverStats, Var};
+use crate::portfolio::{PortfolioBackend, PortfolioConfig, PortfolioStats};
+use crate::{Lit, Model, ScrewSolver, SolveResult, Solver, SolverStats, Var};
 
 /// Abstract interface of an incremental SAT solver.
 ///
@@ -77,6 +84,13 @@ pub trait SatBackend {
     fn release_guard(&mut self, guard: Lit) -> bool {
         self.add_clause(&[!guard])
     }
+
+    /// Per-lane portfolio attribution, for backends that multiplex several
+    /// engines ([`crate::PortfolioBackend`]); `None` for single-engine
+    /// backends.
+    fn portfolio_stats(&self) -> Option<PortfolioStats> {
+        None
+    }
 }
 
 macro_rules! impl_backend_delegate {
@@ -118,6 +132,9 @@ macro_rules! impl_backend_delegate {
             }
             fn release_guard(&mut self, guard: Lit) -> bool {
                 (**self).release_guard(guard)
+            }
+            fn portfolio_stats(&self) -> Option<PortfolioStats> {
+                (**self).portfolio_stats()
             }
         }
     };
@@ -333,6 +350,10 @@ impl<B: SatBackend> SatBackend for DimacsLoggingBackend<B> {
     fn stats(&self) -> SolverStats {
         self.inner.stats()
     }
+
+    fn portfolio_stats(&self) -> Option<PortfolioStats> {
+        self.inner.portfolio_stats()
+    }
 }
 
 /// Runtime selection of a SAT backend.
@@ -348,12 +369,32 @@ pub enum BackendChoice {
     /// propagation layer — blockers, binary path — is structural and stays
     /// on). Kept as the cross-checking and benchmarking baseline.
     CdclReference,
+    /// The independent second CDCL solver ([`crate::ScrewSolver`]): plain
+    /// two-watched propagation, linear-scan VSIDS, geometric restarts,
+    /// sharing no code with the tuned solver.
+    Screwsat,
     /// The CDCL solver behind the clause-recording, model-cross-checking
     /// DIMACS wrapper (for debugging and formula export).
     DimacsLogging,
+    /// Several engines behind one interface ([`crate::PortfolioBackend`]):
+    /// a deterministic race in the default mode, a run-to-completion
+    /// cross-check when the config says [`PortfolioConfig::is_checked`].
+    Portfolio(PortfolioConfig),
 }
 
 impl BackendChoice {
+    /// The default racing portfolio (tuned CDCL vs the independent second
+    /// solver).
+    pub fn portfolio() -> Self {
+        BackendChoice::Portfolio(PortfolioConfig::racing())
+    }
+
+    /// The cross-checking portfolio: every engine runs every query to
+    /// completion; any verdict disagreement panics.
+    pub fn portfolio_checked() -> Self {
+        BackendChoice::Portfolio(PortfolioConfig::checked())
+    }
+
     /// Instantiates a fresh backend of the chosen kind.
     pub fn instantiate(self) -> Box<dyn SatBackend> {
         match self {
@@ -361,8 +402,34 @@ impl BackendChoice {
             BackendChoice::CdclReference => {
                 Box::new(Solver::with_config(crate::SolverConfig::reference()))
             }
+            BackendChoice::Screwsat => Box::new(ScrewSolver::new()),
             BackendChoice::DimacsLogging => Box::new(DimacsLoggingBackend::default()),
+            BackendChoice::Portfolio(config) => Box::new(PortfolioBackend::new(config)),
         }
+    }
+
+    /// The single-engine choice whose answers are reproducible for this
+    /// backend: a portfolio maps to its primary (highest-priority) member,
+    /// everything else to itself. The synthesis pipeline extracts final
+    /// solutions on this backend so that reports are bit-identical no matter
+    /// which engine won the intermediate races.
+    pub fn canonical(self) -> BackendChoice {
+        match self {
+            BackendChoice::Portfolio(config) => match config.primary() {
+                crate::PortfolioLane::Cdcl => BackendChoice::Cdcl,
+                crate::PortfolioLane::Screwsat => BackendChoice::Screwsat,
+                crate::PortfolioLane::CdclReference => BackendChoice::CdclReference,
+            },
+            other => other,
+        }
+    }
+
+    /// Returns `true` if queries race concurrently and may hand out
+    /// timing-dependent models (the non-checked portfolio). Such a choice
+    /// needs the canonical-extraction discipline; every other backend is
+    /// deterministic query by query.
+    pub fn is_racing_portfolio(self) -> bool {
+        matches!(self, BackendChoice::Portfolio(config) if !config.is_checked())
     }
 }
 
@@ -371,7 +438,12 @@ impl std::fmt::Display for BackendChoice {
         match self {
             BackendChoice::Cdcl => write!(f, "cdcl"),
             BackendChoice::CdclReference => write!(f, "cdcl-ref"),
+            BackendChoice::Screwsat => write!(f, "screwsat"),
             BackendChoice::DimacsLogging => write!(f, "dimacs-log"),
+            BackendChoice::Portfolio(config) if config.is_checked() => {
+                write!(f, "portfolio-checked")
+            }
+            BackendChoice::Portfolio(_) => write!(f, "portfolio"),
         }
     }
 }
@@ -430,7 +502,10 @@ mod tests {
         for choice in [
             BackendChoice::Cdcl,
             BackendChoice::CdclReference,
+            BackendChoice::Screwsat,
             BackendChoice::DimacsLogging,
+            BackendChoice::portfolio(),
+            BackendChoice::portfolio_checked(),
         ] {
             let mut backend = choice.instantiate();
             let (a, b) = tiny_formula(backend.as_mut());
@@ -500,5 +575,38 @@ mod tests {
         backend.solve();
         let stats = backend.stats();
         assert!(stats.propagations > 0 || stats.decisions > 0);
+    }
+
+    #[test]
+    fn canonical_choice_unwraps_portfolios_only() {
+        assert_eq!(BackendChoice::portfolio().canonical(), BackendChoice::Cdcl);
+        assert_eq!(
+            BackendChoice::portfolio_checked().canonical(),
+            BackendChoice::Cdcl
+        );
+        for choice in [
+            BackendChoice::Cdcl,
+            BackendChoice::CdclReference,
+            BackendChoice::Screwsat,
+            BackendChoice::DimacsLogging,
+        ] {
+            assert_eq!(choice.canonical(), choice);
+            assert!(!choice.is_racing_portfolio());
+        }
+        assert!(BackendChoice::portfolio().is_racing_portfolio());
+        assert!(!BackendChoice::portfolio_checked().is_racing_portfolio());
+    }
+
+    #[test]
+    fn portfolio_stats_surface_through_the_trait_object() {
+        let mut backend = BackendChoice::portfolio().instantiate();
+        let (_, _) = tiny_formula(backend.as_mut());
+        backend.solve();
+        let portfolio = backend.portfolio_stats().expect("portfolio backend");
+        assert_eq!(portfolio.solo + portfolio.races, 1);
+        assert!(BackendChoice::Cdcl
+            .instantiate()
+            .portfolio_stats()
+            .is_none());
     }
 }

@@ -121,11 +121,21 @@ impl<B: SatBackend> IncrementalSession<B> {
     }
 
     /// Releases a guard: it is no longer assumed and the constraints behind
-    /// it are permanently retracted.
-    pub fn release_guard(&mut self, guard: Lit) {
+    /// it are permanently retracted. Idempotent — releasing a guard that is
+    /// not active (already released, or never created through this session)
+    /// is a no-op, so callers unwinding a cancelled query (e.g. a portfolio
+    /// race loser) can release unconditionally without asserting a second
+    /// `¬guard` unit or inflating [`ReuseStats::guards_released`]. Returns
+    /// `true` if the guard was active and has now been released.
+    pub fn release_guard(&mut self, guard: Lit) -> bool {
+        let before = self.active_guards.len();
         self.active_guards.retain(|&g| g != guard);
+        if self.active_guards.len() == before {
+            return false;
+        }
         self.backend.release_guard(guard);
         self.reuse.guards_released += 1;
+        true
     }
 
     /// Installs a retractable at-most-`k` bound over `lits` behind a fresh
@@ -177,6 +187,12 @@ impl<B: SatBackend> IncrementalSession<B> {
     /// Cumulative search statistics of the wrapped backend.
     pub fn stats(&self) -> SolverStats {
         self.backend.stats()
+    }
+
+    /// Per-lane portfolio attribution of the wrapped backend, when it is a
+    /// portfolio (see [`SatBackend::portfolio_stats`]).
+    pub fn portfolio_stats(&self) -> Option<crate::PortfolioStats> {
+        self.backend.portfolio_stats()
     }
 
     /// Number of variables allocated in the wrapped backend.
@@ -376,6 +392,65 @@ mod tests {
         let reuse = ladder.session_mut().reuse();
         assert_eq!(reuse.queries, 3);
         assert!(ladder.session_mut().num_clauses() >= clauses_after_counter);
+    }
+
+    #[test]
+    fn release_guard_is_idempotent_and_tracks_actual_releases() {
+        let mut session = IncrementalSession::new(Solver::new());
+        let a = Lit::pos(session.backend_mut().new_var());
+        session.add_clause(&[a]);
+        let guard = session.guard();
+        session.add_clause(&[!guard, !a]);
+        let clauses_before = session.num_clauses();
+        assert!(session.release_guard(guard));
+        // A second release is a no-op: no extra ¬guard unit, no double count.
+        assert!(!session.release_guard(guard));
+        let stray = Lit::pos(session.backend_mut().new_var());
+        assert!(!session.release_guard(stray));
+        assert_eq!(session.num_clauses(), clauses_before);
+        assert_eq!(session.reuse().guards_created, 1);
+        assert_eq!(session.reuse().guards_released, 1);
+        assert!(session.active_guards().is_empty());
+        assert_eq!(session.solve(None), Some(SolveResult::Sat));
+    }
+
+    #[test]
+    fn cancelled_portfolio_race_releases_guards_cleanly() {
+        // A portfolio-backed session whose query is cancelled by the
+        // conflict budget must release its guards without leaking
+        // assumption literals into later queries.
+        let mut session = IncrementalSession::new(BackendChoice::portfolio().instantiate());
+        let vars: Vec<Var> = (0..15).map(|_| session.backend_mut().new_var()).collect();
+        for i in 0..5 {
+            session.add_clause(&[
+                Lit::pos(vars[3 * i]),
+                Lit::pos(vars[3 * i + 1]),
+                Lit::pos(vars[3 * i + 2]),
+            ]);
+        }
+        for i in 0..15 {
+            for j in (i + 1)..15 {
+                session.add_clause(&[Lit::neg(vars[i]), Lit::neg(vars[j])]);
+            }
+        }
+        // Benign padding pushes the formula past the portfolio's racing
+        // floor so the interrupted query below is a real multi-engine race.
+        let pad: Vec<Var> = (0..40).map(|_| session.backend_mut().new_var()).collect();
+        for i in 0..40 {
+            for j in 1..27 {
+                session.add_clause(&[Lit::pos(pad[i]), Lit::pos(pad[(i + j) % 40])]);
+            }
+        }
+        let guard = session.guard();
+        session.add_clause(&[!guard, Lit::pos(vars[0])]);
+        // Interrupted query: the portfolio losers are cancelled mid-search.
+        assert_eq!(session.solve(Some(1)), None);
+        assert!(session.release_guard(guard));
+        assert!(!session.release_guard(guard));
+        assert!(session.active_guards().is_empty());
+        assert_eq!(session.reuse().guards_released, 1);
+        // The session stays consistent and completes the proof.
+        assert_eq!(session.solve(None), Some(SolveResult::Unsat));
     }
 
     #[test]

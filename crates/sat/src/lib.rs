@@ -35,6 +35,41 @@
 //!   fresh-backend-per-query path kept for cross-checking.
 //! * [`dimacs`] — DIMACS CNF import/export for debugging and testing.
 //!
+//! # Backend selection & portfolio
+//!
+//! [`BackendChoice`] names every way the pipeline can answer a SAT query:
+//!
+//! | Choice | Engine | Use |
+//! |---|---|---|
+//! | [`BackendChoice::Cdcl`] | tuned [`Solver`] | the default |
+//! | [`BackendChoice::CdclReference`] | [`Solver`], heuristics off | benchmark & cross-check baseline |
+//! | [`BackendChoice::Screwsat`] | [`ScrewSolver`] | independent second implementation |
+//! | [`BackendChoice::DimacsLogging`] | wrapped [`Solver`] | formula export, model validation |
+//! | [`BackendChoice::Portfolio`] | several of the above | racing / cross-checking |
+//!
+//! The portfolio ([`PortfolioBackend`], configured by [`PortfolioConfig`])
+//! runs its members against each other. In the default *racing* mode
+//! ([`PortfolioConfig::racing`], i.e. [`BackendChoice::portfolio`]) every
+//! query is raced on scoped threads in conflict-budget chunks; the first
+//! finisher cancels the rest and the winner is chosen deterministically by a
+//! fixed lane priority ([`PortfolioLane`]). Verdicts are deterministic —
+//! all finishers must agree, and each engine is sound and complete — but
+//! the *model* of a raced SAT query belongs to whichever engine happened to
+//! win, so racing callers that need reproducible artifacts re-extract final
+//! solutions on [`BackendChoice::canonical`] (the synthesis pipeline does
+//! this; its reports are bit-identical no matter which engine wins). The
+//! *checked* mode ([`PortfolioConfig::checked`]) instead runs every member
+//! to completion and panics on any verdict disagreement — slow, bit-identical
+//! to the primary member alone, and kept wired into the test suites and CI
+//! as a standing correctness oracle. Per-lane attribution (wins, losses,
+//! cancelled conflicts, per-backend time) is reported via
+//! [`SatBackend::portfolio_stats`] as [`PortfolioStats`].
+//!
+//! Small formulas skip the race entirely and run the primary engine inline
+//! (see [`portfolio::RACE_MIN_CLAUSES`]); combined with the adaptive
+//! heuristics selection ([`SolverConfig::adaptive`]) this keeps the paper's
+//! small codes free of both scheduling and bookkeeping overhead.
+//!
 //! # Guarded incremental solving
 //!
 //! ```
@@ -73,6 +108,8 @@ pub mod dimacs;
 mod encode;
 mod incremental;
 mod lit;
+pub mod portfolio;
+mod screwsat;
 mod solver;
 
 pub use backend::{BackendChoice, DimacsLoggingBackend, LadderMode, QueryRecord, SatBackend};
@@ -80,4 +117,6 @@ pub use dimacs::ParseDimacsError;
 pub use encode::Encoder;
 pub use incremental::{BoundedLadder, IncrementalSession, ReuseStats};
 pub use lit::{Lit, Var};
-pub use solver::{Model, SolveResult, Solver, SolverConfig, SolverStats};
+pub use portfolio::{LaneStats, PortfolioBackend, PortfolioConfig, PortfolioLane, PortfolioStats};
+pub use screwsat::ScrewSolver;
+pub use solver::{Model, SolveResult, Solver, SolverConfig, SolverStats, ADAPTIVE_CLAUSE_CEILING};

@@ -1,0 +1,720 @@
+//! Deterministic portfolio racing and cross-checking across SAT backends.
+//!
+//! A [`PortfolioBackend`] holds several independent solver engines, feeds
+//! every clause to all of them, and answers each query in one of two modes:
+//!
+//! * **Racing** (the default): the members run the query concurrently on
+//!   scoped threads, each in short conflict-budget chunks so it can observe a
+//!   shared stop flag; the first finisher cancels the rest. The *winner* is
+//!   selected deterministically — among the members that produced a verdict,
+//!   the one earliest in the fixed [`PortfolioLane`] priority order — and
+//!   every pair of finishers is required to agree on the verdict (a free
+//!   cross-check on every raced query). Which engine wins a race is
+//!   timing-dependent, so the *model* handed out by a raced SAT query is not
+//!   reproducible; the synthesis pipeline compensates by re-extracting final
+//!   solutions on the canonical backend ([`crate::BackendChoice::canonical`])
+//!   — verdicts, and therefore every optimization ladder's bounds, are
+//!   model-independent.
+//! * **Checked** ([`PortfolioConfig::checked`]): every member runs the query
+//!   to completion sequentially and the backend panics on any verdict
+//!   disagreement. The answer (and model) is always the primary member's, so
+//!   a checked portfolio is bit-identical to running the primary alone —
+//!   just slower, which is what makes it a standing correctness oracle for
+//!   tests and CI.
+//!
+//! Queries on small formulas skip the race and run the primary inline
+//! ([`RACE_MIN_CLAUSES`]): thread spawning costs more than the solve itself
+//! at that scale, and the paper's small codes (Steane, Shor, Surface-3) live
+//! entirely in that regime. Per-lane attribution (wins, losses, cancelled
+//! conflicts, wall-clock time) is collected in [`PortfolioStats`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::{
+    Lit, Model, SatBackend, ScrewSolver, SolveResult, Solver, SolverConfig, SolverStats, Var,
+};
+
+/// Formula-size floor (stored clauses) below which a racing portfolio
+/// answers queries inline on the primary member instead of spawning threads.
+pub const RACE_MIN_CLAUSES: usize = 1024;
+
+/// Conflict-budget chunk raced members solve between checks of the shared
+/// stop flag. Small enough to cancel losers promptly, large enough that the
+/// atomic load is free compared to the search work in a chunk.
+const RACE_CHUNK: u64 = 2048;
+
+/// The engines a portfolio can employ, in fixed priority order: when several
+/// members of a race finish, the one earliest in this order is the winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortfolioLane {
+    /// The tuned CDCL solver ([`crate::Solver`]); the canonical member.
+    Cdcl = 0,
+    /// The independent second solver ([`crate::ScrewSolver`]).
+    Screwsat = 1,
+    /// The heuristics-disabled CDCL baseline
+    /// ([`crate::SolverConfig::reference`]).
+    CdclReference = 2,
+}
+
+impl PortfolioLane {
+    /// All lanes, in priority order.
+    pub const ALL: [PortfolioLane; 3] = [
+        PortfolioLane::Cdcl,
+        PortfolioLane::Screwsat,
+        PortfolioLane::CdclReference,
+    ];
+
+    /// Dense index of the lane (its position in [`PortfolioLane::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human-readable lane name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PortfolioLane::Cdcl => "cdcl",
+            PortfolioLane::Screwsat => "screwsat",
+            PortfolioLane::CdclReference => "cdcl-ref",
+        }
+    }
+
+    fn instantiate(self) -> Box<dyn SatBackend + Send> {
+        match self {
+            PortfolioLane::Cdcl => Box::new(Solver::new()),
+            PortfolioLane::Screwsat => Box::new(ScrewSolver::new()),
+            PortfolioLane::CdclReference => {
+                Box::new(Solver::with_config(SolverConfig::reference()))
+            }
+        }
+    }
+}
+
+/// Which engines a [`PortfolioBackend`] runs, and in which mode.
+///
+/// The configuration is a small copyable value so it can ride inside
+/// [`crate::BackendChoice::Portfolio`] (which report caches hash and
+/// fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortfolioConfig {
+    /// Bitmask over [`PortfolioLane`] indices.
+    members: u8,
+    checked: bool,
+}
+
+impl PortfolioConfig {
+    /// The default racing portfolio: tuned CDCL raced against the
+    /// independent second solver.
+    pub fn racing() -> Self {
+        PortfolioConfig {
+            members: 0,
+            checked: false,
+        }
+        .with_lane(PortfolioLane::Cdcl)
+        .with_lane(PortfolioLane::Screwsat)
+    }
+
+    /// The cross-checking portfolio: every in-tree engine runs each query to
+    /// completion and any verdict disagreement panics. Deterministic (the
+    /// primary member's answers are used throughout) and slow — a
+    /// correctness oracle, not a performance mode.
+    pub fn checked() -> Self {
+        let mut config = PortfolioConfig {
+            members: 0,
+            checked: true,
+        };
+        for lane in PortfolioLane::ALL {
+            config = config.with_lane(lane);
+        }
+        config
+    }
+
+    /// Adds a lane to the member set.
+    pub fn with_lane(mut self, lane: PortfolioLane) -> Self {
+        self.members |= 1 << lane.index();
+        self
+    }
+
+    /// Returns `true` if `lane` is a member.
+    pub fn contains(self, lane: PortfolioLane) -> bool {
+        self.members & (1 << lane.index()) != 0
+    }
+
+    /// The member lanes, in priority order.
+    pub fn lanes(self) -> Vec<PortfolioLane> {
+        PortfolioLane::ALL
+            .into_iter()
+            .filter(|&lane| self.contains(lane))
+            .collect()
+    }
+
+    /// Returns `true` if this is the run-to-completion cross-check mode.
+    pub fn is_checked(self) -> bool {
+        self.checked
+    }
+
+    /// The primary (highest-priority) member lane. Its answers define the
+    /// portfolio's deterministic behaviour: checked mode returns them
+    /// directly, and racing mode re-canonicalizes through it.
+    pub fn primary(self) -> PortfolioLane {
+        self.lanes()
+            .first()
+            .copied()
+            .expect("a portfolio has at least one member")
+    }
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig::racing()
+    }
+}
+
+/// Attribution of one portfolio lane across the queries seen so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Races (or solo/checked queries) this lane answered.
+    pub wins: u64,
+    /// Races another lane answered first (checked mode: completed queries
+    /// whose answer the primary provided instead).
+    pub losses: u64,
+    /// Conflicts this lane spent on queries it lost — the cancelled work.
+    pub cancelled_conflicts: u64,
+    /// Wall-clock microseconds this lane spent solving.
+    pub time_us: u64,
+}
+
+impl LaneStats {
+    fn absorb(&mut self, other: &LaneStats) {
+        self.wins += other.wins;
+        self.losses += other.losses;
+        self.cancelled_conflicts += other.cancelled_conflicts;
+        self.time_us += other.time_us;
+    }
+
+    fn since(&self, earlier: &LaneStats) -> LaneStats {
+        LaneStats {
+            wins: self.wins - earlier.wins,
+            losses: self.losses - earlier.losses,
+            cancelled_conflicts: self.cancelled_conflicts - earlier.cancelled_conflicts,
+            time_us: self.time_us - earlier.time_us,
+        }
+    }
+}
+
+/// Per-backend attribution collected by a [`PortfolioBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Queries answered by an actual multi-engine race (or, in checked mode,
+    /// a full cross-checked sweep).
+    pub races: u64,
+    /// Queries answered inline by the primary because the formula was below
+    /// the racing floor.
+    pub solo: u64,
+    /// Per-lane attribution, indexed by [`PortfolioLane::index`].
+    pub lanes: [LaneStats; PortfolioLane::ALL.len()],
+}
+
+impl PortfolioStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &PortfolioStats) {
+        self.races += other.races;
+        self.solo += other.solo;
+        for (mine, theirs) in self.lanes.iter_mut().zip(other.lanes.iter()) {
+            mine.absorb(theirs);
+        }
+    }
+
+    /// The delta accumulated since `earlier` (which must be a previous
+    /// snapshot of the same counter set).
+    pub fn since(&self, earlier: &PortfolioStats) -> PortfolioStats {
+        let mut lanes = [LaneStats::default(); PortfolioLane::ALL.len()];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = self.lanes[i].since(&earlier.lanes[i]);
+        }
+        PortfolioStats {
+            races: self.races - earlier.races,
+            solo: self.solo - earlier.solo,
+            lanes,
+        }
+    }
+
+    /// The attribution of one lane.
+    pub fn lane(&self, lane: PortfolioLane) -> &LaneStats {
+        &self.lanes[lane.index()]
+    }
+
+    /// Returns `true` if no portfolio query has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.races == 0 && self.solo == 0
+    }
+}
+
+impl std::fmt::Display for PortfolioStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "races={} solo={}", self.races, self.solo)?;
+        for lane in PortfolioLane::ALL {
+            let stats = self.lane(lane);
+            if stats.wins == 0 && stats.losses == 0 && stats.time_us == 0 {
+                continue;
+            }
+            write!(
+                f,
+                " {}[wins={} losses={} cancelled={} time={}us]",
+                lane.name(),
+                stats.wins,
+                stats.losses,
+                stats.cancelled_conflicts,
+                stats.time_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome one raced member reports back: its verdict (if it finished
+/// inside the shared race), the conflicts it spent, and its wall-clock time.
+struct LaneOutcome {
+    verdict: Option<SolveResult>,
+    conflicts: u64,
+    time_us: u64,
+}
+
+/// A [`SatBackend`] that multiplexes several independent engines — see the
+/// module docs for the racing and checked modes.
+pub struct PortfolioBackend {
+    config: PortfolioConfig,
+    members: Vec<(PortfolioLane, Box<dyn SatBackend + Send>)>,
+    model: Option<Model>,
+    portfolio: PortfolioStats,
+}
+
+impl std::fmt::Debug for PortfolioBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioBackend")
+            .field("config", &self.config)
+            .field("portfolio", &self.portfolio)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PortfolioBackend {
+    /// Creates a portfolio with the given member set and mode.
+    pub fn new(config: PortfolioConfig) -> Self {
+        let members: Vec<_> = config
+            .lanes()
+            .into_iter()
+            .map(|lane| (lane, lane.instantiate()))
+            .collect();
+        assert!(!members.is_empty(), "a portfolio needs at least one member");
+        PortfolioBackend {
+            config,
+            members,
+            model: None,
+            portfolio: PortfolioStats::default(),
+        }
+    }
+
+    /// The portfolio's configuration.
+    pub fn config(&self) -> PortfolioConfig {
+        self.config
+    }
+
+    /// The per-lane attribution accumulated so far.
+    pub fn portfolio(&self) -> PortfolioStats {
+        self.portfolio
+    }
+
+    /// Answers a query inline on the primary member, without threads.
+    fn solve_solo(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        let start = Instant::now();
+        let result = self.members[0].1.solve_limited(assumptions, max_conflicts);
+        let lane = self.members[0].0.index();
+        self.portfolio.solo += 1;
+        self.portfolio.lanes[lane].wins += u64::from(result.is_some());
+        self.portfolio.lanes[lane].time_us += start.elapsed().as_micros() as u64;
+        self.model = match result {
+            Some(SolveResult::Sat) => self.members[0].1.model().cloned(),
+            _ => None,
+        };
+        result
+    }
+
+    /// Runs every member to completion sequentially and panics on verdict
+    /// disagreement; the primary member's answer and model are returned.
+    fn solve_checked(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        let mut outcomes: Vec<(PortfolioLane, Option<SolveResult>)> = Vec::new();
+        for (lane, member) in self.members.iter_mut() {
+            let start = Instant::now();
+            let result = member.solve_limited(assumptions, max_conflicts);
+            outcomes.push((*lane, result));
+            self.portfolio.lanes[lane.index()].time_us += start.elapsed().as_micros() as u64;
+        }
+        self.portfolio.races += 1;
+        let mut finished = outcomes
+            .iter()
+            .filter_map(|&(lane, r)| r.map(|v| (lane, v)));
+        if let Some((first_lane, first_verdict)) = finished.next() {
+            for (lane, verdict) in finished {
+                assert_eq!(
+                    first_verdict,
+                    verdict,
+                    "portfolio cross-check failed: {} says {:?} but {} says {:?}",
+                    first_lane.name(),
+                    first_verdict,
+                    lane.name(),
+                    verdict
+                );
+            }
+        }
+        for (i, &(lane, result)) in outcomes.iter().enumerate() {
+            if result.is_some() {
+                if i == 0 {
+                    self.portfolio.lanes[lane.index()].wins += 1;
+                } else {
+                    self.portfolio.lanes[lane.index()].losses += 1;
+                }
+            }
+        }
+        let primary = outcomes[0].1;
+        self.model = match primary {
+            Some(SolveResult::Sat) => self.members[0].1.model().cloned(),
+            _ => None,
+        };
+        primary
+    }
+
+    /// Races the members on scoped threads. Deterministic in the verdict
+    /// (all finishers must agree), timing-dependent in which member's model
+    /// is stored.
+    fn solve_race(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        let stop = AtomicBool::new(false);
+        let outcomes: Vec<LaneOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter_mut()
+                .map(|(_, member)| {
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let conflicts_before = member.stats().conflicts;
+                        let mut verdict = None;
+                        let mut remaining = max_conflicts;
+                        while !stop.load(Ordering::Acquire) && remaining > 0 {
+                            let chunk = RACE_CHUNK.min(remaining);
+                            match member.solve_limited(assumptions, chunk) {
+                                Some(result) => {
+                                    verdict = Some(result);
+                                    stop.store(true, Ordering::Release);
+                                    break;
+                                }
+                                None => remaining -= chunk,
+                            }
+                        }
+                        LaneOutcome {
+                            verdict,
+                            conflicts: member.stats().conflicts - conflicts_before,
+                            time_us: start.elapsed().as_micros() as u64,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("a portfolio member panicked"))
+                .collect()
+        });
+
+        self.portfolio.races += 1;
+        // Deterministic winner selection: the first member in priority order
+        // that produced a verdict. All finishers must agree — a free
+        // cross-check on every raced query.
+        let mut winner: Option<(usize, SolveResult)> = None;
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if let Some(verdict) = outcome.verdict {
+                match winner {
+                    None => winner = Some((i, verdict)),
+                    Some((w, expected)) => assert_eq!(
+                        expected,
+                        verdict,
+                        "portfolio members disagree: {} says {:?} but {} says {:?}",
+                        self.members[w].0.name(),
+                        expected,
+                        self.members[i].0.name(),
+                        verdict
+                    ),
+                }
+            }
+        }
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let lane = &mut self.portfolio.lanes[self.members[i].0.index()];
+            lane.time_us += outcome.time_us;
+            match winner {
+                Some((w, _)) if w == i => lane.wins += 1,
+                Some(_) => {
+                    lane.losses += 1;
+                    lane.cancelled_conflicts += outcome.conflicts;
+                }
+                // Everybody exhausted the budget: no winner to attribute.
+                None => {}
+            }
+        }
+        match winner {
+            Some((w, SolveResult::Sat)) => {
+                self.model = self.members[w].1.model().cloned();
+                Some(SolveResult::Sat)
+            }
+            Some((_, SolveResult::Unsat)) => {
+                self.model = None;
+                Some(SolveResult::Unsat)
+            }
+            None => {
+                self.model = None;
+                None
+            }
+        }
+    }
+}
+
+impl SatBackend for PortfolioBackend {
+    fn name(&self) -> &'static str {
+        if self.config.is_checked() {
+            "portfolio-checked"
+        } else {
+            "portfolio"
+        }
+    }
+
+    fn new_var(&mut self) -> Var {
+        let mut first: Option<Var> = None;
+        for (_, member) in self.members.iter_mut() {
+            let v = member.new_var();
+            match first {
+                None => first = Some(v),
+                Some(f) => debug_assert_eq!(f, v, "member var counters diverged"),
+            }
+        }
+        first.expect("a portfolio has at least one member")
+    }
+
+    fn num_vars(&self) -> usize {
+        self.members[0].1.num_vars()
+    }
+
+    fn num_clauses(&self) -> usize {
+        self.members[0].1.num_clauses()
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // No short-circuit: every member must see every clause, or a later
+        // query would race engines holding different formulas.
+        let mut ok = true;
+        for (_, member) in self.members.iter_mut() {
+            ok &= member.add_clause(lits);
+        }
+        ok
+    }
+
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve always terminates with a result")
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        if self.config.is_checked() {
+            self.solve_checked(assumptions, max_conflicts)
+        } else if self.members.len() == 1 || self.members[0].1.num_clauses() < RACE_MIN_CLAUSES {
+            self.solve_solo(assumptions, max_conflicts)
+        } else {
+            self.solve_race(assumptions, max_conflicts)
+        }
+    }
+
+    fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    fn stats(&self) -> SolverStats {
+        // Aggregate search work across the members; the peak database size
+        // is a maximum, everything else sums.
+        let mut total = SolverStats::default();
+        for (_, member) in &self.members {
+            let s = member.stats();
+            total.decisions += s.decisions;
+            total.propagations += s.propagations;
+            total.conflicts += s.conflicts;
+            total.learned_clauses += s.learned_clauses;
+            total.restarts += s.restarts;
+            total.reduced_clauses += s.reduced_clauses;
+            total.minimized_literals += s.minimized_literals;
+            total.peak_clause_db = total.peak_clause_db.max(s.peak_clause_db);
+        }
+        total
+    }
+
+    fn portfolio_stats(&self) -> Option<PortfolioStats> {
+        Some(self.portfolio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pigeonhole(backend: &mut dyn SatBackend, holes: usize) {
+        let p: Vec<Vec<Lit>> = (0..holes + 1)
+            .map(|_| (0..holes).map(|_| Lit::pos(backend.new_var())).collect())
+            .collect();
+        for row in &p {
+            backend.add_clause(row);
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    backend.add_clause(&[!a, !b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn racing_portfolio_solves_sat_and_unsat() {
+        let mut backend = PortfolioBackend::new(PortfolioConfig::racing());
+        let a = backend.new_var();
+        let b = backend.new_var();
+        backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        backend.add_clause(&[Lit::neg(a)]);
+        assert_eq!(backend.solve(), SolveResult::Sat);
+        let model = backend.model().expect("sat");
+        assert!(!model.value(a));
+        assert!(model.value(b));
+        assert_eq!(
+            backend.solve_with_assumptions(&[Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        // Small formula: both queries went through the solo fast path.
+        let stats = backend.portfolio_stats().expect("portfolio");
+        assert_eq!(stats.solo, 2);
+        assert_eq!(stats.races, 0);
+        assert_eq!(stats.lane(PortfolioLane::Cdcl).wins, 2);
+    }
+
+    /// Benign satisfiable padding that pushes the stored-clause count past
+    /// the racing floor without making the instance harder.
+    fn pad_past_racing_floor(backend: &mut dyn SatBackend) {
+        let pad: Vec<Var> = (0..40).map(|_| backend.new_var()).collect();
+        for i in 0..40 {
+            for j in 1..27 {
+                backend.add_clause(&[Lit::pos(pad[i]), Lit::pos(pad[(i + j) % 40])]);
+            }
+        }
+        assert!(backend.num_clauses() >= RACE_MIN_CLAUSES);
+    }
+
+    #[test]
+    fn large_formulas_race_and_agree() {
+        let mut backend = PortfolioBackend::new(PortfolioConfig::racing());
+        // An easy unsatisfiable core plus enough padding to force real races.
+        pigeonhole(&mut backend, 5);
+        pad_past_racing_floor(&mut backend);
+        assert_eq!(backend.solve(), SolveResult::Unsat);
+        let stats = backend.portfolio_stats().expect("portfolio");
+        assert_eq!(stats.races, 1);
+        let wins: u64 = stats.lanes.iter().map(|l| l.wins).sum();
+        assert_eq!(wins, 1, "exactly one lane wins a race");
+    }
+
+    #[test]
+    fn raced_sat_models_satisfy_the_formula() {
+        let mut backend = PortfolioBackend::new(PortfolioConfig::racing());
+        // A satisfiable formula above the racing floor: a loose graph
+        // 3-coloring-style instance padded with benign clauses.
+        let vars: Vec<Var> = (0..60).map(|_| backend.new_var()).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..60 {
+            for j in 1..20 {
+                clauses.push(vec![
+                    Lit::pos(vars[i]),
+                    Lit::pos(vars[(i + j) % 60]),
+                    Lit::neg(vars[(i + 2 * j) % 60]),
+                ]);
+            }
+        }
+        for c in &clauses {
+            backend.add_clause(c);
+        }
+        assert!(backend.num_clauses() >= RACE_MIN_CLAUSES);
+        assert_eq!(backend.solve(), SolveResult::Sat);
+        let model = backend.model().expect("sat").clone();
+        for c in &clauses {
+            assert!(c.iter().any(|&l| model.lit_value(l)), "violated {c:?}");
+        }
+    }
+
+    #[test]
+    fn checked_portfolio_matches_the_primary_alone() {
+        let mut checked = PortfolioBackend::new(PortfolioConfig::checked());
+        let mut solo = Solver::new();
+        pigeonhole(&mut checked, 5);
+        pigeonhole(&mut solo, 5);
+        assert_eq!(checked.solve(), SolveResult::Unsat);
+        assert_eq!(SatBackend::solve(&mut solo), SolveResult::Unsat);
+        let stats = checked.portfolio_stats().expect("portfolio");
+        assert_eq!(stats.races, 1);
+        assert_eq!(stats.lane(PortfolioLane::Cdcl).wins, 1);
+        assert_eq!(stats.lane(PortfolioLane::Screwsat).losses, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none_and_leaves_the_backend_usable() {
+        let mut backend = PortfolioBackend::new(PortfolioConfig::racing());
+        pigeonhole(&mut backend, 5);
+        pad_past_racing_floor(&mut backend);
+        assert_eq!(backend.solve_limited(&[], 1), None);
+        assert_eq!(
+            backend.solve_limited(&[], u64::MAX),
+            Some(SolveResult::Unsat)
+        );
+    }
+
+    #[test]
+    fn config_round_trips_lanes() {
+        let racing = PortfolioConfig::racing();
+        assert!(racing.contains(PortfolioLane::Cdcl));
+        assert!(racing.contains(PortfolioLane::Screwsat));
+        assert!(!racing.contains(PortfolioLane::CdclReference));
+        assert!(!racing.is_checked());
+        assert_eq!(racing.primary(), PortfolioLane::Cdcl);
+
+        let checked = PortfolioConfig::checked();
+        assert_eq!(checked.lanes(), PortfolioLane::ALL.to_vec());
+        assert!(checked.is_checked());
+    }
+
+    #[test]
+    fn stats_absorb_and_since_are_inverse() {
+        let mut lanes = [LaneStats::default(); 3];
+        lanes[0].wins = 2;
+        lanes[1].cancelled_conflicts = 40;
+        let a = PortfolioStats {
+            races: 3,
+            solo: 1,
+            lanes,
+        };
+        let mut delta_lanes = [LaneStats::default(); 3];
+        delta_lanes[1] = LaneStats {
+            wins: 0,
+            losses: 2,
+            cancelled_conflicts: 0,
+            time_us: 17,
+        };
+        let delta = PortfolioStats {
+            races: 2,
+            solo: 0,
+            lanes: delta_lanes,
+        };
+        let mut b = a;
+        b.absorb(&delta);
+        assert_eq!(b.since(&a), delta);
+    }
+}

@@ -1,0 +1,664 @@
+//! A second, independent CDCL solver (the portfolio's "other opinion").
+//!
+//! [`ScrewSolver`] is a compact solver in the screwsat lineage: first-UIP
+//! clause learning over a plain two-watched-literal scheme, a linear-scan
+//! VSIDS decision rule, geometric restarts and phase saving — and nothing
+//! else. It deliberately shares **no code** with [`crate::Solver`]:
+//!
+//! * one flat watch list per literal for every clause length (no blocker
+//!   literals, no dedicated binary-clause path),
+//! * no learned-clause minimization and no clause-database reduction (the
+//!   database only grows),
+//! * geometric restarts instead of the Luby sequence,
+//! * saved phases default to *positive* (the tuned solver defaults to
+//!   negative), so the two engines explore different assignments first.
+//!
+//! Because the implementations are independent, an agreement between them on
+//! a SAT/UNSAT verdict is meaningful evidence of correctness, which is what
+//! the portfolio's cross-check mode (see [`crate::PortfolioConfig`]) relies
+//! on. Like every backend in this crate the solver is fully deterministic:
+//! no randomness, all tie-breaks by lowest variable index.
+
+use crate::{Lit, Model, SolveResult, SolverStats, Var};
+
+/// Truth value of a variable during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assignment {
+    True,
+    False,
+    Open,
+}
+
+/// A compact, independent CDCL solver (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use dftsp_sat::{Lit, ScrewSolver, SolveResult};
+///
+/// let mut s = ScrewSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model().expect("sat").value(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScrewSolver {
+    /// Clause arena, originals and learned clauses interleaved. The watched
+    /// literals of a clause are always `lits[0]` and `lits[1]`; the reason
+    /// invariant is that `lits[0]` of a reason clause is the implied literal.
+    clauses: Vec<Vec<Lit>>,
+    /// For each literal code, the clauses in which that literal is watched.
+    watches: Vec<Vec<u32>>,
+    values: Vec<Assignment>,
+    levels: Vec<usize>,
+    reasons: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    bump: f64,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    model: Option<Model>,
+    stats: SolverStats,
+}
+
+/// First geometric restart interval (conflicts).
+const RESTART_BASE: u64 = 128;
+
+impl ScrewSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        ScrewSolver {
+            bump: 1.0,
+            ..ScrewSolver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.values.len());
+        self.values.push(Assignment::Open);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(true);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of stored clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Accumulated search statistics. Fields for heuristics this solver does
+    /// not implement (minimization, database reduction) stay zero.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn lit_value(&self, lit: Lit) -> Assignment {
+        match self.values[lit.var().index()] {
+            Assignment::Open => Assignment::Open,
+            Assignment::True if lit.is_positive() => Assignment::True,
+            Assignment::True => Assignment::False,
+            Assignment::False if lit.is_positive() => Assignment::False,
+            Assignment::False => Assignment::True,
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn assign(&mut self, lit: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(lit), Assignment::Open);
+        let v = lit.var().index();
+        self.values[v] = if lit.is_positive() {
+            Assignment::True
+        } else {
+            Assignment::False
+        };
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.saved_phase[v] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        while self.trail.len() > bound {
+            let lit = self.trail.pop().expect("trail bound checked");
+            let v = lit.var().index();
+            self.values[v] = Assignment::Open;
+            self.reasons[v] = None;
+        }
+        self.trail_lim.truncate(level);
+        self.qhead = bound;
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let ci = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(ci);
+        self.watches[lits[1].code()].push(ci);
+        self.clauses.push(lits);
+        self.stats.peak_clause_db = self.stats.peak_clause_db.max(self.clauses.len() as u64);
+        ci
+    }
+
+    /// Adds a clause; returns `false` if the formula became trivially
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if self.unsat {
+            return false;
+        }
+        let mut lits = lits.to_vec();
+        for l in &lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} refers to an unallocated variable"
+            );
+        }
+        lits.sort();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology
+        }
+        // Evaluate against the level-0 assignment.
+        let mut open = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.lit_value(l) {
+                Assignment::True => return true,
+                Assignment::False => {}
+                Assignment::Open => open.push(l),
+            }
+        }
+        match open.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.assign(open[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+                !self.unsat
+            }
+            _ => {
+                self.attach(open);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation to fixpoint; returns a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let fc = (!p).code();
+            let mut kept = 0usize;
+            let mut i = 0usize;
+            let mut conflict = None;
+            while i < self.watches[fc].len() {
+                let ci = self.watches[fc][i] as usize;
+                i += 1;
+                // Normalize so the falsified watch sits at position 1.
+                if self.clauses[ci][0] == !p {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], !p);
+                let first = self.clauses[ci][0];
+                if self.lit_value(first) == Assignment::True {
+                    self.watches[fc][kept] = ci as u32;
+                    kept += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.lit_value(self.clauses[ci][k]) != Assignment::False {
+                        self.clauses[ci].swap(1, k);
+                        let w = self.clauses[ci][1];
+                        self.watches[w.code()].push(ci as u32);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting; the watcher stays either way.
+                self.watches[fc][kept] = ci as u32;
+                kept += 1;
+                if self.lit_value(first) == Assignment::False {
+                    conflict = Some(ci as u32);
+                    while i < self.watches[fc].len() {
+                        self.watches[fc][kept] = self.watches[fc][i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    break;
+                }
+                self.assign(first, Some(ci as u32));
+            }
+            self.watches[fc].truncate(kept);
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, v: usize) {
+        self.activity[v] += self.bump;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.bump *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis without minimization. Returns the learned
+    /// clause (asserting literal first, a highest-level literal second) and
+    /// the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // asserting slot
+        let mut pending = 0usize;
+        let mut confl = conflict as usize;
+        let mut index = self.trail.len();
+        let mut asserting: Option<Lit> = None;
+        let mut touched = Vec::new();
+        let current = self.decision_level();
+
+        loop {
+            let skip = usize::from(asserting.is_some());
+            for k in skip..self.clauses[confl].len() {
+                let q = self.clauses[confl][k];
+                let v = q.var().index();
+                if !self.seen[v] && self.levels[v] > 0 {
+                    self.seen[v] = true;
+                    touched.push(v);
+                    self.bump_activity(v);
+                    if self.levels[v] >= current {
+                        pending += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            asserting = Some(lit);
+            pending -= 1;
+            if pending == 0 {
+                break;
+            }
+            confl = self.reasons[lit.var().index()].expect("implied literal has a reason") as usize;
+        }
+        learnt[0] = !asserting.expect("analysis visited at least one literal");
+
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut deepest = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[deepest].var().index()]
+                {
+                    deepest = i;
+                }
+            }
+            learnt.swap(1, deepest);
+            self.levels[learnt[1].var().index()]
+        };
+        for v in touched {
+            self.seen[v] = false;
+        }
+        (learnt, backjump)
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        self.stats.learned_clauses += 1;
+        if learnt.len() == 1 {
+            self.assign(learnt[0], None);
+        } else {
+            let asserting = learnt[0];
+            let ci = self.attach(learnt);
+            self.assign(asserting, Some(ci));
+        }
+    }
+
+    /// Linear-scan VSIDS: the unassigned variable with the strictly greatest
+    /// activity, lowest index on ties.
+    fn pick_branch(&self) -> Option<Var> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars() {
+            if self.values[v] == Assignment::Open {
+                match best {
+                    Some(b) if self.activity[v] <= self.activity[b] => {}
+                    _ => best = Some(v),
+                }
+            }
+        }
+        best.map(Var::from_index)
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("unlimited solve always terminates with a result")
+    }
+
+    /// Solves with a conflict budget; returns `None` if the budget was
+    /// exhausted. The solver backtracks to level 0 before returning, so an
+    /// interrupted query leaves no residual trail and learned clauses carry
+    /// over to the next call.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> Option<SolveResult> {
+        self.model = None;
+        if self.unsat {
+            return Some(SolveResult::Unsat);
+        }
+        for l in assumptions {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "assumption {l} refers to an unallocated variable"
+            );
+        }
+        self.backtrack(0);
+        let mut conflicts = 0u64;
+        let mut since_restart = 0u64;
+        let mut restart_limit = RESTART_BASE;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts += 1;
+                since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                self.backtrack(backjump);
+                self.learn(learnt);
+                self.bump /= 0.9;
+                if conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return None;
+                }
+                if since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    since_restart = 0;
+                    // Geometric schedule: each interval is half again longer.
+                    restart_limit += restart_limit / 2;
+                    self.backtrack(0);
+                }
+            } else if self.decision_level() < assumptions.len() {
+                // Re-establish assumptions one decision level at a time.
+                let p = assumptions[self.decision_level()];
+                match self.lit_value(p) {
+                    Assignment::True => self.trail_lim.push(self.trail.len()),
+                    Assignment::False => {
+                        self.backtrack(0);
+                        return Some(SolveResult::Unsat);
+                    }
+                    Assignment::Open => {
+                        self.trail_lim.push(self.trail.len());
+                        self.assign(p, None);
+                    }
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let values = self
+                            .values
+                            .iter()
+                            .map(|&v| v == Assignment::True)
+                            .collect::<Vec<_>>();
+                        self.model = Some(Model::from_values(values));
+                        self.backtrack(0);
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::with_polarity(v, self.saved_phase[v.index()]);
+                        self.assign(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model of the most recent satisfiable query, if any.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+}
+
+impl crate::SatBackend for ScrewSolver {
+    fn name(&self) -> &'static str {
+        "screwsat"
+    }
+
+    fn new_var(&mut self) -> Var {
+        ScrewSolver::new_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        ScrewSolver::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        ScrewSolver::num_clauses(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        ScrewSolver::add_clause(self, lits)
+    }
+
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        ScrewSolver::solve_with_assumptions(self, assumptions)
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<SolveResult> {
+        ScrewSolver::solve_limited(self, assumptions, max_conflicts)
+    }
+
+    fn model(&self) -> Option<&Model> {
+        ScrewSolver::model(self)
+    }
+
+    fn stats(&self) -> SolverStats {
+        ScrewSolver::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut ScrewSolver, idx: usize, positive: bool) -> Lit {
+        while s.num_vars() <= idx {
+            s.new_var();
+        }
+        Lit::with_polarity(Var::from_index(idx), positive)
+    }
+
+    fn pigeonhole(holes: usize) -> ScrewSolver {
+        let mut s = ScrewSolver::new();
+        let p: Vec<Vec<Lit>> = (0..holes + 1)
+            .map(|_| (0..holes).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause(&[!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = ScrewSolver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().is_some());
+    }
+
+    #[test]
+    fn unit_and_implication_chain() {
+        let mut s = ScrewSolver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[a]);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!b, c]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().expect("sat");
+        assert!(m.lit_value(a) && m.lit_value(b) && m.lit_value(c));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = ScrewSolver::new();
+        let a = lit(&mut s, 0, true);
+        assert!(s.add_clause(&[a]));
+        assert!(!s.add_clause(&[!a]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        let mut s = pigeonhole(4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn models_satisfy_every_clause() {
+        // 3-coloring-style constraints with enough structure to force
+        // conflicts before a model is found.
+        let mut s = ScrewSolver::new();
+        let n = 9;
+        let v: Vec<Lit> = (0..n).map(|i| lit(&mut s, i, true)).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..n {
+            clauses.push(vec![v[i], v[(i + 1) % n], !v[(i + 3) % n]]);
+            clauses.push(vec![!v[i], !v[(i + 2) % n], v[(i + 5) % n]]);
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().expect("sat").clone();
+        for c in &clauses {
+            assert!(c.iter().any(|&l| m.lit_value(l)), "violated clause {c:?}");
+        }
+    }
+
+    #[test]
+    fn assumptions_constrain_and_are_forgotten() {
+        let mut s = ScrewSolver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
+        assert!(s.model().expect("sat").lit_value(b));
+        assert_eq!(s.solve_with_assumptions(&[!a, !b]), SolveResult::Unsat);
+        // The assumptions do not persist.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_interrupts_and_resumes() {
+        let mut s = pigeonhole(5);
+        let mut verdict = None;
+        let mut rounds = 0;
+        while verdict.is_none() {
+            verdict = s.solve_limited(&[], 10);
+            rounds += 1;
+            assert!(rounds < 10_000, "runaway search");
+        }
+        assert_eq!(verdict, Some(SolveResult::Unsat));
+        assert!(rounds > 1, "a 10-conflict budget should interrupt");
+    }
+
+    #[test]
+    fn level_zero_conflicts_poison_the_solver() {
+        let mut s = ScrewSolver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        s.add_clause(&[a, b]);
+        s.add_clause(&[a, !b]);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!a, !b]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.add_clause(&[a]));
+    }
+
+    #[test]
+    fn determinism_same_formula_same_model() {
+        let build = || {
+            let mut s = ScrewSolver::new();
+            let v: Vec<Lit> = (0..12).map(|i| lit(&mut s, i, true)).collect();
+            for i in 0..12 {
+                s.add_clause(&[v[i], !v[(i + 4) % 12], v[(i + 7) % 12]]);
+            }
+            s.add_clause(&[!v[0], !v[5]]);
+            s
+        };
+        let mut s1 = build();
+        let mut s2 = build();
+        assert_eq!(s1.solve(), SolveResult::Sat);
+        assert_eq!(s2.solve(), SolveResult::Sat);
+        assert_eq!(s1.model(), s2.model());
+        assert_eq!(s1.stats(), s2.stats());
+    }
+}

@@ -36,7 +36,11 @@
 //! [`SolverConfig`]; [`SolverConfig::reference`] disables them (linear
 //! decision scan, no reduction, no minimization) and is kept as a
 //! cross-checking and benchmarking baseline — it must always agree with the
-//! tuned configuration on SAT/UNSAT verdicts.
+//! tuned configuration on SAT/UNSAT verdicts. With [`SolverConfig::adaptive`]
+//! (on by default) the heap decisions and the database reduction are
+//! additionally switched off per query on small variable-heavy formulas,
+//! where their bookkeeping costs more than it saves; the selection is a pure
+//! function of the formula, so it never costs determinism.
 //!
 //! # Determinism guarantees
 //!
@@ -110,6 +114,13 @@ impl Model {
     /// Returns `true` if the model covers no variables.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Builds a model from raw per-variable values (index order). Used by
+    /// the other in-tree backends; the public way to obtain a model is
+    /// solving.
+    pub(crate) fn from_values(values: Vec<bool>) -> Model {
+        Model { values }
     }
 }
 
@@ -185,7 +196,24 @@ pub struct SolverConfig {
     pub reduce_base: u64,
     /// Increment added to the reduction interval after every reduction.
     pub reduce_increment: u64,
+    /// Pick the decision/learning heuristics per query from the formula's
+    /// variable and clause counts: on *small, variable-heavy* formulas
+    /// (fewer than [`ADAPTIVE_CLAUSE_CEILING`] original clauses and fewer
+    /// clauses than twice the variable count — the regime of the paper's
+    /// small codes, where a query ends after a handful of conflicts) the
+    /// heap decisions and the clause-database reduction are skipped for the
+    /// solve, since their bookkeeping costs more than it saves there.
+    /// Constraint-dense formulas (e.g. pigeonhole cores) and anything past
+    /// the clause ceiling keep the full heuristics. The selection is a pure
+    /// function of the clause stream, so determinism is unaffected, and
+    /// heap and linear-scan decisions are identical by construction, so
+    /// adaptation never changes a verdict.
+    pub adaptive: bool,
 }
+
+/// Original-clause ceiling of [`SolverConfig::adaptive`]'s small-formula
+/// regime.
+pub const ADAPTIVE_CLAUSE_CEILING: usize = 1024;
 
 impl Default for SolverConfig {
     fn default() -> Self {
@@ -195,6 +223,7 @@ impl Default for SolverConfig {
             minimize_learned: true,
             reduce_base: 2000,
             reduce_increment: 300,
+            adaptive: true,
         }
     }
 }
@@ -211,6 +240,7 @@ impl SolverConfig {
             heap_decisions: false,
             clause_db_reduction: false,
             minimize_learned: false,
+            adaptive: false,
             ..SolverConfig::default()
         }
     }
@@ -413,6 +443,16 @@ pub struct Solver {
     /// that triggers the next one.
     conflicts_since_reduce: u64,
     reduce_threshold: u64,
+    /// Original (non-learned) stored clauses — the formula-size input of the
+    /// adaptive heuristics selection.
+    original_clauses: usize,
+    /// Effective heuristic switches of the current solve, derived from the
+    /// config and (when [`SolverConfig::adaptive`]) the formula size at
+    /// query entry. Heap *maintenance* stays keyed on the structural
+    /// `config.heap_decisions` — only decision *selection* adapts, which is
+    /// safe because heap and linear scan pick identical variables.
+    use_heap: bool,
+    use_reduction: bool,
 }
 
 impl Default for Solver {
@@ -452,6 +492,9 @@ impl Solver {
             lbd_counter: 0,
             conflicts_since_reduce: 0,
             reduce_threshold: config.reduce_base,
+            original_clauses: 0,
+            use_heap: config.heap_decisions,
+            use_reduction: config.clause_db_reduction,
         }
     }
 
@@ -576,6 +619,7 @@ impl Solver {
                     learnt: false,
                     lbd: 0,
                 });
+                self.original_clauses += 1;
                 self.watch_clause(idx);
                 self.note_clause_added();
                 true
@@ -1038,11 +1082,23 @@ impl Solver {
         }
     }
 
+    /// Computes the effective heuristic switches for one solve. With
+    /// [`SolverConfig::adaptive`], small variable-heavy formulas (see the
+    /// field docs) run with linear-scan decisions and no database reduction;
+    /// the selection depends only on the formula, never on timing.
+    fn select_heuristics(&mut self) {
+        let small = self.config.adaptive
+            && self.original_clauses < ADAPTIVE_CLAUSE_CEILING
+            && self.original_clauses < 2 * self.num_vars();
+        self.use_heap = self.config.heap_decisions && !small;
+        self.use_reduction = self.config.clause_db_reduction && !small;
+    }
+
     fn pick_branch_var(&mut self) -> Option<Var> {
-        if !self.config.heap_decisions {
-            // Reference configuration: linear activity scan (first variable
-            // with strictly greatest activity — identical to the heap's
-            // lowest-index tie-break).
+        if !self.use_heap {
+            // Reference configuration or adaptive small-formula regime:
+            // linear activity scan (first variable with strictly greatest
+            // activity — identical to the heap's lowest-index tie-break).
             let mut best: Option<usize> = None;
             for v in 0..self.num_vars() {
                 if self.assign[v] == LBool::Undef {
@@ -1096,6 +1152,7 @@ impl Solver {
             );
         }
         self.cancel_until(0);
+        self.select_heuristics();
         let mut conflicts_this_call = 0u64;
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = 64 * luby(restart_count + 1);
@@ -1114,7 +1171,7 @@ impl Solver {
                     self.cancel_until(backjump);
                     self.record_learned(learnt, lbd);
                     self.decay_activities();
-                    if self.config.clause_db_reduction {
+                    if self.use_reduction {
                         self.conflicts_since_reduce += 1;
                         if self.conflicts_since_reduce >= self.reduce_threshold {
                             self.reduce_db();
@@ -1568,5 +1625,61 @@ mod tests {
             ..SolverStats::default()
         };
         assert!((some.propagations_per_decision() - 2.5).abs() < 1e-12);
+    }
+
+    /// A small formula with enough padding variables to sit in the adaptive
+    /// small/variable-heavy regime while still producing real conflicts: a
+    /// pigeonhole core plus unconstrained padding vars.
+    fn var_heavy_pigeonhole(config: SolverConfig, holes: usize) -> Solver {
+        let mut s = pigeonhole_solver(config, holes);
+        let clauses = s.num_clauses();
+        while 2 * s.num_vars() <= clauses {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn adaptive_config_skips_reduction_on_small_var_heavy_formulas() {
+        // Same formula, same per-conflict reduction schedule; the adaptive
+        // default recognizes the small variable-heavy instance and skips the
+        // database reduction, the non-adaptive config reduces as configured.
+        let mut adaptive = var_heavy_pigeonhole(aggressive_reduction(), 6);
+        let mut eager = var_heavy_pigeonhole(
+            SolverConfig {
+                adaptive: false,
+                ..aggressive_reduction()
+            },
+            6,
+        );
+        assert_eq!(adaptive.solve(), SolveResult::Unsat);
+        assert_eq!(eager.solve(), SolveResult::Unsat);
+        assert_eq!(adaptive.stats().reduced_clauses, 0);
+        assert!(eager.stats().reduced_clauses > 0);
+    }
+
+    #[test]
+    fn adaptive_config_keeps_heuristics_on_constraint_dense_formulas() {
+        // The bare pigeonhole instance is constraint-dense (more clauses
+        // than twice the variables), so adaptation leaves the configured
+        // heuristics alone even under the clause ceiling.
+        let mut s = pigeonhole_solver(aggressive_reduction(), 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().reduced_clauses > 0);
+    }
+
+    #[test]
+    fn adaptive_and_eager_configs_agree_on_verdicts() {
+        for holes in 2..6 {
+            let mut adaptive = var_heavy_pigeonhole(SolverConfig::default(), holes);
+            let mut eager = var_heavy_pigeonhole(
+                SolverConfig {
+                    adaptive: false,
+                    ..SolverConfig::default()
+                },
+                holes,
+            );
+            assert_eq!(adaptive.solve(), eager.solve(), "holes={holes}");
+        }
     }
 }

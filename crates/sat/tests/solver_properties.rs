@@ -1,6 +1,6 @@
 //! Property-based and randomized stress tests for the SAT solver.
 
-use dftsp_sat::{Encoder, Lit, SolveResult, Solver, SolverConfig, Var};
+use dftsp_sat::{BackendChoice, Encoder, Lit, SatBackend, SolveResult, Solver, SolverConfig, Var};
 use proptest::prelude::*;
 
 /// A small random CNF formula described by clauses over `num_vars` variables.
@@ -43,6 +43,19 @@ fn load_with(cnf: &RandomCnf, config: SolverConfig) -> (Solver, Vec<Var>) {
         solver.add_clause(lits);
     }
     (solver, vars)
+}
+
+/// Loads a random CNF into any [`SatBackend`] instantiation.
+fn load_backend(cnf: &RandomCnf, backend: &mut dyn SatBackend) -> Vec<Var> {
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| backend.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, positive)| Lit::with_polarity(vars[v], positive))
+            .collect();
+        backend.add_clause(&lits);
+    }
+    vars
 }
 
 /// The tuned heuristics with the clause-database reduction forced to run
@@ -225,6 +238,86 @@ proptest! {
             prop_assert!(model.lit_value(l));
         }
         prop_assert_eq!(solver.solve_with_assumptions(&[guard]), SolveResult::Unsat);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Portfolio cross-check: the tuned CDCL solver, the heuristics-disabled
+    /// reference configuration and the independent screwsat-style engine all
+    /// agree with each other and with exhaustive enumeration — on plain
+    /// queries and under random assumption sets — and every SAT model each
+    /// engine produces satisfies the formula.
+    #[test]
+    fn all_engines_agree_on_random_cnfs(cnf in random_cnf(10, 40), mask: u64) {
+        let expected = brute_force_sat(&cnf);
+        let choices = [
+            BackendChoice::Cdcl,
+            BackendChoice::CdclReference,
+            BackendChoice::Screwsat,
+        ];
+        let mut engines: Vec<(Box<dyn SatBackend>, Vec<Var>)> = choices
+            .iter()
+            .map(|choice| {
+                let mut backend = choice.instantiate();
+                let vars = load_backend(&cnf, backend.as_mut());
+                (backend, vars)
+            })
+            .collect();
+        for (backend, vars) in &mut engines {
+            let result = backend.solve();
+            prop_assert_eq!(
+                result == SolveResult::Sat,
+                expected,
+                "engine {} disagrees with brute force",
+                backend.name()
+            );
+            if result == SolveResult::Sat {
+                let model = backend.model().expect("model exists after SAT");
+                for clause in &cnf.clauses {
+                    prop_assert!(
+                        clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive),
+                        "engine {} returned a falsifying model",
+                        backend.name()
+                    );
+                }
+            }
+        }
+        // Assumption queries: fix a random subset of variables and compare
+        // the verdicts pairwise (incremental reuse after the plain query).
+        let pick = |vars: &[Var]| -> Vec<Lit> {
+            vars.iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> (2 * i)) & 1 == 1)
+                .map(|(i, &v)| Lit::with_polarity(v, (mask >> (2 * i + 1)) & 1 == 1))
+                .collect()
+        };
+        let verdicts: Vec<SolveResult> = engines
+            .iter_mut()
+            .map(|(backend, vars)| backend.solve_with_assumptions(&pick(vars)))
+            .collect();
+        prop_assert_eq!(verdicts[0], verdicts[1]);
+        prop_assert_eq!(verdicts[0], verdicts[2]);
+    }
+
+    /// The checked portfolio (which internally panics on member disagreement)
+    /// agrees with brute force — running it at all is the cross-check.
+    #[test]
+    fn checked_portfolio_agrees_with_brute_force(cnf in random_cnf(8, 30)) {
+        let expected = brute_force_sat(&cnf);
+        let mut backend = BackendChoice::portfolio_checked().instantiate();
+        let vars = load_backend(&cnf, backend.as_mut());
+        let result = backend.solve();
+        prop_assert_eq!(result == SolveResult::Sat, expected);
+        if result == SolveResult::Sat {
+            let model = backend.model().expect("model exists after SAT");
+            for clause in &cnf.clauses {
+                prop_assert!(
+                    clause.iter().any(|&(v, positive)| model.value(vars[v]) == positive)
+                );
+            }
+        }
     }
 }
 

@@ -184,6 +184,102 @@ fn incremental_ladders_match_fresh_ladders_bit_for_bit() {
     }
 }
 
+/// Stage structure (kinds, branch counts) without the per-stage SAT
+/// statistics — a racing portfolio legitimately does different amounts of
+/// solver work than a single backend, but must produce the same stages.
+fn stage_structure(report: &SynthesisReport) -> Vec<(String, usize)> {
+    report
+        .stages
+        .iter()
+        .map(|s| (s.stage.to_string(), s.branches))
+        .collect()
+}
+
+/// The portfolio acceptance gauge: racing independent SAT engines per query
+/// must leave the synthesized artifact bit-identical to the serial
+/// single-backend engine — protocol *and* stage structure — no matter which
+/// engine wins which race. Runs twice per code to also exercise run-to-run
+/// stability of the racing path itself.
+fn assert_portfolio_matches_single_backend(codes: &[dftsp_code::CssCode]) {
+    for code in codes {
+        let reference = SynthesisEngine::builder()
+            .solver(BackendChoice::Cdcl)
+            .threads(1)
+            .build()
+            .synthesize(code)
+            .unwrap();
+        for round in 0..2 {
+            let raced = SynthesisEngine::builder()
+                .solver(BackendChoice::portfolio())
+                .build()
+                .synthesize(code)
+                .unwrap();
+            assert_eq!(
+                protocol_fingerprint(&reference.protocol),
+                protocol_fingerprint(&raced.protocol),
+                "{} round {round}: a portfolio race winner leaked into the protocol",
+                code.name()
+            );
+            assert_eq!(
+                stage_structure(&reference),
+                stage_structure(&raced),
+                "{} round {round}: stage structure must be winner-independent",
+                code.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_race_is_bit_identical_to_single_backend_on_d3_codes() {
+    assert_portfolio_matches_single_backend(&[
+        catalog::steane(),
+        catalog::shor(),
+        catalog::surface3(),
+    ]);
+}
+
+#[test]
+#[ignore = "synthesizes every d=3 catalog code twice with the portfolio; several minutes"]
+fn portfolio_race_is_bit_identical_to_single_backend_on_the_full_d3_catalog() {
+    let d3: Vec<_> = catalog::all()
+        .into_iter()
+        .filter(|code| code.parameters().2 == 3)
+        .collect();
+    assert!(!d3.is_empty());
+    assert_portfolio_matches_single_backend(&d3);
+}
+
+#[test]
+fn checked_portfolio_cross_checks_every_query_and_matches_cdcl() {
+    // The checked portfolio runs all three engines to completion on every
+    // query and panics on any verdict disagreement, so this test doubles as
+    // an end-to-end cross-check of the independent engines over the real
+    // synthesis workload. Its reports come from the primary (CDCL) member.
+    let code = catalog::steane();
+    let cdcl = SynthesisEngine::builder()
+        .solver(BackendChoice::Cdcl)
+        .threads(1)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    let checked = SynthesisEngine::builder()
+        .solver(BackendChoice::portfolio_checked())
+        .threads(1)
+        .build()
+        .synthesize(&code)
+        .unwrap();
+    assert_eq!(
+        protocol_fingerprint(&cdcl.protocol),
+        protocol_fingerprint(&checked.protocol),
+    );
+    // Attribution: every raced/checked query is recorded with its lanes.
+    let totals = checked.sat_totals();
+    assert!(!totals.portfolio.is_empty());
+    let single_totals = cdcl.sat_totals();
+    assert!(single_totals.portfolio.is_empty());
+}
+
 #[test]
 #[ignore = "synthesizes the full catalog twice per backend; many minutes"]
 fn incremental_ladders_match_fresh_ladders_on_the_full_catalog() {
