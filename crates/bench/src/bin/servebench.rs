@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p dftsp-bench --bin servebench \
 //!     [-- --quick] [--clients N] [--rounds N] [--capacity N] [--out PATH] [--check MIN_RATE]
+//!     [--portfolio] [--distributed] [--instances N]
 //! ```
 //!
 //! The workload is catalog-shaped, like the paper's: `--clients` threads all
@@ -16,7 +17,7 @@
 //! disk fault-in).
 //!
 //! Recorded to `BENCH_serve.json` (checked in as the serving-layer
-//! trajectory): request throughput, the provenance breakdown, the dedup
+//! trajectory): request throughput, the full provenance breakdown, the dedup
 //! ("coalescing") rate = fraction of requests that did **not** run the
 //! pipeline themselves, and the store's eviction counters.
 //!
@@ -28,18 +29,31 @@
 //!
 //! * `--quick` restricts to the three smallest codes (CI budget: seconds).
 //! * `--check MIN_RATE` exits non-zero when the dedup rate falls below the
-//!   floor, so CI fails loudly if the request layer stops deduplicating.
+//!   floor, so CI fails loudly if the request layer stops deduplicating. In
+//!   `--distributed` mode the floor applies to the *cross-process* dedup
+//!   rate instead.
 //! * `--portfolio` submits every request on the racing portfolio backend.
 //!   The correctness oracle stays the serial single-backend reference, so
 //!   this mode end-to-end-checks the race's bit-identity under serving
 //!   traffic; the solved responses' per-lane attribution (races, wins,
 //!   cancelled work) is reported and recorded.
+//! * `--distributed` runs the multi-process serving topology in one process:
+//!   an in-process [`StoreServer`] on 127.0.0.1 serving the scratch JSON
+//!   directory over the wire protocol, with `--instances` (default 2)
+//!   independent service instances — each its own [`TieredStore`] front and
+//!   [`RemoteReportStore`] client. Phase A drives the standard workload on
+//!   instance 0, populating the shared server through the wire; phase B
+//!   drives one catalog pass on every *other* (cold) instance, which must be
+//!   served entirely from the remote store — zero SAT solves, asserted.
+//!   Cross-process dedup rate, client wire counters and server counters are
+//!   recorded under `"distributed"` in the JSON.
 
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dftsp::{
-    BackendChoice, JsonReportStore, PortfolioStats, SynthesisEngine, SynthesisRequest,
+    BackendChoice, JsonReportStore, PortfolioStats, RemoteCounters, RemoteReportStore, ReportStore,
+    ServiceStats, StoreServer, StoreServerStats, SynthesisEngine, SynthesisRequest,
     SynthesisService, TieredStore,
 };
 use dftsp_bench::{evaluation_codes, quick_codes};
@@ -63,6 +77,11 @@ fn main() {
     let check: Option<f64> =
         flag_value(&args, "--check").map(|s| s.parse().expect("--check takes a float"));
     let portfolio = args.iter().any(|a| a == "--portfolio");
+    let distributed = args.iter().any(|a| a == "--distributed");
+    let instances: usize = flag_value(&args, "--instances")
+        .map(|s| s.parse().expect("--instances takes an integer"))
+        .unwrap_or(2)
+        .max(2);
 
     let codes: Vec<CssCode> = if quick {
         quick_codes()
@@ -89,18 +108,202 @@ fn main() {
         .collect();
 
     // An undersized memory front over a scratch JSON directory: revisit
-    // rounds hit evictions and disk fault-in on purpose.
+    // rounds hit evictions and disk fault-in on purpose. In distributed mode
+    // the directory sits behind the store server instead of being mounted
+    // directly.
     let dir = std::env::temp_dir().join(format!("dftsp-servebench-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let disk = Arc::new(JsonReportStore::new(&dir).expect("scratch store directory"));
-    let store = Arc::new(TieredStore::new(capacity).with_back(disk.clone() as Arc<_>));
-    let service = SynthesisService::builder()
-        .report_store(store.clone() as Arc<_>)
-        .concurrency(clients)
-        .build();
 
-    // The drive: every round, all clients hit the same code at a barrier.
-    // `rounds` passes over the code set make the later passes store-served.
+    let server = distributed.then(|| {
+        StoreServer::bind("127.0.0.1:0", disk.clone() as Arc<_>).expect("in-process store server")
+    });
+
+    // A service instance: its own memory front tier over either the local
+    // disk store (classic mode) or a fresh remote client (distributed mode).
+    let make_instance = |tag: usize,
+                         server: Option<&StoreServer>|
+     -> (
+        SynthesisService,
+        Arc<TieredStore>,
+        Option<Arc<RemoteReportStore>>,
+    ) {
+        let (back, remote): (Arc<dyn ReportStore>, _) = match server {
+            Some(server) => {
+                let remote = Arc::new(
+                    RemoteReportStore::connect(server.local_addr())
+                        .unwrap_or_else(|e| panic!("instance {tag}: remote client: {e}")),
+                );
+                (remote.clone(), Some(remote))
+            }
+            None => (disk.clone(), None),
+        };
+        let store = Arc::new(TieredStore::new(capacity).with_back(back));
+        let service = SynthesisService::builder()
+            .report_store(store.clone() as Arc<_>)
+            .concurrency(clients)
+            .build();
+        (service, store, remote)
+    };
+
+    // Phase A: the standard barrier workload on instance 0. In classic mode
+    // this is the whole benchmark.
+    let (service, store, remote) = make_instance(0, server.as_ref());
+    let drive_a = drive(&service, &codes, &references, clients, rounds, portfolio);
+    let stats = service.stats();
+    let total = stats.submitted;
+    let throughput = total as f64 / drive_a.elapsed.as_secs_f64();
+    let dedup = stats.dedup_rate();
+    println!(
+        "{} requests ({} clients × {} rounds × {} codes) in {:.2?}: {:.1} req/s",
+        total,
+        clients,
+        rounds,
+        codes.len(),
+        drive_a.elapsed,
+        throughput
+    );
+    println!("  {stats}");
+    println!(
+        "  store: {} front hits, {} back hits, {} evictions, {} corrupt",
+        store.front_hits(),
+        store.back_hits(),
+        store.evictions(),
+        disk.corrupt_entries()
+    );
+    if portfolio {
+        println!("  portfolio: {}", drive_a.portfolio);
+    }
+
+    // Phase B (distributed only): every other instance is cold — fresh front
+    // tier, fresh remote connection — and must serve its catalog pass
+    // entirely from the shared store server, with zero SAT solves.
+    let mut mismatches = drive_a.mismatches;
+    let mut distributed_summary = None;
+    if let Some(mut server) = server {
+        let mut phase_b = ServiceStats::default();
+        let mut phase_b_elapsed = Duration::ZERO;
+        let mut wire = remote
+            .as_deref()
+            .map(RemoteReportStore::counters)
+            .unwrap_or_default();
+        for tag in 1..instances {
+            let (cold_service, _store, cold_remote) = make_instance(tag, Some(&server));
+            let cold_drive = drive(&cold_service, &codes, &references, clients, 1, portfolio);
+            mismatches += cold_drive.mismatches;
+            phase_b_elapsed += cold_drive.elapsed;
+            absorb_stats(&mut phase_b, &cold_service.stats());
+            if let Some(cold_remote) = &cold_remote {
+                absorb_counters(&mut wire, &cold_remote.counters());
+            }
+        }
+        let cross_process_dedup = if phase_b.submitted == 0 {
+            0.0
+        } else {
+            (phase_b.cached + phase_b.coalesced) as f64 / phase_b.submitted as f64
+        };
+        let server_stats = server.stats();
+        println!(
+            "distributed: {} cold instances, {} requests in {:.2?}, cross-process dedup {:.3}",
+            instances - 1,
+            phase_b.submitted,
+            phase_b_elapsed,
+            cross_process_dedup
+        );
+        println!("  phase B: {phase_b}");
+        println!("  server: {server_stats}");
+        println!(
+            "  wire: {} frames out, {} frames in, {} bytes out, {} bytes in, {} connects, {} retries, {} degraded",
+            wire.frames_sent,
+            wire.frames_received,
+            wire.bytes_sent,
+            wire.bytes_received,
+            wire.connects,
+            wire.retries,
+            wire.degraded
+        );
+        server.shutdown();
+        distributed_summary = Some(DistributedSummary {
+            instances,
+            cross_process_dedup,
+            phase_b,
+            phase_b_elapsed,
+            wire,
+            server: server_stats,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let json = render_json(
+        quick,
+        clients,
+        rounds,
+        capacity,
+        &codes,
+        drive_a.elapsed.as_micros(),
+        throughput,
+        &stats,
+        &store,
+        portfolio.then_some(&drive_a.portfolio),
+        distributed_summary.as_ref(),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses differed from the serial reference");
+        std::process::exit(1);
+    }
+    let grand_total = total
+        + distributed_summary
+            .as_ref()
+            .map_or(0, |d| d.phase_b.submitted);
+    println!("eviction-correctness passed: 0 mismatches across {grand_total} responses");
+    if let Some(d) = &distributed_summary {
+        if d.phase_b.solved > 0 {
+            eprintln!(
+                "FAIL: cold instances ran {} SAT solves; the remote store should have served them",
+                d.phase_b.solved
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "cross-process dedup passed: {} cold-instance requests, 0 SAT solves",
+            d.phase_b.submitted
+        );
+    }
+    if let Some(min_rate) = check {
+        // In distributed mode the floor gates the cross-process dedup rate —
+        // the in-process rate is already gated by the classic CI step.
+        let (gated, label) = match &distributed_summary {
+            Some(d) => (d.cross_process_dedup, "cross-process dedup"),
+            None => (dedup, "dedup (coalescing + cache)"),
+        };
+        if gated < min_rate {
+            eprintln!("FAIL: {label} rate {gated:.3} is below the required {min_rate:.3}");
+            std::process::exit(1);
+        }
+        println!("check passed: {label} rate {gated:.3} >= {min_rate:.3}");
+    }
+}
+
+/// Result of one barrier-lockstep drive against one service instance.
+struct DriveResult {
+    mismatches: usize,
+    portfolio: PortfolioStats,
+    elapsed: Duration,
+}
+
+/// Drives `clients` lockstep threads through `rounds` passes over `codes`,
+/// checking every response against the serial reference renderings.
+fn drive(
+    service: &SynthesisService,
+    codes: &[CssCode],
+    references: &[String],
+    clients: usize,
+    rounds: usize,
+    portfolio: bool,
+) -> DriveResult {
     let schedule: Vec<usize> = (0..rounds).flat_map(|_| 0..codes.len()).collect();
     let barrier = Arc::new(Barrier::new(clients));
     let start = Instant::now();
@@ -109,8 +312,6 @@ fn main() {
             .map(|_| {
                 let service = service.clone();
                 let barrier = Arc::clone(&barrier);
-                let codes = &codes;
-                let references = &references;
                 let schedule = &schedule;
                 scope.spawn(move || {
                     let mut mismatches = 0usize;
@@ -151,63 +352,41 @@ fn main() {
             },
         )
     });
-    let elapsed = start.elapsed();
-    std::fs::remove_dir_all(&dir).ok();
-
-    let stats = service.stats();
-    let total = stats.submitted;
-    let throughput = total as f64 / elapsed.as_secs_f64();
-    let dedup = stats.dedup_rate();
-    println!(
-        "{} requests ({} clients × {} rounds × {} codes) in {:.2?}: {:.1} req/s",
-        total,
-        clients,
-        rounds,
-        codes.len(),
-        elapsed,
-        throughput
-    );
-    println!("  {stats}");
-    println!(
-        "  store: {} front hits, {} back hits, {} evictions, {} corrupt",
-        store.front_hits(),
-        store.back_hits(),
-        store.evictions(),
-        disk.corrupt_entries()
-    );
-    if portfolio {
-        println!("  portfolio: {portfolio_totals}");
+    DriveResult {
+        mismatches,
+        portfolio: portfolio_totals,
+        elapsed: start.elapsed(),
     }
+}
 
-    let json = render_json(
-        quick,
-        clients,
-        rounds,
-        capacity,
-        &codes,
-        elapsed.as_micros(),
-        throughput,
-        &stats,
-        &store,
-        portfolio.then_some(&portfolio_totals),
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
-    println!("wrote {out}");
+/// The distributed-mode record appended to the JSON output.
+struct DistributedSummary {
+    instances: usize,
+    cross_process_dedup: f64,
+    phase_b: ServiceStats,
+    phase_b_elapsed: Duration,
+    wire: RemoteCounters,
+    server: StoreServerStats,
+}
 
-    if mismatches > 0 {
-        eprintln!("FAIL: {mismatches} responses differed from the serial reference");
-        std::process::exit(1);
-    }
-    println!("eviction-correctness passed: 0 mismatches across {total} responses");
-    if let Some(min_rate) = check {
-        if dedup < min_rate {
-            eprintln!(
-                "FAIL: dedup (coalescing + cache) rate {dedup:.3} is below the required {min_rate:.3}"
-            );
-            std::process::exit(1);
-        }
-        println!("check passed: dedup rate {dedup:.3} >= {min_rate:.3}");
-    }
+fn absorb_stats(into: &mut ServiceStats, from: &ServiceStats) {
+    into.submitted += from.submitted;
+    into.solved += from.solved;
+    into.coalesced += from.coalesced;
+    into.cached += from.cached;
+    into.cancelled += from.cancelled;
+    into.failed += from.failed;
+}
+
+fn absorb_counters(into: &mut RemoteCounters, from: &RemoteCounters) {
+    into.frames_sent += from.frames_sent;
+    into.frames_received += from.frames_received;
+    into.bytes_sent += from.bytes_sent;
+    into.bytes_received += from.bytes_received;
+    into.connects += from.connects;
+    into.retries += from.retries;
+    into.degraded += from.degraded;
+    into.corrupt_payloads += from.corrupt_payloads;
 }
 
 /// The deterministic content of a protocol (prep circuit + layers) — what
@@ -223,6 +402,21 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// The full [`ServiceStats`] as a JSON object, dedup rate included —
+/// unrounded, so the serving trajectory keeps full precision.
+fn stats_json(stats: &ServiceStats) -> String {
+    format!(
+        "{{\"submitted\": {}, \"solved\": {}, \"coalesced\": {}, \"cached\": {}, \"cancelled\": {}, \"failed\": {}, \"dedup_rate\": {}}}",
+        stats.submitted,
+        stats.solved,
+        stats.coalesced,
+        stats.cached,
+        stats.cancelled,
+        stats.failed,
+        stats.dedup_rate()
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -232,9 +426,10 @@ fn render_json(
     codes: &[CssCode],
     elapsed_us: u128,
     throughput: f64,
-    stats: &dftsp::ServiceStats,
+    stats: &ServiceStats,
     store: &TieredStore,
     portfolio: Option<&PortfolioStats>,
+    distributed: Option<&DistributedSummary>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -255,12 +450,9 @@ fn render_json(
             .join(", ")
     ));
     out.push_str(&format!("  \"elapsed_us\": {elapsed_us},\n"));
-    out.push_str(&format!("  \"requests_per_second\": {throughput:.2},\n"));
-    out.push_str(&format!(
-        "  \"requests\": {{\"submitted\": {}, \"solved\": {}, \"coalesced\": {}, \"cached\": {}, \"cancelled\": {}, \"failed\": {}}},\n",
-        stats.submitted, stats.solved, stats.coalesced, stats.cached, stats.cancelled, stats.failed
-    ));
-    out.push_str(&format!("  \"dedup_rate\": {:.4},\n", stats.dedup_rate()));
+    out.push_str(&format!("  \"requests_per_second\": {throughput},\n"));
+    out.push_str(&format!("  \"requests\": {},\n", stats_json(stats)));
+    out.push_str(&format!("  \"dedup_rate\": {},\n", stats.dedup_rate()));
     out.push_str(&format!(
         "  \"store\": {{\"front_hits\": {}, \"back_hits\": {}, \"evictions\": {}}}",
         store.front_hits(),
@@ -287,6 +479,37 @@ fn render_json(
             p.races,
             p.solo,
             lanes.join(", ")
+        ));
+    }
+    if let Some(d) = distributed {
+        let phase_b_elapsed_us = d.phase_b_elapsed.as_micros();
+        let phase_b_rps = if d.phase_b_elapsed.is_zero() {
+            0.0
+        } else {
+            d.phase_b.submitted as f64 / d.phase_b_elapsed.as_secs_f64()
+        };
+        out.push_str(&format!(
+            ",\n  \"distributed\": {{\n    \"instances\": {},\n    \"cross_process_dedup_rate\": {},\n    \"phase_b\": {{\"elapsed_us\": {}, \"requests_per_second\": {}, \"requests\": {}}},\n    \"wire\": {{\"frames_sent\": {}, \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \"connects\": {}, \"retries\": {}, \"degraded\": {}, \"corrupt_payloads\": {}}},\n    \"server\": {{\"gets\": {}, \"puts\": {}, \"hits\": {}, \"misses\": {}, \"connections\": {}, \"rejected\": {}, \"bad_frames\": {}}}\n  }}",
+            d.instances,
+            d.cross_process_dedup,
+            phase_b_elapsed_us,
+            phase_b_rps,
+            stats_json(&d.phase_b),
+            d.wire.frames_sent,
+            d.wire.frames_received,
+            d.wire.bytes_sent,
+            d.wire.bytes_received,
+            d.wire.connects,
+            d.wire.retries,
+            d.wire.degraded,
+            d.wire.corrupt_payloads,
+            d.server.gets,
+            d.server.puts,
+            d.server.hits,
+            d.server.misses,
+            d.server.connections,
+            d.server.rejected,
+            d.server.bad_frames,
         ));
     }
     out.push_str("\n}\n");

@@ -72,6 +72,44 @@
 //! # Ok::<(), dftsp::ServiceError>(())
 //! ```
 //!
+//! ## Remote & sharded stores
+//!
+//! One process deduplicates; the [`remote`] module makes *processes*
+//! deduplicate each other. A [`StoreServer`] exposes a
+//! [`JsonReportStore`] directory over a length-prefixed, checksummed TCP
+//! protocol (the [`remote::wire`] frames), and [`RemoteReportStore`] is a
+//! [`ReportStore`] client for it — pooled connections, per-op timeouts,
+//! bounded deterministic-backoff retries. Slot it behind
+//! [`TieredStore::with_back`] and every service instance keeps its hot keys
+//! in memory while cold keys fault in from the shared server; a server
+//! outage *degrades to store misses* (counted on
+//! [`RemoteReportStore::degraded`], warned on stderr) and synthesis re-solves
+//! locally — a down store never fails a request. [`ShardedStore`] routes
+//! each [`ReportKey`] to one of N backends by fingerprint, splitting the
+//! keyspace across servers with zero coordination. For callers that must not
+//! block, [`SynthesisService::submit_nonblocking`] returns a
+//! [`ResponseHandle`] (`poll` / `try_take` / `wait`) over the same coalescing
+//! scheduler, bit-identical to the blocking path
+//! (`examples/remote_store_demo.rs` assembles the whole topology):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dftsp::{JsonReportStore, RemoteReportStore, ReportKey, ReportStore, StoreServer, TieredStore};
+//! use dftsp_code::catalog;
+//!
+//! let dir = std::env::temp_dir().join(format!("dftsp-remote-doc-{}", std::process::id()));
+//! let server = StoreServer::bind("127.0.0.1:0", Arc::new(JsonReportStore::new(&dir)?))?;
+//! let remote = RemoteReportStore::connect(server.local_addr())?;
+//! let key = ReportKey { code_name: "Steane".into(), fingerprint: 7 };
+//! assert!(remote.load(&key, &catalog::steane()).is_none()); // cold store: a miss
+//! assert_eq!(remote.misses(), 1);
+//! // The production topology: per-process memory front, shared remote back.
+//! let store = Arc::new(TieredStore::new(64).with_back(Arc::new(remote)));
+//! # drop(store);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
 //! The synthesized [`DeterministicProtocol`] can be executed under arbitrary
 //! circuit-level fault models ([`execute`]), checked exhaustively against the
 //! strict fault-tolerance criterion ([`check_fault_tolerance`]), and
@@ -117,6 +155,7 @@ mod par;
 mod perm;
 pub mod prep;
 pub mod protocol;
+pub mod remote;
 pub mod service;
 pub mod store;
 pub mod synthesis;
@@ -138,11 +177,17 @@ pub use protocol::{
     execute, BranchKey, CorrectionBranch, DeterministicProtocol, ExecutionRecord, FaultModel,
     NoFaults, SegmentId, SingleFault, VerificationLayer,
 };
-pub use service::{
-    CancellationToken, Priority, Provenance, ServiceBuilder, ServiceError, ServiceStats,
-    SynthesisRequest, SynthesisResponse, SynthesisService,
+pub use remote::{
+    RemoteCounters, RemoteReportStore, RemoteStoreConfig, ShardedStore, StoreServer,
+    StoreServerStats, WireError,
 };
-pub use store::{JsonReportStore, MemoryReportStore, ReportKey, ReportStore, TieredStore};
+pub use service::{
+    CancellationToken, Priority, Provenance, ResponseHandle, ServiceBuilder, ServiceError,
+    ServiceStats, SynthesisRequest, SynthesisResponse, SynthesisService,
+};
+pub use store::{
+    JsonReportStore, MemoryReportStore, RawReportKv, ReportKey, ReportStore, TieredStore,
+};
 pub use synthesis::{
     synthesize_protocol, synthesize_protocol_with_prep, FlagPolicy, SynthesisError,
     SynthesisOptions,

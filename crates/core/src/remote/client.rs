@@ -1,0 +1,309 @@
+//! The remote store client: a [`ReportStore`] whose backing storage lives
+//! behind a [`crate::StoreServer`] across the wire protocol.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dftsp_code::CssCode;
+
+use crate::engine::SynthesisReport;
+use crate::store::{ReportKey, ReportStore};
+
+use super::wire::{read_frame, write_frame, Frame, Opcode, StoreServerStats, WireError};
+
+/// Counter snapshot of a [`RemoteReportStore`] — the client-side view of its
+/// wire traffic and degradations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteCounters {
+    /// Request frames put on the wire (including retries).
+    pub frames_sent: u64,
+    /// Response frames successfully read back.
+    pub frames_received: u64,
+    /// Bytes written to the wire.
+    pub bytes_sent: u64,
+    /// Bytes of response payloads read back.
+    pub bytes_received: u64,
+    /// Fresh TCP connections established.
+    pub connects: u64,
+    /// Operations re-attempted after a wire failure.
+    pub retries: u64,
+    /// Operations abandoned after the retry budget — each one degraded to a
+    /// store miss (or a dropped save), never an error to the caller.
+    pub degraded: u64,
+    /// `found` responses whose payload failed to decode as a report (served
+    /// as a miss; the entry will be re-solved and overwritten).
+    pub corrupt_payloads: u64,
+}
+
+/// Tuning knobs of a [`RemoteReportStore`]; the defaults suit a same-host or
+/// same-rack store server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteStoreConfig {
+    /// Timeout for establishing a fresh connection.
+    pub connect_timeout: Duration,
+    /// Read/write timeout applied to each operation's socket I/O.
+    pub op_timeout: Duration,
+    /// How many times a failed operation is re-attempted (0 = single try).
+    pub retries: u32,
+    /// Base of the deterministic exponential backoff between attempts:
+    /// attempt `n` (1-based) sleeps `backoff * 2^(n-1)` before retrying.
+    pub backoff: Duration,
+    /// Maximum idle connections kept pooled for reuse.
+    pub pool_size: usize,
+}
+
+impl Default for RemoteStoreConfig {
+    fn default() -> Self {
+        RemoteStoreConfig {
+            connect_timeout: Duration::from_millis(500),
+            op_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff: Duration::from_millis(25),
+            pool_size: 4,
+        }
+    }
+}
+
+/// A [`ReportStore`] served by a remote [`crate::StoreServer`].
+///
+/// Connections are pooled and re-established on failure; every operation has
+/// a per-op timeout and a bounded, deterministic exponential-backoff retry.
+/// The failure contract is *typed degradation*: when the server is down,
+/// unreachable, or answering garbage, a `load` returns a store **miss** and
+/// a `save` is dropped — each counted in [`RemoteCounters::degraded`] with a
+/// warning on stderr — so a store outage costs re-solves, never a failed
+/// synthesis. Slot it behind [`crate::TieredStore::with_back`] to keep the
+/// in-process memory tier absorbing hot keys.
+#[derive(Debug)]
+pub struct RemoteReportStore {
+    addr: SocketAddr,
+    config: RemoteStoreConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    connects: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    corrupt_payloads: AtomicU64,
+}
+
+impl RemoteReportStore {
+    /// A client for the server at `addr` with default tuning.
+    ///
+    /// Resolves the address eagerly; connections are established lazily per
+    /// operation, so constructing a client for a down server succeeds (its
+    /// operations degrade to misses).
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if `addr` does not resolve.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        RemoteReportStore::connect_with(addr, RemoteStoreConfig::default())
+    }
+
+    /// A client with explicit [`RemoteStoreConfig`] tuning.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if `addr` does not resolve.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: RemoteStoreConfig,
+    ) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        Ok(RemoteReportStore {
+            addr,
+            config,
+            pool: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            corrupt_payloads: AtomicU64::new(0),
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the client's wire counters.
+    pub fn counters(&self) -> RemoteCounters {
+        RemoteCounters {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            corrupt_payloads: self.corrupt_payloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Operations abandoned after the retry budget (see
+    /// [`RemoteCounters::degraded`]).
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Asks the server for its counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`WireError`] when the server is unreachable or
+    /// answers garbage after the retry budget.
+    pub fn server_stats(&self) -> Result<StoreServerStats, WireError> {
+        let response = self.request_with_retry(&Frame::stats())?;
+        response.parse_stats_ok()
+    }
+
+    /// Checks out a pooled connection or establishes a fresh one.
+    fn checkout(&self) -> Result<TcpStream, WireError> {
+        if let Some(stream) = self.pool.lock().expect("remote pool lock poisoned").pop() {
+            return Ok(stream);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.config.op_timeout)).ok();
+        stream.set_write_timeout(Some(self.config.op_timeout)).ok();
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(stream)
+    }
+
+    /// Returns a healthy connection to the pool (bounded by `pool_size`).
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().expect("remote pool lock poisoned");
+        if pool.len() < self.config.pool_size {
+            pool.push(stream);
+        }
+    }
+
+    /// One attempt: checkout, write the request, read the response. On any
+    /// failure the connection is dropped and the whole pool is cleared — a
+    /// wire failure usually means the server restarted, so every pooled
+    /// connection is suspect.
+    fn round_trip(&self, request: &Frame) -> Result<Frame, WireError> {
+        let mut stream = self.checkout()?;
+        let result = (|| {
+            let sent = write_frame(&mut stream, request)?;
+            self.frames_sent.fetch_add(1, Ordering::Relaxed);
+            self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            let response = read_frame(&mut stream)?;
+            self.frames_received.fetch_add(1, Ordering::Relaxed);
+            self.bytes_received
+                .fetch_add(response.wire_len(), Ordering::Relaxed);
+            Ok(response)
+        })();
+        match result {
+            Ok(response) => {
+                if response.opcode() == Opcode::Error {
+                    // The server answered but refused: the connection's
+                    // framing state is unknown, treat it like a failure.
+                    self.pool.lock().expect("remote pool lock poisoned").clear();
+                    return Err(WireError::Server(response.error_message()));
+                }
+                self.checkin(stream);
+                Ok(response)
+            }
+            Err(err) => {
+                drop(stream);
+                self.pool.lock().expect("remote pool lock poisoned").clear();
+                Err(err)
+            }
+        }
+    }
+
+    /// Runs `round_trip` under the bounded deterministic-backoff retry
+    /// policy; the returned error is the *last* attempt's.
+    fn request_with_retry(&self, request: &Frame) -> Result<Frame, WireError> {
+        let mut last = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let exponent = attempt.saturating_sub(1).min(16);
+                std::thread::sleep(self.config.backoff * 2u32.pow(exponent));
+            }
+            match self.round_trip(request) {
+                Ok(response) => return Ok(response),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.expect("at least one attempt always runs"))
+    }
+
+    /// Counts one degradation and warns; the caller then serves a miss.
+    fn degrade(&self, op: &str, key: &ReportKey, err: &WireError) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "warning: remote report store {} degraded {op} for {:?} to a miss: {err}",
+            self.addr, key.code_name
+        );
+    }
+}
+
+impl ReportStore for RemoteReportStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let report = match self.request_with_retry(&Frame::get(key)) {
+            Ok(response) => match response.opcode() {
+                Opcode::NotFound => None,
+                _ => match response.parse_found(code) {
+                    Ok(report) => Some(report),
+                    Err(err) => {
+                        // The server is up but this entry's payload is
+                        // unusable: count it, serve a miss, let the re-solve
+                        // overwrite the entry. No retry — the payload is
+                        // deterministic, a retry would fetch the same bytes.
+                        self.corrupt_payloads.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "warning: remote report store {} served an undecodable entry for {:?}: {err}",
+                            self.addr, key.code_name
+                        );
+                        None
+                    }
+                },
+            },
+            Err(err) => {
+                self.degrade("load", key, &err);
+                None
+            }
+        };
+        match &report {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        report
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        match self.request_with_retry(&Frame::put(key, report)) {
+            Ok(_) => {}
+            Err(err) => self.degrade("save", key, &err),
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

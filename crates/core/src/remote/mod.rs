@@ -1,0 +1,32 @@
+//! The distributed report store: a remote KV protocol over TCP, a store
+//! server, a degrading remote client, and deterministic keyspace sharding.
+//!
+//! The pieces compose into the multi-process serving story:
+//!
+//! * [`wire`] — length-prefixed, version-tagged, checksummed frames carrying
+//!   the store's existing JSON report codec (`get`/`put`/`stats`); every
+//!   malformed input is a typed [`WireError`], never a panic.
+//! * [`StoreServer`] — a bounded thread-per-connection accept loop serving
+//!   any [`crate::store::RawReportKv`] (a [`crate::JsonReportStore`]
+//!   directory, typically) to the network, with graceful shutdown.
+//! * [`RemoteReportStore`] — a [`crate::ReportStore`] client with connection
+//!   pooling, per-op timeouts and bounded deterministic-backoff retry, whose
+//!   outages *degrade to store misses* (counted and warned) instead of
+//!   failing synthesis. Slots behind [`crate::TieredStore::with_back`].
+//! * [`ShardedStore`] — routes each [`crate::ReportKey`] to one of N
+//!   backends by fingerprint hash, splitting the keyspace across servers
+//!   with zero coordination.
+//!
+//! See the crate-level "Remote & sharded stores" section for the assembled
+//! topology, and `examples/remote_store_demo.rs` for a runnable walkthrough.
+
+pub mod wire;
+
+mod client;
+mod server;
+mod shard;
+
+pub use client::{RemoteCounters, RemoteReportStore, RemoteStoreConfig};
+pub use server::StoreServer;
+pub use shard::ShardedStore;
+pub use wire::{StoreServerStats, WireError};

@@ -1,0 +1,296 @@
+//! The store server: a bounded thread-per-connection TCP accept loop serving
+//! a [`RawReportKv`] over the wire protocol.
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::store::RawReportKv;
+
+use super::wire::{read_frame, write_frame, Frame, Opcode, StoreServerStats, WireError};
+
+/// How often a blocked connection read wakes up to check the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// A network front end for a [`RawReportKv`] (typically a
+/// [`crate::JsonReportStore`] directory), so any number of
+/// [`crate::RemoteReportStore`] clients — across processes and machines —
+/// share one report store.
+///
+/// The accept loop runs on its own thread and hands each connection to a
+/// serving thread, bounded by `max_connections`; connections over the bound
+/// are answered with an error frame and closed instead of queueing
+/// unboundedly. [`StoreServer::shutdown`] (also run on drop) stops accepting,
+/// unblocks every serving thread and joins them all — a graceful stop that
+/// never strands a client mid-frame.
+#[derive(Debug)]
+pub struct StoreServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// State shared between the server handle, the accept loop and every
+/// connection thread.
+#[derive(Debug)]
+struct Shared {
+    kv: Arc<dyn RawReportKv>,
+    stop: AtomicBool,
+    max_connections: usize,
+    live_connections: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    stats_requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+impl StoreServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `kv` with the default connection bound of 64.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if the listener cannot bind.
+    pub fn bind(addr: impl ToSocketAddrs, kv: Arc<dyn RawReportKv>) -> std::io::Result<Self> {
+        StoreServer::bind_with(addr, kv, 64)
+    }
+
+    /// Binds like [`StoreServer::bind`] with an explicit bound on concurrent
+    /// connections (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if the listener cannot bind.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        kv: Arc<dyn RawReportKv>,
+        max_connections: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            kv,
+            stop: AtomicBool::new(false),
+            max_connections: max_connections.max(1),
+            live_connections: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            stats_requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("dftsp-store-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawning the store accept thread");
+        Ok(StoreServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server is listening on (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's counters (also answered remotely to a
+    /// `stats` frame).
+    pub fn stats(&self) -> StoreServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Stops accepting, drains every connection thread and joins the accept
+    /// loop. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop sits in a blocking accept(); a throw-away
+        // self-connection wakes it so it can observe the stop flag.
+        TcpStream::connect_timeout(&self.addr, Duration::from_secs(1)).ok();
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Shared {
+    fn snapshot(&self) -> StoreServerStats {
+        StoreServerStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        // Reap finished serving threads so the handle list (and the live
+        // count's backing) stays bounded by the connection bound.
+        workers.retain(|handle| !handle.is_finished());
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up self-connection (or a late client): drop it and
+            // drain the serving threads.
+            drop(stream);
+            break;
+        }
+        let live = shared.live_connections.load(Ordering::SeqCst);
+        if live >= shared.max_connections as u64 {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            write_frame(&mut stream, &Frame::error("server at connection capacity")).ok();
+            stream.shutdown(Shutdown::Both).ok();
+            continue;
+        }
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        shared.live_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let worker = std::thread::Builder::new()
+            .name("dftsp-store-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                conn_shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawning a store connection thread");
+        workers.push(worker);
+    }
+    for handle in workers {
+        handle.join().ok();
+    }
+}
+
+/// Serves one connection until the client closes, a frame fails to decode,
+/// or the server shuts down.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // A short read timeout turns the blocking read into a poll loop, so the
+    // thread notices the shutdown flag within SHUTDOWN_POLL even while idle.
+    stream.set_read_timeout(Some(SHUTDOWN_POLL)).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = PollingStream {
+        inner: read_half,
+        shared,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(WireError::Closed) => break,
+            Err(err) => {
+                // A malformed, truncated or corrupt frame poisons the
+                // stream position: answer with a typed error and close.
+                if !matches!(err, WireError::Truncated) {
+                    shared.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_frame(&mut writer, &Frame::error(&err.to_string())).ok();
+                }
+                break;
+            }
+        };
+        let response = respond(&frame, shared);
+        if write_frame(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+    writer.shutdown(Shutdown::Both).ok();
+}
+
+/// Computes the response frame for one request.
+fn respond(frame: &Frame, shared: &Arc<Shared>) -> Frame {
+    match frame.opcode() {
+        Opcode::Get => match frame.parse_get() {
+            Ok(key) => {
+                shared.gets.fetch_add(1, Ordering::Relaxed);
+                match shared.kv.get_text(&key) {
+                    Some(text) => {
+                        shared.hits.fetch_add(1, Ordering::Relaxed);
+                        Frame::found(&text)
+                    }
+                    None => {
+                        shared.misses.fetch_add(1, Ordering::Relaxed);
+                        Frame::not_found()
+                    }
+                }
+            }
+            Err(err) => {
+                shared.bad_frames.fetch_add(1, Ordering::Relaxed);
+                Frame::error(&err.to_string())
+            }
+        },
+        Opcode::Put => match frame.parse_put() {
+            Ok((key, text)) => {
+                shared.puts.fetch_add(1, Ordering::Relaxed);
+                shared.kv.put_text(&key, text);
+                Frame::put_ok()
+            }
+            Err(err) => {
+                shared.bad_frames.fetch_add(1, Ordering::Relaxed);
+                Frame::error(&err.to_string())
+            }
+        },
+        Opcode::Stats => {
+            shared.stats_requests.fetch_add(1, Ordering::Relaxed);
+            Frame::stats_ok(&shared.snapshot())
+        }
+        other => {
+            shared.bad_frames.fetch_add(1, Ordering::Relaxed);
+            Frame::error(&format!("{other} is not a request opcode"))
+        }
+    }
+}
+
+/// A [`Read`] adapter that retries timeout wake-ups until the server's stop
+/// flag is set, at which point it reports end-of-stream so the frame reader
+/// unwinds as a clean close (or a truncation, if mid-frame).
+struct PollingStream<'a> {
+    inner: TcpStream,
+    shared: &'a Arc<Shared>,
+}
+
+impl Read for PollingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return Ok(0);
+            }
+            match self.inner.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}

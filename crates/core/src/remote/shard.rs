@@ -1,0 +1,84 @@
+//! Deterministic key-hash sharding across several report-store backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dftsp_code::CssCode;
+
+use crate::engine::SynthesisReport;
+use crate::store::{ReportKey, ReportStore};
+
+/// A [`ReportStore`] that splits the keyspace across N backends by
+/// [`ReportKey`] fingerprint, so several store servers each hold a
+/// deterministic, non-overlapping slice of the catalog.
+///
+/// Routing is pure arithmetic on the key — `fingerprint mod N` — so every
+/// client with the same backend list agrees on the placement of every key
+/// with no coordination. The backends are arbitrary [`ReportStore`]s;
+/// sharding across [`crate::RemoteReportStore`]s gives multiple servers,
+/// sharding across local stores partitions a directory.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Arc<dyn ReportStore>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedStore {
+    /// A sharded store over `shards` (at least one).
+    ///
+    /// # Panics
+    ///
+    /// When `shards` is empty — an unroutable store is a configuration
+    /// error, not a runtime condition.
+    pub fn new(shards: Vec<Arc<dyn ReportStore>>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a ShardedStore needs at least one shard"
+        );
+        ShardedStore {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of backends.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to — exposed so deployments and tests
+    /// can verify placement without issuing traffic.
+    pub fn shard_for(&self, key: &ReportKey) -> usize {
+        (key.fingerprint % self.shards.len() as u64) as usize
+    }
+
+    /// The backend `key` routes to.
+    pub fn shard(&self, key: &ReportKey) -> &Arc<dyn ReportStore> {
+        &self.shards[self.shard_for(key)]
+    }
+}
+
+impl ReportStore for ShardedStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let report = self.shard(key).load(key, code);
+        match &report {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        report
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        self.shard(key).save(key, report);
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,654 @@
+//! The remote-store wire protocol: length-prefixed, checksummed frames
+//! carrying the existing JSON report codec over any byte stream.
+//!
+//! A frame on the wire is
+//!
+//! ```text
+//! [u32 big-endian: payload length]
+//! [payload:
+//!     byte 0        protocol version (WIRE_VERSION)
+//!     byte 1        opcode
+//!     bytes 2..10   u64 big-endian FNV-1a checksum of the body
+//!     bytes 10..    body]
+//! ```
+//!
+//! Bodies are the crate's existing JSON forms: a [`crate::ReportKey`] for
+//! `get`, a key plus the report's on-disk JSON text for `put`, and the
+//! server's counter snapshot for `stats` responses. The version byte rejects
+//! cross-version traffic up front, the checksum rejects corrupted payloads,
+//! and the length prefix is bounded by [`MAX_FRAME`] so a corrupt length can
+//! never drive an allocation bomb. Every failure mode is a typed
+//! [`WireError`] — malformed, truncated or corrupt input is *never* a panic,
+//! which is what lets the client degrade a broken server to a store miss.
+
+use std::io::{Read, Write};
+
+use dftsp_code::CssCode;
+
+use crate::engine::SynthesisReport;
+use crate::json::Json;
+use crate::store::{report_from_json, report_to_json, ReportKey};
+
+/// Version byte every frame leads with; bumped on incompatible changes so a
+/// mismatched peer is rejected with [`WireError::UnsupportedVersion`] instead
+/// of misparsing.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload (16 MiB — orders of magnitude above
+/// any real report). A corrupt length prefix beyond it is rejected as
+/// [`WireError::Oversized`] before any allocation happens.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Bytes of framing around a body: 4 length + 1 version + 1 opcode +
+/// 8 checksum.
+const HEADER_LEN: usize = 14;
+
+/// Operation discriminant of a frame. Requests (`Get`/`Put`/`Stats`) flow
+/// client → server; the rest are responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Request: look up one [`ReportKey`].
+    Get,
+    /// Request: store a report under a key.
+    Put,
+    /// Request: snapshot the server's counters.
+    Stats,
+    /// Response to `Get`: the stored report's JSON text.
+    Found,
+    /// Response to `Get`: nothing stored under that key.
+    NotFound,
+    /// Response to `Put`: the report was persisted.
+    PutOk,
+    /// Response to `Stats`: the server's counter snapshot.
+    StatsOk,
+    /// Response to anything the server could not serve: a diagnostic string.
+    Error,
+}
+
+impl Opcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            Opcode::Get => 0x01,
+            Opcode::Put => 0x02,
+            Opcode::Stats => 0x03,
+            Opcode::Found => 0x81,
+            Opcode::NotFound => 0x82,
+            Opcode::PutOk => 0x83,
+            Opcode::StatsOk => 0x84,
+            Opcode::Error => 0xFF,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Opcode, WireError> {
+        match byte {
+            0x01 => Ok(Opcode::Get),
+            0x02 => Ok(Opcode::Put),
+            0x03 => Ok(Opcode::Stats),
+            0x81 => Ok(Opcode::Found),
+            0x82 => Ok(Opcode::NotFound),
+            0x83 => Ok(Opcode::PutOk),
+            0x84 => Ok(Opcode::StatsOk),
+            0xFF => Ok(Opcode::Error),
+            other => Err(WireError::UnknownOpcode(other)),
+        }
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Opcode::Get => "get",
+            Opcode::Put => "put",
+            Opcode::Stats => "stats",
+            Opcode::Found => "found",
+            Opcode::NotFound => "not-found",
+            Opcode::PutOk => "put-ok",
+            Opcode::StatsOk => "stats-ok",
+            Opcode::Error => "error",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Everything that can go wrong on the wire. All variants are recoverable
+/// data — decoding never panics — so the client can translate any of them
+/// into a degraded store miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended (or stalled past its timeout) mid-frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// The frame leads with a version byte this build does not speak.
+    UnsupportedVersion(u8),
+    /// The opcode byte names no known operation.
+    UnknownOpcode(u8),
+    /// The body does not match the checksum carried in the header.
+    ChecksumMismatch {
+        /// Checksum the frame header claimed.
+        expected: u64,
+        /// Checksum of the body actually received.
+        actual: u64,
+    },
+    /// The frame decoded but its body is not the expected shape (bad JSON,
+    /// missing field, wrong opcode for the operation).
+    Malformed(String),
+    /// The server answered with an [`Opcode::Error`] frame.
+    Server(String),
+    /// An I/O error from the underlying stream (includes read/write
+    /// timeouts, which surface as `WouldBlock`/`TimedOut`).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Truncated => write!(f, "frame truncated mid-stream"),
+            WireError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte bound")
+            }
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode byte {op:#04x}"),
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch (header says {expected:016x}, body hashes to {actual:016x})"
+            ),
+            WireError::Malformed(reason) => write!(f, "malformed frame body: {reason}"),
+            WireError::Server(message) => write!(f, "server error: {message}"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}
+
+/// FNV-1a 64 over the body — the same non-cryptographic standard the store
+/// fingerprints use; it catches wire corruption, not adversaries.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One decoded frame: an opcode plus its raw body bytes. The framing
+/// (length, version, checksum) is handled by [`write_frame`]/[`read_frame`];
+/// the typed constructors and parsers on this type handle the bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    opcode: Opcode,
+    body: Vec<u8>,
+}
+
+impl Frame {
+    /// The frame's opcode.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// The raw body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Total bytes this frame occupies on the wire (framing + body).
+    pub fn wire_len(&self) -> u64 {
+        (HEADER_LEN + self.body.len()) as u64
+    }
+
+    /// A `get` request for one key.
+    pub fn get(key: &ReportKey) -> Frame {
+        Frame {
+            opcode: Opcode::Get,
+            body: key_to_json(key).to_text().into_bytes(),
+        }
+    }
+
+    /// A `put` request: the key's JSON on the first line, the report's
+    /// on-disk JSON text after it (compact JSON contains no newlines, so the
+    /// first newline is an unambiguous separator and the report text is
+    /// carried byte-identically).
+    pub fn put(key: &ReportKey, report: &SynthesisReport) -> Frame {
+        Frame::put_text(key, &report_to_text(report))
+    }
+
+    /// A `put` request carrying already-encoded report text.
+    pub fn put_text(key: &ReportKey, report_text: &str) -> Frame {
+        let mut body = key_to_json(key).to_text().into_bytes();
+        body.push(b'\n');
+        body.extend_from_slice(report_text.as_bytes());
+        Frame {
+            opcode: Opcode::Put,
+            body,
+        }
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Frame {
+        Frame {
+            opcode: Opcode::Stats,
+            body: Vec::new(),
+        }
+    }
+
+    /// A `found` response carrying a stored report's JSON text.
+    pub fn found(report_text: &str) -> Frame {
+        Frame {
+            opcode: Opcode::Found,
+            body: report_text.as_bytes().to_vec(),
+        }
+    }
+
+    /// A `not-found` response.
+    pub fn not_found() -> Frame {
+        Frame {
+            opcode: Opcode::NotFound,
+            body: Vec::new(),
+        }
+    }
+
+    /// A `put-ok` response.
+    pub fn put_ok() -> Frame {
+        Frame {
+            opcode: Opcode::PutOk,
+            body: Vec::new(),
+        }
+    }
+
+    /// A `stats-ok` response carrying the server's counter snapshot.
+    pub fn stats_ok(stats: &StoreServerStats) -> Frame {
+        Frame {
+            opcode: Opcode::StatsOk,
+            body: stats.to_json().to_text().into_bytes(),
+        }
+    }
+
+    /// An `error` response carrying a diagnostic message.
+    pub fn error(message: &str) -> Frame {
+        Frame {
+            opcode: Opcode::Error,
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Parses a `get` request body into its key.
+    pub fn parse_get(&self) -> Result<ReportKey, WireError> {
+        self.expect(Opcode::Get)?;
+        key_from_json(&parse_body_json(&self.body)?)
+    }
+
+    /// Parses a `put` request body into its key and the report's raw JSON
+    /// text (the server stores the text without being able to decode it —
+    /// decoding needs the [`CssCode`], which only clients have).
+    pub fn parse_put(&self) -> Result<(ReportKey, &str), WireError> {
+        self.expect(Opcode::Put)?;
+        let split =
+            self.body.iter().position(|&b| b == b'\n').ok_or_else(|| {
+                WireError::Malformed("put body has no key/report separator".into())
+            })?;
+        let key = key_from_json(&parse_body_json(&self.body[..split])?)?;
+        let text = std::str::from_utf8(&self.body[split + 1..])
+            .map_err(|_| WireError::Malformed("report text is not UTF-8".into()))?;
+        // Validate the report text is at least well-formed JSON so a store
+        // server never persists syntactic garbage.
+        Json::parse(text).map_err(|e| WireError::Malformed(format!("report text: {e}")))?;
+        Ok((key, text))
+    }
+
+    /// Decodes a `found` response body into the stored report for `code`.
+    pub fn parse_found(&self, code: &CssCode) -> Result<SynthesisReport, WireError> {
+        self.expect(Opcode::Found)?;
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| WireError::Malformed("report text is not UTF-8".into()))?;
+        report_from_text(text, code)
+    }
+
+    /// Parses a `stats-ok` response body into the server's counters.
+    pub fn parse_stats_ok(&self) -> Result<StoreServerStats, WireError> {
+        self.expect(Opcode::StatsOk)?;
+        StoreServerStats::from_json(&parse_body_json(&self.body)?)
+    }
+
+    /// The diagnostic message of an `error` response (lossy on non-UTF-8).
+    pub fn error_message(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    fn expect(&self, opcode: Opcode) -> Result<(), WireError> {
+        if self.opcode == opcode {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "expected a {opcode} frame, got {}",
+                self.opcode
+            )))
+        }
+    }
+}
+
+/// Serializes a report into the wire/on-disk JSON text (the same codec the
+/// [`crate::JsonReportStore`] persists).
+pub fn report_to_text(report: &SynthesisReport) -> String {
+    report_to_json(report).to_text()
+}
+
+/// Decodes wire/on-disk report text back into a report for `code`, with
+/// every decode failure a typed [`WireError::Malformed`].
+pub fn report_from_text(text: &str, code: &CssCode) -> Result<SynthesisReport, WireError> {
+    let json = Json::parse(text).map_err(WireError::Malformed)?;
+    report_from_json(&json, code).map_err(WireError::Malformed)
+}
+
+fn parse_body_json(bytes: &[u8]) -> Result<Json, WireError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| WireError::Malformed("body is not UTF-8".into()))?;
+    Json::parse(text).map_err(WireError::Malformed)
+}
+
+fn key_to_json(key: &ReportKey) -> Json {
+    Json::obj(vec![
+        ("code_name", Json::Str(key.code_name.clone())),
+        ("fingerprint", Json::Num(key.fingerprint)),
+    ])
+}
+
+fn key_from_json(json: &Json) -> Result<ReportKey, WireError> {
+    let code_name = json
+        .get("code_name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Malformed("key is missing code_name".into()))?;
+    let fingerprint = json
+        .get("fingerprint")
+        .and_then(Json::as_num)
+        .ok_or_else(|| WireError::Malformed("key is missing fingerprint".into()))?;
+    Ok(ReportKey {
+        code_name: code_name.to_string(),
+        fingerprint,
+    })
+}
+
+/// Writes one frame; returns the number of bytes put on the wire.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on stream failures (including write timeouts).
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<u64, WireError> {
+    let payload_len = (HEADER_LEN - 4) + frame.body.len();
+    let payload_len = u32::try_from(payload_len).map_err(|_| WireError::Oversized(u32::MAX))?;
+    if payload_len > MAX_FRAME {
+        return Err(WireError::Oversized(payload_len));
+    }
+    let mut buf = Vec::with_capacity(HEADER_LEN + frame.body.len());
+    buf.extend_from_slice(&payload_len.to_be_bytes());
+    buf.push(WIRE_VERSION);
+    buf.push(frame.opcode.to_byte());
+    buf.extend_from_slice(&checksum(&frame.body).to_be_bytes());
+    buf.extend_from_slice(&frame.body);
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads one frame, validating version, opcode, length bound and checksum.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] when the peer shut down cleanly at a frame
+/// boundary; [`WireError::Truncated`] when the stream ended mid-frame; the
+/// other variants for validation failures. Never panics on malformed input.
+pub fn read_frame(reader: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_buf = [0u8; 4];
+    read_full(reader, &mut len_buf, true)?;
+    let payload_len = u32::from_be_bytes(len_buf);
+    if payload_len > MAX_FRAME {
+        return Err(WireError::Oversized(payload_len));
+    }
+    if (payload_len as usize) < HEADER_LEN - 4 {
+        return Err(WireError::Truncated);
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_full(reader, &mut payload, false)?;
+    if payload[0] != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(payload[0]));
+    }
+    let opcode = Opcode::from_byte(payload[1])?;
+    let expected = u64::from_be_bytes(payload[2..10].try_into().expect("8 bytes by layout"));
+    let body = payload.split_off(10);
+    let actual = checksum(&body);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Frame { opcode, body })
+}
+
+/// Fills `buf` completely. `at_boundary` distinguishes a clean close (EOF
+/// before any byte of this frame → [`WireError::Closed`]) from a truncation
+/// (EOF after the frame started → [`WireError::Truncated`]).
+fn read_full(reader: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Counter snapshot of a [`crate::StoreServer`], as answered to a `stats`
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreServerStats {
+    /// `get` requests served.
+    pub gets: u64,
+    /// `put` requests served.
+    pub puts: u64,
+    /// `stats` requests served.
+    pub stats_requests: u64,
+    /// `get`s that found a stored entry.
+    pub hits: u64,
+    /// `get`s that found nothing.
+    pub misses: u64,
+    /// Connections accepted into a serving thread.
+    pub connections: u64,
+    /// Connections turned away at the concurrency bound.
+    pub rejected: u64,
+    /// Frames that failed to decode (the connection was answered with an
+    /// error frame and closed).
+    pub bad_frames: u64,
+}
+
+impl StoreServerStats {
+    pub(crate) fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("gets", Json::Num(self.gets)),
+            ("puts", Json::Num(self.puts)),
+            ("stats_requests", Json::Num(self.stats_requests)),
+            ("hits", Json::Num(self.hits)),
+            ("misses", Json::Num(self.misses)),
+            ("connections", Json::Num(self.connections)),
+            ("rejected", Json::Num(self.rejected)),
+            ("bad_frames", Json::Num(self.bad_frames)),
+        ])
+    }
+
+    pub(crate) fn from_json(json: &Json) -> Result<StoreServerStats, WireError> {
+        let field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_num)
+                .ok_or_else(|| WireError::Malformed(format!("stats body is missing {name:?}")))
+        };
+        Ok(StoreServerStats {
+            gets: field("gets")?,
+            puts: field("puts")?,
+            stats_requests: field("stats_requests")?,
+            hits: field("hits")?,
+            misses: field("misses")?,
+            connections: field("connections")?,
+            rejected: field("rejected")?,
+            bad_frames: field("bad_frames")?,
+        })
+    }
+}
+
+impl std::fmt::Display for StoreServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gets={} (hits={} misses={}) puts={} connections={} rejected={} bad_frames={}",
+            self.gets,
+            self.hits,
+            self.misses,
+            self.puts,
+            self.connections,
+            self.rejected,
+            self.bad_frames,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ReportKey {
+        ReportKey {
+            code_name: "Steane [[7,1,3]]".to_string(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let frames = vec![
+            Frame::get(&key()),
+            Frame::put_text(&key(), "{\"version\":4}"),
+            Frame::stats(),
+            Frame::found("{\"version\":4}"),
+            Frame::not_found(),
+            Frame::put_ok(),
+            Frame::stats_ok(&StoreServerStats {
+                gets: 3,
+                hits: 2,
+                ..StoreServerStats::default()
+            }),
+            Frame::error("boom"),
+        ];
+        let mut wire = Vec::new();
+        let mut written = 0;
+        for frame in &frames {
+            written += write_frame(&mut wire, frame).unwrap();
+        }
+        assert_eq!(written as usize, wire.len());
+        let mut cursor = std::io::Cursor::new(wire);
+        for frame in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), frame);
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn typed_bodies_parse_back() {
+        let get = Frame::get(&key());
+        assert_eq!(get.parse_get().unwrap(), key());
+
+        let put = Frame::put_text(&key(), "{\"a\":1}");
+        let (parsed_key, text) = put.parse_put().unwrap();
+        assert_eq!(parsed_key, key());
+        assert_eq!(text, "{\"a\":1}");
+
+        let stats = StoreServerStats {
+            gets: 7,
+            puts: 5,
+            stats_requests: 1,
+            hits: 4,
+            misses: 3,
+            connections: 2,
+            rejected: 1,
+            bad_frames: 0,
+        };
+        assert_eq!(Frame::stats_ok(&stats).parse_stats_ok().unwrap(), stats);
+        assert_eq!(Frame::error("boom").error_message(), "boom");
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn wrong_opcode_parses_are_typed_errors() {
+        let get = Frame::get(&key());
+        assert!(matches!(get.parse_put(), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            Frame::not_found().parse_get(),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked_on() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::put_text(&key(), "{\"a\":1}")).unwrap();
+
+        // Any truncation is Closed (at the boundary) or Truncated (inside).
+        for cut in 0..wire.len() {
+            let err = read_frame(&mut std::io::Cursor::new(&wire[..cut])).unwrap_err();
+            if cut == 0 {
+                assert_eq!(err, WireError::Closed);
+            } else {
+                assert_eq!(err, WireError::Truncated, "cut at byte {cut}");
+            }
+        }
+
+        // A flipped body byte fails the checksum.
+        let mut corrupt = wire.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&corrupt)),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // A wrong version byte is rejected before anything else.
+        let mut wrong_version = wire.clone();
+        wrong_version[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            read_frame(&mut std::io::Cursor::new(&wrong_version)).unwrap_err(),
+            WireError::UnsupportedVersion(WIRE_VERSION + 1)
+        );
+
+        // An unknown opcode byte is rejected.
+        let mut wrong_opcode = wire.clone();
+        wrong_opcode[5] = 0x42;
+        assert_eq!(
+            read_frame(&mut std::io::Cursor::new(&wrong_opcode)).unwrap_err(),
+            WireError::UnknownOpcode(0x42)
+        );
+
+        // An absurd length prefix is bounded, not allocated.
+        let mut oversized = wire;
+        oversized[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            read_frame(&mut std::io::Cursor::new(&oversized)).unwrap_err(),
+            WireError::Oversized(u32::MAX)
+        );
+    }
+}

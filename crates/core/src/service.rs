@@ -652,6 +652,41 @@ impl SynthesisService {
         .collect()
     }
 
+    /// Submits one request without blocking the caller, returning a
+    /// [`ResponseHandle`] to [`poll`](ResponseHandle::poll),
+    /// [`try_take`](ResponseHandle::try_take) or
+    /// [`wait`](ResponseHandle::wait) on.
+    ///
+    /// The request rides the exact same scheduler as [`submit`] — store fast
+    /// path, coalescing, deterministic priority admission — on a background
+    /// thread, so a non-blocking submission coalesces with blocking ones and
+    /// its response is bit-identical to what [`submit`] would have returned.
+    /// Dropping the handle detaches the request: the solve still completes
+    /// and its report still lands in the store; only the response is
+    /// discarded.
+    ///
+    /// [`submit`]: SynthesisService::submit
+    pub fn submit_nonblocking(&self, request: SynthesisRequest) -> ResponseHandle {
+        let slot = Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let service = self.clone();
+        let thread_slot = Arc::clone(&slot);
+        let thread = std::thread::Builder::new()
+            .name("dftsp-service-submit".to_string())
+            .spawn(move || {
+                let result = service.submit(request);
+                *thread_slot.result.lock().expect("response slot poisoned") = Some(result);
+                thread_slot.ready.notify_all();
+            })
+            .expect("spawning a non-blocking submission thread");
+        ResponseHandle {
+            slot,
+            thread: Some(thread),
+        }
+    }
+
     /// The serving pipeline of one request: store fast path →
     /// coalesce-or-lead → admission → solve → store persist → fan out.
     ///
@@ -959,6 +994,113 @@ impl SynthesisService {
                 cancel.is_some(),
                 "inflight cell poisoned",
             );
+        }
+    }
+}
+
+/// Where a non-blocking submission's background thread publishes its result.
+#[derive(Debug)]
+struct ResponseSlot {
+    result: Mutex<Option<Result<SynthesisResponse, ServiceError>>>,
+    ready: Condvar,
+}
+
+/// A handle to a [`SynthesisService::submit_nonblocking`] request in flight.
+///
+/// The underlying request runs on a background thread through the service's
+/// ordinary scheduler; the handle is a single-use mailbox for its result.
+/// [`poll`](ResponseHandle::poll) checks readiness without blocking,
+/// [`try_take`](ResponseHandle::try_take) claims the result if it is ready,
+/// and [`wait`](ResponseHandle::wait) blocks until it arrives. Dropping the
+/// handle detaches the request — the solve completes and populates the
+/// report store, only the response goes unread.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{SynthesisRequest, SynthesisService};
+/// use dftsp_code::catalog;
+///
+/// let service = SynthesisService::builder().concurrency(2).build();
+/// let mut handle = service.submit_nonblocking(SynthesisRequest::new(catalog::steane()));
+/// // The caller is free immediately; the result arrives in the background.
+/// let response = match handle.try_take() {
+///     Some(early) => early,   // already done
+///     None => handle.wait(),  // block for it
+/// }?;
+/// assert!(response.provenance.is_solved());
+/// # Ok::<(), dftsp::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ResponseHandle {
+    /// Returns `true` once the response is ready to take. Never blocks.
+    pub fn poll(&self) -> bool {
+        self.slot
+            .result
+            .lock()
+            .expect("response slot poisoned")
+            .is_some()
+    }
+
+    /// Claims the response if it is ready; `None` while the request is still
+    /// in flight (and forever after the response was already taken). Never
+    /// blocks on the solve.
+    pub fn try_take(&mut self) -> Option<Result<SynthesisResponse, ServiceError>> {
+        let taken = self
+            .slot
+            .result
+            .lock()
+            .expect("response slot poisoned")
+            .take();
+        if taken.is_some() {
+            self.join_thread();
+        }
+        taken
+    }
+
+    /// Blocks until the response arrives and returns it, consuming the
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// When the response was already claimed via
+    /// [`try_take`](ResponseHandle::try_take) — a consumed mailbox cannot be
+    /// waited on.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`SynthesisService::submit`] would have returned
+    /// for the same request.
+    pub fn wait(mut self) -> Result<SynthesisResponse, ServiceError> {
+        let result = {
+            let mut result = self.slot.result.lock().expect("response slot poisoned");
+            loop {
+                if let Some(taken) = result.take() {
+                    break taken;
+                }
+                assert!(
+                    self.thread.is_some(),
+                    "response already claimed via try_take"
+                );
+                result = self
+                    .slot
+                    .ready
+                    .wait(result)
+                    .expect("response slot poisoned");
+            }
+        };
+        self.join_thread();
+        result
+    }
+
+    fn join_thread(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
         }
     }
 }
@@ -1372,5 +1514,89 @@ mod tests {
         }
         assert_eq!(service.stats().solved + service.stats().cached, 0);
         assert_eq!(service.stats().failed, 4);
+    }
+
+    #[test]
+    fn nonblocking_submission_is_bit_identical_to_the_blocking_path() {
+        let blocking_service = SynthesisService::builder().concurrency(2).build();
+        let blocking = blocking_service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+
+        let service = SynthesisService::builder().concurrency(2).build();
+        let handle = service.submit_nonblocking(SynthesisRequest::new(catalog::steane()));
+        let nonblocking = handle.wait().unwrap();
+
+        assert!(nonblocking.provenance.is_solved());
+        assert_eq!(
+            format!("{:?}", blocking.report.protocol.layers),
+            format!("{:?}", nonblocking.report.protocol.layers),
+            "the non-blocking path must not change the synthesized protocol"
+        );
+    }
+
+    #[test]
+    fn identical_nonblocking_submissions_coalesce_to_one_solve() {
+        let service = SynthesisService::builder()
+            .report_store(Arc::new(MemoryReportStore::new()))
+            .concurrency(4)
+            .build();
+        let handles: Vec<ResponseHandle> = (0..3)
+            .map(|_| service.submit_nonblocking(SynthesisRequest::new(catalog::steane())))
+            .collect();
+        let mut solved = 0;
+        let mut renderings = BTreeSet::new();
+        for handle in handles {
+            let response = handle.wait().unwrap();
+            if response.provenance.is_solved() {
+                solved += 1;
+            } else {
+                assert!(matches!(
+                    response.provenance,
+                    Provenance::Coalesced | Provenance::Cached
+                ));
+            }
+            renderings.insert(format!("{:?}", response.report.protocol.layers));
+        }
+        assert_eq!(solved, 1, "identical handles trigger exactly one solve");
+        assert_eq!(renderings.len(), 1, "all responses are bit-identical");
+        assert_eq!(service.stats().submitted, 3);
+    }
+
+    #[test]
+    fn response_handles_poll_and_try_take_without_blocking() {
+        let service = SynthesisService::builder().concurrency(2).build();
+        let mut handle = service.submit_nonblocking(SynthesisRequest::new(catalog::steane()));
+        // Spin (with a sleep) until ready; poll/try_take never block the solve.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !handle.poll() {
+            assert!(Instant::now() < deadline, "solve did not finish in time");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let response = handle.try_take().expect("polled ready").unwrap();
+        assert!(response.provenance.is_solved());
+        assert!(handle.try_take().is_none(), "the mailbox is single-use");
+        assert!(!handle.poll(), "taken means no longer pending-ready");
+    }
+
+    #[test]
+    fn dropping_a_handle_detaches_but_still_populates_the_store() {
+        let store = Arc::new(MemoryReportStore::new());
+        let service = SynthesisService::builder()
+            .report_store(store.clone())
+            .concurrency(2)
+            .build();
+        drop(service.submit_nonblocking(SynthesisRequest::new(catalog::steane())));
+        // The detached solve still runs to completion and persists; a later
+        // blocking submission is served from the store it populated.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while store.is_empty() {
+            assert!(Instant::now() < deadline, "detached solve never persisted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let response = service
+            .submit(SynthesisRequest::new(catalog::steane()))
+            .unwrap();
+        assert_eq!(response.provenance, Provenance::Cached);
     }
 }

@@ -124,6 +124,23 @@ pub trait ReportStore: Send + Sync + std::fmt::Debug {
     fn misses(&self) -> u64;
 }
 
+/// Raw, text-level access to a store's persisted entries — the seam the
+/// remote [`crate::StoreServer`] serves over.
+///
+/// A store server holds the *encoded* reports only: decoding a
+/// [`SynthesisReport`] needs the [`CssCode`] it was synthesized for, which
+/// lives with the clients, not the server. This trait therefore moves the
+/// on-disk JSON text verbatim — whatever bytes a client `put`s are the bytes
+/// every later `get` returns, which is what keeps remote round-trips
+/// bit-identical to local store hits.
+pub trait RawReportKv: Send + Sync + std::fmt::Debug {
+    /// The stored entry's JSON text for `key`, if any.
+    fn get_text(&self, key: &ReportKey) -> Option<String>;
+
+    /// Persists already-encoded report text under `key`.
+    fn put_text(&self, key: &ReportKey, text: &str);
+}
+
 /// Thread-safe in-memory [`ReportStore`].
 ///
 /// # Examples
@@ -304,7 +321,24 @@ impl ReportStore for JsonReportStore {
     }
 
     fn save(&self, key: &ReportKey, report: &SynthesisReport) {
-        let text = report_to_json(report).to_text();
+        self.put_text(key, &report_to_json(report).to_text());
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl RawReportKv for JsonReportStore {
+    fn get_text(&self, key: &ReportKey) -> Option<String> {
+        std::fs::read_to_string(self.path(key)).ok()
+    }
+
+    fn put_text(&self, key: &ReportKey, text: &str) {
         let path = self.path(key);
         // Tempfile + atomic rename: the process id separates processes and
         // the process-wide counter separates every call within one process
@@ -325,14 +359,6 @@ impl ReportStore for JsonReportStore {
             );
             std::fs::remove_file(&tmp).ok();
         }
-    }
-
-    fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
     }
 }
 

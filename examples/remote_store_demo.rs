@@ -1,0 +1,99 @@
+//! The distributed report store, end to end: one store server, two service
+//! instances sharing it over TCP.
+//!
+//! Run with `cargo run --release --example remote_store_demo`.
+//!
+//! The demo assembles the multi-process serving topology inside one process
+//! (the wire is a real 127.0.0.1 socket, so the processes boundary is the
+//! only simulation):
+//!
+//! 1. a [`StoreServer`] serving a [`JsonReportStore`] directory,
+//! 2. service instance A — [`TieredStore`] memory front over a
+//!    [`RemoteReportStore`] back — which *solves* the codes and populates
+//!    the shared server through the wire,
+//! 3. service instance B — a fresh, cold instance with its own client —
+//!    which answers the same catalog entirely from the remote store, with
+//!    zero SAT solves,
+//! 4. a non-blocking submission through
+//!    [`SynthesisService::submit_nonblocking`], polled while the caller
+//!    stays free.
+
+use std::sync::Arc;
+
+use dftsp::{
+    JsonReportStore, Provenance, RemoteReportStore, ReportStore, StoreServer, SynthesisRequest,
+    SynthesisService, TieredStore,
+};
+use dftsp_code::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("dftsp-remote-demo-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // One shared store server; port 0 picks a free port.
+    let server = StoreServer::bind("127.0.0.1:0", Arc::new(JsonReportStore::new(&dir)?))?;
+    println!("store server listening on {}", server.local_addr());
+
+    // A service instance: its own memory front tier, the shared remote back.
+    let instance = |name: &'static str| -> Result<SynthesisService, std::io::Error> {
+        let remote = RemoteReportStore::connect(server.local_addr())?;
+        println!(
+            "instance {name}: remote client for {}",
+            remote.server_addr()
+        );
+        Ok(SynthesisService::builder()
+            .report_store(Arc::new(
+                TieredStore::new(64).with_back(Arc::new(remote) as Arc<dyn ReportStore>),
+            ))
+            .concurrency(2)
+            .build())
+    };
+
+    let codes = [catalog::steane(), catalog::shor(), catalog::surface3()];
+
+    // Instance A solves the catalog; every report is written through the
+    // wire to the shared server.
+    let service_a = instance("A")?;
+    for code in &codes {
+        let response = service_a.submit(SynthesisRequest::new(code.clone()))?;
+        println!(
+            "A: {:24} {:?} in {:?}",
+            response.report.code_name, response.provenance, response.solve_time
+        );
+    }
+
+    // Instance B is cold — fresh front tier, fresh connection — yet serves
+    // the whole catalog from the shared store: cross-process dedup.
+    let service_b = instance("B")?;
+    for code in &codes {
+        let response = service_b.submit(SynthesisRequest::new(code.clone()))?;
+        assert_eq!(response.provenance, Provenance::Cached);
+        println!(
+            "B: {:24} {:?} (no SAT work)",
+            response.report.code_name, response.provenance
+        );
+    }
+    assert_eq!(service_b.stats().solved, 0, "B never solves");
+
+    // Non-blocking submission: the caller keeps working while the request
+    // (here a store hit) is served in the background.
+    let mut handle = service_b.submit_nonblocking(SynthesisRequest::new(catalog::steane()));
+    let mut polls = 0u32;
+    let response = loop {
+        match handle.try_take() {
+            Some(result) => break result?,
+            None => {
+                polls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    };
+    println!(
+        "non-blocking: {} {:?} after {polls} polls",
+        response.report.code_name, response.provenance
+    );
+
+    println!("server counters: {}", server.stats());
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

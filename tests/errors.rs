@@ -16,6 +16,7 @@ fn every_public_error_type_is_a_uniform_std_error() {
     // dftsp-core.
     assert_uniform_error::<dftsp::SynthesisError>();
     assert_uniform_error::<dftsp::ServiceError>();
+    assert_uniform_error::<dftsp::WireError>();
     assert_uniform_error::<dftsp::verify::VerificationError>();
     assert_uniform_error::<dftsp::correct::CorrectionError>();
     // dftsp-sat.

@@ -1,0 +1,311 @@
+//! Integration tests of the distributed report store: real sockets between
+//! [`StoreServer`] and [`RemoteReportStore`], outage degradation, sharded
+//! routing, and property tests of the wire codec.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use dftsp::remote::wire::{read_frame, report_from_text, report_to_text, write_frame, Frame};
+use dftsp::{
+    JsonReportStore, MemoryReportStore, Provenance, RemoteReportStore, RemoteStoreConfig,
+    ReportKey, ReportStore, ShardedStore, StoreServer, SynthesisEngine, SynthesisReport,
+    SynthesisRequest, SynthesisService, TieredStore, WireError,
+};
+use dftsp_code::catalog;
+use proptest::prelude::*;
+
+/// A per-test scratch directory under the system temp dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dftsp-remote-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The Steane report every codec test perturbs — synthesized once.
+fn steane_report() -> &'static SynthesisReport {
+    static REPORT: OnceLock<SynthesisReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        SynthesisEngine::builder()
+            .build()
+            .synthesize(&catalog::steane())
+            .expect("Steane synthesis succeeds")
+    })
+}
+
+fn test_key(fingerprint: u64) -> ReportKey {
+    ReportKey {
+        code_name: "Steane".to_string(),
+        fingerprint,
+    }
+}
+
+/// The store's bit-identity standard: two reports are the same entry iff
+/// their canonical JSON texts are byte-identical.
+fn rendering(report: &SynthesisReport) -> String {
+    report_to_text(report)
+}
+
+#[test]
+fn reports_round_trip_through_server_and_client() {
+    let scratch = Scratch::new("roundtrip");
+    let kv = Arc::new(JsonReportStore::new(&scratch.0).unwrap());
+    let server = StoreServer::bind("127.0.0.1:0", kv).unwrap();
+    let remote = RemoteReportStore::connect(server.local_addr()).unwrap();
+
+    let code = catalog::steane();
+    let report = steane_report();
+    let key = test_key(0xA1);
+
+    // Cold store: a miss over the wire.
+    assert!(remote.load(&key, &code).is_none());
+    assert_eq!(remote.misses(), 1);
+
+    // Save, then load back bit-identically.
+    remote.save(&key, report);
+    let restored = remote.load(&key, &code).expect("stored entry loads back");
+    assert_eq!(rendering(&restored), rendering(report));
+    assert_eq!(remote.hits(), 1);
+
+    // A second client against the same server sees the same entry — that is
+    // the cross-process story in miniature.
+    let other = RemoteReportStore::connect(server.local_addr()).unwrap();
+    let from_other = other.load(&key, &code).expect("shared entry visible");
+    assert_eq!(rendering(&from_other), rendering(report));
+
+    // Server- and client-side counters agree with the traffic.
+    let stats = remote.server_stats().unwrap();
+    assert_eq!(stats.puts, 1);
+    assert_eq!(stats.gets, 3);
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 1);
+    let counters = remote.counters();
+    assert!(counters.frames_sent >= 3);
+    assert_eq!(counters.frames_sent, counters.frames_received);
+    assert!(counters.bytes_sent > 0 && counters.bytes_received > 0);
+    assert_eq!(counters.degraded, 0);
+}
+
+#[test]
+fn server_outage_degrades_to_misses_never_request_failures() {
+    let scratch = Scratch::new("outage");
+    let kv = Arc::new(JsonReportStore::new(&scratch.0).unwrap());
+    let mut server = StoreServer::bind("127.0.0.1:0", kv).unwrap();
+
+    // Tight timeouts so the dead-server path stays fast in tests.
+    let config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_timeout: Duration::from_millis(500),
+        retries: 1,
+        backoff: Duration::from_millis(5),
+        ..RemoteStoreConfig::default()
+    };
+    let remote = Arc::new(RemoteReportStore::connect_with(server.local_addr(), config).unwrap());
+    // Capacity-0 front: every lookup goes to the remote back tier, so the
+    // memory tier cannot mask the outage under test.
+    let store = Arc::new(TieredStore::new(0).with_back(remote.clone() as Arc<dyn ReportStore>));
+    let service = SynthesisService::builder()
+        .report_store(store)
+        .concurrency(1)
+        .build();
+
+    // With the server up, a solve persists through the wire.
+    let up = service
+        .submit(SynthesisRequest::new(catalog::steane()))
+        .unwrap();
+    assert_eq!(up.provenance, Provenance::Solved);
+    assert_eq!(remote.server_stats().unwrap().puts, 1);
+    assert_eq!(remote.degraded(), 0);
+
+    // Kill the server mid-run. Requests for uncached codes must still
+    // complete — the store degrades to misses, synthesis re-solves locally.
+    server.shutdown();
+    let down = service
+        .submit(SynthesisRequest::new(catalog::surface3()))
+        .unwrap();
+    assert_eq!(down.provenance, Provenance::Solved);
+    assert!(
+        remote.degraded() >= 1,
+        "the outage is counted, not silently swallowed"
+    );
+
+    // And the degraded run's protocol is bit-identical to a no-store run
+    // (timings differ run to run; the synthesized protocol must not).
+    let reference = SynthesisEngine::builder()
+        .build()
+        .synthesize(&catalog::surface3())
+        .unwrap();
+    assert_eq!(
+        format!("{:?}", down.report.protocol),
+        format!("{:?}", reference.protocol)
+    );
+}
+
+#[test]
+fn sharded_store_routes_deterministically_and_splits_the_keyspace() {
+    let left = Arc::new(MemoryReportStore::new());
+    let right = Arc::new(MemoryReportStore::new());
+    let sharded = ShardedStore::new(vec![
+        left.clone() as Arc<dyn ReportStore>,
+        right.clone() as Arc<dyn ReportStore>,
+    ]);
+    assert_eq!(sharded.shard_count(), 2);
+
+    let report = steane_report();
+    for fingerprint in 0..16u64 {
+        let key = test_key(fingerprint);
+        assert_eq!(
+            sharded.shard_for(&key),
+            (fingerprint % 2) as usize,
+            "routing is pure arithmetic on the fingerprint"
+        );
+        sharded.save(&key, report);
+    }
+    assert_eq!(left.len(), 8, "even fingerprints land on shard 0");
+    assert_eq!(right.len(), 8, "odd fingerprints land on shard 1");
+
+    let code = catalog::steane();
+    for fingerprint in 0..16u64 {
+        let restored = sharded.load(&test_key(fingerprint), &code).unwrap();
+        assert_eq!(rendering(&restored), rendering(report));
+    }
+    assert_eq!(sharded.hits(), 16);
+    assert_eq!(sharded.misses(), 0);
+}
+
+#[test]
+fn sharded_remote_stores_split_the_catalog_across_two_servers() {
+    let scratch_a = Scratch::new("shard-a");
+    let scratch_b = Scratch::new("shard-b");
+    let server_a = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&scratch_a.0).unwrap()),
+    )
+    .unwrap();
+    let server_b = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&scratch_b.0).unwrap()),
+    )
+    .unwrap();
+    let sharded = ShardedStore::new(vec![
+        Arc::new(RemoteReportStore::connect(server_a.local_addr()).unwrap())
+            as Arc<dyn ReportStore>,
+        Arc::new(RemoteReportStore::connect(server_b.local_addr()).unwrap())
+            as Arc<dyn ReportStore>,
+    ]);
+
+    let report = steane_report();
+    sharded.save(&test_key(2), report); // even → server A
+    sharded.save(&test_key(5), report); // odd → server B
+    assert_eq!(server_a.stats().puts, 1);
+    assert_eq!(server_b.stats().puts, 1);
+
+    let code = catalog::steane();
+    assert!(sharded.load(&test_key(2), &code).is_some());
+    assert!(sharded.load(&test_key(5), &code).is_some());
+    assert_eq!(server_a.stats().gets, 1);
+    assert_eq!(server_b.stats().gets, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized reports survive the full wire path — encode, frame,
+    /// stream, unframe, decode — byte-identically.
+    #[test]
+    fn random_reports_round_trip_the_wire_codec(
+        fingerprint: u64,
+        calls in 0..1_000_000u64,
+        conflicts in 0..1_000_000u64,
+        cache_hits in 0..1_000u64,
+        micros in 0..10_000_000u64,
+    ) {
+        let mut report = steane_report().clone();
+        // Perturb the numeric payload so every case carries distinct bytes.
+        report.fault_cache_hits = cache_hits;
+        report.total_time = Duration::from_micros(micros);
+        for stage in &mut report.stages {
+            stage.sat.calls = calls;
+            stage.sat.conflicts = conflicts;
+        }
+
+        let key = test_key(fingerprint);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::put(&key, &report)).unwrap();
+        let frame = read_frame(&mut std::io::Cursor::new(&wire)).unwrap();
+        let (restored_key, text) = frame.parse_put().unwrap();
+        prop_assert_eq!(&restored_key, &key);
+        prop_assert_eq!(text, report_to_text(&report).as_str());
+
+        let code = catalog::steane();
+        let restored = report_from_text(text, &code).unwrap();
+        prop_assert_eq!(report_to_text(&restored), report_to_text(&report));
+
+        // The response direction round-trips the same way.
+        let mut response_wire = Vec::new();
+        write_frame(&mut response_wire, &Frame::found(text)).unwrap();
+        let response = read_frame(&mut std::io::Cursor::new(&response_wire)).unwrap();
+        let served = response.parse_found(&code).unwrap();
+        prop_assert_eq!(report_to_text(&served), report_to_text(&report));
+    }
+
+    /// A single flipped byte anywhere in a valid frame is rejected with a
+    /// typed error or decodes to a *different* frame — never a panic, never
+    /// a silent pass-through of corrupted bytes as the original.
+    #[test]
+    fn corrupt_frames_yield_typed_errors_never_panics(
+        fingerprint: u64,
+        position_seed: u64,
+        flip in 1..=255u8,
+    ) {
+        let key = test_key(fingerprint);
+        let original = Frame::put_text(&key, "{\"version\":4,\"payload\":\"x\"}");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &original).unwrap();
+
+        let position = (position_seed % wire.len() as u64) as usize;
+        let mut corrupt = wire.clone();
+        corrupt[position] ^= flip;
+        match read_frame(&mut std::io::Cursor::new(&corrupt)) {
+            // Length, version, opcode and checksum corruption are all typed.
+            Err(
+                WireError::Truncated
+                | WireError::Oversized(_)
+                | WireError::UnsupportedVersion(_)
+                | WireError::UnknownOpcode(_)
+                | WireError::ChecksumMismatch { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+            // An opcode-byte flip onto another valid opcode still decodes —
+            // but never back to the original frame.
+            Ok(frame) => prop_assert_ne!(frame, original),
+        }
+    }
+
+    /// Truncating a valid frame at any point is `Closed` exactly at the
+    /// frame boundary and `Truncated` everywhere inside.
+    #[test]
+    fn truncated_frames_are_typed_errors(fingerprint: u64, cut_seed: u64) {
+        let key = test_key(fingerprint);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::get(&key)).unwrap();
+        let cut = (cut_seed % wire.len() as u64) as usize;
+        let err = read_frame(&mut std::io::Cursor::new(&wire[..cut])).unwrap_err();
+        if cut == 0 {
+            prop_assert_eq!(err, WireError::Closed);
+        } else {
+            prop_assert_eq!(err, WireError::Truncated);
+        }
+    }
+}
