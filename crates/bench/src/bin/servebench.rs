@@ -47,14 +47,26 @@
 //!   served entirely from the remote store — zero SAT solves, asserted.
 //!   Cross-process dedup rate, client wire counters and server counters are
 //!   recorded under `"distributed"` in the JSON.
+//! * `--chaos` runs the full fault-tolerance topology: `--shards` (default 2)
+//!   shard groups of `--replicas` (default 2) store servers each, every
+//!   server's wire under a seeded [`FaultPlan`] (`--seed`, `--fault-period`),
+//!   composed client-side as a [`ShardedStore`] over [`ReplicatedStore`]
+//!   groups. The drive runs three phases: populate under faults, kill
+//!   replica 0 of every shard mid-run, then restart it *empty* at the same
+//!   address. The run exits non-zero unless every response stayed
+//!   bit-identical to the no-store reference, zero syntheses failed, and the
+//!   breaker-trip and read-repair counters are both nonzero (the machinery
+//!   demonstrably fired). Counters are recorded under `"chaos"` and `"wire"`
+//!   in the JSON.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use dftsp::{
-    BackendChoice, JsonReportStore, PortfolioStats, RemoteCounters, RemoteReportStore, ReportStore,
-    ServiceStats, StoreServer, StoreServerStats, SynthesisEngine, SynthesisRequest,
-    SynthesisService, TieredStore,
+    BackendChoice, CheckedStore, FaultPlan, JsonReportStore, PortfolioStats, RemoteCounters,
+    RemoteReportStore, RemoteStoreConfig, ReplicaConfig, ReplicaCounters, ReplicatedStore,
+    ReportStore, ServiceStats, ShardedStore, StoreServer, StoreServerStats, SynthesisEngine,
+    SynthesisRequest, SynthesisService, TieredStore,
 };
 use dftsp_bench::{evaluation_codes, quick_codes};
 use dftsp_code::CssCode;
@@ -82,6 +94,22 @@ fn main() {
         .map(|s| s.parse().expect("--instances takes an integer"))
         .unwrap_or(2)
         .max(2);
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|s| s.parse().expect("--shards takes an integer"))
+        .unwrap_or(2)
+        .max(1);
+    let replicas: usize = flag_value(&args, "--replicas")
+        .map(|s| s.parse().expect("--replicas takes an integer"))
+        .unwrap_or(2)
+        .max(2);
+    let fault_period: u64 = flag_value(&args, "--fault-period")
+        .map(|s| s.parse().expect("--fault-period takes an integer"))
+        .unwrap_or(11)
+        .max(1);
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(0xC0FFEE);
 
     let codes: Vec<CssCode> = if quick {
         quick_codes()
@@ -106,6 +134,22 @@ fn main() {
             )
         })
         .collect();
+
+    if chaos {
+        run_chaos(ChaosSetup {
+            quick,
+            clients,
+            rounds,
+            codes: &codes,
+            references: &references,
+            out: &out,
+            shards,
+            replicas,
+            fault_period,
+            seed,
+        });
+        return;
+    }
 
     // An undersized memory front over a scratch JSON directory: revisit
     // rounds hit evictions and disk fault-in on purpose. In distributed mode
@@ -376,6 +420,8 @@ fn absorb_stats(into: &mut ServiceStats, from: &ServiceStats) {
     into.cached += from.cached;
     into.cancelled += from.cancelled;
     into.failed += from.failed;
+    into.store_hits += from.store_hits;
+    into.store_misses += from.store_misses;
 }
 
 fn absorb_counters(into: &mut RemoteCounters, from: &RemoteCounters) {
@@ -406,13 +452,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// unrounded, so the serving trajectory keeps full precision.
 fn stats_json(stats: &ServiceStats) -> String {
     format!(
-        "{{\"submitted\": {}, \"solved\": {}, \"coalesced\": {}, \"cached\": {}, \"cancelled\": {}, \"failed\": {}, \"dedup_rate\": {}}}",
+        "{{\"submitted\": {}, \"solved\": {}, \"coalesced\": {}, \"cached\": {}, \"cancelled\": {}, \"failed\": {}, \"store_hits\": {}, \"store_misses\": {}, \"dedup_rate\": {}}}",
         stats.submitted,
         stats.solved,
         stats.coalesced,
         stats.cached,
         stats.cancelled,
         stats.failed,
+        stats.store_hits,
+        stats.store_misses,
         stats.dedup_rate()
     )
 }
@@ -514,4 +562,287 @@ fn render_json(
     }
     out.push_str("\n}\n");
     out
+}
+
+/// Inputs of the chaos run (`--chaos`).
+struct ChaosSetup<'a> {
+    quick: bool,
+    clients: usize,
+    rounds: usize,
+    codes: &'a [CssCode],
+    references: &'a [String],
+    out: &'a str,
+    shards: usize,
+    replicas: usize,
+    fault_period: u64,
+    seed: u64,
+}
+
+/// Binds one chaos store server on a fresh scratch directory. `generation`
+/// distinguishes a restarted replica's directory from its killed
+/// predecessor's, so a restart always rejoins *empty* (the read-repair
+/// path, not the page cache, must reconverge it).
+fn bind_chaos_server(
+    base: &std::path::Path,
+    addr: impl std::net::ToSocketAddrs,
+    shard: usize,
+    replica: usize,
+    generation: u32,
+    plan: Arc<FaultPlan>,
+) -> StoreServer {
+    let dir = base.join(format!("shard{shard}-replica{replica}-gen{generation}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let kv = Arc::new(JsonReportStore::new(&dir).expect("chaos store directory"));
+    StoreServer::bind_faulty(addr, kv, 64, plan)
+        .unwrap_or_else(|e| panic!("chaos server shard {shard} replica {replica}: {e}"))
+}
+
+fn absorb_replica(into: &mut ReplicaCounters, from: &ReplicaCounters) {
+    into.replica_failures += from.replica_failures;
+    into.breaker_trips += from.breaker_trips;
+    into.breaker_probes += from.breaker_probes;
+    into.skipped_open += from.skipped_open;
+    into.failover_reads += from.failover_reads;
+    into.read_repairs += from.read_repairs;
+    into.repair_failures += from.repair_failures;
+    into.fanout_writes += from.fanout_writes;
+}
+
+/// The chaos mode: the full sharded-replicated topology (every server's wire
+/// under a seeded `FaultPlan`), driven through three phases — populate under
+/// faults, kill replica 0 of every shard mid-run, restart it *empty* at the
+/// same address — asserting zero failed syntheses, responses bit-identical
+/// to the no-store references throughout, and nonzero breaker-trip and
+/// read-repair counters at the end.
+fn run_chaos(setup: ChaosSetup) {
+    let ChaosSetup {
+        quick,
+        clients,
+        rounds,
+        codes,
+        references,
+        out,
+        shards,
+        replicas,
+        fault_period,
+        seed,
+    } = setup;
+    let base = std::env::temp_dir().join(format!("dftsp-chaosbench-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    // Server fleet: shards × replicas, each with its own directory and its
+    // own seeded wire-fault schedule.
+    let mut servers: Vec<Vec<Option<StoreServer>>> = Vec::new();
+    let mut addrs: Vec<Vec<std::net::SocketAddr>> = Vec::new();
+    let mut plans: Vec<Arc<FaultPlan>> = Vec::new();
+    for s in 0..shards {
+        let mut shard_servers = Vec::new();
+        let mut shard_addrs = Vec::new();
+        for r in 0..replicas {
+            let member = (s * replicas + r) as u64;
+            let plan = Arc::new(FaultPlan::seeded(
+                seed ^ member.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                fault_period,
+            ));
+            plans.push(Arc::clone(&plan));
+            let server = bind_chaos_server(&base, "127.0.0.1:0", s, r, 0, plan);
+            shard_addrs.push(server.local_addr());
+            shard_servers.push(Some(server));
+        }
+        servers.push(shard_servers);
+        addrs.push(shard_addrs);
+    }
+
+    // Client stack: per shard a replica group of remote clients, groups
+    // composed under a ShardedStore. Tight timeouts and a single retry keep
+    // the dead-replica path fast; the breaker then removes even that cost.
+    let client_config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(200),
+        op_timeout: Duration::from_millis(300),
+        retries: 1,
+        backoff: Duration::from_millis(2),
+        pool_size: 2,
+    };
+    let replica_config = ReplicaConfig {
+        trip_after: 2,
+        hold_ops: 4,
+        max_hold_ops: 64,
+    };
+    let mut remote_clients: Vec<Arc<RemoteReportStore>> = Vec::new();
+    let mut groups: Vec<Arc<ReplicatedStore>> = Vec::new();
+    let mut shard_backends: Vec<Arc<dyn ReportStore>> = Vec::new();
+    for shard_addrs in &addrs {
+        let members: Vec<Arc<dyn CheckedStore>> = shard_addrs
+            .iter()
+            .map(|addr| {
+                let client = Arc::new(
+                    RemoteReportStore::connect_with(addr, client_config)
+                        .expect("chaos remote client"),
+                );
+                remote_clients.push(Arc::clone(&client));
+                client as Arc<dyn CheckedStore>
+            })
+            .collect();
+        let group = Arc::new(
+            ReplicatedStore::with_config(members, replica_config).expect("chaos replica group"),
+        );
+        groups.push(Arc::clone(&group));
+        shard_backends.push(group as Arc<dyn ReportStore>);
+    }
+    let sharded = Arc::new(ShardedStore::new(shard_backends));
+    let service = SynthesisService::builder()
+        .report_store(sharded.clone() as Arc<dyn ReportStore>)
+        .concurrency(clients)
+        .build();
+
+    // Phase 1: populate the fleet through the faulty wire.
+    println!(
+        "chaos phase 1: {shards}x{replicas} replica topology, seeded wire faults (seed {seed:#x}, period {fault_period})"
+    );
+    let p1 = drive(&service, codes, references, clients, rounds, false);
+    let mut mismatches = p1.mismatches;
+
+    // Phase 2: kill replica 0 of every shard mid-run. Loads fail over to
+    // the surviving replicas; the dead replicas' breakers trip.
+    for shard_servers in &mut servers {
+        if let Some(mut server) = shard_servers[0].take() {
+            server.shutdown();
+        }
+    }
+    println!("chaos phase 2: replica 0 of every shard killed");
+    let p2 = drive(&service, codes, references, clients, 1, false);
+    mismatches += p2.mismatches;
+
+    // Phase 3: restart replica 0 of every shard at its old address with an
+    // EMPTY store (a wiped server rejoining) and a clean wire. Half-open
+    // probes close the breakers and read-repair reconverges the copies.
+    for (s, shard_servers) in servers.iter_mut().enumerate() {
+        shard_servers[0] = Some(bind_chaos_server(
+            &base,
+            addrs[s][0],
+            s,
+            0,
+            1,
+            Arc::new(FaultPlan::clean()),
+        ));
+    }
+    println!("chaos phase 3: replica 0 of every shard restarted empty at the same address");
+    let p3 = drive(&service, codes, references, clients, rounds + 1, false);
+    mismatches += p3.mismatches;
+
+    let stats = service.stats();
+    let mut replica_totals = ReplicaCounters::default();
+    for group in &groups {
+        absorb_replica(&mut replica_totals, &group.counters());
+    }
+    let mut wire = RemoteCounters::default();
+    for client in &remote_clients {
+        absorb_counters(&mut wire, &client.counters());
+    }
+    let injected: u64 = plans.iter().map(|plan| plan.injected()).sum();
+
+    for shard_servers in &mut servers {
+        for server in shard_servers.iter_mut().flatten() {
+            server.shutdown();
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+
+    let elapsed = p1.elapsed + p2.elapsed + p3.elapsed;
+    println!(
+        "{} requests in {:.2?} across 3 phases",
+        stats.submitted, elapsed
+    );
+    println!("  {stats}");
+    println!(
+        "  replicas: failures={} breaker_trips={} probes={} skipped_open={} failover_reads={} read_repairs={} repair_failures={} fanout_writes={}",
+        replica_totals.replica_failures,
+        replica_totals.breaker_trips,
+        replica_totals.breaker_probes,
+        replica_totals.skipped_open,
+        replica_totals.failover_reads,
+        replica_totals.read_repairs,
+        replica_totals.repair_failures,
+        replica_totals.fanout_writes,
+    );
+    println!(
+        "  wire: {} frames out, {} frames in, {} connects, {} retries, {} degraded, {} corrupt payloads; {injected} faults injected server-side",
+        wire.frames_sent, wire.frames_received, wire.connects, wire.retries, wire.degraded, wire.corrupt_payloads,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"servebench\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "chaos-quick" } else { "chaos" }
+    ));
+    json.push_str(&format!(
+        "  \"clients\": {clients},\n  \"rounds\": {rounds},\n  \"shards\": {shards},\n  \"replicas\": {replicas},\n  \"fault_period\": {fault_period},\n  \"seed\": {seed},\n"
+    ));
+    json.push_str(&format!(
+        "  \"codes\": [{}],\n",
+        codes
+            .iter()
+            .map(|c| format!("\"{}\"", c.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"phase_elapsed_us\": [{}, {}, {}],\n",
+        p1.elapsed.as_micros(),
+        p2.elapsed.as_micros(),
+        p3.elapsed.as_micros()
+    ));
+    json.push_str(&format!("  \"requests\": {},\n", stats_json(&stats)));
+    json.push_str(&format!(
+        "  \"chaos\": {{\"replica_failures\": {}, \"breaker_trips\": {}, \"breaker_probes\": {}, \"skipped_open\": {}, \"failover_reads\": {}, \"read_repairs\": {}, \"repair_failures\": {}, \"fanout_writes\": {}, \"injected_wire_faults\": {}, \"mismatches\": {}}},\n",
+        replica_totals.replica_failures,
+        replica_totals.breaker_trips,
+        replica_totals.breaker_probes,
+        replica_totals.skipped_open,
+        replica_totals.failover_reads,
+        replica_totals.read_repairs,
+        replica_totals.repair_failures,
+        replica_totals.fanout_writes,
+        injected,
+        mismatches,
+    ));
+    json.push_str(&format!(
+        "  \"wire\": {{\"frames_sent\": {}, \"frames_received\": {}, \"bytes_sent\": {}, \"bytes_received\": {}, \"connects\": {}, \"retries\": {}, \"degraded\": {}, \"corrupt_payloads\": {}}}\n",
+        wire.frames_sent,
+        wire.frames_received,
+        wire.bytes_sent,
+        wire.bytes_received,
+        wire.connects,
+        wire.retries,
+        wire.degraded,
+        wire.corrupt_payloads,
+    ));
+    json.push_str("}\n");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+
+    // The acceptance gates: bit-identical responses, zero failed syntheses,
+    // and the availability machinery demonstrably exercised.
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses differed from the no-store reference under chaos");
+        std::process::exit(1);
+    }
+    if stats.failed > 0 {
+        eprintln!("FAIL: {} syntheses failed under chaos", stats.failed);
+        std::process::exit(1);
+    }
+    if replica_totals.breaker_trips == 0 {
+        eprintln!("FAIL: the replica kill never tripped a breaker");
+        std::process::exit(1);
+    }
+    if replica_totals.read_repairs == 0 {
+        eprintln!("FAIL: the restarted replicas were never read-repaired");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos passed: {} responses bit-identical, 0 failed syntheses, {} breaker trips, {} read repairs",
+        stats.submitted, replica_totals.breaker_trips, replica_totals.read_repairs
+    );
 }

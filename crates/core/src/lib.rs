@@ -110,6 +110,57 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
+//! ## Fault tolerance & replication
+//!
+//! The store stack treats *its own* failures with the same discipline the
+//! paper applies to circuit faults: every failure mode is typed, counted,
+//! and deterministically injectable. A [`FaultPlan`] is a seeded or scripted
+//! schedule of [`FaultAction`]s — drop the connection, delay, corrupt frame
+//! bytes, refuse with ERR, truncate the response, fail after N operations —
+//! that is a pure function of its seed and the operation index, applied at
+//! three seams: [`StoreServer::bind_faulty`] (wire-level), [`FaultyKv`]
+//! (server storage) and [`FaultyStore`] (client store). For availability,
+//! [`ReplicatedStore`] keeps N copies per key: writes fan out, reads fail
+//! over in replica order, and each replica carries a circuit breaker
+//! (tripped after [`ReplicaConfig::trip_after`] consecutive failures, held
+//! open for a deterministic doubling schedule measured in operations, probed
+//! half-open) driven through the fallible [`CheckedStore`] seam so a dead
+//! replica is distinguishable from a cold one. A hit served by a later
+//! replica is **read-repaired** onto earlier replicas that missed, so a
+//! wiped server rejoining converges from ordinary traffic. Replica groups
+//! compose under [`ShardedStore`]; `servebench --chaos` drives the whole
+//! topology through a seeded fault schedule with a mid-run replica kill +
+//! restart and asserts bit-identical responses
+//! (`examples/chaos_demo.rs` is the runnable version):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dftsp::{
+//!     BreakerState, CheckedStore, FaultAction, FaultPlan, FaultyStore, MemoryReportStore,
+//!     ReplicaConfig, ReplicatedStore, ReportKey, ReportStore,
+//! };
+//! use dftsp_code::catalog;
+//!
+//! // A deterministic flaky replica: every operation fails, from op 0 on.
+//! let flaky = Arc::new(FaultyStore::new(
+//!     Arc::new(MemoryReportStore::new()),
+//!     Arc::new(FaultPlan::fail_after(0, FaultAction::FailOp)),
+//! ));
+//! let healthy = Arc::new(MemoryReportStore::new());
+//! let group = ReplicatedStore::with_config(
+//!     vec![flaky as Arc<dyn CheckedStore>, healthy as Arc<dyn CheckedStore>],
+//!     ReplicaConfig { trip_after: 1, hold_ops: 4, max_hold_ops: 16 },
+//! )?;
+//! let key = ReportKey { code_name: "Steane".into(), fingerprint: 7 };
+//! // The flaky replica fails, the healthy one answers "miss": the load
+//! // degrades to a miss, and the failure — not the miss — trips a breaker.
+//! assert!(group.load(&key, &catalog::steane()).is_none());
+//! assert_eq!(group.counters().breaker_trips, 1);
+//! assert_eq!(group.health()[0].state, BreakerState::Open);
+//! assert_eq!(group.health()[1].state, BreakerState::Closed);
+//! # Ok::<(), dftsp::ReplicaError>(())
+//! ```
+//!
 //! The synthesized [`DeterministicProtocol`] can be executed under arbitrary
 //! circuit-level fault models ([`execute`]), checked exhaustively against the
 //! strict fault-tolerance criterion ([`check_fault_tolerance`]), and
@@ -178,15 +229,18 @@ pub use protocol::{
     NoFaults, SegmentId, SingleFault, VerificationLayer,
 };
 pub use remote::{
-    RemoteCounters, RemoteReportStore, RemoteStoreConfig, ShardedStore, StoreServer,
-    StoreServerStats, WireError,
+    BreakerState, FaultAction, FaultError, FaultPlan, FaultyKv, FaultyStore, RemoteConfigError,
+    RemoteCounters, RemoteReportStore, RemoteStoreConfig, ReplicaConfig, ReplicaCounters,
+    ReplicaError, ReplicaHealth, ReplicatedStore, ShardedStore, StoreServer, StoreServerStats,
+    WireError, MAX_ERR_MESSAGE, MAX_RETRIES,
 };
 pub use service::{
     CancellationToken, Priority, Provenance, ResponseHandle, ServiceBuilder, ServiceError,
     ServiceStats, SynthesisRequest, SynthesisResponse, SynthesisService,
 };
 pub use store::{
-    JsonReportStore, MemoryReportStore, RawReportKv, ReportKey, ReportStore, TieredStore,
+    CheckedStore, JsonReportStore, MemoryReportStore, RawReportKv, ReportKey, ReportStore,
+    StoreFault, TieredStore,
 };
 pub use synthesis::{
     synthesize_protocol, synthesize_protocol_with_prep, FlagPolicy, SynthesisError,

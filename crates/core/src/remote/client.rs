@@ -9,9 +9,45 @@ use std::time::Duration;
 use dftsp_code::CssCode;
 
 use crate::engine::SynthesisReport;
-use crate::store::{ReportKey, ReportStore};
+use crate::store::{CheckedStore, ReportKey, ReportStore, StoreFault};
 
 use super::wire::{read_frame, write_frame, Frame, Opcode, StoreServerStats, WireError};
+
+/// Ceiling on [`RemoteStoreConfig::retries`]: with exponential backoff, more
+/// attempts than this only stretch an outage, never survive it.
+pub const MAX_RETRIES: u32 = 16;
+
+/// A rejected [`RemoteStoreConfig`] (see [`RemoteStoreConfig::validated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteConfigError {
+    /// `connect_timeout` was zero — every connect would fail immediately
+    /// (or be rejected by the OS socket layer).
+    ZeroConnectTimeout,
+    /// `op_timeout` was zero — `set_read_timeout(Some(ZERO))` is an error,
+    /// and a zero logical timeout would fail every operation.
+    ZeroOpTimeout,
+    /// `pool_size` was zero — every operation would open a fresh connection,
+    /// which is never what a zero was meant to configure.
+    ZeroPoolSize,
+}
+
+impl std::fmt::Display for RemoteConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteConfigError::ZeroConnectTimeout => {
+                write!(f, "remote store config: connect_timeout must be non-zero")
+            }
+            RemoteConfigError::ZeroOpTimeout => {
+                write!(f, "remote store config: op_timeout must be non-zero")
+            }
+            RemoteConfigError::ZeroPoolSize => {
+                write!(f, "remote store config: pool_size must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemoteConfigError {}
 
 /// Counter snapshot of a [`RemoteReportStore`] — the client-side view of its
 /// wire traffic and degradations.
@@ -66,6 +102,32 @@ impl Default for RemoteStoreConfig {
     }
 }
 
+impl RemoteStoreConfig {
+    /// Validates the configuration: zero timeouts and a zero pool size are
+    /// rejected with a typed error (instead of hanging, failing every
+    /// operation, or tripping OS socket-option errors downstream), and
+    /// `retries` is clamped to [`MAX_RETRIES`]. Every constructor runs this;
+    /// call it directly to validate configuration from an untrusted source
+    /// before wiring it in.
+    ///
+    /// # Errors
+    ///
+    /// The [`RemoteConfigError`] naming the rejected field.
+    pub fn validated(mut self) -> Result<Self, RemoteConfigError> {
+        if self.connect_timeout.is_zero() {
+            return Err(RemoteConfigError::ZeroConnectTimeout);
+        }
+        if self.op_timeout.is_zero() {
+            return Err(RemoteConfigError::ZeroOpTimeout);
+        }
+        if self.pool_size == 0 {
+            return Err(RemoteConfigError::ZeroPoolSize);
+        }
+        self.retries = self.retries.min(MAX_RETRIES);
+        Ok(self)
+    }
+}
+
 /// A [`ReportStore`] served by a remote [`crate::StoreServer`].
 ///
 /// Connections are pooled and re-established on failure; every operation has
@@ -111,11 +173,17 @@ impl RemoteReportStore {
     ///
     /// # Errors
     ///
-    /// Forwards the I/O error if `addr` does not resolve.
+    /// Forwards the I/O error if `addr` does not resolve, or an
+    /// `InvalidInput` error wrapping the typed [`RemoteConfigError`] (reach
+    /// it via [`std::error::Error::source`]) if the configuration is
+    /// rejected by [`RemoteStoreConfig::validated`].
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         config: RemoteStoreConfig,
     ) -> std::io::Result<Self> {
+        let config = config
+            .validated()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -257,29 +325,71 @@ impl RemoteReportStore {
             self.addr, key.code_name
         );
     }
+
+    /// The fallible load underneath the [`ReportStore`] facade: `Ok(None)`
+    /// is a genuine server-answered miss, `Err` is the final attempt's wire
+    /// failure. A served-but-undecodable payload is `Ok(None)` with a
+    /// [`RemoteCounters::corrupt_payloads`] count — the server *is* healthy,
+    /// the entry is what's broken, and the re-solve will overwrite it.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`WireError`] after the retry budget.
+    pub fn try_load(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, WireError> {
+        let response = self.request_with_retry(&Frame::get(key))?;
+        match response.opcode() {
+            Opcode::NotFound => Ok(None),
+            _ => match response.parse_found(code) {
+                Ok(report) => Ok(Some(report)),
+                Err(err) => {
+                    // The server is up but this entry's payload is
+                    // unusable: count it, serve a miss, let the re-solve
+                    // overwrite the entry. No retry — the payload is
+                    // deterministic, a retry would fetch the same bytes.
+                    self.corrupt_payloads.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: remote report store {} served an undecodable entry for {:?}: {err}",
+                        self.addr, key.code_name
+                    );
+                    Ok(None)
+                }
+            },
+        }
+    }
+
+    /// The fallible save underneath the [`ReportStore`] facade.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`WireError`] after the retry budget.
+    pub fn try_save(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), WireError> {
+        self.request_with_retry(&Frame::put(key, report))?;
+        Ok(())
+    }
+}
+
+impl CheckedStore for RemoteReportStore {
+    fn load_checked(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, StoreFault> {
+        self.try_load(key, code).map_err(StoreFault::Wire)
+    }
+
+    fn save_checked(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), StoreFault> {
+        self.try_save(key, report).map_err(StoreFault::Wire)
+    }
 }
 
 impl ReportStore for RemoteReportStore {
     fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
-        let report = match self.request_with_retry(&Frame::get(key)) {
-            Ok(response) => match response.opcode() {
-                Opcode::NotFound => None,
-                _ => match response.parse_found(code) {
-                    Ok(report) => Some(report),
-                    Err(err) => {
-                        // The server is up but this entry's payload is
-                        // unusable: count it, serve a miss, let the re-solve
-                        // overwrite the entry. No retry — the payload is
-                        // deterministic, a retry would fetch the same bytes.
-                        self.corrupt_payloads.fetch_add(1, Ordering::Relaxed);
-                        eprintln!(
-                            "warning: remote report store {} served an undecodable entry for {:?}: {err}",
-                            self.addr, key.code_name
-                        );
-                        None
-                    }
-                },
-            },
+        let report = match self.try_load(key, code) {
+            Ok(report) => report,
             Err(err) => {
                 self.degrade("load", key, &err);
                 None
@@ -293,8 +403,8 @@ impl ReportStore for RemoteReportStore {
     }
 
     fn save(&self, key: &ReportKey, report: &SynthesisReport) {
-        match self.request_with_retry(&Frame::put(key, report)) {
-            Ok(_) => {}
+        match self.try_save(key, report) {
+            Ok(()) => {}
             Err(err) => self.degrade("save", key, &err),
         }
     }

@@ -1,0 +1,472 @@
+//! Deterministic fault injection for the distributed store stack.
+//!
+//! Every failure mode the wire/client stack claims to tolerate — dropped
+//! connections, delayed operations, corrupted frame bytes, ERR refusals,
+//! truncated responses, a backend dying after N operations — is modeled as a
+//! [`FaultAction`] scheduled by a [`FaultPlan`]. A plan is a *pure function
+//! of its seed (or script) and the operation index*, so a failing test run
+//! reproduces byte-for-byte: same plan, same traffic, same faults, same
+//! counters.
+//!
+//! The plan is applied at three seams:
+//!
+//! * [`crate::StoreServer::bind_faulty`] injects the **wire-level** faults
+//!   (drop, corrupt, truncate, ERR, delay, stall) into the server's response
+//!   path, exercising the client's typed-degradation contract over real
+//!   sockets.
+//! * [`FaultyKv`] wraps any [`RawReportKv`] on the server side and injects
+//!   **storage-level** faults (lost entries, dropped writes, corrupted or
+//!   truncated payload text, delays) underneath an otherwise healthy wire.
+//! * [`FaultyStore`] wraps any [`ReportStore`] on the client side and turns
+//!   scheduled faults into typed [`StoreFault`]s through the fallible
+//!   [`CheckedStore`] trait — the deterministic stand-in for a flaky replica
+//!   that [`crate::ReplicatedStore`]'s health tracking is tested against.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dftsp_code::CssCode;
+
+use crate::engine::SynthesisReport;
+use crate::store::{CheckedStore, RawReportKv, ReportKey, ReportStore, StoreFault};
+
+/// One injectable failure mode. Which effect an action has depends on the
+/// seam applying it (wire, server KV, or client store) — see the module docs;
+/// every seam that cannot express an action degrades it to the closest one it
+/// can (e.g. a `DropConnection` at the KV seam reads as a lost entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep for the given duration, then perform the operation normally.
+    Delay(Duration),
+    /// Close the connection without answering (wire); lose the entry /
+    /// drop the write (KV); fail the operation (store).
+    DropConnection,
+    /// Flip a byte: of the response frame (wire — the client sees a
+    /// checksum mismatch), or of the stored payload text (KV — the client
+    /// sees a corrupt payload).
+    CorruptFrame,
+    /// Answer with an ERR frame (wire); lose the entry / drop the write
+    /// (KV); fail the operation (store).
+    RefuseErr,
+    /// Send only a prefix of the response frame and close (wire), or serve /
+    /// store only a prefix of the payload text (KV).
+    TruncateResponse,
+    /// Swallow the request without answering, stalling the client into its
+    /// read timeout (wire); lose the entry / drop the write (KV); fail the
+    /// operation (store).
+    FailOp,
+}
+
+impl FaultAction {
+    /// Every action, in the deterministic order seeded plans cycle through.
+    pub const ALL: [FaultAction; 6] = [
+        FaultAction::Delay(Duration::from_millis(5)),
+        FaultAction::DropConnection,
+        FaultAction::CorruptFrame,
+        FaultAction::RefuseErr,
+        FaultAction::TruncateResponse,
+        FaultAction::FailOp,
+    ];
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::Delay(d) => write!(f, "delay({d:?})"),
+            FaultAction::DropConnection => write!(f, "drop-connection"),
+            FaultAction::CorruptFrame => write!(f, "corrupt-frame"),
+            FaultAction::RefuseErr => write!(f, "refuse-err"),
+            FaultAction::TruncateResponse => write!(f, "truncate-response"),
+            FaultAction::FailOp => write!(f, "fail-op"),
+        }
+    }
+}
+
+/// A fault injected into one operation: the action plus the operation index
+/// it fired at, so a failure in a log or a [`StoreFault`] chain names the
+/// exact schedule position that reproduces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultError {
+    /// Zero-based index of the operation the plan faulted.
+    pub op: u64,
+    /// The action that was injected.
+    pub action: FaultAction,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault {} at operation {}", self.action, self.op)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// How a [`FaultPlan`] decides which operations fault.
+#[derive(Debug, Clone)]
+enum PlanMode {
+    /// Never faults.
+    Clean,
+    /// Explicit per-operation script; unlisted operations run clean.
+    Script(BTreeMap<u64, FaultAction>),
+    /// Pseudo-random schedule: roughly one in `period` operations faults,
+    /// with the action drawn from `menu` — both pure functions of the seed
+    /// and the operation index.
+    Seeded {
+        seed: u64,
+        period: u64,
+        menu: Vec<FaultAction>,
+    },
+    /// Clean for the first `after` operations, then every operation faults
+    /// with `action` — a backend dying mid-run.
+    FailAfter { after: u64, action: FaultAction },
+}
+
+/// A deterministic, scriptable schedule of [`FaultAction`]s.
+///
+/// The plan owns an atomic operation counter; each seam calls
+/// [`FaultPlan::next`] once per operation and applies the returned action (if
+/// any). Whether operation `n` faults — and how — is a pure function of the
+/// plan's construction and `n` ([`FaultPlan::action_for`]), never of wall
+/// clock or thread timing, which is what makes outage tests reproducible
+/// byte-for-byte.
+#[derive(Debug)]
+pub struct FaultPlan {
+    mode: PlanMode,
+    cursor: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub fn clean() -> Self {
+        FaultPlan::with_mode(PlanMode::Clean)
+    }
+
+    /// An explicit script: operation `op` performs `action`; every operation
+    /// not listed runs clean. Listing the same `op` twice keeps the last
+    /// action.
+    pub fn script(faults: impl IntoIterator<Item = (u64, FaultAction)>) -> Self {
+        FaultPlan::with_mode(PlanMode::Script(faults.into_iter().collect()))
+    }
+
+    /// A seeded pseudo-random schedule faulting roughly one in `period`
+    /// operations (`period` is clamped to at least 1 — a period of 1 faults
+    /// every operation), cycling deterministically through
+    /// [`FaultAction::ALL`].
+    pub fn seeded(seed: u64, period: u64) -> Self {
+        FaultPlan::seeded_with(seed, period, FaultAction::ALL.to_vec())
+    }
+
+    /// Like [`FaultPlan::seeded`] with an explicit action menu; an empty
+    /// menu yields a clean plan.
+    pub fn seeded_with(seed: u64, period: u64, menu: Vec<FaultAction>) -> Self {
+        if menu.is_empty() {
+            return FaultPlan::clean();
+        }
+        FaultPlan::with_mode(PlanMode::Seeded {
+            seed,
+            period: period.max(1),
+            menu,
+        })
+    }
+
+    /// Clean for the first `after` operations, then `action` on every
+    /// operation from index `after` on — a backend that dies mid-run and
+    /// stays dead.
+    pub fn fail_after(after: u64, action: FaultAction) -> Self {
+        FaultPlan::with_mode(PlanMode::FailAfter { after, action })
+    }
+
+    fn with_mode(mode: PlanMode) -> Self {
+        FaultPlan {
+            mode,
+            cursor: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The action (if any) for operation `op` — pure, does not advance the
+    /// plan. `action_for(n)` is exactly what the nth [`FaultPlan::next`]
+    /// call returns.
+    pub fn action_for(&self, op: u64) -> Option<FaultAction> {
+        match &self.mode {
+            PlanMode::Clean => None,
+            PlanMode::Script(faults) => faults.get(&op).copied(),
+            PlanMode::Seeded { seed, period, menu } => {
+                let roll = mix(*seed, op);
+                if roll.is_multiple_of(*period) {
+                    Some(menu[((roll >> 33) % menu.len() as u64) as usize])
+                } else {
+                    None
+                }
+            }
+            PlanMode::FailAfter { after, action } => (op >= *after).then_some(*action),
+        }
+    }
+
+    /// Claims the next operation index and returns its scheduled action, if
+    /// any. Thread-safe; concurrent callers each get a distinct index.
+    pub fn next(&self) -> Option<FaultAction> {
+        let op = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let action = self.action_for(op);
+        if action.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+
+    /// Like [`FaultPlan::next`], also reporting the claimed operation index.
+    pub fn next_indexed(&self) -> (u64, Option<FaultAction>) {
+        let op = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let action = self.action_for(op);
+        if action.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        (op, action)
+    }
+
+    /// Operations the plan has been consulted for so far.
+    pub fn ops(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Operations that drew a fault so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64 over (seed, op) — the deterministic roll behind seeded plans.
+fn mix(seed: u64, op: u64) -> u64 {
+    let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Flips one byte (the last) of `text`'s UTF-8 bytes, keeping the result a
+/// `String` by lossy round-trip — enough to break the JSON codec or the
+/// frame checksum downstream while staying deterministic.
+fn corrupt_text(text: &str) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    if let Some(last) = bytes.last_mut() {
+        *last ^= 0x40;
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Truncates `text` to half its length on a character boundary.
+fn truncate_text(text: &str) -> String {
+    let mut end = text.len() / 2;
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    text[..end].to_string()
+}
+
+/// A [`RawReportKv`] wrapper injecting **storage-level** faults on the
+/// server side of the wire: lost entries, dropped writes, corrupted or
+/// truncated payload text, delays. The wire itself stays healthy — pair with
+/// [`crate::StoreServer::bind_faulty`] to fault both seams.
+///
+/// One plan operation is consumed per `get`/`put`. Actions with no storage
+/// meaning (`DropConnection`, `RefuseErr`, `FailOp`) read as a lost entry on
+/// `get` and a dropped write on `put`.
+#[derive(Debug)]
+pub struct FaultyKv {
+    inner: Arc<dyn RawReportKv>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyKv {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: Arc<dyn RawReportKv>, plan: Arc<FaultPlan>) -> Self {
+        FaultyKv { inner, plan }
+    }
+
+    /// The plan driving this wrapper (for counter assertions).
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl RawReportKv for FaultyKv {
+    fn get_text(&self, key: &ReportKey) -> Option<String> {
+        match self.plan.next() {
+            None => self.inner.get_text(key),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.get_text(key)
+            }
+            Some(FaultAction::CorruptFrame) => {
+                self.inner.get_text(key).map(|text| corrupt_text(&text))
+            }
+            Some(FaultAction::TruncateResponse) => {
+                self.inner.get_text(key).map(|text| truncate_text(&text))
+            }
+            Some(FaultAction::DropConnection | FaultAction::RefuseErr | FaultAction::FailOp) => {
+                None
+            }
+        }
+    }
+
+    fn put_text(&self, key: &ReportKey, text: &str) {
+        match self.plan.next() {
+            None => self.inner.put_text(key, text),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.put_text(key, text);
+            }
+            Some(FaultAction::CorruptFrame) => self.inner.put_text(key, &corrupt_text(text)),
+            Some(FaultAction::TruncateResponse) => self.inner.put_text(key, &truncate_text(text)),
+            Some(FaultAction::DropConnection | FaultAction::RefuseErr | FaultAction::FailOp) => {}
+        }
+    }
+}
+
+/// A [`ReportStore`] wrapper injecting faults on the client side.
+///
+/// Through the infallible [`ReportStore`] facade a faulted load reads as a
+/// miss and a faulted save is dropped — the same degradation contract the
+/// remote client honors. Through the fallible [`CheckedStore`] trait a
+/// faulted operation is a typed [`StoreFault::Injected`] instead, which is
+/// what lets [`crate::ReplicatedStore`]'s health tracking *see* the failure:
+/// a `FaultyStore` over a [`crate::MemoryReportStore`] is a fully
+/// deterministic flaky replica, no sockets involved.
+///
+/// One plan operation is consumed per load/save. [`FaultAction::Delay`]
+/// sleeps and then succeeds; every other action fails the operation.
+#[derive(Debug)]
+pub struct FaultyStore {
+    inner: Arc<dyn ReportStore>,
+    plan: Arc<FaultPlan>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FaultyStore {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: Arc<dyn ReportStore>, plan: Arc<FaultPlan>) -> Self {
+        FaultyStore {
+            inner,
+            plan,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan driving this wrapper (for counter assertions).
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Claims the next plan operation; `Err` when it faults (after serving
+    /// any scheduled delay).
+    fn gate(&self) -> Result<(), StoreFault> {
+        let (op, action) = self.plan.next_indexed();
+        match action {
+            None => Ok(()),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(action) => Err(StoreFault::Injected(FaultError { op, action })),
+        }
+    }
+}
+
+impl CheckedStore for FaultyStore {
+    fn load_checked(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, StoreFault> {
+        self.gate()?;
+        Ok(self.inner.load(key, code))
+    }
+
+    fn save_checked(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), StoreFault> {
+        self.gate()?;
+        self.inner.save(key, report);
+        Ok(())
+    }
+}
+
+impl ReportStore for FaultyStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let report = self.load_checked(key, code).unwrap_or_default();
+        match &report {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        report
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        self.save_checked(key, report).ok();
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_index() {
+        let a = FaultPlan::seeded(0xFA_17, 3);
+        let b = FaultPlan::seeded(0xFA_17, 3);
+        let via_next: Vec<_> = (0..64).map(|_| a.next()).collect();
+        let via_pure: Vec<_> = (0..64).map(|op| b.action_for(op)).collect();
+        assert_eq!(via_next, via_pure);
+        assert_eq!(a.ops(), 64);
+        assert!(a.injected() > 0, "a period-3 plan faults within 64 ops");
+        assert!(a.injected() < 64, "a period-3 plan leaves most ops clean");
+
+        // A different seed draws a different schedule.
+        let c = FaultPlan::seeded(0x5EED, 3);
+        let other: Vec<_> = (0..64).map(|op| c.action_for(op)).collect();
+        assert_ne!(via_pure, other);
+    }
+
+    #[test]
+    fn script_and_fail_after_schedules() {
+        let script = FaultPlan::script([(1, FaultAction::RefuseErr), (3, FaultAction::FailOp)]);
+        assert_eq!(script.next(), None);
+        assert_eq!(script.next(), Some(FaultAction::RefuseErr));
+        assert_eq!(script.next(), None);
+        assert_eq!(script.next(), Some(FaultAction::FailOp));
+        assert_eq!(script.next(), None);
+        assert_eq!(script.injected(), 2);
+
+        let dying = FaultPlan::fail_after(2, FaultAction::DropConnection);
+        assert_eq!(dying.next(), None);
+        assert_eq!(dying.next(), None);
+        for _ in 0..5 {
+            assert_eq!(dying.next(), Some(FaultAction::DropConnection));
+        }
+
+        assert_eq!(FaultPlan::clean().next(), None);
+        assert_eq!(FaultPlan::seeded_with(1, 1, Vec::new()).next(), None);
+    }
+
+    #[test]
+    fn corruption_helpers_are_deterministic_and_boundary_safe() {
+        assert_eq!(corrupt_text("abcd"), corrupt_text("abcd"));
+        assert_ne!(corrupt_text("abcd"), "abcd");
+        // Truncation never splits a multi-byte character.
+        let text = "ééééé";
+        let cut = truncate_text(text);
+        assert!(text.starts_with(&cut));
+        assert!(cut.len() < text.len());
+    }
+}

@@ -16,17 +16,37 @@
 //! * [`ShardedStore`] — routes each [`crate::ReportKey`] to one of N
 //!   backends by fingerprint hash, splitting the keyspace across servers
 //!   with zero coordination.
+//! * [`ReplicatedStore`] — N-way fan-out writes and ordered failover reads
+//!   over [`crate::CheckedStore`] backends, with per-replica circuit
+//!   breakers (trip after K consecutive failures, deterministic doubling
+//!   hold, half-open probes) and read-repair; composes under
+//!   [`ShardedStore`] into shards of replica groups.
+//! * [`fault`] — the deterministic fault-injection layer: a seeded or
+//!   scripted [`FaultPlan`] applied at the wire seam
+//!   ([`StoreServer::bind_faulty`]), the server storage seam ([`FaultyKv`])
+//!   or the client store seam ([`FaultyStore`]), so every tolerated failure
+//!   mode reproduces byte-for-byte in tests.
 //!
-//! See the crate-level "Remote & sharded stores" section for the assembled
-//! topology, and `examples/remote_store_demo.rs` for a runnable walkthrough.
+//! See the crate-level "Remote & sharded stores" and "Fault tolerance &
+//! replication" sections for the assembled topology, and
+//! `examples/remote_store_demo.rs` / `examples/chaos_demo.rs` for runnable
+//! walkthroughs.
 
+pub mod fault;
 pub mod wire;
 
 mod client;
+mod replica;
 mod server;
 mod shard;
 
-pub use client::{RemoteCounters, RemoteReportStore, RemoteStoreConfig};
+pub use client::{
+    RemoteConfigError, RemoteCounters, RemoteReportStore, RemoteStoreConfig, MAX_RETRIES,
+};
+pub use fault::{FaultAction, FaultError, FaultPlan, FaultyKv, FaultyStore};
+pub use replica::{
+    BreakerState, ReplicaConfig, ReplicaCounters, ReplicaError, ReplicaHealth, ReplicatedStore,
+};
 pub use server::StoreServer;
 pub use shard::ShardedStore;
-pub use wire::{StoreServerStats, WireError};
+pub use wire::{StoreServerStats, WireError, MAX_ERR_MESSAGE};

@@ -1,0 +1,449 @@
+//! N-way replication with health-tracked failover and read-repair.
+//!
+//! A [`ReplicatedStore`] holds an ordered list of replica backends. Writes
+//! fan out to every healthy replica; reads try the replicas in order and
+//! serve the first hit, so replica 0 is the preferred (cheapest) copy and
+//! the rest are failover. Each replica carries a **circuit breaker**: after
+//! `trip_after` consecutive failures the breaker opens and the replica is
+//! skipped for a deterministic hold measured in *operations* (not wall
+//! clock — the schedule is reproducible under [`crate::FaultPlan`]-driven
+//! tests), after which a single half-open probe decides between closing the
+//! breaker and re-opening it with a doubled hold, up to `max_hold_ops`.
+//! A hit served by a later replica is **read-repaired** onto every earlier
+//! replica that answered "miss", so a wiped server rejoining its group
+//! converges back to a full copy from ordinary read traffic, no rebalance
+//! job required.
+//!
+//! The store itself implements the infallible [`ReportStore`] facade, so
+//! replica groups compose under [`crate::ShardedStore`] (shards of replica
+//! groups) and slot behind [`crate::TieredStore::with_back`] unchanged.
+//! Its *backends* implement [`CheckedStore`], the fallible seam that lets
+//! the breaker distinguish a dead replica from a cold one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dftsp_code::CssCode;
+
+use crate::engine::SynthesisReport;
+use crate::store::{CheckedStore, ReportKey, ReportStore};
+
+/// Configuration error of a [`ReplicatedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaError {
+    /// The replica list was empty — an unroutable group.
+    NoReplicas,
+    /// `trip_after` was zero, which would open every breaker before its
+    /// first operation.
+    ZeroTripThreshold,
+    /// `hold_ops` was zero, which would make an open breaker meaningless
+    /// (probed again on the very next operation).
+    ZeroHold,
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::NoReplicas => write!(f, "a replica group needs at least one replica"),
+            ReplicaError::ZeroTripThreshold => {
+                write!(f, "trip_after must be at least 1 consecutive failure")
+            }
+            ReplicaError::ZeroHold => write!(f, "hold_ops must be at least 1 operation"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// Breaker tuning of a [`ReplicatedStore`]. The defaults suit serving
+/// traffic where a replica failure costs a connect timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaConfig {
+    /// Consecutive failures that trip a replica's breaker open.
+    pub trip_after: u32,
+    /// How many group operations an open breaker holds before its half-open
+    /// probe (the deterministic analogue of a backoff interval).
+    pub hold_ops: u64,
+    /// Ceiling of the doubling hold schedule: each failed probe doubles the
+    /// hold, capped here.
+    pub max_hold_ops: u64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            trip_after: 3,
+            hold_ops: 8,
+            max_hold_ops: 256,
+        }
+    }
+}
+
+/// Observable state of one replica's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: operations flow.
+    Closed,
+    /// Tripped: operations are skipped until the hold expires.
+    Open,
+    /// The hold expired: the next operation is a probe.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Health snapshot of one replica (see [`ReplicatedStore::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Current breaker state, evaluated against the group's op clock.
+    pub state: BreakerState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Times this replica's breaker tripped open (including re-opens after
+    /// a failed probe).
+    pub trips: u64,
+    /// Half-open probes attempted.
+    pub probes: u64,
+    /// Total failed operations against this replica.
+    pub failures: u64,
+}
+
+/// Counter snapshot of a [`ReplicatedStore`] (see
+/// [`ReplicatedStore::counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaCounters {
+    /// Individual replica operations that failed (load or save).
+    pub replica_failures: u64,
+    /// Breaker trips across all replicas (initial trips + re-opens).
+    pub breaker_trips: u64,
+    /// Half-open probes across all replicas.
+    pub breaker_probes: u64,
+    /// Operations skipped because a replica's breaker was open.
+    pub skipped_open: u64,
+    /// Hits served by a replica other than the first one tried.
+    pub failover_reads: u64,
+    /// Missing copies repaired by writing a hit back to an earlier-tried
+    /// replica that answered "miss".
+    pub read_repairs: u64,
+    /// Read-repair writes that themselves failed.
+    pub repair_failures: u64,
+    /// Replica writes that landed during fan-out saves.
+    pub fanout_writes: u64,
+}
+
+/// Internal breaker bookkeeping of one replica.
+#[derive(Debug)]
+struct Health {
+    consecutive_failures: u32,
+    /// `Some((until, hold))` while open: skip until the group op clock
+    /// reaches `until`, then probe; `hold` is the doubling backoff level.
+    open: Option<(u64, u64)>,
+    trips: u64,
+    probes: u64,
+    failures: u64,
+}
+
+/// One replica: its backend plus breaker state.
+#[derive(Debug)]
+struct Replica {
+    store: Arc<dyn CheckedStore>,
+    health: Mutex<Health>,
+}
+
+/// What the breaker decided for one operation.
+enum Admit {
+    /// Run the operation; `probe` marks a half-open attempt.
+    Attempt { probe: bool },
+    /// Breaker open: skip this replica.
+    Skip,
+}
+
+impl Replica {
+    fn new(store: Arc<dyn CheckedStore>) -> Self {
+        Replica {
+            store,
+            health: Mutex::new(Health {
+                consecutive_failures: 0,
+                open: None,
+                trips: 0,
+                probes: 0,
+                failures: 0,
+            }),
+        }
+    }
+
+    /// Consults the breaker at group op `clock`.
+    fn admit(&self, clock: u64) -> Admit {
+        let mut health = self.health.lock().expect("replica health lock poisoned");
+        match health.open {
+            None => Admit::Attempt { probe: false },
+            Some((until, _)) if clock < until => Admit::Skip,
+            Some(_) => {
+                health.probes += 1;
+                Admit::Attempt { probe: true }
+            }
+        }
+    }
+
+    /// Records a successful operation: resets the failure streak and closes
+    /// the breaker (a passed probe, or a success racing the trip).
+    fn record_success(&self) {
+        let mut health = self.health.lock().expect("replica health lock poisoned");
+        health.consecutive_failures = 0;
+        health.open = None;
+    }
+
+    /// Records a failed operation at group op `clock`; returns `true` when
+    /// this failure tripped (or re-opened) the breaker.
+    fn record_failure(&self, probe: bool, clock: u64, config: &ReplicaConfig) -> bool {
+        let mut health = self.health.lock().expect("replica health lock poisoned");
+        health.failures += 1;
+        health.consecutive_failures = health.consecutive_failures.saturating_add(1);
+        if probe {
+            // A failed probe re-opens with a doubled hold, capped.
+            let hold = health
+                .open
+                .map(|(_, hold)| (hold * 2).min(config.max_hold_ops))
+                .unwrap_or(config.hold_ops);
+            health.open = Some((clock + hold, hold));
+            health.trips += 1;
+            return true;
+        }
+        if health.open.is_none() && health.consecutive_failures >= config.trip_after {
+            health.open = Some((clock + config.hold_ops, config.hold_ops));
+            health.trips += 1;
+            return true;
+        }
+        false
+    }
+
+    fn snapshot(&self, clock: u64) -> ReplicaHealth {
+        let health = self.health.lock().expect("replica health lock poisoned");
+        let state = match health.open {
+            None => BreakerState::Closed,
+            Some((until, _)) if clock < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        };
+        ReplicaHealth {
+            state,
+            consecutive_failures: health.consecutive_failures,
+            trips: health.trips,
+            probes: health.probes,
+            failures: health.failures,
+        }
+    }
+}
+
+/// A [`ReportStore`] replicating across N [`CheckedStore`] backends — see
+/// the module docs for the failover, breaker and read-repair semantics.
+#[derive(Debug)]
+pub struct ReplicatedStore {
+    replicas: Vec<Replica>,
+    config: ReplicaConfig,
+    /// The group's operation clock: one tick per load/save, the time base of
+    /// every breaker hold.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    replica_failures: AtomicU64,
+    breaker_trips: AtomicU64,
+    skipped_open: AtomicU64,
+    failover_reads: AtomicU64,
+    read_repairs: AtomicU64,
+    repair_failures: AtomicU64,
+    fanout_writes: AtomicU64,
+}
+
+impl ReplicatedStore {
+    /// A replica group with default breaker tuning.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NoReplicas`] when `replicas` is empty.
+    pub fn new(replicas: Vec<Arc<dyn CheckedStore>>) -> Result<Self, ReplicaError> {
+        ReplicatedStore::with_config(replicas, ReplicaConfig::default())
+    }
+
+    /// A replica group with explicit [`ReplicaConfig`] tuning.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError`] when the replica list is empty or the breaker
+    /// thresholds are zero.
+    pub fn with_config(
+        replicas: Vec<Arc<dyn CheckedStore>>,
+        config: ReplicaConfig,
+    ) -> Result<Self, ReplicaError> {
+        if replicas.is_empty() {
+            return Err(ReplicaError::NoReplicas);
+        }
+        if config.trip_after == 0 {
+            return Err(ReplicaError::ZeroTripThreshold);
+        }
+        if config.hold_ops == 0 || config.max_hold_ops == 0 {
+            return Err(ReplicaError::ZeroHold);
+        }
+        Ok(ReplicatedStore {
+            replicas: replicas.into_iter().map(Replica::new).collect(),
+            config,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            replica_failures: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            skipped_open: AtomicU64::new(0),
+            failover_reads: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
+            repair_failures: AtomicU64::new(0),
+            fanout_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of replicas in the group.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The breaker configuration.
+    pub fn config(&self) -> ReplicaConfig {
+        self.config
+    }
+
+    /// Snapshot of the group's counters.
+    pub fn counters(&self) -> ReplicaCounters {
+        let clock = self.clock.load(Ordering::Relaxed);
+        ReplicaCounters {
+            replica_failures: self.replica_failures.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_probes: self.replicas.iter().map(|r| r.snapshot(clock).probes).sum(),
+            skipped_open: self.skipped_open.load(Ordering::Relaxed),
+            failover_reads: self.failover_reads.load(Ordering::Relaxed),
+            read_repairs: self.read_repairs.load(Ordering::Relaxed),
+            repair_failures: self.repair_failures.load(Ordering::Relaxed),
+            fanout_writes: self.fanout_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-replica health snapshots, in replica order.
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        let clock = self.clock.load(Ordering::Relaxed);
+        self.replicas
+            .iter()
+            .map(|replica| replica.snapshot(clock))
+            .collect()
+    }
+
+    /// Claims the next group operation tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one replica failure, warning once per breaker trip (not once
+    /// per failed op — a dead replica under load would flood stderr).
+    fn note_failure(
+        &self,
+        index: usize,
+        replica: &Replica,
+        probe: bool,
+        clock: u64,
+        op: &str,
+        err: &dyn std::fmt::Display,
+    ) {
+        self.replica_failures.fetch_add(1, Ordering::Relaxed);
+        if replica.record_failure(probe, clock, &self.config) {
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "warning: replica {index} breaker opened after failed {op} (op clock {clock}): {err}"
+            );
+        }
+    }
+}
+
+impl ReportStore for ReplicatedStore {
+    fn load(&self, key: &ReportKey, code: &CssCode) -> Option<SynthesisReport> {
+        let clock = self.tick();
+        // Replicas tried before the winner that answered "miss" — the
+        // read-repair set. A replica that *failed* is excluded: its copy
+        // state is unknown and its breaker is counting.
+        let mut repair = Vec::new();
+        let mut winner = None;
+        for (index, replica) in self.replicas.iter().enumerate() {
+            let probe = match replica.admit(clock) {
+                Admit::Skip => {
+                    self.skipped_open.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Admit::Attempt { probe } => probe,
+            };
+            match replica.store.load_checked(key, code) {
+                Ok(Some(report)) => {
+                    replica.record_success();
+                    winner = Some((index, report));
+                    break;
+                }
+                Ok(None) => {
+                    replica.record_success();
+                    repair.push(index);
+                }
+                Err(err) => self.note_failure(index, replica, probe, clock, "load", &err),
+            }
+        }
+        let Some((winner, report)) = winner else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if winner > 0 {
+            self.failover_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        for index in repair {
+            match self.replicas[index].store.save_checked(key, &report) {
+                Ok(()) => {
+                    self.replicas[index].record_success();
+                    self.read_repairs.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err) => {
+                    self.repair_failures.fetch_add(1, Ordering::Relaxed);
+                    self.note_failure(index, &self.replicas[index], false, clock, "repair", &err);
+                }
+            }
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
+    fn save(&self, key: &ReportKey, report: &SynthesisReport) {
+        let clock = self.tick();
+        for (index, replica) in self.replicas.iter().enumerate() {
+            let probe = match replica.admit(clock) {
+                Admit::Skip => {
+                    self.skipped_open.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Admit::Attempt { probe } => probe,
+            };
+            match replica.store.save_checked(key, report) {
+                Ok(()) => {
+                    replica.record_success();
+                    self.fanout_writes.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err) => self.note_failure(index, replica, probe, clock, "save", &err),
+            }
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

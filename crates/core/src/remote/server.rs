@@ -7,9 +7,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::io::Write;
+
 use crate::store::RawReportKv;
 
-use super::wire::{read_frame, write_frame, Frame, Opcode, StoreServerStats, WireError};
+use super::fault::{FaultAction, FaultPlan};
+use super::wire::{
+    frame_to_bytes, read_frame, write_frame, Frame, Opcode, StoreServerStats, WireError,
+};
 
 /// How often a blocked connection read wakes up to check the shutdown flag.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
@@ -37,6 +42,9 @@ pub struct StoreServer {
 #[derive(Debug)]
 struct Shared {
     kv: Arc<dyn RawReportKv>,
+    /// Wire-level fault schedule ([`StoreServer::bind_faulty`]); `None` in
+    /// production binds.
+    faults: Option<Arc<FaultPlan>>,
     stop: AtomicBool,
     max_connections: usize,
     live_connections: AtomicU64,
@@ -72,10 +80,42 @@ impl StoreServer {
         kv: Arc<dyn RawReportKv>,
         max_connections: usize,
     ) -> std::io::Result<Self> {
+        StoreServer::bind_inner(addr, kv, max_connections, None)
+    }
+
+    /// Binds like [`StoreServer::bind`] with a [`FaultPlan`] injecting
+    /// **wire-level** faults into the response path — one plan operation per
+    /// request served. This is the deterministic chaos seam: a seeded plan
+    /// reproduces the exact same drops, corruptions, truncations, ERR
+    /// refusals, delays and stalls on every run, so the client stack's
+    /// typed-degradation contract is testable over real sockets.
+    ///
+    /// Storage-level faults are a different seam — wrap the `kv` in a
+    /// [`super::FaultyKv`] for those.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if the listener cannot bind.
+    pub fn bind_faulty(
+        addr: impl ToSocketAddrs,
+        kv: Arc<dyn RawReportKv>,
+        max_connections: usize,
+        plan: Arc<FaultPlan>,
+    ) -> std::io::Result<Self> {
+        StoreServer::bind_inner(addr, kv, max_connections, Some(plan))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        kv: Arc<dyn RawReportKv>,
+        max_connections: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             kv,
+            faults,
             stop: AtomicBool::new(false),
             max_connections: max_connections.max(1),
             live_connections: AtomicU64::new(0),
@@ -218,11 +258,70 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         let response = respond(&frame, shared);
-        if write_frame(&mut writer, &response).is_err() {
-            break;
+        let action = shared.faults.as_ref().and_then(|plan| plan.next());
+        match send_response(&mut writer, &response, action) {
+            SendOutcome::Sent => {}
+            SendOutcome::Close => break,
         }
     }
     writer.shutdown(Shutdown::Both).ok();
+}
+
+/// Whether the connection survives sending (or faulting) one response.
+enum SendOutcome {
+    /// Keep serving this connection.
+    Sent,
+    /// Close the connection (write failure or a connection-level fault).
+    Close,
+}
+
+/// Writes one response, applying a scheduled wire-level [`FaultAction`].
+fn send_response(
+    writer: &mut TcpStream,
+    response: &Frame,
+    action: Option<FaultAction>,
+) -> SendOutcome {
+    let write_clean = |writer: &mut TcpStream, frame: &Frame| match write_frame(writer, frame) {
+        Ok(_) => SendOutcome::Sent,
+        Err(_) => SendOutcome::Close,
+    };
+    match action {
+        None => write_clean(writer, response),
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            write_clean(writer, response)
+        }
+        Some(FaultAction::RefuseErr) => {
+            // The real answer is withheld; the client sees a typed
+            // WireError::Server and clears its pool.
+            write_clean(writer, &Frame::error("injected fault: request refused"))
+        }
+        Some(FaultAction::DropConnection) => SendOutcome::Close,
+        Some(FaultAction::FailOp) => {
+            // Swallow the request: nothing is written, the framing stays
+            // clean, and the client stalls into its read timeout.
+            SendOutcome::Sent
+        }
+        Some(FaultAction::CorruptFrame) => {
+            let Ok(mut bytes) = frame_to_bytes(response) else {
+                return SendOutcome::Close;
+            };
+            // Flipping the final byte corrupts the body (checksum mismatch
+            // at the client) or, for body-less frames, the checksum itself.
+            if let Some(last) = bytes.last_mut() {
+                *last ^= 0x40;
+            }
+            writer.write_all(&bytes).ok();
+            SendOutcome::Close
+        }
+        Some(FaultAction::TruncateResponse) => {
+            let Ok(bytes) = frame_to_bytes(response) else {
+                return SendOutcome::Close;
+            };
+            writer.write_all(&bytes[..bytes.len() / 2]).ok();
+            SendOutcome::Close
+        }
+    }
 }
 
 /// Computes the response frame for one request.

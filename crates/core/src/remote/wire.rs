@@ -43,6 +43,12 @@ pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// 8 checksum.
 const HEADER_LEN: usize = 14;
 
+/// Upper bound on an ERR frame's diagnostic message, enforced on **both**
+/// encode ([`Frame::error`]) and decode ([`Frame::error_message`]): a
+/// malicious or corrupt peer cannot bloat logs or memory with a
+/// multi-megabyte "diagnostic", and this side never emits one either.
+pub const MAX_ERR_MESSAGE: usize = 512;
+
 /// Operation discriminant of a frame. Requests (`Get`/`Put`/`Stats`) flow
 /// client → server; the rest are responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,11 +282,16 @@ impl Frame {
         }
     }
 
-    /// An `error` response carrying a diagnostic message.
+    /// An `error` response carrying a diagnostic message, truncated to
+    /// [`MAX_ERR_MESSAGE`] bytes on a character boundary.
     pub fn error(message: &str) -> Frame {
+        let mut end = message.len().min(MAX_ERR_MESSAGE);
+        while !message.is_char_boundary(end) {
+            end -= 1;
+        }
         Frame {
             opcode: Opcode::Error,
-            body: message.as_bytes().to_vec(),
+            body: message.as_bytes()[..end].to_vec(),
         }
     }
 
@@ -322,9 +333,12 @@ impl Frame {
         StoreServerStats::from_json(&parse_body_json(&self.body)?)
     }
 
-    /// The diagnostic message of an `error` response (lossy on non-UTF-8).
+    /// The diagnostic message of an `error` response — lossy on non-UTF-8
+    /// and capped at [`MAX_ERR_MESSAGE`] bytes, so a misbehaving peer's
+    /// oversized "diagnostic" cannot bloat this side's logs or memory.
     pub fn error_message(&self) -> String {
-        String::from_utf8_lossy(&self.body).into_owned()
+        let cut = self.body.len().min(MAX_ERR_MESSAGE);
+        String::from_utf8_lossy(&self.body[..cut]).into_owned()
     }
 
     fn expect(&self, opcode: Opcode) -> Result<(), WireError> {
@@ -380,12 +394,9 @@ fn key_from_json(json: &Json) -> Result<ReportKey, WireError> {
     })
 }
 
-/// Writes one frame; returns the number of bytes put on the wire.
-///
-/// # Errors
-///
-/// [`WireError::Io`] on stream failures (including write timeouts).
-pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<u64, WireError> {
+/// Encodes one frame into its complete wire bytes (the fault-injection seam
+/// mangles these before writing; [`write_frame`] writes them verbatim).
+pub(crate) fn frame_to_bytes(frame: &Frame) -> Result<Vec<u8>, WireError> {
     let payload_len = (HEADER_LEN - 4) + frame.body.len();
     let payload_len = u32::try_from(payload_len).map_err(|_| WireError::Oversized(u32::MAX))?;
     if payload_len > MAX_FRAME {
@@ -397,6 +408,16 @@ pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<u64, WireEr
     buf.push(frame.opcode.to_byte());
     buf.extend_from_slice(&checksum(&frame.body).to_be_bytes());
     buf.extend_from_slice(&frame.body);
+    Ok(buf)
+}
+
+/// Writes one frame; returns the number of bytes put on the wire.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on stream failures (including write timeouts).
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<u64, WireError> {
+    let buf = frame_to_bytes(frame)?;
     writer.write_all(&buf)?;
     writer.flush()?;
     Ok(buf.len() as u64)
@@ -591,6 +612,30 @@ mod tests {
         assert_eq!(Frame::stats_ok(&stats).parse_stats_ok().unwrap(), stats);
         assert_eq!(Frame::error("boom").error_message(), "boom");
         assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn err_messages_are_capped_and_sanitized_both_ways() {
+        // Encode side: an oversized message is truncated at the cap, on a
+        // character boundary even when the cap lands mid-character.
+        let huge = "é".repeat(MAX_ERR_MESSAGE); // 2 bytes per char
+        let frame = Frame::error(&huge);
+        assert!(frame.body().len() <= MAX_ERR_MESSAGE);
+        assert!(std::str::from_utf8(frame.body()).is_ok());
+        assert!(huge.starts_with(&frame.error_message()));
+
+        // Decode side: a frame smuggling an over-cap body (hand-built, as a
+        // malicious peer would) is still served capped and lossy.
+        let smuggled = Frame {
+            opcode: Opcode::Error,
+            body: vec![0xFF; 4 * MAX_ERR_MESSAGE],
+        };
+        let message = smuggled.error_message();
+        assert!(message.chars().count() <= MAX_ERR_MESSAGE);
+        assert!(message.chars().all(|c| c == char::REPLACEMENT_CHARACTER));
+
+        // A short clean message is untouched.
+        assert_eq!(Frame::error("boom").error_message(), "boom");
     }
 
     #[test]

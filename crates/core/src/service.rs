@@ -318,6 +318,13 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Requests whose (own or shared) solve failed.
     pub failed: u64,
+    /// Lookups the attached report store answered (0 when no store is
+    /// attached). With a replicated store behind the service these include
+    /// failover hits — the availability layer's wins show up here.
+    pub store_hits: u64,
+    /// Lookups the attached report store missed, *including* backend
+    /// outages degraded to misses (0 when no store is attached).
+    pub store_misses: u64,
 }
 
 impl ServiceStats {
@@ -338,13 +345,15 @@ impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submitted={} solved={} coalesced={} cached={} cancelled={} failed={} (dedup {:.1}%)",
+            "submitted={} solved={} coalesced={} cached={} cancelled={} failed={} store={}h/{}m (dedup {:.1}%)",
             self.submitted,
             self.solved,
             self.coalesced,
             self.cached,
             self.cancelled,
             self.failed,
+            self.store_hits,
+            self.store_misses,
             100.0 * self.dedup_rate(),
         )
     }
@@ -596,6 +605,11 @@ impl SynthesisService {
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> ServiceStats {
+        let (store_hits, store_misses) = self
+            .inner
+            .engine
+            .report_store()
+            .map_or((0, 0), |store| (store.hits(), store.misses()));
         ServiceStats {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             solved: self.inner.solved.load(Ordering::Relaxed),
@@ -603,6 +617,8 @@ impl SynthesisService {
             cached: self.inner.cached.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
+            store_hits,
+            store_misses,
         }
     }
 

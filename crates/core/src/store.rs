@@ -141,6 +141,70 @@ pub trait RawReportKv: Send + Sync + std::fmt::Debug {
     fn put_text(&self, key: &ReportKey, text: &str);
 }
 
+/// Why a fallible store operation failed — the typed evidence behind a
+/// degraded miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The backing wire transport failed (remote stores).
+    Wire(crate::remote::WireError),
+    /// A [`crate::FaultPlan`] scheduled this operation to fail (test
+    /// injection via [`crate::FaultyStore`]).
+    Injected(crate::remote::FaultError),
+}
+
+impl std::fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreFault::Wire(e) => write!(f, "store transport failed: {e}"),
+            StoreFault::Injected(e) => write!(f, "store fault injected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreFault::Wire(e) => Some(e),
+            StoreFault::Injected(e) => Some(e),
+        }
+    }
+}
+
+/// The fallible face of a report store.
+///
+/// [`ReportStore`] is deliberately infallible — a broken backend reads as a
+/// miss so an outage never fails a synthesis — but that very contract makes
+/// a dead replica indistinguishable from a cold one. `CheckedStore` is the
+/// seam that preserves the distinction: `Ok(None)` is a genuine miss (the
+/// backend answered and has nothing), `Err` is a *failure* (the backend is
+/// unreachable or misbehaving). [`crate::ReplicatedStore`] consumes this
+/// trait so its per-replica circuit breakers trip on failures, not on
+/// misses.
+///
+/// Purely local stores ([`MemoryReportStore`], [`JsonReportStore`]) never
+/// fail: their impls always return `Ok`. [`crate::RemoteReportStore`]
+/// surfaces its wire errors; [`crate::FaultyStore`] surfaces injected ones.
+pub trait CheckedStore: Send + Sync + std::fmt::Debug {
+    /// Like [`ReportStore::load`], with failures distinguished from misses.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the backend failed to answer (as opposed to
+    /// answering "nothing stored").
+    fn load_checked(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, StoreFault>;
+
+    /// Like [`ReportStore::save`], with failures surfaced.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreFault`] when the write did not land.
+    fn save_checked(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), StoreFault>;
+}
+
 /// Thread-safe in-memory [`ReportStore`].
 ///
 /// # Examples
@@ -179,6 +243,21 @@ impl MemoryReportStore {
     /// Returns `true` if nothing is stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl CheckedStore for MemoryReportStore {
+    fn load_checked(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, StoreFault> {
+        Ok(self.load(key, code))
+    }
+
+    fn save_checked(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), StoreFault> {
+        self.save(key, report);
+        Ok(())
     }
 }
 
@@ -290,6 +369,25 @@ impl JsonReportStore {
     fn decode(text: &str, code: &CssCode) -> Result<SynthesisReport, String> {
         let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
         report_from_json(&json, code)
+    }
+}
+
+impl CheckedStore for JsonReportStore {
+    // A local directory never "fails" in the replica sense: an unreadable or
+    // corrupt entry is already absorbed as a (counted) miss by `load`, and a
+    // failed write already warns and drops. Disk-level health is not a
+    // breaker concern.
+    fn load_checked(
+        &self,
+        key: &ReportKey,
+        code: &CssCode,
+    ) -> Result<Option<SynthesisReport>, StoreFault> {
+        Ok(self.load(key, code))
+    }
+
+    fn save_checked(&self, key: &ReportKey, report: &SynthesisReport) -> Result<(), StoreFault> {
+        self.save(key, report);
+        Ok(())
     }
 }
 

@@ -1,0 +1,151 @@
+//! Fault injection and replication, end to end: a replica group of two
+//! store servers — one behind a scripted wire-fault plan, one killed and
+//! restarted empty mid-demo — serving a synthesis workload that never fails.
+//!
+//! Run with `cargo run --release --example chaos_demo`.
+//!
+//! The demo walks the full failure lifecycle of a [`ReplicatedStore`]:
+//!
+//! 1. two [`StoreServer`]s as replicas, replica 0 bound with a seeded
+//!    [`FaultPlan`] injecting wire faults on a fixed schedule,
+//! 2. a fan-out save and failover reads while the faults fire — replica 0's
+//!    breaker trips, replica 1 keeps serving, no request ever fails,
+//! 3. replica 0 killed outright, then restarted at the same address with an
+//!    EMPTY store — the half-open probe closes the breaker and read-repair
+//!    reconverges the lost copy through the wire,
+//! 4. a [`SynthesisService`] on top of the group, bit-identical to a
+//!    no-store run throughout.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dftsp::{
+    BreakerState, CheckedStore, FaultPlan, JsonReportStore, Provenance, RemoteReportStore,
+    RemoteStoreConfig, ReplicaConfig, ReplicatedStore, ReportStore, StoreServer, SynthesisRequest,
+    SynthesisService,
+};
+use dftsp_code::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join(format!("dftsp-chaos-demo-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    // Replica 0's wire misbehaves on a deterministic schedule: roughly one
+    // in five responses is dropped, corrupted, truncated, refused or
+    // swallowed — the same ops every run, because the plan is seeded.
+    let plan = Arc::new(FaultPlan::seeded(0xBAD_5EED, 5));
+    let mut server0 = StoreServer::bind_faulty(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(base.join("replica0-gen0"))?),
+        16,
+        Arc::clone(&plan),
+    )?;
+    let addr0 = server0.local_addr();
+    let server1 = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(base.join("replica1"))?),
+    )?;
+    println!("replica 0 (faulty wire) on {addr0}");
+    println!("replica 1 (healthy)     on {}", server1.local_addr());
+
+    // Tight timeouts keep the injected failures cheap; the breaker then
+    // removes even that cost while a replica stays bad.
+    let client_config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(200),
+        op_timeout: Duration::from_millis(300),
+        retries: 0,
+        backoff: Duration::from_millis(2),
+        ..RemoteStoreConfig::default()
+    };
+    let group = Arc::new(ReplicatedStore::with_config(
+        vec![
+            Arc::new(RemoteReportStore::connect_with(addr0, client_config)?)
+                as Arc<dyn CheckedStore>,
+            Arc::new(RemoteReportStore::connect_with(
+                server1.local_addr(),
+                client_config,
+            )?) as Arc<dyn CheckedStore>,
+        ],
+        ReplicaConfig {
+            trip_after: 2,
+            hold_ops: 4,
+            max_hold_ops: 64,
+        },
+    )?);
+
+    // A service over the replica group: every solve fans out to both
+    // replicas, every lookup fails over past whatever is broken.
+    let service = SynthesisService::builder()
+        .report_store(group.clone() as Arc<dyn ReportStore>)
+        .concurrency(2)
+        .build();
+    let codes = [catalog::steane(), catalog::shor(), catalog::surface3()];
+    for code in &codes {
+        let response = service.submit(SynthesisRequest::new(code.clone()))?;
+        println!(
+            "solve  {:24} {:?} in {:?}",
+            response.report.code_name, response.provenance, response.solve_time
+        );
+    }
+
+    // Revisit the catalog while replica 0's wire keeps faulting: hits fail
+    // over, nothing surfaces to the caller.
+    for code in &codes {
+        let response = service.submit(SynthesisRequest::new(code.clone()))?;
+        assert_ne!(response.provenance, Provenance::Solved, "served from store");
+    }
+    println!(
+        "after faulty revisits: {} wire faults injected, health {:?}",
+        plan.injected(),
+        group
+            .health()
+            .iter()
+            .map(|h| h.state)
+            .collect::<Vec<BreakerState>>()
+    );
+
+    // Kill replica 0 outright, then restart it at the SAME address with an
+    // EMPTY directory and a clean wire — a wiped machine rejoining.
+    server0.shutdown();
+    println!("replica 0 killed");
+    for code in &codes {
+        service.submit(SynthesisRequest::new(code.clone()))?;
+    }
+    let server0b = StoreServer::bind(
+        addr0,
+        Arc::new(JsonReportStore::new(base.join("replica0-gen1"))?),
+    )?;
+    println!("replica 0 restarted empty at {addr0}");
+
+    // Drive until the hold expires: the half-open probe closes the breaker
+    // and read-repair rebuilds the lost copies over the wire.
+    for _ in 0..4 {
+        for code in &codes {
+            service.submit(SynthesisRequest::new(code.clone()))?;
+        }
+    }
+    let counters = group.counters();
+    println!(
+        "breaker trips {}  probes {}  failover reads {}  read repairs {}",
+        counters.breaker_trips,
+        counters.breaker_probes,
+        counters.failover_reads,
+        counters.read_repairs
+    );
+    assert!(counters.breaker_trips >= 1, "the kill tripped the breaker");
+    assert!(counters.read_repairs >= 1, "the restart was reconverged");
+    assert_eq!(
+        group.health()[0].state,
+        BreakerState::Closed,
+        "replica 0 is back in rotation"
+    );
+    assert_eq!(service.stats().failed, 0, "no request ever failed");
+    println!(
+        "replica 0 holds {} repaired entries; {}",
+        server0b.stats().puts,
+        service.stats()
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+    Ok(())
+}

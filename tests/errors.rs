@@ -17,6 +17,10 @@ fn every_public_error_type_is_a_uniform_std_error() {
     assert_uniform_error::<dftsp::SynthesisError>();
     assert_uniform_error::<dftsp::ServiceError>();
     assert_uniform_error::<dftsp::WireError>();
+    assert_uniform_error::<dftsp::FaultError>();
+    assert_uniform_error::<dftsp::ReplicaError>();
+    assert_uniform_error::<dftsp::StoreFault>();
+    assert_uniform_error::<dftsp::RemoteConfigError>();
     assert_uniform_error::<dftsp::verify::VerificationError>();
     assert_uniform_error::<dftsp::correct::CorrectionError>();
     // dftsp-sat.
@@ -56,4 +60,12 @@ fn error_sources_chain_to_the_underlying_failure() {
     let service = dftsp::ServiceError::from(synthesis);
     let chained = service.source().expect("service errors chain the source");
     assert!(chained.source().is_some(), "the chain reaches two levels");
+
+    // A store fault chains to the injected fault that caused it.
+    let fault = dftsp::StoreFault::Injected(dftsp::FaultError {
+        op: 7,
+        action: dftsp::FaultAction::DropConnection,
+    });
+    let inner = fault.source().expect("store faults carry a source");
+    assert!(inner.to_string().contains("operation 7"), "{inner}");
 }

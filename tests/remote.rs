@@ -8,9 +8,11 @@ use std::time::Duration;
 
 use dftsp::remote::wire::{read_frame, report_from_text, report_to_text, write_frame, Frame};
 use dftsp::{
-    JsonReportStore, MemoryReportStore, Provenance, RemoteReportStore, RemoteStoreConfig,
-    ReportKey, ReportStore, ShardedStore, StoreServer, SynthesisEngine, SynthesisReport,
-    SynthesisRequest, SynthesisService, TieredStore, WireError,
+    BreakerState, CheckedStore, FaultAction, FaultPlan, FaultyStore, JsonReportStore,
+    MemoryReportStore, Provenance, RemoteConfigError, RemoteReportStore, RemoteStoreConfig,
+    ReplicaConfig, ReplicatedStore, ReportKey, ReportStore, ShardedStore, StoreServer,
+    SynthesisEngine, SynthesisReport, SynthesisRequest, SynthesisService, TieredStore, WireError,
+    MAX_RETRIES,
 };
 use dftsp_code::catalog;
 use proptest::prelude::*;
@@ -308,4 +310,342 @@ proptest! {
             prop_assert_eq!(err, WireError::Truncated);
         }
     }
+}
+
+#[test]
+fn remote_config_is_validated_at_construction() {
+    // Each zero field is rejected with the error naming it.
+    let zero_connect = RemoteStoreConfig {
+        connect_timeout: Duration::ZERO,
+        ..RemoteStoreConfig::default()
+    };
+    assert_eq!(
+        zero_connect.validated().unwrap_err(),
+        RemoteConfigError::ZeroConnectTimeout
+    );
+    let zero_op = RemoteStoreConfig {
+        op_timeout: Duration::ZERO,
+        ..RemoteStoreConfig::default()
+    };
+    assert_eq!(
+        zero_op.validated().unwrap_err(),
+        RemoteConfigError::ZeroOpTimeout
+    );
+    let zero_pool = RemoteStoreConfig {
+        pool_size: 0,
+        ..RemoteStoreConfig::default()
+    };
+    assert_eq!(
+        zero_pool.validated().unwrap_err(),
+        RemoteConfigError::ZeroPoolSize
+    );
+
+    // Absurd retry counts are clamped, not rejected.
+    let clamped = RemoteStoreConfig {
+        retries: u32::MAX,
+        ..RemoteStoreConfig::default()
+    }
+    .validated()
+    .unwrap();
+    assert_eq!(clamped.retries, MAX_RETRIES);
+
+    // connect_with surfaces the rejection as InvalidInput with the typed
+    // error as its source — no socket is ever opened.
+    let err = RemoteReportStore::connect_with(
+        "127.0.0.1:1",
+        RemoteStoreConfig {
+            pool_size: 0,
+            ..RemoteStoreConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let inner = err.get_ref().expect("typed inner error");
+    assert_eq!(
+        inner.downcast_ref::<RemoteConfigError>(),
+        Some(&RemoteConfigError::ZeroPoolSize)
+    );
+}
+
+#[test]
+fn scripted_wire_faults_degrade_to_counted_misses_then_recover() {
+    let scratch = Scratch::new("wire-faults");
+    let kv = Arc::new(JsonReportStore::new(&scratch.0).unwrap());
+    // Server plan, one op per response: op 0 (the save) is clean, ops 1-5
+    // each exercise one wire-level failure mode, everything after is clean.
+    let plan = Arc::new(FaultPlan::script([
+        (1, FaultAction::RefuseErr),
+        (2, FaultAction::CorruptFrame),
+        (3, FaultAction::TruncateResponse),
+        (4, FaultAction::DropConnection),
+        (5, FaultAction::FailOp),
+    ]));
+    let server = StoreServer::bind_faulty("127.0.0.1:0", kv, 16, Arc::clone(&plan)).unwrap();
+    // No retries: one logical op is exactly one server response, so the
+    // script indices line up with the calls below.
+    let config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_timeout: Duration::from_millis(500),
+        retries: 0,
+        backoff: Duration::from_millis(2),
+        ..RemoteStoreConfig::default()
+    };
+    let remote = RemoteReportStore::connect_with(server.local_addr(), config).unwrap();
+
+    let code = catalog::steane();
+    let report = steane_report();
+    let key = test_key(0xFA);
+
+    // Op 0, clean: the entry lands on the server.
+    remote.save(&key, report);
+    assert_eq!(remote.degraded(), 0);
+
+    // Ops 1-5: every injected wire fault degrades the load to a counted
+    // miss — never a panic, never corrupted bytes served as a report.
+    for expected_degraded in 1..=5u64 {
+        assert!(
+            remote.load(&key, &code).is_none(),
+            "fault {expected_degraded} degrades to a miss"
+        );
+        assert_eq!(remote.degraded(), expected_degraded);
+    }
+    assert_eq!(plan.injected(), 5);
+
+    // Op 6, clean again: the same connection pool recovers and the stored
+    // entry comes back bit-identical.
+    let restored = remote.load(&key, &code).expect("server recovered");
+    assert_eq!(rendering(&restored), rendering(report));
+    assert_eq!(remote.counters().corrupt_payloads, 0);
+}
+
+#[test]
+fn replica_group_trips_breaker_fails_over_and_read_repairs() {
+    // Replica 0 is a memory store behind a scripted fault plan: its first
+    // two operations fail (the save fan-out and the first load), everything
+    // after is clean. Replica 1 is healthy throughout.
+    let mem0 = Arc::new(MemoryReportStore::new());
+    let mem1 = Arc::new(MemoryReportStore::new());
+    let plan = Arc::new(FaultPlan::script([
+        (0, FaultAction::RefuseErr),
+        (1, FaultAction::DropConnection),
+    ]));
+    let faulty0 = Arc::new(FaultyStore::new(
+        mem0.clone() as Arc<dyn ReportStore>,
+        Arc::clone(&plan),
+    ));
+    let group = ReplicatedStore::with_config(
+        vec![
+            faulty0 as Arc<dyn CheckedStore>,
+            mem1.clone() as Arc<dyn CheckedStore>,
+        ],
+        ReplicaConfig {
+            trip_after: 2,
+            hold_ops: 4,
+            max_hold_ops: 16,
+        },
+    )
+    .unwrap();
+
+    let code = catalog::steane();
+    let report = steane_report();
+    let key = test_key(0xBEEF);
+
+    // Clock 0: fan-out save. Replica 0 faults (streak 1), replica 1 lands.
+    group.save(&key, report);
+    assert_eq!(mem1.len(), 1);
+    assert_eq!(mem0.len(), 0);
+
+    // Clock 1: load. Replica 0 faults again — streak 2 trips the breaker
+    // (open until clock 5) — and the hit fails over to replica 1.
+    let restored = group.load(&key, &code).expect("failover hit");
+    assert_eq!(rendering(&restored), rendering(report));
+    assert_eq!(group.health()[0].state, BreakerState::Open);
+    assert_eq!(group.counters().breaker_trips, 1);
+
+    // Clocks 2-4: the open breaker skips replica 0 entirely.
+    for _ in 0..3 {
+        assert!(group.load(&key, &code).is_some());
+    }
+    assert_eq!(group.counters().skipped_open, 3);
+
+    // Clock 5: the hold expires — a half-open probe runs against replica 0,
+    // now clean but EMPTY. The probe miss closes the breaker, the hit still
+    // comes from replica 1, and read-repair writes the entry back to
+    // replica 0.
+    let repaired = group.load(&key, &code).expect("probe round still hits");
+    assert_eq!(rendering(&repaired), rendering(report));
+    assert_eq!(mem0.len(), 1, "read-repair reconverged replica 0");
+
+    // Clock 6: replica 0 now serves the hit first — no failover.
+    assert!(group.load(&key, &code).is_some());
+
+    let counters = group.counters();
+    assert_eq!(counters.replica_failures, 2);
+    assert_eq!(counters.breaker_trips, 1);
+    assert_eq!(counters.breaker_probes, 1);
+    assert_eq!(counters.skipped_open, 3);
+    assert_eq!(counters.failover_reads, 5);
+    assert_eq!(counters.read_repairs, 1);
+    assert_eq!(counters.repair_failures, 0);
+    assert_eq!(counters.fanout_writes, 1);
+    assert_eq!(group.hits(), 6);
+    assert_eq!(group.misses(), 0);
+    let health = group.health();
+    assert_eq!(health[0].state, BreakerState::Closed);
+    assert_eq!(health[1].state, BreakerState::Closed);
+    assert_eq!(health[0].trips, 1);
+    assert_eq!(health[0].failures, 2);
+    assert_eq!(plan.injected(), 2);
+}
+
+#[test]
+fn sharded_store_with_one_shard_down_degrades_and_stays_bit_identical() {
+    let scratch = Scratch::new("shard-down");
+    let server_a = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&scratch.0).unwrap()),
+    )
+    .unwrap();
+    let doomed_dir = Scratch::new("shard-down-doomed");
+    let mut server_b = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&doomed_dir.0).unwrap()),
+    )
+    .unwrap();
+    let config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_timeout: Duration::from_millis(500),
+        retries: 0,
+        backoff: Duration::from_millis(2),
+        ..RemoteStoreConfig::default()
+    };
+    let remote_a =
+        Arc::new(RemoteReportStore::connect_with(server_a.local_addr(), config).unwrap());
+    let remote_b =
+        Arc::new(RemoteReportStore::connect_with(server_b.local_addr(), config).unwrap());
+    let sharded = Arc::new(ShardedStore::new(vec![
+        remote_a.clone() as Arc<dyn ReportStore>,
+        remote_b.clone() as Arc<dyn ReportStore>,
+    ]));
+
+    // Shard 1 (odd fingerprints) goes down before any traffic.
+    server_b.shutdown();
+
+    let code = catalog::steane();
+    let report = steane_report();
+
+    // Saves to the dead shard are swallowed and counted; saves to the
+    // healthy shard land on its server.
+    sharded.save(&test_key(5), report); // odd → dead shard 1
+    sharded.save(&test_key(2), report); // even → healthy shard 0
+    assert_eq!(server_a.stats().puts, 1);
+    assert!(remote_b.degraded() >= 1, "dead-shard save is counted");
+
+    // Loads routed to the dead shard degrade to counted misses; the healthy
+    // shard still round-trips bit-identically.
+    assert!(sharded.load(&test_key(5), &code).is_none());
+    let restored = sharded.load(&test_key(2), &code).expect("healthy shard");
+    assert_eq!(rendering(&restored), rendering(report));
+    assert_eq!(sharded.misses(), 1);
+    assert_eq!(sharded.hits(), 1);
+
+    // And the serving layer on top never fails a request: a synthesis whose
+    // store traffic routes to the dead shard re-solves, bit-identical to a
+    // no-store reference.
+    let service = SynthesisService::builder()
+        .report_store(sharded as Arc<dyn ReportStore>)
+        .concurrency(1)
+        .build();
+    let response = service
+        .submit(SynthesisRequest::new(catalog::surface3()))
+        .unwrap();
+    assert_eq!(response.provenance, Provenance::Solved);
+    let reference = SynthesisEngine::builder()
+        .build()
+        .synthesize(&catalog::surface3())
+        .unwrap();
+    assert_eq!(
+        format!("{:?}", response.report.protocol),
+        format!("{:?}", reference.protocol)
+    );
+}
+
+#[test]
+fn killed_replica_restarts_empty_and_reconverges_via_read_repair() {
+    let gen0 = Scratch::new("restart-gen0");
+    let gen1 = Scratch::new("restart-gen1");
+    let peer_dir = Scratch::new("restart-peer");
+    let mut server0 = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&gen0.0).unwrap()),
+    )
+    .unwrap();
+    let addr0 = server0.local_addr();
+    let server1 = StoreServer::bind(
+        "127.0.0.1:0",
+        Arc::new(JsonReportStore::new(&peer_dir.0).unwrap()),
+    )
+    .unwrap();
+    let config = RemoteStoreConfig {
+        connect_timeout: Duration::from_millis(250),
+        op_timeout: Duration::from_millis(500),
+        retries: 0,
+        backoff: Duration::from_millis(2),
+        ..RemoteStoreConfig::default()
+    };
+    let remote0 = Arc::new(RemoteReportStore::connect_with(addr0, config).unwrap());
+    let remote1 = Arc::new(RemoteReportStore::connect_with(server1.local_addr(), config).unwrap());
+    let group = ReplicatedStore::with_config(
+        vec![
+            remote0 as Arc<dyn CheckedStore>,
+            remote1 as Arc<dyn CheckedStore>,
+        ],
+        ReplicaConfig {
+            trip_after: 1,
+            hold_ops: 2,
+            max_hold_ops: 8,
+        },
+    )
+    .unwrap();
+
+    let code = catalog::steane();
+    let report = steane_report();
+    let key = test_key(0xD0D0);
+
+    // Clock 0: the entry fans out to both replicas over real sockets.
+    group.save(&key, report);
+    assert_eq!(group.counters().fanout_writes, 2);
+    assert_eq!(server1.stats().puts, 1);
+
+    // Kill replica 0's server. Clock 1: the connection refusal trips its
+    // breaker on the first failure; the hit fails over to replica 1.
+    server0.shutdown();
+    assert!(group.load(&key, &code).is_some());
+    assert_eq!(group.health()[0].state, BreakerState::Open);
+    assert_eq!(group.counters().breaker_trips, 1);
+
+    // Clock 2: still inside the hold — replica 0 is skipped, not dialed.
+    assert!(group.load(&key, &code).is_some());
+    assert_eq!(group.counters().skipped_open, 1);
+
+    // Restart replica 0 at the SAME address with a fresh, EMPTY directory —
+    // a wiped server rejoining the group.
+    let server0b = StoreServer::bind(addr0, Arc::new(JsonReportStore::new(&gen1.0).unwrap()))
+        .unwrap_or_else(|e| panic!("rebind at {addr0}: {e}"));
+
+    // Clock 3: the hold expires — the half-open probe reaches the restarted
+    // server, answers "miss", closes the breaker, and read-repair writes the
+    // entry back through the wire.
+    assert!(group.load(&key, &code).is_some());
+    let counters = group.counters();
+    assert_eq!(counters.breaker_probes, 1);
+    assert_eq!(counters.read_repairs, 1);
+    assert_eq!(group.health()[0].state, BreakerState::Closed);
+    assert_eq!(server0b.stats().puts, 1, "the repair landed on the wire");
+
+    // Clock 4: replica 0 serves the repaired entry first, bit-identically.
+    let restored = group.load(&key, &code).expect("repaired replica serves");
+    assert_eq!(rendering(&restored), rendering(report));
+    assert_eq!(server0b.stats().hits, 1);
+    assert_eq!(group.misses(), 0);
 }
