@@ -54,6 +54,7 @@ fn bench_verification(c: &mut Criterion) {
 fn bench_correction(c: &mut Criterion) {
     let ctx = ZeroStateContext::new(catalog::steane());
     let problem = CorrectionProblem {
+        target_weights: Vec::new(),
         errors: vec![
             BitVec::from_indices(7, &[0, 1]),
             BitVec::from_indices(7, &[2, 3]),

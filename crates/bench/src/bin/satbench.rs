@@ -1,4 +1,4 @@
-//! Solver microbenchmark: tuned vs reference hot path on the d = 3 catalog.
+//! Solver microbenchmark: tuned vs reference hot path on the evaluation catalog.
 //!
 //! ```text
 //! cargo run --release -p dftsp-bench --bin satbench [-- --quick] [--iters N] [--out PATH] [--check MIN_SPEEDUP]
@@ -6,7 +6,8 @@
 //!
 //! Runs the SAT-driven pipeline (verification + correction synthesis around
 //! one shared preparation circuit, via `synthesize_with_prep`) of every
-//! distance-3 catalog code (the Table I workload) twice — once on the
+//! evaluation-catalog code (the Table I workload plus the extended
+//! workloads) twice — once on the
 //! default CDCL backend with the tuned hot path (VSIDS decision heap, LBD
 //! clause-database reduction, recursive clause minimization) and once on
 //! `BackendChoice::CdclReference` with those decision/learning heuristics
@@ -30,7 +31,7 @@
 //! single backend, so the race can never silently regress below the floor
 //! it is supposed to track.
 //!
-//! * `--quick` restricts to the three smallest codes and the small
+//! * `--quick` restricts to the smallest codes and the small
 //!   microbench instance (CI budget: seconds).
 //! * `--iters N` takes the best of N runs per configuration (default 3).
 //! * `--check MIN_SPEEDUP` exits non-zero when the overall

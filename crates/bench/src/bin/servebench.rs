@@ -27,7 +27,7 @@
 //! correctness": evictions cause zero wrong answers). Any mismatch aborts
 //! with a non-zero exit.
 //!
-//! * `--quick` restricts to the three smallest codes (CI budget: seconds).
+//! * `--quick` restricts to the smallest codes (CI budget: seconds).
 //! * `--check MIN_RATE` exits non-zero when the dedup rate falls below the
 //!   floor, so CI fails loudly if the request layer stops deduplicating. In
 //!   `--distributed` mode the floor applies to the *cross-process* dedup

@@ -18,6 +18,13 @@
 //! so the synthesis pipeline is exercised in the same way. The matrices were
 //! generated once with `cargo run -p dftsp-code --bin search_codes` and are
 //! frozen below; a test asserts their parameters.
+//!
+//! Beyond Table I, [`workloads`] lists the workload extensions served by the
+//! generalized order-t fault-tolerance criterion: two distance-5 codes
+//! (`QR-17`, the `[[17,1,5]]` quadratic-residue code, and `Surface-5`, the
+//! rotated `[[25,1,5]]` surface code) and the cat-state preparation targets
+//! (`Cat-4`, `Cat-8`, built by [`cat_state`]). [`extended`] concatenates
+//! both lists and backs the case-insensitive [`by_name`] lookup.
 
 use dftsp_f2::{BitMatrix, BitVec};
 
@@ -216,6 +223,101 @@ pub fn code_16_2_4() -> CssCode {
     CssCode::new("[[16,2,4]]", h.clone(), h).expect("searched [[16,2,4]] code is valid")
 }
 
+/// Returns the `[[17,1,5]]` quadratic-residue CSS code.
+///
+/// The binary quadratic-residue code of length 17 is a `[17,9,5]` cyclic
+/// code; pairing the even-weight subcodes of the residue code and of its
+/// non-residue twin gives a CSS code with the same parameters as the
+/// distance-5 4.8.8 color code. The generator polynomials are
+/// `(x+1)·f(x)` for the two irreducible degree-8 factors of `x¹⁷+1` over
+/// F₂; each check matrix holds the 8 cyclic shifts of its generator. All
+/// parameters — commutation, ranks, `k = 1`, `d = 5` — are re-verified
+/// exactly by [`CssCode::new`] at construction time.
+pub fn qr17() -> CssCode {
+    let n = 17;
+    // The two irreducible degree-8 factors of x^17 + 1 over F2 (the third
+    // factor is x + 1), as little-endian coefficient masks.
+    let f1: u32 = 0b1_0011_1001; // x^8 + x^5 + x^4 + x^3 + 1
+    let f2: u32 = 0b1_1101_0111; // x^8 + x^7 + x^6 + x^4 + x^2 + x + 1
+    let even_subcode_generator = |f: u32| f ^ (f << 1); // multiply by (x + 1)
+    let cyclic_rows = |g: u32| -> BitMatrix {
+        BitMatrix::from_rows((0..8).map(|shift| {
+            let row = g << shift;
+            BitVec::from_bools(&(0..n).map(|bit| (row >> bit) & 1 == 1).collect::<Vec<_>>())
+        }))
+    };
+    let hx = cyclic_rows(even_subcode_generator(f1));
+    let hz = cyclic_rows(even_subcode_generator(f2));
+    CssCode::new("QR-17", hx, hz).expect("quadratic-residue [[17,1,5]] code is valid")
+}
+
+/// Returns the rotated distance-5 surface code `[[25,1,5]]`.
+///
+/// Qubits are laid out on a 5×5 grid (row-major). Bulk stabilizers are
+/// weight-4 checkerboard plaquettes; weight-2 boundary stabilizers close the
+/// X sector on the top/bottom rows and the Z sector on the left/right
+/// columns, exactly as in the distance-3 entry [`surface3`].
+pub fn surface5() -> CssCode {
+    let d = 5;
+    let n = d * d;
+    let q = |r: usize, c: usize| r * d + c;
+    let mut hx_rows = Vec::new();
+    let mut hz_rows = Vec::new();
+    for r in 0..d - 1 {
+        for c in 0..d - 1 {
+            let plaquette =
+                BitVec::from_indices(n, &[q(r, c), q(r, c + 1), q(r + 1, c), q(r + 1, c + 1)]);
+            if (r + c) % 2 == 0 {
+                hz_rows.push(plaquette);
+            } else {
+                hx_rows.push(plaquette);
+            }
+        }
+    }
+    for c in 0..d - 1 {
+        if c % 2 == 0 {
+            hx_rows.push(BitVec::from_indices(n, &[q(0, c), q(0, c + 1)]));
+        } else {
+            hx_rows.push(BitVec::from_indices(n, &[q(d - 1, c), q(d - 1, c + 1)]));
+        }
+    }
+    for r in 0..d - 1 {
+        if r % 2 == 1 {
+            hz_rows.push(BitVec::from_indices(n, &[q(r, 0), q(r + 1, 0)]));
+        } else {
+            hz_rows.push(BitVec::from_indices(n, &[q(r, d - 1), q(r + 1, d - 1)]));
+        }
+    }
+    CssCode::new(
+        "Surface-5",
+        BitMatrix::from_rows(hx_rows),
+        BitMatrix::from_rows(hz_rows),
+    )
+    .expect("rotated distance-5 surface code is valid")
+}
+
+/// Returns the `size`-qubit cat-state "code": the CSS code whose logical
+/// all-zero state is the GHZ state `(|0…0⟩ + |1…1⟩)/√2`.
+///
+/// The stabilizer group of the GHZ state is generated by `X⊗…⊗X` and the
+/// nearest-neighbour `ZᵢZᵢ₊₁` pairs; dropping one Z pair turns it into a
+/// `[[size,1,1]]` CSS code whose `|0⟩_L` is exactly the cat state, so
+/// fault-tolerant cat-state preparation (Peham/Weilandt/Wille,
+/// arXiv 2601.03343) reuses the zero-state synthesis machinery unchanged. A
+/// residual X error of weight `w` has reduced weight `min(w, size − w)`
+/// (spreads past half the cat are equivalent to their complement), which is
+/// what makes verification of larger cat states non-trivial.
+///
+/// # Panics
+///
+/// Panics if `size < 3`.
+pub fn cat_state(size: usize) -> CssCode {
+    assert!(size >= 3, "cat states need at least 3 qubits");
+    let hx = BitMatrix::from_rows(vec![BitVec::ones(size)]);
+    let hz = BitMatrix::from_rows((0..size - 2).map(|i| BitVec::from_indices(size, &[i, i + 1])));
+    CssCode::new(format!("Cat-{size}"), hx, hz).expect("cat-state code is valid")
+}
+
 /// Returns every catalog code in the order used by Table I of the paper.
 pub fn all() -> Vec<CssCode> {
     vec![
@@ -231,10 +333,33 @@ pub fn all() -> Vec<CssCode> {
     ]
 }
 
-/// Looks a catalog code up by (case-insensitive) name.
+/// Returns the workload extensions beyond Table I: the distance-5 codes
+/// (checked against the generalized order-2 criterion) and the cat-state
+/// preparation targets.
+pub fn workloads() -> Vec<CssCode> {
+    vec![qr17(), surface5(), cat_state(4), cat_state(8)]
+}
+
+/// Returns the full extended catalog: Table I ([`all`]) plus the workload
+/// extensions ([`workloads`]).
+pub fn extended() -> Vec<CssCode> {
+    let mut codes = all();
+    codes.extend(workloads());
+    codes
+}
+
+/// Returns the names of every code in the extended catalog, for lookup-error
+/// messages.
+pub fn known_names() -> Vec<String> {
+    extended().iter().map(|c| c.name().to_string()).collect()
+}
+
+/// Looks a code up by (case-insensitive) name in the extended catalog.
 pub fn by_name(name: &str) -> Option<CssCode> {
     let lower = name.to_lowercase();
-    all().into_iter().find(|c| c.name().to_lowercase() == lower)
+    extended()
+        .into_iter()
+        .find(|c| c.name().to_lowercase() == lower)
 }
 
 #[cfg(test)]
@@ -314,6 +439,51 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(by_name("steane").unwrap().parameters(), (7, 1, 3));
         assert_eq!(by_name("Tesseract").unwrap().parameters(), (16, 6, 4));
+        assert_eq!(by_name("qr-17").unwrap().parameters(), (17, 1, 5));
+        assert_eq!(by_name("CAT-8").unwrap().parameters(), (8, 1, 1));
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn qr17_is_17_1_5() {
+        assert_eq!(qr17().parameters(), (17, 1, 5));
+    }
+
+    #[test]
+    fn surface5_is_25_1_5() {
+        let code = surface5();
+        assert_eq!(code.parameters(), (25, 1, 5));
+        // 8 bulk + 4 boundary stabilizers per sector.
+        assert_eq!(code.stabilizers(PauliKind::X).num_rows(), 12);
+        assert_eq!(code.stabilizers(PauliKind::Z).num_rows(), 12);
+    }
+
+    #[test]
+    fn cat_states_are_ghz_stabilizer_codes() {
+        for size in [3, 4, 8] {
+            let code = cat_state(size);
+            assert_eq!(code.parameters(), (size, 1, 1));
+            assert_eq!(code.name(), format!("Cat-{size}"));
+            // One X⊗…⊗X stabilizer, size−2 nearest-neighbour Z pairs.
+            assert_eq!(code.stabilizers(PauliKind::X).num_rows(), 1);
+            assert_eq!(code.stabilizers(PauliKind::Z).num_rows(), size - 2);
+        }
+    }
+
+    #[test]
+    fn extended_catalog_and_known_names() {
+        let extended = extended();
+        assert_eq!(extended.len(), all().len() + workloads().len());
+        let names: std::collections::HashSet<String> =
+            extended.iter().map(|c| c.name().to_string()).collect();
+        assert_eq!(names.len(), extended.len(), "names stay unique");
+        let known = known_names();
+        assert_eq!(known.len(), extended.len());
+        assert!(known.iter().any(|n| n == "QR-17"));
+        assert!(known.iter().any(|n| n == "Surface-5"));
+        assert!(known.iter().any(|n| n == "Cat-4"));
+        for name in &known {
+            assert!(by_name(name).is_some(), "{name} must resolve");
+        }
     }
 }

@@ -26,11 +26,21 @@ use crate::engine::SatSession;
 
 /// One instance of the correction-synthesis problem: a set of candidate
 /// residual errors (all mapped to the same verification outcome) that must be
-/// reduced to weight ≤ 1 by a common, outcome-dependent recovery.
+/// reduced to a bounded weight by a common, outcome-dependent recovery.
+///
+/// The default target weight is 1 per error (the paper's `d = 3` criterion).
+/// Order-`t` synthesis assigns each error the size of the fault set that
+/// produced it via [`CorrectionProblem::target_weights`], per the strict
+/// generalized criterion of arXiv 2408.11894 (`s` faults → reduced residual
+/// weight ≤ `s`).
 #[derive(Debug, Clone)]
 pub struct CorrectionProblem {
     /// Residual error supports (in the sector being corrected).
     pub errors: Vec<BitVec>,
+    /// Per-error maximum acceptable reduced weight after recovery, parallel
+    /// to `errors`. Empty means "weight ≤ 1 for every error"; entries beyond
+    /// the provided prefix also default to 1.
+    pub target_weights: Vec<usize>,
     /// Generators of the group of measurable operators (operators that
     /// stabilize the prepared state and anticommute with errors of this
     /// sector).
@@ -38,6 +48,13 @@ pub struct CorrectionProblem {
     /// Generators of the group modulo which residual errors of this sector
     /// are equivalent on the prepared state.
     pub reduction: BitMatrix,
+}
+
+impl CorrectionProblem {
+    /// Target weight of error `index` (1 unless overridden).
+    fn target_weight(&self, index: usize) -> usize {
+        self.target_weights.get(index).copied().unwrap_or(1)
+    }
 }
 
 /// Options bounding the correction-synthesis search.
@@ -135,6 +152,7 @@ impl std::error::Error for CorrectionError {}
 /// // the recovery is simply that error itself.
 /// let problem = CorrectionProblem {
 ///     errors: vec![BitVec::from_indices(7, &[0, 1])],
+///     target_weights: Vec::new(),
 ///     measurable: ctx.measurable_group(PauliKind::X).clone(),
 ///     reduction: ctx.reduction_group(PauliKind::X).clone(),
 /// };
@@ -160,7 +178,7 @@ pub fn synthesize_correction_with(
     problem: &CorrectionProblem,
     options: &CorrectionOptions,
 ) -> Result<CorrectionSolution, CorrectionError> {
-    let errors = dedupe_errors(&problem.errors);
+    let (errors, weights) = dedupe_errors(problem);
     if errors.is_empty() {
         return Ok(CorrectionSolution {
             measurements: Vec::new(),
@@ -171,17 +189,12 @@ pub fn synthesize_correction_with(
     // Syndrome map of the reduction group: a vector lies in the group's row
     // space iff it is orthogonal to every row of the nullspace basis.
     let null_basis = problem.reduction.nullspace();
-    // Admissible target syndromes: the zero vector and the syndrome of every
-    // single-qubit error.
-    let k = null_basis.num_rows();
     let n = problem.measurable.num_cols();
-    let mut targets: Vec<BitVec> = vec![BitVec::zeros(k)];
-    for q in 0..n {
-        let t = null_basis.mul_vec(&BitVec::unit(n, q));
-        if !targets.contains(&t) {
-            targets.push(t);
-        }
-    }
+    // Admissible target syndromes per error: the syndromes of every vector
+    // whose weight is at most the error's target weight.
+    let max_weight = weights.iter().copied().max().unwrap_or(1);
+    let by_weight = target_syndromes_by_weight(&null_basis, n, max_weight);
+    let targets: Vec<&[BitVec]> = weights.iter().map(|&w| by_weight[w].as_slice()).collect();
 
     for u in 0..=options.max_measurements {
         if let Some(solution) =
@@ -191,6 +204,56 @@ pub fn synthesize_correction_with(
         }
     }
     Err(CorrectionError::BudgetExhausted)
+}
+
+/// Admissible recovery-target syndromes indexed by target weight: entry `w`
+/// lists the (deduplicated) reduction-group syndromes of every vector of
+/// weight ≤ `w`, in combination-enumeration order. Entry 1 reproduces the
+/// original `d = 3` target list exactly: the zero syndrome followed by the
+/// distinct single-qubit syndromes in qubit order.
+fn target_syndromes_by_weight(
+    null_basis: &BitMatrix,
+    n: usize,
+    max_weight: usize,
+) -> Vec<Vec<BitVec>> {
+    let k = null_basis.num_rows();
+    let mut targets: Vec<BitVec> = vec![BitVec::zeros(k)];
+    let mut by_weight = vec![targets.clone()];
+    let mut support = Vec::new();
+    for weight in 1..=max_weight {
+        extend_target_syndromes(null_basis, n, weight, 0, &mut support, &mut targets);
+        by_weight.push(targets.clone());
+    }
+    by_weight
+}
+
+/// Appends the syndromes of all weight-`remaining + support.len()` vectors
+/// extending `support` with indices ≥ `start`, skipping syndromes already
+/// collected.
+fn extend_target_syndromes(
+    null_basis: &BitMatrix,
+    n: usize,
+    remaining: usize,
+    start: usize,
+    support: &mut Vec<usize>,
+    targets: &mut Vec<BitVec>,
+) {
+    if remaining == 0 {
+        let mut v = BitVec::zeros(n);
+        for &q in support.iter() {
+            v.set(q, true);
+        }
+        let t = null_basis.mul_vec(&v);
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+        return;
+    }
+    for q in start..n {
+        support.push(q);
+        extend_target_syndromes(null_basis, n, remaining - 1, q + 1, support, targets);
+        support.pop();
+    }
 }
 
 /// Synthesizes the corrections of a whole batch of problems — one per branch
@@ -272,7 +335,7 @@ fn run_correction_ladder(
     problem: &CorrectionProblem,
     errors: &[BitVec],
     null_basis: &BitMatrix,
-    targets: &[BitVec],
+    targets: &[&[BitVec]],
     u: usize,
     options: &CorrectionOptions,
 ) -> Result<Option<CorrectionSolution>, CorrectionError> {
@@ -356,7 +419,7 @@ impl CorrectionLadder {
         problem: &CorrectionProblem,
         errors: &[BitVec],
         null_basis: &BitMatrix,
-        targets: &[BitVec],
+        targets: &[&[BitVec]],
         u: usize,
     ) -> Self {
         match session.mode() {
@@ -382,7 +445,7 @@ impl CorrectionLadder {
         problem: &CorrectionProblem,
         errors: &[BitVec],
         null_basis: &BitMatrix,
-        targets: &[BitVec],
+        targets: &[&[BitVec]],
         u: usize,
         bound: Option<usize>,
         options: &CorrectionOptions,
@@ -398,18 +461,30 @@ impl CorrectionLadder {
     }
 }
 
-/// Removes exact duplicates from the error set. Errors of weight ≤ 1 are
-/// kept: although harmless by themselves they constrain the recovery (the
-/// recovery applied on their syndrome must not make them worse).
-fn dedupe_errors(errors: &[BitVec]) -> Vec<BitVec> {
-    let mut seen = std::collections::HashSet::new();
+/// Removes exact duplicates from the error set, keeping first-occurrence
+/// order and, for errors that repeat with different target weights, the
+/// *minimum* (strictest) target. Errors of weight ≤ 1 are kept: although
+/// harmless by themselves they constrain the recovery (the recovery applied
+/// on their syndrome must not make them worse).
+fn dedupe_errors(problem: &CorrectionProblem) -> (Vec<BitVec>, Vec<usize>) {
+    let mut seen: HashMap<Vec<u8>, usize> = HashMap::new();
     let mut out = Vec::new();
-    for e in errors {
-        if seen.insert(e.to_bits()) {
-            out.push(e.clone());
+    let mut weights: Vec<usize> = Vec::new();
+    for (i, e) in problem.errors.iter().enumerate() {
+        let w = problem.target_weight(i);
+        match seen.entry(e.to_bits()) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let j = *slot.get();
+                weights[j] = weights[j].min(w);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(out.len());
+                out.push(e.clone());
+                weights.push(w);
+            }
         }
     }
-    out
+    (out, weights)
 }
 
 /// Selector, support and recovery literals of one `u`-measurement correction
@@ -428,7 +503,7 @@ fn encode_correction_base(
     problem: &CorrectionProblem,
     errors: &[BitVec],
     null_basis: &BitMatrix,
-    targets: &[BitVec],
+    targets: &[&[BitVec]],
     u: usize,
 ) -> CorrectionEncoding {
     let m = problem.measurable.num_rows();
@@ -486,7 +561,7 @@ fn encode_correction_base(
         // literals, keyed by (outcome, pattern bits).
         let mut equality_cache: HashMap<(usize, Vec<u8>), Lit> = HashMap::new();
 
-        for error in errors {
+        for (error, error_targets) in errors.iter().zip(targets) {
             // Syndrome of the error under the candidate measurements:
             // t[i] = XOR_{j : <error, g_j> = 1} a[i][j].
             let detection_set: Vec<usize> = (0..m)
@@ -510,11 +585,11 @@ fn encode_correction_base(
                     .collect();
                 let matches = enc.and(&outcome_match);
 
-                // Literal: "error + recovery[y] has reduced weight ≤ 1", i.e.
-                // its reduction-group syndrome equals one of the admissible
-                // targets.
-                let mut alternatives = Vec::with_capacity(targets.len());
-                for target in targets {
+                // Literal: "error + recovery[y] has reduced weight within
+                // this error's target", i.e. its reduction-group syndrome
+                // equals one of the admissible targets.
+                let mut alternatives = Vec::with_capacity(error_targets.len());
+                for target in error_targets.iter() {
                     let pattern: Vec<u8> = (0..k)
                         .map(|row| u8::from(error_null.get(row) ^ target.get(row)))
                         .collect();
@@ -620,7 +695,7 @@ fn solve_correction_fresh(
     problem: &CorrectionProblem,
     errors: &[BitVec],
     null_basis: &BitMatrix,
-    targets: &[BitVec],
+    targets: &[&[BitVec]],
     u: usize,
     v: usize,
     options: &CorrectionOptions,
@@ -661,7 +736,7 @@ impl WarmCorrectionLadder {
         problem: &CorrectionProblem,
         errors: &[BitVec],
         null_basis: &BitMatrix,
-        targets: &[BitVec],
+        targets: &[&[BitVec]],
         u: usize,
     ) -> Self {
         let mut incremental = session.incremental();
@@ -715,11 +790,12 @@ impl WarmCorrectionLadder {
 
 /// Checks that a correction solution actually handles every error of a
 /// problem: for each error, the recovery selected by its refined syndrome
-/// leaves a residual of reduced weight at most 1.
+/// leaves a residual of reduced weight at most the error's target weight
+/// (1 unless [`CorrectionProblem::target_weights`] overrides it).
 ///
 /// Used in tests and by the protocol-level fault-tolerance check.
 pub fn correction_is_valid(problem: &CorrectionProblem, solution: &CorrectionSolution) -> bool {
-    problem.errors.iter().all(|error| {
+    problem.errors.iter().enumerate().all(|(index, error)| {
         let mut outcome = 0usize;
         for (i, s) in solution.measurements.iter().enumerate() {
             if s.dot(error) {
@@ -727,7 +803,7 @@ pub fn correction_is_valid(problem: &CorrectionProblem, solution: &CorrectionSol
             }
         }
         let corrected = error ^ &solution.recoveries[outcome];
-        dftsp_code::reduced_weight(&problem.reduction, &corrected) <= 1
+        dftsp_code::reduced_weight(&problem.reduction, &corrected) <= problem.target_weight(index)
     })
 }
 
@@ -742,6 +818,7 @@ mod tests {
         let ctx = ZeroStateContext::new(catalog::steane());
         CorrectionProblem {
             errors,
+            target_weights: Vec::new(),
             measurable: ctx.measurable_group(PauliKind::X).clone(),
             reduction: ctx.reduction_group(PauliKind::X).clone(),
         }
@@ -788,6 +865,7 @@ mod tests {
                 BitVec::from_indices(4, &[0, 1]),
                 BitVec::from_indices(4, &[2, 3]),
             ],
+            target_weights: Vec::new(),
             measurable: BitMatrix::from_dense(&[&[1, 0, 0, 0][..], &[0, 0, 1, 0][..]]),
             reduction: BitMatrix::with_cols(4, std::iter::empty()),
         };
@@ -846,6 +924,7 @@ mod tests {
                 BitVec::from_indices(9, &[3, 4]),
                 BitVec::zeros(9),
             ],
+            target_weights: Vec::new(),
             measurable: ctx.measurable_group(PauliKind::Z).clone(),
             reduction: ctx.reduction_group(PauliKind::Z).clone(),
         };
@@ -861,6 +940,7 @@ mod tests {
                 BitVec::from_indices(4, &[0, 1]),
                 BitVec::from_indices(4, &[2, 3]),
             ],
+            target_weights: Vec::new(),
             // Empty measurable group and empty reduction group: the two
             // dangerous errors cannot be distinguished nor reduced.
             measurable: BitMatrix::with_cols(4, std::iter::empty()),

@@ -33,16 +33,19 @@
 //! per-branch [`SatStats`] merged in branch order, so reports are
 //! bit-identical for every thread count.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dftsp_code::CssCode;
+use dftsp_f2::BitVec;
 use dftsp_pauli::PauliKind;
 use dftsp_sat::{
     BackendChoice, IncrementalSession, LadderMode, PortfolioStats, SatBackend, SolveResult,
 };
 
 use crate::cache::FaultCache;
+use crate::ftcheck::{check_fault_tolerance_order_with, FtCheckOptions, FtOrderReport};
 use crate::global::GlobalResult;
 use crate::metrics::ProtocolMetrics;
 use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
@@ -50,10 +53,11 @@ use crate::protocol::DeterministicProtocol;
 use crate::service::{SynthesisRequest, SynthesisService};
 use crate::store::{ReportKey, ReportStore};
 use crate::synthesis::{
-    attach_correction_branches_with, build_layer_from_verification, dangerous_errors_from_records,
-    FlagPolicy, SynthesisError, SynthesisOptions,
+    attach_correction_branches_with, attach_order_corrections, build_layer_from_verification,
+    dangerous_errors_from_records, FlagPolicy, SynthesisError, SynthesisOptions,
 };
 use crate::verify::{enumerate_minimal_verifications_with, synthesize_verification_with};
+use crate::workload::WorkloadKind;
 use crate::ZeroStateContext;
 
 /// Accumulated SAT statistics of one synthesis stage.
@@ -388,8 +392,11 @@ pub struct StageReport {
 /// per-stage statistics.
 #[derive(Debug, Clone)]
 pub struct SynthesisReport {
-    /// Name of the synthesized code.
+    /// Name of the synthesized code (the effective code for cat-state
+    /// workloads, e.g. `Cat-4`).
     pub code_name: String,
+    /// The workload this protocol prepares.
+    pub workload: WorkloadKind,
     /// The synthesized deterministic protocol.
     pub protocol: DeterministicProtocol,
     /// Per-stage timings, SAT statistics and branch counts.
@@ -488,6 +495,7 @@ impl GlobalReport {
 #[derive(Debug, Clone, Default)]
 pub struct EngineBuilder {
     options: SynthesisOptions,
+    workload: WorkloadKind,
     solver: BackendChoice,
     ladder: LadderMode,
     store: Option<Arc<dyn ReportStore>>,
@@ -522,6 +530,26 @@ impl EngineBuilder {
     /// Selects the flagging strategy (step (c)).
     pub fn flag_policy(mut self, policy: FlagPolicy) -> Self {
         self.options.flag_policy = policy;
+        self
+    }
+
+    /// Selects the synthesis workload: zero-state preparation of the
+    /// requested code (the default) or cat-state preparation, which runs the
+    /// same pipeline against the GHZ stabilizer group regardless of the
+    /// requested code (see [`WorkloadKind`]).
+    pub fn workload(mut self, workload: WorkloadKind) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Requests a fault-tolerance order: every set of `s ≤ t` faults must
+    /// leave reduced residual weight ≤ `s` per CSS sector. The default
+    /// (`None`) targets order 1 — the classic single-fault pipeline;
+    /// orders above 1 run verification/correction repair rounds after the
+    /// standard pipeline and fail with
+    /// [`SynthesisError::OrderNotReached`] if they do not converge.
+    pub fn target_order(mut self, order: usize) -> Self {
+        self.options.target_order = Some(order.max(1));
         self
     }
 
@@ -607,6 +635,7 @@ impl EngineBuilder {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
         SynthesisEngine {
             options: self.options,
+            workload: self.workload,
             solver: self.solver,
             ladder: self.ladder,
             store: self.store,
@@ -633,6 +662,7 @@ impl EngineBuilder {
 #[derive(Debug, Clone)]
 pub struct SynthesisEngine {
     options: SynthesisOptions,
+    workload: WorkloadKind,
     solver: BackendChoice,
     ladder: LadderMode,
     store: Option<Arc<dyn ReportStore>>,
@@ -661,6 +691,11 @@ impl SynthesisEngine {
         &self.options
     }
 
+    /// The configured synthesis workload.
+    pub fn workload(&self) -> WorkloadKind {
+        self.workload
+    }
+
     /// The configured SAT backend.
     pub fn solver(&self) -> BackendChoice {
         self.solver
@@ -677,9 +712,19 @@ impl SynthesisEngine {
     }
 
     /// The store key identifying `code` under this engine's configuration
-    /// (synthesis options, backend and ladder mode).
+    /// (workload, synthesis options, backend and ladder mode). For cat-state
+    /// workloads the key fingerprints the effective (GHZ) code, so cached
+    /// cat-state reports are shared across requested codes but never
+    /// confused with zero-state reports.
     pub fn report_key(&self, code: &CssCode) -> ReportKey {
-        ReportKey::new(code, &self.options, self.solver, self.ladder)
+        let effective = self.workload.effective_code(code);
+        ReportKey::new(
+            &effective,
+            self.workload,
+            &self.options,
+            self.solver,
+            self.ladder,
+        )
     }
 
     /// The worker-thread count used by [`SynthesisEngine::synthesize_all`]
@@ -693,6 +738,7 @@ impl SynthesisEngine {
     pub(crate) fn configured(
         &self,
         options: Option<SynthesisOptions>,
+        workload: Option<WorkloadKind>,
         solver: Option<BackendChoice>,
         ladder: Option<LadderMode>,
         threads: Option<usize>,
@@ -700,6 +746,9 @@ impl SynthesisEngine {
         let mut engine = self.clone();
         if let Some(options) = options {
             engine.options = options;
+        }
+        if let Some(workload) = workload {
+            engine.workload = workload;
         }
         if let Some(solver) = solver {
             engine.solver = solver;
@@ -739,8 +788,9 @@ impl SynthesisEngine {
     /// attached [`ReportStore`].
     pub fn synthesize_uncached(&self, code: &CssCode) -> Result<SynthesisReport, SynthesisError> {
         let start = Instant::now();
-        let (prep, prep_stage) = self.prep_stage(code);
-        self.run_pipeline(code, prep, start, vec![prep_stage])
+        let code = self.workload.effective_code(code);
+        let (prep, prep_stage) = self.prep_stage(&code);
+        self.run_pipeline(&code, prep, start, vec![prep_stage])
     }
 
     /// Synthesizes the protocol around an already-chosen preparation circuit.
@@ -853,14 +903,120 @@ impl SynthesisEngine {
             });
         }
 
+        let target = self.effective_order();
+        if target >= 2 {
+            self.raise_to_order(&mut protocol, &mut stages, target)?;
+        }
+
         Ok(SynthesisReport {
             code_name: code.name().to_string(),
+            workload: self.workload,
             protocol,
             stages,
             fault_cache_hits: cache.hits(),
             fault_cache_misses: cache.misses(),
             total_time: start.elapsed(),
         })
+    }
+
+    /// The fault-tolerance order [`Self::run_pipeline`] must reach:
+    /// [`SynthesisOptions::target_order`] when set, otherwise 1 — the
+    /// classic single-fault pipeline, bit-identical to the pre-order
+    /// engine on every code. Orders ≥ 2 are strictly opt-in: the repair
+    /// loop's exhaustive fault-*set* passes grow combinatorially with the
+    /// protocol size, which is affordable for cat states and other small
+    /// codes but runs to CPU-hours on the distance-5 catalog entries (see
+    /// ROADMAP), so a distance-based default would make plain
+    /// `synthesize` calls on those codes unusable.
+    fn effective_order(&self) -> usize {
+        self.options.target_order.unwrap_or(1)
+    }
+
+    /// Repair rounds raising the pipeline's output to order-`target` fault
+    /// tolerance: exhaustively check the order-`target` criterion, and while
+    /// violating fault sets remain, append one verification layer per
+    /// affected CSS sector (detecting one representative per measurable
+    /// syndrome class of the violating residuals) with order-aware correction
+    /// branches.
+    ///
+    /// Fails honestly with [`SynthesisError::OrderNotReached`] when the
+    /// rounds exhaust without converging; the protocol passed in stays
+    /// order-1 fault-tolerant throughout.
+    fn raise_to_order(
+        &self,
+        protocol: &mut DeterministicProtocol,
+        stages: &mut Vec<StageReport>,
+        target: usize,
+    ) -> Result<(), SynthesisError> {
+        const MAX_ROUNDS: usize = 3;
+        // Repairs need every violation, not a capped sample: an uncovered
+        // violating class would survive the round and stall convergence.
+        let check_options = FtCheckOptions {
+            max_violations: usize::MAX,
+            threads: self.threads,
+        };
+        let mut rounds = 0;
+        loop {
+            let report = check_fault_tolerance_order_with(protocol, target, &check_options);
+            if report.violations_found == 0 {
+                return Ok(());
+            }
+            if rounds == MAX_ROUNDS {
+                return Err(SynthesisError::OrderNotReached {
+                    order: target,
+                    rounds,
+                    violations: report.violations_found,
+                });
+            }
+            rounds += 1;
+
+            for error_kind in [PauliKind::X, PauliKind::Z] {
+                let dangerous = violating_class_representatives(protocol, &report, error_kind);
+                if dangerous.is_empty() {
+                    continue;
+                }
+
+                let verify_start = Instant::now();
+                let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
+                let verification = synthesize_verification_with(
+                    &mut verify_session,
+                    protocol.context.measurable_group(error_kind),
+                    &dangerous,
+                    &self.options.verification,
+                )
+                .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+                let layer = build_layer_from_verification(
+                    protocol,
+                    error_kind,
+                    &verification,
+                    false,
+                    &self.options,
+                )?;
+                protocol.layers.push(layer);
+                stages.push(StageReport {
+                    stage: Stage::Verification(error_kind),
+                    time: verify_start.elapsed(),
+                    sat: verify_session.take_stats(),
+                    branches: 0,
+                });
+
+                let correct_start = Instant::now();
+                let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
+                let branches = attach_order_corrections(
+                    protocol,
+                    target,
+                    &self.options,
+                    &mut correct_session,
+                    self.threads,
+                )?;
+                stages.push(StageReport {
+                    stage: Stage::Correction(error_kind),
+                    time: correct_start.elapsed(),
+                    sat: correct_session.take_stats(),
+                    branches,
+                });
+            }
+        }
     }
 
     /// Synthesizes every code of a catalog, fanning the work out over the
@@ -991,6 +1147,38 @@ impl SynthesisEngine {
             total_time: start.elapsed(),
         })
     }
+}
+
+/// One representative per measurable-syndrome class of the `error_kind`-sector
+/// residuals that violate their set's weight bound, in violation order.
+///
+/// Every violating residual has a nonzero syndrome under the full measurable
+/// group (a zero syndrome would put it in the state stabilizer group, i.e.
+/// reduced weight 0), and residuals with equal syndromes are detected
+/// identically by any choice of verification measurements, so one
+/// representative per class suffices for verification synthesis.
+fn violating_class_representatives(
+    protocol: &DeterministicProtocol,
+    report: &FtOrderReport,
+    error_kind: PauliKind,
+) -> Vec<BitVec> {
+    let mut seen = HashSet::new();
+    let mut representatives = Vec::new();
+    for violation in &report.violations {
+        let weight = match error_kind {
+            PauliKind::X => violation.x_weight,
+            PauliKind::Z => violation.z_weight,
+        };
+        if weight <= violation.faults.len() {
+            continue;
+        }
+        let part = violation.residual.part(error_kind);
+        let syndrome = protocol.context.state_syndrome(error_kind, part);
+        if seen.insert(syndrome.to_bits()) {
+            representatives.push(part.clone());
+        }
+    }
+    representatives
 }
 
 #[cfg(test)]

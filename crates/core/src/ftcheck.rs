@@ -1,22 +1,36 @@
-//! Exhaustive single-fault verification of synthesized protocols.
+//! Exhaustive fault-tolerance verification of synthesized protocols.
 //!
-//! Definition 1 of the paper (strict fault tolerance) requires, for the
-//! `d < 5` codes considered, that **any single circuit fault leaves a
-//! residual error of weight at most one** on the output state. For CSS codes
-//! the X and Z sectors are handled independently, so the check implemented
-//! here is: for every single fault at every location of the protocol's
-//! fault-free execution path, the residual X error has state-stabilizer-
-//! reduced weight ≤ 1 and the residual Z error has reduced weight ≤ 1.
+//! Two generations of the check live here:
+//!
+//! * **Order 1** (Definition 1 of the paper, strict fault tolerance for the
+//!   `d < 5` codes): any single circuit fault leaves a residual error of
+//!   reduced weight at most one — [`check_fault_tolerance`].
+//! * **Order t** (the generalized criterion of Peham et al.,
+//!   arXiv 2408.11894, which unlocks `d ≥ 5` codes): every *set* of
+//!   `s ≤ t` circuit faults leaves a residual error of reduced weight at
+//!   most `s` per CSS sector — [`check_fault_tolerance_order`]. The
+//!   single-fault check is exactly the `t = 1` specialization.
+//!
+//! Fault sets are enumerated combinatorially over the locations of the
+//! protocol's *fault-free execution path* (combinations of (location,
+//! effect) choices up to size `t`), fanned out over worker threads by the
+//! outermost location with a deterministic merge, so reports are
+//! bit-identical for every thread count. Each enumerated set re-executes the
+//! protocol under a [`FaultSet`] model whose faults are addressed by
+//! (segment, offset) — stable even when earlier faults steer the execution
+//! into correction branches that shift global location indices.
 //!
 //! The check shares the executor with the noise simulations, so a protocol
-//! passing [`check_fault_tolerance`] necessarily exhibits the `O(p²)` logical
-//! error scaling of Fig. 4 under circuit-level noise (up to sampling noise).
+//! passing [`check_fault_tolerance_order`] at order `t` necessarily exhibits
+//! `O(p^{t+1})` logical error scaling under circuit-level noise (up to
+//! sampling noise); Fig. 4 of the paper is the `t = 1` case.
 
 use dftsp_circuit::{single_fault_effects, Circuit, FaultEffect, FaultSite};
-use dftsp_pauli::PauliKind;
+use dftsp_pauli::{PauliKind, PauliString};
 
+use crate::par::parallel_map_indexed;
 use crate::protocol::{
-    execute, DeterministicProtocol, ExecutionRecord, FaultModel, SegmentId, SingleFault,
+    execute, DeterministicProtocol, ExecutionRecord, FaultModel, FaultSet, SegmentId, SingleFault,
 };
 
 /// One enumerated single fault together with the execution it produces.
@@ -54,35 +68,194 @@ pub struct FtReport {
     pub locations: usize,
     /// Number of (location, fault) pairs examined.
     pub faults_checked: usize,
-    /// All violations found (empty for a fault-tolerant protocol).
+    /// Total number of violating faults found (never capped).
+    pub violations_found: usize,
+    /// Violations, capped at [`FtCheckOptions::max_violations`] (empty for a
+    /// fault-tolerant protocol).
     pub violations: Vec<FtViolation>,
 }
 
 impl FtReport {
     /// Returns `true` if no single fault violates the residual-weight bound.
     pub fn is_fault_tolerant(&self) -> bool {
-        self.violations.is_empty()
+        self.violations_found == 0
     }
 }
 
-/// Records the fault locations of the fault-free execution path together with
-/// the possible fault effects at each location.
-#[derive(Default)]
-struct LocationRecorder {
-    locations: Vec<(SegmentId, Vec<FaultEffect>)>,
+/// One fault of an enumerated fault set.
+#[derive(Debug, Clone)]
+pub struct FtFault {
+    /// Protocol segment of the fault location.
+    pub segment: SegmentId,
+    /// Offset of the location within its segment's location stream.
+    pub offset: usize,
+    /// Global location index on the fault-free execution path.
+    pub location: usize,
+    /// The injected fault.
+    pub effect: FaultEffect,
 }
 
-impl FaultModel for LocationRecorder {
+/// A fault set that violates the order-t criterion: `s ≤ t` faults left a
+/// residual of reduced weight exceeding `s` in some CSS sector.
+#[derive(Debug, Clone)]
+pub struct FaultSetViolation {
+    /// The faults of the set, in ascending location order.
+    pub faults: Vec<FtFault>,
+    /// The residual data error of the violating execution.
+    pub residual: PauliString,
+    /// Reduced weight of the residual X error.
+    pub x_weight: usize,
+    /// Reduced weight of the residual Z error.
+    pub z_weight: usize,
+}
+
+/// Options of the fault-tolerance checks.
+#[derive(Debug, Clone)]
+pub struct FtCheckOptions {
+    /// Cap on the number of violations *collected* into the report. The
+    /// violation *count* is never capped; the cap only bounds memory —
+    /// order-2 enumeration on 17+ qubits could otherwise build
+    /// multi-million-entry vectors before reporting failure.
+    pub max_violations: usize,
+    /// Worker threads for the fault-set fan-out. Reports are bit-identical
+    /// for every thread count.
+    pub threads: usize,
+}
+
+impl Default for FtCheckOptions {
+    fn default() -> Self {
+        FtCheckOptions {
+            max_violations: 1024,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of the exhaustive order-t fault-set check.
+#[derive(Debug, Clone)]
+pub struct FtOrderReport {
+    /// The order `t` the check ran at.
+    pub order: usize,
+    /// Number of fault locations on the fault-free execution path.
+    pub locations: usize,
+    /// Number of fault sets (of every size `1..=t`) examined.
+    pub sets_checked: usize,
+    /// Total number of violating fault sets found (never capped).
+    pub violations_found: usize,
+    /// Violations, capped at [`FtCheckOptions::max_violations`], in
+    /// deterministic enumeration order.
+    pub violations: Vec<FaultSetViolation>,
+}
+
+impl FtOrderReport {
+    /// Returns `true` if no fault set violates the order-t residual-weight
+    /// bound.
+    pub fn is_fault_tolerant(&self) -> bool {
+        self.violations_found == 0
+    }
+}
+
+/// One fault location of the fault-free execution path: its segment-relative
+/// address and the possible fault effects there.
+#[derive(Debug, Clone)]
+pub(crate) struct PathLocation {
+    pub(crate) segment: SegmentId,
+    pub(crate) offset: usize,
+    pub(crate) location: usize,
+    pub(crate) effects: Vec<FaultEffect>,
+}
+
+/// Records the fault locations of the fault-free execution path together
+/// with the possible fault effects at each location.
+#[derive(Default)]
+struct PathRecorder {
+    locations: Vec<PathLocation>,
+    current: Option<SegmentId>,
+    offset: usize,
+}
+
+impl FaultModel for PathRecorder {
     fn fault(
         &mut self,
-        _location: usize,
+        location: usize,
         segment: SegmentId,
         circuit: &Circuit,
         site: &FaultSite,
     ) -> Option<FaultEffect> {
-        self.locations
-            .push((segment, single_fault_effects(circuit, site)));
+        if self.current == Some(segment) {
+            self.offset += 1;
+        } else {
+            self.current = Some(segment);
+            self.offset = 0;
+        }
+        self.locations.push(PathLocation {
+            segment,
+            offset: self.offset,
+            location,
+            effects: single_fault_effects(circuit, site),
+        });
         None
+    }
+}
+
+/// Enumerates the fault locations (and per-location effects) of the
+/// protocol's fault-free execution path.
+pub(crate) fn record_fault_path(protocol: &DeterministicProtocol) -> Vec<PathLocation> {
+    let mut recorder = PathRecorder::default();
+    execute(protocol, &mut recorder);
+    recorder.locations
+}
+
+/// Visitor of the fault-set enumeration: receives the set (as `(path
+/// index, effect)` pairs in ascending location order) and its execution.
+pub(crate) type FaultSetVisitor<'a> = dyn FnMut(&[(usize, FaultEffect)], &ExecutionRecord) + 'a;
+
+/// Depth-first enumeration of every fault set of size `1..=order` whose
+/// *first* (lowest-location) fault sits at path index `outer`, calling
+/// `visit` with the set and its execution record.
+///
+/// The visit order is fixed (faults in ascending location order, effects in
+/// [`single_fault_effects`] order, a set visited before its extensions), so
+/// concatenating the outputs for `outer = 0, 1, …` reproduces the serial
+/// enumeration order exactly — the basis for thread-count-independent
+/// reports.
+pub(crate) fn for_fault_sets_from(
+    protocol: &DeterministicProtocol,
+    path: &[PathLocation],
+    outer: usize,
+    order: usize,
+    visit: &mut FaultSetVisitor<'_>,
+) {
+    let mut set: Vec<(usize, FaultEffect)> = Vec::with_capacity(order);
+    for effect in &path[outer].effects {
+        set.push((outer, effect.clone()));
+        visit_and_extend(protocol, path, order, &mut set, visit);
+        set.pop();
+    }
+}
+
+fn visit_and_extend(
+    protocol: &DeterministicProtocol,
+    path: &[PathLocation],
+    order: usize,
+    set: &mut Vec<(usize, FaultEffect)>,
+    visit: &mut FaultSetVisitor<'_>,
+) {
+    let faults: Vec<((SegmentId, usize), FaultEffect)> = set
+        .iter()
+        .map(|(index, effect)| ((path[*index].segment, path[*index].offset), effect.clone()))
+        .collect();
+    let record = execute(protocol, &mut FaultSet::new(faults));
+    visit(set, &record);
+    if set.len() < order {
+        let last = set.last().expect("set is never empty here").0;
+        for next in last + 1..path.len() {
+            for effect in &path[next].effects {
+                set.push((next, effect.clone()));
+                visit_and_extend(protocol, path, order, set, visit);
+                set.pop();
+            }
+        }
     }
 }
 
@@ -95,20 +268,18 @@ impl FaultModel for LocationRecorder {
 /// single fault (they are still noisy in the Monte-Carlo simulations of
 /// `dftsp-noise`).
 pub fn enumerate_single_fault_records(protocol: &DeterministicProtocol) -> Vec<SingleFaultRecord> {
-    let mut recorder = LocationRecorder::default();
-    execute(protocol, &mut recorder);
-
+    let path = record_fault_path(protocol);
     let mut records = Vec::new();
-    for (location, (segment, effects)) in recorder.locations.iter().enumerate() {
-        for effect in effects {
+    for location in &path {
+        for effect in &location.effects {
             let mut model = SingleFault {
-                location,
+                location: location.location,
                 effect: effect.clone(),
             };
             let execution = execute(protocol, &mut model);
             records.push(SingleFaultRecord {
-                location,
-                segment: *segment,
+                location: location.location,
+                segment: location.segment,
                 effect: effect.clone(),
                 execution,
             });
@@ -117,7 +288,114 @@ pub fn enumerate_single_fault_records(protocol: &DeterministicProtocol) -> Vec<S
     records
 }
 
-/// Exhaustively checks strict fault tolerance of a synthesized protocol.
+/// Per-worker accumulator of the order-t check.
+struct WorkerOutcome {
+    sets_checked: usize,
+    violations_found: usize,
+    violations: Vec<FaultSetViolation>,
+}
+
+/// Exhaustively checks the generalized order-t fault-tolerance criterion:
+/// every set of `s ≤ t` faults on the fault-free execution path must leave a
+/// residual error of reduced weight at most `s` in each CSS sector.
+///
+/// The per-set bound `s` (rather than a uniform `t`) is the strict form of
+/// the criterion: it keeps single faults to weight ≤ 1 even at `t = 2`, so
+/// an order-t protocol is automatically order-s for every `s < t`.
+///
+/// # Panics
+///
+/// Panics if `order` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dftsp::{check_fault_tolerance_order, synthesize_protocol, SynthesisOptions};
+/// use dftsp_code::catalog;
+///
+/// let protocol = synthesize_protocol(&catalog::steane(), &SynthesisOptions::default()).unwrap();
+/// let report = check_fault_tolerance_order(&protocol, 1);
+/// assert!(report.is_fault_tolerant());
+/// assert_eq!(report.order, 1);
+/// ```
+pub fn check_fault_tolerance_order(
+    protocol: &DeterministicProtocol,
+    order: usize,
+) -> FtOrderReport {
+    check_fault_tolerance_order_with(protocol, order, &FtCheckOptions::default())
+}
+
+/// [`check_fault_tolerance_order`] with explicit options (violation cap and
+/// worker threads).
+pub fn check_fault_tolerance_order_with(
+    protocol: &DeterministicProtocol,
+    order: usize,
+    options: &FtCheckOptions,
+) -> FtOrderReport {
+    assert!(order >= 1, "the fault-tolerance order must be at least 1");
+    let path = record_fault_path(protocol);
+    let indices: Vec<usize> = (0..path.len()).collect();
+    let outcomes = parallel_map_indexed(
+        &indices,
+        options.threads.max(1),
+        |_, &outer| {
+            let mut outcome = WorkerOutcome {
+                sets_checked: 0,
+                violations_found: 0,
+                violations: Vec::new(),
+            };
+            for_fault_sets_from(protocol, &path, outer, order, &mut |set, record| {
+                outcome.sets_checked += 1;
+                let x_weight = protocol
+                    .context
+                    .reduced_weight(PauliKind::X, record.residual.x_part());
+                let z_weight = protocol
+                    .context
+                    .reduced_weight(PauliKind::Z, record.residual.z_part());
+                if x_weight > set.len() || z_weight > set.len() {
+                    outcome.violations_found += 1;
+                    if outcome.violations.len() < options.max_violations {
+                        outcome.violations.push(FaultSetViolation {
+                            faults: set
+                                .iter()
+                                .map(|(index, effect)| FtFault {
+                                    segment: path[*index].segment,
+                                    offset: path[*index].offset,
+                                    location: path[*index].location,
+                                    effect: effect.clone(),
+                                })
+                                .collect(),
+                            residual: record.residual.clone(),
+                            x_weight,
+                            z_weight,
+                        });
+                    }
+                }
+            });
+            outcome
+        },
+        |_| false,
+    );
+
+    let mut report = FtOrderReport {
+        order,
+        locations: path.len(),
+        sets_checked: 0,
+        violations_found: 0,
+        violations: Vec::new(),
+    };
+    for outcome in outcomes.into_iter().flatten() {
+        report.sets_checked += outcome.sets_checked;
+        report.violations_found += outcome.violations_found;
+        report.violations.extend(outcome.violations);
+    }
+    report.violations.truncate(options.max_violations);
+    report
+}
+
+/// Exhaustively checks strict (order-1) fault tolerance of a synthesized
+/// protocol. This is the `t = 1` specialization of
+/// [`check_fault_tolerance_order`].
 ///
 /// # Examples
 ///
@@ -131,44 +409,75 @@ pub fn enumerate_single_fault_records(protocol: &DeterministicProtocol) -> Vec<S
 /// assert!(report.faults_checked > 100);
 /// ```
 pub fn check_fault_tolerance(protocol: &DeterministicProtocol) -> FtReport {
-    let records = enumerate_single_fault_records(protocol);
-    let locations = records
-        .iter()
-        .map(|r| r.location)
-        .max()
-        .map_or(0, |m| m + 1);
-    let mut violations = Vec::new();
-    for record in &records {
-        let x_weight = protocol
-            .context
-            .reduced_weight(PauliKind::X, record.execution.residual.x_part());
-        let z_weight = protocol
-            .context
-            .reduced_weight(PauliKind::Z, record.execution.residual.z_part());
-        if x_weight > 1 || z_weight > 1 {
-            violations.push(FtViolation {
-                location: record.location,
-                segment: record.segment,
-                effect: record.effect.clone(),
-                x_weight,
-                z_weight,
-            });
-        }
-    }
+    check_fault_tolerance_with(protocol, &FtCheckOptions::default())
+}
+
+/// [`check_fault_tolerance`] with explicit options (violation cap and worker
+/// threads).
+pub fn check_fault_tolerance_with(
+    protocol: &DeterministicProtocol,
+    options: &FtCheckOptions,
+) -> FtReport {
+    let report = check_fault_tolerance_order_with(protocol, 1, options);
     FtReport {
-        locations,
-        faults_checked: records.len(),
-        violations,
+        locations: report.locations,
+        faults_checked: report.sets_checked,
+        violations_found: report.violations_found,
+        violations: report
+            .violations
+            .into_iter()
+            .map(|violation| {
+                let fault = violation
+                    .faults
+                    .into_iter()
+                    .next()
+                    .expect("order-1 sets hold exactly one fault");
+                FtViolation {
+                    location: fault.location,
+                    segment: fault.segment,
+                    effect: fault.effect,
+                    x_weight: violation.x_weight,
+                    z_weight: violation.z_weight,
+                }
+            })
+            .collect(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prep::{synthesize_prep, PrepOptions};
+    use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
     use crate::protocol::VerificationLayer;
     use crate::ZeroStateContext;
-    use dftsp_code::catalog;
+    use dftsp_code::{catalog, CssCode};
+    use proptest::prelude::*;
+
+    /// A valid but unoptimized fan-out preparation straight from the RREF of
+    /// the X-stabilizer matrix. The checker comparison tests only need *a*
+    /// deterministic protocol per code, so this skips the CNOT-ordering
+    /// search in [`synthesize_prep`] that makes the larger catalog codes
+    /// unaffordable in a sweep.
+    fn rref_fanout_prep(code: &CssCode) -> PrepCircuit {
+        let (rref, pivots) = code.stabilizers(PauliKind::X).rref();
+        let mut circuit = Circuit::new(code.num_qubits());
+        for &pivot in &pivots {
+            circuit.h(pivot);
+        }
+        for (i, &pivot) in pivots.iter().enumerate() {
+            for q in rref.row(i).iter_ones() {
+                if q != pivot {
+                    circuit.cnot(pivot, q);
+                }
+            }
+        }
+        PrepCircuit {
+            circuit,
+            seeds: pivots,
+            method: PrepMethod::Heuristic,
+            proven_optimal: false,
+        }
+    }
 
     /// The bare preparation circuit without verification is *not* fault
     /// tolerant: this is Example 3 of the paper.
@@ -183,6 +492,7 @@ mod tests {
         };
         let report = check_fault_tolerance(&protocol);
         assert!(!report.is_fault_tolerant());
+        assert_eq!(report.violations_found, report.violations.len());
         // Every violation stems from the preparation segment.
         assert!(report
             .violations
@@ -252,5 +562,193 @@ mod tests {
         assert_eq!(locations.len(), prep_len);
         // Two-qubit gates contribute 15 faults, single-qubit gates 3.
         assert!(records.len() > prep_len * 3);
+    }
+
+    /// The order-1 path must agree bit-for-bit with an independent
+    /// re-derivation of the legacy single-fault check from the raw records.
+    #[test]
+    fn order_one_matches_single_fault_records() {
+        let code = catalog::steane();
+        let prep = synthesize_prep(&code, &PrepOptions::default());
+        let protocol = DeterministicProtocol {
+            context: ZeroStateContext::new(code),
+            prep,
+            layers: Vec::new(),
+        };
+        let report = check_fault_tolerance(&protocol);
+        let records = enumerate_single_fault_records(&protocol);
+        assert_eq!(report.faults_checked, records.len());
+        let expected: Vec<(usize, usize, usize)> = records
+            .iter()
+            .filter_map(|record| {
+                let x = protocol.context.reduced_weight(
+                    dftsp_pauli::PauliKind::X,
+                    record.execution.residual.x_part(),
+                );
+                let z = protocol.context.reduced_weight(
+                    dftsp_pauli::PauliKind::Z,
+                    record.execution.residual.z_part(),
+                );
+                (x > 1 || z > 1).then_some((record.location, x, z))
+            })
+            .collect();
+        let got: Vec<(usize, usize, usize)> = report
+            .violations
+            .iter()
+            .map(|v| (v.location, v.x_weight, v.z_weight))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn violation_cap_bounds_the_report_but_not_the_count() {
+        let code = catalog::steane();
+        let prep = synthesize_prep(&code, &PrepOptions::default());
+        let protocol = DeterministicProtocol {
+            context: ZeroStateContext::new(code),
+            prep,
+            layers: Vec::new(),
+        };
+        let uncapped = check_fault_tolerance(&protocol);
+        let capped = check_fault_tolerance_with(
+            &protocol,
+            &FtCheckOptions {
+                max_violations: 3,
+                threads: 1,
+            },
+        );
+        assert_eq!(capped.violations.len(), 3);
+        assert_eq!(capped.violations_found, uncapped.violations_found);
+        // The capped list is the prefix of the uncapped one.
+        for (a, b) in capped.violations.iter().zip(&uncapped.violations) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(format!("{:?}", a.effect), format!("{:?}", b.effect));
+        }
+    }
+
+    #[test]
+    fn order_check_is_thread_count_invariant() {
+        let code = catalog::surface3();
+        let prep = synthesize_prep(&code, &PrepOptions::default());
+        let protocol = DeterministicProtocol {
+            context: ZeroStateContext::new(code),
+            prep,
+            layers: Vec::new(),
+        };
+        let serial = check_fault_tolerance_order_with(
+            &protocol,
+            2,
+            &FtCheckOptions {
+                max_violations: 50,
+                threads: 1,
+            },
+        );
+        let parallel = check_fault_tolerance_order_with(
+            &protocol,
+            2,
+            &FtCheckOptions {
+                max_violations: 50,
+                threads: 4,
+            },
+        );
+        assert_eq!(serial.sets_checked, parallel.sets_checked);
+        assert_eq!(serial.violations_found, parallel.violations_found);
+        assert_eq!(serial.violations.len(), parallel.violations.len());
+        for (a, b) in serial.violations.iter().zip(&parallel.violations) {
+            assert_eq!(format!("{:?}", a), format!("{:?}", b));
+        }
+    }
+
+    /// On *every* distance-3 catalog code, the order-1 fault-set check must
+    /// agree bit-for-bit with the legacy single-fault check: same counts,
+    /// same violations in the same order, field by field.
+    #[test]
+    fn order_one_agrees_with_legacy_on_every_distance3_code() {
+        for code in catalog::all() {
+            if code.parameters().2 != 3 {
+                continue;
+            }
+            let name = code.name().to_string();
+            let prep = rref_fanout_prep(&code);
+            let protocol = DeterministicProtocol {
+                context: ZeroStateContext::new(code),
+                prep,
+                layers: Vec::new(),
+            };
+            let options = FtCheckOptions {
+                max_violations: usize::MAX,
+                threads: 1,
+            };
+            let legacy = check_fault_tolerance_with(&protocol, &options);
+            let order = check_fault_tolerance_order_with(&protocol, 1, &options);
+            assert_eq!(order.order, 1);
+            assert_eq!(legacy.locations, order.locations, "{name}");
+            assert_eq!(legacy.faults_checked, order.sets_checked, "{name}");
+            assert_eq!(legacy.violations_found, order.violations_found, "{name}");
+            assert_eq!(legacy.violations.len(), order.violations.len(), "{name}");
+            for (single, set) in legacy.violations.iter().zip(&order.violations) {
+                assert_eq!(set.faults.len(), 1, "{name}: order-1 sets are singletons");
+                let fault = &set.faults[0];
+                assert_eq!(single.location, fault.location, "{name}");
+                assert_eq!(single.segment, fault.segment, "{name}");
+                assert_eq!(
+                    format!("{:?}", single.effect),
+                    format!("{:?}", fault.effect),
+                    "{name}"
+                );
+                assert_eq!(single.x_weight, set.x_weight, "{name}");
+                assert_eq!(single.z_weight, set.z_weight, "{name}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Property over the cat-code family and arbitrary violation caps:
+        /// the order-1 check agrees with the legacy check bit-for-bit, and a
+        /// capped report is the prefix of the uncapped one with the full
+        /// count preserved.
+        fn order_one_matches_legacy_on_cat_codes(size in 3usize..9, cap in 1usize..40) {
+            let code = catalog::cat_state(size);
+            let prep = synthesize_prep(&code, &PrepOptions::default());
+            let protocol = DeterministicProtocol {
+                context: ZeroStateContext::new(code),
+                prep,
+                layers: Vec::new(),
+            };
+            let uncapped = FtCheckOptions { max_violations: usize::MAX, threads: 1 };
+            let capped = FtCheckOptions { max_violations: cap, threads: 1 };
+            let legacy = check_fault_tolerance_with(&protocol, &capped);
+            let order = check_fault_tolerance_order_with(&protocol, 1, &capped);
+            let full = check_fault_tolerance_order_with(&protocol, 1, &uncapped);
+
+            prop_assert_eq!(legacy.faults_checked, order.sets_checked);
+            prop_assert_eq!(legacy.violations_found, order.violations_found);
+            prop_assert_eq!(order.violations_found, full.violations_found);
+            prop_assert_eq!(order.violations.len(), full.violations.len().min(cap));
+            for (single, set) in legacy.violations.iter().zip(&order.violations) {
+                prop_assert_eq!(single.location, set.faults[0].location);
+                prop_assert_eq!(single.x_weight, set.x_weight);
+                prop_assert_eq!(single.z_weight, set.z_weight);
+            }
+            // The capped list is a prefix of the uncapped one.
+            for (capped_v, full_v) in order.violations.iter().zip(&full.violations) {
+                prop_assert_eq!(format!("{capped_v:?}"), format!("{full_v:?}"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn order_zero_panics() {
+        let code = catalog::steane();
+        let prep = synthesize_prep(&code, &PrepOptions::default());
+        let protocol = DeterministicProtocol {
+            context: ZeroStateContext::new(code),
+            prep,
+            layers: Vec::new(),
+        };
+        check_fault_tolerance_order(&protocol, 0);
     }
 }

@@ -167,6 +167,69 @@
 //! summarized in the metrics format of the paper's Table I
 //! ([`ProtocolMetrics`]).
 //!
+//! # Workloads
+//!
+//! The pipeline prepares more than the paper's distance-3 zero states. A
+//! [`WorkloadKind`] names *what* a request prepares:
+//!
+//! * [`WorkloadKind::ZeroStatePrep`] (the default) prepares the logical
+//!   all-zero state of the request's code — every call site that predates
+//!   the enum behaves exactly as before.
+//! * [`WorkloadKind::CatStatePrep`] prepares an n-qubit cat (GHZ) state.
+//!   A cat state is the zero state of the "cat code" whose X stabilizer is
+//!   the all-ones row and whose Z stabilizers are neighbor pairs
+//!   ([`dftsp_code::catalog::cat_state`]), so the workload substitutes that
+//!   code and reuses the entire encoder/verification/correction machinery
+//!   unchanged. The workload rides through [`SynthesisRequest`]s, is
+//!   stamped on the [`SynthesisReport`], and is fingerprinted into the
+//!   [`ReportKey`], so cat-state reports cache separately from zero-state
+//!   reports for the same request code.
+//!
+//! Orthogonally, the *order* of fault tolerance scales with distance: a
+//! distance-d code calls for order t = (d − 1)/2 — every set of s ≤ t
+//! faults may leave at most a reduced residual weight of s per CSS sector.
+//! [`check_fault_tolerance_order`] checks exactly that by enumerating fault
+//! *sets* up to size t over the fault-free execution path (the single-fault
+//! check is its t = 1 specialization), and
+//! [`target_order`](EngineBuilder::target_order) makes the engine *reach*
+//! it: after the ordinary order-1 pipeline, the engine re-checks at the
+//! target order and, for any violating fault sets, synthesizes additional
+//! verification layers and order-aware corrections until the checker passes
+//! (or fails honestly with [`SynthesisError::OrderNotReached`]). The
+//! default stays order 1 on every code: the repair loop's exhaustive
+//! fault-set passes are affordable for cat states and other small codes
+//! but run to CPU-hours on the distance-5 catalog entries (`QR-17`,
+//! `Surface-5`), which therefore synthesize at order 1 unless a higher
+//! order is requested explicitly (see ROADMAP for the open scaling work):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dftsp::{
+//!     check_fault_tolerance_order, MemoryReportStore, Provenance, SynthesisEngine,
+//!     SynthesisRequest, SynthesisService, WorkloadKind,
+//! };
+//! use dftsp_code::catalog;
+//!
+//! // An engine targeting order-2 fault tolerance; the 4-qubit cat state
+//! // reaches it.
+//! let engine = SynthesisEngine::builder().target_order(2).build();
+//! let report = engine.synthesize(&catalog::cat_state(4))?;
+//! assert!(check_fault_tolerance_order(&report.protocol, 2).is_fault_tolerant());
+//!
+//! // The same preparation as a service workload: the request carries the
+//! // *logical* ask (a 4-qubit cat state); the code substitution and report
+//! // caching happen behind the key.
+//! let service = SynthesisService::builder()
+//!     .report_store(Arc::new(MemoryReportStore::new()))
+//!     .build();
+//! let request = SynthesisRequest::new(catalog::steane())
+//!     .workload(WorkloadKind::CatStatePrep { size: 4 });
+//! let response = service.submit(request)?;
+//! assert_eq!(response.provenance, Provenance::Solved);
+//! assert_eq!(response.report.workload, WorkloadKind::CatStatePrep { size: 4 });
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # Quick start
 //!
 //! ```
@@ -211,6 +274,7 @@ pub mod service;
 pub mod store;
 pub mod synthesis;
 pub mod verify;
+pub mod workload;
 
 pub use cache::FaultCache;
 pub use context::ZeroStateContext;
@@ -219,14 +283,18 @@ pub use engine::{
     EngineBuilder, GlobalReport, SatSession, SatStats, Stage, StageReport, SynthesisEngine,
     SynthesisReport,
 };
-pub use ftcheck::{check_fault_tolerance, enumerate_single_fault_records, FtReport, FtViolation};
+pub use ftcheck::{
+    check_fault_tolerance, check_fault_tolerance_order, check_fault_tolerance_order_with,
+    check_fault_tolerance_with, enumerate_single_fault_records, FaultSetViolation, FtCheckOptions,
+    FtFault, FtOrderReport, FtReport, FtViolation, SingleFaultRecord,
+};
 pub use gadget::MeasurementGadget;
 pub use global::{globally_optimize, GlobalOptions, GlobalResult};
 pub use metrics::{LayerMetrics, ProtocolMetrics};
 pub use prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
 pub use protocol::{
     execute, BranchKey, CorrectionBranch, DeterministicProtocol, ExecutionRecord, FaultModel,
-    NoFaults, SegmentId, SingleFault, VerificationLayer,
+    FaultSet, NoFaults, SegmentId, SingleFault, VerificationLayer,
 };
 pub use remote::{
     BreakerState, FaultAction, FaultError, FaultPlan, FaultyKv, FaultyStore, RemoteConfigError,
@@ -247,6 +315,7 @@ pub use synthesis::{
     SynthesisOptions,
 };
 pub use verify::{VerificationOptions, VerificationSolution};
+pub use workload::WorkloadKind;
 
 // Re-exported so downstream callers can select a backend and ladder mode
 // without depending on `dftsp-sat` directly.

@@ -176,7 +176,7 @@ impl DeterministicProtocol {
 }
 
 /// Identifies which part of the protocol a fault location belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SegmentId {
     /// The unitary preparation circuit.
     Prep,
@@ -251,6 +251,61 @@ impl FaultModel for SingleFault {
         _site: &FaultSite,
     ) -> Option<FaultEffect> {
         (location == self.location).then(|| self.effect.clone())
+    }
+}
+
+/// Injects a fixed set of faults addressed by (segment, offset within the
+/// segment).
+///
+/// Unlike [`SingleFault`], which addresses its fault by global location
+/// index, a *set* of faults must stay meaningful when earlier faults change
+/// the execution path: a triggered correction branch inserts extra fault
+/// locations, shifting the global indices of everything behind it. Segments
+/// of the fault-free path (preparation and verification measurements) run
+/// exactly once per execution, so the pair (segment, offset within that
+/// segment's location stream) is a stable address under path divergence.
+///
+/// The model tracks the current segment and resets its offset counter on
+/// every segment change, so one `FaultSet` value must drive exactly one
+/// execution (clone it to re-execute).
+#[derive(Debug, Clone)]
+pub struct FaultSet {
+    faults: Vec<((SegmentId, usize), FaultEffect)>,
+    current_segment: Option<SegmentId>,
+    offset: usize,
+}
+
+impl FaultSet {
+    /// A model injecting `effect` at `(segment, offset)` for every listed
+    /// fault. Addresses must be unique.
+    pub fn new(faults: Vec<((SegmentId, usize), FaultEffect)>) -> Self {
+        FaultSet {
+            faults,
+            current_segment: None,
+            offset: 0,
+        }
+    }
+}
+
+impl FaultModel for FaultSet {
+    fn fault(
+        &mut self,
+        _location: usize,
+        segment: SegmentId,
+        _circuit: &Circuit,
+        _site: &FaultSite,
+    ) -> Option<FaultEffect> {
+        if self.current_segment == Some(segment) {
+            self.offset += 1;
+        } else {
+            self.current_segment = Some(segment);
+            self.offset = 0;
+        }
+        let offset = self.offset;
+        self.faults
+            .iter()
+            .find(|((s, o), _)| *s == segment && *o == offset)
+            .map(|(_, effect)| effect.clone())
     }
 }
 
@@ -567,6 +622,93 @@ mod tests {
             })]
         );
         assert_eq!(record.residual.x_part(), &recovery);
+    }
+
+    #[test]
+    fn fault_set_addresses_match_single_fault_on_the_fault_free_path() {
+        let protocol = bare_steane_protocol();
+        let effect = FaultEffect::Pauli(PauliString::single(7, protocol.prep.seeds[0], Pauli::X));
+        // Prep is the first segment, so (Prep, k) coincides with global
+        // location k.
+        let single = execute(
+            &protocol,
+            &mut SingleFault {
+                location: 3,
+                effect: effect.clone(),
+            },
+        );
+        let set = execute(
+            &protocol,
+            &mut FaultSet::new(vec![((SegmentId::Prep, 3), effect)]),
+        );
+        assert_eq!(single.residual, set.residual);
+        assert_eq!(single.layer_outcomes, set.layer_outcomes);
+
+        // A verification-segment address resets its offset at the segment
+        // boundary: (Verification, 0) is global location prep_len.
+        let prep_len = protocol.prep.circuit.len();
+        let flip = FaultEffect::MeasurementFlip(0);
+        let single = execute(
+            &protocol,
+            &mut SingleFault {
+                location: prep_len + protocol.layers[0].verifications[0].to_circuit().len() - 1,
+                effect: flip.clone(),
+            },
+        );
+        let gadget_len = protocol.layers[0].verifications[0].to_circuit().len();
+        let set = execute(
+            &protocol,
+            &mut FaultSet::new(vec![(
+                (
+                    SegmentId::Verification { layer: 0, index: 0 },
+                    gadget_len - 1,
+                ),
+                flip,
+            )]),
+        );
+        assert_eq!(single.layer_outcomes, set.layer_outcomes);
+    }
+
+    #[test]
+    fn fault_set_injects_multiple_faults() {
+        let protocol = bare_steane_protocol();
+        let q = protocol.prep.seeds[0];
+        let effect = FaultEffect::Pauli(PauliString::single(7, q, Pauli::X));
+        // The same X twice at different prep locations with no CNOT in
+        // between acting on q would cancel; instead check that two
+        // measurement flips of the same outcome cancel exactly.
+        let gadget_len = protocol.layers[0].verifications[0].to_circuit().len();
+        let seg = SegmentId::Verification { layer: 0, index: 0 };
+        let record = execute(
+            &protocol,
+            &mut FaultSet::new(vec![
+                ((seg, gadget_len - 1), FaultEffect::MeasurementFlip(0)),
+                ((seg, gadget_len - 2), FaultEffect::MeasurementFlip(0)),
+            ]),
+        );
+        assert!(record.layer_outcomes[0].is_trivial());
+        // And that a prep fault and a measurement flip both land: against the
+        // single-fault run the residual is unchanged (no branches attached)
+        // while the syndrome bit is flipped on top.
+        let single = execute(
+            &protocol,
+            &mut SingleFault {
+                location: 0,
+                effect: effect.clone(),
+            },
+        );
+        let record = execute(
+            &protocol,
+            &mut FaultSet::new(vec![
+                ((SegmentId::Prep, 0), effect),
+                ((seg, gadget_len - 1), FaultEffect::MeasurementFlip(0)),
+            ]),
+        );
+        assert_eq!(record.residual, single.residual);
+        assert_eq!(
+            record.layer_outcomes[0].syndrome,
+            single.layer_outcomes[0].syndrome ^ 1
+        );
     }
 
     #[test]

@@ -69,6 +69,7 @@ use dftsp_sat::{BackendChoice, LadderMode};
 use crate::engine::{EngineBuilder, SynthesisEngine, SynthesisReport};
 use crate::store::{ReportKey, ReportStore};
 use crate::synthesis::{SynthesisError, SynthesisOptions};
+use crate::workload::WorkloadKind;
 
 /// How long a blocked submission *with a cancellation token* sleeps between
 /// cancellation checks. Wakeups for results and admissions are prompt
@@ -143,6 +144,7 @@ impl CancellationToken {
 pub struct SynthesisRequest {
     code: CssCode,
     options: Option<SynthesisOptions>,
+    workload: Option<WorkloadKind>,
     solver: Option<BackendChoice>,
     ladder: Option<LadderMode>,
     priority: Priority,
@@ -157,6 +159,7 @@ impl SynthesisRequest {
         SynthesisRequest {
             code,
             options: None,
+            workload: None,
             solver: None,
             ladder: None,
             priority: Priority::default(),
@@ -168,6 +171,16 @@ impl SynthesisRequest {
     /// Overrides the per-step synthesis options for this request only.
     pub fn options(mut self, options: SynthesisOptions) -> Self {
         self.options = Some(options);
+        self
+    }
+
+    /// Overrides the synthesis workload for this request only. Cat-state
+    /// requests run the pipeline against the GHZ stabilizer group of
+    /// [`WorkloadKind::CatStatePrep`] regardless of the requested code, and
+    /// are keyed (coalesced, cached, stored) separately from zero-state
+    /// requests.
+    pub fn workload(mut self, workload: WorkloadKind) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -208,6 +221,11 @@ impl SynthesisRequest {
     /// The requested code.
     pub fn code(&self) -> &CssCode {
         &self.code
+    }
+
+    /// The workload override, if any.
+    pub fn workload_override(&self) -> Option<WorkloadKind> {
+        self.workload
     }
 }
 
@@ -587,20 +605,20 @@ impl SynthesisService {
     }
 
     /// The [`ReportKey`] under which `request` is coalesced, cached and
-    /// stored: the code plus the request's *effective* configuration
-    /// (service defaults overlaid with the request's overrides).
+    /// stored: the effective code plus the request's *effective*
+    /// configuration (service defaults overlaid with the request's
+    /// overrides, including the workload).
     pub fn request_key(&self, request: &SynthesisRequest) -> ReportKey {
-        ReportKey::new(
-            &request.code,
-            request
-                .options
-                .as_ref()
-                .unwrap_or(self.inner.engine.options()),
-            request.solver.unwrap_or_else(|| self.inner.engine.solver()),
-            request
-                .ladder
-                .unwrap_or_else(|| self.inner.engine.ladder_mode()),
-        )
+        self.solve_engine(request).report_key(&request.code)
+    }
+
+    /// The code the pipeline actually runs on for `request`: the requested
+    /// code itself, or the GHZ code for cat-state workloads.
+    fn effective_code(&self, request: &SynthesisRequest) -> CssCode {
+        request
+            .workload
+            .unwrap_or_else(|| self.inner.engine.workload())
+            .effective_code(&request.code)
     }
 
     /// A snapshot of the traffic counters.
@@ -726,7 +744,7 @@ impl SynthesisService {
             // engine's classic path did), before any scheduling.
             if let Some(store) = self.inner.engine.report_store() {
                 let lookup_start = Instant::now();
-                if let Some(report) = store.load(&key, &request.code) {
+                if let Some(report) = store.load(&key, &self.effective_code(request)) {
                     self.inner.cached.fetch_add(1, Ordering::Relaxed);
                     return Ok(SynthesisResponse {
                         report,
@@ -868,6 +886,7 @@ impl SynthesisService {
     fn solve_engine(&self, request: &SynthesisRequest) -> SynthesisEngine {
         self.inner.engine.configured(
             request.options.clone(),
+            request.workload,
             request.solver,
             request.ladder,
             request.solve_threads,

@@ -39,6 +39,7 @@ use crate::json::Json;
 use crate::prep::{PrepCircuit, PrepMethod};
 use crate::protocol::{BranchKey, CorrectionBranch, DeterministicProtocol, VerificationLayer};
 use crate::synthesis::SynthesisOptions;
+use crate::workload::WorkloadKind;
 use crate::ZeroStateContext;
 
 /// Bumped whenever the on-disk format or the meaning of a fingerprint
@@ -46,7 +47,9 @@ use crate::ZeroStateContext;
 /// Version 3: [`ReportKey::file_name`] gained the collision-proof name-hash
 /// infix, so pre-3 files are unreachable under the new naming and must not
 /// resurface through a matching fingerprint.
-const FORMAT_VERSION: u64 = 4;
+/// Version 5: reports carry their [`WorkloadKind`] (and keys fingerprint
+/// it), so zero-state and cat-state answers can never be confused.
+const FORMAT_VERSION: u64 = 5;
 
 /// Identifies one synthesis result: the code plus a fingerprint of
 /// everything the result depends on (code structure, synthesis options, SAT
@@ -60,9 +63,12 @@ pub struct ReportKey {
 }
 
 impl ReportKey {
-    /// Builds the key for `code` under the given engine configuration.
+    /// Builds the key for `code` under the given workload and engine
+    /// configuration. `code` is the *effective* code the pipeline runs on
+    /// (the GHZ code for cat-state workloads).
     pub fn new(
         code: &CssCode,
+        workload: WorkloadKind,
         options: &SynthesisOptions,
         solver: BackendChoice,
         ladder: LadderMode,
@@ -75,6 +81,7 @@ impl ReportKey {
             code.stabilizers(PauliKind::Z),
             code.logicals(PauliKind::X),
             code.logicals(PauliKind::Z),
+            workload,
             options,
             solver,
             ladder,
@@ -1147,6 +1154,7 @@ pub(crate) fn report_to_json(report: &SynthesisReport) -> Json {
     Json::obj(vec![
         ("version", Json::Num(FORMAT_VERSION)),
         ("code_name", Json::Str(report.code_name.clone())),
+        ("workload", Json::Str(report.workload.label())),
         ("prep", prep_to_json(&report.protocol.prep)),
         (
             "layers",
@@ -1175,6 +1183,9 @@ pub(crate) fn report_from_json(json: &Json, code: &CssCode) -> Result<SynthesisR
             code.name()
         ));
     }
+    let workload_label = str_field(json, "workload")?;
+    let workload = WorkloadKind::from_label(workload_label)
+        .ok_or_else(|| format!("unknown workload label {workload_label:?}"))?;
     let protocol = DeterministicProtocol {
         context: ZeroStateContext::new(code.clone()),
         prep: prep_from_json(json.get("prep").ok_or("missing prep")?)?,
@@ -1185,6 +1196,7 @@ pub(crate) fn report_from_json(json: &Json, code: &CssCode) -> Result<SynthesisR
     };
     Ok(SynthesisReport {
         code_name,
+        workload,
         protocol,
         stages: arr_field(json, "stages")?
             .iter()
@@ -1204,8 +1216,9 @@ mod tests {
 
     fn debug_rendering(report: &SynthesisReport) -> String {
         format!(
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
             report.code_name,
+            report.workload,
             report.protocol.prep,
             report.protocol.layers,
             report.stages,
@@ -1233,14 +1246,17 @@ mod tests {
     #[test]
     fn report_key_separates_codes_and_configurations() {
         let options = SynthesisOptions::default();
+        let zero = WorkloadKind::ZeroStatePrep;
         let steane = ReportKey::new(
             &catalog::steane(),
+            zero,
             &options,
             BackendChoice::Cdcl,
             LadderMode::Incremental,
         );
         let surface = ReportKey::new(
             &catalog::surface3(),
+            zero,
             &options,
             BackendChoice::Cdcl,
             LadderMode::Incremental,
@@ -1248,6 +1264,7 @@ mod tests {
         assert_ne!(steane, surface);
         let fresh = ReportKey::new(
             &catalog::steane(),
+            zero,
             &options,
             BackendChoice::Cdcl,
             LadderMode::Fresh,
@@ -1257,14 +1274,24 @@ mod tests {
         tweaked.verification.max_measurements += 1;
         let other = ReportKey::new(
             &catalog::steane(),
+            zero,
             &tweaked,
             BackendChoice::Cdcl,
             LadderMode::Incremental,
         );
         assert_ne!(steane.fingerprint, other.fingerprint);
+        let cat = ReportKey::new(
+            &catalog::steane(),
+            WorkloadKind::CatStatePrep { size: 4 },
+            &options,
+            BackendChoice::Cdcl,
+            LadderMode::Incremental,
+        );
+        assert_ne!(steane.fingerprint, cat.fingerprint);
         // Same inputs, same key.
         let again = ReportKey::new(
             &catalog::steane(),
+            zero,
             &options,
             BackendChoice::Cdcl,
             LadderMode::Incremental,
@@ -1304,6 +1331,54 @@ mod tests {
         assert!(store.load(&key, &code).is_none());
         assert_eq!(store.misses(), 1);
         assert_eq!(store.corrupt_entries(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Format-version compatibility: an entry written by a previous codec
+    /// version must be *skipped* (a warned, counted miss), never crash the
+    /// load or be served with misinterpreted fields — and the next save at
+    /// the current version must repair it in place.
+    #[test]
+    fn json_store_skips_previous_format_versions() {
+        let dir = std::env::temp_dir().join(format!(
+            "dftsp-store-version-{}-{:x}",
+            std::process::id(),
+            debug_fingerprint(&"version")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JsonReportStore::new(&dir).unwrap();
+        let code = catalog::steane();
+        let engine = SynthesisEngine::default();
+        let key = engine.report_key(&code);
+        let report = engine.synthesize(&code).unwrap();
+        store.save(&key, &report);
+
+        // Rewrite the stored entry as its previous-version shape: version 4
+        // predates the workload field, so strip it and stamp the old number.
+        let path = store.dir().join(key.file_name());
+        let current = std::fs::read_to_string(&path).unwrap();
+        let old_version = format!("\"version\":{}", FORMAT_VERSION - 1);
+        let downgraded = current
+            .replace(
+                &format!("\"version\":{FORMAT_VERSION}"),
+                old_version.as_str(),
+            )
+            .replace("\"workload\":\"zero-state\",", "");
+        assert_ne!(current, downgraded, "the rewrite must hit both fields");
+        std::fs::write(&path, downgraded).unwrap();
+
+        assert!(
+            store.load(&key, &code).is_none(),
+            "a previous-version entry must read as a miss, not decode"
+        );
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.corrupt_entries(), 1);
+
+        // Re-synthesizing against the store overwrites the stale entry.
+        store.save(&key, &report);
+        let repaired = store.load(&key, &code).expect("repaired entry is served");
+        assert_eq!(debug_rendering(&report), debug_rendering(&repaired));
+        assert_eq!(store.corrupt_entries(), 1, "the repair is not corrupt");
         std::fs::remove_dir_all(&dir).ok();
     }
 

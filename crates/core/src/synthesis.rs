@@ -17,7 +17,7 @@
 //! measurement errors and errors that occur between verification measurements
 //! are all included in the correction problems automatically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dftsp_code::CssCode;
 use dftsp_f2::BitVec;
@@ -28,7 +28,9 @@ use crate::correct::{
     synthesize_corrections_batch, CorrectionError, CorrectionOptions, CorrectionProblem,
 };
 use crate::engine::{SatSession, SynthesisEngine};
-use crate::ftcheck::{enumerate_single_fault_records, SingleFaultRecord};
+use crate::ftcheck::{
+    enumerate_single_fault_records, for_fault_sets_from, record_fault_path, SingleFaultRecord,
+};
 use crate::gadget::MeasurementGadget;
 use crate::perm::HeapPermutations;
 use crate::prep::{PrepCircuit, PrepOptions};
@@ -61,6 +63,14 @@ pub struct SynthesisOptions {
     pub correction: CorrectionOptions,
     /// Flagging strategy (step (c)).
     pub flag_policy: FlagPolicy,
+    /// The fault-tolerance order the synthesized protocol must reach: every
+    /// set of `s ≤ t` faults must leave a residual of reduced weight at most
+    /// `s` per CSS sector. `None` (the default) targets order 1, keeping
+    /// the classic single-fault pipeline unchanged on every code. Orders
+    /// above 1 are opt-in and run additional verification/correction
+    /// repair rounds after the standard two-layer pipeline (see
+    /// [`crate::check_fault_tolerance_order`]).
+    pub target_order: Option<usize>,
 }
 
 impl SynthesisOptions {
@@ -92,6 +102,18 @@ pub enum SynthesisError {
         /// The underlying failure.
         source: CorrectionError,
     },
+    /// The repair rounds exhausted without reaching the requested
+    /// fault-tolerance order. The protocol is still order-1 fault-tolerant
+    /// (all single faults are handled); the count reports how many fault
+    /// sets of size ≤ `order` still violate the order-`order` criterion.
+    OrderNotReached {
+        /// The requested fault-tolerance order.
+        order: usize,
+        /// How many repair rounds ran before giving up.
+        rounds: usize,
+        /// Number of violating fault sets remaining after the last round.
+        violations: usize,
+    },
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -108,6 +130,15 @@ impl std::fmt::Display for SynthesisError {
                 f,
                 "{error_kind}-correction synthesis failed for outcome {key}: {source}"
             ),
+            SynthesisError::OrderNotReached {
+                order,
+                rounds,
+                violations,
+            } => write!(
+                f,
+                "order-{order} fault tolerance not reached after {rounds} repair \
+                 round(s): {violations} violating fault set(s) remain"
+            ),
         }
     }
 }
@@ -117,6 +148,7 @@ impl std::error::Error for SynthesisError {
         match self {
             SynthesisError::Verification { source, .. } => Some(source),
             SynthesisError::Correction { source, .. } => Some(source),
+            SynthesisError::OrderNotReached { .. } => None,
         }
     }
 }
@@ -327,6 +359,7 @@ pub(crate) fn attach_correction_branches_with(
         keys.push((key, corrected_kind));
         problems.push(CorrectionProblem {
             errors,
+            target_weights: Vec::new(),
             measurable: protocol.context.measurable_group(corrected_kind).clone(),
             reduction: protocol.context.reduction_group(corrected_kind).clone(),
         });
@@ -358,6 +391,134 @@ pub(crate) fn attach_correction_branches_with(
                 // A detected hook implies the single fault happened inside
                 // this layer's measurements, so no further layer is needed
                 // (step (e) of Fig. 3).
+                terminates: key.has_flag(),
+            },
+        );
+    }
+    let count = branches.len();
+    protocol.layers[layer_index].branches = branches;
+    Ok(count)
+}
+
+/// Attaches correction branches to the protocol's last layer under the
+/// order-`order` criterion of [`crate::check_fault_tolerance_order`].
+///
+/// The order-aware sibling of [`attach_correction_branches_with`]: instead of
+/// the single-fault records it enumerates every fault set of size
+/// `1..=order` on the fault-free execution path (fanned out over `threads`
+/// workers with a deterministic index-order merge), buckets the residuals by
+/// the last layer's observed outcome, and gives each error its set size as
+/// the per-error correction target weight — a set of `s` faults only has to
+/// be corrected back to reduced weight ≤ `s`.
+pub(crate) fn attach_order_corrections(
+    protocol: &mut DeterministicProtocol,
+    order: usize,
+    options: &SynthesisOptions,
+    session: &mut SatSession,
+    threads: usize,
+) -> Result<usize, SynthesisError> {
+    let layer_index = protocol.layers.len() - 1;
+    let error_kind = protocol.layers[layer_index].error_kind;
+
+    let shared: &DeterministicProtocol = protocol;
+    let path = record_fault_path(shared);
+    let indices: Vec<usize> = (0..path.len()).collect();
+    let per_outer = crate::par::parallel_map_indexed(
+        &indices,
+        threads.max(1),
+        |_, &outer| {
+            let mut sets: Vec<(BranchKey, BitVec, BitVec, usize)> = Vec::new();
+            for_fault_sets_from(shared, &path, outer, order, &mut |set, record| {
+                let Some(&key) = record.layer_outcomes.get(layer_index) else {
+                    return; // the set terminated the protocol in an earlier layer
+                };
+                if key.is_trivial() {
+                    return;
+                }
+                sets.push((
+                    key,
+                    record.residual.part(error_kind).clone(),
+                    record.residual.part(error_kind.dual()).clone(),
+                    set.len(),
+                ));
+            });
+            sets
+        },
+        |_| false,
+    );
+
+    // Merge in index order (= serial enumeration order) and dedupe equal
+    // residual pairs per branch, keeping the smallest set size: the tightest
+    // correction target wins, and the representative order is deterministic.
+    type Bucket = (Vec<BitVec>, Vec<BitVec>, Vec<usize>);
+    type SeenIndex = HashMap<(Vec<u8>, Vec<u8>), usize>;
+    let mut buckets: BTreeMap<BranchKey, Bucket> = BTreeMap::new();
+    let mut seen: BTreeMap<BranchKey, SeenIndex> = BTreeMap::new();
+    for (key, same, dual, size) in per_outer.into_iter().flatten().flatten() {
+        let bucket = buckets.entry(key).or_default();
+        match seen
+            .entry(key)
+            .or_default()
+            .entry((same.to_bits(), dual.to_bits()))
+        {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let index = *slot.get();
+                bucket.2[index] = bucket.2[index].min(size);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(bucket.0.len());
+                bucket.0.push(same);
+                bucket.1.push(dual);
+                bucket.2.push(size);
+            }
+        }
+    }
+
+    let mut keys = Vec::with_capacity(buckets.len());
+    let mut problems = Vec::with_capacity(buckets.len());
+    for (key, (same_sector, dual_sector, sizes)) in buckets {
+        let corrected_kind = if key.has_flag() {
+            error_kind.dual()
+        } else {
+            error_kind
+        };
+        let errors = if key.has_flag() {
+            dual_sector
+        } else {
+            same_sector
+        };
+        keys.push((key, corrected_kind));
+        problems.push(CorrectionProblem {
+            errors,
+            target_weights: sizes,
+            measurable: protocol.context.measurable_group(corrected_kind).clone(),
+            reduction: protocol.context.reduction_group(corrected_kind).clone(),
+        });
+    }
+
+    let solutions = synthesize_corrections_batch(session, &problems, &options.correction, threads)
+        .map_err(|(index, source)| {
+            let (key, corrected_kind) = keys[index];
+            SynthesisError::Correction {
+                error_kind: corrected_kind,
+                key,
+                source,
+            }
+        })?;
+
+    let mut branches = BTreeMap::new();
+    for (&(key, corrected_kind), solution) in keys.iter().zip(solutions) {
+        let measurements = solution
+            .measurements
+            .iter()
+            .map(|support| MeasurementGadget::new(support.clone(), corrected_kind.dual()))
+            .collect();
+        branches.insert(
+            key,
+            CorrectionBranch {
+                error_kind: corrected_kind,
+                measurements,
+                recoveries: solution.recoveries,
                 terminates: key.has_flag(),
             },
         );

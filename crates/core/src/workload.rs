@@ -1,0 +1,94 @@
+//! Synthesis workloads: what state a protocol prepares.
+//!
+//! The paper's pipeline synthesizes fault-tolerant preparation of the
+//! logical zero state of a CSS code. Fault-tolerant *cat-state* preparation
+//! (arXiv 2601.03343) has the same SAT shape: an `n`-qubit GHZ state is the
+//! logical zero of the `[[n, 1, 1]]` repetition-style stabilizer code
+//! ([`dftsp_code::catalog::cat_state`]), so the encoder, verification and
+//! correction ladders run unchanged against the GHZ stabilizer group.
+//!
+//! [`WorkloadKind`] names the workload; it is threaded through
+//! [`crate::SynthesisRequest`], the engine configuration, the synthesized
+//! [`crate::SynthesisReport`] and the [`crate::ReportKey`] fingerprint, so
+//! cached cat-state answers can never be confused with zero-state answers.
+
+use dftsp_code::{catalog, CssCode};
+
+/// What state a synthesis run prepares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkloadKind {
+    /// Fault-tolerant preparation of the logical zero state of the requested
+    /// code (the paper's workload; the default).
+    #[default]
+    ZeroStatePrep,
+    /// Fault-tolerant preparation of an `size`-qubit cat (GHZ) state,
+    /// realized as zero-state preparation of [`catalog::cat_state`]. The
+    /// requested code is ignored; the effective code is the cat-state code.
+    CatStatePrep {
+        /// Number of qubits of the cat state (≥ 3).
+        size: usize,
+    },
+}
+
+impl WorkloadKind {
+    /// The code the pipeline actually runs on: `code` itself for zero-state
+    /// preparation, the GHZ stabilizer code for cat-state preparation.
+    pub fn effective_code(&self, code: &CssCode) -> CssCode {
+        match self {
+            WorkloadKind::ZeroStatePrep => code.clone(),
+            WorkloadKind::CatStatePrep { size } => catalog::cat_state(*size),
+        }
+    }
+
+    /// A stable, human-readable label (also the on-disk JSON form).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadKind::ZeroStatePrep => "zero-state".to_string(),
+            WorkloadKind::CatStatePrep { size } => format!("cat-state-{size}"),
+        }
+    }
+
+    /// Parses a [`WorkloadKind::label`] back. Returns `None` for unknown
+    /// labels (e.g. from a future format).
+    pub fn from_label(label: &str) -> Option<WorkloadKind> {
+        if label == "zero-state" {
+            return Some(WorkloadKind::ZeroStatePrep);
+        }
+        let size = label.strip_prefix("cat-state-")?.parse().ok()?;
+        Some(WorkloadKind::CatStatePrep { size })
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for workload in [
+            WorkloadKind::ZeroStatePrep,
+            WorkloadKind::CatStatePrep { size: 4 },
+            WorkloadKind::CatStatePrep { size: 17 },
+        ] {
+            assert_eq!(WorkloadKind::from_label(&workload.label()), Some(workload));
+        }
+        assert_eq!(WorkloadKind::from_label("cat-state-"), None);
+        assert_eq!(WorkloadKind::from_label("bell-state"), None);
+    }
+
+    #[test]
+    fn effective_code_substitutes_only_for_cat_states() {
+        let steane = catalog::steane();
+        let zero = WorkloadKind::ZeroStatePrep.effective_code(&steane);
+        assert_eq!(zero.name(), "Steane");
+        let cat = WorkloadKind::CatStatePrep { size: 5 }.effective_code(&steane);
+        assert_eq!(cat.name(), "Cat-5");
+        assert_eq!(cat.num_qubits(), 5);
+    }
+}
