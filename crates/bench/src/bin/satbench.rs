@@ -38,12 +38,24 @@
 //!   `reference_time / tuned_time` (synthesis + microbench) falls below the
 //!   threshold, so CI fails loudly on solver performance regressions
 //!   instead of silently absorbing them.
+//! * `--threads-sweep` switches to the engine-parallelism sweep: it asserts
+//!   that `threads(1)` and `threads(4)` produce bit-identical reports
+//!   (protocols, per-stage statistics and branch counts; wall-clock times
+//!   excluded) for `synthesize` on the quick codes plus the 15-qubit
+//!   tetrahedral code and for `globally_optimize` on Steane and Shor, then
+//!   measures the tetrahedral full-synthesis speedup of `threads(4)` over
+//!   `threads(1)`; with `--check MIN_SPEEDUP` that speedup is gated.
+//!
+//! The default mode also runs the tuned backend once per code with
+//! `threads(1)` and records per-stage serial wall times next to the parallel
+//! ones (`serial_us` columns in the JSON), so the trajectory shows where the
+//! fan-out actually pays.
 
 use std::time::{Duration, Instant};
 
 use dftsp::{BackendChoice, SatStats, SynthesisEngine};
 use dftsp_bench::{evaluation_codes, pigeonhole, quick_codes};
-use dftsp_code::CssCode;
+use dftsp_code::{catalog, CssCode};
 use dftsp_sat::{Encoder, Lit, Solver, SolverConfig};
 
 /// Per-stage breakdown of one synthesis run: stage name, wall time, stats.
@@ -52,12 +64,16 @@ type StageBreakdown = Vec<(String, Duration, SatStats)>;
 struct CodeResult {
     name: String,
     tuned: Duration,
+    tuned_serial: Duration,
     reference: Duration,
     portfolio: Duration,
     tuned_sat: SatStats,
     reference_sat: SatStats,
     portfolio_sat: SatStats,
     stages: StageBreakdown,
+    /// Per-stage wall times of the `threads(1)` tuned run, parallel to
+    /// `stages` (the stage lists are bit-identical across thread counts).
+    serial_stage_times: Vec<Duration>,
 }
 
 /// How much slower than the best single backend the racing portfolio may be
@@ -76,6 +92,11 @@ fn main() {
     let check: Option<f64> =
         flag_value(&args, "--check").map(|s| s.parse().expect("--check takes a float"));
 
+    if args.iter().any(|a| a == "--threads-sweep") {
+        threads_sweep(iters, check);
+        return;
+    }
+
     let codes: Vec<CssCode> = if quick {
         quick_codes()
     } else {
@@ -93,11 +114,22 @@ fn main() {
     for code in &codes {
         // One shared prep per code, outside the timed region.
         let prep = dftsp::synthesize_prep(code, &dftsp::PrepOptions::default());
-        let (tuned, tuned_sat, stages) = run_config(code, &prep, BackendChoice::Cdcl, iters);
+        let (tuned, tuned_sat, stages) = run_config(code, &prep, BackendChoice::Cdcl, iters, None);
+        let (tuned_serial, _, serial_stages) =
+            run_config(code, &prep, BackendChoice::Cdcl, iters, Some(1));
         let (reference, reference_sat, _) =
-            run_config(code, &prep, BackendChoice::CdclReference, iters);
+            run_config(code, &prep, BackendChoice::CdclReference, iters, None);
         let (portfolio, portfolio_sat, _) =
-            run_config(code, &prep, BackendChoice::portfolio(), iters);
+            run_config(code, &prep, BackendChoice::portfolio(), iters, None);
+        // Bit-identical stage lists at every thread count — only wall times
+        // may differ, so the serial times can ride along as a column.
+        assert_eq!(
+            stages.iter().map(|s| &s.0).collect::<Vec<_>>(),
+            serial_stages.iter().map(|s| &s.0).collect::<Vec<_>>(),
+            "{}: stage lists must match across thread counts",
+            code.name()
+        );
+        let serial_stage_times: Vec<Duration> = serial_stages.iter().map(|s| s.1).collect();
         println!(
             "{:<14} {:>12.2?} {:>12.2?} {:>12.2?} {:>7.2}x   conflicts {} vs {}, props/dec {:.1} vs {:.1}, reduced {}",
             code.name(),
@@ -114,12 +146,14 @@ fn main() {
         results.push(CodeResult {
             name: code.name().to_string(),
             tuned,
+            tuned_serial,
             reference,
             portfolio,
             tuned_sat,
             reference_sat,
             portfolio_sat,
             stages,
+            serial_stage_times,
         });
     }
 
@@ -213,6 +247,167 @@ fn main() {
     }
 }
 
+/// Worker count the sweep compares against the serial baseline.
+const SWEEP_THREADS: usize = 4;
+
+/// The `--threads-sweep` mode: bit-for-bit thread-count equivalence checks
+/// plus the parallel speedup gate on the 15-qubit tetrahedral code.
+fn threads_sweep(iters: u32, check: Option<f64>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "threads sweep: asserting threads(1) == threads({SWEEP_THREADS}) bit-for-bit ({cores} core(s) available)"
+    );
+
+    // The tetrahedral prep (a SAT-free seeded search) takes minutes on its
+    // own — synthesize it once and share it between the equivalence check
+    // and the speedup measurement below.
+    let tetrahedral = catalog::tetrahedral();
+    let tetrahedral_prep = dftsp::synthesize_prep(&tetrahedral, &dftsp::PrepOptions::default());
+
+    for code in &quick_codes() {
+        let prep = dftsp::synthesize_prep(code, &dftsp::PrepOptions::default());
+        assert_synthesize_equivalent(code, &prep);
+    }
+    assert_synthesize_equivalent(&tetrahedral, &tetrahedral_prep);
+
+    for code in [catalog::steane(), catalog::shor()] {
+        let serial = sweep_engine(1)
+            .globally_optimize(&code)
+            .unwrap_or_else(|e| panic!("{} with threads(1): {e}", code.name()));
+        let parallel = sweep_engine(SWEEP_THREADS)
+            .globally_optimize(&code)
+            .unwrap_or_else(|e| panic!("{} with threads({SWEEP_THREADS}): {e}", code.name()));
+        assert_eq!(
+            protocol_fingerprint(&serial.protocol),
+            protocol_fingerprint(&parallel.protocol),
+            "{}: globally optimal protocols diverge across thread counts",
+            code.name()
+        );
+        assert_eq!(
+            serial.candidates_per_layer,
+            parallel.candidates_per_layer,
+            "{}: candidate enumeration diverges across thread counts",
+            code.name()
+        );
+        assert_eq!(
+            serial.explored,
+            parallel.explored,
+            "{}: explored aggregates diverge across thread counts",
+            code.name()
+        );
+        assert_eq!(
+            stages_fingerprint(&serial.stages),
+            stages_fingerprint(&parallel.stages),
+            "{}: per-stage statistics diverge across thread counts",
+            code.name()
+        );
+        println!(
+            "  globally_optimize {:<14} OK ({:?} candidates per layer)",
+            code.name(),
+            serial.candidates_per_layer
+        );
+    }
+
+    // The speedup floor: full synthesis of the 15-qubit tetrahedral code,
+    // best of `iters` per thread count.
+    let t1 = best_synthesis_time(&tetrahedral, &tetrahedral_prep, 1, iters);
+    let tn = best_synthesis_time(&tetrahedral, &tetrahedral_prep, SWEEP_THREADS, iters);
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64();
+    println!(
+        "{} full synthesis: threads(1) {t1:.2?} vs threads({SWEEP_THREADS}) {tn:.2?} ({speedup:.2}x)",
+        tetrahedral.name()
+    );
+    if let Some(min_speedup) = check {
+        if cores < 2 {
+            // A parallel speedup cannot exist on one core — the equivalence
+            // checks above are the meaningful signal on such hosts, and a
+            // hard gate would only measure scheduling overhead.
+            println!(
+                "check skipped: only {cores} core available, parallel speedup is not measurable on this host"
+            );
+        } else if speedup < min_speedup {
+            eprintln!(
+                "FAIL: parallel speedup {speedup:.2}x on {} is below the required {min_speedup:.2}x",
+                tetrahedral.name()
+            );
+            std::process::exit(1);
+        } else {
+            println!("check passed: {speedup:.2}x >= {min_speedup:.2}x");
+        }
+    }
+}
+
+/// Asserts that serial and `SWEEP_THREADS`-worker synthesis of `code` agree
+/// on everything except wall-clock times.
+fn assert_synthesize_equivalent(code: &CssCode, prep: &dftsp::PrepCircuit) {
+    let serial = sweep_engine(1)
+        .synthesize_with_prep(code, prep.clone())
+        .unwrap_or_else(|e| panic!("{} with threads(1): {e}", code.name()));
+    let parallel = sweep_engine(SWEEP_THREADS)
+        .synthesize_with_prep(code, prep.clone())
+        .unwrap_or_else(|e| panic!("{} with threads({SWEEP_THREADS}): {e}", code.name()));
+    assert_eq!(
+        protocol_fingerprint(&serial.protocol),
+        protocol_fingerprint(&parallel.protocol),
+        "{}: synthesized protocols diverge across thread counts",
+        code.name()
+    );
+    assert_eq!(
+        stages_fingerprint(&serial.stages),
+        stages_fingerprint(&parallel.stages),
+        "{}: per-stage statistics diverge across thread counts",
+        code.name()
+    );
+    assert_eq!(
+        serial.sat_totals(),
+        parallel.sat_totals(),
+        "{}: merged SAT totals diverge across thread counts",
+        code.name()
+    );
+    println!(
+        "  synthesize        {:<14} OK ({} stages)",
+        code.name(),
+        serial.stages.len()
+    );
+}
+
+fn sweep_engine(threads: usize) -> SynthesisEngine {
+    SynthesisEngine::builder().threads(threads).build()
+}
+
+fn best_synthesis_time(
+    code: &CssCode,
+    prep: &dftsp::PrepCircuit,
+    threads: usize,
+    iters: u32,
+) -> Duration {
+    let engine = sweep_engine(threads);
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        engine
+            .synthesize_with_prep(code, prep.clone())
+            .unwrap_or_else(|e| panic!("{} with threads({threads}): {e}", code.name()));
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Bit-for-bit structural identity of a protocol: the `Debug` rendering
+/// covers the preparation circuit and every layer, gadget, branch, recovery.
+fn protocol_fingerprint(protocol: &dftsp::DeterministicProtocol) -> String {
+    format!("{:?}|{:?}", protocol.prep.circuit, protocol.layers)
+}
+
+/// Everything in a stage list except the wall-clock times.
+fn stages_fingerprint(stages: &[dftsp::StageReport]) -> String {
+    stages
+        .iter()
+        .map(|s| format!("{:?}|{:?}|{}", s.stage, s.sat, s.branches))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
 struct MicroResult {
     name: String,
     tuned: Duration,
@@ -297,8 +492,13 @@ fn run_config(
     prep: &dftsp::PrepCircuit,
     backend: BackendChoice,
     iters: u32,
+    threads: Option<usize>,
 ) -> (Duration, SatStats, StageBreakdown) {
-    let engine = SynthesisEngine::builder().solver(backend).build();
+    let mut builder = SynthesisEngine::builder().solver(backend);
+    if let Some(threads) = threads {
+        builder = builder.threads(threads);
+    }
+    let engine = builder.build();
     let mut best: Option<(Duration, SatStats, StageBreakdown)> = None;
     for _ in 0..iters {
         let start = Instant::now();
@@ -393,8 +593,10 @@ fn render_json(
         out.push_str("    {\n");
         out.push_str(&format!("      \"code\": \"{}\",\n", r.name));
         out.push_str(&format!(
-            "      \"tuned_us\": {},\n      \"reference_us\": {},\n      \"portfolio_us\": {},\n      \"speedup\": {:.4},\n      \"portfolio_vs_best_single\": {:.4},\n",
+            "      \"tuned_us\": {},\n      \"tuned_serial_us\": {},\n      \"parallel_speedup\": {:.4},\n      \"reference_us\": {},\n      \"portfolio_us\": {},\n      \"speedup\": {:.4},\n      \"portfolio_vs_best_single\": {:.4},\n",
             r.tuned.as_micros(),
+            r.tuned_serial.as_micros(),
+            r.tuned_serial.as_secs_f64() / r.tuned.as_secs_f64(),
             r.reference.as_micros(),
             r.portfolio.as_micros(),
             r.reference.as_secs_f64() / r.tuned.as_secs_f64(),
@@ -412,8 +614,9 @@ fn render_json(
         out.push_str("      \"stages\": [\n");
         for (j, (name, time, sat)) in r.stages.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"stage\": \"{name}\", \"us\": {}, \"sat\": {}}}{}\n",
+                "        {{\"stage\": \"{name}\", \"us\": {}, \"serial_us\": {}, \"sat\": {}}}{}\n",
                 time.as_micros(),
+                r.serial_stage_times[j].as_micros(),
                 stats_json(sat),
                 if j + 1 < r.stages.len() { "," } else { "" }
             ));

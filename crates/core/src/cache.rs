@@ -7,20 +7,45 @@
 //! collect the first layer's dangerous errors). [`FaultCache`] memoizes the
 //! records keyed by a structural fingerprint of the protocol, so each
 //! distinct partial protocol is enumerated exactly once per synthesis run.
+//!
+//! The cache keeps one slot per CSS sector ([`PauliKind`]): the X and Z
+//! stages of one code work on structurally different partial protocols (the
+//! Z stage sees the X layer and its branches), so a single shared slot would
+//! make the sectors evict each other's records. With per-sector slots the X
+//! correction stage can keep its branch-less records warm while the Z stage
+//! populates its own slot — a prerequisite for running both sectors
+//! concurrently.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+use dftsp_pauli::PauliKind;
+
 use crate::ftcheck::{enumerate_single_fault_records, SingleFaultRecord};
 use crate::protocol::DeterministicProtocol;
 
-/// Memoized single-fault enumeration for the protocol under construction.
+/// One memoized enumeration: the fingerprint of the protocol it belongs to
+/// and its records.
 #[derive(Debug, Default)]
-pub struct FaultCache {
+struct SectorSlot {
     fingerprint: Option<u64>,
     records: Vec<SingleFaultRecord>,
+}
+
+/// Memoized single-fault enumeration for the protocol under construction,
+/// with one independent slot per CSS sector.
+#[derive(Debug, Default)]
+pub struct FaultCache {
+    slots: [SectorSlot; 2],
     hits: u64,
     misses: u64,
+}
+
+fn slot_index(sector: PauliKind) -> usize {
+    match sector {
+        PauliKind::X => 0,
+        PauliKind::Z => 1,
+    }
 }
 
 impl FaultCache {
@@ -30,25 +55,39 @@ impl FaultCache {
     }
 
     /// The single-fault records of `protocol`, recomputing only when the
-    /// protocol changed structurally since the previous call.
+    /// protocol changed structurally since the previous call. Equivalent to
+    /// [`Self::records_for`] on the X-sector slot.
     pub fn records(&mut self, protocol: &DeterministicProtocol) -> &[SingleFaultRecord] {
-        let fingerprint = structural_fingerprint(protocol);
-        if self.fingerprint == Some(fingerprint) {
-            self.hits += 1;
-        } else {
-            self.records = enumerate_single_fault_records(protocol);
-            self.fingerprint = Some(fingerprint);
-            self.misses += 1;
-        }
-        &self.records
+        self.records_for(PauliKind::X, protocol)
     }
 
-    /// Number of avoided enumerations.
+    /// The single-fault records of `protocol` held in `sector`'s slot,
+    /// recomputing only when the protocol differs structurally from the
+    /// slot's previous query. Slots are independent: queries for one sector
+    /// never evict the other's records.
+    pub fn records_for(
+        &mut self,
+        sector: PauliKind,
+        protocol: &DeterministicProtocol,
+    ) -> &[SingleFaultRecord] {
+        let fingerprint = structural_fingerprint(protocol);
+        let slot = &mut self.slots[slot_index(sector)];
+        if slot.fingerprint == Some(fingerprint) {
+            self.hits += 1;
+        } else {
+            slot.records = enumerate_single_fault_records(protocol);
+            slot.fingerprint = Some(fingerprint);
+            self.misses += 1;
+        }
+        &slot.records
+    }
+
+    /// Number of avoided enumerations (summed over both sector slots).
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Number of performed enumerations.
+    /// Number of performed enumerations (summed over both sector slots).
     pub fn misses(&self) -> u64 {
         self.misses
     }
@@ -142,5 +181,27 @@ mod tests {
             enumerate_single_fault_records(&protocol).len()
         );
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn sector_slots_are_independent() {
+        let mut layered = bare_protocol();
+        let logical_z = layered.context.code().logicals(PauliKind::Z).row(0).clone();
+        layered.layers.push(VerificationLayer::new(
+            PauliKind::X,
+            vec![MeasurementGadget::new(logical_z, PauliKind::Z)],
+        ));
+        let bare = bare_protocol();
+
+        let mut cache = FaultCache::new();
+        // X sector works on the bare protocol, Z sector on the layered one.
+        let x_count = cache.records_for(PauliKind::X, &bare).len();
+        let z_count = cache.records_for(PauliKind::Z, &layered).len();
+        assert_eq!(cache.misses(), 2);
+        // Re-queries hit their own slots — neither evicted the other.
+        assert_eq!(cache.records_for(PauliKind::X, &bare).len(), x_count);
+        assert_eq!(cache.records_for(PauliKind::Z, &layered).len(), z_count);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -16,6 +16,15 @@
 //! The decision problem for fixed `(u, v)` is encoded into CNF and solved
 //! with the in-tree CDCL solver; optimality follows the paper by iterating
 //! `u` upwards and minimizing `v` for the first feasible `u`.
+//!
+//! `synthesize_corrections_batch` fans the independent per-branch problems
+//! out over scoped worker threads, each on a private [`SatSession`], and
+//! merges the per-problem statistics back in input order — the template every
+//! other fan-out in the crate follows (see the crate-level "Parallelism"
+//! section of [`crate`]). Callers that fan out at an outer level (candidate
+//! evaluation, X/Z stage overlap) pass a budget divided by
+//! `par::divide_threads` so the nested levels never oversubscribe the
+//! configured thread count.
 
 use std::collections::HashMap;
 

@@ -23,15 +23,18 @@
 //! optional [`ReportStore`] ([`EngineBuilder::report_store`]) serves repeat
 //! catalog requests without any solving at all.
 //!
-//! Parallelism happens at two levels, together bounded by
-//! [`EngineBuilder::threads`]: [`SynthesisEngine::synthesize_all`] fans codes
-//! out over worker threads, and *within* one code's synthesis the per-branch
-//! correction solves (independent SAT problems, one per verification
-//! outcome) fan out over the remaining thread budget —
-//! [`SynthesisEngine::synthesize_all`] divides `threads` between the levels
-//! so they never multiply. Results are joined in deterministic order and
-//! per-branch [`SatStats`] merged in branch order, so reports are
-//! bit-identical for every thread count.
+//! Every fan-out draws from the one [`EngineBuilder::threads`] budget:
+//! [`SynthesisEngine::synthesize_all`] fans codes out over worker threads;
+//! within one code the per-`u` verification ladders (each speculatively
+//! probing a second bound on a sibling session), the per-branch correction
+//! solves and the X-correction/Z-verification stage overlap run
+//! concurrently; [`SynthesisEngine::globally_optimize`] evaluates all
+//! candidate verification circuits of a layer in parallel. Nested levels
+//! receive a budget divided by `par::divide_threads` so they never multiply
+//! past `threads`. Results are joined in deterministic order and per-worker
+//! [`SatStats`] merged in input order, so reports are bit-identical for
+//! every thread count — see the crate-level "Parallelism" section of
+//! [`crate`] for the full contract.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -48,15 +51,17 @@ use crate::cache::FaultCache;
 use crate::ftcheck::{check_fault_tolerance_order_with, FtCheckOptions, FtOrderReport};
 use crate::global::GlobalResult;
 use crate::metrics::ProtocolMetrics;
+use crate::par::{divide_threads, parallel_map_indexed};
 use crate::prep::{synthesize_prep, PrepCircuit, PrepMethod, PrepOptions};
 use crate::protocol::DeterministicProtocol;
 use crate::service::{SynthesisRequest, SynthesisService};
 use crate::store::{ReportKey, ReportStore};
 use crate::synthesis::{
     attach_correction_branches_with, attach_order_corrections, build_layer_from_verification,
-    dangerous_errors_from_records, FlagPolicy, SynthesisError, SynthesisOptions,
+    dangerous_errors_excluding_flagged, dangerous_errors_from_records, FlagPolicy, SynthesisError,
+    SynthesisOptions,
 };
-use crate::verify::{enumerate_minimal_verifications_with, synthesize_verification_with};
+use crate::verify::{enumerate_minimal_verifications_threaded, synthesize_verification_threaded};
 use crate::workload::WorkloadKind;
 use crate::ZeroStateContext;
 
@@ -459,8 +464,15 @@ pub struct GlobalReport {
     pub protocol: DeterministicProtocol,
     /// Number of candidate verification circuits explored per layer.
     pub candidates_per_layer: Vec<usize>,
-    /// Per-stage timings, SAT statistics and branch counts.
+    /// Per-stage timings, SAT statistics and branch counts. Correction
+    /// stages carry only the *winning* candidate's statistics; the work
+    /// spent on losing and failed candidates is aggregated in
+    /// [`Self::explored`].
     pub stages: Vec<StageReport>,
+    /// Aggregate SAT statistics of every candidate correction synthesis
+    /// (winner included), absorbed in layer order then candidate order —
+    /// bit-identical at every thread count.
+    pub explored: SatStats,
     /// Total wall-clock synthesis time.
     pub total_time: Duration,
 }
@@ -843,6 +855,61 @@ impl SynthesisEngine {
         (protocol, cache, second_layer_expected)
     }
 
+    /// Synthesizes one sector's verification layer and correction branches
+    /// back to back with the engine's whole thread budget. Used when only a
+    /// single sector needs a layer, so there is nothing to overlap with.
+    fn synthesize_sector(
+        &self,
+        protocol: &mut DeterministicProtocol,
+        cache: &mut FaultCache,
+        error_kind: PauliKind,
+        dangerous: &[BitVec],
+        later_layer_available: bool,
+        stages: &mut Vec<StageReport>,
+    ) -> Result<(), SynthesisError> {
+        let verify_start = Instant::now();
+        let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
+        let verification = synthesize_verification_threaded(
+            &mut verify_session,
+            protocol.context.measurable_group(error_kind),
+            dangerous,
+            &self.options.verification,
+            self.threads,
+        )
+        .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+        let layer = build_layer_from_verification(
+            protocol,
+            error_kind,
+            &verification,
+            later_layer_available,
+            &self.options,
+        )?;
+        protocol.layers.push(layer);
+        stages.push(StageReport {
+            stage: Stage::Verification(error_kind),
+            time: verify_start.elapsed(),
+            sat: verify_session.take_stats(),
+            branches: 0,
+        });
+
+        let correct_start = Instant::now();
+        let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
+        let branches = attach_correction_branches_with(
+            protocol,
+            &self.options,
+            &mut correct_session,
+            cache,
+            self.threads,
+        )?;
+        stages.push(StageReport {
+            stage: Stage::Correction(error_kind),
+            time: correct_start.elapsed(),
+            sat: correct_session.take_stats(),
+            branches,
+        });
+        Ok(())
+    }
+
     fn run_pipeline(
         &self,
         code: &CssCode,
@@ -852,55 +919,181 @@ impl SynthesisEngine {
     ) -> Result<SynthesisReport, SynthesisError> {
         let (mut protocol, mut cache, second_layer_expected) = self.pipeline_setup(code, prep);
 
-        for error_kind in [PauliKind::X, PauliKind::Z] {
-            let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
-
+        let dangerous_x = {
+            let records = cache.records(&protocol);
+            dangerous_errors_from_records(&protocol.context, records, PauliKind::X)
+        };
+        if dangerous_x.is_empty() {
+            // No X layer: the Z sector (if it exists) runs with the whole
+            // budget.
+            let dangerous_z = {
+                let records = cache.records(&protocol);
+                dangerous_errors_from_records(&protocol.context, records, PauliKind::Z)
+            };
+            if !dangerous_z.is_empty() {
+                self.synthesize_sector(
+                    &mut protocol,
+                    &mut cache,
+                    PauliKind::Z,
+                    &dangerous_z,
+                    false,
+                    &mut stages,
+                )?;
+            }
+        } else {
             let verify_start = Instant::now();
             let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
-            let dangerous = {
-                let records = cache.records(&protocol);
-                dangerous_errors_from_records(&protocol.context, records, error_kind)
-            };
-            if dangerous.is_empty() {
-                continue;
-            }
-            let verification = synthesize_verification_with(
+            let verification = synthesize_verification_threaded(
                 &mut verify_session,
-                protocol.context.measurable_group(error_kind),
-                &dangerous,
+                protocol.context.measurable_group(PauliKind::X),
+                &dangerous_x,
                 &self.options.verification,
+                self.threads,
             )
-            .map_err(|source| SynthesisError::Verification { error_kind, source })?;
+            .map_err(|source| SynthesisError::Verification {
+                error_kind: PauliKind::X,
+                source,
+            })?;
             let layer = build_layer_from_verification(
                 &protocol,
-                error_kind,
+                PauliKind::X,
                 &verification,
-                later_layer_available,
+                second_layer_expected,
                 &self.options,
             )?;
             protocol.layers.push(layer);
             stages.push(StageReport {
-                stage: Stage::Verification(error_kind),
+                stage: Stage::Verification(PauliKind::X),
                 time: verify_start.elapsed(),
                 sat: verify_session.take_stats(),
                 branches: 0,
             });
 
-            let correct_start = Instant::now();
-            let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
-            let branches = attach_correction_branches_with(
-                &mut protocol,
-                &self.options,
-                &mut correct_session,
-                &mut cache,
-                self.threads,
-            )?;
-            stages.push(StageReport {
-                stage: Stage::Correction(error_kind),
-                time: correct_start.elapsed(),
-                sat: correct_session.take_stats(),
-                branches,
-            });
+            // One enumeration of the branch-less protocol serves both the X
+            // correction buckets (via the X-sector cache slot) and the Z
+            // sector's dangerous set: records whose X-layer outcome raises a
+            // flag are excluded instead of re-enumerating after branch
+            // attachment (their flag branches correct the dual-sector hook
+            // error below the danger threshold — see
+            // [`dangerous_errors_excluding_flagged`]).
+            let flag_layer = protocol.layers.len() - 1;
+            let dangerous_z = {
+                let records = cache.records(&protocol);
+                dangerous_errors_excluding_flagged(
+                    &protocol.context,
+                    records,
+                    PauliKind::Z,
+                    flag_layer,
+                )
+            };
+            if dangerous_z.is_empty() {
+                // No Z layer follows: X corrections keep the whole budget.
+                let correct_start = Instant::now();
+                let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
+                let branches = attach_correction_branches_with(
+                    &mut protocol,
+                    &self.options,
+                    &mut correct_session,
+                    &mut cache,
+                    self.threads,
+                )?;
+                stages.push(StageReport {
+                    stage: Stage::Correction(PauliKind::X),
+                    time: correct_start.elapsed(),
+                    sat: correct_session.take_stats(),
+                    branches,
+                });
+            } else {
+                // The X correction branches and the Z verification ladder are
+                // independent SAT workloads: overlap them under a divided
+                // budget (each side's inner fan-out is bit-identical at any
+                // thread count, so the overlap never changes results). X
+                // errors surface first, matching the serial stage order.
+                let x_threads = divide_threads(self.threads, 2);
+                let z_threads = (self.threads - x_threads).max(1);
+                let mut x_session = SatSession::with_mode(self.solver, self.ladder);
+                let mut z_session = SatSession::with_mode(self.solver, self.ladder);
+                let measurable_z = protocol.context.measurable_group(PauliKind::Z).clone();
+                let run_x = |protocol: &mut DeterministicProtocol,
+                             cache: &mut FaultCache,
+                             session: &mut SatSession| {
+                    let started = Instant::now();
+                    let result = attach_correction_branches_with(
+                        protocol,
+                        &self.options,
+                        session,
+                        cache,
+                        x_threads,
+                    );
+                    (result, started.elapsed())
+                };
+                let run_z = |session: &mut SatSession| {
+                    let started = Instant::now();
+                    let result = synthesize_verification_threaded(
+                        session,
+                        &measurable_z,
+                        &dangerous_z,
+                        &self.options.verification,
+                        z_threads,
+                    );
+                    (result, started.elapsed())
+                };
+                let ((x_result, x_time), (z_result, z_time)) = if self.threads >= 2 {
+                    let z_session = &mut z_session;
+                    std::thread::scope(|scope| {
+                        let z_task = scope.spawn(move || run_z(z_session));
+                        let x_outcome = run_x(&mut protocol, &mut cache, &mut x_session);
+                        let z_outcome = z_task.join().expect("Z verification thread panicked");
+                        (x_outcome, z_outcome)
+                    })
+                } else {
+                    let x_outcome = run_x(&mut protocol, &mut cache, &mut x_session);
+                    let z_outcome = run_z(&mut z_session);
+                    (x_outcome, z_outcome)
+                };
+                let branches = x_result?;
+                stages.push(StageReport {
+                    stage: Stage::Correction(PauliKind::X),
+                    time: x_time,
+                    sat: x_session.take_stats(),
+                    branches,
+                });
+                let verification = z_result.map_err(|source| SynthesisError::Verification {
+                    error_kind: PauliKind::Z,
+                    source,
+                })?;
+                let layer = build_layer_from_verification(
+                    &protocol,
+                    PauliKind::Z,
+                    &verification,
+                    false,
+                    &self.options,
+                )?;
+                protocol.layers.push(layer);
+                stages.push(StageReport {
+                    stage: Stage::Verification(PauliKind::Z),
+                    time: z_time,
+                    sat: z_session.take_stats(),
+                    branches: 0,
+                });
+
+                // Z corrections close the pipeline with the whole budget.
+                let correct_start = Instant::now();
+                let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
+                let branches = attach_correction_branches_with(
+                    &mut protocol,
+                    &self.options,
+                    &mut correct_session,
+                    &mut cache,
+                    self.threads,
+                )?;
+                stages.push(StageReport {
+                    stage: Stage::Correction(PauliKind::Z),
+                    time: correct_start.elapsed(),
+                    sat: correct_session.take_stats(),
+                    branches,
+                });
+            }
         }
 
         let target = self.effective_order();
@@ -978,11 +1171,12 @@ impl SynthesisEngine {
 
                 let verify_start = Instant::now();
                 let mut verify_session = SatSession::with_mode(self.solver, self.ladder);
-                let verification = synthesize_verification_with(
+                let verification = synthesize_verification_threaded(
                     &mut verify_session,
                     protocol.context.measurable_group(error_kind),
                     &dangerous,
                     &self.options.verification,
+                    self.threads,
                 )
                 .map_err(|source| SynthesisError::Verification { error_kind, source })?;
                 let layer = build_layer_from_verification(
@@ -1063,6 +1257,7 @@ impl SynthesisEngine {
         let (mut protocol, mut cache, second_layer_expected) = self.pipeline_setup(code, prep);
 
         let mut candidates_per_layer = Vec::new();
+        let mut explored = SatStats::default();
         for error_kind in [PauliKind::X, PauliKind::Z] {
             let later_layer_available = error_kind == PauliKind::X && second_layer_expected;
 
@@ -1075,11 +1270,12 @@ impl SynthesisEngine {
             if dangerous.is_empty() {
                 continue;
             }
-            let candidates = enumerate_minimal_verifications_with(
+            let candidates = enumerate_minimal_verifications_threaded(
                 &mut verify_session,
                 protocol.context.measurable_group(error_kind),
                 &dangerous,
                 &self.options.verification,
+                self.threads,
             )
             .map_err(|source| SynthesisError::Verification { error_kind, source })?;
             candidates_per_layer.push(candidates.len());
@@ -1090,48 +1286,65 @@ impl SynthesisEngine {
                 branches: 0,
             });
 
+            // Every candidate is evaluated on a private session, cache and
+            // trial protocol, fanned out like the per-branch correction
+            // batch; the inner branch fan-out gets the divided budget so the
+            // two levels never multiply past `self.threads`. No candidate is
+            // skipped (`stop_on` never fires), so the explored aggregate and
+            // the deterministic `(cost, candidate_index)` winner rule see
+            // identical inputs at every thread count.
             let correct_start = Instant::now();
-            let mut correct_session = SatSession::with_mode(self.solver, self.ladder);
-            let mut best: Option<(f64, DeterministicProtocol)> = None;
-            for candidate in &candidates {
-                let mut trial = protocol.clone();
-                let layer = build_layer_from_verification(
-                    &trial,
-                    error_kind,
-                    candidate,
-                    later_layer_available,
-                    &self.options,
-                )?;
-                trial.layers.push(layer);
-                match attach_correction_branches_with(
-                    &mut trial,
-                    &self.options,
-                    &mut correct_session,
-                    &mut cache,
-                    self.threads,
-                ) {
-                    Ok(_) => {}
-                    Err(_) if candidates.len() > 1 => continue,
-                    Err(e) => return Err(e),
-                }
-                let cost = ProtocolMetrics::from_protocol(&trial).expected_cost();
-                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                    best = Some((cost, trial));
+            let choice = self.solver;
+            let mode = self.ladder;
+            let workers = self.threads.min(candidates.len()).max(1);
+            let branch_threads = divide_threads(self.threads, workers);
+            let protocol_ref = &protocol;
+            let slots = parallel_map_indexed(
+                &candidates,
+                workers,
+                |_, candidate| {
+                    let mut worker_session = SatSession::with_mode(choice, mode);
+                    let mut worker_cache = FaultCache::new();
+                    let result = self.evaluate_global_candidate(
+                        protocol_ref,
+                        error_kind,
+                        candidate,
+                        later_layer_available,
+                        &mut worker_session,
+                        &mut worker_cache,
+                        branch_threads,
+                    );
+                    (result, worker_session.take_stats())
+                },
+                |_| false,
+            );
+            let mut best: Option<(f64, DeterministicProtocol, SatStats)> = None;
+            let mut last_error = None;
+            for slot in slots {
+                let (result, stats) = slot.expect("no early stop was requested");
+                explored.absorb(&stats);
+                match result {
+                    // Strict `<` keeps the earliest candidate among
+                    // equal-cost winners — the serial tie-breaking rule.
+                    Ok((cost, trial)) => {
+                        if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                            best = Some((cost, trial, stats));
+                        }
+                    }
+                    Err(error) => last_error = Some(error),
                 }
             }
-            protocol = match best {
-                Some((_, p)) => p,
-                None => {
-                    return Err(SynthesisError::Verification {
-                        error_kind,
-                        source: crate::verify::VerificationError::BudgetExhausted,
-                    })
-                }
+            let Some((_, winner, winner_stats)) = best else {
+                // Every candidate failed during correction synthesis:
+                // surface the last real correction error with its stage
+                // attribution instead of inventing a verification failure.
+                return Err(last_error.expect("at least one candidate was evaluated"));
             };
+            protocol = winner;
             stages.push(StageReport {
                 stage: Stage::Correction(error_kind),
                 time: correct_start.elapsed(),
-                sat: correct_session.take_stats(),
+                sat: winner_stats,
                 branches: protocol
                     .layers
                     .last()
@@ -1144,8 +1357,39 @@ impl SynthesisEngine {
             protocol,
             candidates_per_layer,
             stages,
+            explored,
             total_time: start.elapsed(),
         })
+    }
+
+    /// Evaluates one global-optimization candidate: builds its verification
+    /// layer on a cloned protocol, attaches correction branches (fanning out
+    /// over `branch_threads`) and prices the result. Runs on a private
+    /// session and fault cache so concurrent candidates never share solver
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_global_candidate(
+        &self,
+        protocol: &DeterministicProtocol,
+        error_kind: PauliKind,
+        candidate: &crate::verify::VerificationSolution,
+        later_layer_available: bool,
+        session: &mut SatSession,
+        cache: &mut FaultCache,
+        branch_threads: usize,
+    ) -> Result<(f64, DeterministicProtocol), SynthesisError> {
+        let mut trial = protocol.clone();
+        let layer = build_layer_from_verification(
+            &trial,
+            error_kind,
+            candidate,
+            later_layer_available,
+            &self.options,
+        )?;
+        trial.layers.push(layer);
+        attach_correction_branches_with(&mut trial, &self.options, session, cache, branch_threads)?;
+        let cost = ProtocolMetrics::from_protocol(&trial).expected_cost();
+        Ok((cost, trial))
     }
 }
 

@@ -14,6 +14,14 @@
 //! honours the configured [`LadderMode`]: with the default incremental mode
 //! the whole enumeration of one layer shares a single live solver and each
 //! found candidate only adds its blocking clauses.
+//!
+//! With `threads > 1` the engine evaluates the candidates of one layer
+//! concurrently, each on a private session, fault cache and trial protocol;
+//! the winner is picked by the deterministic `(cost, candidate index)` rule,
+//! so the result is bit-identical at every thread count. The engine report
+//! ([`crate::GlobalReport`]) attributes only the winning candidate's SAT
+//! work to the correction stage and carries the full exploration cost in its
+//! `explored` aggregate.
 
 use dftsp_code::CssCode;
 use dftsp_sat::LadderMode;

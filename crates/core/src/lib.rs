@@ -252,6 +252,35 @@
 //! assert!(reports.iter().all(Result::is_ok));
 //! # Ok::<(), dftsp::SynthesisError>(())
 //! ```
+//!
+//! # Parallelism
+//!
+//! [`EngineBuilder::threads`] caps the total number of concurrent SAT
+//! workers; every fan-out in the crate draws from that one budget. Three
+//! levels exist, and they compose by *dividing* the budget rather than
+//! multiplying worker counts:
+//!
+//! 1. **Per-branch corrections** — the independent correction problems of one
+//!    layer run on scoped workers, each with a private [`SatSession`]
+//!    (`correct::synthesize_corrections_batch`).
+//! 2. **Verification ladders** — the per-`u` cover ladders of one
+//!    verification search run concurrently, and each ladder speculatively
+//!    probes a second bound on a sibling session; when a level fans out over
+//!    `w` workers, each worker's nested fan-out receives `threads / w`
+//!    (clamped to ≥ 1), so nesting never oversubscribes the budget.
+//! 3. **Stage overlap** — while a layer's X-sector correction branches are
+//!    synthesized, the Z-sector verification search already runs on the
+//!    other half of the budget; [`SynthesisEngine::globally_optimize`]
+//!    likewise evaluates all candidate verification circuits of a layer
+//!    concurrently.
+//!
+//! Parallelism is an implementation detail, not a semantic knob: the
+//! synthesized protocols, the per-stage reports and the merged [`SatStats`]
+//! (everything except wall-clock times) are bit-identical at every thread
+//! count. Workers return `(result, stats)` pairs that the owner absorbs in
+//! input order, winners are chosen by deterministic `(cost, index)` rules,
+//! and speculative work is either always performed (sibling ladder probes)
+//! or discarded wholesale, never merged conditionally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

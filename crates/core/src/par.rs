@@ -1,8 +1,23 @@
-//! Shared scoped-worker helper for the engine's two fan-out levels
-//! (`SynthesisEngine::synthesize_all` across codes, per-branch correction
-//! synthesis within one code).
+//! Shared scoped-worker helpers for the engine's nested fan-out levels
+//! (`SynthesisEngine::synthesize_all` across codes, X/Z sector overlap,
+//! per-branch correction synthesis and per-`u` verification ladders within
+//! one code).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Divides a thread budget of `total` between `outer` concurrent tasks,
+/// returning the per-task inner budget.
+///
+/// Invariant: when at most `outer` tasks actually run concurrently (the
+/// usual `workers = total.min(items)` clamp guarantees `outer <= total`
+/// whenever `total` covers the fan-out), the product
+/// `outer * divide_threads(total, outer)` never exceeds `total.max(outer)`
+/// — nested fan-out levels never multiply past the configured budget.
+/// Every task keeps at least one thread, so a budget of 1 degrades to
+/// fully serial execution at every level.
+pub(crate) fn divide_threads(total: usize, outer: usize) -> usize {
+    (total / outer.max(1)).max(1)
+}
 
 /// Maps `f` over `items` on up to `workers` scoped threads and returns the
 /// results in input order.
@@ -81,6 +96,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn preserves_input_order() {
@@ -115,5 +131,66 @@ mod tests {
         let items: Vec<u8> = Vec::new();
         let results = parallel_map_indexed(&items, 4, |_, &x| x, |_| false);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn divide_threads_never_multiplies_past_the_budget() {
+        for total in 0..=16 {
+            for items in 0..=16 {
+                // The clamp every fan-out site applies before dividing.
+                let outer = total.min(items).max(1);
+                let inner = divide_threads(total, outer);
+                assert!(inner >= 1, "every task keeps a thread");
+                assert!(
+                    outer * inner <= total.max(outer),
+                    "total={total} items={items}: {outer} outer x {inner} inner"
+                );
+            }
+        }
+        // A serial budget stays serial at every level.
+        assert_eq!(divide_threads(1, 1), 1);
+        assert_eq!(divide_threads(1, 2), 1);
+        // An even split hands out the whole budget.
+        assert_eq!(divide_threads(8, 2), 4);
+        assert_eq!(divide_threads(8, 8), 1);
+        // Degenerate outer counts are clamped instead of dividing by zero.
+        assert_eq!(divide_threads(4, 0), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn map_contract_holds_for_any_workers_and_stop_position(
+            len in 0..48usize,
+            workers in 1..=8usize,
+            stop_at in 0..64usize,
+        ) {
+            let items: Vec<usize> = (0..len).collect();
+            let slots = parallel_map_indexed(
+                &items,
+                workers,
+                |index, &x| {
+                    assert_eq!(index, x);
+                    x
+                },
+                |&r| r == stop_at,
+            );
+            prop_assert_eq!(slots.len(), len);
+            // Processed items form a contiguous prefix; the rest is a
+            // `None` suffix.
+            let prefix = slots.iter().take_while(|s| s.is_some()).count();
+            prop_assert!(slots[prefix..].iter().all(|s| s.is_none()));
+            for (index, slot) in slots.iter().enumerate().take(prefix) {
+                prop_assert_eq!(*slot, Some(index));
+            }
+            if stop_at < len {
+                // The lowest-index stopping result is always present, and
+                // everything before it ran.
+                prop_assert!(prefix > stop_at);
+            } else {
+                // No early stop: every slot is populated.
+                prop_assert_eq!(prefix, len);
+            }
+        }
     }
 }

@@ -667,7 +667,7 @@ impl SynthesisService {
         let workers = self.concurrency().min(requests.len()).max(1);
         // Divide the thread budget between the submission fan-out and each
         // leader's per-branch correction fan-out so they never multiply.
-        let solve_threads = (self.concurrency() / workers).max(1);
+        let solve_threads = crate::par::divide_threads(self.concurrency(), workers);
         let requests: Vec<SynthesisRequest> = requests
             .into_iter()
             .map(|request| match request.solve_threads {

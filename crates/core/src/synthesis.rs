@@ -232,6 +232,49 @@ pub(crate) fn dangerous_errors_from_records(
     dangerous
 }
 
+/// [`dangerous_errors_from_records`] over records of a *branch-less* protocol
+/// whose last layer has not received its correction branches yet, skipping
+/// records whose outcome at `flag_layer` raised a flag.
+///
+/// This computes the dangerous set the *next* sector's verification layer
+/// must detect without re-enumerating the protocol after branch attachment:
+/// on the fault-free path the branch-less and branched protocols have
+/// identical fault locations and identical per-fault execution up to branch
+/// application, and the only branches that change a record's *dual*-sector
+/// residual are flag branches (same-sector recoveries act on the layer's own
+/// sector, and branch measurement gadgets never touch the residual). A flag
+/// branch corrects the dual-sector hook error below the danger threshold, so
+/// its records contribute nothing dangerous — exactly the records this
+/// filter skips. The equivalence is pinned by a test against the
+/// re-enumerated branched protocol.
+pub(crate) fn dangerous_errors_excluding_flagged(
+    context: &ZeroStateContext,
+    records: &[SingleFaultRecord],
+    error_kind: PauliKind,
+    flag_layer: usize,
+) -> Vec<BitVec> {
+    let mut dangerous = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for record in records {
+        if record.execution.terminated_early {
+            continue;
+        }
+        if record
+            .execution
+            .layer_outcomes
+            .get(flag_layer)
+            .is_some_and(|key| key.has_flag())
+        {
+            continue;
+        }
+        let residual = record.execution.residual.part(error_kind).clone();
+        if context.is_dangerous(error_kind, &residual) && seen.insert(residual.to_bits()) {
+            dangerous.push(residual);
+        }
+    }
+    dangerous
+}
+
 /// Turns a verification solution into a [`VerificationLayer`] (gadget
 /// construction, CNOT ordering and flag decisions), without branches.
 pub(crate) fn build_layer_from_verification(
@@ -321,7 +364,9 @@ pub(crate) fn attach_correction_branches_with(
     let error_kind = protocol.layers[layer_index].error_kind;
 
     // Bucket the single-fault residuals by the last layer's observed outcome.
-    let records = cache.records(protocol);
+    // Records live in the corrected sector's cache slot, so a concurrent
+    // other-sector stage never evicts them.
+    let records = cache.records_for(error_kind, protocol);
     let mut buckets: BTreeMap<BranchKey, (Vec<BitVec>, Vec<BitVec>)> = BTreeMap::new();
     for record in records {
         let Some(&key) = record.execution.layer_outcomes.get(layer_index) else {
@@ -585,6 +630,84 @@ mod tests {
         let protocol = synthesize_protocol(&catalog::steane(), &options).unwrap();
         for layer in &protocol.layers {
             assert_eq!(layer.flag_ancillas(), layer.verification_ancillas());
+        }
+    }
+
+    #[test]
+    fn flag_filtered_branchless_dangerous_set_matches_reenumeration() {
+        // The pipeline derives the Z sector's dangerous set from the
+        // *branch-less* X-layer records (skipping flagged outcomes) instead
+        // of re-enumerating after branch attachment. Pin the equivalence
+        // against the re-enumerated branched protocol, under both the
+        // default flag policy and `Always` (which exercises the flag
+        // filter for real).
+        for flag_policy in [FlagPolicy::Auto, FlagPolicy::Always] {
+            for code in [catalog::steane(), catalog::shor(), catalog::surface3()] {
+                let options = SynthesisOptions {
+                    flag_policy,
+                    ..SynthesisOptions::default()
+                };
+                let prep = crate::prep::synthesize_prep(&code, &options.prep);
+                let mut protocol = DeterministicProtocol {
+                    context: ZeroStateContext::new(code.clone()),
+                    prep,
+                    layers: Vec::new(),
+                };
+                let records = enumerate_single_fault_records(&protocol);
+                let second_layer_expected = records.iter().any(|record| {
+                    protocol
+                        .context
+                        .is_dangerous(PauliKind::Z, record.execution.residual.z_part())
+                });
+                let dangerous_x =
+                    dangerous_errors_from_records(&protocol.context, &records, PauliKind::X);
+                if dangerous_x.is_empty() {
+                    continue;
+                }
+                let mut session = SatSession::default();
+                let verification = crate::verify::synthesize_verification_with(
+                    &mut session,
+                    protocol.context.measurable_group(PauliKind::X),
+                    &dangerous_x,
+                    &options.verification,
+                )
+                .unwrap();
+                let layer = build_layer_from_verification(
+                    &protocol,
+                    PauliKind::X,
+                    &verification,
+                    second_layer_expected,
+                    &options,
+                )
+                .unwrap();
+                protocol.layers.push(layer);
+
+                let branchless_records = enumerate_single_fault_records(&protocol);
+                let filtered = dangerous_errors_excluding_flagged(
+                    &protocol.context,
+                    &branchless_records,
+                    PauliKind::Z,
+                    protocol.layers.len() - 1,
+                );
+
+                let mut cache = FaultCache::new();
+                attach_correction_branches_with(
+                    &mut protocol,
+                    &options,
+                    &mut session,
+                    &mut cache,
+                    1,
+                )
+                .unwrap();
+                let reenumerated = dangerous_errors_for_layer(&protocol, PauliKind::Z);
+                assert_eq!(
+                    filtered,
+                    reenumerated,
+                    "{} ({flag_policy:?}): branch-less + flag filter must equal \
+                     the re-enumerated branched dangerous set",
+                    code.name()
+                );
+            }
         }
     }
 

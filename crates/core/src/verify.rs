@@ -16,6 +16,7 @@ use dftsp_f2::{BitMatrix, BitVec};
 use dftsp_sat::{BoundedLadder, Encoder, LadderMode, Lit, Model, SatBackend, SolveResult};
 
 use crate::engine::SatSession;
+use crate::par::{divide_threads, parallel_map_indexed};
 use crate::perm::HeapPermutations;
 
 /// Options bounding the verification-synthesis search.
@@ -156,6 +157,29 @@ pub fn synthesize_verification_with(
     dangerous: &[BitVec],
     options: &VerificationOptions,
 ) -> Result<VerificationSolution, VerificationError> {
+    synthesize_verification_threaded(session, measurable, dangerous, options, 1)
+}
+
+/// [`synthesize_verification_with`] with a thread budget: the per-`u` cover
+/// ladders run speculatively on up to `threads` scoped workers (each on a
+/// private [`SatSession`]), and any leftover budget lets each ladder probe
+/// two bounds concurrently (see [`run_cover_ladder`]).
+///
+/// The SAT work and the returned solution are bit-identical at every thread
+/// count: ladders for every `u` up to the first feasible one always run to
+/// completion, speculative ladders beyond it are discarded *including their
+/// statistics*, and worker stats are absorbed into `session` in `u` order.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_verification`].
+pub(crate) fn synthesize_verification_threaded(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+    threads: usize,
+) -> Result<VerificationSolution, VerificationError> {
     let detection_sets = detection_sets(measurable, dangerous)?;
     if detection_sets.is_empty() {
         return Ok(VerificationSolution {
@@ -163,10 +187,39 @@ pub fn synthesize_verification_with(
             total_weight: 0,
         });
     }
-    for u in 1..=options.max_measurements {
-        if let Some(solution) = run_cover_ladder(session, measurable, &detection_sets, u, options)?
-        {
-            return Ok(solution);
+    let counts: Vec<usize> = (1..=options.max_measurements).collect();
+    let workers = threads.min(counts.len()).max(1);
+    let ladder_threads = divide_threads(threads, workers);
+    let choice = session.choice();
+    let mode = session.mode();
+    let slots = parallel_map_indexed(
+        &counts,
+        workers,
+        |_, &u| {
+            let mut worker_session = SatSession::with_mode(choice, mode);
+            let result = run_cover_ladder(
+                &mut worker_session,
+                measurable,
+                &detection_sets,
+                u,
+                options,
+                ladder_threads,
+            );
+            (result, worker_session.take_stats())
+        },
+        |(result, _)| !matches!(result, Ok(None)),
+    );
+    // Scan in `u` order: absorb exactly the ladders a serial run would have
+    // executed and stop at the first feasible count (or hard error). Stats
+    // from speculative ladders past that point are dropped wholesale, so the
+    // merged statistics match the serial run bit for bit.
+    for slot in slots {
+        let Some((result, stats)) = slot else { break };
+        session.absorb(&stats);
+        match result {
+            Ok(Some(solution)) => return Ok(solution),
+            Ok(None) => {}
+            Err(error) => return Err(error),
         }
     }
     Err(VerificationError::BudgetExhausted)
@@ -187,12 +240,21 @@ pub fn synthesize_verification_with(
 /// except when a configured conflict budget interrupts the ladder, which
 /// returns the best mode-local solution in hand (the same trade-off that
 /// already costs weight optimality within one mode).
+///
+/// The binary search descends speculatively: whenever the open interval
+/// spans more than one bound, the round probes `mid` on the primary ladder
+/// and the deeper `mid2 = (lo + mid) / 2` on a lazily opened sibling ladder.
+/// Both probes run at *every* thread count (concurrently on scoped threads
+/// when `ladder_threads >= 2`, back to back otherwise) and their results are
+/// merged in the fixed order (`mid`, then `mid2`), so the bound trajectory,
+/// the SAT statistics and the returned solution never depend on the budget.
 fn run_cover_ladder(
     session: &mut SatSession,
     measurable: &BitMatrix,
     detection_sets: &[Vec<usize>],
     u: usize,
     options: &VerificationOptions,
+    ladder_threads: usize,
 ) -> Result<Option<VerificationSolution>, VerificationError> {
     let mut ladder = CoverLadder::open(session, measurable, detection_sets, u);
     let Some(first) = ladder.probe(session, measurable, detection_sets, u, None, options)? else {
@@ -204,6 +266,9 @@ fn run_cover_ladder(
     let w0 = first.total_weight;
     // Every probed bound lies strictly below w0.
     ladder.prepare_bounds(w0);
+    let choice = session.choice();
+    let mode = session.mode();
+    let mut sibling: Option<CoverLadder> = None;
     let mut lo = u; // each measurement has weight ≥ 1
     let mut hi = w0;
     let mut best = first.clone();
@@ -212,7 +277,81 @@ fn run_cover_ladder(
             break;
         }
         let mid = (lo + hi) / 2;
-        match ladder.probe(session, measurable, detection_sets, u, Some(mid), options) {
+        // Speculative deeper bound, probed whether or not `mid` turns out
+        // feasible (if `mid` is infeasible so is `mid2` and the probe merely
+        // confirms it). Skipped when the interval pins `mid` to `lo`.
+        let speculative = if lo < mid { Some((lo + mid) / 2) } else { None };
+        let sibling_ladder = speculative.map(|_| {
+            sibling.get_or_insert_with(|| {
+                let mut opened = CoverLadder::open(session, measurable, detection_sets, u);
+                opened.prepare_bounds(w0);
+                opened
+            })
+        });
+        let mut primary_session = SatSession::with_mode(choice, mode);
+        let mut sibling_session = SatSession::with_mode(choice, mode);
+        let (primary_result, sibling_result) = match (sibling_ladder, speculative) {
+            (Some(spec_ladder), Some(mid2)) if ladder_threads >= 2 => {
+                let sibling_session = &mut sibling_session;
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(move || {
+                        spec_ladder.probe(
+                            sibling_session,
+                            measurable,
+                            detection_sets,
+                            u,
+                            Some(mid2),
+                            options,
+                        )
+                    });
+                    let primary = ladder.probe(
+                        &mut primary_session,
+                        measurable,
+                        detection_sets,
+                        u,
+                        Some(mid),
+                        options,
+                    );
+                    let speculative = handle.join().expect("sibling probe thread panicked");
+                    (primary, Some(speculative))
+                })
+            }
+            (Some(spec_ladder), Some(mid2)) => {
+                let primary = ladder.probe(
+                    &mut primary_session,
+                    measurable,
+                    detection_sets,
+                    u,
+                    Some(mid),
+                    options,
+                );
+                let speculative = spec_ladder.probe(
+                    &mut sibling_session,
+                    measurable,
+                    detection_sets,
+                    u,
+                    Some(mid2),
+                    options,
+                );
+                (primary, Some(speculative))
+            }
+            _ => {
+                let primary = ladder.probe(
+                    &mut primary_session,
+                    measurable,
+                    detection_sets,
+                    u,
+                    Some(mid),
+                    options,
+                );
+                (primary, None)
+            }
+        };
+        // Fixed absorption order keeps the merged statistics independent of
+        // which probe finished first.
+        session.absorb(&primary_session.take_stats());
+        session.absorb(&sibling_session.take_stats());
+        match primary_result {
             Ok(Some(better)) => {
                 hi = better.total_weight.min(mid);
                 best = better;
@@ -220,6 +359,24 @@ fn run_cover_ladder(
             Ok(None) => lo = mid + 1,
             Err(VerificationError::ConflictBudgetExceeded { .. }) => return Ok(Some(best)),
             Err(other) => return Err(other),
+        }
+        match (sibling_result, speculative) {
+            (Some(Ok(Some(better))), Some(mid2)) if lo <= mid2 => {
+                // The deeper speculative bound was feasible too; its solution
+                // supersedes the primary's.
+                hi = better.total_weight.min(mid2).min(hi);
+                best = better;
+            }
+            (Some(Ok(Some(_))), _) => {
+                // `mid` was infeasible (so `lo` moved past `mid2`): the
+                // speculative model is stale and carries no new bound.
+            }
+            (Some(Ok(None)), Some(mid2)) => lo = lo.max(mid2 + 1),
+            (Some(Err(VerificationError::ConflictBudgetExceeded { .. })), _) => {
+                return Ok(Some(best))
+            }
+            (Some(Err(other)), _) => return Err(other),
+            (None, _) | (_, None) => {}
         }
     }
     if hi == w0 && !session.choice().is_racing_portfolio() {
@@ -331,7 +488,25 @@ pub fn enumerate_minimal_verifications_with(
     dangerous: &[BitVec],
     options: &VerificationOptions,
 ) -> Result<Vec<VerificationSolution>, VerificationError> {
-    let best = synthesize_verification_with(session, measurable, dangerous, options)?;
+    enumerate_minimal_verifications_threaded(session, measurable, dangerous, options, 1)
+}
+
+/// [`enumerate_minimal_verifications_with`] with a thread budget for the
+/// initial optimum synthesis (the blocking-clause enumeration itself is
+/// inherently sequential and stays serial). Results and statistics are
+/// bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_verification`].
+pub(crate) fn enumerate_minimal_verifications_threaded(
+    session: &mut SatSession,
+    measurable: &BitMatrix,
+    dangerous: &[BitVec],
+    options: &VerificationOptions,
+    threads: usize,
+) -> Result<Vec<VerificationSolution>, VerificationError> {
+    let best = synthesize_verification_threaded(session, measurable, dangerous, options, threads)?;
     if best.measurements.is_empty() {
         return Ok(vec![best]);
     }

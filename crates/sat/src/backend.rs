@@ -30,8 +30,11 @@ use crate::{Lit, Model, ScrewSolver, SolveResult, Solver, SolverStats, Var};
 /// Abstract interface of an incremental SAT solver.
 ///
 /// The trait is object safe, so callers can select a backend at runtime via
-/// [`BackendChoice`] and work with `Box<dyn SatBackend>`.
-pub trait SatBackend {
+/// [`BackendChoice`] and work with `Box<dyn SatBackend>`. `Send` is a
+/// supertrait: every backend is plain owned data, and the engine's fan-out
+/// moves live sessions (e.g. warm verification ladders probing sibling
+/// bounds) across scoped worker threads.
+pub trait SatBackend: Send {
     /// Short human-readable backend name (used in statistics reports).
     fn name(&self) -> &'static str;
 

@@ -551,3 +551,87 @@ fn catalog_by_name_round_trips_for_every_code() {
         assert_eq!(found.parameters(), code.parameters());
     }
 }
+
+#[test]
+fn globally_optimize_matches_across_thread_counts() {
+    // The candidate fan-out must leave the winning protocol, the candidate
+    // counts, the winner-attributed stage statistics and the explored
+    // aggregate bit-identical at every thread count.
+    for code in [catalog::steane(), catalog::shor()] {
+        let serial = SynthesisEngine::builder()
+            .threads(1)
+            .build()
+            .globally_optimize(&code)
+            .unwrap();
+        let parallel = SynthesisEngine::builder()
+            .threads(4)
+            .build()
+            .globally_optimize(&code)
+            .unwrap();
+        assert_eq!(
+            protocol_fingerprint(&serial.protocol),
+            protocol_fingerprint(&parallel.protocol),
+            "{}: thread count must not change the globally optimal protocol",
+            code.name()
+        );
+        assert_eq!(serial.candidates_per_layer, parallel.candidates_per_layer);
+        assert_eq!(
+            serial.explored,
+            parallel.explored,
+            "{}: the explored aggregate must merge candidate stats in order",
+            code.name()
+        );
+        assert_eq!(serial.stages.len(), parallel.stages.len());
+        for (s, p) in serial.stages.iter().zip(&parallel.stages) {
+            assert_eq!(s.stage, p.stage, "{}", code.name());
+            assert_eq!(s.sat, p.sat, "{}: per-stage stats must match", code.name());
+            assert_eq!(s.branches, p.branches, "{}", code.name());
+        }
+    }
+}
+
+#[test]
+fn globally_optimize_attributes_only_the_winner_to_the_correction_stage() {
+    // More than one candidate is explored on the Steane code; the correction
+    // stage must carry the winner's statistics alone, with the full
+    // exploration cost (winner included) in the explored aggregate.
+    let report = SynthesisEngine::builder()
+        .build()
+        .globally_optimize(&catalog::steane())
+        .unwrap();
+    assert!(
+        report.candidates_per_layer.iter().any(|&n| n > 1),
+        "Steane explores multiple verification candidates"
+    );
+    let correction_calls: u64 = report
+        .stages
+        .iter()
+        .filter(|s| matches!(s.stage, dftsp::Stage::Correction(_)))
+        .map(|s| s.sat.calls)
+        .sum();
+    assert!(correction_calls > 0);
+    assert!(
+        report.explored.calls > correction_calls,
+        "losing candidates' SAT work ({} calls) must exceed the winners' ({})",
+        report.explored.calls,
+        correction_calls
+    );
+}
+
+#[test]
+fn globally_optimize_surfaces_the_real_correction_error() {
+    // A zero correction-measurement budget makes every candidate fail while
+    // synthesizing correction branches. The historical bug discarded those
+    // errors and fabricated `Verification { BudgetExhausted }`; the report
+    // must instead surface the last real correction failure with its stage
+    // attribution intact.
+    let error = SynthesisEngine::builder()
+        .max_correction_measurements(0)
+        .build()
+        .globally_optimize(&catalog::steane())
+        .unwrap_err();
+    assert!(
+        matches!(error, dftsp::SynthesisError::Correction { .. }),
+        "expected the candidates' correction error, got: {error:?}"
+    );
+}
